@@ -1,0 +1,78 @@
+//! E1 wall-clock companion (demo Figures 2+3): range-query latency of
+//! FLAT vs the STR-packed and dynamic R-Trees across densities.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use neurospatial::prelude::*;
+use neurospatial_bench::{dense_circuit, standard_workload};
+use std::hint::black_box;
+
+fn bench_range_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_range_query");
+    group.sample_size(20);
+
+    for &neurons in &[10u32, 50] {
+        let circuit = dense_circuit(neurons, 1);
+        let segments = circuit.segments().to_vec();
+        let n = segments.len();
+        let flat =
+            FlatIndex::build(segments.clone(), FlatBuildParams::default().with_page_capacity(64));
+        let packed = RTree::bulk_load(segments.clone(), RTreeParams::with_max_entries(64));
+        let mut dynamic = RTree::new(RTreeParams::with_max_entries(64));
+        for s in &segments {
+            dynamic.insert(*s);
+        }
+        let w = standard_workload(&circuit, 20, 20.0);
+
+        group.bench_with_input(BenchmarkId::new("flat", n), &w, |b, w| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for q in &w.queries {
+                    total += flat.range_query(black_box(q)).0.len();
+                }
+                total
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("rtree_str", n), &w, |b, w| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for q in &w.queries {
+                    total += packed.range_query(black_box(q)).0.len();
+                }
+                total
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("rtree_dynamic", n), &w, |b, w| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for q in &w.queries {
+                    total += dynamic.range_query(black_box(q)).0.len();
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_index_build");
+    group.sample_size(10);
+    let circuit = dense_circuit(25, 1);
+    let segments = circuit.segments().to_vec();
+
+    group.bench_function("flat_build", |b| {
+        b.iter(|| {
+            FlatIndex::build(black_box(segments.clone()), FlatBuildParams::default())
+                .page_count()
+        })
+    });
+    group.bench_function("rtree_str_bulk_load", |b| {
+        b.iter(|| {
+            RTree::bulk_load(black_box(segments.clone()), RTreeParams::with_max_entries(64)).len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_range_queries, bench_build);
+criterion_main!(benches);

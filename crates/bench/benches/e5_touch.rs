@@ -1,0 +1,50 @@
+//! E5 wall-clock companion (demo Figure 7): the join race.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use neurospatial::prelude::*;
+use neurospatial_bench::dense_circuit;
+use std::hint::black_box;
+
+fn bench_joins(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_join");
+    group.sample_size(10);
+
+    let circuit = dense_circuit(100, 3);
+    let (a, b) = circuit.split_populations();
+    let eps = 1.0;
+    let n = a.len() + b.len();
+
+    group.bench_with_input(BenchmarkId::new("touch", n), &eps, |bch, &eps| {
+        bch.iter(|| TouchJoin::default().join(black_box(&a), black_box(&b), eps).pairs.len())
+    });
+    group.bench_with_input(BenchmarkId::new("touch_parallel4", n), &eps, |bch, &eps| {
+        bch.iter(|| TouchJoin::parallel(4).join(black_box(&a), black_box(&b), eps).pairs.len())
+    });
+    group.bench_with_input(BenchmarkId::new("pbsm", n), &eps, |bch, &eps| {
+        bch.iter(|| PbsmJoin::default().join(black_box(&a), black_box(&b), eps).pairs.len())
+    });
+    group.bench_with_input(BenchmarkId::new("s3", n), &eps, |bch, &eps| {
+        bch.iter(|| S3Join::default().join(black_box(&a), black_box(&b), eps).pairs.len())
+    });
+    group.bench_with_input(BenchmarkId::new("plane_sweep", n), &eps, |bch, &eps| {
+        bch.iter(|| PlaneSweepJoin.join(black_box(&a), black_box(&b), eps).pairs.len())
+    });
+    group.finish();
+}
+
+fn bench_epsilon_sweep(c: &mut Criterion) {
+    // TOUCH's sensitivity to ε (the join selectivity knob).
+    let mut group = c.benchmark_group("e5_touch_epsilon");
+    group.sample_size(10);
+    let circuit = dense_circuit(60, 3);
+    let (a, b) = circuit.split_populations();
+    for &eps in &[0.5f64, 2.0, 5.0] {
+        group.bench_with_input(BenchmarkId::from_parameter(eps), &eps, |bch, &eps| {
+            bch.iter(|| TouchJoin::default().join(black_box(&a), black_box(&b), eps).pairs.len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_joins, bench_epsilon_sweep);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! E6 wall-clock companion (§1 scaling narrative): index build and query
+//! latency as the model grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use neurospatial::prelude::*;
+use neurospatial_bench::{dense_circuit, standard_workload};
+use std::hint::black_box;
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_scaling");
+    group.sample_size(10);
+
+    for &neurons in &[10u32, 40, 80] {
+        let circuit = dense_circuit(neurons, 11);
+        let segments = circuit.segments().to_vec();
+        let n = segments.len() as u64;
+        group.throughput(Throughput::Elements(n));
+
+        group.bench_with_input(BenchmarkId::new("flat_build", n), &segments, |b, segs| {
+            b.iter(|| FlatIndex::build(black_box(segs.clone()), FlatBuildParams::default()).len())
+        });
+
+        let flat = FlatIndex::build(segments.clone(), FlatBuildParams::default());
+        let w = standard_workload(&circuit, 10, 20.0);
+        group.bench_with_input(BenchmarkId::new("flat_query", n), &w, |b, w| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for q in &w.queries {
+                    total += flat.range_query(black_box(q)).0.len();
+                }
+                total
+            })
+        });
+
+        let (pa, pb) = circuit.split_populations();
+        group.bench_with_input(BenchmarkId::new("touch_join", n), &1.5f64, |b, &eps| {
+            b.iter(|| TouchJoin::default().join(black_box(&pa), black_box(&pb), eps).pairs.len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,298 @@
+//! The high-level database facade tying the three systems together.
+
+use neurospatial_flat::FlatQueryStats;
+use neurospatial_geom::Aabb;
+use neurospatial_model::{Circuit, NavigationPath, NeuronSegment};
+use neurospatial_scout::{
+    ExplorationSession, ExtrapolationPrefetcher, HilbertPrefetcher, MarkovPrefetcher, NoPrefetch,
+    Prefetcher, ScoutPrefetcher, SessionConfig, SessionStats,
+};
+use neurospatial_touch::{JoinResult, SpatialJoin, TouchJoin};
+
+/// Tuning knobs of a [`NeuroDb`].
+#[derive(Debug, Clone, Copy)]
+pub struct NeuroDbConfig {
+    /// FLAT page capacity (objects per page).
+    pub page_capacity: usize,
+    /// Exploration-session settings (buffer pool, cost model, think time).
+    pub session: SessionConfig,
+    /// Distance-join engine configuration.
+    pub join: TouchJoin,
+}
+
+impl Default for NeuroDbConfig {
+    fn default() -> Self {
+        let session = SessionConfig::default();
+        NeuroDbConfig { page_capacity: session.page_capacity, session, join: TouchJoin::default() }
+    }
+}
+
+/// Which prefetching policy a walkthrough uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalkthroughMethod {
+    /// No prefetching: every page faults on demand.
+    None,
+    /// Storage-order (Hilbert curve) prefetching.
+    Hilbert,
+    /// Camera-motion extrapolation.
+    Extrapolation,
+    /// History-based Markov-chain prediction (the paper's [8]); cold on
+    /// first traversals of massive models.
+    Markov,
+    /// SCOUT content-aware prefetching.
+    Scout,
+}
+
+impl WalkthroughMethod {
+    /// All methods, in the order the experiment tables report them.
+    pub const ALL: [WalkthroughMethod; 5] = [
+        WalkthroughMethod::None,
+        WalkthroughMethod::Hilbert,
+        WalkthroughMethod::Extrapolation,
+        WalkthroughMethod::Markov,
+        WalkthroughMethod::Scout,
+    ];
+
+    /// Instantiate the corresponding prefetcher.
+    pub fn prefetcher(&self) -> Box<dyn Prefetcher> {
+        match self {
+            WalkthroughMethod::None => Box::new(NoPrefetch),
+            WalkthroughMethod::Hilbert => Box::new(HilbertPrefetcher::default()),
+            WalkthroughMethod::Extrapolation => Box::new(ExtrapolationPrefetcher::default()),
+            WalkthroughMethod::Markov => Box::new(MarkovPrefetcher::default()),
+            WalkthroughMethod::Scout => Box::new(ScoutPrefetcher::default()),
+        }
+    }
+}
+
+/// Aggregate statistics of a spatial region — what §2.1 of the paper
+/// describes FLAT being used for: "to compute statistics (tissue density
+/// etc.) of the models they build".
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RegionStats {
+    /// Segments intersecting the region.
+    pub count: usize,
+    /// Total axis (cable) length of those segments (µm).
+    pub total_cable_length: f64,
+    /// Total membrane volume approximation: Σ π r² ℓ (µm³).
+    pub total_cable_volume: f64,
+    /// Mean capsule radius (µm); 0 if the region is empty.
+    pub mean_radius: f64,
+    /// Segments per µm³ of the queried region.
+    pub density: f64,
+    /// Distinct neurons represented.
+    pub neuron_count: usize,
+}
+
+/// A spatial database over one set of neuron segments.
+///
+/// Owns a FLAT index (all range queries and walkthroughs run through it)
+/// and exposes the TOUCH join for synapse placement.
+pub struct NeuroDb {
+    session: ExplorationSession,
+    config: NeuroDbConfig,
+    populations: (Vec<NeuronSegment>, Vec<NeuronSegment>),
+}
+
+impl NeuroDb {
+    /// Open a database over a generated circuit.
+    pub fn from_circuit(circuit: &Circuit) -> Self {
+        Self::from_segments(circuit.segments().to_vec(), NeuroDbConfig::default())
+    }
+
+    /// Open a database over raw segments with explicit configuration.
+    pub fn from_segments(segments: Vec<NeuronSegment>, config: NeuroDbConfig) -> Self {
+        let mut session_config = config.session;
+        session_config.page_capacity = config.page_capacity;
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        for s in &segments {
+            if s.neuron % 2 == 0 {
+                a.push(*s);
+            } else {
+                b.push(*s);
+            }
+        }
+        let session = ExplorationSession::new(segments, session_config);
+        NeuroDb { session, config, populations: (a, b) }
+    }
+
+    /// Number of indexed segments.
+    pub fn len(&self) -> usize {
+        self.session.index().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The underlying FLAT index.
+    pub fn index(&self) -> &neurospatial_flat::FlatIndex<NeuronSegment> {
+        self.session.index()
+    }
+
+    /// Execute a spatial range query (FLAT seed-and-crawl).
+    pub fn range_query(&self, region: &Aabb) -> (Vec<&NeuronSegment>, FlatQueryStats) {
+        self.session.index().range_query(region)
+    }
+
+    /// Compute aggregate tissue statistics for a region (one FLAT range
+    /// query plus a linear pass over the result).
+    pub fn region_stats(&self, region: &Aabb) -> RegionStats {
+        let (hits, _) = self.range_query(region);
+        if hits.is_empty() {
+            return RegionStats::default();
+        }
+        let mut stats = RegionStats { count: hits.len(), ..Default::default() };
+        let mut neurons = std::collections::HashSet::new();
+        let mut radius_sum = 0.0;
+        for s in &hits {
+            let len = s.geom.axis_length();
+            stats.total_cable_length += len;
+            stats.total_cable_volume += std::f64::consts::PI * s.geom.radius * s.geom.radius * len;
+            radius_sum += s.geom.radius;
+            neurons.insert(s.neuron);
+        }
+        stats.mean_radius = radius_sum / hits.len() as f64;
+        stats.neuron_count = neurons.len();
+        stats.density = hits.len() as f64 / region.volume().max(f64::MIN_POSITIVE);
+        stats
+    }
+
+    /// Find synapse candidates between the even- and odd-neuron
+    /// populations: all segment pairs whose capsule surfaces come within
+    /// `epsilon` of each other (TOUCH distance join).
+    pub fn find_synapse_candidates(&self, epsilon: f64) -> JoinResult {
+        let (a, b) = &self.populations;
+        self.config.join.join(a, b, epsilon)
+    }
+
+    /// Distance-join this database's segments against an external
+    /// population.
+    pub fn join_against(&self, other: &[NeuronSegment], epsilon: f64) -> JoinResult {
+        let (a, b) = &self.populations;
+        let mut all: Vec<NeuronSegment> = Vec::with_capacity(a.len() + b.len());
+        all.extend_from_slice(a);
+        all.extend_from_slice(b);
+        self.config.join.join(&all, other, epsilon)
+    }
+
+    /// Build a branch-following navigation path through `circuit`
+    /// (convenience wrapper; the circuit must be the one this database
+    /// was opened over for the walkthrough to make sense).
+    pub fn navigation_path(
+        &self,
+        circuit: &Circuit,
+        seed: u64,
+        view_radius: f64,
+        step: f64,
+    ) -> Option<NavigationPath> {
+        NavigationPath::along_random_branch(circuit, seed, view_radius, step)
+    }
+
+    /// Replay a walkthrough with the given prefetching method and report
+    /// the session statistics (stall time, hit ratio, prefetch precision).
+    pub fn walkthrough(&self, path: &NavigationPath, method: WalkthroughMethod) -> SessionStats {
+        let mut prefetcher = method.prefetcher();
+        self.session.run(path, prefetcher.as_mut())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neurospatial_model::{CircuitBuilder, DensityStats};
+    use neurospatial_geom::Vec3;
+
+    fn db() -> (NeuroDb, neurospatial_model::Circuit) {
+        let c = CircuitBuilder::new(5).neurons(10).build();
+        (NeuroDb::from_circuit(&c), c)
+    }
+
+    #[test]
+    fn range_query_counts_match_scan() {
+        let (db, c) = db();
+        assert_eq!(db.len(), c.segments().len());
+        let q = Aabb::cube(c.bounds().center(), 40.0);
+        let (hits, stats) = db.range_query(&q);
+        let brute = c.segments().iter().filter(|s| s.aabb().intersects(&q)).count();
+        assert_eq!(hits.len(), brute);
+        assert_eq!(stats.results as usize, brute);
+    }
+
+    #[test]
+    fn synapse_join_is_symmetric_population_split() {
+        let (db, c) = db();
+        let r = db.find_synapse_candidates(2.0);
+        assert!(r.is_duplicate_free());
+        // Every reported pair crosses the even/odd population boundary.
+        let (a, b) = c.split_populations();
+        for &(i, j) in &r.pairs {
+            assert_eq!(a[i as usize].neuron % 2, 0);
+            assert_eq!(b[j as usize].neuron % 2, 1);
+        }
+    }
+
+    #[test]
+    fn walkthrough_all_methods_run() {
+        let (db, c) = db();
+        let path = db.navigation_path(&c, 3, 20.0, 8.0).expect("path exists");
+        let mut stalls = Vec::new();
+        for m in WalkthroughMethod::ALL {
+            let stats = db.walkthrough(&path, m);
+            assert_eq!(stats.steps.len(), path.queries.len());
+            stalls.push((m, stats.total_stall_ms));
+        }
+        // The no-prefetch baseline is never the fastest.
+        let none = stalls.iter().find(|(m, _)| *m == WalkthroughMethod::None).expect("ran").1;
+        let scout = stalls.iter().find(|(m, _)| *m == WalkthroughMethod::Scout).expect("ran").1;
+        assert!(scout <= none);
+    }
+
+    #[test]
+    fn join_against_external_population() {
+        let (db, _) = db();
+        let other = CircuitBuilder::new(99).neurons(2).build();
+        let r = db.join_against(other.segments(), 1.0);
+        assert!(r.is_duplicate_free());
+    }
+
+    #[test]
+    fn region_stats_aggregate_correctly() {
+        let (db, c) = db();
+        // Centre the region on actual data (the bounds centre can fall in
+        // empty space between neurons).
+        let q = Aabb::cube(c.segments()[0].geom.center(), 50.0);
+        let s = db.region_stats(&q);
+        let (hits, _) = db.range_query(&q);
+        assert!(!hits.is_empty());
+        assert_eq!(s.count, hits.len());
+        let want_len: f64 = hits.iter().map(|h| h.geom.axis_length()).sum();
+        assert!((s.total_cable_length - want_len).abs() < 1e-9);
+        assert!(s.mean_radius > 0.0);
+        assert!(s.density > 0.0);
+        assert!(s.neuron_count >= 1 && s.neuron_count <= c.neuron_count());
+        assert!(s.total_cable_volume > 0.0);
+
+        // Far-away region: all-zero stats.
+        let far = Aabb::cube(Vec3::splat(1e7), 10.0);
+        assert_eq!(db.region_stats(&far), RegionStats::default());
+    }
+
+    #[test]
+    fn dense_region_denser_than_sparse() {
+        let (db, c) = db();
+        let grid = DensityStats::new(c.bounds(), [5, 5, 5], c.segments());
+        let dense = db.region_stats(&Aabb::cube(grid.densest_cell_center(), 25.0));
+        let sparse = db.region_stats(&Aabb::cube(grid.sparsest_cell_center(), 25.0));
+        assert!(dense.density >= sparse.density);
+    }
+
+    #[test]
+    fn empty_database() {
+        let db = NeuroDb::from_segments(vec![], NeuroDbConfig::default());
+        assert!(db.is_empty());
+        let (hits, _) = db.range_query(&Aabb::cube(neurospatial_geom::Vec3::ZERO, 5.0));
+        assert!(hits.is_empty());
+        assert!(db.find_synapse_candidates(1.0).pairs.is_empty());
+    }
+}

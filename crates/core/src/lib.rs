@@ -1,0 +1,65 @@
+//! # neurospatial
+//!
+//! Spatial data management for dense neuroscience models — a faithful
+//! open-source reproduction of the systems demonstrated in *"Data-driven
+//! Neuroscience: Enabling Breakthroughs Via Innovative Data Management"*
+//! (Stougiannis et al., SIGMOD 2013):
+//!
+//! * **FLAT** ([`flat`]) — range-query execution whose cost is
+//!   independent of data density: seed with a tiny R-Tree over page MBRs,
+//!   then crawl precomputed page-neighborhood links (§2 of the paper).
+//! * **SCOUT** ([`scout`]) — content-aware prefetching for
+//!   structure-following query sequences: reconstruct the topological
+//!   skeleton of each result, prune candidate structures across queries,
+//!   extrapolate exit edges (§3).
+//! * **TOUCH** ([`touch`]) — in-memory spatial distance join by
+//!   hierarchical data-oriented partitioning, with nested-loop,
+//!   plane-sweep, PBSM and S3 baselines (§4).
+//!
+//! Substrates built for the reproduction: geometric primitives and
+//! space-filling curves ([`geom`]), a synthetic neural-tissue generator
+//! replacing the proprietary Blue Brain datasets ([`model`]), an R-Tree
+//! with STR bulk loading ([`rtree`]) and a paged-storage simulator that
+//! reports the paper's "disk pages retrieved / time" statistics
+//! reproducibly ([`storage`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use neurospatial::prelude::*;
+//!
+//! // 1. Generate a microcircuit (substitute for BBP data).
+//! let circuit = CircuitBuilder::new(7).neurons(20).build();
+//!
+//! // 2. Open a database over its segments.
+//! let db = NeuroDb::from_circuit(&circuit);
+//!
+//! // 3. Spatial range query (FLAT under the hood).
+//! let region = Aabb::cube(circuit.bounds().center(), 30.0);
+//! let (segments, stats) = db.range_query(&region);
+//! assert_eq!(segments.len(), stats.results as usize);
+//!
+//! // 4. Synapse candidates between the even/odd neuron populations
+//! //    (TOUCH distance join).
+//! let synapses = db.find_synapse_candidates(3.0);
+//! assert!(synapses.stats.results == synapses.pairs.len() as u64);
+//!
+//! // 5. Replay a branch-following walkthrough with SCOUT prefetching.
+//! if let Some(path) = db.navigation_path(&circuit, 1, 20.0, 8.0) {
+//!     let report = db.walkthrough(&path, WalkthroughMethod::Scout);
+//!     assert!(report.steps.len() == path.queries.len());
+//! }
+//! ```
+
+pub use neurospatial_flat as flat;
+pub use neurospatial_geom as geom;
+pub use neurospatial_model as model;
+pub use neurospatial_rtree as rtree;
+pub use neurospatial_scout as scout;
+pub use neurospatial_storage as storage;
+pub use neurospatial_touch as touch;
+
+pub mod db;
+pub mod prelude;
+
+pub use db::{NeuroDb, NeuroDbConfig, RegionStats, WalkthroughMethod};

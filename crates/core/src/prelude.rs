@@ -1,0 +1,35 @@
+//! Convenience re-exports for typical use of the library.
+//!
+//! ```
+//! use neurospatial::prelude::*;
+//!
+//! let circuit = CircuitBuilder::new(1).neurons(3).build();
+//! let db = NeuroDb::from_circuit(&circuit);
+//! let (hits, _) = db.range_query(&Aabb::cube(circuit.bounds().center(), 10.0));
+//! assert!(hits.len() <= circuit.segments().len());
+//! ```
+
+pub use crate::db::{NeuroDb, NeuroDbConfig, RegionStats, WalkthroughMethod};
+
+pub use neurospatial_geom::{Aabb, Segment, Vec3};
+
+pub use neurospatial_model::{
+    Circuit, CircuitBuilder, DensityStats, Morphology, MorphologyParams, NavigationPath,
+    NeuronSegment, QueryPlacement, RangeQueryWorkload, SomaPlacement,
+};
+
+pub use neurospatial_flat::{FlatBuildParams, FlatIndex, FlatQueryStats, PackingStrategy};
+
+pub use neurospatial_rtree::{RPlusTree, RTree, RTreeObject, RTreeParams, SplitStrategy};
+
+pub use neurospatial_scout::{
+    ExplorationSession, ExtrapolationPrefetcher, HilbertPrefetcher, MarkovPrefetcher, NoPrefetch,
+    Prefetcher, ScoutPrefetcher, SessionConfig, SessionStats,
+};
+
+pub use neurospatial_storage::{BufferPool, CostModel, DiskSim, IoStats, PageId};
+
+pub use neurospatial_touch::{
+    JoinObject, JoinResult, JoinStats, NestedLoopJoin, PbsmJoin, PlaneSweepJoin, S3Join,
+    SpatialJoin, TouchJoin,
+};

@@ -1,0 +1,227 @@
+//! FLAT query phase: seed, then crawl the neighborhood graph.
+
+use crate::stats::{FlatQueryStats, PageAccess};
+use crate::FlatIndex;
+use neurospatial_geom::Aabb;
+use neurospatial_rtree::RTreeObject;
+use std::collections::VecDeque;
+
+impl<T: RTreeObject> FlatIndex<T> {
+    /// All objects whose AABB intersects `q`.
+    pub fn range_query(&self, q: &Aabb) -> (Vec<&T>, FlatQueryStats) {
+        self.range_query_with(q, |_| {})
+    }
+
+    /// Range query with a page-access hook (for simulated I/O charging).
+    ///
+    /// The hook fires once per seed-tree node and once per data page read.
+    pub fn range_query_with<F: FnMut(PageAccess)>(
+        &self,
+        q: &Aabb,
+        mut on_access: F,
+    ) -> (Vec<&T>, FlatQueryStats) {
+        let mut stats = FlatQueryStats::default();
+        let mut out = Vec::new();
+        if self.pages.is_empty() {
+            return (out, stats);
+        }
+
+        let mut visited = vec![false; self.pages.len()];
+        let mut queue: VecDeque<u32> = VecDeque::new();
+
+        // --- Seed ---------------------------------------------------------
+        let (seed, seed_stats) = self.seed_tree.first_hit_with(q, |node, level| {
+            on_access(PageAccess::SeedNode(node, level));
+        });
+        stats.seed_nodes_read += seed_stats.nodes_visited();
+        let Some(first) = seed else {
+            // No page MBR intersects q: empty result, proven by the seed
+            // descent alone.
+            return (out, stats);
+        };
+        visited[first.page as usize] = true;
+        queue.push_back(first.page);
+
+        // --- Crawl (with exactness-preserving re-seeding) ------------------
+        loop {
+            while let Some(page) = queue.pop_front() {
+                stats.pages_read += 1;
+                stats.crawl_order.push(page);
+                on_access(PageAccess::Data(page));
+
+                for o in self.page_objects(page) {
+                    stats.objects_tested += 1;
+                    if o.aabb().intersects(q) {
+                        out.push(o);
+                    }
+                }
+                for &n in self.neighbors_of(page) {
+                    if visited[n as usize] {
+                        continue;
+                    }
+                    if self.pages[n as usize].mbr.intersects(q) {
+                        visited[n as usize] = true;
+                        queue.push_back(n);
+                    } else {
+                        stats.links_rejected += 1;
+                    }
+                }
+            }
+
+            // Crawl front empty: check for unreached pages intersecting q.
+            // This is the exactness fallback — rare on dense data.
+            let mut reseeded = false;
+            let (candidates, reseed_stats) = self.seed_tree.range_query_with(q, |node, level| {
+                on_access(PageAccess::SeedNode(node, level));
+            });
+            stats.seed_nodes_read += reseed_stats.nodes_visited();
+            for entry in candidates {
+                if !visited[entry.page as usize] {
+                    visited[entry.page as usize] = true;
+                    queue.push_back(entry.page);
+                    reseeded = true;
+                }
+            }
+            if reseeded {
+                stats.reseeds += 1;
+            } else {
+                break;
+            }
+        }
+
+        stats.results = out.len() as u64;
+        (out, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FlatBuildParams;
+    use neurospatial_geom::Vec3;
+
+    fn dense_cloud(n: usize) -> Vec<Aabb> {
+        // Overlapping boxes filling a cube: a dense dataset with a
+        // connected page graph.
+        (0..n)
+            .map(|i| {
+                let x = (i % 20) as f64;
+                let y = ((i / 20) % 20) as f64;
+                let z = (i / 400) as f64;
+                Aabb::cube(Vec3::new(x, y, z), 0.8)
+            })
+            .collect()
+    }
+
+    fn brute(objs: &[Aabb], q: &Aabb) -> usize {
+        objs.iter().filter(|o| o.intersects(q)).count()
+    }
+
+    #[test]
+    fn exact_on_dense_data() {
+        let objs = dense_cloud(4000);
+        let idx = FlatIndex::build(objs.clone(), FlatBuildParams::default().with_page_capacity(64));
+        for q in [
+            Aabb::cube(Vec3::new(10.0, 10.0, 5.0), 3.0),
+            Aabb::cube(Vec3::new(0.0, 0.0, 0.0), 1.0),
+            Aabb::cube(Vec3::new(19.0, 19.0, 9.0), 2.5),
+            Aabb::new(Vec3::splat(-50.0), Vec3::splat(50.0)),
+        ] {
+            let (hits, stats) = idx.range_query(&q);
+            assert_eq!(hits.len(), brute(&objs, &q), "query {q}");
+            assert_eq!(stats.results as usize, hits.len());
+            assert_eq!(stats.crawl_order.len() as u64, stats.pages_read);
+        }
+    }
+
+    #[test]
+    fn empty_query_proven_by_seed_alone() {
+        let objs = dense_cloud(2000);
+        let idx = FlatIndex::build(objs, FlatBuildParams::default());
+        let q = Aabb::cube(Vec3::new(500.0, 0.0, 0.0), 2.0);
+        let (hits, stats) = idx.range_query(&q);
+        assert!(hits.is_empty());
+        assert_eq!(stats.pages_read, 0);
+        // The root-MBR check proves emptiness without reading any node.
+        assert_eq!(stats.seed_nodes_read, 0);
+        assert_eq!(stats.reseeds, 0);
+    }
+
+    #[test]
+    fn reseeding_keeps_disconnected_data_exact() {
+        // Two clusters far apart: a query spanning both forces a re-seed
+        // because no neighborhood links cross the gap at ε = 0.
+        // Cluster sizes are exact multiples of the page capacity so no
+        // page straddles the gap (a straddling page would bridge the two
+        // components through its oversized MBR).
+        let mut objs = Vec::new();
+        for i in 0..512 {
+            objs.push(Aabb::cube(Vec3::new((i % 10) as f64, ((i / 10) % 10) as f64, 0.0), 0.6));
+        }
+        for i in 0..512 {
+            objs.push(Aabb::cube(
+                Vec3::new(1000.0 + (i % 10) as f64, ((i / 10) % 10) as f64, 0.0),
+                0.6,
+            ));
+        }
+        let idx = FlatIndex::build(objs.clone(), FlatBuildParams::default().with_page_capacity(32));
+        let q = Aabb::new(Vec3::new(-5.0, -5.0, -5.0), Vec3::new(1015.0, 15.0, 5.0));
+        let (hits, stats) = idx.range_query(&q);
+        assert_eq!(hits.len(), 1024);
+        assert!(stats.reseeds >= 1, "gap must trigger a re-seed");
+    }
+
+    #[test]
+    fn crawl_reads_each_page_at_most_once() {
+        let objs = dense_cloud(3000);
+        let idx = FlatIndex::build(objs, FlatBuildParams::default().with_page_capacity(32));
+        let q = Aabb::cube(Vec3::new(10.0, 10.0, 3.0), 6.0);
+        let (_, stats) = idx.range_query(&q);
+        let mut order = stats.crawl_order.clone();
+        order.sort_unstable();
+        let before = order.len();
+        order.dedup();
+        assert_eq!(order.len(), before, "a page was read twice");
+    }
+
+    #[test]
+    fn crawl_order_is_contiguous_bfs() {
+        // Every page after the first must neighbor *some* earlier page in
+        // the crawl (unless a re-seed started a new component).
+        let objs = dense_cloud(4000);
+        let idx = FlatIndex::build(objs, FlatBuildParams::default().with_page_capacity(64));
+        let q = Aabb::cube(Vec3::new(8.0, 8.0, 4.0), 5.0);
+        let (_, stats) = idx.range_query(&q);
+        assert_eq!(stats.reseeds, 0, "dense data should crawl in one component");
+        let order = &stats.crawl_order;
+        for (i, &p) in order.iter().enumerate().skip(1) {
+            let linked = order[..i]
+                .iter()
+                .any(|&earlier| idx.neighbors_of(earlier).contains(&p));
+            assert!(linked, "page {p} (position {i}) reached without a link");
+        }
+    }
+
+    #[test]
+    fn visitor_sees_all_accesses() {
+        let objs = dense_cloud(2000);
+        let idx = FlatIndex::build(objs, FlatBuildParams::default());
+        let q = Aabb::cube(Vec3::new(10.0, 10.0, 2.0), 4.0);
+        let mut data = 0u64;
+        let mut seed = 0u64;
+        let (_, stats) = idx.range_query_with(&q, |a| match a {
+            PageAccess::Data(_) => data += 1,
+            PageAccess::SeedNode(..) => seed += 1,
+        });
+        assert_eq!(data, stats.pages_read);
+        assert_eq!(seed, stats.seed_nodes_read);
+    }
+
+    #[test]
+    fn query_on_empty_index() {
+        let idx: FlatIndex<Aabb> = FlatIndex::build(vec![], FlatBuildParams::default());
+        let (hits, stats) = idx.range_query(&Aabb::cube(Vec3::ZERO, 1.0));
+        assert!(hits.is_empty());
+        assert_eq!(stats, FlatQueryStats::default());
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests: FLAT is an exact range-query index on arbitrary data —
+//! including adversarially disconnected data — and always agrees with both
+//! brute force and the R-Tree.
+
+use neurospatial_flat::{FlatBuildParams, FlatIndex};
+use neurospatial_geom::{Aabb, Vec3};
+use neurospatial_rtree::{RTree, RTreeParams};
+use proptest::prelude::*;
+
+fn small_box() -> impl Strategy<Value = Aabb> {
+    ((-80.0..80.0, -80.0..80.0, -80.0..80.0), 0.1..6.0f64)
+        .prop_map(|((x, y, z), r)| Aabb::cube(Vec3::new(x, y, z), r))
+}
+
+/// Clustered boxes: several tight clusters with big gaps, the worst case
+/// for crawl connectivity.
+fn clustered_boxes() -> impl Strategy<Value = Vec<Aabb>> {
+    prop::collection::vec(
+        (
+            (-3i32..3, -3i32..3, -3i32..3),           // cluster cell
+            prop::collection::vec((0.0..5.0f64, 0.0..5.0f64, 0.0..5.0f64), 1..60),
+        ),
+        1..6,
+    )
+    .prop_map(|clusters| {
+        let mut out = Vec::new();
+        for ((cx, cy, cz), pts) in clusters {
+            let base = Vec3::new(cx as f64 * 200.0, cy as f64 * 200.0, cz as f64 * 200.0);
+            for (x, y, z) in pts {
+                out.push(Aabb::cube(base + Vec3::new(x, y, z), 0.5));
+            }
+        }
+        out
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn flat_matches_brute_force(
+        objs in prop::collection::vec(small_box(), 0..500),
+        queries in prop::collection::vec(small_box(), 1..8),
+        cap in 4usize..96,
+    ) {
+        let idx = FlatIndex::build(objs.clone(), FlatBuildParams::default().with_page_capacity(cap));
+        for q in &queries {
+            let (hits, stats) = idx.range_query(q);
+            let want = objs.iter().filter(|o| o.intersects(q)).count();
+            prop_assert_eq!(hits.len(), want, "query {}", q);
+            prop_assert_eq!(stats.results as usize, want);
+            // A page is read at most once.
+            let mut order = stats.crawl_order.clone();
+            order.sort_unstable();
+            let n = order.len();
+            order.dedup();
+            prop_assert_eq!(order.len(), n);
+        }
+    }
+
+    #[test]
+    fn flat_exact_on_disconnected_clusters(
+        objs in clustered_boxes(),
+        q in (
+            (-700.0..700.0f64, -700.0..700.0f64, -700.0..700.0f64),
+            1.0..800.0f64,
+        ).prop_map(|((x, y, z), r)| Aabb::cube(Vec3::new(x, y, z), r)),
+    ) {
+        let idx = FlatIndex::build(objs.clone(), FlatBuildParams::default().with_page_capacity(8));
+        let (hits, _) = idx.range_query(&q);
+        let want = objs.iter().filter(|o| o.intersects(&q)).count();
+        prop_assert_eq!(hits.len(), want);
+    }
+
+    #[test]
+    fn flat_and_rtree_agree(
+        objs in prop::collection::vec(small_box(), 0..400),
+        q in small_box(),
+    ) {
+        let idx = FlatIndex::build(objs.clone(), FlatBuildParams::default().with_page_capacity(16));
+        let tree = RTree::bulk_load(objs, RTreeParams::with_max_entries(16));
+        let (f, _) = idx.range_query(&q);
+        let (r, _) = tree.range_query(&q);
+        prop_assert_eq!(f.len(), r.len());
+    }
+
+    #[test]
+    fn page_graph_links_have_geometric_support(
+        objs in prop::collection::vec(small_box(), 2..300),
+        eps in 0.0..10.0f64,
+        cap in 4usize..32,
+    ) {
+        let idx = FlatIndex::build(
+            objs,
+            FlatBuildParams::default().with_page_capacity(cap).with_neighbor_epsilon(eps),
+        );
+        for u in 0..idx.page_count() as u32 {
+            for &v in idx.neighbors_of(u) {
+                prop_assert!(u != v);
+                prop_assert!(idx.neighbors_of(v).contains(&u));
+                prop_assert!(idx.page_mbr(u).inflate(eps).intersects(&idx.page_mbr(v)));
+            }
+        }
+    }
+}

@@ -1,0 +1,330 @@
+//! Axis-aligned bounding boxes — the filter geometry used by every index
+//! and join algorithm in the workspace.
+
+use crate::Vec3;
+use std::fmt;
+
+/// A closed axis-aligned box `[lo, hi]` in 3-D.
+///
+/// Invariant: `lo[a] <= hi[a]` on every axis for every box produced by the
+/// constructors in this module. An *empty* box (`Aabb::EMPTY`) deliberately
+/// violates this with `lo = +∞, hi = -∞` so it acts as the identity of
+/// [`Aabb::union`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Aabb {
+    pub lo: Vec3,
+    pub hi: Vec3,
+}
+
+impl Aabb {
+    /// The empty box: identity of `union`, intersects nothing.
+    pub const EMPTY: Aabb = Aabb {
+        lo: Vec3 { x: f64::INFINITY, y: f64::INFINITY, z: f64::INFINITY },
+        hi: Vec3 { x: f64::NEG_INFINITY, y: f64::NEG_INFINITY, z: f64::NEG_INFINITY },
+    };
+
+    /// Box from two corner points (re-ordered per axis, so argument order
+    /// does not matter).
+    #[inline]
+    pub fn new(a: Vec3, b: Vec3) -> Self {
+        Aabb { lo: a.min(b), hi: a.max(b) }
+    }
+
+    /// Box spanning exactly one point.
+    #[inline]
+    pub fn point(p: Vec3) -> Self {
+        Aabb { lo: p, hi: p }
+    }
+
+    /// Cube of half-extent `r` centred at `c`.
+    #[inline]
+    pub fn cube(c: Vec3, r: f64) -> Self {
+        debug_assert!(r >= 0.0);
+        Aabb { lo: c - Vec3::splat(r), hi: c + Vec3::splat(r) }
+    }
+
+    /// Smallest box containing all points of an iterator; `EMPTY` if the
+    /// iterator is empty.
+    pub fn from_points<I: IntoIterator<Item = Vec3>>(pts: I) -> Self {
+        pts.into_iter().fold(Aabb::EMPTY, |acc, p| acc.union(&Aabb::point(p)))
+    }
+
+    /// True if the box contains no points (`lo > hi` on some axis).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.lo.x > self.hi.x || self.lo.y > self.hi.y || self.lo.z > self.hi.z
+    }
+
+    #[inline]
+    pub fn center(&self) -> Vec3 {
+        (self.lo + self.hi) * 0.5
+    }
+
+    /// Per-axis extent; non-negative for non-empty boxes.
+    #[inline]
+    pub fn extent(&self) -> Vec3 {
+        self.hi - self.lo
+    }
+
+    #[inline]
+    pub fn volume(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let e = self.extent();
+        e.x * e.y * e.z
+    }
+
+    /// Surface area — the R*-tree split heuristic minimises this ("margin"
+    /// in the R* paper uses the sum of extents; we expose both).
+    #[inline]
+    pub fn surface_area(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let e = self.extent();
+        2.0 * (e.x * e.y + e.y * e.z + e.z * e.x)
+    }
+
+    /// Sum of edge lengths (the R* "margin").
+    #[inline]
+    pub fn margin(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let e = self.extent();
+        e.x + e.y + e.z
+    }
+
+    /// Closed-interval intersection test (boxes sharing a face intersect).
+    #[inline]
+    pub fn intersects(&self, o: &Aabb) -> bool {
+        self.lo.x <= o.hi.x
+            && o.lo.x <= self.hi.x
+            && self.lo.y <= o.hi.y
+            && o.lo.y <= self.hi.y
+            && self.lo.z <= o.hi.z
+            && o.lo.z <= self.hi.z
+    }
+
+    /// True if `self` fully contains `o`.
+    #[inline]
+    pub fn contains(&self, o: &Aabb) -> bool {
+        !o.is_empty()
+            && self.lo.x <= o.lo.x
+            && self.lo.y <= o.lo.y
+            && self.lo.z <= o.lo.z
+            && self.hi.x >= o.hi.x
+            && self.hi.y >= o.hi.y
+            && self.hi.z >= o.hi.z
+    }
+
+    #[inline]
+    pub fn contains_point(&self, p: Vec3) -> bool {
+        self.lo.x <= p.x
+            && p.x <= self.hi.x
+            && self.lo.y <= p.y
+            && p.y <= self.hi.y
+            && self.lo.z <= p.z
+            && p.z <= self.hi.z
+    }
+
+    /// Smallest box containing both operands.
+    #[inline]
+    pub fn union(&self, o: &Aabb) -> Aabb {
+        Aabb { lo: self.lo.min(o.lo), hi: self.hi.max(o.hi) }
+    }
+
+    /// Geometric intersection; `EMPTY`-like (inverted) box if disjoint.
+    #[inline]
+    pub fn intersection(&self, o: &Aabb) -> Aabb {
+        Aabb { lo: self.lo.max(o.lo), hi: self.hi.min(o.hi) }
+    }
+
+    /// Volume of the overlap region (0 if disjoint) — the quantity the
+    /// R-Tree literature calls *overlap* and FLAT is designed to avoid.
+    #[inline]
+    pub fn overlap_volume(&self, o: &Aabb) -> f64 {
+        self.intersection(o).volume()
+    }
+
+    /// Box grown by `d` on every side (shrunk if `d < 0`). ε-inflation is
+    /// the standard filter step for distance joins and FLAT neighborhood
+    /// computation.
+    #[inline]
+    pub fn inflate(&self, d: f64) -> Aabb {
+        Aabb { lo: self.lo - Vec3::splat(d), hi: self.hi + Vec3::splat(d) }
+    }
+
+    /// Increase in volume if `o` were unioned in (R-Tree `ChooseSubtree`
+    /// heuristic).
+    #[inline]
+    pub fn enlargement(&self, o: &Aabb) -> f64 {
+        self.union(o).volume() - self.volume()
+    }
+
+    /// Minimum distance between the two boxes (0 if they intersect).
+    #[inline]
+    pub fn min_distance(&self, o: &Aabb) -> f64 {
+        self.min_distance_sq(o).sqrt()
+    }
+
+    /// Squared minimum distance between the two boxes.
+    #[inline]
+    pub fn min_distance_sq(&self, o: &Aabb) -> f64 {
+        let mut d2 = 0.0;
+        for a in 0..3 {
+            let gap = (o.lo.axis(a) - self.hi.axis(a)).max(self.lo.axis(a) - o.hi.axis(a)).max(0.0);
+            d2 += gap * gap;
+        }
+        d2
+    }
+
+    /// Minimum distance from the box to a point (0 if inside).
+    #[inline]
+    pub fn min_distance_to_point(&self, p: Vec3) -> f64 {
+        let c = self.clamp_point(p);
+        c.distance(p)
+    }
+
+    /// Closest point of the box to `p`.
+    #[inline]
+    pub fn clamp_point(&self, p: Vec3) -> Vec3 {
+        p.max(self.lo).min(self.hi)
+    }
+
+    /// Axis with the largest extent — used by KD-style partitioning.
+    #[inline]
+    pub fn longest_axis(&self) -> usize {
+        let e = self.extent();
+        if e.x >= e.y && e.x >= e.z {
+            0
+        } else if e.y >= e.z {
+            1
+        } else {
+            2
+        }
+    }
+
+    /// True when both corners are finite and ordered; generated geometry is
+    /// validated with this before insertion into indexes.
+    #[inline]
+    pub fn is_valid(&self) -> bool {
+        self.lo.is_finite() && self.hi.is_finite() && !self.is_empty()
+    }
+}
+
+impl fmt::Display for Aabb {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} .. {}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(lo: (f64, f64, f64), hi: (f64, f64, f64)) -> Aabb {
+        Aabb::new(Vec3::new(lo.0, lo.1, lo.2), Vec3::new(hi.0, hi.1, hi.2))
+    }
+
+    #[test]
+    fn construction_reorders_corners() {
+        let x = Aabb::new(Vec3::new(1.0, -1.0, 5.0), Vec3::new(0.0, 2.0, 4.0));
+        assert_eq!(x.lo, Vec3::new(0.0, -1.0, 4.0));
+        assert_eq!(x.hi, Vec3::new(1.0, 2.0, 5.0));
+        assert!(x.is_valid());
+    }
+
+    #[test]
+    fn empty_is_union_identity() {
+        let x = b((0.0, 0.0, 0.0), (1.0, 2.0, 3.0));
+        assert_eq!(Aabb::EMPTY.union(&x), x);
+        assert_eq!(x.union(&Aabb::EMPTY), x);
+        assert!(Aabb::EMPTY.is_empty());
+        assert_eq!(Aabb::EMPTY.volume(), 0.0);
+        assert_eq!(Aabb::EMPTY.surface_area(), 0.0);
+        assert_eq!(Aabb::EMPTY.margin(), 0.0);
+    }
+
+    #[test]
+    fn volumes_and_areas() {
+        let x = b((0.0, 0.0, 0.0), (2.0, 3.0, 4.0));
+        assert_eq!(x.volume(), 24.0);
+        assert_eq!(x.surface_area(), 2.0 * (6.0 + 12.0 + 8.0));
+        assert_eq!(x.margin(), 9.0);
+        assert_eq!(x.center(), Vec3::new(1.0, 1.5, 2.0));
+    }
+
+    #[test]
+    fn intersection_tests() {
+        let a = b((0.0, 0.0, 0.0), (1.0, 1.0, 1.0));
+        let c = b((0.5, 0.5, 0.5), (2.0, 2.0, 2.0));
+        let d = b((1.5, 1.5, 1.5), (2.0, 2.0, 2.0));
+        assert!(a.intersects(&c));
+        assert!(c.intersects(&a));
+        assert!(!a.intersects(&d));
+        // Face-sharing boxes intersect (closed intervals).
+        let e = b((1.0, 0.0, 0.0), (2.0, 1.0, 1.0));
+        assert!(a.intersects(&e));
+        assert_eq!(a.overlap_volume(&c), 0.125);
+        assert_eq!(a.overlap_volume(&d), 0.0);
+    }
+
+    #[test]
+    fn containment() {
+        let outer = b((0.0, 0.0, 0.0), (10.0, 10.0, 10.0));
+        let inner = b((1.0, 1.0, 1.0), (2.0, 2.0, 2.0));
+        assert!(outer.contains(&inner));
+        assert!(!inner.contains(&outer));
+        assert!(outer.contains(&outer));
+        assert!(!outer.contains(&Aabb::EMPTY));
+        assert!(outer.contains_point(Vec3::new(5.0, 5.0, 5.0)));
+        assert!(outer.contains_point(Vec3::new(0.0, 0.0, 0.0))); // boundary
+        assert!(!outer.contains_point(Vec3::new(-0.1, 5.0, 5.0)));
+    }
+
+    #[test]
+    fn inflation_and_enlargement() {
+        let a = b((0.0, 0.0, 0.0), (1.0, 1.0, 1.0));
+        let g = a.inflate(0.5);
+        assert_eq!(g.lo, Vec3::splat(-0.5));
+        assert_eq!(g.hi, Vec3::splat(1.5));
+        let far = b((5.0, 0.0, 0.0), (6.0, 1.0, 1.0));
+        assert!(a.enlargement(&far) > 0.0);
+        assert_eq!(a.enlargement(&a), 0.0);
+    }
+
+    #[test]
+    fn distances() {
+        let a = b((0.0, 0.0, 0.0), (1.0, 1.0, 1.0));
+        let c = b((3.0, 0.0, 0.0), (4.0, 1.0, 1.0));
+        assert_eq!(a.min_distance(&c), 2.0);
+        assert_eq!(a.min_distance(&a), 0.0);
+        // Diagonal separation
+        let d = b((2.0, 2.0, 2.0), (3.0, 3.0, 3.0));
+        assert!((a.min_distance(&d) - (3.0f64).sqrt()).abs() < 1e-12);
+        assert_eq!(a.min_distance_to_point(Vec3::new(0.5, 0.5, 0.5)), 0.0);
+        assert_eq!(a.min_distance_to_point(Vec3::new(2.0, 0.5, 0.5)), 1.0);
+    }
+
+    #[test]
+    fn longest_axis_and_clamp() {
+        let a = b((0.0, 0.0, 0.0), (1.0, 5.0, 2.0));
+        assert_eq!(a.longest_axis(), 1);
+        assert_eq!(a.clamp_point(Vec3::new(9.0, -3.0, 1.0)), Vec3::new(1.0, 0.0, 1.0));
+    }
+
+    #[test]
+    fn from_points_covers_all() {
+        let pts = [Vec3::new(0.0, 5.0, -1.0), Vec3::new(2.0, 1.0, 3.0), Vec3::new(-1.0, 2.0, 0.0)];
+        let a = Aabb::from_points(pts);
+        for p in pts {
+            assert!(a.contains_point(p));
+        }
+        assert_eq!(a.lo, Vec3::new(-1.0, 1.0, -1.0));
+        assert_eq!(a.hi, Vec3::new(2.0, 5.0, 3.0));
+        assert!(Aabb::from_points(std::iter::empty()).is_empty());
+    }
+}

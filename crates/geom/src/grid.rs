@@ -1,0 +1,183 @@
+//! Uniform-grid coordinate mapping shared by PBSM, FLAT's neighborhood
+//! computation and the workload generators.
+
+use crate::{Aabb, Vec3};
+
+/// Maps continuous space onto an `nx × ny × nz` lattice of equal cells.
+#[derive(Debug, Clone)]
+pub struct GridIndexer {
+    bounds: Aabb,
+    dims: [usize; 3],
+    cell: Vec3,
+}
+
+impl GridIndexer {
+    /// Grid over `bounds` with the given number of cells per axis (each at
+    /// least 1). Panics on empty bounds.
+    pub fn new(bounds: Aabb, dims: [usize; 3]) -> Self {
+        assert!(!bounds.is_empty(), "GridIndexer requires non-empty bounds");
+        let dims = [dims[0].max(1), dims[1].max(1), dims[2].max(1)];
+        let e = bounds.extent();
+        let cell = Vec3::new(
+            e.x / dims[0] as f64,
+            e.y / dims[1] as f64,
+            e.z / dims[2] as f64,
+        );
+        GridIndexer { bounds, dims, cell }
+    }
+
+    /// Grid whose cells have edge length approximately `cell_size`.
+    pub fn with_cell_size(bounds: Aabb, cell_size: f64) -> Self {
+        assert!(cell_size > 0.0);
+        let e = bounds.extent();
+        let dims = [
+            ((e.x / cell_size).ceil() as usize).max(1),
+            ((e.y / cell_size).ceil() as usize).max(1),
+            ((e.z / cell_size).ceil() as usize).max(1),
+        ];
+        Self::new(bounds, dims)
+    }
+
+    pub fn dims(&self) -> [usize; 3] {
+        self.dims
+    }
+
+    pub fn bounds(&self) -> &Aabb {
+        &self.bounds
+    }
+
+    /// Total number of cells.
+    pub fn len(&self) -> usize {
+        self.dims[0] * self.dims[1] * self.dims[2]
+    }
+
+    pub fn is_empty(&self) -> bool {
+        false // a grid always has at least one cell
+    }
+
+    /// Cell coordinates of a point (clamped into range).
+    pub fn cell_of(&self, p: Vec3) -> [usize; 3] {
+        let mut c = [0usize; 3];
+        for (a, slot) in c.iter_mut().enumerate() {
+            let rel = if self.cell.axis(a) > 0.0 {
+                ((p.axis(a) - self.bounds.lo.axis(a)) / self.cell.axis(a)).floor()
+            } else {
+                0.0
+            };
+            *slot = (rel.max(0.0) as usize).min(self.dims[a] - 1);
+        }
+        c
+    }
+
+    /// Linearised cell index (x-fastest layout).
+    pub fn linear(&self, c: [usize; 3]) -> usize {
+        debug_assert!(c[0] < self.dims[0] && c[1] < self.dims[1] && c[2] < self.dims[2]);
+        (c[2] * self.dims[1] + c[1]) * self.dims[0] + c[0]
+    }
+
+    /// Inverse of [`Self::linear`].
+    pub fn delinear(&self, i: usize) -> [usize; 3] {
+        let x = i % self.dims[0];
+        let y = (i / self.dims[0]) % self.dims[1];
+        let z = i / (self.dims[0] * self.dims[1]);
+        [x, y, z]
+    }
+
+    /// Inclusive range of cell coordinates covered by a box (clamped).
+    pub fn cell_range(&self, b: &Aabb) -> ([usize; 3], [usize; 3]) {
+        (self.cell_of(b.lo), self.cell_of(b.hi))
+    }
+
+    /// Geometric bounds of a cell.
+    pub fn cell_bounds(&self, c: [usize; 3]) -> Aabb {
+        let lo = Vec3::new(
+            self.bounds.lo.x + c[0] as f64 * self.cell.x,
+            self.bounds.lo.y + c[1] as f64 * self.cell.y,
+            self.bounds.lo.z + c[2] as f64 * self.cell.z,
+        );
+        Aabb { lo, hi: lo + self.cell }
+    }
+
+    /// Visit every linear cell index overlapped by `b`.
+    pub fn for_each_cell_in<F: FnMut(usize)>(&self, b: &Aabb, mut f: F) {
+        let (lo, hi) = self.cell_range(b);
+        for z in lo[2]..=hi[2] {
+            for y in lo[1]..=hi[1] {
+                for x in lo[0]..=hi[0] {
+                    f(self.linear([x, y, z]));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> GridIndexer {
+        GridIndexer::new(Aabb::new(Vec3::ZERO, Vec3::new(10.0, 20.0, 30.0)), [10, 10, 10])
+    }
+
+    #[test]
+    fn cell_lookup_and_clamping() {
+        let g = grid();
+        assert_eq!(g.cell_of(Vec3::new(0.5, 0.5, 0.5)), [0, 0, 0]);
+        assert_eq!(g.cell_of(Vec3::new(9.99, 19.99, 29.99)), [9, 9, 9]);
+        // Exactly on the upper boundary clamps to the last cell.
+        assert_eq!(g.cell_of(Vec3::new(10.0, 20.0, 30.0)), [9, 9, 9]);
+        // Outside points clamp.
+        assert_eq!(g.cell_of(Vec3::new(-5.0, 100.0, 15.0)), [0, 9, 5]);
+    }
+
+    #[test]
+    fn linearisation_roundtrip() {
+        let g = grid();
+        for i in 0..g.len() {
+            assert_eq!(g.linear(g.delinear(i)), i);
+        }
+        assert_eq!(g.len(), 1000);
+    }
+
+    #[test]
+    fn cell_bounds_tile_the_domain() {
+        let g = GridIndexer::new(Aabb::new(Vec3::ZERO, Vec3::splat(8.0)), [2, 2, 2]);
+        let mut vol = 0.0;
+        for i in 0..g.len() {
+            vol += g.cell_bounds(g.delinear(i)).volume();
+        }
+        assert!((vol - 512.0).abs() < 1e-9);
+        // First cell starts at the domain corner.
+        assert_eq!(g.cell_bounds([0, 0, 0]).lo, Vec3::ZERO);
+        assert_eq!(g.cell_bounds([1, 1, 1]).hi, Vec3::splat(8.0));
+    }
+
+    #[test]
+    fn range_iteration_covers_query() {
+        let g = grid();
+        let q = Aabb::new(Vec3::new(0.5, 0.5, 0.5), Vec3::new(2.5, 3.5, 4.5));
+        let mut cells = Vec::new();
+        g.for_each_cell_in(&q, |i| cells.push(i));
+        // x: cells 0..=2 (3), y: 0..=1 (2), z: 0..=1 (2) -> 12 cells
+        assert_eq!(cells.len(), 12);
+        // All covered cells intersect the query box.
+        for i in &cells {
+            assert!(g.cell_bounds(g.delinear(*i)).intersects(&q));
+        }
+    }
+
+    #[test]
+    fn with_cell_size_resolution() {
+        let g = GridIndexer::with_cell_size(Aabb::new(Vec3::ZERO, Vec3::splat(100.0)), 10.0);
+        assert_eq!(g.dims(), [10, 10, 10]);
+        let g2 = GridIndexer::with_cell_size(Aabb::new(Vec3::ZERO, Vec3::splat(95.0)), 10.0);
+        assert_eq!(g2.dims(), [10, 10, 10]); // ceil
+    }
+
+    #[test]
+    fn degenerate_flat_domain() {
+        let g = GridIndexer::new(Aabb::new(Vec3::ZERO, Vec3::new(10.0, 10.0, 0.0)), [4, 4, 4]);
+        // Zero-extent axis: all points land in plane cell 0.
+        assert_eq!(g.cell_of(Vec3::new(5.0, 5.0, 0.0))[2], 0);
+    }
+}

@@ -1,0 +1,41 @@
+//! # neurospatial-geom
+//!
+//! Geometric foundation of the `neurospatial` workspace: 3-D vectors,
+//! axis-aligned bounding boxes, capsule-shaped neuron segments, exact
+//! distance computations, and the Morton / Hilbert space-filling curves
+//! used for spatial ordering by the FLAT index and the prefetchers.
+//!
+//! All coordinates are `f64`. The crate is `no_std`-agnostic in spirit but
+//! uses `std` for convenience; it has no mandatory dependencies.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use neurospatial_geom::{Vec3, Aabb, Segment};
+//!
+//! let a = Segment::new(Vec3::new(0.0, 0.0, 0.0), Vec3::new(1.0, 0.0, 0.0), 0.1);
+//! let b = Segment::new(Vec3::new(0.5, 0.15, 0.0), Vec3::new(0.5, 1.0, 0.0), 0.1);
+//! // Surface-to-surface distance between two capsules:
+//! let d = a.distance(&b);
+//! assert!(d == 0.0); // the capsule surfaces overlap
+//! assert!(a.aabb().intersects(&b.aabb()));
+//! ```
+
+pub mod aabb;
+pub mod grid;
+pub mod hilbert;
+pub mod morton;
+pub mod segment;
+pub mod vec3;
+
+pub use aabb::Aabb;
+pub use grid::GridIndexer;
+pub use hilbert::{hilbert_d2xyz, hilbert_xyz2d, HilbertSorter};
+pub use morton::{morton_decode3, morton_encode3};
+pub use segment::Segment;
+pub use vec3::Vec3;
+
+/// Numerical tolerance used by geometric predicates throughout the
+/// workspace. Chosen to be far below any biologically meaningful length
+/// (micrometre-scale coordinates) while far above `f64` rounding noise.
+pub const EPSILON: f64 = 1e-9;

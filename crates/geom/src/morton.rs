@@ -1,0 +1,113 @@
+//! 3-D Morton (Z-order) codes.
+//!
+//! Morton order is the cheaper of the two space-filling curves in this
+//! crate; it is used for fast approximate spatial sorting (e.g. PBSM tile
+//! ordering) where Hilbert's better locality is not worth its cost.
+
+/// Spread the low 21 bits of `v` so that bits land at positions 0,3,6,…
+/// (the classic "part1by2" bit trick).
+#[inline]
+fn part1by2(v: u32) -> u64 {
+    let mut x = (v as u64) & 0x1f_ffff; // 21 bits
+    x = (x | (x << 32)) & 0x1f00000000ffff;
+    x = (x | (x << 16)) & 0x1f0000ff0000ff;
+    x = (x | (x << 8)) & 0x100f00f00f00f00f;
+    x = (x | (x << 4)) & 0x10c30c30c30c30c3;
+    x = (x | (x << 2)) & 0x1249249249249249;
+    x
+}
+
+/// Inverse of [`part1by2`].
+#[inline]
+fn compact1by2(x: u64) -> u32 {
+    let mut x = x & 0x1249249249249249;
+    x = (x ^ (x >> 2)) & 0x10c30c30c30c30c3;
+    x = (x ^ (x >> 4)) & 0x100f00f00f00f00f;
+    x = (x ^ (x >> 8)) & 0x1f0000ff0000ff;
+    x = (x ^ (x >> 16)) & 0x1f00000000ffff;
+    x = (x ^ (x >> 32)) & 0x1f_ffff;
+    x as u32
+}
+
+/// Interleave three 21-bit coordinates into a 63-bit Morton code.
+///
+/// Coordinates above `2^21 - 1` are truncated to 21 bits (callers quantise
+/// into this range first; see [`crate::GridIndexer`]).
+#[inline]
+pub fn morton_encode3(x: u32, y: u32, z: u32) -> u64 {
+    part1by2(x) | (part1by2(y) << 1) | (part1by2(z) << 2)
+}
+
+/// Recover the three 21-bit coordinates of a Morton code.
+#[inline]
+pub fn morton_decode3(m: u64) -> (u32, u32, u32) {
+    (compact1by2(m), compact1by2(m >> 1), compact1by2(m >> 2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_small_values() {
+        for x in 0..8u32 {
+            for y in 0..8u32 {
+                for z in 0..8u32 {
+                    assert_eq!(morton_decode3(morton_encode3(x, y, z)), (x, y, z));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_extremes() {
+        let max = (1u32 << 21) - 1;
+        for &(x, y, z) in
+            &[(0, 0, 0), (max, max, max), (max, 0, 0), (0, max, 0), (0, 0, max), (123456, 654321, 999999)]
+        {
+            assert_eq!(morton_decode3(morton_encode3(x, y, z)), (x, y, z));
+        }
+    }
+
+    #[test]
+    fn ordering_is_z_shaped() {
+        // Within a 2x2x2 cube the Morton order is the canonical Z pattern:
+        // (0,0,0) < (1,0,0) < (0,1,0) < (1,1,0) < (0,0,1) < ...
+        let order = [
+            (0, 0, 0),
+            (1, 0, 0),
+            (0, 1, 0),
+            (1, 1, 0),
+            (0, 0, 1),
+            (1, 0, 1),
+            (0, 1, 1),
+            (1, 1, 1),
+        ];
+        let codes: Vec<u64> = order.iter().map(|&(x, y, z)| morton_encode3(x, y, z)).collect();
+        for w in codes.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert_eq!(codes[0], 0);
+        assert_eq!(codes[7], 7);
+    }
+
+    #[test]
+    fn truncates_to_21_bits() {
+        let max = (1u32 << 21) - 1;
+        assert_eq!(morton_encode3(u32::MAX, 0, 0), morton_encode3(max, 0, 0));
+    }
+
+    #[test]
+    fn codes_are_unique_on_a_grid() {
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        for x in 0..16u32 {
+            for y in 0..16u32 {
+                for z in 0..16u32 {
+                    assert!(seen.insert(morton_encode3(x, y, z)));
+                }
+            }
+        }
+        assert_eq!(seen.len(), 16 * 16 * 16);
+    }
+}

@@ -1,0 +1,285 @@
+//! Capsule-shaped neuron segments: a cylinder with hemispherical caps,
+//! defined by an axis `[p0, p1]` and radius `r`.
+//!
+//! Neuron morphologies (dendrites, axons) are piecewise-linear tubes; the
+//! Blue Brain pipeline the paper describes represents them as truncated
+//! cones / meshes. A capsule is the standard simulation-friendly
+//! approximation: distance queries between capsules reduce to exact
+//! segment–segment distance minus the radii, which is what the synapse
+//! placement (distance) join in TOUCH computes.
+
+use crate::{Aabb, Vec3, EPSILON};
+
+/// A capsule: all points within distance `radius` of the axis segment
+/// `[p0, p1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Segment {
+    pub p0: Vec3,
+    pub p1: Vec3,
+    pub radius: f64,
+}
+
+impl Segment {
+    #[inline]
+    pub fn new(p0: Vec3, p1: Vec3, radius: f64) -> Self {
+        debug_assert!(radius >= 0.0, "segment radius must be non-negative");
+        Segment { p0, p1, radius }
+    }
+
+    /// Degenerate capsule (a ball) at a point.
+    #[inline]
+    pub fn ball(c: Vec3, radius: f64) -> Self {
+        Segment::new(c, c, radius)
+    }
+
+    #[inline]
+    pub fn center(&self) -> Vec3 {
+        (self.p0 + self.p1) * 0.5
+    }
+
+    #[inline]
+    pub fn axis_length(&self) -> f64 {
+        self.p0.distance(self.p1)
+    }
+
+    /// Tight axis-aligned bounding box of the capsule surface.
+    #[inline]
+    pub fn aabb(&self) -> Aabb {
+        Aabb::new(self.p0, self.p1).inflate(self.radius)
+    }
+
+    /// Exact minimum distance between the two capsule *surfaces*
+    /// (0 if they overlap).
+    #[inline]
+    pub fn distance(&self, o: &Segment) -> f64 {
+        (self.axis_distance(o) - self.radius - o.radius).max(0.0)
+    }
+
+    /// True iff the capsule surfaces come within `eps` of each other —
+    /// the synapse-candidate predicate of the TOUCH distance join.
+    #[inline]
+    pub fn within_distance(&self, o: &Segment, eps: f64) -> bool {
+        // Compare squared axis distance against the squared inflated sum to
+        // avoid the square root on the hot join path.
+        let reach = self.radius + o.radius + eps;
+        self.axis_distance_sq(o) <= reach * reach
+    }
+
+    /// Minimum distance between the two axis segments.
+    #[inline]
+    pub fn axis_distance(&self, o: &Segment) -> f64 {
+        self.axis_distance_sq(o).sqrt()
+    }
+
+    /// Squared minimum distance between the two axis segments
+    /// (Lumelsky / Ericson closest-point-of-two-segments algorithm).
+    pub fn axis_distance_sq(&self, o: &Segment) -> f64 {
+        let d1 = self.p1 - self.p0; // direction of S1
+        let d2 = o.p1 - o.p0; // direction of S2
+        let r = self.p0 - o.p0;
+        let a = d1.norm_sq();
+        let e = d2.norm_sq();
+        let f = d2.dot(r);
+
+        let (s, t);
+        if a <= EPSILON && e <= EPSILON {
+            // Both segments are points.
+            return r.norm_sq();
+        }
+        if a <= EPSILON {
+            // First segment is a point.
+            s = 0.0;
+            t = (f / e).clamp(0.0, 1.0);
+        } else {
+            let c = d1.dot(r);
+            if e <= EPSILON {
+                // Second segment is a point.
+                t = 0.0;
+                s = (-c / a).clamp(0.0, 1.0);
+            } else {
+                let b = d1.dot(d2);
+                let denom = a * e - b * b;
+                let mut s_ = if denom > EPSILON {
+                    ((b * f - c * e) / denom).clamp(0.0, 1.0)
+                } else {
+                    // Parallel segments: pick an arbitrary s, refine t below.
+                    0.0
+                };
+                let mut t_ = (b * s_ + f) / e;
+                if t_ < 0.0 {
+                    t_ = 0.0;
+                    s_ = (-c / a).clamp(0.0, 1.0);
+                } else if t_ > 1.0 {
+                    t_ = 1.0;
+                    s_ = ((b - c) / a).clamp(0.0, 1.0);
+                }
+                s = s_;
+                t = t_;
+            }
+        }
+        let c1 = self.p0 + d1 * s;
+        let c2 = o.p0 + d2 * t;
+        c1.distance_sq(c2)
+    }
+
+    /// Minimum distance from a point to the axis segment.
+    pub fn axis_distance_to_point(&self, p: Vec3) -> f64 {
+        let d = self.p1 - self.p0;
+        let l2 = d.norm_sq();
+        if l2 <= EPSILON {
+            return self.p0.distance(p);
+        }
+        let t = ((p - self.p0).dot(d) / l2).clamp(0.0, 1.0);
+        (self.p0 + d * t).distance(p)
+    }
+
+    /// Minimum distance from a point to the capsule surface (0 if inside).
+    #[inline]
+    pub fn distance_to_point(&self, p: Vec3) -> f64 {
+        (self.axis_distance_to_point(p) - self.radius).max(0.0)
+    }
+
+    /// Conservative capsule-vs-box test used as the refinement step of
+    /// range queries: true iff the capsule intersects `q`.
+    ///
+    /// Exact for the axis (segment-to-box distance ≤ radius); computed by
+    /// minimising the distance from the axis to the box with a ternary
+    /// search over the axis parameter (the distance function is convex
+    /// in the parameter).
+    pub fn intersects_aabb(&self, q: &Aabb) -> bool {
+        if !self.aabb().intersects(q) {
+            return false;
+        }
+        // Quick accept: either endpoint close enough.
+        if q.min_distance_to_point(self.p0) <= self.radius
+            || q.min_distance_to_point(self.p1) <= self.radius
+        {
+            return true;
+        }
+        // dist(t) = distance from point p0 + t*(p1-p0) to box; convex in t.
+        let d = self.p1 - self.p0;
+        let f = |t: f64| q.min_distance_to_point(self.p0 + d * t);
+        let (mut lo, mut hi) = (0.0_f64, 1.0_f64);
+        for _ in 0..64 {
+            let m1 = lo + (hi - lo) / 3.0;
+            let m2 = hi - (hi - lo) / 3.0;
+            if f(m1) <= f(m2) {
+                hi = m2;
+            } else {
+                lo = m1;
+            }
+        }
+        f((lo + hi) * 0.5) <= self.radius + EPSILON
+    }
+
+    /// True when coordinates are finite and the radius is a sane
+    /// non-negative number.
+    #[inline]
+    pub fn is_valid(&self) -> bool {
+        self.p0.is_finite() && self.p1.is_finite() && self.radius.is_finite() && self.radius >= 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(a: (f64, f64, f64), b: (f64, f64, f64), r: f64) -> Segment {
+        Segment::new(Vec3::new(a.0, a.1, a.2), Vec3::new(b.0, b.1, b.2), r)
+    }
+
+    #[test]
+    fn aabb_covers_capsule() {
+        let s = seg((0.0, 0.0, 0.0), (2.0, 0.0, 0.0), 0.5);
+        let bb = s.aabb();
+        assert_eq!(bb.lo, Vec3::new(-0.5, -0.5, -0.5));
+        assert_eq!(bb.hi, Vec3::new(2.5, 0.5, 0.5));
+    }
+
+    #[test]
+    fn parallel_segments_distance() {
+        let a = seg((0.0, 0.0, 0.0), (1.0, 0.0, 0.0), 0.0);
+        let b = seg((0.0, 2.0, 0.0), (1.0, 2.0, 0.0), 0.0);
+        assert!((a.axis_distance(&b) - 2.0).abs() < 1e-12);
+        // Offset parallel: closest approach at segment ends.
+        let c = seg((3.0, 2.0, 0.0), (5.0, 2.0, 0.0), 0.0);
+        assert!((a.axis_distance(&c) - (4.0f64 + 4.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crossing_segments_touch() {
+        let a = seg((-1.0, 0.0, 0.0), (1.0, 0.0, 0.0), 0.0);
+        let b = seg((0.0, -1.0, 0.0), (0.0, 1.0, 0.0), 0.0);
+        assert!(a.axis_distance(&b) < 1e-12);
+        // Skew lines: vertical separation 3.
+        let c = seg((0.0, -1.0, 3.0), (0.0, 1.0, 3.0), 0.0);
+        assert!((a.axis_distance(&c) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_point_segments() {
+        let p = Segment::ball(Vec3::new(1.0, 1.0, 1.0), 0.0);
+        let q = Segment::ball(Vec3::new(4.0, 5.0, 1.0), 0.0);
+        assert!((p.axis_distance(&q) - 5.0).abs() < 1e-12);
+        let s = seg((0.0, 0.0, 0.0), (10.0, 0.0, 0.0), 0.0);
+        assert!((p.axis_distance(&s) - 2.0f64.sqrt()).abs() < 1e-12);
+        assert!((s.axis_distance(&p) - 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn surface_distance_subtracts_radii() {
+        let a = seg((0.0, 0.0, 0.0), (1.0, 0.0, 0.0), 0.5);
+        let b = seg((0.0, 3.0, 0.0), (1.0, 3.0, 0.0), 0.5);
+        assert!((a.distance(&b) - 2.0).abs() < 1e-12);
+        assert!(a.within_distance(&b, 2.0));
+        assert!(!a.within_distance(&b, 1.99));
+        // Overlapping capsules have distance 0.
+        let c = seg((0.5, 0.2, 0.0), (0.5, 1.0, 0.0), 0.5);
+        assert_eq!(a.distance(&c), 0.0);
+    }
+
+    #[test]
+    fn point_distances() {
+        let s = seg((0.0, 0.0, 0.0), (10.0, 0.0, 0.0), 1.0);
+        assert_eq!(s.axis_distance_to_point(Vec3::new(5.0, 3.0, 0.0)), 3.0);
+        assert_eq!(s.distance_to_point(Vec3::new(5.0, 3.0, 0.0)), 2.0);
+        assert_eq!(s.distance_to_point(Vec3::new(5.0, 0.5, 0.0)), 0.0); // inside
+        assert_eq!(s.axis_distance_to_point(Vec3::new(-3.0, 4.0, 0.0)), 5.0);
+    }
+
+    #[test]
+    fn capsule_box_intersection() {
+        let q = Aabb::new(Vec3::ZERO, Vec3::splat(1.0));
+        // Axis passes through the box.
+        assert!(seg((-1.0, 0.5, 0.5), (2.0, 0.5, 0.5), 0.01).intersects_aabb(&q));
+        // Axis misses, but radius reaches.
+        assert!(seg((-1.0, 1.4, 0.5), (2.0, 1.4, 0.5), 0.5).intersects_aabb(&q));
+        // Radius too small to reach.
+        assert!(!seg((-1.0, 1.6, 0.5), (2.0, 1.6, 0.5), 0.5).intersects_aabb(&q));
+        // Diagonal near-corner case: closest approach mid-segment.
+        assert!(seg((2.0, 0.0, 0.5), (0.0, 2.0, 0.5), 0.45).intersects_aabb(&q));
+        assert!(!seg((2.4, 0.0, 0.5), (0.0, 2.4, 0.5), 0.1).intersects_aabb(&q));
+    }
+
+    #[test]
+    fn validity() {
+        assert!(seg((0.0, 0.0, 0.0), (1.0, 0.0, 0.0), 0.1).is_valid());
+        let bad = Segment { p0: Vec3::new(f64::NAN, 0.0, 0.0), p1: Vec3::ZERO, radius: 0.1 };
+        assert!(!bad.is_valid());
+        let neg = Segment { p0: Vec3::ZERO, p1: Vec3::ONE, radius: -1.0 };
+        assert!(!neg.is_valid());
+    }
+
+    #[test]
+    fn distance_symmetry_samples() {
+        let cases = [
+            (seg((0.0, 0.0, 0.0), (1.0, 2.0, 3.0), 0.2), seg((4.0, -1.0, 0.5), (2.0, 2.0, 2.0), 0.3)),
+            (seg((0.0, 0.0, 0.0), (0.0, 0.0, 0.0), 0.1), seg((1.0, 1.0, 1.0), (2.0, 2.0, 2.0), 0.1)),
+            (seg((-5.0, 0.0, 0.0), (5.0, 0.0, 0.0), 1.0), seg((0.0, -5.0, 2.0), (0.0, 5.0, 2.0), 1.0)),
+        ];
+        for (a, b) in cases {
+            assert!((a.axis_distance(&b) - b.axis_distance(&a)).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Property-based tests for the geometric foundation.
+
+use neurospatial_geom::{
+    hilbert_d2xyz, hilbert_xyz2d, morton_decode3, morton_encode3, Aabb, GridIndexer,
+    HilbertSorter, Segment, Vec3,
+};
+use proptest::prelude::*;
+
+fn vec3_strategy(range: f64) -> impl Strategy<Value = Vec3> {
+    (-range..range, -range..range, -range..range).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+fn aabb_strategy(range: f64) -> impl Strategy<Value = Aabb> {
+    (vec3_strategy(range), vec3_strategy(range)).prop_map(|(a, b)| Aabb::new(a, b))
+}
+
+fn segment_strategy(range: f64) -> impl Strategy<Value = Segment> {
+    (vec3_strategy(range), vec3_strategy(range), 0.0..range / 10.0)
+        .prop_map(|(a, b, r)| Segment::new(a, b, r))
+}
+
+proptest! {
+    #[test]
+    fn aabb_union_contains_operands(a in aabb_strategy(100.0), b in aabb_strategy(100.0)) {
+        let u = a.union(&b);
+        prop_assert!(u.contains(&a));
+        prop_assert!(u.contains(&b));
+        // Union is commutative.
+        prop_assert_eq!(u, b.union(&a));
+    }
+
+    #[test]
+    fn aabb_intersection_symmetry(a in aabb_strategy(100.0), b in aabb_strategy(100.0)) {
+        prop_assert_eq!(a.intersects(&b), b.intersects(&a));
+        let i = a.intersection(&b);
+        if a.intersects(&b) {
+            prop_assert!(!i.is_empty());
+            prop_assert!(a.contains(&i));
+            prop_assert!(b.contains(&i));
+        } else {
+            prop_assert!(i.is_empty());
+        }
+    }
+
+    #[test]
+    fn aabb_overlap_volume_bounded(a in aabb_strategy(50.0), b in aabb_strategy(50.0)) {
+        let ov = a.overlap_volume(&b);
+        prop_assert!(ov >= 0.0);
+        prop_assert!(ov <= a.volume() + 1e-9);
+        prop_assert!(ov <= b.volume() + 1e-9);
+    }
+
+    #[test]
+    fn aabb_min_distance_zero_iff_intersecting(a in aabb_strategy(50.0), b in aabb_strategy(50.0)) {
+        let d = a.min_distance(&b);
+        if a.intersects(&b) {
+            prop_assert!(d == 0.0);
+        } else {
+            prop_assert!(d > 0.0);
+        }
+    }
+
+    #[test]
+    fn aabb_inflate_monotone(a in aabb_strategy(50.0), d in 0.0..10.0f64) {
+        let g = a.inflate(d);
+        prop_assert!(g.contains(&a));
+        prop_assert!(g.volume() >= a.volume());
+    }
+
+    #[test]
+    fn segment_distance_symmetric(a in segment_strategy(50.0), b in segment_strategy(50.0)) {
+        let dab = a.axis_distance(&b);
+        let dba = b.axis_distance(&a);
+        prop_assert!((dab - dba).abs() < 1e-6, "dab={dab} dba={dba}");
+    }
+
+    #[test]
+    fn segment_distance_lower_bounds_endpoint_distance(
+        a in segment_strategy(50.0), b in segment_strategy(50.0)
+    ) {
+        // The true minimum is no larger than any endpoint-pair distance.
+        let d = a.axis_distance(&b);
+        let min_ep = [
+            a.p0.distance(b.p0), a.p0.distance(b.p1),
+            a.p1.distance(b.p0), a.p1.distance(b.p1),
+        ].into_iter().fold(f64::INFINITY, f64::min);
+        prop_assert!(d <= min_ep + 1e-9);
+    }
+
+    #[test]
+    fn segment_distance_matches_dense_sampling(
+        a in segment_strategy(20.0), b in segment_strategy(20.0)
+    ) {
+        // Sampled distance can only over-estimate the true minimum; and it
+        // must not be smaller (within sampling resolution tolerance).
+        let exact = a.axis_distance(&b);
+        let n = 50;
+        let mut sampled = f64::INFINITY;
+        for i in 0..=n {
+            let pa = a.p0.lerp(a.p1, i as f64 / n as f64);
+            for j in 0..=n {
+                let pb = b.p0.lerp(b.p1, j as f64 / n as f64);
+                sampled = sampled.min(pa.distance(pb));
+            }
+        }
+        prop_assert!(exact <= sampled + 1e-9, "exact={exact} sampled={sampled}");
+        // Sampling with step h can overshoot by at most ~(len_a + len_b)/n.
+        let tol = (a.axis_length() + b.axis_length()) / n as f64 + 1e-9;
+        prop_assert!(sampled <= exact + tol, "exact={exact} sampled={sampled} tol={tol}");
+    }
+
+    #[test]
+    fn segment_aabb_contains_samples(s in segment_strategy(50.0)) {
+        let bb = s.aabb();
+        for i in 0..=10 {
+            let p = s.p0.lerp(s.p1, i as f64 / 10.0);
+            prop_assert!(bb.min_distance_to_point(p) <= 1e-9);
+            // Surface points along ±radius on each axis stay in the box
+            // (up to f64 rounding in the lerp).
+            prop_assert!(bb.min_distance_to_point(p + Vec3::new(s.radius, 0.0, 0.0)) <= 1e-9);
+            prop_assert!(bb.min_distance_to_point(p - Vec3::new(0.0, s.radius, 0.0)) <= 1e-9);
+        }
+    }
+
+    #[test]
+    fn capsule_box_test_agrees_with_distance(
+        s in segment_strategy(10.0), q in aabb_strategy(10.0)
+    ) {
+        // intersects_aabb must be consistent with the exact axis-to-box
+        // distance (computed here by dense sampling as a reference).
+        let hit = s.intersects_aabb(&q);
+        let n = 200;
+        let mut min_d = f64::INFINITY;
+        for i in 0..=n {
+            let p = s.p0.lerp(s.p1, i as f64 / n as f64);
+            min_d = min_d.min(q.min_distance_to_point(p));
+        }
+        let tol = s.axis_length() / n as f64 + 1e-7;
+        if min_d <= s.radius - tol {
+            prop_assert!(hit, "clearly intersecting (min_d={min_d}, r={})", s.radius);
+        }
+        if min_d > s.radius + tol {
+            prop_assert!(!hit, "clearly separated (min_d={min_d}, r={})", s.radius);
+        }
+    }
+
+    #[test]
+    fn morton_roundtrip(x in 0u32..1 << 21, y in 0u32..1 << 21, z in 0u32..1 << 21) {
+        prop_assert_eq!(morton_decode3(morton_encode3(x, y, z)), (x, y, z));
+    }
+
+    #[test]
+    fn hilbert_roundtrip(bits in 1u32..=21, raw in any::<(u32, u32, u32)>()) {
+        let m = (1u32 << bits) - 1;
+        let (x, y, z) = (raw.0 & m, raw.1 & m, raw.2 & m);
+        let d = hilbert_xyz2d(bits, x, y, z);
+        prop_assert!(d < 1u64.checked_shl(3 * bits).unwrap_or(u64::MAX));
+        prop_assert_eq!(hilbert_d2xyz(bits, d), (x, y, z));
+    }
+
+    #[test]
+    fn hilbert_adjacency(bits in 1u32..=6, seed in any::<u64>()) {
+        let total = 1u64 << (3 * bits);
+        let d = seed % (total - 1);
+        let (x0, y0, z0) = hilbert_d2xyz(bits, d);
+        let (x1, y1, z1) = hilbert_d2xyz(bits, d + 1);
+        let step = (x0 as i64 - x1 as i64).abs()
+            + (y0 as i64 - y1 as i64).abs()
+            + (z0 as i64 - z1 as i64).abs();
+        prop_assert_eq!(step, 1);
+    }
+
+    #[test]
+    fn hilbert_sorter_key_in_range(p in vec3_strategy(1000.0)) {
+        let s = HilbertSorter::with_bits(Aabb::new(Vec3::splat(-1000.0), Vec3::splat(1000.0)), 10);
+        let k = s.key(p);
+        prop_assert!(k < 1u64 << 30);
+    }
+
+    #[test]
+    fn grid_cells_cover_their_points(p in vec3_strategy(99.0)) {
+        let g = GridIndexer::new(Aabb::new(Vec3::splat(-100.0), Vec3::splat(100.0)), [7, 5, 3]);
+        let c = g.cell_of(p);
+        let cb = g.cell_bounds(c);
+        // The point lies inside (or on the boundary of) its cell.
+        prop_assert!(cb.min_distance_to_point(p) <= 1e-9);
+        prop_assert!(g.linear(c) < g.len());
+        prop_assert_eq!(g.delinear(g.linear(c)), c);
+    }
+}

@@ -1,0 +1,321 @@
+//! Microcircuit generation: many morphologies placed in a tissue volume.
+//!
+//! The paper's models pack thousands of neurons into a cortical column so
+//! that their branches interleave tightly — the density that breaks
+//! R-Trees (§2) and makes the synapse join hard (§4). The builder places
+//! somas with a configurable strategy and grows one morphology per soma.
+
+use crate::morphology::{Morphology, MorphologyParams};
+use crate::object::NeuronSegment;
+use crate::ModelRng;
+use neurospatial_geom::{Aabb, Segment, Vec3};
+use rand::Rng;
+use rand::SeedableRng;
+
+/// How somas are distributed in the tissue volume.
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum SomaPlacement {
+    /// Uniform in the volume.
+    Uniform,
+    /// Horizontal layers (cortical laminae): somas cluster around `count`
+    /// evenly spaced y-planes with the given vertical jitter.
+    Layered { count: u32, jitter: f64 },
+    /// Gaussian clusters around `count` random centres ("minicolumns").
+    Clustered { count: u32, sigma: f64 },
+}
+
+/// A generated microcircuit: all capsule segments of all neurons plus the
+/// ground-truth morphologies.
+#[derive(Debug, Clone)]
+pub struct Circuit {
+    segments: Vec<NeuronSegment>,
+    morphologies: Vec<Morphology>,
+    bounds: Aabb,
+    volume: Aabb,
+}
+
+impl Circuit {
+    /// All capsule segments, ordered by (neuron, section, index).
+    pub fn segments(&self) -> &[NeuronSegment] {
+        &self.segments
+    }
+
+    /// Consume the circuit, keeping only the segments.
+    pub fn into_segments(self) -> Vec<NeuronSegment> {
+        self.segments
+    }
+
+    /// Ground-truth morphologies (index = neuron id).
+    pub fn morphologies(&self) -> &[Morphology] {
+        &self.morphologies
+    }
+
+    /// Tight bounds of all geometry.
+    pub fn bounds(&self) -> Aabb {
+        self.bounds
+    }
+
+    /// The nominal tissue volume somas were placed in (geometry may stick
+    /// out of it).
+    pub fn tissue_volume(&self) -> Aabb {
+        self.volume
+    }
+
+    pub fn neuron_count(&self) -> usize {
+        self.morphologies.len()
+    }
+
+    /// Mean number of segments per unit volume, a coarse density measure.
+    pub fn mean_density(&self) -> f64 {
+        self.segments.len() as f64 / self.bounds.volume().max(1e-12)
+    }
+
+    /// Segments belonging to one neuron.
+    pub fn neuron_segments(&self, neuron: u32) -> impl Iterator<Item = &NeuronSegment> {
+        self.segments.iter().filter(move |s| s.neuron == neuron)
+    }
+
+    /// Split the circuit's segments into two interleaved populations
+    /// (even/odd neuron ids) — the standard way we produce the two
+    /// datasets of a TOUCH join (axons of population A vs dendrites of
+    /// population B would be the biological phrasing).
+    pub fn split_populations(&self) -> (Vec<NeuronSegment>, Vec<NeuronSegment>) {
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        for s in &self.segments {
+            if s.neuron % 2 == 0 {
+                a.push(*s);
+            } else {
+                b.push(*s);
+            }
+        }
+        (a, b)
+    }
+}
+
+/// Builder for [`Circuit`].
+#[derive(Debug, Clone)]
+pub struct CircuitBuilder {
+    seed: u64,
+    neurons: u32,
+    volume: Aabb,
+    placement: SomaPlacement,
+    morphology: MorphologyParams,
+}
+
+impl CircuitBuilder {
+    /// New builder with a deterministic seed, a 400 µm³ default volume and
+    /// small morphologies.
+    pub fn new(seed: u64) -> Self {
+        CircuitBuilder {
+            seed,
+            neurons: 10,
+            volume: Aabb::new(Vec3::ZERO, Vec3::splat(400.0)),
+            placement: SomaPlacement::Uniform,
+            morphology: MorphologyParams::small(),
+        }
+    }
+
+    pub fn neurons(mut self, n: u32) -> Self {
+        self.neurons = n;
+        self
+    }
+
+    pub fn volume(mut self, v: Aabb) -> Self {
+        assert!(v.is_valid(), "tissue volume must be a valid box");
+        self.volume = v;
+        self
+    }
+
+    pub fn placement(mut self, p: SomaPlacement) -> Self {
+        self.placement = p;
+        self
+    }
+
+    pub fn morphology(mut self, m: MorphologyParams) -> Self {
+        self.morphology = m;
+        self
+    }
+
+    /// Generate the circuit. Deterministic in all builder inputs.
+    pub fn build(self) -> Circuit {
+        let mut rng = ModelRng::seed_from_u64(self.seed);
+        let somas = self.place_somas(&mut rng);
+
+        let mut segments = Vec::new();
+        let mut morphologies = Vec::with_capacity(somas.len());
+        let mut bounds = Aabb::EMPTY;
+        let mut next_id = 0u64;
+
+        for (neuron, soma) in somas.into_iter().enumerate() {
+            let morph_seed = rng.gen::<u64>();
+            let m = self.morphology.generate(soma, morph_seed);
+            for s in &m.sections {
+                for i in 0..s.segment_count() {
+                    let geom = Segment::new(
+                        s.points[i],
+                        s.points[i + 1],
+                        // Capsule radius: mean of the two endpoint radii.
+                        0.5 * (s.radii[i] + s.radii[i + 1]),
+                    );
+                    let obj = NeuronSegment {
+                        id: next_id,
+                        neuron: neuron as u32,
+                        section: s.id,
+                        index_on_section: i as u32,
+                        geom,
+                    };
+                    bounds = bounds.union(&obj.aabb());
+                    segments.push(obj);
+                    next_id += 1;
+                }
+            }
+            morphologies.push(m);
+        }
+
+        Circuit { segments, morphologies, bounds, volume: self.volume }
+    }
+
+    fn place_somas(&self, rng: &mut ModelRng) -> Vec<Vec3> {
+        let v = &self.volume;
+        let uniform_in = |rng: &mut ModelRng, b: &Aabb| {
+            Vec3::new(
+                rng.gen_range(b.lo.x..=b.hi.x),
+                rng.gen_range(b.lo.y..=b.hi.y),
+                rng.gen_range(b.lo.z..=b.hi.z),
+            )
+        };
+        match &self.placement {
+            SomaPlacement::Uniform => (0..self.neurons).map(|_| uniform_in(rng, v)).collect(),
+            SomaPlacement::Layered { count, jitter } => {
+                let count = (*count).max(1);
+                (0..self.neurons)
+                    .map(|i| {
+                        let layer = i % count;
+                        let y = v.lo.y
+                            + v.extent().y * (layer as f64 + 0.5) / count as f64
+                            + rng.gen_range(-jitter..=*jitter);
+                        Vec3::new(
+                            rng.gen_range(v.lo.x..=v.hi.x),
+                            y.clamp(v.lo.y, v.hi.y),
+                            rng.gen_range(v.lo.z..=v.hi.z),
+                        )
+                    })
+                    .collect()
+            }
+            SomaPlacement::Clustered { count, sigma } => {
+                let count = (*count).max(1);
+                let centres: Vec<Vec3> = (0..count).map(|_| uniform_in(rng, v)).collect();
+                (0..self.neurons)
+                    .map(|_| {
+                        let c = centres[rng.gen_range(0..centres.len())];
+                        // Box-Muller-free approximate gaussian: mean of 4
+                        // uniforms, scaled — adequate for clustering.
+                        let g = |rng: &mut ModelRng| {
+                            let s: f64 = (0..4).map(|_| rng.gen_range(-1.0..1.0)).sum();
+                            s * 0.5 * sigma
+                        };
+                        let p = c + Vec3::new(g(rng), g(rng), g(rng));
+                        v.clamp_point(p)
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_requested_neurons() {
+        let c = CircuitBuilder::new(1).neurons(5).build();
+        assert_eq!(c.neuron_count(), 5);
+        assert!(c.segments().len() > 100);
+        // Segment ids are dense and ordered.
+        for (i, s) in c.segments().iter().enumerate() {
+            assert_eq!(s.id, i as u64);
+        }
+    }
+
+    #[test]
+    fn deterministic_build() {
+        let a = CircuitBuilder::new(7).neurons(4).build();
+        let b = CircuitBuilder::new(7).neurons(4).build();
+        assert_eq!(a.segments().len(), b.segments().len());
+        for (x, y) in a.segments().iter().zip(b.segments()) {
+            assert_eq!(x, y);
+        }
+        let c = CircuitBuilder::new(8).neurons(4).build();
+        assert_ne!(
+            a.segments().iter().map(|s| s.geom.p0).collect::<Vec<_>>(),
+            c.segments().iter().map(|s| s.geom.p0).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn bounds_cover_everything() {
+        let c = CircuitBuilder::new(3).neurons(6).build();
+        let b = c.bounds();
+        for s in c.segments() {
+            assert!(b.contains(&s.aabb()));
+        }
+    }
+
+    #[test]
+    fn layered_placement_stratifies_y() {
+        let vol = Aabb::new(Vec3::ZERO, Vec3::splat(1000.0));
+        let c = CircuitBuilder::new(5)
+            .neurons(60)
+            .volume(vol)
+            .placement(SomaPlacement::Layered { count: 3, jitter: 5.0 })
+            .build();
+        // Soma y-coordinates should concentrate near the 3 plane heights.
+        let expected = [1000.0 / 6.0, 500.0, 5.0 * 1000.0 / 6.0];
+        for m in c.morphologies() {
+            let y = m.soma_center.y;
+            let near = expected.iter().any(|e| (y - e).abs() <= 5.0 + 1e-9);
+            assert!(near, "soma y={y} not near any layer");
+        }
+    }
+
+    #[test]
+    fn clustered_placement_stays_in_volume() {
+        let vol = Aabb::new(Vec3::ZERO, Vec3::splat(200.0));
+        let c = CircuitBuilder::new(11)
+            .neurons(50)
+            .volume(vol)
+            .placement(SomaPlacement::Clustered { count: 4, sigma: 20.0 })
+            .build();
+        for m in c.morphologies() {
+            assert!(vol.contains_point(m.soma_center));
+        }
+    }
+
+    #[test]
+    fn population_split_partitions_segments() {
+        let c = CircuitBuilder::new(2).neurons(6).build();
+        let (a, b) = c.split_populations();
+        assert_eq!(a.len() + b.len(), c.segments().len());
+        assert!(a.iter().all(|s| s.neuron % 2 == 0));
+        assert!(b.iter().all(|s| s.neuron % 2 == 1));
+        assert!(!a.is_empty() && !b.is_empty());
+    }
+
+    #[test]
+    fn neuron_segments_filter() {
+        let c = CircuitBuilder::new(4).neurons(3).build();
+        let n0: Vec<_> = c.neuron_segments(0).collect();
+        assert!(!n0.is_empty());
+        assert!(n0.iter().all(|s| s.neuron == 0));
+        let total: usize = (0..3).map(|n| c.neuron_segments(n).count()).sum();
+        assert_eq!(total, c.segments().len());
+    }
+
+    #[test]
+    fn density_positive() {
+        let c = CircuitBuilder::new(9).neurons(8).build();
+        assert!(c.mean_density() > 0.0);
+    }
+}

@@ -1,0 +1,453 @@
+//! Parametric neuron morphology generator.
+//!
+//! A morphology is a tree of *sections*; each section is an unbranched
+//! piecewise-linear tube (sequence of 3-D points with radii). The
+//! generator grows sections by a persistent random walk — the direction of
+//! each step is a blend of the previous direction, an isotropic random
+//! perturbation and an optional tropism (growth bias, e.g. apical
+//! dendrites growing "up") — and branches with a configurable probability,
+//! splitting the radius between daughters (Rall-style tapering). This is
+//! the standard stochastic-morphology recipe and reproduces the jagged,
+//! irregular branch geometry the paper points to as the reason
+//! location-only prefetching fails (§3).
+
+use crate::ModelRng;
+use neurospatial_geom::{Aabb, Vec3};
+use rand::Rng;
+use rand::SeedableRng;
+
+/// What part of the neuron a section models. Only affects generation
+/// parameters (axons are longer and thinner); indexes never look at it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum SectionKind {
+    Soma,
+    Dendrite,
+    Axon,
+}
+
+/// An unbranched stretch of neurite: `points[i]` with `radii[i]`, joined
+/// by capsules.
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Section {
+    /// Dense id within the morphology (root soma section is 0).
+    pub id: u32,
+    /// Parent section id (`None` for the soma).
+    pub parent: Option<u32>,
+    pub kind: SectionKind,
+    pub points: Vec<Vec3>,
+    pub radii: Vec<f64>,
+}
+
+impl Section {
+    /// Number of capsule segments the section contributes.
+    pub fn segment_count(&self) -> usize {
+        self.points.len().saturating_sub(1)
+    }
+
+    /// Total arc length of the section.
+    pub fn length(&self) -> f64 {
+        self.points.windows(2).map(|w| w[0].distance(w[1])).sum()
+    }
+
+    /// Distal (growing) end of the section.
+    pub fn tip(&self) -> Vec3 {
+        *self.points.last().expect("section has at least one point")
+    }
+}
+
+/// A complete neuron morphology rooted at a soma.
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Morphology {
+    pub soma_center: Vec3,
+    pub soma_radius: f64,
+    pub sections: Vec<Section>,
+}
+
+impl Morphology {
+    /// Total number of capsule segments over all sections.
+    pub fn segment_count(&self) -> usize {
+        self.sections.iter().map(Section::segment_count).sum()
+    }
+
+    /// Total cable length.
+    pub fn total_length(&self) -> f64 {
+        self.sections.iter().map(Section::length).sum()
+    }
+
+    /// Bounding box of all section points (inflated by per-point radii).
+    pub fn bounds(&self) -> Aabb {
+        let mut b = Aabb::cube(self.soma_center, self.soma_radius);
+        for s in &self.sections {
+            for (p, r) in s.points.iter().zip(&s.radii) {
+                b = b.union(&Aabb::cube(*p, *r));
+            }
+        }
+        b
+    }
+
+    /// Child sections of `id` (linear scan; morphologies are small).
+    pub fn children_of(&self, id: u32) -> impl Iterator<Item = &Section> {
+        self.sections.iter().filter(move |s| s.parent == Some(id))
+    }
+
+    /// Maximum branch order (root stems are order 1).
+    pub fn max_branch_order(&self) -> u32 {
+        fn order(m: &Morphology, s: &Section) -> u32 {
+            match s.parent {
+                None => 0,
+                Some(p) => 1 + order(m, &m.sections[p as usize]),
+            }
+        }
+        self.sections.iter().map(|s| order(self, s)).max().unwrap_or(0)
+    }
+
+    /// Structural sanity: parents exist and precede children, point/radius
+    /// arrays line up, all geometry finite. Used by tests and after SWC
+    /// import.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.soma_radius <= 0.0 || self.soma_radius.is_nan() || !self.soma_center.is_finite() {
+            return Err("invalid soma".into());
+        }
+        for (i, s) in self.sections.iter().enumerate() {
+            if s.id as usize != i {
+                return Err(format!("section {i} has id {}", s.id));
+            }
+            if let Some(p) = s.parent {
+                if p as usize >= i {
+                    return Err(format!("section {i} has forward parent {p}"));
+                }
+            }
+            if s.points.len() < 2 {
+                return Err(format!("section {i} has {} points", s.points.len()));
+            }
+            if s.points.len() != s.radii.len() {
+                return Err(format!("section {i}: points/radii length mismatch"));
+            }
+            for (p, r) in s.points.iter().zip(&s.radii) {
+                if !p.is_finite() || !r.is_finite() || *r <= 0.0 {
+                    return Err(format!("section {i}: invalid point or radius"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Generation parameters. Lengths are in micrometres to stay close to the
+/// biological scale of the BBP models (a neocortical column is a few
+/// hundred µm across; segment steps are a few µm).
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct MorphologyParams {
+    /// Soma radius (µm).
+    pub soma_radius: f64,
+    /// Number of dendrite trunks sprouting from the soma.
+    pub dendrite_stems: u32,
+    /// Number of axon trunks (usually 1).
+    pub axon_stems: u32,
+    /// Steps (capsule segments) per section before a branch decision.
+    pub steps_per_section: u32,
+    /// Step length (µm).
+    pub step_length: f64,
+    /// Probability that a finished section branches into two daughters.
+    pub branch_probability: f64,
+    /// Maximum branch order (sections deeper than this terminate).
+    pub max_branch_order: u32,
+    /// Direction persistence in [0, 1]: 1 = straight lines, 0 = pure
+    /// random walk. Neurites are jagged, so realistic values are ~0.6-0.85.
+    pub persistence: f64,
+    /// Trunk radius at the soma (µm); tapers towards the tips.
+    pub initial_radius: f64,
+    /// Multiplicative radius taper applied per section depth.
+    pub taper: f64,
+    /// Growth bias direction (e.g. `+y` for apical dendrites); zero for
+    /// isotropic growth.
+    pub tropism: Vec3,
+    /// Weight of the tropism term.
+    pub tropism_strength: f64,
+    /// Axon sections are this factor longer than dendrite sections.
+    pub axon_elongation: f64,
+}
+
+impl MorphologyParams {
+    /// A small morphology (~100-300 segments) for unit tests and examples.
+    pub fn small() -> Self {
+        MorphologyParams {
+            soma_radius: 8.0,
+            dendrite_stems: 4,
+            axon_stems: 1,
+            steps_per_section: 8,
+            step_length: 4.0,
+            branch_probability: 0.55,
+            max_branch_order: 4,
+            persistence: 0.75,
+            initial_radius: 1.2,
+            taper: 0.8,
+            tropism: Vec3::new(0.0, 1.0, 0.0),
+            tropism_strength: 0.1,
+            axon_elongation: 2.0,
+        }
+    }
+
+    /// A realistic cortical-scale morphology (~1-3 k segments), matching
+    /// the order of magnitude of BBP reconstructions.
+    pub fn cortical() -> Self {
+        MorphologyParams {
+            soma_radius: 10.0,
+            dendrite_stems: 6,
+            axon_stems: 1,
+            steps_per_section: 12,
+            step_length: 5.0,
+            branch_probability: 0.6,
+            max_branch_order: 6,
+            persistence: 0.7,
+            initial_radius: 1.5,
+            taper: 0.82,
+            tropism: Vec3::new(0.0, 1.0, 0.0),
+            tropism_strength: 0.15,
+            axon_elongation: 2.5,
+        }
+    }
+
+    /// Generate one morphology with the soma at `soma_center`.
+    ///
+    /// Deterministic in (`params`, `soma_center`, `seed`).
+    pub fn generate(&self, soma_center: Vec3, seed: u64) -> Morphology {
+        let mut rng = ModelRng::seed_from_u64(seed);
+        let mut sections: Vec<Section> = Vec::new();
+
+        // Root soma "section": a stub of two points so that downstream
+        // consumers (SWC, segment extraction) treat the soma uniformly.
+        sections.push(Section {
+            id: 0,
+            parent: None,
+            kind: SectionKind::Soma,
+            points: vec![soma_center, soma_center + Vec3::new(0.0, self.soma_radius * 0.5, 0.0)],
+            radii: vec![self.soma_radius, self.soma_radius],
+        });
+
+        // Frontier of sections still to grow: (parent id, origin, initial
+        // direction, radius, branch order, kind).
+        struct Grow {
+            parent: u32,
+            origin: Vec3,
+            dir: Vec3,
+            radius: f64,
+            order: u32,
+            kind: SectionKind,
+        }
+        let mut frontier: Vec<Grow> = Vec::new();
+
+        let stems = self.dendrite_stems + self.axon_stems;
+        for i in 0..stems {
+            let kind = if i < self.dendrite_stems { SectionKind::Dendrite } else { SectionKind::Axon };
+            // Distribute stems quasi-uniformly over the soma sphere using
+            // a jittered Fibonacci lattice.
+            let t = (i as f64 + 0.5) / stems as f64;
+            let phi = std::f64::consts::PI * (1.0 + 5f64.sqrt()) * i as f64;
+            let y = 1.0 - 2.0 * t;
+            let r = (1.0 - y * y).max(0.0).sqrt();
+            let mut dir = Vec3::new(r * phi.cos(), y, r * phi.sin());
+            dir = (dir + random_unit(&mut rng) * 0.2).normalized().unwrap_or(dir);
+            frontier.push(Grow {
+                parent: 0,
+                origin: soma_center + dir * self.soma_radius,
+                dir,
+                radius: self.initial_radius,
+                order: 1,
+                kind,
+            });
+        }
+
+        while let Some(g) = frontier.pop() {
+            let id = sections.len() as u32;
+            let elong = if g.kind == SectionKind::Axon { self.axon_elongation } else { 1.0 };
+            let steps = ((self.steps_per_section as f64 * elong).round() as u32).max(1);
+
+            let mut points = Vec::with_capacity(steps as usize + 1);
+            let mut radii = Vec::with_capacity(steps as usize + 1);
+            let mut pos = g.origin;
+            let mut dir = g.dir;
+            points.push(pos);
+            radii.push(g.radius);
+            for step in 0..steps {
+                let noise = random_unit(&mut rng);
+                let blended = dir * self.persistence
+                    + noise * (1.0 - self.persistence)
+                    + self.tropism * self.tropism_strength;
+                dir = blended.normalized().unwrap_or(dir);
+                pos += dir * self.step_length;
+                points.push(pos);
+                // Taper within the section towards the distal radius.
+                let t = (step + 1) as f64 / steps as f64;
+                radii.push(g.radius * (1.0 - t * (1.0 - self.taper)));
+            }
+            let tip_radius = *radii.last().expect("non-empty radii");
+            let tip_dir = dir;
+            let tip = pos;
+
+            sections.push(Section { id, parent: Some(g.parent), kind: g.kind, points, radii });
+
+            // Branch decision at the distal end.
+            if g.order < self.max_branch_order && rng.gen_bool(self.branch_probability) {
+                // Two daughters; radii follow a crude Rall split.
+                let child_r = (tip_radius * 0.75).max(0.15);
+                for _ in 0..2 {
+                    let spread = random_unit(&mut rng);
+                    let d = (tip_dir + spread * 0.6).normalized().unwrap_or(tip_dir);
+                    frontier.push(Grow {
+                        parent: id,
+                        origin: tip,
+                        dir: d,
+                        radius: child_r,
+                        order: g.order + 1,
+                        kind: g.kind,
+                    });
+                }
+            }
+        }
+
+        Morphology { soma_center, soma_radius: self.soma_radius, sections }
+    }
+}
+
+/// Uniform random direction on the unit sphere.
+fn random_unit(rng: &mut ModelRng) -> Vec3 {
+    loop {
+        let v = Vec3::new(
+            rng.gen_range(-1.0..1.0),
+            rng.gen_range(-1.0..1.0),
+            rng.gen_range(-1.0..1.0),
+        );
+        let n2 = v.norm_sq();
+        if n2 > 1e-6 && n2 <= 1.0 {
+            return v / n2.sqrt();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_morphology_is_valid() {
+        let m = MorphologyParams::small().generate(Vec3::ZERO, 1);
+        m.validate().expect("valid morphology");
+        assert!(m.segment_count() > 20, "got {}", m.segment_count());
+        assert!(m.total_length() > 0.0);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let p = MorphologyParams::small();
+        let a = p.generate(Vec3::ZERO, 99);
+        let b = p.generate(Vec3::ZERO, 99);
+        assert_eq!(a.segment_count(), b.segment_count());
+        assert_eq!(a.sections.len(), b.sections.len());
+        for (sa, sb) in a.sections.iter().zip(&b.sections) {
+            assert_eq!(sa.points, sb.points);
+        }
+        let c = p.generate(Vec3::ZERO, 100);
+        // Overwhelmingly likely to differ.
+        assert!(
+            a.sections.len() != c.sections.len()
+                || a.sections.iter().zip(&c.sections).any(|(x, y)| x.points != y.points)
+        );
+    }
+
+    #[test]
+    fn stems_match_params() {
+        let mut p = MorphologyParams::small();
+        p.branch_probability = 0.0; // no branching: sections = stems + soma
+        p.dendrite_stems = 3;
+        p.axon_stems = 2;
+        let m = p.generate(Vec3::ZERO, 5);
+        assert_eq!(m.sections.len(), 1 + 5);
+        assert_eq!(m.children_of(0).count(), 5);
+        let axons = m.sections.iter().filter(|s| s.kind == SectionKind::Axon).count();
+        assert_eq!(axons, 2);
+    }
+
+    #[test]
+    fn branch_order_respected() {
+        let mut p = MorphologyParams::small();
+        p.branch_probability = 1.0; // always branch up to the cap
+        p.max_branch_order = 3;
+        p.dendrite_stems = 1;
+        p.axon_stems = 0;
+        let m = p.generate(Vec3::ZERO, 3);
+        m.validate().unwrap();
+        assert_eq!(m.max_branch_order(), 3);
+        // A full binary tree of order 3 from one stem: 1 + 2 + 4 = 7 sections.
+        assert_eq!(m.sections.len(), 1 + 7);
+    }
+
+    #[test]
+    fn axons_are_longer() {
+        let mut p = MorphologyParams::small();
+        p.branch_probability = 0.0;
+        p.dendrite_stems = 1;
+        p.axon_stems = 1;
+        let m = p.generate(Vec3::ZERO, 11);
+        let dend = m.sections.iter().find(|s| s.kind == SectionKind::Dendrite).unwrap();
+        let axon = m.sections.iter().find(|s| s.kind == SectionKind::Axon).unwrap();
+        assert!(axon.segment_count() > dend.segment_count());
+    }
+
+    #[test]
+    fn radii_taper_along_sections() {
+        let m = MorphologyParams::small().generate(Vec3::ZERO, 17);
+        for s in &m.sections {
+            if s.kind == SectionKind::Soma {
+                continue;
+            }
+            let first = s.radii[0];
+            let last = *s.radii.last().unwrap();
+            assert!(last <= first, "section {} grew thicker", s.id);
+            assert!(last > 0.0);
+        }
+    }
+
+    #[test]
+    fn bounds_contain_all_points() {
+        let m = MorphologyParams::cortical().generate(Vec3::new(50.0, -20.0, 3.0), 23);
+        let b = m.bounds();
+        for s in &m.sections {
+            for p in &s.points {
+                assert!(b.contains_point(*p));
+            }
+        }
+    }
+
+    #[test]
+    fn validate_rejects_corrupted() {
+        let mut m = MorphologyParams::small().generate(Vec3::ZERO, 2);
+        m.sections[1].parent = Some(999);
+        assert!(m.validate().is_err());
+
+        let mut m2 = MorphologyParams::small().generate(Vec3::ZERO, 2);
+        m2.sections[1].radii[0] = -1.0;
+        assert!(m2.validate().is_err());
+
+        let mut m3 = MorphologyParams::small().generate(Vec3::ZERO, 2);
+        m3.sections[1].points.pop();
+        assert!(m3.validate().is_err());
+    }
+
+    #[test]
+    fn tropism_biases_growth() {
+        let mut p = MorphologyParams::small();
+        p.tropism = Vec3::new(0.0, 1.0, 0.0);
+        p.tropism_strength = 0.8;
+        p.branch_probability = 0.3;
+        let m = p.generate(Vec3::ZERO, 31);
+        // Centre of mass of tips should sit clearly above the soma.
+        let tips: Vec<Vec3> = m.sections.iter().skip(1).map(Section::tip).collect();
+        let com = tips.iter().fold(Vec3::ZERO, |a, &t| a + t) / tips.len() as f64;
+        assert!(com.y > 0.0, "tropism should pull growth upward, com={com}");
+    }
+}

@@ -1,0 +1,66 @@
+//! The spatial object type shared by every index and join in the
+//! workspace: one capsule-shaped piece of a neuron branch.
+
+use neurospatial_geom::{Aabb, Segment};
+
+/// One indexable piece of neural geometry.
+///
+/// The identity fields (`neuron`, `section`, `index_on_section`) record the
+/// *ground-truth* connectivity of the synthetic morphology. Indexes treat a
+/// `NeuronSegment` as an opaque (id, geometry) pair; SCOUT deliberately
+/// reconstructs connectivity from geometry alone and only the tests compare
+/// its reconstruction against these fields.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct NeuronSegment {
+    /// Globally unique object id (dense, 0-based within a circuit).
+    pub id: u64,
+    /// Neuron this segment belongs to.
+    pub neuron: u32,
+    /// Section (unbranched stretch of dendrite/axon) within the neuron.
+    pub section: u32,
+    /// Position along the section (0 at the proximal end).
+    pub index_on_section: u32,
+    /// Capsule geometry.
+    pub geom: Segment,
+}
+
+impl NeuronSegment {
+    /// Bounding box of the capsule.
+    #[inline]
+    pub fn aabb(&self) -> Aabb {
+        self.geom.aabb()
+    }
+
+    /// Sort key tuple identifying the segment's place in the morphology.
+    #[inline]
+    pub fn morphology_key(&self) -> (u32, u32, u32) {
+        (self.neuron, self.section, self.index_on_section)
+    }
+}
+
+/// Segments index directly into the workspace's R-Trees and FLAT.
+impl neurospatial_rtree::RTreeObject for NeuronSegment {
+    fn aabb(&self) -> Aabb {
+        NeuronSegment::aabb(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neurospatial_geom::Vec3;
+
+    #[test]
+    fn aabb_matches_geometry() {
+        let s = NeuronSegment {
+            id: 7,
+            neuron: 1,
+            section: 2,
+            index_on_section: 3,
+            geom: Segment::new(Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0), 0.25),
+        };
+        assert_eq!(s.aabb(), s.geom.aabb());
+        assert_eq!(s.morphology_key(), (1, 2, 3));
+    }
+}

@@ -1,0 +1,148 @@
+//! Dataset density statistics.
+//!
+//! The paper's core observation is that neuroscience models are *dense*
+//! and that density varies across the volume (dense neuropil vs sparse
+//! boundary regions). This module quantifies that so experiments can
+//! stratify queries by local density (the demo's "dense and sparse
+//! regions", §2.2).
+
+use crate::object::NeuronSegment;
+use neurospatial_geom::{Aabb, GridIndexer};
+
+/// Per-cell object counts over a uniform grid plus summary statistics.
+#[derive(Debug, Clone)]
+pub struct DensityStats {
+    grid: GridIndexer,
+    counts: Vec<u32>,
+}
+
+impl DensityStats {
+    /// Histogram object AABB *centres* into a `dims`-cell grid over
+    /// `bounds`.
+    pub fn new(bounds: Aabb, dims: [usize; 3], objects: &[NeuronSegment]) -> Self {
+        let grid = GridIndexer::new(bounds, dims);
+        let mut counts = vec![0u32; grid.len()];
+        for o in objects {
+            let c = grid.cell_of(o.geom.center());
+            counts[grid.linear(c)] += 1;
+        }
+        DensityStats { grid, counts }
+    }
+
+    pub fn grid(&self) -> &GridIndexer {
+        &self.grid
+    }
+
+    pub fn counts(&self) -> &[u32] {
+        &self.counts
+    }
+
+    pub fn max_count(&self) -> u32 {
+        self.counts.iter().copied().max().unwrap_or(0)
+    }
+
+    pub fn mean_count(&self) -> f64 {
+        if self.counts.is_empty() {
+            return 0.0;
+        }
+        self.counts.iter().map(|&c| c as f64).sum::<f64>() / self.counts.len() as f64
+    }
+
+    /// Fraction of cells containing no objects.
+    pub fn empty_fraction(&self) -> f64 {
+        if self.counts.is_empty() {
+            return 0.0;
+        }
+        self.counts.iter().filter(|&&c| c == 0).count() as f64 / self.counts.len() as f64
+    }
+
+    /// Coefficient of variation of cell counts — a skew measure: 0 for
+    /// perfectly uniform data, large for clustered data.
+    pub fn skew(&self) -> f64 {
+        let mean = self.mean_count();
+        if mean == 0.0 {
+            return 0.0;
+        }
+        let var = self
+            .counts
+            .iter()
+            .map(|&c| {
+                let d = c as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / self.counts.len() as f64;
+        var.sqrt() / mean
+    }
+
+    /// Centre of the fullest cell — a canonical "dense region" query
+    /// anchor for the experiments.
+    pub fn densest_cell_center(&self) -> neurospatial_geom::Vec3 {
+        let (i, _) = self
+            .counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)
+            .expect("grid has at least one cell");
+        self.grid.cell_bounds(self.grid.delinear(i)).center()
+    }
+
+    /// Centre of an emptiest cell (ties broken by index).
+    pub fn sparsest_cell_center(&self) -> neurospatial_geom::Vec3 {
+        let (i, _) = self
+            .counts
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &c)| c)
+            .expect("grid has at least one cell");
+        self.grid.cell_bounds(self.grid.delinear(i)).center()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::CircuitBuilder;
+    use neurospatial_geom::Vec3;
+
+    #[test]
+    fn counts_sum_to_object_count() {
+        let c = CircuitBuilder::new(1).neurons(5).build();
+        let s = DensityStats::new(c.bounds(), [4, 4, 4], c.segments());
+        let total: u64 = s.counts().iter().map(|&c| c as u64).sum();
+        assert_eq!(total, c.segments().len() as u64);
+        assert!(s.max_count() > 0);
+        assert!(s.mean_count() > 0.0);
+    }
+
+    #[test]
+    fn clustered_data_is_skewed() {
+        // A circuit squeezed into a corner of a huge volume must show
+        // higher skew than the same stats over its tight bounds.
+        let c = CircuitBuilder::new(3).neurons(5).build();
+        let tight = DensityStats::new(c.bounds(), [4, 4, 4], c.segments());
+        let huge = Aabb::new(c.bounds().lo, c.bounds().lo + c.bounds().extent() * 10.0);
+        let sparse = DensityStats::new(huge, [4, 4, 4], c.segments());
+        assert!(sparse.skew() >= tight.skew());
+        assert!(sparse.empty_fraction() > 0.5);
+    }
+
+    #[test]
+    fn dense_and_sparse_anchors_differ() {
+        let c = CircuitBuilder::new(4).neurons(6).build();
+        let s = DensityStats::new(c.bounds(), [5, 5, 5], c.segments());
+        let dense = s.densest_cell_center();
+        let sparse = s.sparsest_cell_center();
+        // With any non-uniformity the anchors are distinct cells.
+        assert!(dense.distance(sparse) > 0.0 || s.skew() == 0.0);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let b = Aabb::new(Vec3::ZERO, Vec3::splat(10.0));
+        let s = DensityStats::new(b, [2, 2, 2], &[]);
+        assert_eq!(s.max_count(), 0);
+        assert_eq!(s.empty_fraction(), 1.0);
+        assert_eq!(s.skew(), 0.0);
+    }
+}

@@ -1,0 +1,298 @@
+//! Query workload generation.
+//!
+//! Two kinds of workload drive the experiments:
+//!
+//! * **Range-query workloads** (E1/E2): batches of box queries placed
+//!   uniformly or centred on data — the "build, analyze and visualize"
+//!   queries of §2.
+//! * **Navigation paths** (E3/E4): sequences of *moving range queries*
+//!   that follow one neuron branch from the soma outwards — exactly the
+//!   demo interaction of §3 where an audience member walks through the
+//!   model along a structure.
+
+use crate::circuit::Circuit;
+use crate::object::NeuronSegment;
+use crate::ModelRng;
+use neurospatial_geom::{Aabb, Vec3};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Placement strategy for range-query workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryPlacement {
+    /// Query centres uniform in the data bounds: mixes dense and sparse
+    /// (often empty) regions.
+    Uniform,
+    /// Query centres on randomly chosen object centres: every query lands
+    /// in populated space. This is the demo's "dense region" mode.
+    DataCentered,
+}
+
+/// A batch of axis-aligned range queries.
+#[derive(Debug, Clone)]
+pub struct RangeQueryWorkload {
+    pub queries: Vec<Aabb>,
+    pub placement: QueryPlacement,
+    /// Half-extent of the (cubical) queries.
+    pub half_extent: f64,
+}
+
+impl RangeQueryWorkload {
+    /// Generate `n` cube queries of half-extent `half_extent`.
+    ///
+    /// `objects` is required for [`QueryPlacement::DataCentered`].
+    pub fn generate(
+        seed: u64,
+        bounds: &Aabb,
+        n: usize,
+        half_extent: f64,
+        placement: QueryPlacement,
+        objects: Option<&[NeuronSegment]>,
+    ) -> Self {
+        assert!(bounds.is_valid(), "workload bounds must be valid");
+        assert!(half_extent > 0.0);
+        let mut rng = ModelRng::seed_from_u64(seed);
+        let queries = (0..n)
+            .map(|_| {
+                let c = match placement {
+                    QueryPlacement::Uniform => Vec3::new(
+                        rng.gen_range(bounds.lo.x..=bounds.hi.x),
+                        rng.gen_range(bounds.lo.y..=bounds.hi.y),
+                        rng.gen_range(bounds.lo.z..=bounds.hi.z),
+                    ),
+                    QueryPlacement::DataCentered => {
+                        let objs = objects
+                            .expect("DataCentered placement requires objects");
+                        assert!(!objs.is_empty(), "DataCentered placement requires a non-empty dataset");
+                        objs[rng.gen_range(0..objs.len())].geom.center()
+                    }
+                };
+                Aabb::cube(c, half_extent)
+            })
+            .collect();
+        RangeQueryWorkload { queries, placement, half_extent }
+    }
+}
+
+/// A branch-following walkthrough: the ground-truth polyline plus the
+/// sequence of view boxes a user following it would request.
+#[derive(Debug, Clone)]
+pub struct NavigationPath {
+    /// Neuron being followed (ground truth for prefetch-accuracy tests).
+    pub neuron: u32,
+    /// Section ids (root-to-tip) of the followed path.
+    pub sections: Vec<u32>,
+    /// Resampled points along the path, one view position per step.
+    pub waypoints: Vec<Vec3>,
+    /// The moving range queries (one cube per waypoint).
+    pub queries: Vec<Aabb>,
+    /// Half-extent of each view box.
+    pub view_radius: f64,
+}
+
+impl NavigationPath {
+    /// Build a walkthrough along one root-to-tip branch path of a random
+    /// neuron of `circuit`.
+    ///
+    /// * `view_radius` — half-extent of the moving query box (how much of
+    ///   the surroundings the user visualises at each step);
+    /// * `step` — distance between consecutive view positions; the demo's
+    ///   smooth walkthrough corresponds to `step < view_radius` so that
+    ///   consecutive queries overlap.
+    ///
+    /// Returns `None` if the chosen neuron has no branches (cannot happen
+    /// with the stock generators, but guards degenerate inputs).
+    pub fn along_random_branch(
+        circuit: &Circuit,
+        seed: u64,
+        view_radius: f64,
+        step: f64,
+    ) -> Option<NavigationPath> {
+        assert!(view_radius > 0.0 && step > 0.0);
+        let mut rng = ModelRng::seed_from_u64(seed);
+        let neuron = rng.gen_range(0..circuit.neuron_count()) as u32;
+        let m = &circuit.morphologies()[neuron as usize];
+
+        // Walk from a random stem to a tip, choosing a random child at
+        // each branch point.
+        let stems: Vec<u32> = m
+            .sections
+            .iter()
+            .filter(|s| s.parent == Some(0))
+            .map(|s| s.id)
+            .collect();
+        let mut cur = *stems.choose(&mut rng)?;
+        let mut sections = vec![cur];
+        let mut polyline: Vec<Vec3> = m.sections[cur as usize].points.clone();
+        loop {
+            let kids: Vec<u32> = m.children_of(cur).map(|s| s.id).collect();
+            if kids.is_empty() {
+                break;
+            }
+            cur = *kids.choose(&mut rng).expect("non-empty children");
+            sections.push(cur);
+            // Skip the duplicated attachment point.
+            polyline.extend(m.sections[cur as usize].points.iter().skip(1).copied());
+        }
+
+        let waypoints = resample_polyline(&polyline, step);
+        let queries = waypoints.iter().map(|w| Aabb::cube(*w, view_radius)).collect();
+        Some(NavigationPath { neuron, sections, waypoints, queries, view_radius })
+    }
+
+    /// Total length of the followed path.
+    pub fn path_length(&self) -> f64 {
+        self.waypoints.windows(2).map(|w| w[0].distance(w[1])).sum()
+    }
+}
+
+/// Resample a polyline at (approximately) regular arc-length intervals.
+/// Always includes the first and last vertex.
+pub fn resample_polyline(poly: &[Vec3], step: f64) -> Vec<Vec3> {
+    assert!(step > 0.0);
+    if poly.is_empty() {
+        return Vec::new();
+    }
+    let mut out = vec![poly[0]];
+    let mut residual = step;
+    for w in poly.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        let len = a.distance(b);
+        if len <= 1e-12 {
+            continue;
+        }
+        let dir = (b - a) / len;
+        let mut travelled = 0.0;
+        while travelled + residual <= len {
+            travelled += residual;
+            out.push(a + dir * travelled);
+            residual = step;
+        }
+        residual -= len - travelled;
+    }
+    let last = *poly.last().expect("non-empty polyline");
+    if out.last().map(|p| p.distance(last) > 1e-9).unwrap_or(true) {
+        out.push(last);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::CircuitBuilder;
+
+    #[test]
+    fn uniform_workload_in_bounds() {
+        let b = Aabb::new(Vec3::ZERO, Vec3::splat(100.0));
+        let w = RangeQueryWorkload::generate(1, &b, 50, 5.0, QueryPlacement::Uniform, None);
+        assert_eq!(w.queries.len(), 50);
+        for q in &w.queries {
+            assert!((q.extent().x - 10.0).abs() < 1e-9);
+            assert!(b.inflate(5.0).contains(q));
+        }
+    }
+
+    #[test]
+    fn data_centered_workload_touches_data() {
+        let c = CircuitBuilder::new(2).neurons(4).build();
+        let w = RangeQueryWorkload::generate(
+            3,
+            &c.bounds(),
+            30,
+            8.0,
+            QueryPlacement::DataCentered,
+            Some(c.segments()),
+        );
+        // Every query centre is an object centre, so each query overlaps
+        // at least that object's AABB.
+        for q in &w.queries {
+            assert!(c.segments().iter().any(|s| s.aabb().intersects(q)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "DataCentered placement requires objects")]
+    fn data_centered_requires_objects() {
+        let b = Aabb::new(Vec3::ZERO, Vec3::splat(1.0));
+        let _ = RangeQueryWorkload::generate(1, &b, 1, 1.0, QueryPlacement::DataCentered, None);
+    }
+
+    #[test]
+    fn workload_is_deterministic() {
+        let b = Aabb::new(Vec3::ZERO, Vec3::splat(100.0));
+        let w1 = RangeQueryWorkload::generate(9, &b, 20, 5.0, QueryPlacement::Uniform, None);
+        let w2 = RangeQueryWorkload::generate(9, &b, 20, 5.0, QueryPlacement::Uniform, None);
+        assert_eq!(w1.queries, w2.queries);
+    }
+
+    #[test]
+    fn resampling_spacing() {
+        let poly = vec![Vec3::ZERO, Vec3::new(10.0, 0.0, 0.0)];
+        let pts = resample_polyline(&poly, 2.5);
+        assert_eq!(pts.len(), 5); // 0, 2.5, 5, 7.5, 10
+        for w in pts.windows(2) {
+            assert!((w[0].distance(w[1]) - 2.5).abs() < 1e-9);
+        }
+        assert_eq!(*pts.last().unwrap(), Vec3::new(10.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn resampling_handles_corners_and_duplicates() {
+        let poly = vec![
+            Vec3::ZERO,
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(1.0, 0.0, 0.0), // duplicate vertex
+            Vec3::new(1.0, 1.0, 0.0),
+        ];
+        let pts = resample_polyline(&poly, 0.4);
+        // Spacing along the path is ~0.4 (measured in arc length).
+        assert!(pts.len() >= 5);
+        assert_eq!(*pts.last().unwrap(), Vec3::new(1.0, 1.0, 0.0));
+        assert!(resample_polyline(&[], 1.0).is_empty());
+        let single = resample_polyline(&[Vec3::ONE], 1.0);
+        assert_eq!(single, vec![Vec3::ONE]);
+    }
+
+    #[test]
+    fn navigation_path_follows_real_sections() {
+        let c = CircuitBuilder::new(5).neurons(3).build();
+        let p = NavigationPath::along_random_branch(&c, 7, 15.0, 5.0).unwrap();
+        assert!(!p.sections.is_empty());
+        assert!(p.queries.len() >= 2);
+        assert_eq!(p.queries.len(), p.waypoints.len());
+        let m = &c.morphologies()[p.neuron as usize];
+        // Path sections form a parent chain within the neuron.
+        for w in p.sections.windows(2) {
+            assert_eq!(m.sections[w[1] as usize].parent, Some(w[0]));
+        }
+        // Every waypoint's query overlaps some segment of the followed
+        // neuron (the user is looking at the structure).
+        for q in &p.queries {
+            assert!(
+                c.neuron_segments(p.neuron).any(|s| s.aabb().intersects(q)),
+                "query box lost the followed neuron"
+            );
+        }
+    }
+
+    #[test]
+    fn navigation_is_deterministic() {
+        let c = CircuitBuilder::new(5).neurons(3).build();
+        let a = NavigationPath::along_random_branch(&c, 11, 10.0, 4.0).unwrap();
+        let b = NavigationPath::along_random_branch(&c, 11, 10.0, 4.0).unwrap();
+        assert_eq!(a.neuron, b.neuron);
+        assert_eq!(a.waypoints, b.waypoints);
+        assert_eq!(a.sections, b.sections);
+    }
+
+    #[test]
+    fn consecutive_queries_overlap_when_step_small() {
+        let c = CircuitBuilder::new(6).neurons(2).build();
+        let p = NavigationPath::along_random_branch(&c, 13, 12.0, 6.0).unwrap();
+        for w in p.queries.windows(2) {
+            assert!(w[0].intersects(&w[1]), "walkthrough queries should overlap");
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Tree configuration.
+
+/// Node-split strategy used on overflow during dynamic insertion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SplitStrategy {
+    /// Guttman's linear split: O(M), lowest build cost, worst quality.
+    Linear,
+    /// Guttman's quadratic split: O(M²), the classic default.
+    #[default]
+    Quadratic,
+    /// R*-style topological split: choose the axis minimising total
+    /// margin, then the distribution minimising overlap (ties: volume).
+    RStar,
+}
+
+/// R-Tree shape parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RTreeParams {
+    /// Maximum entries per node (fan-out M).
+    pub max_entries: usize,
+    /// Minimum entries per node (m ≤ M/2); underflowing nodes are
+    /// condensed on deletion.
+    pub min_entries: usize,
+    /// Split strategy for dynamic inserts.
+    pub split: SplitStrategy,
+}
+
+impl Default for RTreeParams {
+    /// M = 64: an 8 KiB page holds ~64 child entries of
+    /// (AABB = 48 B + id = 8 B) plus header, or ~100 object capsules —
+    /// we use one fan-out for both to keep the page model simple.
+    fn default() -> Self {
+        RTreeParams { max_entries: 64, min_entries: 26, split: SplitStrategy::Quadratic }
+    }
+}
+
+impl RTreeParams {
+    /// Params with fan-out `m` and min-fill 40 % (the R* recommendation).
+    pub fn with_max_entries(m: usize) -> Self {
+        assert!(m >= 4, "fan-out must be at least 4");
+        RTreeParams {
+            max_entries: m,
+            min_entries: (m * 2 / 5).max(2),
+            split: SplitStrategy::Quadratic,
+        }
+    }
+
+    pub fn with_split(mut self, s: SplitStrategy) -> Self {
+        self.split = s;
+        self
+    }
+
+    /// Panic on nonsensical configurations (called by tree constructors).
+    pub fn validate(&self) {
+        assert!(self.max_entries >= 4, "max_entries must be >= 4, got {}", self.max_entries);
+        assert!(
+            self.min_entries >= 2 && self.min_entries <= self.max_entries / 2,
+            "min_entries must be in [2, max/2], got {} (max {})",
+            self.min_entries,
+            self.max_entries
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        RTreeParams::default().validate();
+    }
+
+    #[test]
+    fn with_max_entries_scales_min() {
+        let p = RTreeParams::with_max_entries(10);
+        assert_eq!(p.max_entries, 10);
+        assert_eq!(p.min_entries, 4);
+        p.validate();
+        let p2 = RTreeParams::with_max_entries(5);
+        assert_eq!(p2.min_entries, 2);
+        p2.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "min_entries")]
+    fn invalid_min_rejected() {
+        RTreeParams { max_entries: 8, min_entries: 5, split: SplitStrategy::Linear }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "fan-out")]
+    fn tiny_fanout_rejected() {
+        let _ = RTreeParams::with_max_entries(3);
+    }
+}

@@ -1,0 +1,393 @@
+//! Instrumented query execution.
+//!
+//! Every traversal reports node accesses per level because that is the
+//! statistic the demo displays to explain the R-Tree's behaviour on dense
+//! data: "due to overlap more nodes are retrieved on higher levels"
+//! (§2.2). A visitor hook exposes each visited node id so callers can
+//! charge simulated page reads.
+
+use crate::node::{NodeKind, RTreeObject};
+use crate::{NodeId, RTree};
+use neurospatial_geom::{Aabb, Vec3};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Per-query traversal statistics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueryStats {
+    /// Nodes visited at each level; index 0 is the root level.
+    pub nodes_per_level: Vec<u64>,
+    /// Leaf objects whose AABBs were tested against the query.
+    pub leaf_entries_tested: u64,
+    /// Objects returned.
+    pub results: u64,
+}
+
+impl QueryStats {
+    pub fn nodes_visited(&self) -> u64 {
+        self.nodes_per_level.iter().sum()
+    }
+
+    fn bump(&mut self, level: usize) {
+        if self.nodes_per_level.len() <= level {
+            self.nodes_per_level.resize(level + 1, 0);
+        }
+        self.nodes_per_level[level] += 1;
+    }
+}
+
+/// One k-nearest-neighbour result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KnnResult<'a, T> {
+    pub object: &'a T,
+    /// Distance from the query point to the object's AABB.
+    pub distance: f64,
+}
+
+/// Max-heap entry ordered by *minimum* distance (reversed for BinaryHeap).
+struct HeapEntry {
+    dist: f64,
+    node: NodeId,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, o: &Self) -> bool {
+        self.dist == o.dist
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, o: &Self) -> Option<Ordering> {
+        Some(self.cmp(o))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, o: &Self) -> Ordering {
+        // Reverse: smallest distance first.
+        o.dist.partial_cmp(&self.dist).unwrap_or(Ordering::Equal)
+    }
+}
+
+impl<T: RTreeObject> RTree<T> {
+    /// All objects whose AABB intersects `q`, plus traversal statistics.
+    pub fn range_query(&self, q: &Aabb) -> (Vec<&T>, QueryStats) {
+        self.range_query_with(q, |_, _| {})
+    }
+
+    /// Range query with a node-visit hook `(node id, level)` — level 0 is
+    /// the root. The hook fires once per node whose MBR intersects the
+    /// query (i.e. per simulated page read).
+    pub fn range_query_with<F: FnMut(NodeId, usize)>(
+        &self,
+        q: &Aabb,
+        mut on_visit: F,
+    ) -> (Vec<&T>, QueryStats) {
+        let mut out = Vec::new();
+        let mut stats = QueryStats::default();
+        if self.is_empty() || !self.nodes[self.root].mbr.intersects(q) {
+            return (out, stats);
+        }
+        let mut stack: Vec<(NodeId, usize)> = vec![(self.root, 0)];
+        while let Some((id, level)) = stack.pop() {
+            stats.bump(level);
+            on_visit(id, level);
+            match &self.nodes[id].kind {
+                NodeKind::Leaf(items) => {
+                    for o in items {
+                        stats.leaf_entries_tested += 1;
+                        if o.aabb().intersects(q) {
+                            out.push(o);
+                        }
+                    }
+                }
+                NodeKind::Inner(children) => {
+                    for &c in children {
+                        if self.nodes[c].mbr.intersects(q) {
+                            stack.push((c, level + 1));
+                        }
+                    }
+                }
+            }
+        }
+        stats.results = out.len() as u64;
+        (out, stats)
+    }
+
+    /// FLAT's seed phase: descend to find *one* object intersecting `q`,
+    /// abandoning subtrees as soon as a hit is found. Depth-first with
+    /// best-first child ordering (children whose MBR centre is closest to
+    /// the query centre first) — cheap and typically O(height) on dense
+    /// data.
+    pub fn first_hit(&self, q: &Aabb) -> (Option<&T>, QueryStats) {
+        self.first_hit_with(q, |_, _| {})
+    }
+
+    /// [`Self::first_hit`] with a node-visit hook.
+    pub fn first_hit_with<F: FnMut(NodeId, usize)>(
+        &self,
+        q: &Aabb,
+        mut on_visit: F,
+    ) -> (Option<&T>, QueryStats) {
+        let mut stats = QueryStats::default();
+        if self.is_empty() || !self.nodes[self.root].mbr.intersects(q) {
+            return (None, stats);
+        }
+        let qc = q.center();
+        let mut stack: Vec<(NodeId, usize)> = vec![(self.root, 0)];
+        while let Some((id, level)) = stack.pop() {
+            stats.bump(level);
+            on_visit(id, level);
+            match &self.nodes[id].kind {
+                NodeKind::Leaf(items) => {
+                    for o in items {
+                        stats.leaf_entries_tested += 1;
+                        if o.aabb().intersects(q) {
+                            stats.results = 1;
+                            return (Some(o), stats);
+                        }
+                    }
+                }
+                NodeKind::Inner(children) => {
+                    // Push farthest-first so the closest child pops first.
+                    let mut cand: Vec<NodeId> = children
+                        .iter()
+                        .copied()
+                        .filter(|&c| self.nodes[c].mbr.intersects(q))
+                        .collect();
+                    cand.sort_by(|&a, &b| {
+                        let da = self.nodes[a].mbr.center().distance_sq(qc);
+                        let db = self.nodes[b].mbr.center().distance_sq(qc);
+                        db.partial_cmp(&da).unwrap_or(Ordering::Equal)
+                    });
+                    for c in cand {
+                        stack.push((c, level + 1));
+                    }
+                }
+            }
+        }
+        (None, stats)
+    }
+
+    /// Best-first k-nearest-neighbour search from a point (distances are
+    /// AABB distances — exact refinement is the caller's concern, as
+    /// everywhere else in the filter/refine pipeline).
+    pub fn knn(&self, p: Vec3, k: usize) -> (Vec<KnnResult<'_, T>>, QueryStats) {
+        let mut stats = QueryStats::default();
+        let mut out: Vec<KnnResult<'_, T>> = Vec::with_capacity(k);
+        if self.is_empty() || k == 0 {
+            return (out, stats);
+        }
+        // Two heaps: node frontier (min-dist) and current best results.
+        let mut frontier = BinaryHeap::new();
+        frontier.push(HeapEntry { dist: self.nodes[self.root].mbr.min_distance_to_point(p), node: self.root });
+
+        // Track the current k-th best distance for pruning.
+        let kth = |out: &Vec<KnnResult<'_, T>>| {
+            if out.len() < k {
+                f64::INFINITY
+            } else {
+                out.last().expect("non-empty").distance
+            }
+        };
+
+        while let Some(HeapEntry { dist, node }) = frontier.pop() {
+            if dist > kth(&out) {
+                break; // no closer node can exist
+            }
+            let level = self.level_of(node);
+            stats.bump(level);
+            match &self.nodes[node].kind {
+                NodeKind::Leaf(items) => {
+                    for o in items {
+                        stats.leaf_entries_tested += 1;
+                        let d = o.aabb().min_distance_to_point(p);
+                        if d < kth(&out) || out.len() < k {
+                            let pos = out
+                                .binary_search_by(|r| {
+                                    r.distance.partial_cmp(&d).unwrap_or(Ordering::Equal)
+                                })
+                                .unwrap_or_else(|e| e);
+                            out.insert(pos, KnnResult { object: o, distance: d });
+                            out.truncate(k);
+                        }
+                    }
+                }
+                NodeKind::Inner(children) => {
+                    for &c in children {
+                        let d = self.nodes[c].mbr.min_distance_to_point(p);
+                        if d <= kth(&out) {
+                            frontier.push(HeapEntry { dist: d, node: c });
+                        }
+                    }
+                }
+            }
+        }
+        stats.results = out.len() as u64;
+        (out, stats)
+    }
+
+    /// Level of a node, root = 0 (O(height) walk up).
+    fn level_of(&self, mut id: NodeId) -> usize {
+        let mut l = 0;
+        while let Some(p) = self.nodes[id].parent {
+            id = p;
+            l += 1;
+        }
+        l
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RTreeParams;
+
+    fn grid_tree(n: usize, cap: usize) -> (RTree<Aabb>, Vec<Aabb>) {
+        let objs: Vec<Aabb> = (0..n)
+            .map(|i| {
+                let x = (i % 20) as f64 * 2.0;
+                let y = ((i / 20) % 20) as f64 * 2.0;
+                let z = (i / 400) as f64 * 2.0;
+                Aabb::cube(Vec3::new(x, y, z), 0.5)
+            })
+            .collect();
+        (RTree::bulk_load(objs.clone(), RTreeParams::with_max_entries(cap)), objs)
+    }
+
+    fn brute(objs: &[Aabb], q: &Aabb) -> usize {
+        objs.iter().filter(|o| o.intersects(q)).count()
+    }
+
+    #[test]
+    fn range_query_matches_brute_force() {
+        let (t, objs) = grid_tree(2000, 16);
+        let queries = [
+            Aabb::new(Vec3::ZERO, Vec3::splat(5.0)),
+            Aabb::new(Vec3::splat(10.0), Vec3::splat(25.0)),
+            Aabb::cube(Vec3::new(19.0, 19.0, 4.0), 3.0),
+            Aabb::cube(Vec3::new(-100.0, 0.0, 0.0), 1.0), // empty
+            Aabb::new(Vec3::splat(-100.0), Vec3::splat(100.0)), // everything
+        ];
+        for q in &queries {
+            let (hits, stats) = t.range_query(q);
+            assert_eq!(hits.len(), brute(&objs, q), "query {q}");
+            assert_eq!(stats.results as usize, hits.len());
+        }
+    }
+
+    #[test]
+    fn stats_level_zero_is_root() {
+        let (t, _) = grid_tree(2000, 16);
+        let (_, stats) = t.range_query(&Aabb::cube(Vec3::new(20.0, 20.0, 2.0), 4.0));
+        assert_eq!(stats.nodes_per_level[0], 1, "exactly one root access");
+        assert_eq!(stats.nodes_per_level.len(), t.height());
+    }
+
+    #[test]
+    fn visitor_sees_every_counted_node() {
+        let (t, _) = grid_tree(1000, 8);
+        let q = Aabb::cube(Vec3::new(10.0, 10.0, 1.0), 6.0);
+        let mut visited = Vec::new();
+        let (_, stats) = t.range_query_with(&q, |id, level| visited.push((id, level)));
+        assert_eq!(visited.len() as u64, stats.nodes_visited());
+        // No duplicate node visits in a single query.
+        let mut ids: Vec<_> = visited.iter().map(|(id, _)| *id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), visited.len());
+    }
+
+    #[test]
+    fn first_hit_finds_something_iff_results_exist() {
+        let (t, objs) = grid_tree(2000, 16);
+        let q_hit = Aabb::cube(Vec3::new(6.0, 6.0, 2.0), 2.0);
+        let (hit, stats) = t.first_hit(&q_hit);
+        let o = hit.expect("region is populated");
+        assert!(o.intersects(&q_hit));
+        assert!(stats.nodes_visited() >= 1);
+
+        let q_miss = Aabb::cube(Vec3::new(500.0, 0.0, 0.0), 1.0);
+        assert!(t.first_hit(&q_miss).0.is_none());
+        assert_eq!(brute(&objs, &q_miss), 0);
+    }
+
+    #[test]
+    fn first_hit_is_cheaper_than_full_query() {
+        let (t, _) = grid_tree(4000, 16);
+        let q = Aabb::new(Vec3::ZERO, Vec3::splat(30.0)); // large, many results
+        let (_, full) = t.range_query(&q);
+        let (_, seed) = t.first_hit(&q);
+        assert!(
+            seed.nodes_visited() < full.nodes_visited() / 4,
+            "seed {} vs full {}",
+            seed.nodes_visited(),
+            full.nodes_visited()
+        );
+    }
+
+    #[test]
+    fn knn_matches_brute_force() {
+        let (t, objs) = grid_tree(1500, 16);
+        for (p, k) in [
+            (Vec3::new(7.3, 11.9, 2.2), 1usize),
+            (Vec3::new(0.0, 0.0, 0.0), 5),
+            (Vec3::new(40.0, 40.0, 10.0), 12),
+            (Vec3::new(-5.0, 18.0, 1.0), 3),
+        ] {
+            let (got, _) = t.knn(p, k);
+            let mut want: Vec<f64> = objs.iter().map(|o| o.min_distance_to_point(p)).collect();
+            want.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            assert_eq!(got.len(), k);
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g.distance - w).abs() < 1e-9, "knn distance mismatch at {p} k={k}");
+            }
+            // Results sorted ascending.
+            for w in got.windows(2) {
+                assert!(w[0].distance <= w[1].distance);
+            }
+        }
+    }
+
+    #[test]
+    fn knn_edge_cases() {
+        let (t, objs) = grid_tree(100, 8);
+        let (all, _) = t.knn(Vec3::ZERO, 1000); // k > n
+        assert_eq!(all.len(), objs.len());
+        let (none, _) = t.knn(Vec3::ZERO, 0);
+        assert!(none.is_empty());
+        let empty: RTree<Aabb> = RTree::new(RTreeParams::default());
+        assert!(empty.knn(Vec3::ZERO, 3).0.is_empty());
+        assert!(empty.range_query(&Aabb::cube(Vec3::ZERO, 1.0)).0.is_empty());
+        assert!(empty.first_hit(&Aabb::cube(Vec3::ZERO, 1.0)).0.is_none());
+    }
+
+    #[test]
+    fn dynamic_tree_visits_more_nodes_than_str_on_dense_data() {
+        // The core of experiment E1, in miniature.
+        let objs: Vec<Aabb> = (0..3000)
+            .map(|i| {
+                // Dense: heavily overlapping boxes in a small volume.
+                let f = i as f64 * 0.01;
+                Aabb::cube(
+                    Vec3::new(f.sin() * 10.0, f.cos() * 10.0, (i % 100) as f64 * 0.2),
+                    1.5,
+                )
+            })
+            .collect();
+        let mut dynamic = RTree::new(RTreeParams::with_max_entries(16));
+        for o in objs.clone() {
+            dynamic.insert(o);
+        }
+        let packed = RTree::bulk_load(objs, RTreeParams::with_max_entries(16));
+        let q = Aabb::cube(Vec3::new(0.0, 10.0, 10.0), 2.5);
+        let (h1, s1) = dynamic.range_query(&q);
+        let (h2, s2) = packed.range_query(&q);
+        assert_eq!(h1.len(), h2.len());
+        assert!(
+            s2.nodes_visited() <= s1.nodes_visited(),
+            "packed {} should visit no more nodes than dynamic {}",
+            s2.nodes_visited(),
+            s1.nodes_visited()
+        );
+    }
+}

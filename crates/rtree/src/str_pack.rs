@@ -1,0 +1,234 @@
+//! Sort-Tile-Recursive bulk loading (Leutenegger, Lopez & Edgington,
+//! ICDE'97) — referenced directly by the paper as the packing used for
+//! FLAT's seed index ("an R-Tree (STR bulk-loaded)", §2.1).
+//!
+//! STR sorts objects by the x-coordinate of their centre, cuts the
+//! sequence into vertical slabs, sorts each slab by y, cuts again, sorts
+//! runs by z and packs consecutive objects into full leaves. Upper levels
+//! are built by applying the same procedure to the node centres.
+
+use crate::node::{Node, NodeKind, RTreeObject};
+use crate::{NodeId, RTree, RTreeParams};
+use neurospatial_geom::{Aabb, Vec3};
+
+/// Build a tree by STR packing. Objects end up in leaves in tile order;
+/// leaf nodes are allocated contiguously in the arena, which gives
+/// sequential page ids to spatially adjacent leaves (the layout the disk
+/// simulator rewards, as a real bulk loader would).
+pub fn bulk_load<T: RTreeObject>(objects: Vec<T>, params: RTreeParams) -> RTree<T> {
+    if objects.is_empty() {
+        return RTree::new(params);
+    }
+    let cap = params.max_entries;
+
+    // --- Pack leaves ----------------------------------------------------
+    let items: Vec<(Vec3, T)> = objects.into_iter().map(|o| (o.aabb().center(), o)).collect();
+    let mut nodes: Vec<Node<T>> = Vec::new();
+    let mut level_ids: Vec<NodeId> = Vec::new();
+    {
+        let mut runs: Vec<Vec<(Vec3, T)>> = Vec::new();
+        str_tile(items, cap, 0, &mut runs);
+        for run in runs {
+            let mut mbr = Aabb::EMPTY;
+            let mut leaf_items = Vec::with_capacity(run.len());
+            for (_, o) in run {
+                mbr = mbr.union(&o.aabb());
+                leaf_items.push(o);
+            }
+            let id = nodes.len();
+            nodes.push(Node { mbr, parent: None, kind: NodeKind::Leaf(leaf_items) });
+            level_ids.push(id);
+        }
+    }
+
+    // --- Pack upper levels ----------------------------------------------
+    let mut height = 1usize;
+    while level_ids.len() > 1 {
+        height += 1;
+        let entries: Vec<(Vec3, NodeId)> =
+            level_ids.iter().map(|&id| (nodes[id].mbr.center(), id)).collect();
+        let mut runs: Vec<Vec<(Vec3, NodeId)>> = Vec::new();
+        str_tile(entries, cap, 0, &mut runs);
+        let mut next_level = Vec::with_capacity(runs.len());
+        for run in runs {
+            let id = nodes.len();
+            let mut mbr = Aabb::EMPTY;
+            let mut children = Vec::with_capacity(run.len());
+            for (_, c) in run {
+                mbr = mbr.union(&nodes[c].mbr);
+                nodes.push_parent(c, id);
+                children.push(c);
+            }
+            nodes.push(Node { mbr, parent: None, kind: NodeKind::Inner(children) });
+            next_level.push(id);
+        }
+        level_ids = next_level;
+    }
+
+    let root = level_ids[0];
+    let len = nodes
+        .iter()
+        .map(|n| match &n.kind {
+            NodeKind::Leaf(v) => v.len(),
+            NodeKind::Inner(_) => 0,
+        })
+        .sum();
+    RTree { nodes, root, params, len, height, free: Vec::new() }
+}
+
+/// Recursively tile `items` (center, payload) into runs of at most `cap`
+/// elements, cutting along `axis`, then `axis+1`, then `axis+2`.
+fn str_tile<P>(mut items: Vec<(Vec3, P)>, cap: usize, axis: usize, out: &mut Vec<Vec<(Vec3, P)>>) {
+    let n = items.len();
+    if n == 0 {
+        return;
+    }
+    if n <= cap {
+        out.push(items);
+        return;
+    }
+    // Number of leaves below this subdivision and slab count on this axis:
+    // S = ceil(P^(1/k)) with k = remaining axes.
+    let pages = n.div_ceil(cap);
+    let remaining_axes = 3 - axis;
+    let slabs = if remaining_axes == 1 {
+        pages
+    } else {
+        (pages as f64).powf(1.0 / remaining_axes as f64).ceil() as usize
+    }
+    .max(1);
+    // On the last axis the runs are the leaves themselves. Chunk sizes are
+    // balanced (they differ by at most one) so that no tail leaf
+    // underflows the minimum fill: for n > cap the smallest chunk holds at
+    // least ⌊n/k⌋ ≥ cap/2 ≥ min_entries objects.
+    let k = if axis + 1 < 3 { slabs.min(n) } else { n.div_ceil(cap) };
+    let base = n / k;
+    let extra = n % k;
+
+    items.sort_by(|a, b| {
+        a.0.axis(axis).partial_cmp(&b.0.axis(axis)).expect("finite coordinates")
+    });
+
+    let mut iter = items.into_iter();
+    for c in 0..k {
+        let size = base + usize::from(c < extra);
+        let run: Vec<(Vec3, P)> = iter.by_ref().take(size).collect();
+        debug_assert_eq!(run.len(), size);
+        if axis + 1 < 3 {
+            str_tile(run, cap, axis + 1, out);
+        } else {
+            out.push(run);
+        }
+    }
+}
+
+/// Tiny extension trait to keep parent wiring readable above.
+trait PushParent<T> {
+    fn push_parent(&mut self, child: NodeId, parent: NodeId);
+}
+
+impl<T: RTreeObject> PushParent<T> for Vec<Node<T>> {
+    fn push_parent(&mut self, child: NodeId, parent: NodeId) {
+        self[child].parent = Some(parent);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validation::validate;
+    use neurospatial_geom::Vec3;
+
+    fn cubes(n: usize) -> Vec<Aabb> {
+        // A jittered grid of small cubes.
+        (0..n)
+            .map(|i| {
+                let x = (i % 17) as f64 * 3.0;
+                let y = ((i / 17) % 13) as f64 * 3.1;
+                let z = (i / 221) as f64 * 2.7;
+                Aabb::cube(Vec3::new(x, y, z), 0.4 + (i % 5) as f64 * 0.1)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let t: RTree<Aabb> = RTree::bulk_load(vec![], RTreeParams::default());
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 1);
+
+        let one = RTree::bulk_load(vec![Aabb::cube(Vec3::ZERO, 1.0)], RTreeParams::default());
+        assert_eq!(one.len(), 1);
+        assert_eq!(one.height(), 1);
+        validate(&one).unwrap();
+    }
+
+    #[test]
+    fn packs_all_objects_once() {
+        for n in [1usize, 7, 64, 65, 500, 3000] {
+            let t = RTree::bulk_load(cubes(n), RTreeParams::with_max_entries(16));
+            assert_eq!(t.len(), n, "n={n}");
+            validate(&t).unwrap();
+        }
+    }
+
+    #[test]
+    fn produces_expected_height() {
+        // Height is logarithmic in n: the packed tree must stay within one
+        // level of the information-theoretic optimum ceil(log_M(n/M)) + 1.
+        for (n, cap) in [(256usize, 16usize), (5000, 16), (5000, 64), (100_000, 64)] {
+            let t = RTree::bulk_load(cubes(n), RTreeParams::with_max_entries(cap));
+            let optimal = {
+                let mut h = 1usize;
+                let mut capacity = cap;
+                while capacity < n {
+                    capacity *= cap;
+                    h += 1;
+                }
+                h
+            };
+            assert!(
+                t.height() >= optimal && t.height() <= optimal + 1,
+                "n={n} cap={cap}: height {} vs optimal {optimal}",
+                t.height()
+            );
+            validate(&t).unwrap();
+        }
+    }
+
+    #[test]
+    fn leaves_are_spatially_coherent() {
+        // STR leaves should have far smaller total volume than random
+        // groupings of the same capacity.
+        let objs = cubes(2000);
+        let t = RTree::bulk_load(objs.clone(), RTreeParams::with_max_entries(32));
+        let str_vol: f64 = t
+            .nodes
+            .iter()
+            .filter(|n| n.is_leaf() && n.entry_count() > 0)
+            .map(|n| n.mbr.volume())
+            .sum();
+        // Random grouping: consecutive objects in original (row-major
+        // jittered grid) order is actually fairly coherent too, so shuffle.
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut shuffled = objs;
+        shuffled.shuffle(&mut rand_chacha::ChaCha8Rng::seed_from_u64(1));
+        let rand_vol: f64 = shuffled
+            .chunks(32)
+            .map(|c| c.iter().fold(Aabb::EMPTY, |a, b| a.union(b)).volume())
+            .sum();
+        assert!(
+            str_vol < rand_vol * 0.5,
+            "STR should be much tighter: str={str_vol}, random={rand_vol}"
+        );
+    }
+
+    #[test]
+    fn bulk_load_handles_duplicate_positions() {
+        let objs: Vec<Aabb> = (0..100).map(|_| Aabb::cube(Vec3::splat(1.0), 0.5)).collect();
+        let t = RTree::bulk_load(objs, RTreeParams::with_max_entries(8));
+        assert_eq!(t.len(), 100);
+        validate(&t).unwrap();
+    }
+}

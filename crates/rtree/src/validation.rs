@@ -1,0 +1,126 @@
+//! Structural invariant checking, used pervasively by the test-suite.
+
+use crate::node::{NodeKind, RTreeObject};
+use crate::{NodeId, RTree};
+use neurospatial_geom::Aabb;
+
+/// Verify every structural invariant of the tree:
+///
+/// 1. node MBRs tightly bound their contents;
+/// 2. parent links match child lists;
+/// 3. all leaves sit at the same depth (balance);
+/// 4. entry counts respect `min_entries ..= max_entries` (root exempt
+///    from the minimum);
+/// 5. the stored `len` and `height` agree with a full walk.
+pub fn validate<T: RTreeObject>(tree: &RTree<T>) -> Result<(), String> {
+    let mut object_count = 0usize;
+    let mut leaf_depths = Vec::new();
+    check_node(tree, tree.root, None, 0, &mut object_count, &mut leaf_depths)?;
+
+    if object_count != tree.len() {
+        return Err(format!("len() = {} but walk found {object_count}", tree.len()));
+    }
+    leaf_depths.dedup();
+    if leaf_depths.len() > 1 {
+        return Err(format!("unbalanced: leaf depths {leaf_depths:?}"));
+    }
+    if let Some(&d) = leaf_depths.first() {
+        if d + 1 != tree.height() {
+            return Err(format!("height() = {} but leaves at depth {d}", tree.height()));
+        }
+    }
+    Ok(())
+}
+
+fn check_node<T: RTreeObject>(
+    tree: &RTree<T>,
+    id: NodeId,
+    parent: Option<NodeId>,
+    depth: usize,
+    object_count: &mut usize,
+    leaf_depths: &mut Vec<usize>,
+) -> Result<(), String> {
+    let n = &tree.nodes[id];
+    if n.parent != parent {
+        return Err(format!("node {id}: parent link {:?} != expected {parent:?}", n.parent));
+    }
+    let count = n.entry_count();
+    let is_root = id == tree.root;
+    if !is_root && count < tree.params().min_entries {
+        return Err(format!("node {id}: underflow ({count} entries)"));
+    }
+    if count > tree.params().max_entries {
+        return Err(format!("node {id}: overflow ({count} entries)"));
+    }
+
+    match &n.kind {
+        NodeKind::Leaf(items) => {
+            let want: Aabb = items.iter().fold(Aabb::EMPTY, |a, o| a.union(&o.aabb()));
+            if !boxes_equal(&want, &n.mbr) {
+                return Err(format!("leaf {id}: stored MBR {} != tight {}", n.mbr, want));
+            }
+            *object_count += items.len();
+            leaf_depths.push(depth);
+        }
+        NodeKind::Inner(children) => {
+            if children.is_empty() && !is_root {
+                return Err(format!("inner node {id} has no children"));
+            }
+            let want: Aabb =
+                children.iter().fold(Aabb::EMPTY, |a, &c| a.union(&tree.nodes[c].mbr));
+            if !boxes_equal(&want, &n.mbr) {
+                return Err(format!("inner {id}: stored MBR {} != tight {}", n.mbr, want));
+            }
+            for &c in children {
+                check_node(tree, c, Some(id), depth + 1, object_count, leaf_depths)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn boxes_equal(a: &Aabb, b: &Aabb) -> bool {
+    if a.is_empty() && b.is_empty() {
+        return true;
+    }
+    (a.lo - b.lo).max_abs_component() < 1e-9 && (a.hi - b.hi).max_abs_component() < 1e-9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RTreeParams;
+    use neurospatial_geom::Vec3;
+
+    #[test]
+    fn valid_trees_pass() {
+        let objs: Vec<Aabb> =
+            (0..500).map(|i| Aabb::cube(Vec3::new(i as f64, 0.0, 0.0), 0.4)).collect();
+        let t = RTree::bulk_load(objs.clone(), RTreeParams::with_max_entries(8));
+        validate(&t).unwrap();
+        let mut d = RTree::new(RTreeParams::with_max_entries(8));
+        for o in objs {
+            d.insert(o);
+        }
+        validate(&d).unwrap();
+    }
+
+    #[test]
+    fn corrupted_mbr_detected() {
+        let objs: Vec<Aabb> =
+            (0..100).map(|i| Aabb::cube(Vec3::new(i as f64, 0.0, 0.0), 0.4)).collect();
+        let mut t = RTree::bulk_load(objs, RTreeParams::with_max_entries(8));
+        let root = t.root;
+        t.nodes[root].mbr = t.nodes[root].mbr.inflate(5.0);
+        assert!(validate(&t).is_err());
+    }
+
+    #[test]
+    fn corrupted_len_detected() {
+        let objs: Vec<Aabb> =
+            (0..100).map(|i| Aabb::cube(Vec3::new(i as f64, 0.0, 0.0), 0.4)).collect();
+        let mut t = RTree::bulk_load(objs, RTreeParams::with_max_entries(8));
+        t.len = 99;
+        assert!(validate(&t).unwrap_err().contains("len()"));
+    }
+}

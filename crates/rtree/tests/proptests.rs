@@ -1,0 +1,146 @@
+//! Property tests: the R-Tree is an exact index — every query type must
+//! agree with brute force on arbitrary inputs, under arbitrary
+//! interleavings of bulk load, insert and remove.
+
+use neurospatial_geom::{Aabb, Vec3};
+use neurospatial_rtree::{validation::validate, RTree, RTreeParams, SplitStrategy};
+use proptest::prelude::*;
+
+fn small_box() -> impl Strategy<Value = Aabb> {
+    ((-50.0..50.0, -50.0..50.0, -50.0..50.0), 0.1..8.0f64)
+        .prop_map(|((x, y, z), r)| Aabb::cube(Vec3::new(x, y, z), r))
+}
+
+fn params() -> impl Strategy<Value = RTreeParams> {
+    (4usize..32, prop_oneof![
+        Just(SplitStrategy::Linear),
+        Just(SplitStrategy::Quadratic),
+        Just(SplitStrategy::RStar)
+    ])
+        .prop_map(|(m, s)| RTreeParams::with_max_entries(m).with_split(s))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bulk_loaded_range_queries_exact(
+        objs in prop::collection::vec(small_box(), 0..600),
+        queries in prop::collection::vec(small_box(), 1..10),
+        p in params(),
+    ) {
+        let tree = RTree::bulk_load(objs.clone(), p);
+        validate(&tree).map_err(TestCaseError::fail)?;
+        prop_assert_eq!(tree.len(), objs.len());
+        for q in &queries {
+            let (hits, stats) = tree.range_query(q);
+            let want = objs.iter().filter(|o| o.intersects(q)).count();
+            prop_assert_eq!(hits.len(), want);
+            prop_assert_eq!(stats.results as usize, want);
+        }
+    }
+
+    #[test]
+    fn inserted_range_queries_exact(
+        objs in prop::collection::vec(small_box(), 0..300),
+        q in small_box(),
+        p in params(),
+    ) {
+        let mut tree = RTree::new(p);
+        for o in &objs {
+            tree.insert(*o);
+        }
+        validate(&tree).map_err(TestCaseError::fail)?;
+        let (hits, _) = tree.range_query(&q);
+        let want = objs.iter().filter(|o| o.intersects(&q)).count();
+        prop_assert_eq!(hits.len(), want);
+    }
+
+    #[test]
+    fn first_hit_agrees_with_range_query(
+        objs in prop::collection::vec(small_box(), 0..400),
+        q in small_box(),
+    ) {
+        let tree = RTree::bulk_load(objs.clone(), RTreeParams::with_max_entries(8));
+        let (hit, _) = tree.first_hit(&q);
+        let any = objs.iter().any(|o| o.intersects(&q));
+        prop_assert_eq!(hit.is_some(), any);
+        if let Some(h) = hit {
+            prop_assert!(h.intersects(&q));
+        }
+    }
+
+    #[test]
+    fn knn_matches_sorted_distances(
+        objs in prop::collection::vec(small_box(), 1..300),
+        px in -60.0..60.0f64, py in -60.0..60.0f64, pz in -60.0..60.0f64,
+        k in 1usize..20,
+    ) {
+        let p = Vec3::new(px, py, pz);
+        let tree = RTree::bulk_load(objs.clone(), RTreeParams::with_max_entries(8));
+        let (got, _) = tree.knn(p, k);
+        let mut want: Vec<f64> = objs.iter().map(|o| o.min_distance_to_point(p)).collect();
+        want.sort_by(|a, b| a.partial_cmp(b).expect("finite distances"));
+        want.truncate(k);
+        prop_assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            prop_assert!((g.distance - w).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn mixed_workload_stays_consistent(
+        initial in prop::collection::vec(small_box(), 0..150),
+        ops in prop::collection::vec((any::<bool>(), small_box()), 0..150),
+        q in small_box(),
+    ) {
+        // Shadow model: a plain Vec with multiset semantics.
+        let mut tree = RTree::new(RTreeParams::with_max_entries(8));
+        let mut shadow: Vec<Aabb> = Vec::new();
+        for o in &initial {
+            tree.insert(*o);
+            shadow.push(*o);
+        }
+        for (is_insert, o) in &ops {
+            if *is_insert {
+                tree.insert(*o);
+                shadow.push(*o);
+            } else {
+                // Remove an arbitrary existing object (or a miss).
+                let target = shadow.first().copied().unwrap_or(*o);
+                let removed = tree.remove(&target);
+                let in_shadow = shadow.iter().position(|s| *s == target);
+                prop_assert_eq!(removed, in_shadow.is_some());
+                if let Some(i) = in_shadow {
+                    shadow.swap_remove(i);
+                }
+            }
+        }
+        validate(&tree).map_err(TestCaseError::fail)?;
+        prop_assert_eq!(tree.len(), shadow.len());
+        let (hits, _) = tree.range_query(&q);
+        let want = shadow.iter().filter(|o| o.intersects(&q)).count();
+        prop_assert_eq!(hits.len(), want);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn rplus_tree_is_exact_and_disjoint(
+        objs in prop::collection::vec(small_box(), 0..400),
+        queries in prop::collection::vec(small_box(), 1..6),
+        cap in 2usize..32,
+    ) {
+        use neurospatial_rtree::RPlusTree;
+        let t = RPlusTree::build(objs.clone(), cap);
+        t.validate().map_err(TestCaseError::fail)?;
+        prop_assert!(t.replication_factor() >= 1.0 || objs.is_empty());
+        for q in &queries {
+            let (hits, _) = t.range_query(q);
+            let want = objs.iter().filter(|o| o.intersects(q)).count();
+            prop_assert_eq!(hits.len(), want, "query {}", q);
+        }
+    }
+}

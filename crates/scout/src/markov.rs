@@ -1,0 +1,198 @@
+//! Markov-chain prefetching — the "learn from past user behavior"
+//! baseline the paper cites ([8] Lee et al., "Adaptation of a neighbor
+//! selection markov chain for prefetching tiled web GIS data").
+//!
+//! Space is tiled into cells; the prefetcher records first-order
+//! transition counts between the cells visited by past walkthroughs and
+//! prefetches the regions of the most likely successor cells of the
+//! current cell. §3 of the demo paper explains why this fails on massive
+//! models: "the probability that several users follow the same paths is
+//! small" — the transition table is almost always cold for the path at
+//! hand. The session experiments reproduce exactly that: Markov behaves
+//! like no-prefetching on first traversal and only improves on repeats.
+
+use crate::prefetch::{PrefetchContext, PrefetchPlan, Prefetcher};
+use neurospatial_geom::{Aabb, Vec3};
+use std::collections::HashMap;
+
+/// Integer coordinates of a tiling cell.
+type Cell = (i64, i64, i64);
+
+/// First-order Markov prefetcher over a fixed spatial tiling.
+#[derive(Debug)]
+pub struct MarkovPrefetcher {
+    /// Edge length of the tiling cells (µm).
+    pub cell_size: f64,
+    /// How many of the most likely successor cells to prefetch.
+    pub fanout: usize,
+    /// Transition counts: (from-cell, to-cell) → observations.
+    transitions: HashMap<Cell, HashMap<Cell, u32>>,
+    /// Cell of the previous query (within the current walkthrough).
+    prev_cell: Option<Cell>,
+}
+
+impl MarkovPrefetcher {
+    pub fn new(cell_size: f64, fanout: usize) -> Self {
+        assert!(cell_size > 0.0);
+        MarkovPrefetcher {
+            cell_size,
+            fanout: fanout.max(1),
+            transitions: HashMap::new(),
+            prev_cell: None,
+        }
+    }
+
+    /// Number of distinct transitions learned so far.
+    pub fn learned_transitions(&self) -> usize {
+        self.transitions.values().map(|m| m.len()).sum()
+    }
+
+    fn cell_of(&self, p: Vec3) -> Cell {
+        (
+            (p.x / self.cell_size).floor() as i64,
+            (p.y / self.cell_size).floor() as i64,
+            (p.z / self.cell_size).floor() as i64,
+        )
+    }
+
+    fn cell_center(&self, c: Cell) -> Vec3 {
+        Vec3::new(
+            (c.0 as f64 + 0.5) * self.cell_size,
+            (c.1 as f64 + 0.5) * self.cell_size,
+            (c.2 as f64 + 0.5) * self.cell_size,
+        )
+    }
+}
+
+impl Default for MarkovPrefetcher {
+    /// 25 µm cells (≈ one view box), top-2 successors.
+    fn default() -> Self {
+        MarkovPrefetcher::new(25.0, 2)
+    }
+}
+
+impl Prefetcher for MarkovPrefetcher {
+    fn name(&self) -> &'static str {
+        "markov"
+    }
+
+    fn plan(&mut self, ctx: &PrefetchContext<'_>) -> PrefetchPlan {
+        let cur = self.cell_of(ctx.query.center());
+
+        // Learn the observed transition.
+        if let Some(prev) = self.prev_cell {
+            if prev != cur {
+                *self.transitions.entry(prev).or_default().entry(cur).or_insert(0) += 1;
+            }
+        }
+        self.prev_cell = Some(cur);
+
+        // Predict: most frequent successors of the current cell.
+        let Some(succ) = self.transitions.get(&cur) else {
+            return PrefetchPlan::default(); // cold table: no prediction
+        };
+        let mut ranked: Vec<(&Cell, &u32)> = succ.iter().collect();
+        ranked.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
+
+        let half = ctx.query.extent() * 0.5;
+        let radius = half.x.max(half.y).max(half.z);
+        let regions = ranked
+            .into_iter()
+            .take(self.fanout)
+            .map(|(c, _)| Aabb::cube(self.cell_center(*c), radius))
+            .collect();
+        PrefetchPlan { regions, pages: Vec::new() }
+    }
+
+    /// Reset only the *walkthrough-local* state; the learned transition
+    /// table persists across walkthroughs — that persistence is the whole
+    /// point of history-based prefetching (and its weakness on fresh
+    /// paths).
+    fn reset(&mut self) {
+        self.prev_cell = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_table_predicts_nothing() {
+        let mut m = MarkovPrefetcher::new(10.0, 2);
+        let q = Aabb::cube(Vec3::new(5.0, 5.0, 5.0), 5.0);
+        let hist = [q.center()];
+        let plan = m.plan(&PrefetchContext { query: &q, result: &[], history: &hist, pages_read: &[] });
+        assert!(plan.is_empty());
+        assert_eq!(m.learned_transitions(), 0);
+    }
+
+    #[test]
+    fn learns_and_replays_a_path() {
+        let mut m = MarkovPrefetcher::new(10.0, 1);
+        // First traversal: cells (0,0,0) → (1,0,0) → (2,0,0). No
+        // predictions (cold), but transitions are learned.
+        let boxes = [
+            Aabb::cube(Vec3::new(5.0, 5.0, 5.0), 5.0),
+            Aabb::cube(Vec3::new(15.0, 5.0, 5.0), 5.0),
+            Aabb::cube(Vec3::new(25.0, 5.0, 5.0), 5.0),
+        ];
+        let mut hist = Vec::new();
+        for q in &boxes {
+            hist.push(q.center());
+            let plan =
+                m.plan(&PrefetchContext { query: q, result: &[], history: &hist, pages_read: &[] });
+            assert!(plan.is_empty(), "first traversal must be cold");
+        }
+        assert_eq!(m.learned_transitions(), 2);
+
+        // Second traversal of the same path: predictions fire.
+        m.reset();
+        let hist = vec![boxes[0].center()];
+        let plan = m.plan(&PrefetchContext {
+            query: &boxes[0],
+            result: &[],
+            history: &hist,
+            pages_read: &[],
+        });
+        assert_eq!(plan.regions.len(), 1);
+        // Predicted region is centred on cell (1,0,0) = (15, 5, 5).
+        assert_eq!(plan.regions[0].center(), Vec3::new(15.0, 5.0, 5.0));
+    }
+
+    #[test]
+    fn reset_keeps_learned_table() {
+        let mut m = MarkovPrefetcher::new(10.0, 2);
+        let a = Aabb::cube(Vec3::new(5.0, 5.0, 5.0), 5.0);
+        let b = Aabb::cube(Vec3::new(15.0, 5.0, 5.0), 5.0);
+        let hist = [a.center(), b.center()];
+        m.plan(&PrefetchContext { query: &a, result: &[], history: &hist[..1], pages_read: &[] });
+        m.plan(&PrefetchContext { query: &b, result: &[], history: &hist, pages_read: &[] });
+        assert_eq!(m.learned_transitions(), 1);
+        m.reset();
+        assert_eq!(m.learned_transitions(), 1, "history survives reset");
+    }
+
+    #[test]
+    fn ranks_successors_by_frequency() {
+        let mut m = MarkovPrefetcher::new(10.0, 1);
+        let from = Aabb::cube(Vec3::new(5.0, 5.0, 5.0), 5.0);
+        let often = Aabb::cube(Vec3::new(15.0, 5.0, 5.0), 5.0);
+        let rare = Aabb::cube(Vec3::new(5.0, 15.0, 5.0), 5.0);
+        // Observe from→often twice, from→rare once.
+        for to in [&often, &rare, &often] {
+            m.reset();
+            let h1 = [from.center()];
+            m.plan(&PrefetchContext { query: &from, result: &[], history: &h1, pages_read: &[] });
+            let h2 = [from.center(), to.center()];
+            m.plan(&PrefetchContext { query: to, result: &[], history: &h2, pages_read: &[] });
+        }
+        m.reset();
+        let h = [from.center()];
+        let plan =
+            m.plan(&PrefetchContext { query: &from, result: &[], history: &h, pages_read: &[] });
+        assert_eq!(plan.regions.len(), 1);
+        assert_eq!(plan.regions[0].center(), Vec3::new(15.0, 5.0, 5.0), "most frequent wins");
+    }
+
+}

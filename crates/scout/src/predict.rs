@@ -1,0 +1,110 @@
+//! Exit-edge extrapolation: "At the exit locations, the edges exiting are
+//! extrapolated linearly to predict the next query locations. Range
+//! queries are then executed at the predicted locations to prefetch data
+//! into memory." (§3.1)
+
+use crate::skeleton::Structure;
+use neurospatial_geom::Aabb;
+
+/// Extrapolation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct PredictParams {
+    /// How far beyond the exit point to centre the prefetch box — should
+    /// match the user's step length; the session simulator passes the
+    /// walkthrough step.
+    pub lookahead: f64,
+    /// Half-extent of each prefetch box (normally the view radius).
+    pub prefetch_radius: f64,
+    /// Upper bound on boxes generated per query (bandwidth guard).
+    pub max_predictions: usize,
+}
+
+impl Default for PredictParams {
+    fn default() -> Self {
+        PredictParams { lookahead: 10.0, prefetch_radius: 15.0, max_predictions: 8 }
+    }
+}
+
+/// Predict the next query regions from the exit edges of the candidate
+/// structures.
+pub fn extrapolate_exits<'a, I>(candidates: I, params: PredictParams) -> Vec<Aabb>
+where
+    I: IntoIterator<Item = &'a Structure>,
+{
+    let mut out = Vec::new();
+    for s in candidates {
+        for e in &s.exits {
+            if out.len() >= params.max_predictions {
+                return out;
+            }
+            let centre = e.exit_point + e.direction * params.lookahead;
+            out.push(Aabb::cube(centre, params.prefetch_radius));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::skeleton::ExitEdge;
+    use neurospatial_geom::Vec3;
+
+    fn structure_with_exits(exits: Vec<ExitEdge>) -> Structure {
+        Structure { segment_ids: vec![0], exits }
+    }
+
+    #[test]
+    fn boxes_centred_ahead_of_exit() {
+        let s = structure_with_exits(vec![ExitEdge {
+            segment_id: 0,
+            exit_point: Vec3::new(10.0, 0.0, 0.0),
+            direction: Vec3::new(1.0, 0.0, 0.0),
+        }]);
+        let boxes =
+            extrapolate_exits([&s], PredictParams { lookahead: 5.0, prefetch_radius: 2.0, max_predictions: 8 });
+        assert_eq!(boxes.len(), 1);
+        assert_eq!(boxes[0].center(), Vec3::new(15.0, 0.0, 0.0));
+        assert_eq!(boxes[0].extent(), Vec3::splat(4.0));
+    }
+
+    #[test]
+    fn cap_respected() {
+        let exits: Vec<ExitEdge> = (0..20)
+            .map(|i| ExitEdge {
+                segment_id: i,
+                exit_point: Vec3::new(i as f64, 0.0, 0.0),
+                direction: Vec3::new(0.0, 1.0, 0.0),
+            })
+            .collect();
+        let s = structure_with_exits(exits);
+        let boxes = extrapolate_exits(
+            [&s],
+            PredictParams { lookahead: 1.0, prefetch_radius: 1.0, max_predictions: 4 },
+        );
+        assert_eq!(boxes.len(), 4);
+    }
+
+    #[test]
+    fn multiple_candidates_all_extrapolated() {
+        let a = structure_with_exits(vec![ExitEdge {
+            segment_id: 0,
+            exit_point: Vec3::ZERO,
+            direction: Vec3::new(1.0, 0.0, 0.0),
+        }]);
+        let b = structure_with_exits(vec![ExitEdge {
+            segment_id: 1,
+            exit_point: Vec3::ZERO,
+            direction: Vec3::new(0.0, 1.0, 0.0),
+        }]);
+        let boxes = extrapolate_exits([&a, &b], PredictParams::default());
+        assert_eq!(boxes.len(), 2);
+        assert_ne!(boxes[0].center(), boxes[1].center());
+    }
+
+    #[test]
+    fn no_exits_no_predictions() {
+        let s = structure_with_exits(vec![]);
+        assert!(extrapolate_exits([&s], PredictParams::default()).is_empty());
+    }
+}

@@ -1,0 +1,130 @@
+//! Property tests for SCOUT's reconstruction and tracking invariants.
+
+use neurospatial_geom::{Aabb, Segment, Vec3};
+use neurospatial_model::NeuronSegment;
+use neurospatial_scout::{CandidateTracker, Skeleton, SkeletonParams};
+use proptest::prelude::*;
+
+/// Random chains of connected segments plus isolated segments.
+fn segment_soup() -> impl Strategy<Value = Vec<NeuronSegment>> {
+    (
+        prop::collection::vec(
+            // (start, steps) per chain
+            ((-40.0..40.0, -40.0..40.0, -40.0..40.0), prop::collection::vec((-4.0..4.0, -4.0..4.0, -4.0..4.0), 1..12)),
+            1..6,
+        ),
+    )
+        .prop_map(|(chains,)| {
+            let mut out = Vec::new();
+            let mut id = 0u64;
+            for (ci, ((x, y, z), steps)) in chains.into_iter().enumerate() {
+                let mut cur = Vec3::new(x, y, z);
+                for (si, (dx, dy, dz)) in steps.into_iter().enumerate() {
+                    let step = Vec3::new(dx, dy, dz);
+                    // Skip vanishing steps to keep segments non-degenerate.
+                    let next = cur + if step.norm() < 0.5 { Vec3::new(1.0, 0.0, 0.0) } else { step };
+                    out.push(NeuronSegment {
+                        id,
+                        neuron: ci as u32,
+                        section: 0,
+                        index_on_section: si as u32,
+                        geom: Segment::new(cur, next, 0.2),
+                    });
+                    id += 1;
+                    cur = next;
+                }
+            }
+            out
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn skeleton_is_a_partition(soup in segment_soup(), half in 5.0..60.0f64) {
+        let q = Aabb::cube(Vec3::ZERO, half);
+        let result: Vec<&NeuronSegment> =
+            soup.iter().filter(|s| s.aabb().intersects(&q)).collect();
+        let sk = Skeleton::reconstruct(&result, &q, SkeletonParams::default());
+        // Every result segment appears in exactly one structure.
+        let mut seen = std::collections::HashSet::new();
+        let mut total = 0usize;
+        for s in &sk.structures {
+            for &i in &s.segment_ids {
+                prop_assert!(seen.insert(i), "segment {i} in two structures");
+                total += 1;
+            }
+        }
+        prop_assert_eq!(total, result.len());
+        // Every claimed member really was in the result.
+        let result_ids: std::collections::HashSet<u64> = result.iter().map(|s| s.id).collect();
+        prop_assert!(seen.is_subset(&result_ids));
+    }
+
+    #[test]
+    fn chains_never_split(soup in segment_soup()) {
+        // A query covering everything: consecutive segments of one chain
+        // share an endpoint exactly, so they must be in one structure.
+        let bounds = soup.iter().fold(Aabb::EMPTY, |a, s| a.union(&s.aabb()));
+        if bounds.is_empty() {
+            return Ok(());
+        }
+        let q = bounds.inflate(1.0);
+        let result: Vec<&NeuronSegment> = soup.iter().collect();
+        let sk = Skeleton::reconstruct(&result, &q, SkeletonParams::default());
+        let mut owner = std::collections::HashMap::new();
+        for (si, s) in sk.structures.iter().enumerate() {
+            for &i in &s.segment_ids {
+                owner.insert(i, si);
+            }
+        }
+        for w in soup.windows(2) {
+            if w[0].neuron == w[1].neuron && w[0].index_on_section + 1 == w[1].index_on_section {
+                prop_assert_eq!(owner[&w[0].id], owner[&w[1].id], "chain split");
+            }
+        }
+    }
+
+    #[test]
+    fn exit_edges_point_outward(soup in segment_soup(), half in 2.0..30.0f64) {
+        let q = Aabb::cube(Vec3::ZERO, half);
+        let result: Vec<&NeuronSegment> =
+            soup.iter().filter(|s| s.aabb().intersects(&q)).collect();
+        let sk = Skeleton::reconstruct(&result, &q, SkeletonParams::default());
+        for s in &sk.structures {
+            for e in &s.exits {
+                // The exit point is outside (or on the boundary of) q.
+                prop_assert!(
+                    !q.contains_point(e.exit_point - e.direction * 1e-9)
+                        || !q.contains_point(e.exit_point),
+                    "exit point {} not at the boundary", e.exit_point
+                );
+                // Direction is unit length.
+                prop_assert!((e.direction.norm() - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn candidate_counts_bounded_by_exiting_structures(
+        soup in segment_soup(),
+        halves in prop::collection::vec(5.0..40.0f64, 1..6),
+    ) {
+        let mut tracker = CandidateTracker::new();
+        for (i, half) in halves.iter().enumerate() {
+            // A sliding window sequence of varying sizes.
+            let q = Aabb::cube(Vec3::new(i as f64 * 2.0, 0.0, 0.0), *half);
+            let result: Vec<&NeuronSegment> =
+                soup.iter().filter(|s| s.aabb().intersects(&q)).collect();
+            let sk = Skeleton::reconstruct(&result, &q, SkeletonParams::default());
+            let exiting = sk.exiting().count();
+            let survivors = tracker.advance(&sk);
+            prop_assert!(survivors.len() <= exiting);
+            for &s in &survivors {
+                prop_assert!(!sk.structures[s].exits.is_empty());
+            }
+        }
+        prop_assert_eq!(tracker.history().len(), halves.len());
+    }
+}

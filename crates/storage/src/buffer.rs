@@ -1,0 +1,328 @@
+//! LRU buffer pool over the disk simulator.
+//!
+//! SCOUT's whole point is to have pages already *in the buffer pool* when
+//! the user's next query arrives; the exploration-session simulator
+//! models both the demand path (miss → disk read → stall) and the
+//! prefetch path (background read → no stall) through this pool.
+
+use crate::disk::{DiskSim, IoError};
+use crate::page::PageId;
+use std::collections::HashMap;
+
+/// Buffer pool statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+}
+
+impl PoolStats {
+    /// Hit ratio in [0, 1]; 0 when no accesses happened.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A fixed-capacity LRU page cache.
+///
+/// Implementation: intrusive doubly-linked list over a slab of entries,
+/// O(1) touch/insert/evict, `HashMap` for lookup. Capacities in the
+/// experiments are in the thousands, so constant factors matter more than
+/// asymptotics, but O(1) keeps the simulator honest for the scaling runs.
+#[derive(Debug)]
+pub struct BufferPool {
+    capacity: usize,
+    map: HashMap<PageId, usize>,
+    entries: Vec<Entry>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+    free: Vec<usize>,
+    stats: PoolStats,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    page: PageId,
+    prev: usize,
+    next: usize,
+}
+
+const NIL: usize = usize::MAX;
+
+impl BufferPool {
+    /// Pool holding at most `capacity` pages (`capacity >= 1`).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "buffer pool needs at least one frame");
+        BufferPool {
+            capacity,
+            map: HashMap::with_capacity(capacity * 2),
+            entries: Vec::with_capacity(capacity),
+            head: NIL,
+            tail: NIL,
+            free: Vec::new(),
+            stats: PoolStats::default(),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+
+    /// True if the page is resident (does not touch LRU order or stats).
+    pub fn contains(&self, page: PageId) -> bool {
+        self.map.contains_key(&page)
+    }
+
+    /// Demand-fetch `page`: on a hit the page is touched; on a miss it is
+    /// read from `disk` and cached. Returns the simulated latency charged
+    /// to the *caller* (0 on hit).
+    pub fn get(&mut self, page: PageId, disk: &DiskSim) -> Result<f64, IoError> {
+        if let Some(&slot) = self.map.get(&page) {
+            self.stats.hits += 1;
+            self.touch(slot);
+            return Ok(0.0);
+        }
+        self.stats.misses += 1;
+        let cost = disk.read(page)?;
+        self.insert(page);
+        Ok(cost)
+    }
+
+    /// Prefetch `page` into the pool. The read still happens on the
+    /// simulated disk (its cost appears in the disk stats — prefetching
+    /// is not free bandwidth), but the caller is not charged: returns the
+    /// background cost for bookkeeping. No-op on resident pages.
+    pub fn prefetch(&mut self, page: PageId, disk: &DiskSim) -> Result<f64, IoError> {
+        if let Some(&slot) = self.map.get(&page) {
+            // Deliberately *not* a hit: prefetching must not distort the
+            // demand hit ratio, and not touching keeps useless prefetches
+            // from pinning stale pages.
+            let _ = slot;
+            return Ok(0.0);
+        }
+        let cost = disk.read(page)?;
+        self.insert(page);
+        Ok(cost)
+    }
+
+    /// Drop everything (statistics are kept).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.entries.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    /// Resident pages from most- to least-recently used (test/debug aid).
+    pub fn lru_order(&self) -> Vec<PageId> {
+        let mut out = Vec::with_capacity(self.map.len());
+        let mut cur = self.head;
+        while cur != NIL {
+            out.push(self.entries[cur].page);
+            cur = self.entries[cur].next;
+        }
+        out
+    }
+
+    fn insert(&mut self, page: PageId) {
+        if self.map.len() == self.capacity {
+            self.evict_lru();
+        }
+        let slot = if let Some(s) = self.free.pop() {
+            self.entries[s] = Entry { page, prev: NIL, next: self.head };
+            s
+        } else {
+            self.entries.push(Entry { page, prev: NIL, next: self.head });
+            self.entries.len() - 1
+        };
+        if self.head != NIL {
+            self.entries[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+        self.map.insert(page, slot);
+    }
+
+    fn evict_lru(&mut self) {
+        let victim = self.tail;
+        debug_assert!(victim != NIL, "evict called on empty pool");
+        let page = self.entries[victim].page;
+        self.unlink(victim);
+        self.map.remove(&page);
+        self.free.push(victim);
+        self.stats.evictions += 1;
+    }
+
+    fn touch(&mut self, slot: usize) {
+        if self.head == slot {
+            return;
+        }
+        self.unlink(slot);
+        self.entries[slot].prev = NIL;
+        self.entries[slot].next = self.head;
+        if self.head != NIL {
+            self.entries[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+
+    fn unlink(&mut self, slot: usize) {
+        let Entry { prev, next, .. } = self.entries[slot];
+        if prev != NIL {
+            self.entries[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.entries[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::CostModel;
+
+    fn disk() -> DiskSim {
+        DiskSim::new(u64::MAX, CostModel::default())
+    }
+
+    #[test]
+    fn hit_after_miss() {
+        let d = disk();
+        let mut p = BufferPool::new(4);
+        let c1 = p.get(PageId(1), &d).unwrap();
+        assert!(c1 > 0.0);
+        let c2 = p.get(PageId(1), &d).unwrap();
+        assert_eq!(c2, 0.0);
+        assert_eq!(p.stats().hits, 1);
+        assert_eq!(p.stats().misses, 1);
+        assert_eq!(p.stats().hit_ratio(), 0.5);
+        assert_eq!(d.stats().total_reads(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let d = disk();
+        let mut p = BufferPool::new(3);
+        for i in 0..3 {
+            p.get(PageId(i), &d).unwrap();
+        }
+        // Touch 0 so 1 becomes LRU.
+        p.get(PageId(0), &d).unwrap();
+        p.get(PageId(3), &d).unwrap(); // evicts 1
+        assert!(p.contains(PageId(0)));
+        assert!(!p.contains(PageId(1)));
+        assert!(p.contains(PageId(2)));
+        assert!(p.contains(PageId(3)));
+        assert_eq!(p.stats().evictions, 1);
+        assert_eq!(p.lru_order(), vec![PageId(3), PageId(0), PageId(2)]);
+    }
+
+    #[test]
+    fn never_exceeds_capacity() {
+        let d = disk();
+        let mut p = BufferPool::new(8);
+        for i in 0..100 {
+            p.get(PageId(i), &d).unwrap();
+            assert!(p.len() <= 8);
+        }
+        assert_eq!(p.len(), 8);
+        assert_eq!(p.stats().evictions, 92);
+    }
+
+    #[test]
+    fn prefetch_absorbs_future_demand() {
+        let d = disk();
+        let mut p = BufferPool::new(4);
+        let bg = p.prefetch(PageId(9), &d).unwrap();
+        assert!(bg > 0.0); // background read happened on the disk...
+        let fg = p.get(PageId(9), &d).unwrap();
+        assert_eq!(fg, 0.0); // ...but the demand access stalls for nothing
+        assert_eq!(p.stats().hits, 1);
+        // Prefetching a resident page is a no-op.
+        assert_eq!(p.prefetch(PageId(9), &d).unwrap(), 0.0);
+        assert_eq!(d.stats().total_reads(), 1);
+    }
+
+    #[test]
+    fn prefetch_does_not_count_as_demand_hit() {
+        let d = disk();
+        let mut p = BufferPool::new(4);
+        p.prefetch(PageId(1), &d).unwrap();
+        p.prefetch(PageId(1), &d).unwrap();
+        assert_eq!(p.stats().hits, 0);
+        assert_eq!(p.stats().misses, 0);
+    }
+
+    #[test]
+    fn capacity_one() {
+        let d = disk();
+        let mut p = BufferPool::new(1);
+        p.get(PageId(1), &d).unwrap();
+        p.get(PageId(2), &d).unwrap();
+        assert!(!p.contains(PageId(1)));
+        assert!(p.contains(PageId(2)));
+        p.get(PageId(2), &d).unwrap();
+        assert_eq!(p.stats().hits, 1);
+        assert_eq!(p.lru_order(), vec![PageId(2)]);
+    }
+
+    #[test]
+    fn clear_keeps_stats() {
+        let d = disk();
+        let mut p = BufferPool::new(4);
+        p.get(PageId(1), &d).unwrap();
+        p.clear();
+        assert!(p.is_empty());
+        assert_eq!(p.stats().misses, 1);
+        // Usable after clear.
+        p.get(PageId(1), &d).unwrap();
+        assert_eq!(p.stats().misses, 2);
+    }
+
+    #[test]
+    fn propagates_disk_errors() {
+        let d = DiskSim::new(5, CostModel::default());
+        let mut p = BufferPool::new(2);
+        assert!(matches!(p.get(PageId(99), &d), Err(IoError::OutOfRange(_))));
+        // Error reads do not pollute the pool.
+        assert!(!p.contains(PageId(99)));
+        d.inject_faults(Some(1));
+        assert!(matches!(p.get(PageId(1), &d), Err(IoError::InjectedFault(_))));
+        assert!(!p.contains(PageId(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one frame")]
+    fn zero_capacity_panics() {
+        let _ = BufferPool::new(0);
+    }
+}

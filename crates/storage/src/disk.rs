@@ -1,0 +1,263 @@
+//! The disk simulator: page-access accounting and a two-parameter cost
+//! model (random seek + sequential transfer), the classic first-order
+//! model of rotating storage used throughout the spatial indexing
+//! literature the paper builds on.
+
+use crate::page::PageId;
+use parking_lot::Mutex;
+
+/// Cost model parameters, in milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Cost of a random page read (seek + rotation + transfer).
+    pub random_read_ms: f64,
+    /// Cost of reading the page physically following the previous one.
+    pub sequential_read_ms: f64,
+}
+
+impl Default for CostModel {
+    /// 2007-era enterprise disk: ~8 ms random, ~0.1 ms sequential per 8 KiB
+    /// page — the hardware class of the original FLAT experiments. The
+    /// absolute values only scale reported stall times; all comparisons in
+    /// the experiments are ratios.
+    fn default() -> Self {
+        CostModel { random_read_ms: 8.0, sequential_read_ms: 0.1 }
+    }
+}
+
+impl CostModel {
+    /// An SSD-like model (uniform, fast reads) for sensitivity analysis.
+    pub fn ssd() -> Self {
+        CostModel { random_read_ms: 0.15, sequential_read_ms: 0.05 }
+    }
+}
+
+/// Aggregate I/O statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct IoStats {
+    pub random_reads: u64,
+    pub sequential_reads: u64,
+    /// Total simulated read latency (ms).
+    pub total_cost_ms: f64,
+}
+
+impl IoStats {
+    pub fn total_reads(&self) -> u64 {
+        self.random_reads + self.sequential_reads
+    }
+
+    /// Merge two stat blocks (e.g. per-query into per-experiment).
+    pub fn merge(&mut self, o: &IoStats) {
+        self.random_reads += o.random_reads;
+        self.sequential_reads += o.sequential_reads;
+        self.total_cost_ms += o.total_cost_ms;
+    }
+}
+
+/// Error type for the simulator's fault-injection mode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IoError {
+    /// The page id lies beyond the simulated device capacity.
+    OutOfRange(PageId),
+    /// Fault injection: the read failed (used to exercise error paths).
+    InjectedFault(PageId),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::OutOfRange(p) => write!(f, "page {p} out of range"),
+            IoError::InjectedFault(p) => write!(f, "injected I/O fault reading {p}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+#[derive(Debug, Default)]
+struct DiskState {
+    stats: IoStats,
+    last_page: Option<PageId>,
+    /// Fail every n-th read when set (fault injection).
+    fault_every: Option<u64>,
+    reads_since_fault: u64,
+}
+
+/// The simulated disk. Thread-safe: index structures share it by
+/// reference, and the TOUCH parallel variant reads from worker threads.
+#[derive(Debug)]
+pub struct DiskSim {
+    cost: CostModel,
+    capacity: u64,
+    state: Mutex<DiskState>,
+}
+
+impl DiskSim {
+    /// A device of `capacity` pages with the given cost model.
+    pub fn new(capacity: u64, cost: CostModel) -> Self {
+        DiskSim { cost, capacity, state: Mutex::new(DiskState::default()) }
+    }
+
+    /// Convenience: effectively unbounded device, default cost model.
+    pub fn unbounded() -> Self {
+        Self::new(u64::MAX, CostModel::default())
+    }
+
+    pub fn cost_model(&self) -> CostModel {
+        self.cost
+    }
+
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Simulate reading `page`: classifies the access, accumulates cost,
+    /// and returns the latency charged for this read (ms).
+    pub fn read(&self, page: PageId) -> Result<f64, IoError> {
+        if page.0 >= self.capacity {
+            return Err(IoError::OutOfRange(page));
+        }
+        let mut st = self.state.lock();
+        if let Some(n) = st.fault_every {
+            st.reads_since_fault += 1;
+            if st.reads_since_fault >= n {
+                st.reads_since_fault = 0;
+                return Err(IoError::InjectedFault(page));
+            }
+        }
+        let sequential = st.last_page.map(|lp| page.is_successor_of(lp)).unwrap_or(false);
+        let cost = if sequential {
+            st.stats.sequential_reads += 1;
+            self.cost.sequential_read_ms
+        } else {
+            st.stats.random_reads += 1;
+            self.cost.random_read_ms
+        };
+        st.stats.total_cost_ms += cost;
+        st.last_page = Some(page);
+        Ok(cost)
+    }
+
+    /// Current accumulated statistics.
+    pub fn stats(&self) -> IoStats {
+        self.state.lock().stats
+    }
+
+    /// Reset counters (between experiment phases). The head position is
+    /// also forgotten so the first subsequent read is random.
+    pub fn reset(&self) {
+        let mut st = self.state.lock();
+        st.stats = IoStats::default();
+        st.last_page = None;
+    }
+
+    /// Enable fault injection: every `n`-th read fails. `None` disables.
+    pub fn inject_faults(&self, every: Option<u64>) {
+        let mut st = self.state.lock();
+        st.fault_every = every.filter(|&n| n > 0);
+        st.reads_since_fault = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classifies_sequential_vs_random() {
+        let d = DiskSim::new(1000, CostModel::default());
+        d.read(PageId(10)).unwrap(); // first read: random
+        d.read(PageId(11)).unwrap(); // sequential
+        d.read(PageId(12)).unwrap(); // sequential
+        d.read(PageId(5)).unwrap(); // random (backwards)
+        d.read(PageId(7)).unwrap(); // random (gap)
+        let s = d.stats();
+        assert_eq!(s.sequential_reads, 2);
+        assert_eq!(s.random_reads, 3);
+        assert_eq!(s.total_reads(), 5);
+        let expect = 3.0 * 8.0 + 2.0 * 0.1;
+        assert!((s.total_cost_ms - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rereading_same_page_is_random() {
+        // Same page again is not "successor", so it costs a random read
+        // (a buffer pool is what's supposed to absorb these).
+        let d = DiskSim::new(10, CostModel::default());
+        d.read(PageId(3)).unwrap();
+        d.read(PageId(3)).unwrap();
+        assert_eq!(d.stats().random_reads, 2);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let d = DiskSim::new(10, CostModel::default());
+        assert_eq!(d.read(PageId(10)), Err(IoError::OutOfRange(PageId(10))));
+        assert!(d.read(PageId(9)).is_ok());
+        // Failed reads are not accounted.
+        assert_eq!(d.stats().total_reads(), 1);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let d = DiskSim::new(100, CostModel::default());
+        d.read(PageId(0)).unwrap();
+        d.read(PageId(1)).unwrap();
+        d.reset();
+        assert_eq!(d.stats(), IoStats::default());
+        // After reset the head position is forgotten: next read is random
+        // even if physically consecutive.
+        d.read(PageId(2)).unwrap();
+        assert_eq!(d.stats().random_reads, 1);
+    }
+
+    #[test]
+    fn fault_injection_fails_every_nth() {
+        let d = DiskSim::new(100, CostModel::default());
+        d.inject_faults(Some(3));
+        assert!(d.read(PageId(0)).is_ok());
+        assert!(d.read(PageId(1)).is_ok());
+        assert!(matches!(d.read(PageId(2)), Err(IoError::InjectedFault(_))));
+        assert!(d.read(PageId(3)).is_ok());
+        assert!(d.read(PageId(4)).is_ok());
+        assert!(d.read(PageId(5)).is_err());
+        d.inject_faults(None);
+        for i in 6..20 {
+            assert!(d.read(PageId(i)).is_ok());
+        }
+    }
+
+    #[test]
+    fn stats_merge() {
+        let mut a = IoStats { random_reads: 1, sequential_reads: 2, total_cost_ms: 8.2 };
+        let b = IoStats { random_reads: 3, sequential_reads: 4, total_cost_ms: 24.4 };
+        a.merge(&b);
+        assert_eq!(a.random_reads, 4);
+        assert_eq!(a.sequential_reads, 6);
+        assert!((a.total_cost_ms - 32.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(IoError::OutOfRange(PageId(7)).to_string().contains("P7"));
+        assert!(IoError::InjectedFault(PageId(1)).to_string().contains("fault"));
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let d = std::sync::Arc::new(DiskSim::new(u64::MAX, CostModel::ssd()));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let d = d.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100 {
+                    d.read(PageId(t * 1000 + i)).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(d.stats().total_reads(), 400);
+    }
+}

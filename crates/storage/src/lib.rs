@@ -1,0 +1,23 @@
+//! # neurospatial-storage
+//!
+//! A deterministic paged-storage simulator.
+//!
+//! The demo's live statistics panels (Figures 3 and 6 of the paper) show
+//! *disk pages retrieved* and *time* while queries execute. To report the
+//! same quantities reproducibly on any machine, index structures in this
+//! workspace account their page accesses against a [`DiskSim`]: every page
+//! read is classified as sequential or random and costed with a simple
+//! two-parameter model, and an optional LRU [`BufferPool`] absorbs re-reads
+//! exactly the way the demo machine's cache would.
+//!
+//! Nothing here does real I/O — the simulator is the measurement
+//! instrument, not a persistence layer. Wall-clock performance of the
+//! in-memory algorithms is measured separately by the Criterion benches.
+
+pub mod buffer;
+pub mod disk;
+pub mod page;
+
+pub use buffer::BufferPool;
+pub use disk::{CostModel, DiskSim, IoError, IoStats};
+pub use page::{PageId, PAGE_SIZE_BYTES};

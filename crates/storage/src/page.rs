@@ -1,0 +1,54 @@
+//! Page identifiers and sizing.
+
+/// Simulated page size. 8 KiB holds ~128 serialized neuron segments
+/// (64 B each: 7 × f64 geometry + ids), matching the leaf fan-outs used by
+/// the original FLAT/R-Tree experiments.
+pub const PAGE_SIZE_BYTES: usize = 8192;
+
+/// Identifier of a simulated disk page.
+///
+/// Pages are laid out in one linear address space; consecutive ids are
+/// physically consecutive, which is what lets the disk simulator detect
+/// sequential access patterns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId(pub u64);
+
+impl PageId {
+    /// Physical distance (in pages) between two pages.
+    #[inline]
+    pub fn distance(self, other: PageId) -> u64 {
+        self.0.abs_diff(other.0)
+    }
+
+    /// True if `other` is the page physically following `self`.
+    #[inline]
+    pub fn is_successor_of(self, other: PageId) -> bool {
+        other.0 + 1 == self.0
+    }
+}
+
+impl std::fmt::Display for PageId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_and_succession() {
+        assert_eq!(PageId(5).distance(PageId(9)), 4);
+        assert_eq!(PageId(9).distance(PageId(5)), 4);
+        assert_eq!(PageId(5).distance(PageId(5)), 0);
+        assert!(PageId(6).is_successor_of(PageId(5)));
+        assert!(!PageId(5).is_successor_of(PageId(6)));
+        assert!(!PageId(5).is_successor_of(PageId(5)));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(PageId(42).to_string(), "P42");
+    }
+}

@@ -1,0 +1,96 @@
+//! Property tests: the buffer pool behaves exactly like a reference LRU.
+
+use neurospatial_storage::{BufferPool, CostModel, DiskSim, PageId};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+/// Straightforward reference implementation: a deque of page ids, most
+/// recent at the front.
+struct RefLru {
+    cap: usize,
+    q: VecDeque<u64>,
+}
+
+impl RefLru {
+    fn new(cap: usize) -> Self {
+        RefLru { cap, q: VecDeque::new() }
+    }
+    /// Returns true on hit.
+    fn access(&mut self, p: u64) -> bool {
+        if let Some(pos) = self.q.iter().position(|&x| x == p) {
+            self.q.remove(pos);
+            self.q.push_front(p);
+            true
+        } else {
+            if self.q.len() == self.cap {
+                self.q.pop_back();
+            }
+            self.q.push_front(p);
+            false
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn pool_matches_reference_lru(
+        cap in 1usize..16,
+        accesses in prop::collection::vec(0u64..32, 0..400),
+    ) {
+        let disk = DiskSim::new(u64::MAX, CostModel::default());
+        let mut pool = BufferPool::new(cap);
+        let mut reference = RefLru::new(cap);
+        for &a in &accesses {
+            let expect_hit = reference.access(a);
+            let cost = pool.get(PageId(a), &disk).unwrap();
+            prop_assert_eq!(cost == 0.0, expect_hit, "page {}", a);
+            prop_assert!(pool.len() <= cap);
+            // Residency sets agree.
+            let order = pool.lru_order();
+            prop_assert_eq!(order.len(), reference.q.len());
+            for (got, want) in order.iter().zip(reference.q.iter()) {
+                prop_assert_eq!(got.0, *want);
+            }
+        }
+        // Disk reads equal misses exactly.
+        prop_assert_eq!(disk.stats().total_reads(), pool.stats().misses);
+    }
+
+    #[test]
+    fn interleaved_prefetch_preserves_capacity(
+        cap in 1usize..12,
+        ops in prop::collection::vec((any::<bool>(), 0u64..24), 0..300),
+    ) {
+        let disk = DiskSim::new(u64::MAX, CostModel::ssd());
+        let mut pool = BufferPool::new(cap);
+        for &(is_prefetch, page) in &ops {
+            if is_prefetch {
+                pool.prefetch(PageId(page), &disk).unwrap();
+            } else {
+                pool.get(PageId(page), &disk).unwrap();
+            }
+            prop_assert!(pool.len() <= cap);
+        }
+        // Every miss and every effective prefetch hit the disk exactly once.
+        let s = pool.stats();
+        prop_assert!(disk.stats().total_reads() >= s.misses);
+    }
+
+    #[test]
+    fn sequential_scan_costs_less_than_random(
+        start in 0u64..1000,
+        len in 2u64..64,
+    ) {
+        let seq = DiskSim::new(u64::MAX, CostModel::default());
+        for i in 0..len {
+            seq.read(PageId(start + i)).unwrap();
+        }
+        let rnd = DiskSim::new(u64::MAX, CostModel::default());
+        for i in 0..len {
+            rnd.read(PageId(start + i * 2)).unwrap(); // gaps → all random
+        }
+        prop_assert!(seq.stats().total_cost_ms < rnd.stats().total_cost_ms);
+        prop_assert_eq!(seq.stats().sequential_reads, len - 1);
+        prop_assert_eq!(rnd.stats().sequential_reads, 0);
+    }
+}

@@ -1,0 +1,73 @@
+//! Nested-loop join — the O(n·m) baseline the neuroscientists started
+//! with ([Mishra & Eich '92] in the paper's related work).
+
+use crate::stats::{JoinResult, JoinStats};
+use crate::{JoinObject, SpatialJoin};
+use std::time::Instant;
+
+/// Compare every pair. No auxiliary memory at all; the baseline every
+/// other algorithm's comparison count is measured against.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NestedLoopJoin;
+
+impl SpatialJoin for NestedLoopJoin {
+    fn name(&self) -> &'static str {
+        "nested-loop"
+    }
+
+    fn join<T: JoinObject>(&self, a: &[T], b: &[T], eps: f64) -> JoinResult {
+        let t0 = Instant::now();
+        let mut stats = JoinStats::default();
+        let mut pairs = Vec::new();
+        for (i, x) in a.iter().enumerate() {
+            let fx = x.aabb().inflate(eps);
+            for (j, y) in b.iter().enumerate() {
+                stats.filter_comparisons += 1;
+                if fx.intersects(&y.aabb()) {
+                    stats.refine_comparisons += 1;
+                    if x.refine(y, eps) {
+                        pairs.push((i as u32, j as u32));
+                    }
+                }
+            }
+        }
+        stats.results = pairs.len() as u64;
+        stats.probe_ms = t0.elapsed().as_secs_f64() * 1e3;
+        stats.total_ms = stats.probe_ms;
+        JoinResult { pairs, stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neurospatial_geom::{Aabb, Vec3};
+
+    #[test]
+    fn finds_touching_pairs() {
+        let a = vec![Aabb::cube(Vec3::ZERO, 1.0), Aabb::cube(Vec3::new(10.0, 0.0, 0.0), 1.0)];
+        let b = vec![Aabb::cube(Vec3::new(1.5, 0.0, 0.0), 1.0)];
+        // gap between a[0] and b[0] surfaces: 1.5 - 2 = -0.5 → overlap
+        let r = NestedLoopJoin.join(&a, &b, 0.0);
+        assert_eq!(r.sorted_pairs(), vec![(0, 0)]);
+        assert_eq!(r.stats.filter_comparisons, 2);
+        assert_eq!(r.stats.results, 1);
+    }
+
+    #[test]
+    fn epsilon_widens_matches() {
+        let a = vec![Aabb::cube(Vec3::ZERO, 1.0)];
+        let b = vec![Aabb::cube(Vec3::new(4.0, 0.0, 0.0), 1.0)]; // gap = 2
+        assert!(NestedLoopJoin.join(&a, &b, 1.9).pairs.is_empty());
+        assert_eq!(NestedLoopJoin.join(&a, &b, 2.0).pairs.len(), 1);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let e: Vec<Aabb> = vec![];
+        let one = vec![Aabb::cube(Vec3::ZERO, 1.0)];
+        assert!(NestedLoopJoin.join(&e, &one, 1.0).pairs.is_empty());
+        assert!(NestedLoopJoin.join(&one, &e, 1.0).pairs.is_empty());
+        assert!(NestedLoopJoin.join(&e, &e, 1.0).pairs.is_empty());
+    }
+}

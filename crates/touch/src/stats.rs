@@ -1,0 +1,80 @@
+//! Join execution statistics — the demo's runtime charts: "time spent on
+//! the join, memory footprint as well as the number of pairwise
+//! comparisons" (§4.2).
+
+/// Statistics of one join execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct JoinStats {
+    /// AABB filter tests performed.
+    pub filter_comparisons: u64,
+    /// Exact geometry tests performed (survivors of the filter).
+    pub refine_comparisons: u64,
+    /// Qualifying pairs.
+    pub results: u64,
+    /// Time building auxiliary structures (trees, grids, sorted copies).
+    pub build_ms: f64,
+    /// Time in the probe/sweep/traversal phase.
+    pub probe_ms: f64,
+    /// Total wall time.
+    pub total_ms: f64,
+    /// Estimated peak *auxiliary* memory (bytes): everything allocated on
+    /// top of the two input slices and the output vector, which all
+    /// algorithms share. Replication-based algorithms (PBSM) pay here.
+    pub aux_memory_bytes: u64,
+    /// Objects discarded by TOUCH's empty-space filtering (0 for others).
+    pub filtered_out: u64,
+}
+
+impl JoinStats {
+    /// All pairwise comparisons (filter + refine) — the demo's headline
+    /// comparison counter.
+    pub fn total_comparisons(&self) -> u64 {
+        self.filter_comparisons + self.refine_comparisons
+    }
+}
+
+/// Result of a join: qualifying index pairs plus statistics.
+#[derive(Debug, Clone, Default)]
+pub struct JoinResult {
+    /// Pairs `(index into A, index into B)`.
+    pub pairs: Vec<(u32, u32)>,
+    pub stats: JoinStats,
+}
+
+impl JoinResult {
+    /// Pairs sorted lexicographically — for comparing algorithms in tests.
+    pub fn sorted_pairs(&self) -> Vec<(u32, u32)> {
+        let mut p = self.pairs.clone();
+        p.sort_unstable();
+        p
+    }
+
+    /// True if no pair appears twice (duplicate-freedom invariant).
+    pub fn is_duplicate_free(&self) -> bool {
+        let mut p = self.pairs.clone();
+        p.sort_unstable();
+        let n = p.len();
+        p.dedup();
+        p.len() == n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals() {
+        let s = JoinStats { filter_comparisons: 10, refine_comparisons: 4, ..Default::default() };
+        assert_eq!(s.total_comparisons(), 14);
+    }
+
+    #[test]
+    fn duplicate_detection() {
+        let ok = JoinResult { pairs: vec![(0, 1), (1, 0), (0, 2)], ..Default::default() };
+        assert!(ok.is_duplicate_free());
+        let bad = JoinResult { pairs: vec![(0, 1), (0, 1)], ..Default::default() };
+        assert!(!bad.is_duplicate_free());
+        assert_eq!(ok.sorted_pairs(), vec![(0, 1), (0, 2), (1, 0)]);
+    }
+}

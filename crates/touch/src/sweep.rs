@@ -1,0 +1,161 @@
+//! Plane-sweep join (after Edelsbrunner's sweep-line and the "Scalable
+//! Sweep-based Spatial Join"): sort both inputs along x and sweep,
+//! keeping active lists of intervals that overlap the sweep position.
+//!
+//! The paper's critique (§4): "the sweep line approach can become
+//! inefficient if too many elements are on the sweep line (likely in case
+//! of dense data/detailed models)" — E5 shows exactly that behaviour on
+//! elongated neuron segments.
+
+use crate::stats::{JoinResult, JoinStats};
+use crate::{JoinObject, SpatialJoin};
+use neurospatial_geom::Aabb;
+use std::time::Instant;
+
+/// Sweep along x; A-boxes are pre-inflated by ε so the filter semantics
+/// match the other algorithms.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PlaneSweepJoin;
+
+impl SpatialJoin for PlaneSweepJoin {
+    fn name(&self) -> &'static str {
+        "plane-sweep"
+    }
+
+    fn join<T: JoinObject>(&self, a: &[T], b: &[T], eps: f64) -> JoinResult {
+        let t0 = Instant::now();
+        let mut stats = JoinStats::default();
+
+        // Sorted copies of (filter box, original index).
+        let mut sa: Vec<(Aabb, u32)> =
+            a.iter().enumerate().map(|(i, o)| (o.aabb().inflate(eps), i as u32)).collect();
+        let mut sb: Vec<(Aabb, u32)> =
+            b.iter().enumerate().map(|(i, o)| (o.aabb(), i as u32)).collect();
+        sa.sort_by(|x, y| x.0.lo.x.partial_cmp(&y.0.lo.x).expect("finite"));
+        sb.sort_by(|x, y| x.0.lo.x.partial_cmp(&y.0.lo.x).expect("finite"));
+        stats.aux_memory_bytes =
+            ((sa.capacity() + sb.capacity()) * std::mem::size_of::<(Aabb, u32)>()) as u64;
+        stats.build_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        let t1 = Instant::now();
+        let mut pairs = Vec::new();
+        let (mut ia, mut ib) = (0usize, 0usize);
+        // Active lists: boxes whose x-interval contains the sweep position.
+        let mut active_a: Vec<(Aabb, u32)> = Vec::new();
+        let mut active_b: Vec<(Aabb, u32)> = Vec::new();
+
+        while ia < sa.len() || ib < sb.len() {
+            let next_a = sa.get(ia).map(|e| e.0.lo.x).unwrap_or(f64::INFINITY);
+            let next_b = sb.get(ib).map(|e| e.0.lo.x).unwrap_or(f64::INFINITY);
+            if next_a <= next_b {
+                let (fa, i) = sa[ia];
+                ia += 1;
+                // Expire B-boxes that end before this A-box starts.
+                active_b.retain(|(fb, _)| fb.hi.x >= fa.lo.x);
+                for &(fb, j) in &active_b {
+                    stats.filter_comparisons += 1;
+                    if boxes_overlap_yz(&fa, &fb) {
+                        stats.refine_comparisons += 1;
+                        if a[i as usize].refine(&b[j as usize], eps) {
+                            pairs.push((i, j));
+                        }
+                    }
+                }
+                active_a.push((fa, i));
+            } else {
+                let (fb, j) = sb[ib];
+                ib += 1;
+                active_a.retain(|(fa, _)| fa.hi.x >= fb.lo.x);
+                for &(fa, i) in &active_a {
+                    stats.filter_comparisons += 1;
+                    if boxes_overlap_yz(&fa, &fb) {
+                        stats.refine_comparisons += 1;
+                        if a[i as usize].refine(&b[j as usize], eps) {
+                            pairs.push((i, j));
+                        }
+                    }
+                }
+                active_b.push((fb, j));
+            }
+        }
+
+        stats.results = pairs.len() as u64;
+        stats.probe_ms = t1.elapsed().as_secs_f64() * 1e3;
+        stats.total_ms = t0.elapsed().as_secs_f64() * 1e3;
+        JoinResult { pairs, stats }
+    }
+}
+
+/// The sweep already guarantees x-overlap; test the remaining two axes.
+#[inline]
+fn boxes_overlap_yz(a: &Aabb, b: &Aabb) -> bool {
+    a.lo.y <= b.hi.y && b.lo.y <= a.hi.y && a.lo.z <= b.hi.z && b.lo.z <= a.hi.z
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NestedLoopJoin;
+    use neurospatial_geom::Vec3;
+
+    fn grid_boxes(n: usize, offset: f64) -> Vec<Aabb> {
+        (0..n)
+            .map(|i| {
+                let x = (i % 10) as f64 * 1.5 + offset;
+                let y = ((i / 10) % 10) as f64 * 1.5;
+                let z = (i / 100) as f64 * 1.5 + offset * 0.5;
+                Aabb::cube(Vec3::new(x, y, z), 0.5)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_nested_loop() {
+        let a = grid_boxes(300, 0.0);
+        let b = grid_boxes(300, 0.7);
+        for eps in [0.0, 0.2, 1.0] {
+            let s = PlaneSweepJoin.join(&a, &b, eps);
+            let n = NestedLoopJoin.join(&a, &b, eps);
+            assert_eq!(s.sorted_pairs(), n.sorted_pairs(), "eps={eps}");
+            assert!(s.is_duplicate_free());
+        }
+    }
+
+    #[test]
+    fn fewer_comparisons_than_nested_on_spread_data() {
+        // Data spread along x: the sweep should test far fewer pairs.
+        let a: Vec<Aabb> =
+            (0..500).map(|i| Aabb::cube(Vec3::new(i as f64 * 3.0, 0.0, 0.0), 0.5)).collect();
+        let b: Vec<Aabb> =
+            (0..500).map(|i| Aabb::cube(Vec3::new(i as f64 * 3.0 + 0.8, 0.0, 0.0), 0.5)).collect();
+        let s = PlaneSweepJoin.join(&a, &b, 0.0);
+        let n = NestedLoopJoin.join(&a, &b, 0.0);
+        assert_eq!(s.sorted_pairs(), n.sorted_pairs());
+        assert!(
+            s.stats.filter_comparisons * 20 < n.stats.filter_comparisons,
+            "sweep {} vs nested {}",
+            s.stats.filter_comparisons,
+            n.stats.filter_comparisons
+        );
+    }
+
+    #[test]
+    fn degenerate_same_x_still_correct() {
+        // Everything on one sweep position — the paper's worst case.
+        let a: Vec<Aabb> =
+            (0..100).map(|i| Aabb::cube(Vec3::new(0.0, i as f64 * 1.2, 0.0), 0.5)).collect();
+        let b: Vec<Aabb> =
+            (0..100).map(|i| Aabb::cube(Vec3::new(0.0, i as f64 * 1.2 + 0.6, 0.0), 0.5)).collect();
+        let s = PlaneSweepJoin.join(&a, &b, 0.0);
+        let n = NestedLoopJoin.join(&a, &b, 0.0);
+        assert_eq!(s.sorted_pairs(), n.sorted_pairs());
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let e: Vec<Aabb> = vec![];
+        let one = vec![Aabb::cube(Vec3::ZERO, 1.0)];
+        assert!(PlaneSweepJoin.join(&e, &one, 1.0).pairs.is_empty());
+        assert!(PlaneSweepJoin.join(&one, &e, 1.0).pairs.is_empty());
+    }
+}

@@ -1,0 +1,72 @@
+//! Mesh and morphology export: write one synthetic neuron as Wavefront
+//! OBJ (the surface-mesh artefact the demo renders, cf. Figure 1) and as
+//! SWC (the standard neuroscience interchange format), plus the whole
+//! circuit as a compact binary segment file.
+//!
+//! Run with: `cargo run --release --example mesh_export`
+//! Files are written to the system temp directory.
+
+use neurospatial::model::{mesh, swc};
+use neurospatial::prelude::*;
+
+fn main() -> std::io::Result<()> {
+    let circuit = CircuitBuilder::new(3)
+        .neurons(3)
+        .morphology(MorphologyParams::cortical())
+        .build();
+    let out_dir = std::env::temp_dir().join("neurospatial_export");
+    std::fs::create_dir_all(&out_dir)?;
+
+    // --- One neuron as OBJ surface mesh ----------------------------------
+    let morph = &circuit.morphologies()[0];
+    let m = mesh::morphology_mesh(morph, 8);
+    assert_eq!(m.open_edge_count(), 0, "exported meshes are watertight");
+    let obj_path = out_dir.join("neuron0.obj");
+    std::fs::write(&obj_path, m.to_obj())?;
+    println!(
+        "wrote {} ({} vertices, {} triangles, {:.0} µm² surface)",
+        obj_path.display(),
+        m.vertices.len(),
+        m.triangles.len(),
+        m.surface_area()
+    );
+
+    // --- The same neuron as SWC ------------------------------------------
+    let swc_path = out_dir.join("neuron0.swc");
+    std::fs::write(&swc_path, swc::to_swc(morph))?;
+    let reparsed = swc::from_swc(&std::fs::read_to_string(&swc_path)?)
+        .expect("our own SWC must parse back");
+    println!(
+        "wrote {} ({} sections, {:.0} µm cable; reparse OK: {} sections)",
+        swc_path.display(),
+        morph.sections.len(),
+        morph.total_length(),
+        reparsed.sections.len()
+    );
+
+    // --- The full circuit as a binary segment file ------------------------
+    let bin_path = out_dir.join("circuit.nspz");
+    let bytes = neurospatial::model::encode_segments(circuit.segments());
+    std::fs::write(&bin_path, &bytes)?;
+    let back = neurospatial::model::decode_segments(&std::fs::read(&bin_path)?)
+        .expect("roundtrip");
+    assert_eq!(back.len(), circuit.segments().len());
+    println!(
+        "wrote {} ({} segments, {} KiB); decoded back losslessly",
+        bin_path.display(),
+        back.len(),
+        bytes.len() / 1024
+    );
+
+    // A downstream consumer can open a database straight from the file.
+    let db = NeuroDb::from_segments(back, NeuroDbConfig::default());
+    let stats = db.region_stats(&Aabb::cube(circuit.segments()[0].geom.center(), 40.0));
+    println!(
+        "reloaded database: {} segments; sample region holds {} segments of {} neurons, {:.1} µm cable",
+        db.len(),
+        stats.count,
+        stats.neuron_count,
+        stats.total_cable_length
+    );
+    Ok(())
+}

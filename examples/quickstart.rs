@@ -1,0 +1,79 @@
+//! Quickstart: generate a microcircuit, index it, query it, find synapse
+//! candidates and replay an exploration walkthrough.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use neurospatial::prelude::*;
+
+fn main() {
+    // --- 1. Generate a synthetic microcircuit ---------------------------
+    // (substitute for the proprietary Blue Brain datasets; see DESIGN.md)
+    let circuit = CircuitBuilder::new(42)
+        .neurons(40)
+        .morphology(MorphologyParams::cortical())
+        .placement(SomaPlacement::Layered { count: 4, jitter: 15.0 })
+        .build();
+    println!(
+        "circuit: {} neurons, {} segments, bounds {}",
+        circuit.neuron_count(),
+        circuit.segments().len(),
+        circuit.bounds()
+    );
+
+    // --- 2. Open a spatial database (FLAT index underneath) -------------
+    let db = NeuroDb::from_circuit(&circuit);
+    println!(
+        "FLAT index: {} pages, {:.1} neighbors/page, seed-tree height {}",
+        db.index().page_count(),
+        db.index().mean_neighbors(),
+        db.index().seed_tree_height()
+    );
+
+    // --- 3. Range query --------------------------------------------------
+    let region = Aabb::cube(circuit.bounds().center(), 50.0);
+    let (hits, stats) = db.range_query(&region);
+    println!(
+        "range query {}: {} segments, {} data pages read, {} seed nodes, {} re-seeds",
+        region, hits.len(), stats.pages_read, stats.seed_nodes_read, stats.reseeds
+    );
+
+    // --- 3b. Tissue statistics (the §2.1 use case) ------------------------
+    let stats = db.region_stats(&region);
+    println!(
+        "region stats: {} segments of {} neurons | {:.0} µm cable | density {:.4} seg/µm³",
+        stats.count, stats.neuron_count, stats.total_cable_length, stats.density
+    );
+
+    // --- 4. Synapse candidates (TOUCH distance join) ---------------------
+    let eps = 2.5; // µm
+    let synapses = db.find_synapse_candidates(eps);
+    println!(
+        "synapse candidates at ε={eps}: {} pairs in {:.1} ms ({} comparisons, {} filtered out)",
+        synapses.pairs.len(),
+        synapses.stats.total_ms,
+        synapses.stats.total_comparisons(),
+        synapses.stats.filtered_out
+    );
+
+    // --- 5. Branch-following walkthrough with SCOUT ----------------------
+    let path = db
+        .navigation_path(&circuit, 7, 25.0, 10.0)
+        .expect("generated circuits always have branches");
+    println!(
+        "walkthrough: following neuron {} over {} steps ({:.0} µm)",
+        path.neuron,
+        path.queries.len(),
+        path.path_length()
+    );
+    for method in WalkthroughMethod::ALL {
+        let s = db.walkthrough(&path, method);
+        println!(
+            "  {:>13}: stall {:>8.1} ms | hit ratio {:>5.1}% | prefetched {:>4} pages ({:>5.1}% useful)",
+            s.method,
+            s.total_stall_ms,
+            s.hit_ratio() * 100.0,
+            s.total_prefetched,
+            s.prefetch_precision() * 100.0,
+        );
+    }
+}

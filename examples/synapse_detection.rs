@@ -1,0 +1,69 @@
+//! Synapse detection: the TOUCH workload of §4 of the paper.
+//!
+//! Builds two neuron populations, races all five join algorithms on the
+//! same ε-distance join, and prints the statistics the demo shows live:
+//! time, memory footprint, pairwise comparisons.
+//!
+//! Run with: `cargo run --release --example synapse_detection`
+
+use neurospatial::prelude::*;
+
+fn main() {
+    let circuit = CircuitBuilder::new(7)
+        .neurons(30)
+        .morphology(MorphologyParams::cortical())
+        .build();
+    let (axons, dendrites) = circuit.split_populations();
+    println!(
+        "populations: |A| = {} segments, |B| = {} segments",
+        axons.len(),
+        dendrites.len()
+    );
+
+    let eps = 2.0;
+    println!("\ndistance join at ε = {eps} µm:");
+    println!(
+        "{:>13} | {:>10} | {:>12} | {:>12} | {:>10} | {:>8}",
+        "method", "time ms", "comparisons", "aux mem KiB", "pairs", "build ms"
+    );
+
+    let run = |name: &str, r: JoinResult| {
+        println!(
+            "{:>13} | {:>10.1} | {:>12} | {:>12.1} | {:>10} | {:>8.1}",
+            name,
+            r.stats.total_ms,
+            r.stats.total_comparisons(),
+            r.stats.aux_memory_bytes as f64 / 1024.0,
+            r.pairs.len(),
+            r.stats.build_ms,
+        );
+        r.sorted_pairs()
+    };
+
+    let reference = run("touch", TouchJoin::default().join(&axons, &dendrites, eps));
+    let others = [
+        run("touch(4thr)", TouchJoin::parallel(4).join(&axons, &dendrites, eps)),
+        run("pbsm", PbsmJoin::default().join(&axons, &dendrites, eps)),
+        run("s3", S3Join::default().join(&axons, &dendrites, eps)),
+        run("plane-sweep", PlaneSweepJoin.join(&axons, &dendrites, eps)),
+        run("nested-loop", NestedLoopJoin.join(&axons, &dendrites, eps)),
+    ];
+    for o in &others {
+        assert_eq!(*o, reference, "all algorithms must agree");
+    }
+    println!("\nall {} algorithms returned identical pair sets ✓", others.len() + 1);
+
+    // Where would the synapses go? Summarise per neuron pair.
+    use std::collections::HashMap;
+    let mut per_pair: HashMap<(u32, u32), usize> = HashMap::new();
+    let r = TouchJoin::default().join(&axons, &dendrites, eps);
+    for &(i, j) in &r.pairs {
+        *per_pair.entry((axons[i as usize].neuron, dendrites[j as usize].neuron)).or_default() += 1;
+    }
+    let mut counts: Vec<_> = per_pair.into_iter().collect();
+    counts.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+    println!("\ntop connected neuron pairs (pre-synaptic, post-synaptic, contact sites):");
+    for ((a, b), c) in counts.into_iter().take(5) {
+        println!("  neuron {a:>3} ↔ neuron {b:>3}: {c} candidate sites");
+    }
+}

@@ -1,0 +1,105 @@
+//! Determinism and scale: the full pipeline produces identical results
+//! run-to-run, and behaves across a size sweep.
+
+use neurospatial::prelude::*;
+
+#[test]
+fn whole_pipeline_is_deterministic() {
+    let run = || {
+        let c = CircuitBuilder::new(77).neurons(12).build();
+        let db = NeuroDb::from_circuit(&c);
+        let q = Aabb::cube(c.bounds().center(), 25.0);
+        let (hits, qstats) = db.range_query(&q);
+        let join = db.find_synapse_candidates(1.0);
+        let path = db.navigation_path(&c, 5, 15.0, 6.0).expect("path");
+        let walk = db.walkthrough(&path, WalkthroughMethod::Scout);
+        (
+            hits.len(),
+            qstats.pages_read,
+            join.sorted_pairs(),
+            walk.total_stall_ms.to_bits(),
+            walk.total_prefetched,
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn results_scale_with_circuit_size() {
+    let mut last_segments = 0;
+    for neurons in [4u32, 8, 16] {
+        let c = CircuitBuilder::new(31).neurons(neurons).build();
+        assert!(c.segments().len() > last_segments, "more neurons, more segments");
+        last_segments = c.segments().len();
+
+        let db = NeuroDb::from_circuit(&c);
+        let q = Aabb::cube(c.bounds().center(), 1e6); // everything
+        let (hits, _) = db.range_query(&q);
+        assert_eq!(hits.len(), c.segments().len());
+    }
+}
+
+#[test]
+fn query_stats_are_internally_consistent() {
+    let c = CircuitBuilder::new(13).neurons(16).build();
+    let db = NeuroDb::from_circuit(&c);
+    let w = RangeQueryWorkload::generate(
+        3,
+        &c.bounds(),
+        20,
+        12.0,
+        QueryPlacement::DataCentered,
+        Some(c.segments()),
+    );
+    for q in &w.queries {
+        let (hits, s) = db.range_query(q);
+        assert_eq!(s.results as usize, hits.len());
+        assert!(s.objects_tested >= s.results);
+        assert_eq!(s.crawl_order.len() as u64, s.pages_read);
+        // Each read page holds at most page_capacity objects.
+        assert!(s.objects_tested <= s.pages_read * db.index().params().page_capacity as u64);
+    }
+}
+
+#[test]
+fn io_accounting_flows_through_the_stack() {
+    // Charge a FLAT query against the disk simulator by hand and check
+    // the statistics add up.
+    let c = CircuitBuilder::new(21).neurons(10).build();
+    let db = NeuroDb::from_circuit(&c);
+    let disk = DiskSim::new(u64::MAX, CostModel::default());
+    let mut pool = BufferPool::new(64);
+    let q = Aabb::cube(c.bounds().center(), 30.0);
+    let mut data_pages = 0u64;
+    let (_, stats) = db.index().range_query_with(&q, |acc| {
+        if let neurospatial::flat::PageAccess::Data(p) = acc {
+            data_pages += 1;
+            pool.get(PageId(p as u64), &disk).expect("simulated disk");
+        }
+    });
+    assert_eq!(data_pages, stats.pages_read);
+    assert_eq!(disk.stats().total_reads(), pool.stats().misses);
+    assert_eq!(pool.stats().misses, stats.pages_read, "first touch misses everything");
+
+    // Re-running the same query hits the pool for every page.
+    let (_, _) = db.index().range_query_with(&q, |acc| {
+        if let neurospatial::flat::PageAccess::Data(p) = acc {
+            pool.get(PageId(p as u64), &disk).expect("simulated disk");
+        }
+    });
+    assert_eq!(pool.stats().hits, stats.pages_read);
+}
+
+#[test]
+fn fault_injection_surfaces_errors() {
+    let disk = DiskSim::new(u64::MAX, CostModel::default());
+    disk.inject_faults(Some(2));
+    let mut pool = BufferPool::new(8);
+    let mut errors = 0;
+    for i in 0..10 {
+        if pool.get(PageId(i), &disk).is_err() {
+            errors += 1;
+        }
+    }
+    assert_eq!(errors, 5, "every second read fails");
+}

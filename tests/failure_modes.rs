@@ -1,0 +1,134 @@
+//! Degenerate inputs and failure paths, end to end: the library must
+//! behave predictably at the edges downstream users will hit.
+
+use neurospatial::model::{decode_segments, encode_segments};
+use neurospatial::prelude::*;
+
+#[test]
+fn single_neuron_circuit_works_everywhere() {
+    let c = CircuitBuilder::new(1).neurons(1).build();
+    let db = NeuroDb::from_circuit(&c);
+    assert!(!db.is_empty());
+    let (hits, _) = db.range_query(&c.bounds().inflate(1.0));
+    assert_eq!(hits.len(), c.segments().len());
+    // One neuron → one population empty → join returns nothing but works.
+    let r = db.find_synapse_candidates(5.0);
+    assert!(r.pairs.is_empty());
+}
+
+#[test]
+fn zero_extent_query_is_a_point_probe() {
+    let c = CircuitBuilder::new(2).neurons(4).build();
+    let db = NeuroDb::from_circuit(&c);
+    let p = c.segments()[10].geom.center();
+    let q = Aabb::point(p);
+    let (hits, _) = db.range_query(&q);
+    // At least the segment whose centre we probed intersects.
+    assert!(hits.iter().any(|s| s.id == c.segments()[10].id));
+    let brute = c.segments().iter().filter(|s| s.aabb().intersects(&q)).count();
+    assert_eq!(hits.len(), brute);
+}
+
+#[test]
+fn enormous_epsilon_joins_everything() {
+    let c = CircuitBuilder::new(3).neurons(4).build();
+    let (a, b) = c.split_populations();
+    let a: Vec<_> = a.into_iter().take(50).collect();
+    let b: Vec<_> = b.into_iter().take(50).collect();
+    let eps = 1e7; // larger than the whole model
+    let r = TouchJoin::default().join(&a, &b, eps);
+    assert_eq!(r.pairs.len(), a.len() * b.len(), "everything joins everything");
+    assert!(r.is_duplicate_free());
+    // And the baselines agree even in this extreme.
+    assert_eq!(PlaneSweepJoin.join(&a, &b, eps).pairs.len(), r.pairs.len());
+    assert_eq!(PbsmJoin::default().join(&a, &b, eps).pairs.len(), r.pairs.len());
+}
+
+#[test]
+fn walkthrough_of_length_one_path() {
+    let c = CircuitBuilder::new(7).neurons(3).build();
+    let db = NeuroDb::from_circuit(&c);
+    // Manufacture a single-query "path".
+    let mut path = db.navigation_path(&c, 1, 15.0, 6.0).expect("path");
+    path.queries.truncate(1);
+    path.waypoints.truncate(1);
+    for m in WalkthroughMethod::ALL {
+        let s = db.walkthrough(&path, m);
+        assert_eq!(s.steps.len(), 1);
+        // One query, cold cache: every method pays the same stall.
+        assert_eq!(s.total_demand_hits, 0);
+    }
+}
+
+#[test]
+fn disk_faults_propagate_and_recover() {
+    let disk = DiskSim::new(u64::MAX, CostModel::default());
+    let mut pool = BufferPool::new(16);
+    disk.inject_faults(Some(4));
+    let mut failures = 0;
+    for i in 0..32u64 {
+        if pool.get(PageId(i), &disk).is_err() {
+            failures += 1;
+        }
+    }
+    assert_eq!(failures, 8);
+    // Recovery: disable faults, everything works again.
+    disk.inject_faults(None);
+    for i in 100..110u64 {
+        pool.get(PageId(i), &disk).expect("healthy disk");
+    }
+}
+
+#[test]
+fn corrupted_files_never_panic() {
+    let c = CircuitBuilder::new(5).neurons(2).build();
+    let good = encode_segments(c.segments());
+    // Flip every byte of the header region one at a time.
+    for i in 0..16.min(good.len()) {
+        let mut bad = good.clone();
+        bad[i] ^= 0xFF;
+        let _ = decode_segments(&bad); // must return, not panic
+    }
+    // Random truncations.
+    for len in [0usize, 1, 15, 16, 17, good.len() - 1] {
+        let _ = decode_segments(&good[..len]);
+    }
+}
+
+#[test]
+fn queries_far_outside_the_model_are_cheap_and_empty() {
+    let c = CircuitBuilder::new(9).neurons(6).build();
+    let db = NeuroDb::from_circuit(&c);
+    let far = Aabb::cube(Vec3::splat(1e9), 100.0);
+    let (hits, stats) = db.range_query(&far);
+    assert!(hits.is_empty());
+    assert_eq!(stats.pages_read, 0, "root check proves emptiness without I/O");
+    assert_eq!(db.region_stats(&far), neurospatial::RegionStats::default());
+}
+
+#[test]
+fn flat_handles_pathological_coincident_objects() {
+    // Thousands of identical segments at one point: every page has the
+    // same MBR (total overlap), the crawl must still terminate and be
+    // exact.
+    let seg = Segment::new(Vec3::ONE, Vec3::new(1.0, 2.0, 1.0), 0.3);
+    let objs: Vec<NeuronSegment> = (0..5000)
+        .map(|i| NeuronSegment { id: i, neuron: 0, section: 0, index_on_section: i as u32, geom: seg })
+        .collect();
+    let idx = FlatIndex::build(objs, FlatBuildParams::default().with_page_capacity(32));
+    let (hits, stats) = idx.range_query(&Aabb::cube(Vec3::ONE, 0.5));
+    assert_eq!(hits.len(), 5000);
+    assert_eq!(stats.pages_read, idx.page_count() as u64);
+}
+
+#[test]
+fn rtree_handles_pathological_coincident_objects() {
+    let b = Aabb::cube(Vec3::ONE, 0.5);
+    let mut tree = RTree::new(RTreeParams::with_max_entries(8));
+    for _ in 0..2000 {
+        tree.insert(b);
+    }
+    let (hits, _) = tree.range_query(&b);
+    assert_eq!(hits.len(), 2000);
+    neurospatial::rtree::validation::validate(&tree).expect("valid despite total overlap");
+}
