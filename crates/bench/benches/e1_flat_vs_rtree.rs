@@ -1,5 +1,7 @@
 //! E1 wall-clock companion (demo Figures 2+3): range-query latency of
-//! FLAT vs the STR-packed and dynamic R-Trees across densities.
+//! FLAT vs the STR-packed, dynamic and R+ trees across densities —
+//! raced through the pluggable [`SpatialIndex`] trait, with a direct
+//! (non-virtual) FLAT lane to expose any abstraction overhead.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use neurospatial::prelude::*;
@@ -10,46 +12,45 @@ fn bench_range_queries(c: &mut Criterion) {
     let mut group = c.benchmark_group("e1_range_query");
     group.sample_size(20);
 
+    let params = IndexParams { page_capacity: 64 };
     for &neurons in &[10u32, 50] {
         let circuit = dense_circuit(neurons, 1);
         let segments = circuit.segments().to_vec();
         let n = segments.len();
-        let flat =
-            FlatIndex::build(segments.clone(), FlatBuildParams::default().with_page_capacity(64));
-        let packed = RTree::bulk_load(segments.clone(), RTreeParams::with_max_entries(64));
-        let mut dynamic = RTree::new(RTreeParams::with_max_entries(64));
-        for s in &segments {
-            dynamic.insert(*s);
-        }
         let w = standard_workload(&circuit, 20, 20.0);
 
-        group.bench_with_input(BenchmarkId::new("flat", n), &w, |b, w| {
+        // Direct lane: the concrete FLAT index with no trait dispatch and
+        // no result copy-out — the pre-redesign hot path, kept as the
+        // regression baseline for the SpatialIndex abstraction.
+        let flat_direct =
+            FlatIndex::build(segments.clone(), FlatBuildParams::default().with_page_capacity(64));
+        group.bench_with_input(BenchmarkId::new("flat_direct", n), &w, |b, w| {
             b.iter(|| {
                 let mut total = 0usize;
                 for q in &w.queries {
-                    total += flat.range_query(black_box(q)).0.len();
+                    total += flat_direct.range_query(black_box(q)).0.len();
                 }
                 total
             })
         });
-        group.bench_with_input(BenchmarkId::new("rtree_str", n), &w, |b, w| {
-            b.iter(|| {
-                let mut total = 0usize;
-                for q in &w.queries {
-                    total += packed.range_query(black_box(q)).0.len();
-                }
-                total
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("rtree_dynamic", n), &w, |b, w| {
-            b.iter(|| {
-                let mut total = 0usize;
-                for q in &w.queries {
-                    total += dynamic.range_query(black_box(q)).0.len();
-                }
-                total
-            })
-        });
+
+        // Every backend through the one trait, using the buffer-reuse
+        // form (`range_query_into`) — the hot-loop API.
+        for backend in IndexBackend::ALL {
+            let index = backend.build(segments.clone(), &params);
+            group.bench_with_input(BenchmarkId::new(backend.name(), n), &w, |b, w| {
+                let mut buf = Vec::new();
+                b.iter(|| {
+                    let mut total = 0usize;
+                    for q in &w.queries {
+                        buf.clear();
+                        index.range_query_into(black_box(q), &mut buf);
+                        total += buf.len();
+                    }
+                    total
+                })
+            });
+        }
     }
     group.finish();
 }
@@ -59,18 +60,13 @@ fn bench_build(c: &mut Criterion) {
     group.sample_size(10);
     let circuit = dense_circuit(25, 1);
     let segments = circuit.segments().to_vec();
+    let params = IndexParams { page_capacity: 64 };
 
-    group.bench_function("flat_build", |b| {
-        b.iter(|| {
-            FlatIndex::build(black_box(segments.clone()), FlatBuildParams::default())
-                .page_count()
-        })
-    });
-    group.bench_function("rtree_str_bulk_load", |b| {
-        b.iter(|| {
-            RTree::bulk_load(black_box(segments.clone()), RTreeParams::with_max_entries(64)).len()
-        })
-    });
+    for backend in [IndexBackend::Flat, IndexBackend::StrPacked] {
+        group.bench_function(format!("{}_build", backend.name()), |b| {
+            b.iter(|| backend.build(black_box(segments.clone()), &params).len())
+        });
+    }
     group.finish();
 }
 

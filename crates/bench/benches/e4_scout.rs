@@ -37,7 +37,8 @@ fn bench_skeleton_reconstruction(c: &mut Criterion) {
     let circuit = jagged_circuit(12, 9);
     let db = NeuroDb::from_circuit(&circuit);
     let q = Aabb::cube(circuit.bounds().center(), 25.0);
-    let (result, _) = db.range_query(&q);
+    let out = db.range_query(&q);
+    let result: Vec<&NeuronSegment> = out.segments.iter().collect();
 
     let mut group = c.benchmark_group("e4_skeleton");
     group.sample_size(30);

@@ -4,10 +4,17 @@
 //! ```text
 //! cargo run --release -p neurospatial-bench --bin experiments        # all
 //! cargo run --release -p neurospatial-bench --bin experiments e4    # one
+//!
+//! # restrict the backend race / walkthrough methods from the CLI
+//! # (names parsed via FromStr — any alias IndexBackend/WalkthroughMethod
+//! # accepts works here):
+//! cargo run ... --bin experiments e1 --backends=flat,str-packed
+//! cargo run ... --bin experiments e4 --methods=none,scout
 //! ```
 //!
 //! Mapping (see DESIGN.md §4 for the full index):
-//!   e1 — Fig. 2+3: FLAT vs R-Tree range-query statistics
+//!   e1 — Fig. 2+3: FLAT vs R-Tree range-query statistics, plus the
+//!                  backend race through the SpatialIndex trait
 //!   e2 — Fig. 4:   crawl behaviour and R-Tree node accesses per level
 //!   e3 — Fig. 5:   SCOUT candidate-set pruning
 //!   e4 — Fig. 6:   walkthrough prefetching comparison (up-to-15× claim)
@@ -19,12 +26,39 @@ use neurospatial::scout::{PrefetchContext, ScoutPrefetcher};
 use neurospatial_bench::*;
 use std::time::Instant;
 
+/// Parse a `--flag=a,b,c` list via `FromStr`, exiting with the parser's
+/// diagnostic (which lists the known names) on a bad entry.
+fn parse_list<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<Vec<T>>
+where
+    T::Err: std::fmt::Display,
+{
+    let prefix = format!("--{flag}=");
+    let raw = args.iter().find_map(|a| a.strip_prefix(&prefix))?;
+    let mut out = Vec::new();
+    for name in raw.split(',').filter(|n| !n.is_empty()) {
+        match name.parse::<T>() {
+            Ok(v) => out.push(v),
+            Err(e) => {
+                eprintln!("--{flag}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    Some(out)
+}
+
 fn main() {
-    let which: Vec<String> = std::env::args().skip(1).collect();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let backends: Vec<IndexBackend> =
+        parse_list(&args, "backends").unwrap_or_else(|| IndexBackend::ALL.to_vec());
+    let methods: Vec<WalkthroughMethod> =
+        parse_list(&args, "methods").unwrap_or_else(|| WalkthroughMethod::ALL.to_vec());
+    let which: Vec<String> = args.into_iter().filter(|a| !a.starts_with("--")).collect();
     let run = |name: &str| which.is_empty() || which.iter().any(|w| w == name);
 
     if run("e1") {
         e1_flat_vs_rtree();
+        e1_backend_race(&backends);
     }
     if run("e2") {
         e2_crawl_and_levels();
@@ -33,7 +67,7 @@ fn main() {
         e3_candidate_pruning();
     }
     if run("e4") {
-        e4_walkthrough();
+        e4_walkthrough(&methods);
     }
     if run("e5") {
         e5_join_comparison();
@@ -66,14 +100,24 @@ fn main() {
 fn e1_flat_vs_rtree() {
     println!("\n== E1 — FLAT vs R-Tree range queries (Figures 2+3) ==\n");
     let mut t = Table::new([
-        "neurons", "segments", "query", "avg result", "flat reads", "rtree reads",
-        "dyn reads", "flat io ms", "rtree io ms", "flat µs", "rtree µs",
+        "neurons",
+        "segments",
+        "query",
+        "avg result",
+        "flat reads",
+        "rtree reads",
+        "dyn reads",
+        "flat io ms",
+        "rtree io ms",
+        "flat µs",
+        "rtree µs",
     ]);
 
     for &neurons in &[10u32, 25, 50] {
         let circuit = dense_circuit(neurons, 1);
         let segments = circuit.segments().to_vec();
-        let flat = FlatIndex::build(segments.clone(), FlatBuildParams::default().with_page_capacity(64));
+        let flat =
+            FlatIndex::build(segments.clone(), FlatBuildParams::default().with_page_capacity(64));
         let packed = RTree::bulk_load(segments.clone(), RTreeParams::with_max_entries(64));
         let mut dynamic = RTree::new(RTreeParams::with_max_entries(64));
         for s in &segments {
@@ -128,6 +172,55 @@ fn e1_flat_vs_rtree() {
     println!("(especially the dynamic one) pays extra node reads as density grows.");
 }
 
+/// E1b: the same race run through the pluggable `SpatialIndex` trait —
+/// one code path, backends selected by value or CLI name. Unified
+/// `QueryStats` makes the cost columns directly comparable.
+fn e1_backend_race(backends: &[IndexBackend]) {
+    println!("\n== E1b — backend race through the SpatialIndex trait ==\n");
+    let params = IndexParams { page_capacity: 64 };
+    let mut t = Table::new([
+        "backend",
+        "build ms",
+        "memory MiB",
+        "avg reads",
+        "avg tested",
+        "avg results",
+        "avg µs/query",
+    ]);
+    let circuit = dense_circuit(25, 1);
+    let w = standard_workload(&circuit, 40, 20.0);
+    let n = w.queries.len() as f64;
+    for backend in backends {
+        let t0 = Instant::now();
+        let index = backend.build(circuit.segments().to_vec(), &params);
+        let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let (mut reads, mut tested, mut results) = (0u64, 0u64, 0u64);
+        let mut buf = Vec::new();
+        let t1 = Instant::now();
+        for q in &w.queries {
+            buf.clear();
+            let s = index.range_query_into(q, &mut buf);
+            reads += s.nodes_read;
+            tested += s.objects_tested;
+            results += s.results;
+        }
+        let us = t1.elapsed().as_secs_f64() * 1e6 / n;
+        t.row([
+            backend.to_string(),
+            f1(build_ms),
+            f2(index.memory_bytes() as f64 / (1024.0 * 1024.0)),
+            f1(reads as f64 / n),
+            f1(tested as f64 / n),
+            f1(results as f64 / n),
+            f1(us),
+        ]);
+    }
+    t.print();
+    println!("\nshape check: identical result counts on every backend (the equivalence");
+    println!("contract); FLAT's reads track the result size, the R-Tree family's grow");
+    println!("with overlap, the R+-Tree trades memory for overlap-free reads.");
+}
+
 /// E2 (demo Figure 4): how the two executors traverse — FLAT's crawl
 /// visits exactly the pages intersecting the query, while the R-Tree
 /// reads more nodes per level as overlap accumulates.
@@ -135,7 +228,8 @@ fn e2_crawl_and_levels() {
     println!("\n== E2 — crawl order & node accesses per level (Figure 4) ==\n");
     let circuit = dense_circuit(50, 1);
     let segments = circuit.segments().to_vec();
-    let flat = FlatIndex::build(segments.clone(), FlatBuildParams::default().with_page_capacity(64));
+    let flat =
+        FlatIndex::build(segments.clone(), FlatBuildParams::default().with_page_capacity(64));
     let packed = RTree::bulk_load(segments.clone(), RTreeParams::with_max_entries(64));
     let mut dynamic = RTree::new(RTreeParams::with_max_entries(64));
     for s in &segments {
@@ -169,10 +263,16 @@ fn e2_crawl_and_levels() {
         }
     }
 
-    println!("FLAT  (avg/query): {} data pages, {} links examined-but-rejected,",
-        f1(flat_agg.0 as f64 / n), f1(flat_agg.1 as f64 / n));
-    println!("                   {} seed-node reads, {} re-seeds\n",
-        f1(flat_agg.3 as f64 / n), f2(flat_agg.2 as f64 / n));
+    println!(
+        "FLAT  (avg/query): {} data pages, {} links examined-but-rejected,",
+        f1(flat_agg.0 as f64 / n),
+        f1(flat_agg.1 as f64 / n)
+    );
+    println!(
+        "                   {} seed-node reads, {} re-seeds\n",
+        f1(flat_agg.3 as f64 / n),
+        f2(flat_agg.2 as f64 / n)
+    );
 
     let mut t = Table::new(["tree", "level 0 (root)", "level 1", "level 2", "leaf overlap vol"]);
     let fmt_levels = |ls: &[f64]| -> [String; 3] {
@@ -232,12 +332,15 @@ fn e3_candidate_pruning() {
 
     let mut t = Table::new(["path", "steps", "candidates per step (q0, q1, …)", "final"]);
     let mut identified = 0;
+    // Candidate pruning inspects FLAT's crawl order, so go through the
+    // paged index rather than the backend-agnostic facade.
+    let flat = db.flat_index().expect("default backend is FLAT");
     for (i, path) in paths.iter().enumerate() {
         let mut scout = ScoutPrefetcher::default();
         let mut history = Vec::new();
         for q in &path.queries {
             history.push(q.center());
-            let (result, stats) = db.range_query(q);
+            let (result, stats) = flat.range_query(q);
             let ctx = PrefetchContext {
                 query: q,
                 result: &result,
@@ -269,7 +372,7 @@ fn e3_candidate_pruning() {
 /// E4 (demo Figure 6): walkthrough statistics per prefetching method —
 /// prefetched / correctly prefetched / fetched on demand, stall time and
 /// speedup. Paper claim: SCOUT speeds up query sequences by up to 15×.
-fn e4_walkthrough() {
+fn e4_walkthrough(methods: &[WalkthroughMethod]) {
     println!("\n== E4 — SCOUT walkthrough speedup (Figure 6) ==\n");
     for &(neurons, label) in &[(12u32, "small"), (30, "medium")] {
         let circuit = jagged_circuit(neurons, 9);
@@ -283,11 +386,25 @@ fn e4_walkthrough() {
         );
 
         let mut t = Table::new([
-            "method", "stall ms", "demand miss", "demand hit", "prefetched", "useful",
-            "precision", "speedup",
+            "method",
+            "stall ms",
+            "demand miss",
+            "demand hit",
+            "prefetched",
+            "useful",
+            "precision",
+            "speedup",
         ]);
-        let mut baseline_stall = 0.0;
-        for m in WalkthroughMethod::ALL {
+        // The speedup column is always relative to the no-prefetch
+        // baseline, whether or not "none" is among the selected methods.
+        let baseline_stall: f64 = paths
+            .iter()
+            .map(|p| {
+                let mut pf = WalkthroughMethod::None.prefetcher();
+                session.run(p, pf.as_mut()).total_stall_ms
+            })
+            .sum();
+        for &m in methods {
             let mut agg = SessionStats::default();
             for p in &paths {
                 let mut pf = m.prefetcher();
@@ -298,16 +415,13 @@ fn e4_walkthrough() {
                 agg.total_prefetched += s.total_prefetched;
                 agg.useful_prefetched += s.useful_prefetched;
             }
-            if m == WalkthroughMethod::None {
-                baseline_stall = agg.total_stall_ms;
-            }
             let speedup = if agg.total_stall_ms > 0.0 {
                 baseline_stall / agg.total_stall_ms
             } else {
                 f64::INFINITY
             };
             t.row([
-                format!("{m:?}"),
+                m.to_string(),
                 f1(agg.total_stall_ms),
                 agg.total_demand_misses.to_string(),
                 agg.total_demand_hits.to_string(),
@@ -343,7 +457,13 @@ fn e5_join_comparison() {
         println!("|A| = {}, |B| = {}, ε = {eps}", a.len(), b.len());
 
         let mut t = Table::new([
-            "method", "total ms", "build ms", "probe ms", "comparisons", "aux MiB", "pairs",
+            "method",
+            "total ms",
+            "build ms",
+            "probe ms",
+            "comparisons",
+            "aux MiB",
+            "pairs",
             "vs touch",
         ]);
         let touch_time = TouchJoin::default().join(&a, &b, eps).stats.total_ms;
@@ -380,15 +500,21 @@ fn e5_join_comparison() {
 fn e6_scaling() {
     println!("\n== E6 — scaling with model size (§1) ==\n");
     let mut t = Table::new([
-        "neurons", "segments", "flat build ms", "flat query µs", "rtree query µs",
-        "touch join ms", "walk stall ms",
+        "neurons",
+        "segments",
+        "flat build ms",
+        "flat query µs",
+        "rtree query µs",
+        "touch join ms",
+        "walk stall ms",
     ]);
     for &neurons in &[10u32, 20, 40, 80] {
         let circuit = dense_circuit(neurons, 11);
         let segments = circuit.segments().to_vec();
 
         let t0 = Instant::now();
-        let flat = FlatIndex::build(segments.clone(), FlatBuildParams::default().with_page_capacity(64));
+        let flat =
+            FlatIndex::build(segments.clone(), FlatBuildParams::default().with_page_capacity(64));
         let build_ms = t0.elapsed().as_secs_f64() * 1e3;
         let packed = RTree::bulk_load(segments.clone(), RTreeParams::with_max_entries(64));
 
@@ -448,15 +574,17 @@ fn a1_flat_packing() {
     let w = standard_workload(&circuit, 30, 20.0);
 
     let mut t = Table::new([
-        "packing", "pages", "mean neighbors", "page surface (norm)", "avg pages/query",
+        "packing",
+        "pages",
+        "mean neighbors",
+        "page surface (norm)",
+        "avg pages/query",
         "avg io ms/query",
     ]);
     let mut base_surface = 0.0;
-    for packing in [
-        PackingStrategy::Hilbert,
-        PackingStrategy::Morton,
-        PackingStrategy::CoordinateSort,
-    ] {
+    for packing in
+        [PackingStrategy::Hilbert, PackingStrategy::Morton, PackingStrategy::CoordinateSort]
+    {
         let idx = FlatIndex::build(
             segments.clone(),
             FlatBuildParams::default().with_page_capacity(64).with_packing(packing),
@@ -501,7 +629,11 @@ fn a2_touch_fanout() {
     println!("|A| = {}, |B| = {}, ε = 1\n", a.len(), b.len());
 
     let mut t = Table::new([
-        "fanout", "total ms", "comparisons", "filtered out", "mean assign depth",
+        "fanout",
+        "total ms",
+        "comparisons",
+        "filtered out",
+        "mean assign depth",
         "depth histogram (d0 d1 d2 …)",
     ]);
     for fanout in [4usize, 16, 64, 128] {
@@ -529,7 +661,8 @@ fn a3_think_time() {
     println!("\n== A3 — think-time budget ablation (SCOUT) ==\n");
     let circuit = jagged_circuit(20, 9);
     let paths = walkthrough_paths(&circuit, 4);
-    let mut t = Table::new(["think ms", "stall ms (scout)", "stall ms (none)", "speedup", "prefetched"]);
+    let mut t =
+        Table::new(["think ms", "stall ms (scout)", "stall ms (none)", "speedup", "prefetched"]);
     for think in [0.0f64, 25.0, 100.0, 400.0, 1600.0] {
         let mut config = walkthrough_config();
         config.think_time_ms = think;
@@ -564,7 +697,8 @@ fn a5_markov_warmup() {
     let session = ExplorationSession::new(circuit.segments().to_vec(), walkthrough_config());
     let paths = walkthrough_paths(&circuit, 3);
 
-    let mut t = Table::new(["traversal", "stall ms (markov)", "stall ms (scout)", "markov prefetched"]);
+    let mut t =
+        Table::new(["traversal", "stall ms (markov)", "stall ms (scout)", "markov prefetched"]);
     let mut markov = neurospatial::scout::MarkovPrefetcher::default();
     for round in 0..3 {
         let (mut m_stall, mut m_pref, mut s_stall) = (0.0, 0u64, 0.0);
@@ -575,12 +709,7 @@ fn a5_markov_warmup() {
             let mut scout = ScoutPrefetcher::default();
             s_stall += session.run(p, &mut scout).total_stall_ms;
         }
-        t.row([
-            format!("#{}", round + 1),
-            f1(m_stall),
-            f1(s_stall),
-            m_pref.to_string(),
-        ]);
+        t.row([format!("#{}", round + 1), f1(m_stall), f1(s_stall), m_pref.to_string()]);
     }
     t.print();
     println!("\nshape check: Markov is useless on traversal #1 (cold) and competitive once");

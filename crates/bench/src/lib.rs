@@ -126,10 +126,7 @@ mod tests {
 
     #[test]
     fn generators_are_deterministic() {
-        assert_eq!(
-            dense_circuit(5, 1).segments().len(),
-            dense_circuit(5, 1).segments().len()
-        );
+        assert_eq!(dense_circuit(5, 1).segments().len(), dense_circuit(5, 1).segments().len());
         let c = jagged_circuit(4, 2);
         assert!(!walkthrough_paths(&c, 2).is_empty());
     }

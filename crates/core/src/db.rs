@@ -1,6 +1,14 @@
 //! The high-level database facade tying the three systems together.
+//!
+//! Construction goes through [`NeuroDbBuilder`]: pick a data source, an
+//! index backend ([`IndexBackend`], by value or by name) and how segments
+//! split into named populations for the synapse join. The old
+//! `from_segments(cfg)` constructor (hardcoded FLAT, hardcoded even/odd
+//! split, tuple returns, panics) survives only as a deprecated shim.
 
-use neurospatial_flat::FlatQueryStats;
+use crate::error::NeuroError;
+use crate::index::{IndexBackend, IndexParams, QueryOutput, SpatialIndex};
+use neurospatial_flat::FlatIndex;
 use neurospatial_geom::Aabb;
 use neurospatial_model::{Circuit, NavigationPath, NeuronSegment};
 use neurospatial_scout::{
@@ -8,11 +16,13 @@ use neurospatial_scout::{
     Prefetcher, ScoutPrefetcher, SessionConfig, SessionStats,
 };
 use neurospatial_touch::{JoinResult, SpatialJoin, TouchJoin};
+use std::fmt;
+use std::str::FromStr;
 
 /// Tuning knobs of a [`NeuroDb`].
 #[derive(Debug, Clone, Copy)]
 pub struct NeuroDbConfig {
-    /// FLAT page capacity (objects per page).
+    /// Index granularity (FLAT page capacity / R-Tree fan-out).
     pub page_capacity: usize,
     /// Exploration-session settings (buffer pool, cost model, think time).
     pub session: SessionConfig,
@@ -28,7 +38,7 @@ impl Default for NeuroDbConfig {
 }
 
 /// Which prefetching policy a walkthrough uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum WalkthroughMethod {
     /// No prefetching: every page faults on demand.
     None,
@@ -53,6 +63,17 @@ impl WalkthroughMethod {
         WalkthroughMethod::Scout,
     ];
 
+    /// Canonical name — matches the `method` string in [`SessionStats`].
+    pub fn name(&self) -> &'static str {
+        match self {
+            WalkthroughMethod::None => "none",
+            WalkthroughMethod::Hilbert => "hilbert",
+            WalkthroughMethod::Extrapolation => "extrapolation",
+            WalkthroughMethod::Markov => "markov",
+            WalkthroughMethod::Scout => "scout",
+        }
+    }
+
     /// Instantiate the corresponding prefetcher.
     pub fn prefetcher(&self) -> Box<dyn Prefetcher> {
         match self {
@@ -61,6 +82,30 @@ impl WalkthroughMethod {
             WalkthroughMethod::Extrapolation => Box::new(ExtrapolationPrefetcher::default()),
             WalkthroughMethod::Markov => Box::new(MarkovPrefetcher::default()),
             WalkthroughMethod::Scout => Box::new(ScoutPrefetcher::default()),
+        }
+    }
+}
+
+impl fmt::Display for WalkthroughMethod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for WalkthroughMethod {
+    type Err = NeuroError;
+
+    fn from_str(s: &str) -> Result<Self, NeuroError> {
+        match s.to_ascii_lowercase().as_str() {
+            "none" | "no-prefetch" => Ok(WalkthroughMethod::None),
+            "hilbert" => Ok(WalkthroughMethod::Hilbert),
+            "extrapolation" | "extrapolate" => Ok(WalkthroughMethod::Extrapolation),
+            "markov" => Ok(WalkthroughMethod::Markov),
+            "scout" => Ok(WalkthroughMethod::Scout),
+            _ => Err(NeuroError::InvalidConfig(format!(
+                "unknown walkthrough method '{s}' (known: {})",
+                WalkthroughMethod::ALL.map(|m| m.name()).join(", ")
+            ))),
         }
     }
 }
@@ -84,96 +129,414 @@ pub struct RegionStats {
     pub neuron_count: usize,
 }
 
+/// One named segment population (e.g. "axons" / "dendrites" for the
+/// synapse join).
+pub struct Population {
+    pub name: String,
+    pub segments: Vec<NeuronSegment>,
+}
+
+/// How the builder partitions segments into populations.
+enum PopulationSpec {
+    /// Two populations, "even" / "odd", split on neuron-id parity — the
+    /// historical default, kept for the demo's synapse workload.
+    Parity,
+    /// Two named populations split by a predicate (`true` → first).
+    Split { first: String, second: String, pred: Box<dyn Fn(&NeuronSegment) -> bool> },
+    /// Arbitrarily many populations keyed by a label function; populations
+    /// are ordered by first appearance.
+    Labels(Box<dyn Fn(&NeuronSegment) -> String>),
+}
+
+impl PopulationSpec {
+    fn partition(&self, segments: &[NeuronSegment]) -> Vec<Population> {
+        match self {
+            PopulationSpec::Parity => {
+                let (mut even, mut odd) = (Vec::new(), Vec::new());
+                for s in segments {
+                    if s.neuron % 2 == 0 {
+                        even.push(*s);
+                    } else {
+                        odd.push(*s);
+                    }
+                }
+                vec![
+                    Population { name: "even".into(), segments: even },
+                    Population { name: "odd".into(), segments: odd },
+                ]
+            }
+            PopulationSpec::Split { first, second, pred } => {
+                let (mut a, mut b) = (Vec::new(), Vec::new());
+                for s in segments {
+                    if pred(s) {
+                        a.push(*s);
+                    } else {
+                        b.push(*s);
+                    }
+                }
+                vec![
+                    Population { name: first.clone(), segments: a },
+                    Population { name: second.clone(), segments: b },
+                ]
+            }
+            PopulationSpec::Labels(label_of) => {
+                let mut pops: Vec<Population> = Vec::new();
+                for s in segments {
+                    let name = label_of(s);
+                    match pops.iter_mut().find(|p| p.name == name) {
+                        Some(p) => p.segments.push(*s),
+                        None => pops.push(Population { name, segments: vec![*s] }),
+                    }
+                }
+                pops
+            }
+        }
+    }
+}
+
+/// Builder for [`NeuroDb`]: data source, backend, populations, tuning.
+///
+/// ```
+/// use neurospatial::prelude::*;
+///
+/// let circuit = CircuitBuilder::new(7).neurons(6).build();
+/// let db = NeuroDb::builder()
+///     .circuit(&circuit)
+///     .backend(IndexBackend::StrPacked)
+///     .split_populations("axons", "dendrites", |s| s.neuron % 2 == 0)
+///     .build()
+///     .expect("valid configuration");
+/// assert_eq!(db.backend(), IndexBackend::StrPacked);
+/// assert_eq!(db.population_names(), vec!["axons", "dendrites"]);
+/// ```
+pub struct NeuroDbBuilder {
+    segments: Option<Vec<NeuronSegment>>,
+    backend: IndexBackend,
+    backend_name: Option<String>,
+    config: NeuroDbConfig,
+    populations: PopulationSpec,
+}
+
+impl Default for NeuroDbBuilder {
+    fn default() -> Self {
+        NeuroDbBuilder {
+            segments: None,
+            backend: IndexBackend::Flat,
+            backend_name: None,
+            config: NeuroDbConfig::default(),
+            populations: PopulationSpec::Parity,
+        }
+    }
+}
+
+impl NeuroDbBuilder {
+    /// Use a generated circuit's segments as the data source.
+    pub fn circuit(mut self, circuit: &Circuit) -> Self {
+        self.segments = Some(circuit.segments().to_vec());
+        self
+    }
+
+    /// Use raw segments as the data source (an empty vector is a valid,
+    /// empty database).
+    pub fn segments(mut self, segments: Vec<NeuronSegment>) -> Self {
+        self.segments = Some(segments);
+        self
+    }
+
+    /// Select the index backend by value.
+    pub fn backend(mut self, backend: IndexBackend) -> Self {
+        self.backend = backend;
+        self.backend_name = None;
+        self
+    }
+
+    /// Select the index backend by name (e.g. from a CLI flag); parsing
+    /// errors surface at [`build`](Self::build).
+    pub fn backend_named<S: Into<String>>(mut self, name: S) -> Self {
+        self.backend_name = Some(name.into());
+        self
+    }
+
+    /// Index granularity (FLAT page capacity / R-Tree fan-out).
+    pub fn page_capacity(mut self, capacity: usize) -> Self {
+        self.config.page_capacity = capacity;
+        self
+    }
+
+    /// Exploration-session settings for walkthroughs.
+    pub fn session(mut self, session: SessionConfig) -> Self {
+        self.config.session = session;
+        self
+    }
+
+    /// Distance-join engine configuration.
+    pub fn join(mut self, join: TouchJoin) -> Self {
+        self.config.join = join;
+        self
+    }
+
+    /// Full configuration in one call (overwrites the three above).
+    pub fn config(mut self, config: NeuroDbConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Two named populations split by `pred` (`true` → `first`), replacing
+    /// the default even/odd neuron split.
+    pub fn split_populations<S1, S2, F>(mut self, first: S1, second: S2, pred: F) -> Self
+    where
+        S1: Into<String>,
+        S2: Into<String>,
+        F: Fn(&NeuronSegment) -> bool + 'static,
+    {
+        self.populations = PopulationSpec::Split {
+            first: first.into(),
+            second: second.into(),
+            pred: Box::new(pred),
+        };
+        self
+    }
+
+    /// Arbitrarily many populations, named by a label function (ordered by
+    /// first appearance in segment order).
+    pub fn populations_by<F>(mut self, label_of: F) -> Self
+    where
+        F: Fn(&NeuronSegment) -> String + 'static,
+    {
+        self.populations = PopulationSpec::Labels(Box::new(label_of));
+        self
+    }
+
+    /// Finalise: build the index and partition the populations.
+    pub fn build(self) -> Result<NeuroDb, NeuroError> {
+        let segments = self.segments.ok_or(NeuroError::MissingSegments)?;
+        let backend = match &self.backend_name {
+            Some(name) => name.parse::<IndexBackend>()?,
+            None => self.backend,
+        };
+        // FLAT and the R+-Tree accept any page size >= 1; the R-Tree
+        // fan-out is structurally >= 4.
+        let min_capacity = match backend {
+            IndexBackend::Flat | IndexBackend::RPlus => 1,
+            IndexBackend::RTree | IndexBackend::StrPacked => 4,
+        };
+        if self.config.page_capacity < min_capacity {
+            return Err(NeuroError::InvalidConfig(format!(
+                "page_capacity must be >= {min_capacity} for the '{backend}' backend, got {}",
+                self.config.page_capacity
+            )));
+        }
+        let populations = self.populations.partition(&segments);
+
+        let mut config = self.config;
+        config.session.page_capacity = config.page_capacity;
+        let params = IndexParams { page_capacity: config.page_capacity };
+        let index = match backend {
+            // FLAT gets the full exploration session (walkthroughs need
+            // page-level I/O); the session owns the only copy of the index.
+            IndexBackend::Flat => {
+                DbIndex::Flat(Box::new(ExplorationSession::new(segments, config.session)))
+            }
+            other => DbIndex::Boxed(other.build(segments, &params)),
+        };
+        Ok(NeuroDb { index, backend, config, populations })
+    }
+}
+
+/// The index storage: FLAT keeps its exploration session (for
+/// walkthroughs); every other backend is a plain boxed [`SpatialIndex`].
+enum DbIndex {
+    Flat(Box<ExplorationSession>),
+    Boxed(Box<dyn SpatialIndex>),
+}
+
 /// A spatial database over one set of neuron segments.
 ///
-/// Owns a FLAT index (all range queries and walkthroughs run through it)
-/// and exposes the TOUCH join for synapse placement.
+/// Owns one [`SpatialIndex`] backend (all range queries run through it),
+/// named segment populations, and exposes the TOUCH join for synapse
+/// placement plus SCOUT walkthroughs (FLAT backend only).
 pub struct NeuroDb {
-    session: ExplorationSession,
+    index: DbIndex,
+    backend: IndexBackend,
     config: NeuroDbConfig,
-    populations: (Vec<NeuronSegment>, Vec<NeuronSegment>),
+    populations: Vec<Population>,
+}
+
+impl fmt::Debug for NeuroDb {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NeuroDb")
+            .field("backend", &self.backend)
+            .field("len", &self.len())
+            .field("populations", &self.population_names())
+            .finish_non_exhaustive()
+    }
 }
 
 impl NeuroDb {
-    /// Open a database over a generated circuit.
+    /// Start building a database.
+    pub fn builder() -> NeuroDbBuilder {
+        NeuroDbBuilder::default()
+    }
+
+    /// Open a database over a generated circuit with default settings
+    /// (FLAT backend, even/odd populations).
     pub fn from_circuit(circuit: &Circuit) -> Self {
-        Self::from_segments(circuit.segments().to_vec(), NeuroDbConfig::default())
+        NeuroDb::builder().circuit(circuit).build().expect("default configuration is valid")
     }
 
     /// Open a database over raw segments with explicit configuration.
+    #[deprecated(note = "use NeuroDb::builder() — it supports backend \
+                         selection and named populations")]
     pub fn from_segments(segments: Vec<NeuronSegment>, config: NeuroDbConfig) -> Self {
-        let mut session_config = config.session;
-        session_config.page_capacity = config.page_capacity;
-        let (mut a, mut b) = (Vec::new(), Vec::new());
-        for s in &segments {
-            if s.neuron % 2 == 0 {
-                a.push(*s);
-            } else {
-                b.push(*s);
-            }
-        }
-        let session = ExplorationSession::new(segments, session_config);
-        NeuroDb { session, config, populations: (a, b) }
+        NeuroDb::builder()
+            .segments(segments)
+            .config(config)
+            .build()
+            .expect("legacy construction is infallible")
     }
 
     /// Number of indexed segments.
     pub fn len(&self) -> usize {
-        self.session.index().len()
+        self.index().len()
     }
 
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// The underlying FLAT index.
-    pub fn index(&self) -> &neurospatial_flat::FlatIndex<NeuronSegment> {
-        self.session.index()
+    /// Which backend this database was built with.
+    pub fn backend(&self) -> IndexBackend {
+        self.backend
     }
 
-    /// Execute a spatial range query (FLAT seed-and-crawl).
-    pub fn range_query(&self, region: &Aabb) -> (Vec<&NeuronSegment>, FlatQueryStats) {
-        self.session.index().range_query(region)
+    /// The underlying index, backend-agnostic.
+    pub fn index(&self) -> &dyn SpatialIndex {
+        match &self.index {
+            DbIndex::Flat(session) => session.index(),
+            DbIndex::Boxed(b) => b.as_ref(),
+        }
     }
 
-    /// Compute aggregate tissue statistics for a region (one FLAT range
-    /// query plus a linear pass over the result).
+    /// The FLAT index, if this database uses the FLAT backend (page-level
+    /// statistics, neighborhood graph inspection).
+    pub fn flat_index(&self) -> Option<&FlatIndex<NeuronSegment>> {
+        match &self.index {
+            DbIndex::Flat(session) => Some(session.index()),
+            DbIndex::Boxed(_) => None,
+        }
+    }
+
+    /// Bounding box of the indexed data.
+    pub fn bounds(&self) -> Aabb {
+        self.index().bounds()
+    }
+
+    /// Execute a spatial range query through the selected backend.
+    pub fn range_query(&self, region: &Aabb) -> QueryOutput {
+        self.index().range_query(region)
+    }
+
+    /// Execute a batch of range queries (one output per region).
+    pub fn range_query_many(&self, regions: &[Aabb]) -> Vec<QueryOutput> {
+        self.index().range_query_many(regions)
+    }
+
+    /// Compute aggregate tissue statistics for a region (one range query
+    /// plus a linear pass over the result).
     pub fn region_stats(&self, region: &Aabb) -> RegionStats {
-        let (hits, _) = self.range_query(region);
-        if hits.is_empty() {
+        let out = self.range_query(region);
+        if out.is_empty() {
             return RegionStats::default();
         }
-        let mut stats = RegionStats { count: hits.len(), ..Default::default() };
+        let mut stats = RegionStats { count: out.len(), ..Default::default() };
         let mut neurons = std::collections::HashSet::new();
         let mut radius_sum = 0.0;
-        for s in &hits {
+        for s in &out.segments {
             let len = s.geom.axis_length();
             stats.total_cable_length += len;
             stats.total_cable_volume += std::f64::consts::PI * s.geom.radius * s.geom.radius * len;
             radius_sum += s.geom.radius;
             neurons.insert(s.neuron);
         }
-        stats.mean_radius = radius_sum / hits.len() as f64;
+        stats.mean_radius = radius_sum / out.len() as f64;
         stats.neuron_count = neurons.len();
-        stats.density = hits.len() as f64 / region.volume().max(f64::MIN_POSITIVE);
+        stats.density = out.len() as f64 / region.volume().max(f64::MIN_POSITIVE);
         stats
     }
 
-    /// Find synapse candidates between the even- and odd-neuron
-    /// populations: all segment pairs whose capsule surfaces come within
-    /// `epsilon` of each other (TOUCH distance join).
-    pub fn find_synapse_candidates(&self, epsilon: f64) -> JoinResult {
-        let (a, b) = &self.populations;
-        self.config.join.join(a, b, epsilon)
+    /// The named populations, in declaration order.
+    pub fn populations(&self) -> &[Population] {
+        &self.populations
+    }
+
+    /// Population names, in declaration order.
+    pub fn population_names(&self) -> Vec<&str> {
+        self.populations.iter().map(|p| p.name.as_str()).collect()
+    }
+
+    /// Segments of one population.
+    pub fn population(&self, name: &str) -> Result<&[NeuronSegment], NeuroError> {
+        self.populations.iter().find(|p| p.name == name).map(|p| p.segments.as_slice()).ok_or_else(
+            || NeuroError::UnknownPopulation {
+                given: name.to_string(),
+                known: self.population_names().iter().map(|s| s.to_string()).collect(),
+            },
+        )
+    }
+
+    /// Distance-join two named populations: all segment pairs whose
+    /// capsule surfaces come within `epsilon` (TOUCH). Pair indices are
+    /// positions within each population's segment slice.
+    pub fn join_between(
+        &self,
+        first: &str,
+        second: &str,
+        epsilon: f64,
+    ) -> Result<JoinResult, NeuroError> {
+        let a = self.population(first)?;
+        let b = self.population(second)?;
+        Ok(self.config.join.join(a, b, epsilon))
+    }
+
+    /// Find synapse candidates between the first two populations — the
+    /// demo's synapse-placement workload. Errors if the database has
+    /// fewer than two populations.
+    pub fn find_synapse_candidates(&self, epsilon: f64) -> Result<JoinResult, NeuroError> {
+        if self.populations.len() < 2 {
+            return Err(NeuroError::TooFewPopulations { found: self.populations.len(), needed: 2 });
+        }
+        Ok(self.config.join.join(
+            &self.populations[0].segments,
+            &self.populations[1].segments,
+            epsilon,
+        ))
     }
 
     /// Distance-join this database's segments against an external
     /// population.
+    ///
+    /// Joins population by population and merges with index offsets —
+    /// equivalent to joining the concatenation of all populations, but
+    /// without cloning the dataset on every call. Pair `(i, j)` means
+    /// segment `i` of the concatenated populations and `other[j]`.
     pub fn join_against(&self, other: &[NeuronSegment], epsilon: f64) -> JoinResult {
-        let (a, b) = &self.populations;
-        let mut all: Vec<NeuronSegment> = Vec::with_capacity(a.len() + b.len());
-        all.extend_from_slice(a);
-        all.extend_from_slice(b);
-        self.config.join.join(&all, other, epsilon)
+        let mut merged = JoinResult::default();
+        let mut offset = 0u32;
+        for pop in &self.populations {
+            let r = self.config.join.join(&pop.segments, other, epsilon);
+            merged.pairs.extend(r.pairs.iter().map(|&(i, j)| (i + offset, j)));
+            merged.stats.filter_comparisons += r.stats.filter_comparisons;
+            merged.stats.refine_comparisons += r.stats.refine_comparisons;
+            merged.stats.build_ms += r.stats.build_ms;
+            merged.stats.probe_ms += r.stats.probe_ms;
+            merged.stats.total_ms += r.stats.total_ms;
+            merged.stats.aux_memory_bytes =
+                merged.stats.aux_memory_bytes.max(r.stats.aux_memory_bytes);
+            merged.stats.filtered_out += r.stats.filtered_out;
+            offset += pop.segments.len() as u32;
+        }
+        merged.stats.results = merged.pairs.len() as u64;
+        merged
     }
 
     /// Build a branch-following navigation path through `circuit`
@@ -191,19 +554,33 @@ impl NeuroDb {
 
     /// Replay a walkthrough with the given prefetching method and report
     /// the session statistics (stall time, hit ratio, prefetch precision).
-    pub fn walkthrough(&self, path: &NavigationPath, method: WalkthroughMethod) -> SessionStats {
-        let mut prefetcher = method.prefetcher();
-        self.session.run(path, prefetcher.as_mut())
+    ///
+    /// Errors unless the database uses the FLAT backend — walkthrough
+    /// simulation is page-granular.
+    pub fn walkthrough(
+        &self,
+        path: &NavigationPath,
+        method: WalkthroughMethod,
+    ) -> Result<SessionStats, NeuroError> {
+        match &self.index {
+            DbIndex::Flat(session) => {
+                let mut prefetcher = method.prefetcher();
+                Ok(session.run(path, prefetcher.as_mut()))
+            }
+            DbIndex::Boxed(_) => {
+                Err(NeuroError::WalkthroughUnsupported { backend: self.backend.name().to_string() })
+            }
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use neurospatial_model::{CircuitBuilder, DensityStats};
     use neurospatial_geom::Vec3;
+    use neurospatial_model::{CircuitBuilder, DensityStats};
 
-    fn db() -> (NeuroDb, neurospatial_model::Circuit) {
+    fn db() -> (NeuroDb, Circuit) {
         let c = CircuitBuilder::new(5).neurons(10).build();
         (NeuroDb::from_circuit(&c), c)
     }
@@ -213,16 +590,57 @@ mod tests {
         let (db, c) = db();
         assert_eq!(db.len(), c.segments().len());
         let q = Aabb::cube(c.bounds().center(), 40.0);
-        let (hits, stats) = db.range_query(&q);
+        let out = db.range_query(&q);
         let brute = c.segments().iter().filter(|s| s.aabb().intersects(&q)).count();
-        assert_eq!(hits.len(), brute);
-        assert_eq!(stats.results as usize, brute);
+        assert_eq!(out.len(), brute);
+        assert_eq!(out.stats.results as usize, brute);
     }
 
     #[test]
-    fn synapse_join_is_symmetric_population_split() {
+    fn every_backend_answers_the_same_queries() {
+        let c = CircuitBuilder::new(8).neurons(6).build();
+        let q = Aabb::cube(c.bounds().center(), 35.0);
+        let want = NeuroDb::from_circuit(&c).range_query(&q).sorted_ids();
+        for backend in IndexBackend::ALL {
+            let db = NeuroDb::builder().circuit(&c).backend(backend).build().expect("valid");
+            assert_eq!(db.backend(), backend);
+            assert_eq!(db.range_query(&q).sorted_ids(), want, "{backend}");
+        }
+    }
+
+    #[test]
+    fn builder_by_name_and_bad_names() {
+        let c = CircuitBuilder::new(5).neurons(2).build();
+        let db =
+            NeuroDb::builder().circuit(&c).backend_named("str-packed").build().expect("known name");
+        assert_eq!(db.backend(), IndexBackend::StrPacked);
+        assert!(matches!(
+            NeuroDb::builder().circuit(&c).backend_named("btree").build(),
+            Err(NeuroError::UnknownBackend { .. })
+        ));
+        assert!(matches!(NeuroDb::builder().build(), Err(NeuroError::MissingSegments)));
+        // FLAT accepts tiny pages (legacy behaviour)…
+        assert!(NeuroDb::builder().circuit(&c).page_capacity(1).build().is_ok());
+        // …but a zero capacity, or sub-fan-out R-Tree pages, are rejected.
+        assert!(matches!(
+            NeuroDb::builder().circuit(&c).page_capacity(0).build(),
+            Err(NeuroError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            NeuroDb::builder()
+                .circuit(&c)
+                .backend(IndexBackend::StrPacked)
+                .page_capacity(2)
+                .build(),
+            Err(NeuroError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn synapse_join_uses_the_default_parity_populations() {
         let (db, c) = db();
-        let r = db.find_synapse_candidates(2.0);
+        assert_eq!(db.population_names(), vec!["even", "odd"]);
+        let r = db.find_synapse_candidates(2.0).expect("two populations");
         assert!(r.is_duplicate_free());
         // Every reported pair crosses the even/odd population boundary.
         let (a, b) = c.split_populations();
@@ -233,13 +651,50 @@ mod tests {
     }
 
     #[test]
+    fn custom_predicate_populations() {
+        let c = CircuitBuilder::new(12).neurons(9).build();
+        let db = NeuroDb::builder()
+            .circuit(&c)
+            .split_populations("low", "high", |s| s.neuron < 3)
+            .build()
+            .expect("valid");
+        assert_eq!(db.population_names(), vec!["low", "high"]);
+        let low = db.population("low").expect("exists");
+        assert!(low.iter().all(|s| s.neuron < 3));
+        assert!(!low.is_empty());
+        let total = low.len() + db.population("high").expect("exists").len();
+        assert_eq!(total, c.segments().len());
+        assert!(matches!(db.population("mid"), Err(NeuroError::UnknownPopulation { .. })));
+        // join_between is symmetric in coverage with find_synapse_candidates.
+        let a = db.join_between("low", "high", 1.5).expect("both exist").sorted_pairs();
+        let b = db.find_synapse_candidates(1.5).expect("two pops").sorted_pairs();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn label_fn_builds_many_populations() {
+        let c = CircuitBuilder::new(3).neurons(8).build();
+        let db = NeuroDb::builder()
+            .circuit(&c)
+            .populations_by(|s| format!("layer{}", s.neuron % 3))
+            .build()
+            .expect("valid");
+        assert_eq!(db.populations().len(), 3);
+        let total: usize = db.populations().iter().map(|p| p.segments.len()).sum();
+        assert_eq!(total, c.segments().len());
+        // First two populations feed the synapse join.
+        assert!(db.find_synapse_candidates(1.0).is_ok());
+    }
+
+    #[test]
     fn walkthrough_all_methods_run() {
         let (db, c) = db();
         let path = db.navigation_path(&c, 3, 20.0, 8.0).expect("path exists");
         let mut stalls = Vec::new();
         for m in WalkthroughMethod::ALL {
-            let stats = db.walkthrough(&path, m);
+            let stats = db.walkthrough(&path, m).expect("flat backend");
             assert_eq!(stats.steps.len(), path.queries.len());
+            assert_eq!(stats.method, m.name());
             stalls.push((m, stats.total_stall_ms));
         }
         // The no-prefetch baseline is never the fastest.
@@ -249,11 +704,58 @@ mod tests {
     }
 
     #[test]
+    fn walkthrough_requires_flat() {
+        let c = CircuitBuilder::new(5).neurons(4).build();
+        let db =
+            NeuroDb::builder().circuit(&c).backend(IndexBackend::StrPacked).build().expect("valid");
+        let path = db.navigation_path(&c, 1, 15.0, 6.0).expect("path");
+        assert!(matches!(
+            db.walkthrough(&path, WalkthroughMethod::Scout),
+            Err(NeuroError::WalkthroughUnsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn walkthrough_method_names_round_trip() {
+        for m in WalkthroughMethod::ALL {
+            assert_eq!(m.name().parse::<WalkthroughMethod>().expect("round trip"), m);
+            assert_eq!(m.to_string(), m.name());
+        }
+        assert!("warp".parse::<WalkthroughMethod>().is_err());
+    }
+
+    #[test]
     fn join_against_external_population() {
         let (db, _) = db();
         let other = CircuitBuilder::new(99).neurons(2).build();
         let r = db.join_against(other.segments(), 1.0);
         assert!(r.is_duplicate_free());
+        assert_eq!(r.stats.results as usize, r.pairs.len());
+    }
+
+    #[test]
+    fn join_against_matches_concatenated_join() {
+        let (db, c) = db();
+        let other = CircuitBuilder::new(77).neurons(3).build();
+        let merged = db.join_against(other.segments(), 1.5);
+        // Reference: one join over the concatenation of the populations.
+        let (a, b) = c.split_populations();
+        let mut all = a;
+        all.extend_from_slice(&b);
+        let reference = TouchJoin::default().join(&all, other.segments(), 1.5);
+        assert_eq!(merged.sorted_pairs(), reference.sorted_pairs());
+    }
+
+    #[test]
+    fn batched_queries_match_singles() {
+        let (db, c) = db();
+        let regions: Vec<Aabb> =
+            (0..4).map(|i| Aabb::cube(c.segments()[i * 11].geom.center(), 20.0)).collect();
+        let batch = db.range_query_many(&regions);
+        assert_eq!(batch.len(), regions.len());
+        for (out, r) in batch.iter().zip(&regions) {
+            assert_eq!(out.sorted_ids(), db.range_query(r).sorted_ids());
+        }
     }
 
     #[test]
@@ -263,10 +765,10 @@ mod tests {
         // empty space between neurons).
         let q = Aabb::cube(c.segments()[0].geom.center(), 50.0);
         let s = db.region_stats(&q);
-        let (hits, _) = db.range_query(&q);
-        assert!(!hits.is_empty());
-        assert_eq!(s.count, hits.len());
-        let want_len: f64 = hits.iter().map(|h| h.geom.axis_length()).sum();
+        let out = db.range_query(&q);
+        assert!(!out.is_empty());
+        assert_eq!(s.count, out.len());
+        let want_len: f64 = out.segments.iter().map(|h| h.geom.axis_length()).sum();
         assert!((s.total_cable_length - want_len).abs() < 1e-9);
         assert!(s.mean_radius > 0.0);
         assert!(s.density > 0.0);
@@ -289,10 +791,19 @@ mod tests {
 
     #[test]
     fn empty_database() {
-        let db = NeuroDb::from_segments(vec![], NeuroDbConfig::default());
+        let db = NeuroDb::builder().segments(vec![]).build().expect("empty is valid");
         assert!(db.is_empty());
-        let (hits, _) = db.range_query(&Aabb::cube(neurospatial_geom::Vec3::ZERO, 5.0));
-        assert!(hits.is_empty());
-        assert!(db.find_synapse_candidates(1.0).pairs.is_empty());
+        let out = db.range_query(&Aabb::cube(Vec3::ZERO, 5.0));
+        assert!(out.is_empty());
+        assert!(db.find_synapse_candidates(1.0).expect("parity pops exist").pairs.is_empty());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shim_still_works() {
+        let c = CircuitBuilder::new(2).neurons(3).build();
+        let db = NeuroDb::from_segments(c.segments().to_vec(), NeuroDbConfig::default());
+        assert_eq!(db.len(), c.segments().len());
+        assert_eq!(db.backend(), IndexBackend::Flat);
     }
 }

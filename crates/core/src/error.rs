@@ -1,0 +1,71 @@
+//! Typed errors for the `neurospatial` facade.
+//!
+//! The original facade panicked (or silently returned empty results) on
+//! misuse; every fallible public operation now reports a [`NeuroError`]
+//! instead, so downstream services can surface precise diagnostics.
+
+use std::error::Error;
+use std::fmt;
+
+/// Everything that can go wrong constructing or querying a [`crate::NeuroDb`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NeuroError {
+    /// A backend name did not parse / was not registered.
+    UnknownBackend { given: String, known: Vec<String> },
+    /// A population name does not exist in this database.
+    UnknownPopulation { given: String, known: Vec<String> },
+    /// An operation needed at least `needed` populations.
+    TooFewPopulations { found: usize, needed: usize },
+    /// The builder was finalised without a data source (`circuit` or
+    /// `segments`). An *empty* segment list is valid; providing nothing
+    /// at all is almost always a bug.
+    MissingSegments,
+    /// The requested operation needs a paged (FLAT) index but the
+    /// database was built with another backend.
+    WalkthroughUnsupported { backend: String },
+    /// A configuration value was out of range.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for NeuroError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NeuroError::UnknownBackend { given, known } => {
+                write!(f, "unknown index backend '{given}' (known: {})", known.join(", "))
+            }
+            NeuroError::UnknownPopulation { given, known } => {
+                write!(f, "unknown population '{given}' (known: {})", known.join(", "))
+            }
+            NeuroError::TooFewPopulations { found, needed } => {
+                write!(f, "operation needs {needed} populations, database has {found}")
+            }
+            NeuroError::MissingSegments => {
+                write!(f, "builder finalised without segments; call .circuit() or .segments()")
+            }
+            NeuroError::WalkthroughUnsupported { backend } => {
+                write!(f, "walkthroughs need the paged 'flat' backend, database uses '{backend}'")
+            }
+            NeuroError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl Error for NeuroError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_offender() {
+        let e = NeuroError::UnknownBackend {
+            given: "btree".into(),
+            known: vec!["flat".into(), "rtree".into()],
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("btree") && msg.contains("flat"));
+
+        let e = NeuroError::WalkthroughUnsupported { backend: "rplus".into() };
+        assert!(e.to_string().contains("rplus"));
+    }
+}

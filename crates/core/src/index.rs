@@ -1,0 +1,518 @@
+//! The pluggable spatial-index backend API.
+//!
+//! The demo paper's first act is a *race* between storage designs: FLAT
+//! against R-Tree variants on the same range queries (§2). This module
+//! turns that race into an API: every backend implements [`SpatialIndex`]
+//! with one result type ([`QueryOutput`]) and one statistics type
+//! ([`QueryStats`]), and callers select backends by value
+//! ([`IndexBackend`]) or by name (via [`FromStr`] or a
+//! [`BackendRegistry`], which also accepts custom factories).
+//!
+//! ```
+//! use neurospatial::prelude::*;
+//!
+//! let circuit = CircuitBuilder::new(1).neurons(4).build();
+//! let params = IndexParams::default();
+//! for backend in IndexBackend::ALL {
+//!     let index = backend.build(circuit.segments().to_vec(), &params);
+//!     let out = index.range_query(&Aabb::cube(circuit.bounds().center(), 20.0));
+//!     assert_eq!(out.stats.results as usize, out.segments.len());
+//! }
+//! ```
+
+use crate::error::NeuroError;
+use neurospatial_flat::{FlatBuildParams, FlatIndex, FlatQueryStats};
+use neurospatial_geom::Aabb;
+use neurospatial_model::NeuronSegment;
+use neurospatial_rtree::{RPlusTree, RTree, RTreeParams};
+use std::fmt;
+use std::str::FromStr;
+
+/// Backend-independent build parameters.
+///
+/// Each backend maps `page_capacity` onto its own granularity knob: FLAT
+/// page size, R-Tree node fan-out, R+-Tree leaf capacity — the quantity
+/// the paper's experiments vary to equalise "objects per disk page".
+/// Values below a backend's structural minimum (1 for FLAT and the
+/// R+-Tree, 4 for the R-Tree fan-out) are clamped, so every build entry
+/// point is total; [`crate::NeuroDbBuilder`] additionally validates and
+/// reports out-of-range values as [`NeuroError::InvalidConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexParams {
+    /// Objects per page / node.
+    pub page_capacity: usize,
+}
+
+impl Default for IndexParams {
+    fn default() -> Self {
+        IndexParams { page_capacity: 64 }
+    }
+}
+
+/// Unified per-query statistics, comparable across backends — the demo's
+/// "disk pages retrieved" panel, one schema for every index design.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Objects returned.
+    pub results: u64,
+    /// Index pages/nodes read: data pages + seed-tree nodes for FLAT,
+    /// tree nodes for the R-Tree family. The cross-backend cost proxy.
+    pub nodes_read: u64,
+    /// Objects tested against the query region (filter work).
+    pub objects_tested: u64,
+    /// FLAT only: crawl-front re-seeds (0 for other backends, and almost
+    /// always 0 for FLAT on dense data).
+    pub reseeds: u64,
+}
+
+impl QueryStats {
+    /// Filter precision: results per object tested (1.0 = no wasted work).
+    pub fn test_precision(&self) -> f64 {
+        if self.objects_tested == 0 {
+            0.0
+        } else {
+            self.results as f64 / self.objects_tested as f64
+        }
+    }
+}
+
+impl From<&FlatQueryStats> for QueryStats {
+    fn from(s: &FlatQueryStats) -> Self {
+        QueryStats {
+            results: s.results,
+            nodes_read: s.pages_read + s.seed_nodes_read,
+            objects_tested: s.objects_tested,
+            reseeds: s.reseeds,
+        }
+    }
+}
+
+impl From<&neurospatial_rtree::QueryStats> for QueryStats {
+    fn from(s: &neurospatial_rtree::QueryStats) -> Self {
+        QueryStats {
+            results: s.results,
+            nodes_read: s.nodes_visited(),
+            objects_tested: s.leaf_entries_tested,
+            reseeds: 0,
+        }
+    }
+}
+
+/// A range query's result set plus its unified statistics.
+#[derive(Debug, Clone, Default)]
+pub struct QueryOutput {
+    /// Matching segments (owned copies; `NeuronSegment` is `Copy`).
+    pub segments: Vec<NeuronSegment>,
+    pub stats: QueryStats,
+}
+
+impl QueryOutput {
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Result ids in ascending order — the canonical form for comparing
+    /// backends against each other or against a scan.
+    pub fn sorted_ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self.segments.iter().map(|s| s.id).collect();
+        ids.sort_unstable();
+        ids
+    }
+}
+
+/// A queryable spatial index over neuron segments.
+///
+/// Implemented by FLAT, the dynamic R-Tree, the R+-Tree and the
+/// STR-packed R-Tree; every implementation must return exactly the
+/// segments a brute-force scan would (property-tested in
+/// `tests/backend_equivalence.rs`).
+pub trait SpatialIndex: Send + Sync {
+    /// Build the index over `segments`.
+    fn build(segments: Vec<NeuronSegment>, params: &IndexParams) -> Self
+    where
+        Self: Sized;
+
+    /// Number of indexed segments.
+    fn len(&self) -> usize;
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bounding box of the indexed data (`Aabb::EMPTY` when empty).
+    fn bounds(&self) -> Aabb;
+
+    /// All segments intersecting `region`, with unified statistics.
+    fn range_query(&self, region: &Aabb) -> QueryOutput;
+
+    /// Append every segment intersecting `region` to `out` and return the
+    /// query statistics. Equivalent to [`range_query`](Self::range_query)
+    /// but amortises result allocation across calls — the form hot query
+    /// loops (benches, servers) should use.
+    fn range_query_into(&self, region: &Aabb, out: &mut Vec<NeuronSegment>) -> QueryStats {
+        let o = self.range_query(region);
+        out.extend_from_slice(&o.segments);
+        o.stats
+    }
+
+    /// Batched queries — one call, one output per region. Backends can
+    /// override this with a plan that shares traversal state; the
+    /// default simply loops.
+    fn range_query_many(&self, regions: &[Aabb]) -> Vec<QueryOutput> {
+        regions.iter().map(|r| self.range_query(r)).collect()
+    }
+
+    /// Approximate resident size in bytes (for the demo's memory panels).
+    fn memory_bytes(&self) -> usize;
+}
+
+impl SpatialIndex for FlatIndex<NeuronSegment> {
+    fn build(segments: Vec<NeuronSegment>, params: &IndexParams) -> Self {
+        FlatIndex::build(
+            segments,
+            FlatBuildParams::default().with_page_capacity(params.page_capacity.max(1)),
+        )
+    }
+
+    fn len(&self) -> usize {
+        FlatIndex::len(self)
+    }
+
+    fn bounds(&self) -> Aabb {
+        FlatIndex::bounds(self)
+    }
+
+    fn range_query(&self, region: &Aabb) -> QueryOutput {
+        // Single pass: matches are copied straight into the output vector
+        // (no intermediate reference vector), keeping the trait lane at
+        // parity with the concrete FLAT query. Seeding capacity with two
+        // pages' worth of objects absorbs the growth-doubling re-copies
+        // that would otherwise dominate small result sets.
+        let mut segments = Vec::with_capacity(self.params().page_capacity * 2);
+        let stats = self.range_query_sink(region, |_| {}, |o| segments.push(*o));
+        QueryOutput { segments, stats: (&stats).into() }
+    }
+
+    fn range_query_into(&self, region: &Aabb, out: &mut Vec<NeuronSegment>) -> QueryStats {
+        let stats = self.range_query_sink(region, |_| {}, |o| out.push(*o));
+        (&stats).into()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        FlatIndex::memory_bytes(self)
+    }
+}
+
+/// STR-packed (bulk-loaded) R-Tree backend.
+impl SpatialIndex for RTree<NeuronSegment> {
+    fn build(segments: Vec<NeuronSegment>, params: &IndexParams) -> Self {
+        RTree::bulk_load(segments, RTreeParams::with_max_entries(params.page_capacity.max(4)))
+    }
+
+    fn len(&self) -> usize {
+        RTree::len(self)
+    }
+
+    fn bounds(&self) -> Aabb {
+        self.root_mbr()
+    }
+
+    fn range_query(&self, region: &Aabb) -> QueryOutput {
+        let (hits, stats) = RTree::range_query(self, region);
+        QueryOutput { segments: hits.into_iter().copied().collect(), stats: (&stats).into() }
+    }
+
+    fn range_query_into(&self, region: &Aabb, out: &mut Vec<NeuronSegment>) -> QueryStats {
+        let (hits, stats) = RTree::range_query(self, region);
+        out.extend(hits.into_iter().copied());
+        (&stats).into()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        RTree::memory_bytes(self)
+    }
+}
+
+/// The dynamically grown R-Tree: same structure as the STR-packed tree
+/// but built by one-at-a-time insertion, which is what degrades its leaf
+/// overlap on dense data (§2.2 of the paper).
+pub struct DynamicRTree(pub RTree<NeuronSegment>);
+
+impl SpatialIndex for DynamicRTree {
+    fn build(segments: Vec<NeuronSegment>, params: &IndexParams) -> Self {
+        let mut tree = RTree::new(RTreeParams::with_max_entries(params.page_capacity.max(4)));
+        for s in segments {
+            tree.insert(s);
+        }
+        DynamicRTree(tree)
+    }
+
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    fn bounds(&self) -> Aabb {
+        self.0.root_mbr()
+    }
+
+    fn range_query(&self, region: &Aabb) -> QueryOutput {
+        let (hits, stats) = self.0.range_query(region);
+        QueryOutput { segments: hits.into_iter().copied().collect(), stats: (&stats).into() }
+    }
+
+    fn range_query_into(&self, region: &Aabb, out: &mut Vec<NeuronSegment>) -> QueryStats {
+        let (hits, stats) = self.0.range_query(region);
+        out.extend(hits.into_iter().copied());
+        (&stats).into()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.0.memory_bytes()
+    }
+}
+
+impl SpatialIndex for RPlusTree<NeuronSegment> {
+    fn build(segments: Vec<NeuronSegment>, params: &IndexParams) -> Self {
+        RPlusTree::build(segments, params.page_capacity.max(1))
+    }
+
+    fn len(&self) -> usize {
+        RPlusTree::len(self)
+    }
+
+    fn bounds(&self) -> Aabb {
+        RPlusTree::bounds(self)
+    }
+
+    fn range_query(&self, region: &Aabb) -> QueryOutput {
+        let (hits, stats) = RPlusTree::range_query(self, region);
+        QueryOutput { segments: hits.into_iter().copied().collect(), stats: (&stats).into() }
+    }
+
+    fn range_query_into(&self, region: &Aabb, out: &mut Vec<NeuronSegment>) -> QueryStats {
+        let (hits, stats) = RPlusTree::range_query(self, region);
+        out.extend(hits.into_iter().copied());
+        (&stats).into()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        // Arena nodes are private; approximate with the object store plus
+        // one u32 per stored (possibly replicated) leaf entry.
+        self.len() * std::mem::size_of::<NeuronSegment>() + self.stored_entries() as usize * 4
+    }
+}
+
+/// The built-in index backends, selectable by value or by name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IndexBackend {
+    /// FLAT seed-and-crawl (density-independent; the paper's design).
+    Flat,
+    /// Dynamically grown R-Tree (insertion splits; degrades with density).
+    RTree,
+    /// R+-Tree (overlap-free, replicates entries).
+    RPlus,
+    /// STR bulk-loaded R-Tree (tight static packing).
+    StrPacked,
+}
+
+impl IndexBackend {
+    /// All built-in backends, in the order the experiment tables report.
+    pub const ALL: [IndexBackend; 4] =
+        [IndexBackend::Flat, IndexBackend::RTree, IndexBackend::RPlus, IndexBackend::StrPacked];
+
+    /// Canonical name (the one [`fmt::Display`] prints and
+    /// [`FromStr`] round-trips).
+    pub fn name(&self) -> &'static str {
+        match self {
+            IndexBackend::Flat => "flat",
+            IndexBackend::RTree => "rtree",
+            IndexBackend::RPlus => "rplus",
+            IndexBackend::StrPacked => "str-packed",
+        }
+    }
+
+    /// Build a boxed index of this backend over `segments`.
+    pub fn build(
+        &self,
+        segments: Vec<NeuronSegment>,
+        params: &IndexParams,
+    ) -> Box<dyn SpatialIndex> {
+        match self {
+            IndexBackend::Flat => {
+                Box::new(<FlatIndex<NeuronSegment> as SpatialIndex>::build(segments, params))
+            }
+            IndexBackend::RTree => Box::new(DynamicRTree::build(segments, params)),
+            IndexBackend::RPlus => {
+                Box::new(<RPlusTree<NeuronSegment> as SpatialIndex>::build(segments, params))
+            }
+            IndexBackend::StrPacked => {
+                Box::new(<RTree<NeuronSegment> as SpatialIndex>::build(segments, params))
+            }
+        }
+    }
+}
+
+impl fmt::Display for IndexBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for IndexBackend {
+    type Err = NeuroError;
+
+    /// Case-insensitive; accepts the canonical names plus common aliases
+    /// (`r-tree`, `dynamic`, `r+`, `rplustree`, `str`, `packed`).
+    fn from_str(s: &str) -> Result<Self, NeuroError> {
+        match s.to_ascii_lowercase().replace(['_', ' '], "-").as_str() {
+            "flat" => Ok(IndexBackend::Flat),
+            "rtree" | "r-tree" | "dynamic" | "dynamic-rtree" => Ok(IndexBackend::RTree),
+            "rplus" | "r+" | "r-plus" | "rplustree" | "r+-tree" => Ok(IndexBackend::RPlus),
+            "str-packed" | "str" | "packed" | "strpacked" => Ok(IndexBackend::StrPacked),
+            _ => Err(NeuroError::UnknownBackend {
+                given: s.to_string(),
+                known: IndexBackend::ALL.iter().map(|b| b.name().to_string()).collect(),
+            }),
+        }
+    }
+}
+
+/// Factory signature for registry entries.
+pub type BackendFactory = fn(Vec<NeuronSegment>, &IndexParams) -> Box<dyn SpatialIndex>;
+
+/// A name → factory table: the built-in backends plus anything callers
+/// register (an experimental index, an instrumented wrapper, …).
+///
+/// ```
+/// use neurospatial::prelude::*;
+///
+/// let mut registry = BackendRegistry::with_builtins();
+/// registry.register("my-flat", |segs, p| IndexBackend::Flat.build(segs, p));
+/// let idx = registry.build("my-flat", Vec::new(), &IndexParams::default()).unwrap();
+/// assert!(idx.is_empty());
+/// ```
+pub struct BackendRegistry {
+    entries: Vec<(String, BackendFactory)>,
+}
+
+impl BackendRegistry {
+    /// A registry containing the four built-in backends under their
+    /// canonical names.
+    pub fn with_builtins() -> Self {
+        let mut r = BackendRegistry { entries: Vec::new() };
+        for b in IndexBackend::ALL {
+            // `IndexBackend::build` needs the variant; capture it by
+            // monomorphising through a small fn per variant.
+            let factory: BackendFactory = match b {
+                IndexBackend::Flat => |s, p| IndexBackend::Flat.build(s, p),
+                IndexBackend::RTree => |s, p| IndexBackend::RTree.build(s, p),
+                IndexBackend::RPlus => |s, p| IndexBackend::RPlus.build(s, p),
+                IndexBackend::StrPacked => |s, p| IndexBackend::StrPacked.build(s, p),
+            };
+            r.entries.push((b.name().to_string(), factory));
+        }
+        r
+    }
+
+    /// Register (or replace) a backend under `name`.
+    pub fn register<S: Into<String>>(&mut self, name: S, factory: BackendFactory) {
+        let name = name.into();
+        if let Some(e) = self.entries.iter_mut().find(|(n, _)| *n == name) {
+            e.1 = factory;
+        } else {
+            self.entries.push((name, factory));
+        }
+    }
+
+    /// Registered names, registration order.
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// Build the backend registered under `name`.
+    pub fn build(
+        &self,
+        name: &str,
+        segments: Vec<NeuronSegment>,
+        params: &IndexParams,
+    ) -> Result<Box<dyn SpatialIndex>, NeuroError> {
+        match self.entries.iter().find(|(n, _)| n == name) {
+            Some((_, factory)) => Ok(factory(segments, params)),
+            None => Err(NeuroError::UnknownBackend {
+                given: name.to_string(),
+                known: self.names().iter().map(|s| s.to_string()).collect(),
+            }),
+        }
+    }
+}
+
+impl Default for BackendRegistry {
+    fn default() -> Self {
+        Self::with_builtins()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neurospatial_model::CircuitBuilder;
+
+    #[test]
+    fn backend_names_round_trip() {
+        for b in IndexBackend::ALL {
+            assert_eq!(b.name().parse::<IndexBackend>().expect("round trip"), b);
+            assert_eq!(b.to_string(), b.name());
+        }
+        assert_eq!("R-Tree".parse::<IndexBackend>().unwrap(), IndexBackend::RTree);
+        assert_eq!("STR".parse::<IndexBackend>().unwrap(), IndexBackend::StrPacked);
+        assert!(matches!("btree".parse::<IndexBackend>(), Err(NeuroError::UnknownBackend { .. })));
+    }
+
+    #[test]
+    fn all_backends_agree_with_scan() {
+        let c = CircuitBuilder::new(5).neurons(6).build();
+        let q = Aabb::cube(c.bounds().center(), 30.0);
+        let want: Vec<u64> = {
+            let mut ids: Vec<u64> =
+                c.segments().iter().filter(|s| s.aabb().intersects(&q)).map(|s| s.id).collect();
+            ids.sort_unstable();
+            ids
+        };
+        for b in IndexBackend::ALL {
+            let idx = b.build(c.segments().to_vec(), &IndexParams::default());
+            assert_eq!(idx.len(), c.segments().len(), "{b}");
+            let out = idx.range_query(&q);
+            assert_eq!(out.sorted_ids(), want, "{b} disagrees with scan");
+            assert_eq!(out.stats.results as usize, out.len(), "{b} stats");
+            assert!(idx.bounds().contains(&q.intersection(&idx.bounds())), "{b} bounds");
+        }
+    }
+
+    #[test]
+    fn batched_queries_match_single_queries() {
+        let c = CircuitBuilder::new(9).neurons(4).build();
+        let idx = IndexBackend::Flat.build(c.segments().to_vec(), &IndexParams::default());
+        let regions: Vec<Aabb> = (0..5)
+            .map(|i| Aabb::cube(c.segments()[i * 7].geom.center(), 10.0 + i as f64))
+            .collect();
+        let batch = idx.range_query_many(&regions);
+        assert_eq!(batch.len(), regions.len());
+        for (out, r) in batch.iter().zip(&regions) {
+            assert_eq!(out.sorted_ids(), idx.range_query(r).sorted_ids());
+        }
+    }
+
+    #[test]
+    fn registry_builds_by_name_and_rejects_unknowns() {
+        let registry = BackendRegistry::with_builtins();
+        assert_eq!(registry.names().len(), 4);
+        let idx =
+            registry.build("flat", Vec::new(), &IndexParams::default()).expect("flat registered");
+        assert!(idx.is_empty());
+        assert!(registry.build("nope", Vec::new(), &IndexParams::default()).is_err());
+    }
+}

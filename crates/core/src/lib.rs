@@ -25,30 +25,55 @@
 //!
 //! ## Quickstart
 //!
+//! Databases are opened through [`NeuroDbBuilder`]: pick a data source,
+//! an index backend (by value or by name) and how segments split into
+//! named populations.
+//!
 //! ```
 //! use neurospatial::prelude::*;
 //!
 //! // 1. Generate a microcircuit (substitute for BBP data).
 //! let circuit = CircuitBuilder::new(7).neurons(20).build();
 //!
-//! // 2. Open a database over its segments.
-//! let db = NeuroDb::from_circuit(&circuit);
+//! // 2. Open a database: FLAT backend, named populations.
+//! let db = NeuroDb::builder()
+//!     .circuit(&circuit)
+//!     .backend(IndexBackend::Flat) // or .backend_named("rtree"), …
+//!     .split_populations("axons", "dendrites", |s| s.neuron % 2 == 0)
+//!     .build()
+//!     .expect("valid configuration");
 //!
-//! // 3. Spatial range query (FLAT under the hood).
+//! // 3. Spatial range query through the pluggable SpatialIndex API.
 //! let region = Aabb::cube(circuit.bounds().center(), 30.0);
-//! let (segments, stats) = db.range_query(&region);
-//! assert_eq!(segments.len(), stats.results as usize);
+//! let out = db.range_query(&region);
+//! assert_eq!(out.segments.len(), out.stats.results as usize);
 //!
-//! // 4. Synapse candidates between the even/odd neuron populations
-//! //    (TOUCH distance join).
-//! let synapses = db.find_synapse_candidates(3.0);
+//! // 4. Synapse candidates between the two populations (TOUCH join).
+//! let synapses = db.find_synapse_candidates(3.0).expect("two populations");
 //! assert!(synapses.stats.results == synapses.pairs.len() as u64);
 //!
-//! // 5. Replay a branch-following walkthrough with SCOUT prefetching.
+//! // 5. Replay a branch-following walkthrough with SCOUT prefetching
+//! //    (FLAT backend only — walkthroughs are page-granular).
 //! if let Some(path) = db.navigation_path(&circuit, 1, 20.0, 8.0) {
-//!     let report = db.walkthrough(&path, WalkthroughMethod::Scout);
+//!     let report = db.walkthrough(&path, WalkthroughMethod::Scout).expect("flat");
 //!     assert!(report.steps.len() == path.queries.len());
 //! }
+//! ```
+//!
+//! Backends are comparable through one API — build the same data under
+//! every [`IndexBackend`] and race them:
+//!
+//! ```
+//! use neurospatial::prelude::*;
+//!
+//! let circuit = CircuitBuilder::new(1).neurons(6).build();
+//! let q = Aabb::cube(circuit.bounds().center(), 25.0);
+//! let outputs: Vec<QueryOutput> = IndexBackend::ALL
+//!     .iter()
+//!     .map(|b| b.build(circuit.segments().to_vec(), &IndexParams::default()).range_query(&q))
+//!     .collect();
+//! // All four backends return the identical result set.
+//! assert!(outputs.windows(2).all(|w| w[0].sorted_ids() == w[1].sorted_ids()));
 //! ```
 
 pub use neurospatial_flat as flat;
@@ -60,6 +85,13 @@ pub use neurospatial_storage as storage;
 pub use neurospatial_touch as touch;
 
 pub mod db;
+pub mod error;
+pub mod index;
 pub mod prelude;
 
-pub use db::{NeuroDb, NeuroDbConfig, RegionStats, WalkthroughMethod};
+pub use db::{NeuroDb, NeuroDbBuilder, NeuroDbConfig, Population, RegionStats, WalkthroughMethod};
+pub use error::NeuroError;
+pub use index::{
+    BackendFactory, BackendRegistry, DynamicRTree, IndexBackend, IndexParams, QueryOutput,
+    QueryStats, SpatialIndex,
+};

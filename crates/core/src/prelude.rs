@@ -5,11 +5,17 @@
 //!
 //! let circuit = CircuitBuilder::new(1).neurons(3).build();
 //! let db = NeuroDb::from_circuit(&circuit);
-//! let (hits, _) = db.range_query(&Aabb::cube(circuit.bounds().center(), 10.0));
-//! assert!(hits.len() <= circuit.segments().len());
+//! let out = db.range_query(&Aabb::cube(circuit.bounds().center(), 10.0));
+//! assert!(out.len() <= circuit.segments().len());
 //! ```
 
-pub use crate::db::{NeuroDb, NeuroDbConfig, RegionStats, WalkthroughMethod};
+pub use crate::db::{
+    NeuroDb, NeuroDbBuilder, NeuroDbConfig, Population, RegionStats, WalkthroughMethod,
+};
+pub use crate::error::NeuroError;
+pub use crate::index::{
+    BackendRegistry, DynamicRTree, IndexBackend, IndexParams, QueryOutput, QueryStats, SpatialIndex,
+};
 
 pub use neurospatial_geom::{Aabb, Segment, Vec3};
 

@@ -171,11 +171,7 @@ impl<T: RTreeObject> FlatIndex<T> {
 ///
 /// A uniform grid over the page centres prunes the candidate pairs; cell
 /// size tracks the mean page extent so each page tests O(1) cells.
-fn build_neighborhoods(
-    pages: &[FlatPage],
-    bounds: Aabb,
-    epsilon: f64,
-) -> (Vec<u32>, Vec<u32>) {
+fn build_neighborhoods(pages: &[FlatPage], bounds: Aabb, epsilon: f64) -> (Vec<u32>, Vec<u32>) {
     let p = pages.len();
     if p == 0 {
         return (vec![0], Vec::new());
@@ -229,10 +225,9 @@ mod tests {
     fn line_boxes(n: usize) -> Vec<Aabb> {
         // Touching unit boxes along a line: every page overlaps its
         // predecessor/successor page at the shared face.
-        (0..n).map(|i| Aabb::new(
-            Vec3::new(i as f64, 0.0, 0.0),
-            Vec3::new(i as f64 + 1.0, 1.0, 1.0),
-        )).collect()
+        (0..n)
+            .map(|i| Aabb::new(Vec3::new(i as f64, 0.0, 0.0), Vec3::new(i as f64 + 1.0, 1.0, 1.0)))
+            .collect()
     }
 
     #[test]
@@ -250,7 +245,8 @@ mod tests {
 
     #[test]
     fn pages_partition_objects() {
-        let idx = FlatIndex::build(line_boxes(1000), FlatBuildParams::default().with_page_capacity(64));
+        let idx =
+            FlatIndex::build(line_boxes(1000), FlatBuildParams::default().with_page_capacity(64));
         assert_eq!(idx.page_count(), 1000usize.div_ceil(64));
         let mut covered = 0usize;
         for p in 0..idx.page_count() as u32 {
@@ -268,7 +264,8 @@ mod tests {
 
     #[test]
     fn neighborhood_is_symmetric_and_irreflexive() {
-        let idx = FlatIndex::build(line_boxes(2000), FlatBuildParams::default().with_page_capacity(32));
+        let idx =
+            FlatIndex::build(line_boxes(2000), FlatBuildParams::default().with_page_capacity(32));
         for u in 0..idx.page_count() as u32 {
             for &v in idx.neighbors_of(u) {
                 assert_ne!(u, v, "self-loop at page {u}");
@@ -289,7 +286,8 @@ mod tests {
         // touches some other page and the whole neighborhood graph must be
         // a single connected component — the property that lets the crawl
         // reach the entire result without re-seeding.
-        let idx = FlatIndex::build(line_boxes(320), FlatBuildParams::default().with_page_capacity(32));
+        let idx =
+            FlatIndex::build(line_boxes(320), FlatBuildParams::default().with_page_capacity(32));
         let p = idx.page_count();
         assert!(p > 1);
         let mut seen = vec![false; p];
@@ -318,7 +316,8 @@ mod tests {
         for i in 0..64 {
             objs.push(Aabb::cube(Vec3::new(100.0 + i as f64 * 0.1, 0.0, 0.0), 0.1));
         }
-        let tight = FlatIndex::build(objs.clone(), FlatBuildParams::default().with_page_capacity(64));
+        let tight =
+            FlatIndex::build(objs.clone(), FlatBuildParams::default().with_page_capacity(64));
         assert_eq!(tight.page_count(), 2);
         assert!(tight.neighbors_of(0).is_empty());
 
@@ -332,7 +331,8 @@ mod tests {
 
     #[test]
     fn build_stats_populated() {
-        let idx = FlatIndex::build(line_boxes(500), FlatBuildParams::default().with_page_capacity(32));
+        let idx =
+            FlatIndex::build(line_boxes(500), FlatBuildParams::default().with_page_capacity(32));
         let s = idx.build_stats();
         assert_eq!(s.pages, idx.page_count() as u64);
         assert_eq!(s.neighbor_links, idx.neighbor_count());

@@ -110,6 +110,13 @@ impl<T: RTreeObject> FlatIndex<T> {
         self.pages.len()
     }
 
+    /// Bounding box of every indexed object (`Aabb::EMPTY` when empty).
+    /// O(1): the seed tree's root MBR is exactly the union of all page
+    /// MBRs.
+    pub fn bounds(&self) -> Aabb {
+        self.seed_tree.root_mbr()
+    }
+
     /// Statistics recorded while building.
     pub fn build_stats(&self) -> &FlatBuildStats {
         &self.build_stats

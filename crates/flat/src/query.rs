@@ -18,12 +18,25 @@ impl<T: RTreeObject> FlatIndex<T> {
     pub fn range_query_with<F: FnMut(PageAccess)>(
         &self,
         q: &Aabb,
-        mut on_access: F,
+        on_access: F,
     ) -> (Vec<&T>, FlatQueryStats) {
-        let mut stats = FlatQueryStats::default();
         let mut out = Vec::new();
+        let stats = self.range_query_sink(q, on_access, |o| out.push(o));
+        (out, stats)
+    }
+
+    /// Range query delivering matches straight into `sink` — the
+    /// zero-intermediate form the facade's `SpatialIndex` impl uses to
+    /// collect owned copies in a single pass.
+    pub fn range_query_sink<'a, F: FnMut(PageAccess), S: FnMut(&'a T)>(
+        &'a self,
+        q: &Aabb,
+        mut on_access: F,
+        mut sink: S,
+    ) -> FlatQueryStats {
+        let mut stats = FlatQueryStats::default();
         if self.pages.is_empty() {
-            return (out, stats);
+            return stats;
         }
 
         let mut visited = vec![false; self.pages.len()];
@@ -37,7 +50,7 @@ impl<T: RTreeObject> FlatIndex<T> {
         let Some(first) = seed else {
             // No page MBR intersects q: empty result, proven by the seed
             // descent alone.
-            return (out, stats);
+            return stats;
         };
         visited[first.page as usize] = true;
         queue.push_back(first.page);
@@ -52,7 +65,8 @@ impl<T: RTreeObject> FlatIndex<T> {
                 for o in self.page_objects(page) {
                     stats.objects_tested += 1;
                     if o.aabb().intersects(q) {
-                        out.push(o);
+                        stats.results += 1;
+                        sink(o);
                     }
                 }
                 for &n in self.neighbors_of(page) {
@@ -89,8 +103,7 @@ impl<T: RTreeObject> FlatIndex<T> {
             }
         }
 
-        stats.results = out.len() as u64;
-        (out, stats)
+        stats
     }
 }
 
@@ -195,9 +208,7 @@ mod tests {
         assert_eq!(stats.reseeds, 0, "dense data should crawl in one component");
         let order = &stats.crawl_order;
         for (i, &p) in order.iter().enumerate().skip(1) {
-            let linked = order[..i]
-                .iter()
-                .any(|&earlier| idx.neighbors_of(earlier).contains(&p));
+            let linked = order[..i].iter().any(|&earlier| idx.neighbors_of(earlier).contains(&p));
             assert!(linked, "page {p} (position {i}) reached without a link");
         }
     }

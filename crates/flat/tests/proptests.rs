@@ -17,7 +17,7 @@ fn small_box() -> impl Strategy<Value = Aabb> {
 fn clustered_boxes() -> impl Strategy<Value = Vec<Aabb>> {
     prop::collection::vec(
         (
-            (-3i32..3, -3i32..3, -3i32..3),           // cluster cell
+            (-3i32..3, -3i32..3, -3i32..3), // cluster cell
             prop::collection::vec((0.0..5.0f64, 0.0..5.0f64, 0.0..5.0f64), 1..60),
         ),
         1..6,

@@ -18,11 +18,7 @@ impl GridIndexer {
         assert!(!bounds.is_empty(), "GridIndexer requires non-empty bounds");
         let dims = [dims[0].max(1), dims[1].max(1), dims[2].max(1)];
         let e = bounds.extent();
-        let cell = Vec3::new(
-            e.x / dims[0] as f64,
-            e.y / dims[1] as f64,
-            e.z / dims[2] as f64,
-        );
+        let cell = Vec3::new(e.x / dims[0] as f64, e.y / dims[1] as f64, e.z / dims[2] as f64);
         GridIndexer { bounds, dims, cell }
     }
 

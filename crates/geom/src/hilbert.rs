@@ -74,7 +74,7 @@ fn axes_to_transpose(x: &mut [u32; DIMS], bits: u32) {
 /// In-place inverse of [`axes_to_transpose`].
 fn transpose_to_axes(x: &mut [u32; DIMS], bits: u32) {
     let n = 2u32.wrapping_shl(bits - 1); // 2^bits
-    // Gray decode by H ^ (H/2)
+                                         // Gray decode by H ^ (H/2)
     let mut t = x[DIMS - 1] >> 1;
     for i in (1..DIMS).rev() {
         x[i] ^= x[i - 1];

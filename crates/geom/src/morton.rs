@@ -62,9 +62,14 @@ mod tests {
     #[test]
     fn roundtrip_extremes() {
         let max = (1u32 << 21) - 1;
-        for &(x, y, z) in
-            &[(0, 0, 0), (max, max, max), (max, 0, 0), (0, max, 0), (0, 0, max), (123456, 654321, 999999)]
-        {
+        for &(x, y, z) in &[
+            (0, 0, 0),
+            (max, max, max),
+            (max, 0, 0),
+            (0, max, 0),
+            (0, 0, max),
+            (123456, 654321, 999999),
+        ] {
             assert_eq!(morton_decode3(morton_encode3(x, y, z)), (x, y, z));
         }
     }

@@ -274,9 +274,18 @@ mod tests {
     #[test]
     fn distance_symmetry_samples() {
         let cases = [
-            (seg((0.0, 0.0, 0.0), (1.0, 2.0, 3.0), 0.2), seg((4.0, -1.0, 0.5), (2.0, 2.0, 2.0), 0.3)),
-            (seg((0.0, 0.0, 0.0), (0.0, 0.0, 0.0), 0.1), seg((1.0, 1.0, 1.0), (2.0, 2.0, 2.0), 0.1)),
-            (seg((-5.0, 0.0, 0.0), (5.0, 0.0, 0.0), 1.0), seg((0.0, -5.0, 2.0), (0.0, 5.0, 2.0), 1.0)),
+            (
+                seg((0.0, 0.0, 0.0), (1.0, 2.0, 3.0), 0.2),
+                seg((4.0, -1.0, 0.5), (2.0, 2.0, 2.0), 0.3),
+            ),
+            (
+                seg((0.0, 0.0, 0.0), (0.0, 0.0, 0.0), 0.1),
+                seg((1.0, 1.0, 1.0), (2.0, 2.0, 2.0), 0.1),
+            ),
+            (
+                seg((-5.0, 0.0, 0.0), (5.0, 0.0, 0.0), 1.0),
+                seg((0.0, -5.0, 2.0), (0.0, 5.0, 2.0), 1.0),
+            ),
         ];
         for (a, b) in cases {
             assert!((a.axis_distance(&b) - b.axis_distance(&a)).abs() < 1e-9);

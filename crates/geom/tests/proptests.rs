@@ -1,8 +1,8 @@
 //! Property-based tests for the geometric foundation.
 
 use neurospatial_geom::{
-    hilbert_d2xyz, hilbert_xyz2d, morton_decode3, morton_encode3, Aabb, GridIndexer,
-    HilbertSorter, Segment, Vec3,
+    hilbert_d2xyz, hilbert_xyz2d, morton_decode3, morton_encode3, Aabb, GridIndexer, HilbertSorter,
+    Segment, Vec3,
 };
 use proptest::prelude::*;
 

@@ -59,8 +59,12 @@ pub fn encode_segments(segments: &[NeuronSegment]) -> Vec<u8> {
         out.extend_from_slice(&s.index_on_section.to_le_bytes());
         out.extend_from_slice(&0u32.to_le_bytes()); // padding/reserved
         for v in [
-            s.geom.p0.x, s.geom.p0.y, s.geom.p0.z,
-            s.geom.p1.x, s.geom.p1.y, s.geom.p1.z,
+            s.geom.p0.x,
+            s.geom.p0.y,
+            s.geom.p0.z,
+            s.geom.p1.x,
+            s.geom.p1.y,
+            s.geom.p1.z,
             s.geom.radius,
         ] {
             out.extend_from_slice(&v.to_le_bytes());
@@ -104,12 +108,13 @@ pub fn decode_segments(bytes: &[u8]) -> Result<Vec<NeuronSegment>, DecodeError> 
         off += 4;
         let section = u32::from_le_bytes(bytes[off..off + 4].try_into().expect("4 bytes"));
         off += 4;
-        let index_on_section =
-            u32::from_le_bytes(bytes[off..off + 4].try_into().expect("4 bytes"));
+        let index_on_section = u32::from_le_bytes(bytes[off..off + 4].try_into().expect("4 bytes"));
         off += 4;
         off += 4; // reserved
-        let p0 = Vec3::new(f64_at(bytes, &mut off), f64_at(bytes, &mut off), f64_at(bytes, &mut off));
-        let p1 = Vec3::new(f64_at(bytes, &mut off), f64_at(bytes, &mut off), f64_at(bytes, &mut off));
+        let p0 =
+            Vec3::new(f64_at(bytes, &mut off), f64_at(bytes, &mut off), f64_at(bytes, &mut off));
+        let p1 =
+            Vec3::new(f64_at(bytes, &mut off), f64_at(bytes, &mut off), f64_at(bytes, &mut off));
         let radius = f64_at(bytes, &mut off);
         let geom = Segment { p0, p1, radius };
         if !geom.is_valid() {

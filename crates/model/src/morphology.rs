@@ -243,7 +243,8 @@ impl MorphologyParams {
 
         let stems = self.dendrite_stems + self.axon_stems;
         for i in 0..stems {
-            let kind = if i < self.dendrite_stems { SectionKind::Dendrite } else { SectionKind::Axon };
+            let kind =
+                if i < self.dendrite_stems { SectionKind::Dendrite } else { SectionKind::Axon };
             // Distribute stems quasi-uniformly over the soma sphere using
             // a jittered Fibonacci lattice.
             let t = (i as f64 + 0.5) / stems as f64;
@@ -317,11 +318,8 @@ impl MorphologyParams {
 /// Uniform random direction on the unit sphere.
 fn random_unit(rng: &mut ModelRng) -> Vec3 {
     loop {
-        let v = Vec3::new(
-            rng.gen_range(-1.0..1.0),
-            rng.gen_range(-1.0..1.0),
-            rng.gen_range(-1.0..1.0),
-        );
+        let v =
+            Vec3::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0));
         let n2 = v.norm_sq();
         if n2 > 1e-6 && n2 <= 1.0 {
             return v / n2.sqrt();

@@ -62,9 +62,11 @@ impl RangeQueryWorkload {
                         rng.gen_range(bounds.lo.z..=bounds.hi.z),
                     ),
                     QueryPlacement::DataCentered => {
-                        let objs = objects
-                            .expect("DataCentered placement requires objects");
-                        assert!(!objs.is_empty(), "DataCentered placement requires a non-empty dataset");
+                        let objs = objects.expect("DataCentered placement requires objects");
+                        assert!(
+                            !objs.is_empty(),
+                            "DataCentered placement requires a non-empty dataset"
+                        );
                         objs[rng.gen_range(0..objs.len())].geom.center()
                     }
                 };
@@ -116,12 +118,8 @@ impl NavigationPath {
 
         // Walk from a random stem to a tip, choosing a random child at
         // each branch point.
-        let stems: Vec<u32> = m
-            .sections
-            .iter()
-            .filter(|s| s.parent == Some(0))
-            .map(|s| s.id)
-            .collect();
+        let stems: Vec<u32> =
+            m.sections.iter().filter(|s| s.parent == Some(0)).map(|s| s.id).collect();
         let mut cur = *stems.choose(&mut rng)?;
         let mut sections = vec![cur];
         let mut polyline: Vec<Vec3> = m.sections[cur as usize].points.clone();

@@ -459,10 +459,7 @@ mod tests {
             .map(|i| {
                 // Dense: heavily overlapping boxes on a spiral.
                 let f = i as f64 * 0.01;
-                Aabb::cube(
-                    Vec3::new(f.sin() * 10.0, f.cos() * 10.0, (i % 100) as f64 * 0.2),
-                    1.5,
-                )
+                Aabb::cube(Vec3::new(f.sin() * 10.0, f.cos() * 10.0, (i % 100) as f64 * 0.2), 1.5)
             })
             .collect();
         let mut dynamic = RTree::new(RTreeParams::with_max_entries(16));
@@ -481,4 +478,3 @@ mod tests {
         assert_eq!(h1.len(), h2.len());
     }
 }
-

@@ -182,12 +182,18 @@ impl<T: RTreeObject> RTree<T> {
 
     /// Iterate over all objects (leaf order).
     pub fn iter(&self) -> impl Iterator<Item = &T> {
-        self.nodes.iter().enumerate().filter(move |(i, n)| {
-            !self.free.contains(i) && matches!(n.kind, node::NodeKind::Leaf(_)) && self.is_live(*i)
-        }).flat_map(|(_, n)| match &n.kind {
-            node::NodeKind::Leaf(items) => items.iter(),
-            node::NodeKind::Inner(_) => unreachable!("filtered to leaves"),
-        })
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(move |(i, n)| {
+                !self.free.contains(i)
+                    && matches!(n.kind, node::NodeKind::Leaf(_))
+                    && self.is_live(*i)
+            })
+            .flat_map(|(_, n)| match &n.kind {
+                node::NodeKind::Leaf(items) => items.iter(),
+                node::NodeKind::Inner(_) => unreachable!("filtered to leaves"),
+            })
     }
 
     /// A node is live if it is reachable from the root. Used only by the

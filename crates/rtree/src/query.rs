@@ -179,7 +179,10 @@ impl<T: RTreeObject> RTree<T> {
         }
         // Two heaps: node frontier (min-dist) and current best results.
         let mut frontier = BinaryHeap::new();
-        frontier.push(HeapEntry { dist: self.nodes[self.root].mbr.min_distance_to_point(p), node: self.root });
+        frontier.push(HeapEntry {
+            dist: self.nodes[self.root].mbr.min_distance_to_point(p),
+            node: self.root,
+        });
 
         // Track the current k-th best distance for pruning.
         let kth = |out: &Vec<KnnResult<'_, T>>| {
@@ -368,10 +371,7 @@ mod tests {
             .map(|i| {
                 // Dense: heavily overlapping boxes in a small volume.
                 let f = i as f64 * 0.01;
-                Aabb::cube(
-                    Vec3::new(f.sin() * 10.0, f.cos() * 10.0, (i % 100) as f64 * 0.2),
-                    1.5,
-                )
+                Aabb::cube(Vec3::new(f.sin() * 10.0, f.cos() * 10.0, (i % 100) as f64 * 0.2), 1.5)
             })
             .collect();
         let mut dynamic = RTree::new(RTreeParams::with_max_entries(16));

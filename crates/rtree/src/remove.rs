@@ -32,9 +32,7 @@ impl<T: RTreeObject + PartialEq> RTree<T> {
         }
         match &self.nodes[id].kind {
             NodeKind::Leaf(items) => items.iter().any(|o| o == obj).then_some(id),
-            NodeKind::Inner(children) => {
-                children.iter().find_map(|&c| self.find_leaf(c, bb, obj))
-            }
+            NodeKind::Inner(children) => children.iter().find_map(|&c| self.find_leaf(c, bb, obj)),
         }
     }
 

@@ -52,13 +52,8 @@ impl<T: RTreeObject> RPlusTree<T> {
     pub fn build(objects: Vec<T>, leaf_capacity: usize) -> Self {
         assert!(leaf_capacity >= 1);
         let bounds = objects.iter().fold(Aabb::EMPTY, |a, o| a.union(&o.aabb()));
-        let mut tree = RPlusTree {
-            nodes: Vec::new(),
-            root: 0,
-            stored_entries: 0,
-            height: 1,
-            objects,
-        };
+        let mut tree =
+            RPlusTree { nodes: Vec::new(), root: 0, stored_entries: 0, height: 1, objects };
         if tree.objects.is_empty() {
             tree.nodes.push(RPlusNode::Leaf { region: Aabb::EMPTY, objects: Vec::new() });
             return tree;
@@ -146,6 +141,11 @@ impl<T: RTreeObject> RPlusTree<T> {
         self.height
     }
 
+    /// Bounding region of the root (`Aabb::EMPTY` when the tree is empty).
+    pub fn bounds(&self) -> Aabb {
+        self.nodes[self.root].region()
+    }
+
     pub fn node_count(&self) -> usize {
         self.nodes.len()
     }
@@ -216,9 +216,7 @@ impl<T: RTreeObject> RPlusTree<T> {
                         let rb = self.nodes[cb].region();
                         let ov = ra.overlap_volume(&rb);
                         if ov > 1e-9 {
-                            return Err(format!(
-                                "node {id}: children {ca},{cb} overlap by {ov}"
-                            ));
+                            return Err(format!("node {id}: children {ca},{cb} overlap by {ov}"));
                         }
                     }
                 }

@@ -105,9 +105,7 @@ fn str_tile<P>(mut items: Vec<(Vec3, P)>, cap: usize, axis: usize, out: &mut Vec
     let base = n / k;
     let extra = n % k;
 
-    items.sort_by(|a, b| {
-        a.0.axis(axis).partial_cmp(&b.0.axis(axis)).expect("finite coordinates")
-    });
+    items.sort_by(|a, b| a.0.axis(axis).partial_cmp(&b.0.axis(axis)).expect("finite coordinates"));
 
     let mut iter = items.into_iter();
     for c in 0..k {

@@ -66,8 +66,7 @@ fn check_node<T: RTreeObject>(
             if children.is_empty() && !is_root {
                 return Err(format!("inner node {id} has no children"));
             }
-            let want: Aabb =
-                children.iter().fold(Aabb::EMPTY, |a, &c| a.union(&tree.nodes[c].mbr));
+            let want: Aabb = children.iter().fold(Aabb::EMPTY, |a, &c| a.union(&tree.nodes[c].mbr));
             if !boxes_equal(&want, &n.mbr) {
                 return Err(format!("inner {id}: stored MBR {} != tight {}", n.mbr, want));
             }

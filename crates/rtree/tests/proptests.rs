@@ -12,11 +12,14 @@ fn small_box() -> impl Strategy<Value = Aabb> {
 }
 
 fn params() -> impl Strategy<Value = RTreeParams> {
-    (4usize..32, prop_oneof![
-        Just(SplitStrategy::Linear),
-        Just(SplitStrategy::Quadratic),
-        Just(SplitStrategy::RStar)
-    ])
+    (
+        4usize..32,
+        prop_oneof![
+            Just(SplitStrategy::Linear),
+            Just(SplitStrategy::Quadratic),
+            Just(SplitStrategy::RStar)
+        ],
+    )
         .prop_map(|(m, s)| RTreeParams::with_max_entries(m).with_split(s))
 }
 

@@ -111,11 +111,7 @@ mod tests {
         // Two parallel chains; the walkthrough follows chain A (ids 0..10).
         // Chain B (ids 100..) leaves the moving window after a few steps.
         let chain = |base: u64, y: f64| -> Vec<NeuronSegment> {
-            (0..20)
-                .map(|i| {
-                    seg(base + i, (i as f64, y, 0.0), (i as f64 + 1.0, y, 0.0))
-                })
-                .collect()
+            (0..20).map(|i| seg(base + i, (i as f64, y, 0.0), (i as f64 + 1.0, y, 0.0))).collect()
         };
         let a = chain(0, 0.0);
         let b = chain(100, 3.0);
@@ -147,14 +143,17 @@ mod tests {
         let a: Vec<NeuronSegment> =
             (0..5).map(|i| seg(i, (i as f64, 0.0, 0.0), (i as f64 + 1.0, 0.0, 0.0))).collect();
         let q1 = Aabb::new(Vec3::new(0.0, -1.0, -1.0), Vec3::new(3.0, 1.0, 1.0));
-        let r1: Vec<NeuronSegment> = a.iter().filter(|s| s.aabb().intersects(&q1)).cloned().collect();
+        let r1: Vec<NeuronSegment> =
+            a.iter().filter(|s| s.aabb().intersects(&q1)).cloned().collect();
         tracker.advance(&skeleton_of(&r1, &q1));
 
         // Jump to a completely different chain: no shared segments.
-        let b: Vec<NeuronSegment> =
-            (100..105).map(|i| seg(i, (i as f64, 50.0, 0.0), (i as f64 + 1.0, 50.0, 0.0))).collect();
+        let b: Vec<NeuronSegment> = (100..105)
+            .map(|i| seg(i, (i as f64, 50.0, 0.0), (i as f64 + 1.0, 50.0, 0.0)))
+            .collect();
         let q2 = Aabb::new(Vec3::new(100.0, 49.0, -1.0), Vec3::new(103.0, 51.0, 1.0));
-        let r2: Vec<NeuronSegment> = b.iter().filter(|s| s.aabb().intersects(&q2)).cloned().collect();
+        let r2: Vec<NeuronSegment> =
+            b.iter().filter(|s| s.aabb().intersects(&q2)).cloned().collect();
         let c = tracker.advance(&skeleton_of(&r2, &q2));
         assert!(!c.is_empty(), "reset should recover candidates");
     }
@@ -162,9 +161,7 @@ mod tests {
     #[test]
     fn reset_clears_state() {
         let mut tracker = CandidateTracker::new();
-        let sk = Skeleton {
-            structures: vec![Structure { segment_ids: vec![1], exits: vec![] }],
-        };
+        let sk = Skeleton { structures: vec![Structure { segment_ids: vec![1], exits: vec![] }] };
         tracker.advance(&sk);
         assert_eq!(tracker.history().len(), 1);
         tracker.reset();

@@ -30,6 +30,7 @@
 
 pub mod candidate;
 pub mod markov;
+pub mod paged;
 pub mod predict;
 pub mod prefetch;
 pub mod session;
@@ -37,6 +38,7 @@ pub mod skeleton;
 
 pub use candidate::CandidateTracker;
 pub use markov::MarkovPrefetcher;
+pub use paged::PagedIndex;
 pub use predict::{extrapolate_exits, PredictParams};
 pub use prefetch::{
     ExtrapolationPrefetcher, HilbertPrefetcher, NoPrefetch, PrefetchContext, PrefetchPlan,

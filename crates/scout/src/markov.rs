@@ -122,7 +122,8 @@ mod tests {
         let mut m = MarkovPrefetcher::new(10.0, 2);
         let q = Aabb::cube(Vec3::new(5.0, 5.0, 5.0), 5.0);
         let hist = [q.center()];
-        let plan = m.plan(&PrefetchContext { query: &q, result: &[], history: &hist, pages_read: &[] });
+        let plan =
+            m.plan(&PrefetchContext { query: &q, result: &[], history: &hist, pages_read: &[] });
         assert!(plan.is_empty());
         assert_eq!(m.learned_transitions(), 0);
     }
@@ -194,5 +195,4 @@ mod tests {
         assert_eq!(plan.regions.len(), 1);
         assert_eq!(plan.regions[0].center(), Vec3::new(15.0, 5.0, 5.0), "most frequent wins");
     }
-
 }

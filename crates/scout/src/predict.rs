@@ -61,8 +61,10 @@ mod tests {
             exit_point: Vec3::new(10.0, 0.0, 0.0),
             direction: Vec3::new(1.0, 0.0, 0.0),
         }]);
-        let boxes =
-            extrapolate_exits([&s], PredictParams { lookahead: 5.0, prefetch_radius: 2.0, max_predictions: 8 });
+        let boxes = extrapolate_exits(
+            [&s],
+            PredictParams { lookahead: 5.0, prefetch_radius: 2.0, max_predictions: 8 },
+        );
         assert_eq!(boxes.len(), 1);
         assert_eq!(boxes[0].center(), Vec3::new(15.0, 0.0, 0.0));
         assert_eq!(boxes[0].extent(), Vec3::splat(4.0));

@@ -248,19 +248,16 @@ mod tests {
     #[test]
     fn none_plans_nothing() {
         let q = Aabb::cube(Vec3::ZERO, 1.0);
-        let ctx = PrefetchContext { query: &q, result: &[], history: &[Vec3::ZERO], pages_read: &[] };
+        let ctx =
+            PrefetchContext { query: &q, result: &[], history: &[Vec3::ZERO], pages_read: &[] };
         assert!(NoPrefetch.plan(&ctx).is_empty());
     }
 
     #[test]
     fn hilbert_plans_adjacent_pages() {
         let q = Aabb::cube(Vec3::ZERO, 1.0);
-        let ctx = PrefetchContext {
-            query: &q,
-            result: &[],
-            history: &[Vec3::ZERO],
-            pages_read: &[5, 6],
-        };
+        let ctx =
+            PrefetchContext { query: &q, result: &[], history: &[Vec3::ZERO], pages_read: &[5, 6] };
         let plan = HilbertPrefetcher { window: 1 }.plan(&ctx);
         assert_eq!(plan.pages, vec![4, 7]); // 5,6 excluded as already read
         let wide = HilbertPrefetcher { window: 2 }.plan(&ctx);

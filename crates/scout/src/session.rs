@@ -10,8 +10,9 @@
 //! the budget gets cut off, so over-eager policies are penalised
 //! naturally rather than by fiat.
 
+use crate::paged::PagedIndex;
 use crate::prefetch::{PrefetchContext, Prefetcher};
-use neurospatial_flat::{FlatBuildParams, FlatIndex, PageAccess};
+use neurospatial_flat::{FlatBuildParams, FlatIndex};
 use neurospatial_geom::Vec3;
 use neurospatial_model::{NavigationPath, NeuronSegment};
 use neurospatial_storage::{BufferPool, CostModel, DiskSim, PageId};
@@ -107,16 +108,19 @@ impl SessionStats {
     }
 }
 
-/// A reusable exploration environment: one FLAT index over a circuit's
-/// segments; each [`ExplorationSession::run`] replays a walkthrough with
-/// a fresh disk, pool and prefetcher state.
-pub struct ExplorationSession {
-    index: FlatIndex<NeuronSegment>,
+/// A reusable exploration environment: one paged spatial index over a
+/// circuit's segments; each [`ExplorationSession::run`] replays a
+/// walkthrough with a fresh disk, pool and prefetcher state.
+///
+/// Generic over the index: any [`PagedIndex`] implementation can drive a
+/// session. FLAT is the default (and the index the demo paper uses).
+pub struct ExplorationSession<I: PagedIndex = FlatIndex<NeuronSegment>> {
+    index: I,
     config: SessionConfig,
 }
 
-impl ExplorationSession {
-    /// Index `segments` and prepare the environment.
+impl ExplorationSession<FlatIndex<NeuronSegment>> {
+    /// Index `segments` with FLAT and prepare the environment.
     pub fn new(segments: Vec<NeuronSegment>, config: SessionConfig) -> Self {
         let index = FlatIndex::build(
             segments,
@@ -124,8 +128,15 @@ impl ExplorationSession {
         );
         ExplorationSession { index, config }
     }
+}
 
-    pub fn index(&self) -> &FlatIndex<NeuronSegment> {
+impl<I: PagedIndex> ExplorationSession<I> {
+    /// Wrap an already-built paged index.
+    pub fn from_index(index: I, config: SessionConfig) -> Self {
+        ExplorationSession { index, config }
+    }
+
+    pub fn index(&self) -> &I {
         &self.index
     }
 
@@ -138,7 +149,8 @@ impl ExplorationSession {
         prefetcher.reset();
         let disk = DiskSim::new(u64::MAX, self.config.cost);
         let mut pool = BufferPool::new(self.config.buffer_pages);
-        let mut stats = SessionStats { method: prefetcher.name().to_string(), ..Default::default() };
+        let mut stats =
+            SessionStats { method: prefetcher.name().to_string(), ..Default::default() };
 
         // Provenance of resident pages: pages inserted by prefetch that
         // have not yet served a demand access.
@@ -151,25 +163,23 @@ impl ExplorationSession {
 
             // --- Demand phase: run the query, stalling on misses --------
             let mut pages_read: Vec<u32> = Vec::new();
-            let (result, qstats) = self.index.range_query_with(q, |access| {
-                if let PageAccess::Data(p) = access {
-                    pages_read.push(p);
-                    trace.pages_demanded += 1;
-                    let cost = pool
-                        .get(PageId(p as u64), &disk)
-                        .expect("unbounded simulated disk cannot fail");
-                    if cost > 0.0 {
-                        trace.demand_misses += 1;
-                        trace.stall_ms += cost;
-                    } else {
-                        trace.demand_hits += 1;
-                        if pending_prefetch.remove(&p).is_some() {
-                            stats.useful_prefetched += 1;
-                        }
+            let result = self.index.paged_range_query(q, &mut |p| {
+                pages_read.push(p);
+                trace.pages_demanded += 1;
+                let cost = pool
+                    .get(PageId(p as u64), &disk)
+                    .expect("unbounded simulated disk cannot fail");
+                if cost > 0.0 {
+                    trace.demand_misses += 1;
+                    trace.stall_ms += cost;
+                } else {
+                    trace.demand_hits += 1;
+                    if pending_prefetch.remove(&p).is_some() {
+                        stats.useful_prefetched += 1;
                     }
                 }
             });
-            trace.results = qstats.results;
+            trace.results = result.len() as u64;
 
             // --- Think time: background prefetching ----------------------
             let result_refs: Vec<&NeuronSegment> = result;
@@ -224,15 +234,16 @@ mod tests {
     use neurospatial_model::{CircuitBuilder, MorphologyParams};
 
     fn setup() -> (ExplorationSession, NavigationPath) {
-        let circuit = CircuitBuilder::new(42)
-            .neurons(12)
-            .morphology(MorphologyParams::small())
-            .build();
-        let path = NavigationPath::along_random_branch(&circuit, 7, 20.0, 8.0)
+        // Seeds chosen so the walkthrough is long (17 steps) and its
+        // working set exceeds the pool — the regime where prefetch
+        // accuracy decides stall time, as on the demo machine.
+        let circuit =
+            CircuitBuilder::new(11).neurons(12).morphology(MorphologyParams::small()).build();
+        let path = NavigationPath::along_random_branch(&circuit, 1, 20.0, 8.0)
             .expect("circuit has branches");
         let session = ExplorationSession::new(
             circuit.into_segments(),
-            SessionConfig { page_capacity: 32, ..Default::default() },
+            SessionConfig { page_capacity: 32, buffer_pages: 48, ..Default::default() },
         );
         (session, path)
     }
@@ -279,10 +290,8 @@ mod tests {
         // storage-order and camera-extrapolation prefetching on jagged
         // branch-following walkthroughs. Compare aggregate stall over a
         // few paths to smooth out per-path noise.
-        let circuit = CircuitBuilder::new(11)
-            .neurons(16)
-            .morphology(MorphologyParams::small())
-            .build();
+        let circuit =
+            CircuitBuilder::new(11).neurons(16).morphology(MorphologyParams::small()).build();
         let session = ExplorationSession::new(
             circuit.segments().to_vec(),
             SessionConfig { page_capacity: 32, ..Default::default() },
@@ -291,17 +300,12 @@ mod tests {
         for seed in 0..6 {
             if let Some(path) = NavigationPath::along_random_branch(&circuit, seed, 18.0, 7.0) {
                 s_scout += session.run(&path, &mut ScoutPrefetcher::default()).total_stall_ms;
-                s_hilbert +=
-                    session.run(&path, &mut HilbertPrefetcher::default()).total_stall_ms;
-                s_extra += session
-                    .run(&path, &mut ExtrapolationPrefetcher::default())
-                    .total_stall_ms;
+                s_hilbert += session.run(&path, &mut HilbertPrefetcher::default()).total_stall_ms;
+                s_extra +=
+                    session.run(&path, &mut ExtrapolationPrefetcher::default()).total_stall_ms;
             }
         }
-        assert!(
-            s_scout < s_hilbert,
-            "scout {s_scout} should stall less than hilbert {s_hilbert}"
-        );
+        assert!(s_scout < s_hilbert, "scout {s_scout} should stall less than hilbert {s_hilbert}");
         assert!(
             s_scout < s_extra,
             "scout {s_scout} should stall less than extrapolation {s_extra}"

@@ -212,11 +212,7 @@ mod tests {
             neuron: 0,
             section: 0,
             index_on_section: 0,
-            geom: Segment::new(
-                Vec3::new(a.0, a.1, a.2),
-                Vec3::new(b.0, b.1, b.2),
-                0.1,
-            ),
+            geom: Segment::new(Vec3::new(a.0, a.1, a.2), Vec3::new(b.0, b.1, b.2), 0.1),
         }
     }
 
@@ -241,9 +237,11 @@ mod tests {
     #[test]
     fn branching_structures_stay_connected() {
         // Y-shape: two children share the parent's tip.
-        let segs = [seg(0, (0.0, 0.0, 0.0), (1.0, 0.0, 0.0)),
+        let segs = [
+            seg(0, (0.0, 0.0, 0.0), (1.0, 0.0, 0.0)),
             seg(1, (1.0, 0.0, 0.0), (2.0, 1.0, 0.0)),
-            seg(2, (1.0, 0.0, 0.0), (2.0, -1.0, 0.0))];
+            seg(2, (1.0, 0.0, 0.0), (2.0, -1.0, 0.0)),
+        ];
         let refs: Vec<&NeuronSegment> = segs.iter().collect();
         let q = Aabb::cube(Vec3::new(1.0, 0.0, 0.0), 5.0);
         let sk = Skeleton::reconstruct(&refs, &q, SkeletonParams::default());
@@ -269,8 +267,8 @@ mod tests {
     fn exit_edges_detected_with_direction() {
         let q = Aabb::cube(Vec3::ZERO, 2.0);
         let segs = [
-            seg(0, (0.0, 0.0, 0.0), (1.0, 0.0, 0.0)),  // inside
-            seg(1, (1.0, 0.0, 0.0), (3.0, 0.0, 0.0)),  // crosses +x
+            seg(0, (0.0, 0.0, 0.0), (1.0, 0.0, 0.0)), // inside
+            seg(1, (1.0, 0.0, 0.0), (3.0, 0.0, 0.0)), // crosses +x
         ];
         let refs: Vec<&NeuronSegment> = segs.iter().collect();
         let sk = Skeleton::reconstruct(&refs, &q, SkeletonParams::default());

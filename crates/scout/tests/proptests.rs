@@ -7,13 +7,14 @@ use proptest::prelude::*;
 
 /// Random chains of connected segments plus isolated segments.
 fn segment_soup() -> impl Strategy<Value = Vec<NeuronSegment>> {
-    (
-        prop::collection::vec(
-            // (start, steps) per chain
-            ((-40.0..40.0, -40.0..40.0, -40.0..40.0), prop::collection::vec((-4.0..4.0, -4.0..4.0, -4.0..4.0), 1..12)),
-            1..6,
+    (prop::collection::vec(
+        // (start, steps) per chain
+        (
+            (-40.0..40.0, -40.0..40.0, -40.0..40.0),
+            prop::collection::vec((-4.0..4.0, -4.0..4.0, -4.0..4.0), 1..12),
         ),
-    )
+        1..6,
+    ),)
         .prop_map(|(chains,)| {
             let mut out = Vec::new();
             let mut id = 0u64;
@@ -22,7 +23,8 @@ fn segment_soup() -> impl Strategy<Value = Vec<NeuronSegment>> {
                 for (si, (dx, dy, dz)) in steps.into_iter().enumerate() {
                     let step = Vec3::new(dx, dy, dz);
                     // Skip vanishing steps to keep segments non-degenerate.
-                    let next = cur + if step.norm() < 0.5 { Vec3::new(1.0, 0.0, 0.0) } else { step };
+                    let next =
+                        cur + if step.norm() < 0.5 { Vec3::new(1.0, 0.0, 0.0) } else { step };
                     out.push(NeuronSegment {
                         id,
                         neuron: ci as u32,

@@ -4,7 +4,23 @@
 //! literature the paper builds on.
 
 use crate::page::PageId;
-use parking_lot::Mutex;
+
+/// Minimal stand-in for `parking_lot::Mutex` (unavailable offline): a
+/// `std::sync::Mutex` whose `lock()` returns the guard directly. The
+/// simulator never holds a guard across a panic-prone region, so poisoning
+/// is treated as unreachable.
+#[derive(Debug, Default)]
+struct Mutex<T>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
 
 /// Cost model parameters, in milliseconds.
 #[derive(Debug, Clone, Copy, PartialEq)]

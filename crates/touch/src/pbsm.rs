@@ -50,9 +50,8 @@ impl SpatialJoin for PbsmJoin {
         for o in b {
             bounds = bounds.union(&o.aabb());
         }
-        let cells_per_axis = (((a.len() / self.objects_per_cell.max(1)) as f64)
-            .cbrt()
-            .ceil() as usize)
+        let cells_per_axis = (((a.len() / self.objects_per_cell.max(1)) as f64).cbrt().ceil()
+            as usize)
             .clamp(1, self.max_cells_per_axis);
         let grid = GridIndexer::new(bounds, [cells_per_axis; 3]);
 
@@ -72,8 +71,8 @@ impl SpatialJoin for PbsmJoin {
                 replicas += 1;
             });
         }
-        stats.aux_memory_bytes = replicas * 4
-            + (grid.len() * 2 * std::mem::size_of::<Vec<u32>>()) as u64;
+        stats.aux_memory_bytes =
+            replicas * 4 + (grid.len() * 2 * std::mem::size_of::<Vec<u32>>()) as u64;
         stats.build_ms = t0.elapsed().as_secs_f64() * 1e3;
 
         // Join each cell, de-duplicating by reference point.
@@ -97,11 +96,8 @@ impl SpatialJoin for PbsmJoin {
                     // intersection. The pair is reported only by the cell
                     // containing that point, so replication produces no
                     // duplicates.
-                    let rp = Vec3::new(
-                        fa.lo.x.max(fb.lo.x),
-                        fa.lo.y.max(fb.lo.y),
-                        fa.lo.z.max(fb.lo.z),
-                    );
+                    let rp =
+                        Vec3::new(fa.lo.x.max(fb.lo.x), fa.lo.y.max(fb.lo.y), fa.lo.z.max(fb.lo.z));
                     if grid.cell_of(rp) != cell_coords {
                         continue;
                     }

@@ -82,7 +82,12 @@ impl SpatialJoin for TouchJoin {
 }
 
 impl TouchJoin {
-    fn join_impl<T: JoinObject>(&self, a: &[T], b: &[T], eps: f64) -> (JoinResult, AssignmentReport) {
+    fn join_impl<T: JoinObject>(
+        &self,
+        a: &[T],
+        b: &[T],
+        eps: f64,
+    ) -> (JoinResult, AssignmentReport) {
         let t0 = Instant::now();
         let mut stats = JoinStats::default();
         if a.is_empty() || b.is_empty() {
@@ -103,7 +108,7 @@ impl TouchJoin {
             let threads = self.threads;
             let chunk = b.len().div_ceil(threads);
             let mut partials: Vec<(Vec<(u32, u32)>, ProbeStats)> = Vec::new();
-            crossbeam::scope(|scope| {
+            std::thread::scope(|scope| {
                 let mut handles = Vec::new();
                 for t in 0..threads {
                     let lo = t * chunk;
@@ -112,13 +117,12 @@ impl TouchJoin {
                         continue;
                     }
                     let tree = &tree;
-                    handles.push(scope.spawn(move |_| probe_range(tree, b, lo..hi, eps)));
+                    handles.push(scope.spawn(move || probe_range(tree, b, lo..hi, eps)));
                 }
                 for h in handles {
                     partials.push(h.join().expect("probe worker panicked"));
                 }
-            })
-            .expect("crossbeam scope");
+            });
             let mut pairs = Vec::new();
             let mut agg = ProbeStats::default();
             for (p, s) in partials {
@@ -164,8 +168,7 @@ impl AssignmentReport {
         if total == 0 {
             return 0.0;
         }
-        let weighted: u64 =
-            self.histogram.iter().enumerate().map(|(d, &c)| d as u64 * c).sum();
+        let weighted: u64 = self.histogram.iter().enumerate().map(|(d, &c)| d as u64 * c).sum();
         weighted as f64 / total as f64
     }
 

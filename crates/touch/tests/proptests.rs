@@ -17,11 +17,7 @@ fn boxes(n: usize) -> impl Strategy<Value = Vec<Aabb>> {
 
 fn segments(n: usize) -> impl Strategy<Value = Vec<Segment>> {
     prop::collection::vec(
-        (
-            (-30.0..30.0, -30.0..30.0, -30.0..30.0),
-            (-8.0..8.0, -8.0..8.0, -8.0..8.0),
-            0.05..1.5f64,
-        )
+        ((-30.0..30.0, -30.0..30.0, -30.0..30.0), (-8.0..8.0, -8.0..8.0, -8.0..8.0), 0.05..1.5f64)
             .prop_map(|((x, y, z), (dx, dy, dz), r)| {
                 let p0 = Vec3::new(x, y, z);
                 Segment::new(p0, p0 + Vec3::new(dx, dy, dz), r)

@@ -10,10 +10,8 @@ use neurospatial::prelude::*;
 use neurospatial::scout::{PrefetchContext, ScoutPrefetcher};
 
 fn main() {
-    let circuit = CircuitBuilder::new(13)
-        .neurons(25)
-        .morphology(MorphologyParams::cortical())
-        .build();
+    let circuit =
+        CircuitBuilder::new(13).neurons(25).morphology(MorphologyParams::cortical()).build();
     let db = NeuroDb::from_circuit(&circuit);
     let path = db
         .navigation_path(&circuit, 3, 22.0, 9.0)
@@ -33,9 +31,9 @@ fn main() {
         "{:>13} | {:>9} | {:>9} | {:>10} | {:>11} | {:>8}",
         "method", "stall ms", "hit rate", "prefetched", "useful", "speedup"
     );
-    let baseline = db.walkthrough(&path, WalkthroughMethod::None);
+    let baseline = db.walkthrough(&path, WalkthroughMethod::None).expect("flat backend");
     for m in WalkthroughMethod::ALL {
-        let s = db.walkthrough(&path, m);
+        let s = db.walkthrough(&path, m).expect("flat backend");
         println!(
             "{:>13} | {:>9.1} | {:>8.1}% | {:>10} | {:>10.1}% | {:>7.1}×",
             s.method,
@@ -51,16 +49,13 @@ fn main() {
     // Replay the walkthrough manually to expose SCOUT's candidate counts.
     let mut scout = ScoutPrefetcher::default();
     let mut history = Vec::new();
+    let flat = db.flat_index().expect("default backend is FLAT");
     for q in &path.queries {
         history.push(q.center());
-        let (result, stats) = db.range_query(q);
+        let (result, stats) = flat.range_query(q);
         let pages: Vec<u32> = stats.crawl_order.clone();
-        let ctx = PrefetchContext {
-            query: q,
-            result: &result,
-            history: &history,
-            pages_read: &pages,
-        };
+        let ctx =
+            PrefetchContext { query: q, result: &result, history: &history, pages_read: &pages };
         let _ = scout.plan(&ctx);
     }
     println!("\ncandidate structures per step (the paper's Figure 5 pruning):");

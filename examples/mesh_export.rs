@@ -10,10 +10,8 @@ use neurospatial::model::{mesh, swc};
 use neurospatial::prelude::*;
 
 fn main() -> std::io::Result<()> {
-    let circuit = CircuitBuilder::new(3)
-        .neurons(3)
-        .morphology(MorphologyParams::cortical())
-        .build();
+    let circuit =
+        CircuitBuilder::new(3).neurons(3).morphology(MorphologyParams::cortical()).build();
     let out_dir = std::env::temp_dir().join("neurospatial_export");
     std::fs::create_dir_all(&out_dir)?;
 
@@ -34,8 +32,8 @@ fn main() -> std::io::Result<()> {
     // --- The same neuron as SWC ------------------------------------------
     let swc_path = out_dir.join("neuron0.swc");
     std::fs::write(&swc_path, swc::to_swc(morph))?;
-    let reparsed = swc::from_swc(&std::fs::read_to_string(&swc_path)?)
-        .expect("our own SWC must parse back");
+    let reparsed =
+        swc::from_swc(&std::fs::read_to_string(&swc_path)?).expect("our own SWC must parse back");
     println!(
         "wrote {} ({} sections, {:.0} µm cable; reparse OK: {} sections)",
         swc_path.display(),
@@ -48,8 +46,7 @@ fn main() -> std::io::Result<()> {
     let bin_path = out_dir.join("circuit.nspz");
     let bytes = neurospatial::model::encode_segments(circuit.segments());
     std::fs::write(&bin_path, &bytes)?;
-    let back = neurospatial::model::decode_segments(&std::fs::read(&bin_path)?)
-        .expect("roundtrip");
+    let back = neurospatial::model::decode_segments(&std::fs::read(&bin_path)?).expect("roundtrip");
     assert_eq!(back.len(), circuit.segments().len());
     println!(
         "wrote {} ({} segments, {} KiB); decoded back losslessly",
@@ -59,7 +56,7 @@ fn main() -> std::io::Result<()> {
     );
 
     // A downstream consumer can open a database straight from the file.
-    let db = NeuroDb::from_segments(back, NeuroDbConfig::default());
+    let db = NeuroDb::builder().segments(back).build().expect("valid default config");
     let stats = db.region_stats(&Aabb::cube(circuit.segments()[0].geom.center(), 40.0));
     println!(
         "reloaded database: {} segments; sample region holds {} segments of {} neurons, {:.1} µm cable",

@@ -1,5 +1,6 @@
-//! Quickstart: generate a microcircuit, index it, query it, find synapse
-//! candidates and replay an exploration walkthrough.
+//! Quickstart: generate a microcircuit, open it through the builder,
+//! race the index backends on the same query, find synapse candidates
+//! between named populations and replay an exploration walkthrough.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
@@ -20,33 +21,58 @@ fn main() {
         circuit.bounds()
     );
 
-    // --- 2. Open a spatial database (FLAT index underneath) -------------
-    let db = NeuroDb::from_circuit(&circuit);
+    // --- 2. Open a spatial database through the builder ------------------
+    // FLAT backend, named populations (replacing the even/odd default).
+    let db = NeuroDb::builder()
+        .circuit(&circuit)
+        .backend(IndexBackend::Flat)
+        .split_populations("axons", "dendrites", |s| s.neuron % 2 == 0)
+        .build()
+        .expect("valid configuration");
+    let flat = db.flat_index().expect("FLAT backend selected above");
     println!(
         "FLAT index: {} pages, {:.1} neighbors/page, seed-tree height {}",
-        db.index().page_count(),
-        db.index().mean_neighbors(),
-        db.index().seed_tree_height()
+        flat.page_count(),
+        flat.mean_neighbors(),
+        flat.seed_tree_height()
     );
 
-    // --- 3. Range query --------------------------------------------------
+    // --- 3. Range query through the backend-agnostic API ------------------
     let region = Aabb::cube(circuit.bounds().center(), 50.0);
-    let (hits, stats) = db.range_query(&region);
+    let out = db.range_query(&region);
     println!(
-        "range query {}: {} segments, {} data pages read, {} seed nodes, {} re-seeds",
-        region, hits.len(), stats.pages_read, stats.seed_nodes_read, stats.reseeds
+        "range query {}: {} segments, {} index reads, {} re-seeds",
+        region,
+        out.len(),
+        out.stats.nodes_read,
+        out.stats.reseeds
     );
 
-    // --- 3b. Tissue statistics (the §2.1 use case) ------------------------
+    // --- 3b. Race every backend on the same query -------------------------
+    println!("\nbackend race on the same query (identical results, different cost):");
+    for backend in IndexBackend::ALL {
+        let index = backend.build(circuit.segments().to_vec(), &IndexParams::default());
+        let o = index.range_query(&region);
+        assert_eq!(o.sorted_ids(), out.sorted_ids(), "backends must agree");
+        println!(
+            "  {:>10}: {:>5} results | {:>5} index reads | {:>9.1} KiB",
+            backend.name(),
+            o.len(),
+            o.stats.nodes_read,
+            index.memory_bytes() as f64 / 1024.0
+        );
+    }
+
+    // --- 3c. Tissue statistics (the §2.1 use case) ------------------------
     let stats = db.region_stats(&region);
     println!(
-        "region stats: {} segments of {} neurons | {:.0} µm cable | density {:.4} seg/µm³",
+        "\nregion stats: {} segments of {} neurons | {:.0} µm cable | density {:.4} seg/µm³",
         stats.count, stats.neuron_count, stats.total_cable_length, stats.density
     );
 
     // --- 4. Synapse candidates (TOUCH distance join) ---------------------
     let eps = 2.5; // µm
-    let synapses = db.find_synapse_candidates(eps);
+    let synapses = db.join_between("axons", "dendrites", eps).expect("populations declared above");
     println!(
         "synapse candidates at ε={eps}: {} pairs in {:.1} ms ({} comparisons, {} filtered out)",
         synapses.pairs.len(),
@@ -66,7 +92,7 @@ fn main() {
         path.path_length()
     );
     for method in WalkthroughMethod::ALL {
-        let s = db.walkthrough(&path, method);
+        let s = db.walkthrough(&path, method).expect("FLAT backend");
         println!(
             "  {:>13}: stall {:>8.1} ms | hit ratio {:>5.1}% | prefetched {:>4} pages ({:>5.1}% useful)",
             s.method,

@@ -9,16 +9,10 @@
 use neurospatial::prelude::*;
 
 fn main() {
-    let circuit = CircuitBuilder::new(7)
-        .neurons(30)
-        .morphology(MorphologyParams::cortical())
-        .build();
+    let circuit =
+        CircuitBuilder::new(7).neurons(30).morphology(MorphologyParams::cortical()).build();
     let (axons, dendrites) = circuit.split_populations();
-    println!(
-        "populations: |A| = {} segments, |B| = {} segments",
-        axons.len(),
-        dendrites.len()
-    );
+    println!("populations: |A| = {} segments, |B| = {} segments", axons.len(), dendrites.len());
 
     let eps = 2.0;
     println!("\ndistance join at ε = {eps} µm:");

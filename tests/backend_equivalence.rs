@@ -1,0 +1,167 @@
+//! The shared backend-equivalence property suite: every [`SpatialIndex`]
+//! backend must return exactly the segments a brute-force scan returns,
+//! on random circuits, random raw segment soups, empty datasets and
+//! degenerate (point / flat / empty) query boxes alike.
+//!
+//! This is the contract that makes the backends race of the demo fair:
+//! the designs may differ in cost, never in answers.
+
+use neurospatial::prelude::*;
+use proptest::prelude::*;
+
+/// Brute-force reference: ids of all segments intersecting `q`.
+fn scan_ids(segments: &[NeuronSegment], q: &Aabb) -> Vec<u64> {
+    let mut ids: Vec<u64> =
+        segments.iter().filter(|s| s.aabb().intersects(q)).map(|s| s.id).collect();
+    ids.sort_unstable();
+    ids
+}
+
+/// Assert all four backends agree with the scan on every query. The one
+/// shared checker every property below funnels into.
+fn assert_backends_match_scan(
+    segments: &[NeuronSegment],
+    queries: &[Aabb],
+    page_capacity: usize,
+) -> Result<(), TestCaseError> {
+    let params = IndexParams { page_capacity };
+    for backend in IndexBackend::ALL {
+        let index = backend.build(segments.to_vec(), &params);
+        prop_assert_eq!(index.len(), segments.len(), "{} len", backend);
+        for q in queries {
+            let out = index.range_query(q);
+            let want = scan_ids(segments, q);
+            prop_assert_eq!(
+                out.sorted_ids(),
+                want.clone(),
+                "{} disagrees with scan at {} (cap {})",
+                backend,
+                q,
+                page_capacity
+            );
+            prop_assert_eq!(out.stats.results as usize, want.len(), "{} stats", backend);
+        }
+    }
+    Ok(())
+}
+
+/// A raw segment soup: uniformly scattered capsules, ids dense from 0.
+fn segment_soup() -> impl Strategy<Value = Vec<NeuronSegment>> {
+    prop::collection::vec(
+        ((-60.0..60.0, -60.0..60.0, -60.0..60.0), (-8.0..8.0, -8.0..8.0, -8.0..8.0), 0.05..2.0f64),
+        0..250,
+    )
+    .prop_map(|entries| {
+        entries
+            .into_iter()
+            .enumerate()
+            .map(|(i, ((x, y, z), (dx, dy, dz), r))| {
+                let p0 = Vec3::new(x, y, z);
+                NeuronSegment {
+                    id: i as u64,
+                    neuron: (i % 7) as u32,
+                    section: (i % 3) as u32,
+                    index_on_section: i as u32,
+                    geom: Segment::new(p0, p0 + Vec3::new(dx, dy, dz), r),
+                }
+            })
+            .collect()
+    })
+}
+
+fn query_box() -> impl Strategy<Value = Aabb> {
+    ((-80.0..80.0, -80.0..80.0, -80.0..80.0), 0.5..50.0f64)
+        .prop_map(|((x, y, z), r)| Aabb::cube(Vec3::new(x, y, z), r))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn backends_agree_on_random_soups(
+        segments in segment_soup(),
+        queries in prop::collection::vec(query_box(), 1..6),
+        cap in 4usize..80,
+    ) {
+        assert_backends_match_scan(&segments, &queries, cap)?;
+    }
+
+    #[test]
+    fn backends_agree_on_random_circuits(
+        seed in 0u64..3000,
+        neurons in 2u32..8,
+        half in 2.0..45.0f64,
+        cap in 4usize..96,
+    ) {
+        let c = CircuitBuilder::new(seed).neurons(neurons).build();
+        let queries = [
+            Aabb::cube(c.bounds().center(), half),
+            // Data-anchored query: guaranteed non-empty result.
+            Aabb::cube(c.segments()[0].geom.center(), half),
+        ];
+        assert_backends_match_scan(c.segments(), &queries, cap)?;
+    }
+
+    #[test]
+    fn backends_agree_on_degenerate_queries(
+        segments in segment_soup(),
+        (px, py, pz) in (-70.0..70.0, -70.0..70.0, -70.0..70.0),
+    ) {
+        let p = Vec3::new(px, py, pz);
+        let queries = [
+            Aabb::point(p),                                  // zero extent
+            Aabb::new(p, p + Vec3::new(30.0, 0.0, 0.0)),     // 1-D sliver
+            Aabb::new(p, p + Vec3::new(20.0, 20.0, 0.0)),    // 2-D slab
+            Aabb::new(p, p - Vec3::splat(1.0)),              // inverted: empty
+            Aabb::EMPTY,                                     // canonical empty
+        ];
+        assert_backends_match_scan(&segments, &queries, 16)?;
+    }
+
+    #[test]
+    fn backends_agree_on_coincident_segments(
+        n in 1usize..120,
+        cap in 4usize..32,
+    ) {
+        // Everything at the same point: worst case for KD cuts (R+) and
+        // page packing (FLAT). Replication/dedup must not change answers.
+        let segments: Vec<NeuronSegment> = (0..n)
+            .map(|i| NeuronSegment {
+                id: i as u64,
+                neuron: i as u32,
+                section: 0,
+                index_on_section: 0,
+                geom: Segment::new(Vec3::splat(5.0), Vec3::splat(5.0), 0.5),
+            })
+            .collect();
+        let queries = [Aabb::cube(Vec3::splat(5.0), 1.0), Aabb::cube(Vec3::splat(50.0), 1.0)];
+        assert_backends_match_scan(&segments, &queries, cap)?;
+    }
+}
+
+#[test]
+fn backends_handle_the_empty_dataset() {
+    let queries = [Aabb::cube(Vec3::ZERO, 10.0), Aabb::point(Vec3::splat(3.0)), Aabb::EMPTY];
+    let params = IndexParams::default();
+    for backend in IndexBackend::ALL {
+        let index = backend.build(Vec::new(), &params);
+        assert!(index.is_empty(), "{backend}");
+        for q in &queries {
+            let out = index.range_query(q);
+            assert!(out.is_empty(), "{backend} on {q}");
+            assert_eq!(out.stats.results, 0, "{backend} stats on {q}");
+        }
+    }
+}
+
+#[test]
+fn builder_selected_backends_pass_equivalence_too() {
+    // The same contract holds end-to-end through NeuroDbBuilder::backend.
+    let c = CircuitBuilder::new(44).neurons(5).build();
+    let q = Aabb::cube(c.bounds().center(), 30.0);
+    let want = scan_ids(c.segments(), &q);
+    for backend in IndexBackend::ALL {
+        let db = NeuroDb::builder().circuit(&c).backend(backend).build().expect("valid");
+        assert_eq!(db.range_query(&q).sorted_ids(), want, "{backend} via builder");
+    }
+}

@@ -17,7 +17,7 @@ proptest! {
         let db = NeuroDb::from_circuit(&c);
         let tree = RTree::bulk_load(c.segments().to_vec(), RTreeParams::with_max_entries(16));
         let q = Aabb::cube(c.bounds().center(), half);
-        let (f, _) = db.range_query(&q);
+        let f = db.range_query(&q);
         let (r, _) = tree.range_query(&q);
         let scan = c.segments().iter().filter(|s| s.aabb().intersects(&q)).count();
         prop_assert_eq!(f.len(), scan);
@@ -54,7 +54,7 @@ proptest! {
         };
         let mut result_counts: Option<Vec<u64>> = None;
         for m in WalkthroughMethod::ALL {
-            let s = db.walkthrough(&path, m);
+            let s = db.walkthrough(&path, m).expect("flat backend");
             // Accounting identities.
             let hits: u64 = s.steps.iter().map(|t| t.demand_hits).sum();
             let misses: u64 = s.steps.iter().map(|t| t.demand_misses).sum();

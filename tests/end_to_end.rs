@@ -9,13 +9,13 @@ fn whole_pipeline_is_deterministic() {
         let c = CircuitBuilder::new(77).neurons(12).build();
         let db = NeuroDb::from_circuit(&c);
         let q = Aabb::cube(c.bounds().center(), 25.0);
-        let (hits, qstats) = db.range_query(&q);
-        let join = db.find_synapse_candidates(1.0);
+        let out = db.range_query(&q);
+        let join = db.find_synapse_candidates(1.0).expect("two populations");
         let path = db.navigation_path(&c, 5, 15.0, 6.0).expect("path");
-        let walk = db.walkthrough(&path, WalkthroughMethod::Scout);
+        let walk = db.walkthrough(&path, WalkthroughMethod::Scout).expect("flat backend");
         (
-            hits.len(),
-            qstats.pages_read,
+            out.len(),
+            out.stats.nodes_read,
             join.sorted_pairs(),
             walk.total_stall_ms.to_bits(),
             walk.total_prefetched,
@@ -34,8 +34,8 @@ fn results_scale_with_circuit_size() {
 
         let db = NeuroDb::from_circuit(&c);
         let q = Aabb::cube(c.bounds().center(), 1e6); // everything
-        let (hits, _) = db.range_query(&q);
-        assert_eq!(hits.len(), c.segments().len());
+        let out = db.range_query(&q);
+        assert_eq!(out.len(), c.segments().len());
     }
 }
 
@@ -51,13 +51,19 @@ fn query_stats_are_internally_consistent() {
         QueryPlacement::DataCentered,
         Some(c.segments()),
     );
+    let flat = db.flat_index().expect("default backend is FLAT");
     for q in &w.queries {
-        let (hits, s) = db.range_query(q);
-        assert_eq!(s.results as usize, hits.len());
-        assert!(s.objects_tested >= s.results);
+        // Unified stats through the facade…
+        let out = db.range_query(q);
+        assert_eq!(out.stats.results as usize, out.len());
+        assert!(out.stats.objects_tested >= out.stats.results);
+        // …and page-level detail through the FLAT view.
+        let (hits, s) = flat.range_query(q);
+        assert_eq!(hits.len(), out.len());
         assert_eq!(s.crawl_order.len() as u64, s.pages_read);
+        assert_eq!(s.pages_read + s.seed_nodes_read, out.stats.nodes_read);
         // Each read page holds at most page_capacity objects.
-        assert!(s.objects_tested <= s.pages_read * db.index().params().page_capacity as u64);
+        assert!(s.objects_tested <= s.pages_read * flat.params().page_capacity as u64);
     }
 }
 
@@ -71,7 +77,8 @@ fn io_accounting_flows_through_the_stack() {
     let mut pool = BufferPool::new(64);
     let q = Aabb::cube(c.bounds().center(), 30.0);
     let mut data_pages = 0u64;
-    let (_, stats) = db.index().range_query_with(&q, |acc| {
+    let flat = db.flat_index().expect("default backend is FLAT");
+    let (_, stats) = flat.range_query_with(&q, |acc| {
         if let neurospatial::flat::PageAccess::Data(p) = acc {
             data_pages += 1;
             pool.get(PageId(p as u64), &disk).expect("simulated disk");
@@ -82,7 +89,7 @@ fn io_accounting_flows_through_the_stack() {
     assert_eq!(pool.stats().misses, stats.pages_read, "first touch misses everything");
 
     // Re-running the same query hits the pool for every page.
-    let (_, _) = db.index().range_query_with(&q, |acc| {
+    let (_, _) = flat.range_query_with(&q, |acc| {
         if let neurospatial::flat::PageAccess::Data(p) = acc {
             pool.get(PageId(p as u64), &disk).expect("simulated disk");
         }
