@@ -12,7 +12,7 @@ fn bench_range_queries(c: &mut Criterion) {
     let mut group = c.benchmark_group("e1_range_query");
     group.sample_size(20);
 
-    let params = IndexParams { page_capacity: 64 };
+    let params = IndexParams::with_page_capacity(64);
     for &neurons in &[10u32, 50] {
         let circuit = dense_circuit(neurons, 1);
         let segments = circuit.segments().to_vec();
@@ -60,7 +60,7 @@ fn bench_build(c: &mut Criterion) {
     group.sample_size(10);
     let circuit = dense_circuit(25, 1);
     let segments = circuit.segments().to_vec();
-    let params = IndexParams { page_capacity: 64 };
+    let params = IndexParams::with_page_capacity(64);
 
     for backend in [IndexBackend::Flat, IndexBackend::StrPacked] {
         group.bench_function(format!("{}_build", backend.name()), |b| {

@@ -7,9 +7,10 @@
 //! split, tuple returns, panics) survives only as a deprecated shim.
 
 use crate::error::NeuroError;
-use crate::index::{IndexBackend, IndexParams, QueryOutput, SpatialIndex};
+use crate::index::{IndexBackend, IndexParams, Neighbor, QueryOutput, QueryStats, SpatialIndex};
+use crate::shard::ShardedIndex;
 use neurospatial_flat::FlatIndex;
-use neurospatial_geom::Aabb;
+use neurospatial_geom::{Aabb, Vec3};
 use neurospatial_model::{Circuit, NavigationPath, NeuronSegment};
 use neurospatial_scout::{
     ExplorationSession, ExtrapolationPrefetcher, HilbertPrefetcher, MarkovPrefetcher, NoPrefetch,
@@ -24,6 +25,10 @@ use std::str::FromStr;
 pub struct NeuroDbConfig {
     /// Index granularity (FLAT page capacity / R-Tree fan-out).
     pub page_capacity: usize,
+    /// Space partitions for the sharded executor (1 = monolithic index).
+    pub shards: usize,
+    /// Worker threads for sharded query execution.
+    pub threads: usize,
     /// Exploration-session settings (buffer pool, cost model, think time).
     pub session: SessionConfig,
     /// Distance-join engine configuration.
@@ -33,7 +38,13 @@ pub struct NeuroDbConfig {
 impl Default for NeuroDbConfig {
     fn default() -> Self {
         let session = SessionConfig::default();
-        NeuroDbConfig { page_capacity: session.page_capacity, session, join: TouchJoin::default() }
+        NeuroDbConfig {
+            page_capacity: session.page_capacity,
+            shards: 1,
+            threads: 1,
+            session,
+            join: TouchJoin::default(),
+        }
     }
 }
 
@@ -46,7 +57,7 @@ pub enum WalkthroughMethod {
     Hilbert,
     /// Camera-motion extrapolation.
     Extrapolation,
-    /// History-based Markov-chain prediction (the paper's [8]); cold on
+    /// History-based Markov-chain prediction (the paper's \[8\]); cold on
     /// first traversals of massive models.
     Markov,
     /// SCOUT content-aware prefetching.
@@ -251,7 +262,10 @@ impl NeuroDbBuilder {
     }
 
     /// Select the index backend by name (e.g. from a CLI flag); parsing
-    /// errors surface at [`build`](Self::build).
+    /// errors surface at [`build`](Self::build). A `sharded:` prefix
+    /// (e.g. `"sharded:rtree"`) selects the sharded executor over the
+    /// named backend, raising the shard count to at least 2 if
+    /// [`shards`](Self::shards) was not set.
     pub fn backend_named<S: Into<String>>(mut self, name: S) -> Self {
         self.backend_name = Some(name.into());
         self
@@ -260,6 +274,22 @@ impl NeuroDbBuilder {
     /// Index granularity (FLAT page capacity / R-Tree fan-out).
     pub fn page_capacity(mut self, capacity: usize) -> Self {
         self.config.page_capacity = capacity;
+        self
+    }
+
+    /// Space-partition the dataset into `shards` Hilbert-ordered shards,
+    /// one backend index per shard ([`ShardedIndex`]). 1 (the default)
+    /// keeps a monolithic index; 0 is rejected at
+    /// [`build`](Self::build).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.config.shards = shards;
+        self
+    }
+
+    /// Worker threads for sharded query execution (also rejects 0 at
+    /// [`build`](Self::build); ignored by monolithic indexes).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
         self
     }
 
@@ -307,12 +337,17 @@ impl NeuroDbBuilder {
         self
     }
 
-    /// Finalise: build the index and partition the populations.
+    /// Finalise: build the index (sharded when `shards > 1`) and
+    /// partition the populations.
     pub fn build(self) -> Result<NeuroDb, NeuroError> {
         let segments = self.segments.ok_or(NeuroError::MissingSegments)?;
-        let backend = match &self.backend_name {
-            Some(name) => name.parse::<IndexBackend>()?,
-            None => self.backend,
+        let mut config = self.config;
+        let (backend, name_requests_sharding) = match &self.backend_name {
+            Some(name) => match name.strip_prefix("sharded:") {
+                Some(inner) => (inner.parse::<IndexBackend>()?, true),
+                None => (name.parse::<IndexBackend>()?, false),
+            },
+            None => (self.backend, false),
         };
         // FLAT and the R+-Tree accept any page size >= 1; the R-Tree
         // fan-out is structurally >= 4.
@@ -320,33 +355,61 @@ impl NeuroDbBuilder {
             IndexBackend::Flat | IndexBackend::RPlus => 1,
             IndexBackend::RTree | IndexBackend::StrPacked => 4,
         };
-        if self.config.page_capacity < min_capacity {
+        if config.page_capacity < min_capacity {
             return Err(NeuroError::InvalidConfig(format!(
                 "page_capacity must be >= {min_capacity} for the '{backend}' backend, got {}",
-                self.config.page_capacity
+                config.page_capacity
             )));
+        }
+        // Validate the configured counts *before* the name-driven bump so
+        // an explicit `.shards(0)` is reported, never masked.
+        if config.shards == 0 || config.threads == 0 {
+            return Err(NeuroError::InvalidConfig(format!(
+                "shards and threads must be >= 1, got shards={} threads={}",
+                config.shards, config.threads
+            )));
+        }
+        if name_requests_sharding {
+            // A `sharded:` name opts into sharding; keep an explicitly
+            // configured shard count, else pick the smallest genuinely
+            // sharded layout.
+            config.shards = config.shards.max(2);
         }
         let populations = self.populations.partition(&segments);
 
-        let mut config = self.config;
         config.session.page_capacity = config.page_capacity;
-        let params = IndexParams { page_capacity: config.page_capacity };
-        let index = match backend {
-            // FLAT gets the full exploration session (walkthroughs need
-            // page-level I/O); the session owns the only copy of the index.
-            IndexBackend::Flat => {
+        let params = IndexParams {
+            page_capacity: config.page_capacity,
+            shards: config.shards,
+            threads: config.threads,
+        };
+        // FLAT gets the full exploration session (walkthroughs need
+        // page-level I/O) whether monolithic or sharded — the sharded
+        // executor is itself a `PagedIndex`; the session owns the only
+        // copy of the index.
+        let index = match (backend, config.shards > 1) {
+            (IndexBackend::Flat, false) => {
                 DbIndex::Flat(Box::new(ExplorationSession::new(segments, config.session)))
             }
-            other => DbIndex::Boxed(other.build(segments, &params)),
+            (IndexBackend::Flat, true) => {
+                DbIndex::ShardedFlat(Box::new(ExplorationSession::from_index(
+                    ShardedIndex::<FlatIndex<NeuronSegment>>::build_with(segments, &params),
+                    config.session,
+                )))
+            }
+            (other, false) => DbIndex::Boxed(other.build(segments, &params)),
+            (other, true) => DbIndex::Boxed(other.build_sharded(segments, &params)),
         };
         Ok(NeuroDb { index, backend, config, populations })
     }
 }
 
 /// The index storage: FLAT keeps its exploration session (for
-/// walkthroughs); every other backend is a plain boxed [`SpatialIndex`].
+/// walkthroughs) — monolithic or sharded; every other backend is a plain
+/// boxed [`SpatialIndex`].
 enum DbIndex {
     Flat(Box<ExplorationSession>),
+    ShardedFlat(Box<ExplorationSession<ShardedIndex<FlatIndex<NeuronSegment>>>>),
     Boxed(Box<dyn SpatialIndex>),
 }
 
@@ -413,16 +476,28 @@ impl NeuroDb {
     pub fn index(&self) -> &dyn SpatialIndex {
         match &self.index {
             DbIndex::Flat(session) => session.index(),
+            DbIndex::ShardedFlat(session) => session.index(),
             DbIndex::Boxed(b) => b.as_ref(),
         }
     }
 
-    /// The FLAT index, if this database uses the FLAT backend (page-level
-    /// statistics, neighborhood graph inspection).
+    /// The FLAT index, if this database uses the **monolithic** FLAT
+    /// backend (page-level statistics, neighborhood graph inspection).
+    /// `None` for every other backend, including sharded FLAT — its
+    /// pages are spread over shard-local indexes.
     pub fn flat_index(&self) -> Option<&FlatIndex<NeuronSegment>> {
         match &self.index {
             DbIndex::Flat(session) => Some(session.index()),
-            DbIndex::Boxed(_) => None,
+            DbIndex::ShardedFlat(_) | DbIndex::Boxed(_) => None,
+        }
+    }
+
+    /// Shard count of the underlying index (1 for monolithic backends).
+    pub fn shard_count(&self) -> usize {
+        match &self.index {
+            DbIndex::ShardedFlat(session) => session.index().shard_count(),
+            DbIndex::Flat(_) => 1,
+            DbIndex::Boxed(_) => self.config.shards,
         }
     }
 
@@ -436,9 +511,16 @@ impl NeuroDb {
         self.index().range_query(region)
     }
 
-    /// Execute a batch of range queries (one output per region).
+    /// Execute a batch of range queries (one output per region). On a
+    /// sharded database the batch fans out over the worker pool.
     pub fn range_query_many(&self, regions: &[Aabb]) -> Vec<QueryOutput> {
         self.index().range_query_many(regions)
+    }
+
+    /// The `k` segments nearest to `p`, in canonical (distance, id)
+    /// order, through the selected backend.
+    pub fn knn(&self, p: Vec3, k: usize) -> (Vec<Neighbor>, QueryStats) {
+        self.index().knn(p, k)
     }
 
     /// Compute aggregate tissue statistics for a region (one range query
@@ -555,8 +637,8 @@ impl NeuroDb {
     /// Replay a walkthrough with the given prefetching method and report
     /// the session statistics (stall time, hit ratio, prefetch precision).
     ///
-    /// Errors unless the database uses the FLAT backend — walkthrough
-    /// simulation is page-granular.
+    /// Errors unless the database uses the FLAT backend (monolithic or
+    /// sharded) — walkthrough simulation is page-granular.
     pub fn walkthrough(
         &self,
         path: &NavigationPath,
@@ -564,6 +646,10 @@ impl NeuroDb {
     ) -> Result<SessionStats, NeuroError> {
         match &self.index {
             DbIndex::Flat(session) => {
+                let mut prefetcher = method.prefetcher();
+                Ok(session.run(path, prefetcher.as_mut()))
+            }
+            DbIndex::ShardedFlat(session) => {
                 let mut prefetcher = method.prefetcher();
                 Ok(session.run(path, prefetcher.as_mut()))
             }
@@ -701,6 +787,78 @@ mod tests {
         let none = stalls.iter().find(|(m, _)| *m == WalkthroughMethod::None).expect("ran").1;
         let scout = stalls.iter().find(|(m, _)| *m == WalkthroughMethod::Scout).expect("ran").1;
         assert!(scout <= none);
+    }
+
+    #[test]
+    fn sharded_databases_answer_like_monolithic_ones() {
+        let c = CircuitBuilder::new(6).neurons(8).build();
+        let q = Aabb::cube(c.bounds().center(), 30.0);
+        let p = c.segments()[5].geom.center();
+        for backend in IndexBackend::ALL {
+            let mono = NeuroDb::builder().circuit(&c).backend(backend).build().expect("valid");
+            let sharded = NeuroDb::builder()
+                .circuit(&c)
+                .backend(backend)
+                .shards(4)
+                .threads(2)
+                .build()
+                .expect("valid");
+            assert_eq!(sharded.shard_count(), 4, "{backend}");
+            assert_eq!(mono.shard_count(), 1, "{backend}");
+            assert_eq!(sharded.len(), mono.len());
+            assert_eq!(sharded.range_query(&q).sorted_ids(), mono.range_query(&q).sorted_ids());
+            let ids = |ns: &[Neighbor]| ns.iter().map(|n| n.segment.id).collect::<Vec<_>>();
+            assert_eq!(ids(&sharded.knn(p, 7).0), ids(&mono.knn(p, 7).0), "{backend} knn");
+        }
+    }
+
+    #[test]
+    fn sharded_flat_still_walks_through() {
+        let c = CircuitBuilder::new(5).neurons(10).build();
+        let db = NeuroDb::builder().circuit(&c).shards(3).threads(2).build().expect("valid");
+        assert_eq!(db.backend(), IndexBackend::Flat);
+        assert!(db.flat_index().is_none(), "sharded flat has no single page space");
+        let path = db.navigation_path(&c, 3, 20.0, 8.0).expect("path exists");
+        let stats = db.walkthrough(&path, WalkthroughMethod::Scout).expect("sharded flat walks");
+        assert_eq!(stats.steps.len(), path.queries.len());
+    }
+
+    #[test]
+    fn sharded_backend_names_and_invalid_counts() {
+        let c = CircuitBuilder::new(5).neurons(4).build();
+        let db = NeuroDb::builder()
+            .circuit(&c)
+            .backend_named("sharded:str-packed")
+            .build()
+            .expect("sharded name is known");
+        assert_eq!(db.backend(), IndexBackend::StrPacked);
+        assert!(db.shard_count() >= 2, "sharded: name implies > 1 shard");
+        // Explicit shard counts survive the name prefix.
+        let db = NeuroDb::builder()
+            .circuit(&c)
+            .backend_named("sharded:rplus")
+            .shards(5)
+            .build()
+            .expect("valid");
+        assert_eq!(db.shard_count(), 5);
+        assert!(matches!(
+            NeuroDb::builder().circuit(&c).backend_named("sharded:btree").build(),
+            Err(NeuroError::UnknownBackend { .. })
+        ));
+        assert!(matches!(
+            NeuroDb::builder().circuit(&c).shards(0).build(),
+            Err(NeuroError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            NeuroDb::builder().circuit(&c).threads(0).build(),
+            Err(NeuroError::InvalidConfig(_))
+        ));
+        // An explicit zero is reported even when a `sharded:` name would
+        // otherwise bump the count.
+        assert!(matches!(
+            NeuroDb::builder().circuit(&c).backend_named("sharded:flat").shards(0).build(),
+            Err(NeuroError::InvalidConfig(_))
+        ));
     }
 
     #[test]

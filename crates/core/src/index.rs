@@ -21,8 +21,9 @@
 //! ```
 
 use crate::error::NeuroError;
+use crate::shard::ShardedIndex;
 use neurospatial_flat::{FlatBuildParams, FlatIndex, FlatQueryStats};
-use neurospatial_geom::Aabb;
+use neurospatial_geom::{Aabb, Vec3};
 use neurospatial_model::NeuronSegment;
 use neurospatial_rtree::{RPlusTree, RTree, RTreeParams};
 use std::fmt;
@@ -37,15 +38,45 @@ use std::str::FromStr;
 /// R+-Tree, 4 for the R-Tree fan-out) are clamped, so every build entry
 /// point is total; [`crate::NeuroDbBuilder`] additionally validates and
 /// reports out-of-range values as [`NeuroError::InvalidConfig`].
+///
+/// `shards` and `threads` only affect the sharded executor
+/// ([`ShardedIndex`], or the registry's `sharded:<backend>` names): the
+/// monolithic backends ignore them, so the same parameter block can
+/// configure both sides of a sharded-vs-monolithic race.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct IndexParams {
-    /// Objects per page / node.
+    /// Objects per page / node (per shard, when sharded).
     pub page_capacity: usize,
+    /// Space partitions for [`ShardedIndex`] (clamped to >= 1; monolithic
+    /// backends ignore it).
+    pub shards: usize,
+    /// Worker threads for sharded query execution (clamped to >= 1;
+    /// monolithic backends ignore it).
+    pub threads: usize,
 }
 
 impl Default for IndexParams {
     fn default() -> Self {
-        IndexParams { page_capacity: 64 }
+        IndexParams { page_capacity: 64, shards: 1, threads: 1 }
+    }
+}
+
+impl IndexParams {
+    /// Parameters with everything default but the page capacity.
+    pub fn with_page_capacity(page_capacity: usize) -> Self {
+        IndexParams { page_capacity, ..IndexParams::default() }
+    }
+
+    /// Set the shard count (builder-style).
+    pub fn sharded(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Set the query worker-thread count (builder-style).
+    pub fn threaded(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 }
 
@@ -73,6 +104,27 @@ impl QueryStats {
         } else {
             self.results as f64 / self.objects_tested as f64
         }
+    }
+
+    /// Accumulate another query's statistics into this one (plain field
+    /// sums). This is the merge the sharded executor applies to per-shard
+    /// statistics, and it is what makes cross-shard costs comparable to a
+    /// monolithic run: K shards that together read N nodes report exactly
+    /// N nodes read.
+    pub fn merge(&mut self, other: &QueryStats) {
+        self.results += other.results;
+        self.nodes_read += other.nodes_read;
+        self.objects_tested += other.objects_tested;
+        self.reseeds += other.reseeds;
+    }
+
+    /// The field-wise sum of an iterator of statistics.
+    pub fn merged<'a, I: IntoIterator<Item = &'a QueryStats>>(stats: I) -> QueryStats {
+        let mut out = QueryStats::default();
+        for s in stats {
+            out.merge(s);
+        }
+        out
     }
 }
 
@@ -124,12 +176,47 @@ impl QueryOutput {
     }
 }
 
+/// One k-nearest-neighbour result: a segment and its distance from the
+/// query point (AABB minimum distance, consistently with the rest of the
+/// filter/refine pipeline — exact capsule refinement is the caller's
+/// concern).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    pub segment: NeuronSegment,
+    pub distance: f64,
+}
+
+/// Canonical neighbour order: ascending distance, ties broken by segment
+/// id. A total deterministic order makes KNN answers identical across
+/// backends and across shard counts, which is what the equivalence suite
+/// asserts.
+fn neighbor_order(a: &Neighbor, b: &Neighbor) -> std::cmp::Ordering {
+    a.distance
+        .partial_cmp(&b.distance)
+        .unwrap_or(std::cmp::Ordering::Equal)
+        .then(a.segment.id.cmp(&b.segment.id))
+}
+
+/// Sort candidates canonically, truncate to `k`, and stamp the result
+/// count — the shared tail of every KNN path (trait default and sharded
+/// merge alike).
+pub(crate) fn finish_knn(
+    mut candidates: Vec<Neighbor>,
+    k: usize,
+    stats: &mut QueryStats,
+) -> Vec<Neighbor> {
+    candidates.sort_by(neighbor_order);
+    candidates.truncate(k);
+    stats.results = candidates.len() as u64;
+    candidates
+}
+
 /// A queryable spatial index over neuron segments.
 ///
-/// Implemented by FLAT, the dynamic R-Tree, the R+-Tree and the
-/// STR-packed R-Tree; every implementation must return exactly the
-/// segments a brute-force scan would (property-tested in
-/// `tests/backend_equivalence.rs`).
+/// Implemented by FLAT, the dynamic R-Tree, the R+-Tree, the STR-packed
+/// R-Tree and the sharded executor over any of them; every implementation
+/// must return exactly the segments a brute-force scan would
+/// (property-tested in `tests/backend_equivalence.rs`).
 pub trait SpatialIndex: Send + Sync {
     /// Build the index over `segments`.
     fn build(segments: Vec<NeuronSegment>, params: &IndexParams) -> Self
@@ -160,10 +247,61 @@ pub trait SpatialIndex: Send + Sync {
     }
 
     /// Batched queries — one call, one output per region. Backends can
-    /// override this with a plan that shares traversal state; the
-    /// default simply loops.
+    /// override this with a plan that shares traversal state (the sharded
+    /// executor fans the batch out over its worker pool); the default
+    /// simply loops.
     fn range_query_many(&self, regions: &[Aabb]) -> Vec<QueryOutput> {
         regions.iter().map(|r| self.range_query(r)).collect()
+    }
+
+    /// The `k` segments nearest to `p` (AABB minimum distance), in
+    /// canonical order: ascending distance, ties broken by segment id.
+    ///
+    /// The default implementation is an exact expanding-cube search built
+    /// purely on [`range_query`](Self::range_query): a cube of half-extent
+    /// `r` centred on `p` contains every segment whose AABB lies within
+    /// Euclidean distance `r` of `p`, so once at least `k` candidates sit
+    /// within the Euclidean ball of radius `r` the answer is complete.
+    /// The radius starts from a density-scaled guess and doubles until
+    /// the ball holds `k` candidates or the cube swallows the dataset.
+    /// All backends share this one implementation, which keeps answers
+    /// byte-identical across backends and shard counts.
+    fn knn(&self, p: Vec3, k: usize) -> (Vec<Neighbor>, QueryStats) {
+        let mut stats = QueryStats::default();
+        if k == 0 || self.is_empty() {
+            return (Vec::new(), stats);
+        }
+        let bounds = self.bounds();
+        // Upper bound on any AABB distance: the farthest corner of the
+        // data bounds (every indexed AABB lies inside the bounds).
+        let far = Vec3::new(
+            (p.x - bounds.lo.x).abs().max((p.x - bounds.hi.x).abs()),
+            (p.y - bounds.lo.y).abs().max((p.y - bounds.hi.y).abs()),
+            (p.z - bounds.lo.z).abs().max((p.z - bounds.hi.z).abs()),
+        )
+        .norm();
+        // Initial radius: the distance to the data plus a cube sized to
+        // hold ~k objects under a uniform-density estimate.
+        let ext = bounds.extent();
+        let frac = (k as f64 / self.len() as f64).cbrt().min(1.0);
+        let guess = ext.x.max(ext.y).max(ext.z) * frac * 0.5;
+        let mut r = (bounds.min_distance_to_point(p) + guess).max(1e-9).min(far.max(1e-9));
+        loop {
+            let out = self.range_query(&Aabb::cube(p, r));
+            stats.nodes_read += out.stats.nodes_read;
+            stats.objects_tested += out.stats.objects_tested;
+            stats.reseeds += out.stats.reseeds;
+            let within: Vec<Neighbor> = out
+                .segments
+                .iter()
+                .map(|s| Neighbor { segment: *s, distance: s.aabb().min_distance_to_point(p) })
+                .filter(|n| n.distance <= r)
+                .collect();
+            if within.len() >= k || r >= far {
+                return (finish_knn(within, k, &mut stats), stats);
+            }
+            r = (r * 2.0).min(far);
+        }
     }
 
     /// Approximate resident size in bytes (for the demo's memory panels).
@@ -354,6 +492,37 @@ impl IndexBackend {
             }
         }
     }
+
+    /// Build a boxed **sharded** executor over this backend:
+    /// `params.shards` Hilbert-ordered space partitions, each holding one
+    /// monolithic index of this backend, queried with `params.threads`
+    /// workers. Registered in [`BackendRegistry::with_builtins`] under
+    /// `sharded:<name>`.
+    pub fn build_sharded(
+        &self,
+        segments: Vec<NeuronSegment>,
+        params: &IndexParams,
+    ) -> Box<dyn SpatialIndex> {
+        match self {
+            IndexBackend::Flat => Box::new(
+                <ShardedIndex<FlatIndex<NeuronSegment>> as SpatialIndex>::build(segments, params),
+            ),
+            IndexBackend::RTree => {
+                Box::new(<ShardedIndex<DynamicRTree> as SpatialIndex>::build(segments, params))
+            }
+            IndexBackend::RPlus => Box::new(
+                <ShardedIndex<RPlusTree<NeuronSegment>> as SpatialIndex>::build(segments, params),
+            ),
+            IndexBackend::StrPacked => Box::new(
+                <ShardedIndex<RTree<NeuronSegment>> as SpatialIndex>::build(segments, params),
+            ),
+        }
+    }
+
+    /// The registry name of the sharded executor over this backend.
+    pub fn sharded_name(&self) -> String {
+        format!("sharded:{}", self.name())
+    }
 }
 
 impl fmt::Display for IndexBackend {
@@ -401,7 +570,9 @@ pub struct BackendRegistry {
 
 impl BackendRegistry {
     /// A registry containing the four built-in backends under their
-    /// canonical names.
+    /// canonical names, plus a sharded executor for each of them under
+    /// `sharded:<name>` (shard and thread counts come from the
+    /// [`IndexParams`] passed at build time).
     pub fn with_builtins() -> Self {
         let mut r = BackendRegistry { entries: Vec::new() };
         for b in IndexBackend::ALL {
@@ -414,6 +585,28 @@ impl BackendRegistry {
                 IndexBackend::StrPacked => |s, p| IndexBackend::StrPacked.build(s, p),
             };
             r.entries.push((b.name().to_string(), factory));
+        }
+        for b in IndexBackend::ALL {
+            // Selecting a `sharded:` name is an explicit request for
+            // sharding, so (exactly like `NeuroDbBuilder::backend_named`)
+            // a default/unset shard count is raised to the smallest
+            // genuinely sharded layout instead of silently building a
+            // 1-shard wrapper.
+            let factory: BackendFactory = match b {
+                IndexBackend::Flat => {
+                    |s, p| IndexBackend::Flat.build_sharded(s, &p.sharded(p.shards.max(2)))
+                }
+                IndexBackend::RTree => {
+                    |s, p| IndexBackend::RTree.build_sharded(s, &p.sharded(p.shards.max(2)))
+                }
+                IndexBackend::RPlus => {
+                    |s, p| IndexBackend::RPlus.build_sharded(s, &p.sharded(p.shards.max(2)))
+                }
+                IndexBackend::StrPacked => {
+                    |s, p| IndexBackend::StrPacked.build_sharded(s, &p.sharded(p.shards.max(2)))
+                }
+            };
+            r.entries.push((b.sharded_name(), factory));
         }
         r
     }
@@ -509,10 +702,71 @@ mod tests {
     #[test]
     fn registry_builds_by_name_and_rejects_unknowns() {
         let registry = BackendRegistry::with_builtins();
-        assert_eq!(registry.names().len(), 4);
+        // Four monolithic backends plus their four sharded executors.
+        assert_eq!(registry.names().len(), 8);
         let idx =
             registry.build("flat", Vec::new(), &IndexParams::default()).expect("flat registered");
         assert!(idx.is_empty());
         assert!(registry.build("nope", Vec::new(), &IndexParams::default()).is_err());
+    }
+
+    #[test]
+    fn registry_sharded_names_agree_with_monolithic() {
+        let registry = BackendRegistry::with_builtins();
+        let c = CircuitBuilder::new(11).neurons(5).build();
+        let q = Aabb::cube(c.bounds().center(), 25.0);
+        let params = IndexParams::with_page_capacity(32).sharded(3).threaded(2);
+        for b in IndexBackend::ALL {
+            let mono = registry.build(b.name(), c.segments().to_vec(), &params).expect("builtin");
+            let sharded = registry
+                .build(&b.sharded_name(), c.segments().to_vec(), &params)
+                .expect("sharded builtin");
+            assert_eq!(sharded.len(), mono.len(), "{b}");
+            assert_eq!(sharded.range_query(&q).sorted_ids(), mono.range_query(&q).sorted_ids());
+        }
+    }
+
+    #[test]
+    fn knn_default_matches_brute_force_on_every_backend() {
+        let c = CircuitBuilder::new(4).neurons(6).build();
+        let segments = c.segments().to_vec();
+        for b in IndexBackend::ALL {
+            let idx = b.build(segments.clone(), &IndexParams::default());
+            for (p, k) in [
+                (c.bounds().center(), 5usize),
+                (c.bounds().lo, 1),
+                (c.bounds().hi + Vec3::splat(100.0), 12), // outside the data
+                (segments[3].geom.center(), 3),
+            ] {
+                let (got, stats) = idx.knn(p, k);
+                assert_eq!(got.len(), k.min(segments.len()), "{b} k={k}");
+                assert_eq!(stats.results as usize, got.len(), "{b} stats");
+                // Distances ascend; ties ascend by id.
+                for w in got.windows(2) {
+                    assert!(
+                        (w[0].distance, w[0].segment.id) < (w[1].distance, w[1].segment.id),
+                        "{b} canonical order"
+                    );
+                }
+                // The k-th reported distance matches the brute-force k-th.
+                let mut want: Vec<f64> =
+                    segments.iter().map(|s| s.aabb().min_distance_to_point(p)).collect();
+                want.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                for (g, w) in got.iter().zip(&want) {
+                    assert!((g.distance - w).abs() < 1e-9, "{b} distance mismatch at k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn knn_edge_cases() {
+        let c = CircuitBuilder::new(4).neurons(2).build();
+        let idx = IndexBackend::Flat.build(c.segments().to_vec(), &IndexParams::default());
+        assert!(idx.knn(Vec3::ZERO, 0).0.is_empty());
+        let (all, _) = idx.knn(Vec3::ZERO, c.segments().len() + 10);
+        assert_eq!(all.len(), c.segments().len(), "k > n returns everything");
+        let empty = IndexBackend::Flat.build(Vec::new(), &IndexParams::default());
+        assert!(empty.knn(Vec3::ZERO, 3).0.is_empty());
     }
 }

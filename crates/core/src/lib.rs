@@ -88,10 +88,12 @@ pub mod db;
 pub mod error;
 pub mod index;
 pub mod prelude;
+pub mod shard;
 
 pub use db::{NeuroDb, NeuroDbBuilder, NeuroDbConfig, Population, RegionStats, WalkthroughMethod};
 pub use error::NeuroError;
 pub use index::{
-    BackendFactory, BackendRegistry, DynamicRTree, IndexBackend, IndexParams, QueryOutput,
-    QueryStats, SpatialIndex,
+    BackendFactory, BackendRegistry, DynamicRTree, IndexBackend, IndexParams, Neighbor,
+    QueryOutput, QueryStats, SpatialIndex,
 };
+pub use shard::{ShardedIndex, ShardedQueryOutput};

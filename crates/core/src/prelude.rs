@@ -14,8 +14,10 @@ pub use crate::db::{
 };
 pub use crate::error::NeuroError;
 pub use crate::index::{
-    BackendRegistry, DynamicRTree, IndexBackend, IndexParams, QueryOutput, QueryStats, SpatialIndex,
+    BackendRegistry, DynamicRTree, IndexBackend, IndexParams, Neighbor, QueryOutput, QueryStats,
+    SpatialIndex,
 };
+pub use crate::shard::{ShardedIndex, ShardedQueryOutput};
 
 pub use neurospatial_geom::{Aabb, Segment, Vec3};
 

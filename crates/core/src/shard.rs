@@ -1,0 +1,488 @@
+//! The sharded parallel query executor.
+//!
+//! The demo paper's pitch is *interactive* spatial analytics over
+//! brain-scale circuits, which only holds up if queries saturate the
+//! hardware. A [`ShardedIndex`] space-partitions one dataset into K
+//! shards by Hilbert order (consecutive Hilbert codes are spatially
+//! adjacent, so each contiguous run of segments is a compact region of
+//! tissue), builds one monolithic backend index per shard, and fans
+//! query work out over a scoped-thread worker pool
+//! ([`neurospatial_geom::Executor`] — the same primitive the TOUCH join
+//! uses for its parallel probe phase).
+//!
+//! Parallelism is applied where it pays:
+//!
+//! * **single queries** run the K per-shard probes on the worker pool
+//!   (useful for large regions; small regions are dominated by the root
+//!   descent each shard repeats);
+//! * **batched queries** ([`SpatialIndex::range_query_many`]) split the
+//!   *batch* across workers, each worker probing all shards sequentially
+//!   for its queries — the throughput configuration the
+//!   `experiments --scenario=throughput` race measures;
+//! * **KNN** runs each shard's exact expanding-cube search concurrently
+//!   and merges the per-shard top-k candidate lists.
+//!
+//! Because the shards partition the segments (every segment lives in
+//! exactly one shard), concatenating per-shard results needs no
+//! deduplication, and summing per-shard [`QueryStats`] yields costs
+//! directly comparable to a monolithic run. The equivalence suite in
+//! `tests/backend_equivalence.rs` property-tests that a sharded executor
+//! over every backend returns byte-identical sorted result sets to the
+//! monolithic index.
+//!
+//! ```
+//! use neurospatial::prelude::*;
+//!
+//! let circuit = CircuitBuilder::new(3).neurons(8).build();
+//! let params = IndexParams::with_page_capacity(64).sharded(4).threaded(2);
+//! let sharded = ShardedIndex::<FlatIndex<NeuronSegment>>::build_with(
+//!     circuit.segments().to_vec(),
+//!     &params,
+//! );
+//! let q = Aabb::cube(circuit.bounds().center(), 30.0);
+//! let mono = IndexBackend::Flat.build(circuit.segments().to_vec(), &params);
+//! assert_eq!(sharded.range_query(&q).sorted_ids(), mono.range_query(&q).sorted_ids());
+//! ```
+
+use crate::index::{finish_knn, IndexParams, Neighbor, QueryOutput, QueryStats, SpatialIndex};
+use neurospatial_flat::FlatIndex;
+use neurospatial_geom::{Aabb, Executor, HilbertSorter, Vec3};
+use neurospatial_model::NeuronSegment;
+use neurospatial_scout::PagedIndex;
+
+/// A range query's merged result plus the per-shard statistics breakdown
+/// (`per_shard[i]` is shard `i`'s contribution; fields sum to
+/// `output.stats`).
+#[derive(Debug, Clone, Default)]
+pub struct ShardedQueryOutput {
+    pub output: QueryOutput,
+    pub per_shard: Vec<QueryStats>,
+}
+
+/// K backend indexes over a Hilbert space partition of one dataset,
+/// queried by a scoped-thread worker pool.
+///
+/// Built via [`build_with`](Self::build_with) (or the [`SpatialIndex`]
+/// trait constructor, [`NeuroDbBuilder`](crate::NeuroDbBuilder)'s
+/// `.shards(k).threads(t)`, or the registry's `sharded:<backend>`
+/// names). Shard and thread counts come from
+/// [`IndexParams::shards`] / [`IndexParams::threads`].
+pub struct ShardedIndex<I> {
+    shards: Vec<I>,
+    /// `shard_bounds[i]` = `shards[i].bounds()`, cached so query paths
+    /// can prune non-intersecting shards without touching the shard.
+    shard_bounds: Vec<Aabb>,
+    executor: Executor,
+    len: usize,
+    bounds: Aabb,
+}
+
+impl<I: SpatialIndex> ShardedIndex<I> {
+    /// Hilbert-sort `segments`, split them into `params.shards` balanced
+    /// contiguous shards, and build one `I` per shard (shard builds run
+    /// on the worker pool).
+    pub fn build_with(mut segments: Vec<NeuronSegment>, params: &IndexParams) -> Self {
+        let k = params.shards.max(1);
+        let executor = Executor::new(params.threads);
+        // Hilbert-order by segment centre so each contiguous run — and
+        // therefore each shard — is a spatially compact region.
+        let centers = Aabb::from_points(segments.iter().map(|s| s.geom.center()));
+        if segments.len() > 1 {
+            let sorter = HilbertSorter::new(centers);
+            // Cached keys: the Hilbert transform is ~100 ops per point,
+            // far too hot to recompute per comparison.
+            segments.sort_by_cached_key(|s| sorter.key(s.geom.center()));
+        }
+        let bounds = segments.iter().fold(Aabb::EMPTY, |acc, s| acc.union(&s.aabb()));
+        let n = segments.len();
+        let segments = &segments;
+        // Balanced split: shard i holds segments[i*n/k .. (i+1)*n/k]
+        // (sizes differ by at most one; shards beyond n are empty).
+        let shards: Vec<I> = executor
+            .map_chunks(k, |shard_range| {
+                shard_range
+                    .map(|i| I::build(segments[i * n / k..(i + 1) * n / k].to_vec(), params))
+                    .collect::<Vec<I>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect();
+        let shard_bounds = shards.iter().map(|s| s.bounds()).collect();
+        ShardedIndex { shards, shard_bounds, executor, len: n, bounds }
+    }
+
+    /// Number of indexed segments across all shards. (Inherent so calls
+    /// stay unambiguous when both [`SpatialIndex`] and
+    /// [`PagedIndex`] are in scope.)
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of shards (including empty ones).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Worker threads used for query execution.
+    pub fn threads(&self) -> usize {
+        self.executor.threads()
+    }
+
+    /// The per-shard backend indexes, in Hilbert partition order.
+    pub fn shards(&self) -> &[I] {
+        &self.shards
+    }
+
+    /// Segment counts per shard (sums to [`len`](SpatialIndex::len)).
+    pub fn shard_lens(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.len()).collect()
+    }
+
+    /// Range query returning the merged output *and* the per-shard
+    /// statistics breakdown — the sharded analogue of the demo's
+    /// "disk pages retrieved" panel. Shards whose bounds miss the region
+    /// are pruned without being touched (all-zero statistics), so a
+    /// well-partitioned dataset answers a local query from one or two
+    /// shards.
+    pub fn range_query_breakdown(&self, region: &Aabb) -> ShardedQueryOutput {
+        let shards = &self.shards;
+        let partials = self
+            .executor
+            .map_chunks(shards.len(), |r| {
+                r.map(|i| {
+                    if self.shard_bounds[i].intersects(region) {
+                        shards[i].range_query(region)
+                    } else {
+                        QueryOutput::default()
+                    }
+                })
+                .collect::<Vec<QueryOutput>>()
+            })
+            .into_iter()
+            .flatten();
+        let mut out = ShardedQueryOutput::default();
+        for shard_out in partials {
+            out.output.stats.merge(&shard_out.stats);
+            out.per_shard.push(shard_out.stats);
+            out.output.segments.extend(shard_out.segments);
+        }
+        out
+    }
+
+    /// Append the results of every intersecting shard to `out`,
+    /// sequentially on the calling thread, and return the merged
+    /// statistics. The one pruned shard loop behind both the sequential
+    /// `range_query_into` path and the inner loop of batched execution
+    /// (where the worker pool is already saturated at the batch level).
+    fn range_query_sequential_into(
+        &self,
+        region: &Aabb,
+        out: &mut Vec<NeuronSegment>,
+    ) -> QueryStats {
+        let mut stats = QueryStats::default();
+        for (shard, bounds) in self.shards.iter().zip(&self.shard_bounds) {
+            if bounds.intersects(region) {
+                stats.merge(&shard.range_query_into(region, out));
+            }
+        }
+        stats
+    }
+
+    fn range_query_sequential(&self, region: &Aabb) -> QueryOutput {
+        let mut out = QueryOutput::default();
+        out.stats = self.range_query_sequential_into(region, &mut out.segments);
+        out
+    }
+}
+
+impl<I: SpatialIndex> SpatialIndex for ShardedIndex<I> {
+    fn build(segments: Vec<NeuronSegment>, params: &IndexParams) -> Self {
+        ShardedIndex::build_with(segments, params)
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn bounds(&self) -> Aabb {
+        self.bounds
+    }
+
+    fn range_query(&self, region: &Aabb) -> QueryOutput {
+        self.range_query_breakdown(region).output
+    }
+
+    fn range_query_into(&self, region: &Aabb, out: &mut Vec<NeuronSegment>) -> QueryStats {
+        if self.executor.threads() == 1 {
+            self.range_query_sequential_into(region, out)
+        } else {
+            let o = self.range_query(region);
+            out.extend_from_slice(&o.segments);
+            o.stats
+        }
+    }
+
+    /// Batched execution splits the *batch* across workers; each worker
+    /// probes all shards sequentially for its queries. Outputs keep the
+    /// input order.
+    fn range_query_many(&self, regions: &[Aabb]) -> Vec<QueryOutput> {
+        self.executor
+            .map_chunks(regions.len(), |r| {
+                regions[r].iter().map(|q| self.range_query_sequential(q)).collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+
+    /// Exact cross-shard KNN: each shard's top-k candidates (computed
+    /// concurrently) merge into the global canonical top-k. Correctness:
+    /// every shard returns *its* k nearest, and the global k nearest are
+    /// each the nearest within their own shard, so the union of per-shard
+    /// top-k lists contains the global answer.
+    fn knn(&self, p: Vec3, k: usize) -> (Vec<Neighbor>, QueryStats) {
+        let mut stats = QueryStats::default();
+        if k == 0 || self.len == 0 {
+            return (Vec::new(), stats);
+        }
+        let shards = &self.shards;
+        let partials = self
+            .executor
+            .map_chunks(shards.len(), |r| {
+                r.map(|i| shards[i].knn(p, k)).collect::<Vec<(Vec<Neighbor>, QueryStats)>>()
+            })
+            .into_iter()
+            .flatten();
+        let mut candidates = Vec::new();
+        for (neighbors, shard_stats) in partials {
+            stats.nodes_read += shard_stats.nodes_read;
+            stats.objects_tested += shard_stats.objects_tested;
+            stats.reseeds += shard_stats.reseeds;
+            candidates.extend(neighbors);
+        }
+        let merged = finish_knn(candidates, k, &mut stats);
+        (merged, stats)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.memory_bytes()).sum::<usize>()
+            + self.shards.len() * std::mem::size_of::<I>()
+    }
+}
+
+/// A sharded FLAT executor is still page-granular, so it can drive a
+/// SCOUT [`ExplorationSession`](neurospatial_scout::ExplorationSession):
+/// global page ids are shard-local ids offset by the page counts of the
+/// preceding shards.
+impl PagedIndex for ShardedIndex<FlatIndex<NeuronSegment>> {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn page_count(&self) -> usize {
+        self.shards.iter().map(|s| s.page_count()).sum()
+    }
+
+    fn pages_intersecting(&self, region: &Aabb) -> Vec<u32> {
+        let mut pages = Vec::new();
+        let mut offset = 0u32;
+        for shard in &self.shards {
+            pages.extend(shard.pages_intersecting(region).into_iter().map(|p| p + offset));
+            offset += shard.page_count() as u32;
+        }
+        pages
+    }
+
+    fn paged_range_query<'a>(
+        &'a self,
+        region: &Aabb,
+        on_page: &mut dyn FnMut(u32),
+    ) -> Vec<&'a NeuronSegment> {
+        let mut hits = Vec::new();
+        let mut offset = 0u32;
+        for shard in &self.shards {
+            hits.extend(shard.paged_range_query(region, &mut |p| on_page(p + offset)));
+            offset += shard.page_count() as u32;
+        }
+        hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::{DynamicRTree, IndexBackend};
+    use neurospatial_model::CircuitBuilder;
+    use neurospatial_rtree::{RPlusTree, RTree};
+    use neurospatial_scout::{ExplorationSession, ScoutPrefetcher, SessionConfig};
+
+    fn circuit_segments() -> Vec<NeuronSegment> {
+        CircuitBuilder::new(17).neurons(8).build().segments().to_vec()
+    }
+
+    fn params(shards: usize, threads: usize) -> IndexParams {
+        IndexParams::with_page_capacity(32).sharded(shards).threaded(threads)
+    }
+
+    #[test]
+    fn shards_partition_the_dataset() {
+        let segments = circuit_segments();
+        for k in [1usize, 2, 3, 7, 16] {
+            let idx = ShardedIndex::<FlatIndex<NeuronSegment>>::build_with(
+                segments.clone(),
+                &params(k, 2),
+            );
+            assert_eq!(idx.shard_count(), k);
+            assert_eq!(idx.shard_lens().iter().sum::<usize>(), segments.len());
+            assert_eq!(idx.len(), segments.len());
+            // Balanced: sizes differ by at most one.
+            let lens = idx.shard_lens();
+            let (min, max) =
+                (lens.iter().min().expect("k >= 1"), lens.iter().max().expect("k >= 1"));
+            assert!(max - min <= 1, "k={k} lens={lens:?}");
+        }
+    }
+
+    #[test]
+    fn matches_monolithic_on_every_backend() {
+        let segments = circuit_segments();
+        let bounds = segments.iter().fold(Aabb::EMPTY, |a, s| a.union(&s.aabb()));
+        let queries = [
+            Aabb::cube(bounds.center(), 30.0),
+            Aabb::cube(bounds.lo, 15.0),
+            bounds,                            // everything
+            Aabb::cube(Vec3::splat(1e6), 5.0), // nothing
+        ];
+        let p = params(5, 3);
+        for backend in IndexBackend::ALL {
+            let mono = backend.build(segments.clone(), &p);
+            let sharded = backend.build_sharded(segments.clone(), &p);
+            assert_eq!(sharded.len(), mono.len(), "{backend}");
+            assert_eq!(sharded.bounds(), mono.bounds(), "{backend} bounds");
+            for q in &queries {
+                assert_eq!(
+                    sharded.range_query(q).sorted_ids(),
+                    mono.range_query(q).sorted_ids(),
+                    "{backend} at {q}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_queries_match_singles_and_keep_order() {
+        let segments = circuit_segments();
+        let idx = ShardedIndex::<RTree<NeuronSegment>>::build_with(segments.clone(), &params(4, 4));
+        let regions: Vec<Aabb> =
+            (0..9).map(|i| Aabb::cube(segments[i * 13].geom.center(), 8.0 + i as f64)).collect();
+        let batch = idx.range_query_many(&regions);
+        assert_eq!(batch.len(), regions.len());
+        for (out, q) in batch.iter().zip(&regions) {
+            assert_eq!(out.sorted_ids(), idx.range_query(q).sorted_ids());
+            assert_eq!(out.stats, idx.range_query(q).stats, "stats deterministic");
+        }
+    }
+
+    #[test]
+    fn knn_matches_monolithic_across_thread_counts() {
+        let segments = circuit_segments();
+        let mono =
+            ShardedIndex::<RPlusTree<NeuronSegment>>::build_with(segments.clone(), &params(1, 1));
+        let p = segments[7].geom.center() + Vec3::splat(3.0);
+        for (k_shards, threads) in [(2usize, 1usize), (5, 4), (9, 2)] {
+            let sharded = ShardedIndex::<RPlusTree<NeuronSegment>>::build_with(
+                segments.clone(),
+                &params(k_shards, threads),
+            );
+            for k in [1usize, 4, 25] {
+                let (got, stats) = sharded.knn(p, k);
+                let (want, _) = mono.knn(p, k);
+                let got_ids: Vec<u64> = got.iter().map(|n| n.segment.id).collect();
+                let want_ids: Vec<u64> = want.iter().map(|n| n.segment.id).collect();
+                assert_eq!(got_ids, want_ids, "shards={k_shards} k={k}");
+                assert_eq!(stats.results as usize, got.len());
+            }
+        }
+    }
+
+    /// Satellite: sharded statistics must sum consistently across
+    /// K ∈ {1, 2, 7} shards, including shards that hold no segments.
+    #[test]
+    fn stats_merge_consistently_across_shard_counts() {
+        let segments = circuit_segments();
+        let bounds = segments.iter().fold(Aabb::EMPTY, |a, s| a.union(&s.aabb()));
+        let q = Aabb::cube(bounds.center(), 40.0);
+        for k in [1usize, 2, 7] {
+            let idx = ShardedIndex::<DynamicRTree>::build_with(segments.clone(), &params(k, 2));
+            let breakdown = idx.range_query_breakdown(&q);
+            assert_eq!(breakdown.per_shard.len(), k);
+            let summed = QueryStats::merged(breakdown.per_shard.iter());
+            assert_eq!(summed, breakdown.output.stats, "k={k}: breakdown sums to merged stats");
+            assert_eq!(
+                breakdown.output.stats.results as usize,
+                breakdown.output.segments.len(),
+                "k={k}: results counts segments"
+            );
+            // The trait-level query reports the identical merged stats.
+            assert_eq!(idx.range_query(&q).stats, breakdown.output.stats, "k={k}");
+        }
+    }
+
+    #[test]
+    fn empty_shards_contribute_zero_stats() {
+        // 3 segments over 7 shards: four shards are empty.
+        let segments: Vec<NeuronSegment> = circuit_segments().into_iter().take(3).collect();
+        let idx =
+            ShardedIndex::<FlatIndex<NeuronSegment>>::build_with(segments.clone(), &params(7, 3));
+        assert_eq!(idx.shard_count(), 7);
+        assert_eq!(idx.shard_lens().iter().filter(|&&l| l == 0).count(), 4);
+        let q = idx.bounds();
+        let breakdown = idx.range_query_breakdown(&q);
+        assert_eq!(breakdown.output.segments.len(), segments.len());
+        assert_eq!(QueryStats::merged(breakdown.per_shard.iter()), breakdown.output.stats);
+        for (lens, stats) in idx.shard_lens().iter().zip(&breakdown.per_shard) {
+            if *lens == 0 {
+                assert_eq!(*stats, QueryStats::default(), "empty shard reports zero work");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_dataset_and_zero_shards_are_total() {
+        // shards = 0 clamps to 1; an empty dataset builds K empty shards.
+        let empty = ShardedIndex::<FlatIndex<NeuronSegment>>::build_with(Vec::new(), &params(0, 0));
+        assert_eq!(empty.shard_count(), 1);
+        assert!(empty.is_empty());
+        let idx = ShardedIndex::<FlatIndex<NeuronSegment>>::build_with(Vec::new(), &params(4, 2));
+        assert_eq!(idx.shard_count(), 4);
+        assert!(idx.range_query(&Aabb::cube(Vec3::ZERO, 10.0)).is_empty());
+        assert!(idx.knn(Vec3::ZERO, 5).0.is_empty());
+    }
+
+    #[test]
+    fn sharded_flat_drives_a_scout_session() {
+        let circuit = CircuitBuilder::new(5).neurons(10).build();
+        let sharded = ShardedIndex::<FlatIndex<NeuronSegment>>::build_with(
+            circuit.segments().to_vec(),
+            &IndexParams::with_page_capacity(64).sharded(4).threaded(2),
+        );
+        // Page-id space is contiguous across shards.
+        let everything = PagedIndex::pages_intersecting(&sharded, &SpatialIndex::bounds(&sharded));
+        let mut sorted = everything.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), everything.len(), "no duplicate page ids");
+        assert!(everything.iter().all(|&p| (p as usize) < PagedIndex::page_count(&sharded)));
+
+        let session = ExplorationSession::from_index(sharded, SessionConfig::default());
+        let path = neurospatial_model::NavigationPath::along_random_branch(&circuit, 3, 20.0, 8.0)
+            .expect("path exists");
+        let mut scout = ScoutPrefetcher::default();
+        let stats = session.run(&path, &mut scout);
+        assert_eq!(stats.steps.len(), path.queries.len());
+    }
+}

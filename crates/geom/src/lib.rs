@@ -2,8 +2,9 @@
 //!
 //! Geometric foundation of the `neurospatial` workspace: 3-D vectors,
 //! axis-aligned bounding boxes, capsule-shaped neuron segments, exact
-//! distance computations, and the Morton / Hilbert space-filling curves
-//! used for spatial ordering by the FLAT index and the prefetchers.
+//! distance computations, the Morton / Hilbert space-filling curves
+//! used for spatial ordering by the FLAT index and the prefetchers, and
+//! the scoped-thread [`Executor`] shared by every parallel query path.
 //!
 //! All coordinates are `f64`. The crate is `no_std`-agnostic in spirit but
 //! uses `std` for convenience; it has no mandatory dependencies.
@@ -25,6 +26,7 @@ pub mod aabb;
 pub mod grid;
 pub mod hilbert;
 pub mod morton;
+pub mod parallel;
 pub mod segment;
 pub mod vec3;
 
@@ -32,6 +34,7 @@ pub use aabb::Aabb;
 pub use grid::GridIndexer;
 pub use hilbert::{hilbert_d2xyz, hilbert_xyz2d, HilbertSorter};
 pub use morton::{morton_decode3, morton_encode3};
+pub use parallel::Executor;
 pub use segment::Segment;
 pub use vec3::Vec3;
 

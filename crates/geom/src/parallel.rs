@@ -1,0 +1,166 @@
+//! Scoped-thread data parallelism for offline workloads.
+//!
+//! Several subsystems fan independent work units out over a fixed number
+//! of worker threads: the TOUCH join probes each B-object independently,
+//! and the sharded query executor runs one backend index per space
+//! partition. Both need the same primitive — split `0..n` into contiguous
+//! chunks, run one scoped thread per chunk, collect results in chunk
+//! order — and the same semantics for the `threads` knob (clamped to at
+//! least 1, never more workers than items). [`Executor`] is that
+//! primitive, so chunk sizing and clamping live in exactly one place.
+//!
+//! `std::thread::scope` keeps the API dependency-free and lets workers
+//! borrow from the caller's stack; results are joined in spawn order, so
+//! output order (and therefore every merge built on it) is deterministic
+//! regardless of which worker finishes first.
+//!
+//! ```
+//! use neurospatial_geom::Executor;
+//!
+//! let data = [1u64, 2, 3, 4, 5, 6, 7];
+//! let partial_sums = Executor::new(3).map_chunks(data.len(), |range| {
+//!     data[range].iter().sum::<u64>()
+//! });
+//! assert_eq!(partial_sums.iter().sum::<u64>(), 28);
+//! ```
+
+use std::ops::Range;
+
+/// A fixed-width scoped-thread worker pool over contiguous index chunks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Executor {
+    threads: usize,
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Executor { threads: 1 }
+    }
+}
+
+impl Executor {
+    /// An executor with `threads` workers; 0 is clamped to 1
+    /// (sequential), and requests beyond the machine's available
+    /// parallelism are capped to it — the workloads this executor runs
+    /// are CPU-bound, so oversubscribing cores only adds scheduler
+    /// overhead.
+    pub fn new(threads: usize) -> Self {
+        let hardware = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(usize::MAX);
+        Executor { threads: threads.max(1).min(hardware) }
+    }
+
+    /// The effective worker count (>= 1, <= available parallelism).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// How `n` items split into chunks: `(workers, chunk_len)` with
+    /// `workers <= threads`, `workers <= n`, and
+    /// `chunk_len * workers >= n`. `(0, 0)` when `n == 0`.
+    pub fn chunking(&self, n: usize) -> (usize, usize) {
+        if n == 0 {
+            return (0, 0);
+        }
+        let workers = self.threads.min(n);
+        (workers, n.div_ceil(workers))
+    }
+
+    /// Split `0..n` into at most [`threads`](Self::threads) contiguous
+    /// chunks, run `f` on each chunk (on scoped worker threads when more
+    /// than one chunk exists), and return the per-chunk results in chunk
+    /// order. Sequential executors and single-chunk workloads run `f`
+    /// inline with zero spawn overhead.
+    pub fn map_chunks<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(Range<usize>) -> R + Sync,
+    {
+        let (workers, chunk) = self.chunking(n);
+        if workers == 0 {
+            return Vec::new();
+        }
+        if workers == 1 {
+            return vec![f(0..n)];
+        }
+        let f = &f;
+        let mut out = Vec::with_capacity(workers);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for t in 0..workers {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(n);
+                if lo >= hi {
+                    continue;
+                }
+                handles.push(scope.spawn(move || f(lo..hi)));
+            }
+            for h in handles {
+                out.push(h.join().expect("parallel worker panicked"));
+            }
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_threads_clamp_to_sequential() {
+        let e = Executor::new(0);
+        assert_eq!(e.threads(), 1);
+        assert_eq!(e.map_chunks(5, |r| r.len()), vec![5]);
+    }
+
+    #[test]
+    fn empty_input_spawns_nothing() {
+        assert!(Executor::new(4).map_chunks(0, |_| 0u32).is_empty());
+        assert_eq!(Executor::new(4).chunking(0), (0, 0));
+    }
+
+    #[test]
+    fn chunks_partition_the_range_in_order() {
+        for threads in 1..=9 {
+            for n in 0..40 {
+                // Struct literal (same module) dodges the hardware cap so
+                // the scoped-spawn path is exercised on any machine.
+                let ranges = Executor { threads }.map_chunks(n, |r| r);
+                // Concatenated chunks reproduce 0..n exactly.
+                let mut next = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, next, "threads={threads} n={n}");
+                    assert!(r.end > r.start, "no empty chunks");
+                    next = r.end;
+                }
+                assert_eq!(next, n);
+                assert!(ranges.len() <= threads.max(1).min(n.max(1)));
+            }
+        }
+    }
+
+    #[test]
+    fn never_more_workers_than_items() {
+        let (workers, chunk) = Executor { threads: 8 }.chunking(3);
+        assert_eq!((workers, chunk), (3, 1));
+        assert_eq!(Executor { threads: 8 }.map_chunks(3, |r| r.len()), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn requests_are_capped_to_the_hardware() {
+        let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(usize::MAX);
+        assert!(Executor::new(usize::MAX).threads() <= hw);
+        assert_eq!(Executor::new(1).threads(), 1);
+    }
+
+    #[test]
+    fn parallel_sum_matches_sequential() {
+        let data: Vec<u64> = (0..1000).collect();
+        let seq: u64 = data.iter().sum();
+        for threads in [1, 2, 3, 7, 16] {
+            let partials =
+                Executor { threads }.map_chunks(data.len(), |r| data[r].iter().sum::<u64>());
+            assert_eq!(partials.iter().sum::<u64>(), seq, "threads={threads}");
+        }
+    }
+}

@@ -5,7 +5,7 @@
 //! segment soups in and out of the library without a heavyweight
 //! dependency. The format is deliberately trivial: a magic header, a
 //! count, then fixed-width little-endian records — 64 bytes per segment,
-//! the sizing assumed by the page model ([`neurospatial-storage`]'s 8 KiB
+//! the sizing assumed by the page model (`neurospatial-storage`'s 8 KiB
 //! pages at 128 objects).
 
 use crate::object::NeuronSegment;

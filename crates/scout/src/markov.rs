@@ -1,5 +1,5 @@
 //! Markov-chain prefetching — the "learn from past user behavior"
-//! baseline the paper cites ([8] Lee et al., "Adaptation of a neighbor
+//! baseline the paper cites (\[8\] Lee et al., "Adaptation of a neighbor
 //! selection markov chain for prefetching tiled web GIS data").
 //!
 //! Space is tiled into cells; the prefetcher records first-order

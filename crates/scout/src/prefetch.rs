@@ -66,7 +66,7 @@ impl Prefetcher for NoPrefetch {
 }
 
 /// Hilbert prefetching (after Park & Kim's curve-order policies for web
-/// GIS [13]): prefetch the pages adjacent *in storage (Hilbert) order* to
+/// GIS \[13\]): prefetch the pages adjacent *in storage (Hilbert) order* to
 /// the pages the query just read. Spatial locality of the curve makes
 /// this a reasonable but content-blind guess.
 #[derive(Debug, Clone, Copy)]

@@ -20,7 +20,7 @@
 
 use crate::stats::{JoinResult, JoinStats};
 use crate::{JoinObject, SpatialJoin};
-use neurospatial_geom::Aabb;
+use neurospatial_geom::{Aabb, Executor};
 use neurospatial_rtree::{NodeId, RTree, RTreeObject, RTreeParams};
 use std::time::Instant;
 
@@ -101,36 +101,19 @@ impl TouchJoin {
         stats.build_ms = t0.elapsed().as_secs_f64() * 1e3;
 
         // --- Assign + Join ------------------------------------------------
+        // Each B-object probes independently, so the work fans out over
+        // the shared chunked executor (which also owns the `threads`
+        // clamping and chunk-sizing semantics). Partials come back in
+        // chunk order, keeping pair order deterministic.
         let t1 = Instant::now();
-        let (pairs, probe_stats) = if self.threads <= 1 {
-            probe_range(&tree, b, 0..b.len(), eps)
-        } else {
-            let threads = self.threads;
-            let chunk = b.len().div_ceil(threads);
-            let mut partials: Vec<(Vec<(u32, u32)>, ProbeStats)> = Vec::new();
-            std::thread::scope(|scope| {
-                let mut handles = Vec::new();
-                for t in 0..threads {
-                    let lo = t * chunk;
-                    let hi = ((t + 1) * chunk).min(b.len());
-                    if lo >= hi {
-                        continue;
-                    }
-                    let tree = &tree;
-                    handles.push(scope.spawn(move || probe_range(tree, b, lo..hi, eps)));
-                }
-                for h in handles {
-                    partials.push(h.join().expect("probe worker panicked"));
-                }
-            });
-            let mut pairs = Vec::new();
-            let mut agg = ProbeStats::default();
-            for (p, s) in partials {
-                pairs.extend(p);
-                agg.merge(&s);
-            }
-            (pairs, agg)
-        };
+        let partials = Executor::new(self.threads)
+            .map_chunks(b.len(), |range| probe_range(&tree, b, range, eps));
+        let mut pairs = Vec::new();
+        let mut probe_stats = ProbeStats::default();
+        for (p, s) in partials {
+            pairs.extend(p);
+            probe_stats.merge(&s);
+        }
 
         stats.filter_comparisons = probe_stats.filter;
         stats.refine_comparisons = probe_stats.refine;

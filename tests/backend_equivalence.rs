@@ -24,7 +24,7 @@ fn assert_backends_match_scan(
     queries: &[Aabb],
     page_capacity: usize,
 ) -> Result<(), TestCaseError> {
-    let params = IndexParams { page_capacity };
+    let params = IndexParams::with_page_capacity(page_capacity);
     for backend in IndexBackend::ALL {
         let index = backend.build(segments.to_vec(), &params);
         prop_assert_eq!(index.len(), segments.len(), "{} len", backend);
@@ -116,6 +116,84 @@ proptest! {
             Aabb::EMPTY,                                     // canonical empty
         ];
         assert_backends_match_scan(&segments, &queries, 16)?;
+    }
+
+    /// The ISSUE 2 acceptance property: for every backend, a sharded
+    /// executor over random circuits returns byte-identical sorted result
+    /// sets to the monolithic index, for any shard/thread configuration.
+    #[test]
+    fn sharded_matches_monolithic_on_random_circuits(
+        seed in 0u64..3000,
+        neurons in 2u32..8,
+        half in 2.0..45.0f64,
+        shards in 1usize..9,
+        threads in 1usize..5,
+    ) {
+        let c = CircuitBuilder::new(seed).neurons(neurons).build();
+        let params = IndexParams::with_page_capacity(32).sharded(shards).threaded(threads);
+        let queries = [
+            Aabb::cube(c.bounds().center(), half),
+            Aabb::cube(c.segments()[0].geom.center(), half),
+            Aabb::EMPTY,
+        ];
+        for backend in IndexBackend::ALL {
+            let mono = backend.build(c.segments().to_vec(), &params);
+            let sharded = backend.build_sharded(c.segments().to_vec(), &params);
+            prop_assert_eq!(sharded.len(), mono.len(), "{} len", backend);
+            for q in &queries {
+                let m = mono.range_query(q);
+                let s = sharded.range_query(q);
+                prop_assert_eq!(
+                    s.sorted_ids(), m.sorted_ids(),
+                    "{} sharded({}) disagrees with monolithic at {}", backend, shards, q
+                );
+                prop_assert_eq!(s.stats.results, m.stats.results, "{} result stats", backend);
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_matches_monolithic_on_random_soups(
+        segments in segment_soup(),
+        queries in prop::collection::vec(query_box(), 1..5),
+        shards in 1usize..8,
+    ) {
+        let params = IndexParams::with_page_capacity(16).sharded(shards).threaded(3);
+        for backend in IndexBackend::ALL {
+            let mono = backend.build(segments.clone(), &params);
+            let sharded = backend.build_sharded(segments.clone(), &params);
+            // Batched execution obeys the same contract, in input order.
+            let batch = sharded.range_query_many(&queries);
+            prop_assert_eq!(batch.len(), queries.len());
+            for (out, q) in batch.iter().zip(&queries) {
+                prop_assert_eq!(
+                    out.sorted_ids(), mono.range_query(q).sorted_ids(),
+                    "{} sharded({}) batch at {}", backend, shards, q
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_knn_matches_monolithic(
+        segments in segment_soup(),
+        (px, py, pz) in (-70.0..70.0, -70.0..70.0, -70.0..70.0),
+        k in 0usize..40,
+        shards in 1usize..8,
+    ) {
+        let p = Vec3::new(px, py, pz);
+        let params = IndexParams::with_page_capacity(16).sharded(shards).threaded(2);
+        for backend in IndexBackend::ALL {
+            let mono = backend.build(segments.clone(), &params);
+            let sharded = backend.build_sharded(segments.clone(), &params);
+            let (m, _) = mono.knn(p, k);
+            let (s, stats) = sharded.knn(p, k);
+            prop_assert_eq!(s.len(), k.min(segments.len()), "{} knn size", backend);
+            prop_assert_eq!(stats.results as usize, s.len(), "{} knn stats", backend);
+            let mids: Vec<u64> = m.iter().map(|n| n.segment.id).collect();
+            let sids: Vec<u64> = s.iter().map(|n| n.segment.id).collect();
+            prop_assert_eq!(sids, mids, "{} sharded({}) knn order", backend, shards);
+        }
     }
 
     #[test]
