@@ -27,7 +27,45 @@
 use neurospatial::prelude::*;
 use neurospatial::scout::{PrefetchContext, ScoutPrefetcher};
 use neurospatial_bench::*;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
+
+/// Counts every heap allocation the process performs — the instrument
+/// behind the hotpath scenario's allocs/query column. `realloc` and
+/// `alloc_zeroed` count too (a growing `Vec` is exactly the churn the
+/// scratch paths exist to eliminate); `dealloc` is free.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
 
 /// Parse a `--flag=a,b,c` list via `FromStr`, exiting with the parser's
 /// diagnostic (which lists the known names) on a bad entry.
@@ -102,6 +140,14 @@ fn main() {
     }
     if run("e7") || run("throughput") {
         e7_throughput(&backends, shards, threads);
+    }
+    if run("hotpath") {
+        let n: usize = parse_value(&args, "n").unwrap_or(20_000);
+        let queries: usize = parse_value(&args, "queries").unwrap_or(256);
+        let out =
+            parse_value::<String>(&args, "out").unwrap_or_else(|| "BENCH_hotpath.json".to_string());
+        let strict = args.iter().any(|a| a == "--strict");
+        hotpath(&backends, n, queries, shards, &out, strict);
     }
     if run("a1") {
         a1_flat_packing();
@@ -671,6 +717,207 @@ fn e7_throughput(backends: &[IndexBackend], shards: usize, threads: usize) {
     println!("above monolithic throughput even on one core; with multiple cores the batch");
     println!("fans out across workers and throughput scales with min(threads, cores) —");
     println!("the acceptance bar is sharded ≥ monolithic on batched queries at 4 threads.");
+}
+
+/// Hotpath — the old-vs-new query-path race behind the cache-conscious,
+/// allocation-free refactor. For every backend (monolithic and sharded)
+/// the same batched range-query workload runs twice:
+///
+/// * **alloc path**: `range_query` per query — fresh result vectors,
+///   fresh traversal stacks/queues/bitsets, per-level stats vectors;
+/// * **scratch path**: `range_query_into_scratch` with one reused
+///   [`QueryScratch`] and result buffer — SoA-lane MBR tests on the tree
+///   backends, epoch-stamped visited marks, zero steady-state
+///   allocations.
+///
+/// Result sets and statistics are asserted byte-identical during the
+/// warm-up pass; allocation counts come from the binary's counting
+/// global allocator; everything is written machine-readably to
+/// `BENCH_hotpath.json` — the first point of the perf trajectory.
+///
+/// Sharded configurations run with 1 worker thread here on purpose:
+/// the scenario measures the per-query hot path, and single-threaded
+/// execution keeps the allocation accounting attributable to it.
+fn hotpath(
+    backends: &[IndexBackend],
+    n: usize,
+    queries: usize,
+    shards: usize,
+    out_path: &str,
+    strict: bool,
+) {
+    println!("\n== HOTPATH — allocation-free query paths vs the allocating paths ==\n");
+    let segments = sized_segments(n, 42);
+    let bounds = segments.iter().fold(Aabb::EMPTY, |a, s| a.union(&s.aabb()));
+    let half = 15.0;
+    let w = RangeQueryWorkload::generate(
+        1000,
+        &bounds,
+        queries,
+        half,
+        QueryPlacement::DataCentered,
+        Some(&segments),
+    );
+    println!(
+        "{} segments, batch of {} range queries ({:.0}³, data-centred), best of 3 runs",
+        segments.len(),
+        w.queries.len(),
+        half * 2.0
+    );
+    println!("sharded configurations: {shards} shards, 1 worker thread\n");
+
+    /// Best-of-3 wall time in ns/query plus the allocation count of one
+    /// steady-state pass (the last timed one — every buffer is warm).
+    fn race(queries: usize, mut pass: impl FnMut()) -> (f64, f64) {
+        let mut best_ms = f64::INFINITY;
+        let mut allocs = 0u64;
+        for _ in 0..3 {
+            let a0 = allocations();
+            let t = Instant::now();
+            pass();
+            best_ms = best_ms.min(t.elapsed().as_secs_f64() * 1e3);
+            allocs = allocations() - a0;
+        }
+        (best_ms * 1e6 / queries as f64, allocs as f64 / queries as f64)
+    }
+
+    let mut t = Table::new([
+        "backend",
+        "build ms",
+        "alloc ns/q",
+        "scratch ns/q",
+        "speedup",
+        "allocs/q (alloc)",
+        "allocs/q (scratch)",
+        "nodes/q",
+        "results/q",
+    ]);
+    let mut json_rows: Vec<String> = Vec::new();
+    let mut fast_enough = 0usize;
+    let mut zero_alloc = 0usize;
+    let configs: Vec<(String, bool)> = backends
+        .iter()
+        .flat_map(|b| [(b.name().to_string(), false), (b.sharded_name(), true)])
+        .collect();
+
+    for (name, sharded) in &configs {
+        let params = IndexParams::with_page_capacity(64).sharded(shards).threaded(1);
+        let backend: IndexBackend = name.strip_prefix("sharded:").unwrap_or(name).parse().unwrap();
+        let t0 = Instant::now();
+        let idx = if *sharded {
+            backend.build_sharded(segments.clone(), &params)
+        } else {
+            backend.build(segments.clone(), &params)
+        };
+        let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        // Warm-up pass: grows every scratch buffer to its steady-state
+        // size and asserts the equivalence contract — the scratch path
+        // must return byte-identical results *and* statistics.
+        let mut scratch = QueryScratch::new();
+        let mut buf: Vec<NeuronSegment> = Vec::new();
+        let (mut nodes, mut results) = (0u64, 0u64);
+        for q in &w.queries {
+            let reference = idx.range_query(q);
+            buf.clear();
+            let stats = idx.range_query_into_scratch(q, &mut scratch, &mut buf);
+            assert_eq!(stats, reference.stats, "{name}: scratch stats diverge at {q}");
+            assert!(
+                buf.iter().map(|s| s.id).eq(reference.segments.iter().map(|s| s.id)),
+                "{name}: scratch results diverge at {q}"
+            );
+            nodes += stats.nodes_read;
+            results += stats.results;
+        }
+
+        let (alloc_ns, alloc_allocs) = race(w.queries.len(), || {
+            for q in &w.queries {
+                let _ = idx.range_query(q);
+            }
+        });
+        let (scratch_ns, scratch_allocs) = race(w.queries.len(), || {
+            for q in &w.queries {
+                buf.clear();
+                let _ = idx.range_query_into_scratch(q, &mut scratch, &mut buf);
+            }
+        });
+
+        let speedup = alloc_ns / scratch_ns.max(1e-9);
+        if speedup >= 1.3 {
+            fast_enough += 1;
+        }
+        if scratch_allocs == 0.0 {
+            zero_alloc += 1;
+        }
+        let nq = w.queries.len() as f64;
+        t.row([
+            name.clone(),
+            f1(build_ms),
+            f1(alloc_ns),
+            f1(scratch_ns),
+            format!("{speedup:.2}x"),
+            f2(alloc_allocs),
+            f2(scratch_allocs),
+            f1(nodes as f64 / nq),
+            f1(results as f64 / nq),
+        ]);
+        json_rows.push(format!(
+            concat!(
+                "    {{\"backend\": {:?}, \"sharded\": {}, \"build_ms\": {:.3}, ",
+                "\"alloc_path_ns_per_query\": {:.1}, \"scratch_path_ns_per_query\": {:.1}, ",
+                "\"speedup\": {:.3}, \"allocs_per_query_alloc_path\": {:.2}, ",
+                "\"allocs_per_query_scratch_path\": {:.2}, \"nodes_read_per_query\": {:.2}, ",
+                "\"results_per_query\": {:.2}}}"
+            ),
+            name,
+            sharded,
+            build_ms,
+            alloc_ns,
+            scratch_ns,
+            speedup,
+            alloc_allocs,
+            scratch_allocs,
+            nodes as f64 / nq,
+            results as f64 / nq,
+        ));
+    }
+    t.print();
+
+    let json = format!(
+        concat!(
+            "{{\n  \"scenario\": \"hotpath\",\n  \"segments\": {},\n  \"queries\": {},\n",
+            "  \"query_half_extent\": {:.1},\n  \"shards\": {},\n  \"threads\": 1,\n",
+            "  \"backends\": [\n{}\n  ]\n}}\n"
+        ),
+        segments.len(),
+        w.queries.len(),
+        half,
+        shards,
+        json_rows.join(",\n")
+    );
+    std::fs::write(out_path, json).expect("write BENCH json");
+    println!("\nwrote {out_path}");
+    println!(
+        "\nshape check: scratch paths do 0 steady-state allocs/query ({zero_alloc}/{} configs) \
+         and beat the\nallocating paths by >= 1.3x on {fast_enough}/{} configs (acceptance: \
+         0 allocs everywhere, >= 1.3x on >= 2).",
+        configs.len(),
+        configs.len()
+    );
+    // Under --strict (the CI bench-smoke gate) the acceptance bar is
+    // enforced, not just printed: a reintroduced per-query allocation or
+    // a broad perf regression fails the job instead of shipping silently.
+    // The 0-alloc half is deterministic; the speedup half is held at the
+    // issue's floor (>= 1.3x on at least two configurations), which is
+    // far below the measured margin, so timing noise cannot flake it.
+    if strict && (zero_alloc < configs.len() || fast_enough < 2) {
+        eprintln!(
+            "hotpath --strict: acceptance bar FAILED \
+             (zero-alloc {zero_alloc}/{}, >=1.3x on {fast_enough}, need all and >= 2)",
+            configs.len()
+        );
+        std::process::exit(1);
+    }
 }
 
 /// A1 ablation — FLAT packing strategy: Hilbert vs Morton vs plain

@@ -29,6 +29,23 @@ pub fn jagged_circuit(neurons: u32, seed: u64) -> Circuit {
     CircuitBuilder::new(seed).neurons(neurons).morphology(m).build()
 }
 
+/// A deterministic dataset of (approximately) `n` segments: grow a dense
+/// circuit until it holds at least `n`, then truncate. The hotpath
+/// scenario uses this so `--n=` controls the dataset size directly
+/// instead of through a neuron count.
+pub fn sized_segments(n: usize, seed: u64) -> Vec<NeuronSegment> {
+    let mut neurons = 4u32;
+    loop {
+        let circuit = dense_circuit(neurons, seed);
+        if circuit.segments().len() >= n || neurons >= 4096 {
+            let mut segments = circuit.segments().to_vec();
+            segments.truncate(n);
+            return segments;
+        }
+        neurons *= 2;
+    }
+}
+
 /// The standard data-centred query workload of E1/E2.
 pub fn standard_workload(circuit: &Circuit, n: usize, half_extent: f64) -> RangeQueryWorkload {
     RangeQueryWorkload::generate(
@@ -129,6 +146,13 @@ mod tests {
         assert_eq!(dense_circuit(5, 1).segments().len(), dense_circuit(5, 1).segments().len());
         let c = jagged_circuit(4, 2);
         assert!(!walkthrough_paths(&c, 2).is_empty());
+    }
+
+    #[test]
+    fn sized_segments_hits_the_requested_size() {
+        let s = sized_segments(1500, 7);
+        assert_eq!(s.len(), 1500);
+        assert_eq!(s, sized_segments(1500, 7), "deterministic");
     }
 
     #[test]

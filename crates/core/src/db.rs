@@ -7,7 +7,9 @@
 //! split, tuple returns, panics) survives only as a deprecated shim.
 
 use crate::error::NeuroError;
-use crate::index::{IndexBackend, IndexParams, Neighbor, QueryOutput, QueryStats, SpatialIndex};
+use crate::index::{
+    IndexBackend, IndexParams, Neighbor, QueryOutput, QueryScratch, QueryStats, SpatialIndex,
+};
 use crate::shard::ShardedIndex;
 use neurospatial_flat::FlatIndex;
 use neurospatial_geom::{Aabb, Vec3};
@@ -512,9 +514,25 @@ impl NeuroDb {
     }
 
     /// Execute a batch of range queries (one output per region). On a
-    /// sharded database the batch fans out over the worker pool.
+    /// sharded database the batch fans out over the worker pool (one
+    /// reused [`QueryScratch`] per worker); monolithic databases reuse
+    /// one scratch across the whole batch — either way, per-query
+    /// traversal state is not re-allocated query by query.
     pub fn range_query_many(&self, regions: &[Aabb]) -> Vec<QueryOutput> {
         self.index().range_query_many(regions)
+    }
+
+    /// Allocation-free range query for hot serving loops: results append
+    /// to `out`, per-query working state lives in the caller's `scratch`
+    /// (reused across calls). Identical results and statistics to
+    /// [`range_query`](Self::range_query).
+    pub fn range_query_into_scratch(
+        &self,
+        region: &Aabb,
+        scratch: &mut QueryScratch,
+        out: &mut Vec<NeuronSegment>,
+    ) -> QueryStats {
+        self.index().range_query_into_scratch(region, scratch, out)
     }
 
     /// The `k` segments nearest to `p`, in canonical (distance, id)

@@ -22,12 +22,58 @@
 
 use crate::error::NeuroError;
 use crate::shard::ShardedIndex;
-use neurospatial_flat::{FlatBuildParams, FlatIndex, FlatQueryStats};
+use neurospatial_flat::{FlatBuildParams, FlatIndex, FlatQueryStats, FlatScratch};
 use neurospatial_geom::{Aabb, Vec3};
 use neurospatial_model::NeuronSegment;
-use neurospatial_rtree::{RPlusTree, RTree, RTreeParams};
+use neurospatial_rtree::{RPlusTree, RTree, RTreeParams, TraversalCounters, TraversalScratch};
 use std::fmt;
 use std::str::FromStr;
+
+/// Reusable per-query state for the allocation-free `*_scratch` query
+/// paths: create one per worker thread, reuse it across an entire batch.
+/// After the first few queries have grown the buffers, steady-state
+/// queries perform **zero** heap allocations (measured by
+/// `experiments --scenario=hotpath`).
+///
+/// Fields are public so custom [`SpatialIndex`] implementations can
+/// reuse the same buffers in their own
+/// [`range_query_into_scratch`](SpatialIndex::range_query_into_scratch)
+/// overrides.
+#[derive(Debug, Default)]
+pub struct QueryScratch {
+    /// R-Tree-family traversal state (visit stack, best-first candidate
+    /// buffer, epoch-stamped de-duplication marks).
+    pub tree: TraversalScratch,
+    /// FLAT seed-and-crawl state (crawl front, visited-page marks, seed
+    /// tree scratch).
+    pub flat: FlatScratch,
+    /// KNN: hit buffer reused across expanding-cube iterations.
+    pub knn_hits: Vec<NeuronSegment>,
+    /// KNN: candidate neighbours awaiting the canonical sort.
+    pub knn_candidates: Vec<Neighbor>,
+    /// KNN: sharded executors' cross-shard merge buffer.
+    pub knn_merge: Vec<Neighbor>,
+}
+
+impl QueryScratch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl From<TraversalCounters> for QueryStats {
+    /// Lift the R-Tree family's flat scratch counters into the unified
+    /// schema — same mapping as the allocating
+    /// [`neurospatial_rtree::QueryStats`] conversion.
+    fn from(c: TraversalCounters) -> Self {
+        QueryStats {
+            results: c.results,
+            nodes_read: c.nodes_visited,
+            objects_tested: c.leaf_entries_tested,
+            reseeds: 0,
+        }
+    }
+}
 
 /// Backend-independent build parameters.
 ///
@@ -246,12 +292,40 @@ pub trait SpatialIndex: Send + Sync {
         o.stats
     }
 
+    /// Fully allocation-free range query: results append to `out`, all
+    /// per-query working state (visit stacks, crawl queues, visited
+    /// bitsets) lives in `scratch`, and the returned statistics are plain
+    /// `Copy` data. Results, their order, and statistics are
+    /// byte-identical to [`range_query`](Self::range_query)
+    /// (property-tested in `tests/hotpath_equivalence.rs`). The default
+    /// falls back to the buffered path, so custom backends keep working
+    /// unchanged; every built-in backend overrides it.
+    fn range_query_into_scratch(
+        &self,
+        region: &Aabb,
+        scratch: &mut QueryScratch,
+        out: &mut Vec<NeuronSegment>,
+    ) -> QueryStats {
+        let _ = scratch;
+        self.range_query_into(region, out)
+    }
+
     /// Batched queries — one call, one output per region. Backends can
     /// override this with a plan that shares traversal state (the sharded
-    /// executor fans the batch out over its worker pool); the default
-    /// simply loops.
+    /// executor fans the batch out over its worker pool, one scratch per
+    /// worker); the default loops with one reused [`QueryScratch`], so
+    /// per-query traversal state is allocated once per batch, not once
+    /// per query.
     fn range_query_many(&self, regions: &[Aabb]) -> Vec<QueryOutput> {
-        regions.iter().map(|r| self.range_query(r)).collect()
+        let mut scratch = QueryScratch::default();
+        regions
+            .iter()
+            .map(|r| {
+                let mut segments = Vec::new();
+                let stats = self.range_query_into_scratch(r, &mut scratch, &mut segments);
+                QueryOutput { segments, stats }
+            })
+            .collect()
     }
 
     /// The `k` segments nearest to `p` (AABB minimum distance), in
@@ -267,9 +341,29 @@ pub trait SpatialIndex: Send + Sync {
     /// All backends share this one implementation, which keeps answers
     /// byte-identical across backends and shard counts.
     fn knn(&self, p: Vec3, k: usize) -> (Vec<Neighbor>, QueryStats) {
+        let mut scratch = QueryScratch::default();
+        let mut out = Vec::new();
+        let stats = self.knn_into_scratch(p, k, &mut scratch, &mut out);
+        (out, stats)
+    }
+
+    /// Allocation-free [`knn`](Self::knn): the expanding-cube search's
+    /// hit and candidate buffers come from `scratch`, results append to
+    /// `out` in the same canonical order. The default implements the
+    /// whole algorithm on top of
+    /// [`range_query_into_scratch`](Self::range_query_into_scratch), so
+    /// overriding the range path is enough to make KNN allocation-free
+    /// too.
+    fn knn_into_scratch(
+        &self,
+        p: Vec3,
+        k: usize,
+        scratch: &mut QueryScratch,
+        out: &mut Vec<Neighbor>,
+    ) -> QueryStats {
         let mut stats = QueryStats::default();
         if k == 0 || self.is_empty() {
-            return (Vec::new(), stats);
+            return stats;
         }
         let bounds = self.bounds();
         // Upper bound on any AABB distance: the farthest corner of the
@@ -286,22 +380,32 @@ pub trait SpatialIndex: Send + Sync {
         let frac = (k as f64 / self.len() as f64).cbrt().min(1.0);
         let guess = ext.x.max(ext.y).max(ext.z) * frac * 0.5;
         let mut r = (bounds.min_distance_to_point(p) + guess).max(1e-9).min(far.max(1e-9));
+        // Take the buffers out of the scratch so the borrow checker sees
+        // them as disjoint from the scratch handed to the range queries.
+        let mut hits = std::mem::take(&mut scratch.knn_hits);
+        let mut candidates = std::mem::take(&mut scratch.knn_candidates);
         loop {
-            let out = self.range_query(&Aabb::cube(p, r));
-            stats.nodes_read += out.stats.nodes_read;
-            stats.objects_tested += out.stats.objects_tested;
-            stats.reseeds += out.stats.reseeds;
-            let within: Vec<Neighbor> = out
-                .segments
-                .iter()
-                .map(|s| Neighbor { segment: *s, distance: s.aabb().min_distance_to_point(p) })
-                .filter(|n| n.distance <= r)
-                .collect();
-            if within.len() >= k || r >= far {
-                return (finish_knn(within, k, &mut stats), stats);
+            hits.clear();
+            let s = self.range_query_into_scratch(&Aabb::cube(p, r), scratch, &mut hits);
+            stats.nodes_read += s.nodes_read;
+            stats.objects_tested += s.objects_tested;
+            stats.reseeds += s.reseeds;
+            candidates.clear();
+            candidates.extend(
+                hits.iter()
+                    .map(|s| Neighbor { segment: *s, distance: s.aabb().min_distance_to_point(p) })
+                    .filter(|n| n.distance <= r),
+            );
+            if candidates.len() >= k || r >= far {
+                candidates = finish_knn(candidates, k, &mut stats);
+                out.extend_from_slice(&candidates);
+                break;
             }
             r = (r * 2.0).min(far);
         }
+        scratch.knn_hits = hits;
+        scratch.knn_candidates = candidates;
+        stats
     }
 
     /// Approximate resident size in bytes (for the demo's memory panels).
@@ -340,6 +444,22 @@ impl SpatialIndex for FlatIndex<NeuronSegment> {
         (&stats).into()
     }
 
+    fn range_query_into_scratch(
+        &self,
+        region: &Aabb,
+        scratch: &mut QueryScratch,
+        out: &mut Vec<NeuronSegment>,
+    ) -> QueryStats {
+        let stats = FlatIndex::range_query_scratch(
+            self,
+            region,
+            &mut scratch.flat,
+            |_| {},
+            |o| out.push(*o),
+        );
+        (&stats).into()
+    }
+
     fn memory_bytes(&self) -> usize {
         FlatIndex::memory_bytes(self)
     }
@@ -348,7 +468,11 @@ impl SpatialIndex for FlatIndex<NeuronSegment> {
 /// STR-packed (bulk-loaded) R-Tree backend.
 impl SpatialIndex for RTree<NeuronSegment> {
     fn build(segments: Vec<NeuronSegment>, params: &IndexParams) -> Self {
-        RTree::bulk_load(segments, RTreeParams::with_max_entries(params.page_capacity.max(4)))
+        let mut tree =
+            RTree::bulk_load(segments, RTreeParams::with_max_entries(params.page_capacity.max(4)));
+        // This tree serves scratch queries: freeze the SoA lanes.
+        tree.freeze();
+        tree
     }
 
     fn len(&self) -> usize {
@@ -370,6 +494,15 @@ impl SpatialIndex for RTree<NeuronSegment> {
         (&stats).into()
     }
 
+    fn range_query_into_scratch(
+        &self,
+        region: &Aabb,
+        scratch: &mut QueryScratch,
+        out: &mut Vec<NeuronSegment>,
+    ) -> QueryStats {
+        RTree::range_query_scratch(self, region, &mut scratch.tree, |o| out.push(*o)).into()
+    }
+
     fn memory_bytes(&self) -> usize {
         RTree::memory_bytes(self)
     }
@@ -386,6 +519,11 @@ impl SpatialIndex for DynamicRTree {
         for s in segments {
             tree.insert(s);
         }
+        // Build complete: freeze the SoA traversal layout so scratch
+        // queries scan contiguous MBR lanes. The *structure* stays the
+        // insertion-grown one — freezing changes the memory layout, not
+        // the tree, so the paper's overlap-degradation story is intact.
+        tree.freeze();
         DynamicRTree(tree)
     }
 
@@ -406,6 +544,15 @@ impl SpatialIndex for DynamicRTree {
         let (hits, stats) = self.0.range_query(region);
         out.extend(hits.into_iter().copied());
         (&stats).into()
+    }
+
+    fn range_query_into_scratch(
+        &self,
+        region: &Aabb,
+        scratch: &mut QueryScratch,
+        out: &mut Vec<NeuronSegment>,
+    ) -> QueryStats {
+        self.0.range_query_scratch(region, &mut scratch.tree, |o| out.push(*o)).into()
     }
 
     fn memory_bytes(&self) -> usize {
@@ -435,6 +582,15 @@ impl SpatialIndex for RPlusTree<NeuronSegment> {
         let (hits, stats) = RPlusTree::range_query(self, region);
         out.extend(hits.into_iter().copied());
         (&stats).into()
+    }
+
+    fn range_query_into_scratch(
+        &self,
+        region: &Aabb,
+        scratch: &mut QueryScratch,
+        out: &mut Vec<NeuronSegment>,
+    ) -> QueryStats {
+        RPlusTree::range_query_scratch(self, region, &mut scratch.tree, |o| out.push(*o)).into()
     }
 
     fn memory_bytes(&self) -> usize {

@@ -94,6 +94,6 @@ pub use db::{NeuroDb, NeuroDbBuilder, NeuroDbConfig, Population, RegionStats, Wa
 pub use error::NeuroError;
 pub use index::{
     BackendFactory, BackendRegistry, DynamicRTree, IndexBackend, IndexParams, Neighbor,
-    QueryOutput, QueryStats, SpatialIndex,
+    QueryOutput, QueryScratch, QueryStats, SpatialIndex,
 };
 pub use shard::{ShardedIndex, ShardedQueryOutput};

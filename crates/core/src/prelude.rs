@@ -14,8 +14,8 @@ pub use crate::db::{
 };
 pub use crate::error::NeuroError;
 pub use crate::index::{
-    BackendRegistry, DynamicRTree, IndexBackend, IndexParams, Neighbor, QueryOutput, QueryStats,
-    SpatialIndex,
+    BackendRegistry, DynamicRTree, IndexBackend, IndexParams, Neighbor, QueryOutput, QueryScratch,
+    QueryStats, SpatialIndex,
 };
 pub use crate::shard::{ShardedIndex, ShardedQueryOutput};
 

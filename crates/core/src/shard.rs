@@ -44,7 +44,9 @@
 //! assert_eq!(sharded.range_query(&q).sorted_ids(), mono.range_query(&q).sorted_ids());
 //! ```
 
-use crate::index::{finish_knn, IndexParams, Neighbor, QueryOutput, QueryStats, SpatialIndex};
+use crate::index::{
+    finish_knn, IndexParams, Neighbor, QueryOutput, QueryScratch, QueryStats, SpatialIndex,
+};
 use neurospatial_flat::FlatIndex;
 use neurospatial_geom::{Aabb, Executor, HilbertSorter, Vec3};
 use neurospatial_model::NeuronSegment;
@@ -192,10 +194,23 @@ impl<I: SpatialIndex> ShardedIndex<I> {
         stats
     }
 
-    fn range_query_sequential(&self, region: &Aabb) -> QueryOutput {
-        let mut out = QueryOutput::default();
-        out.stats = self.range_query_sequential_into(region, &mut out.segments);
-        out
+    /// The scratch-threading twin of
+    /// [`range_query_sequential_into`](Self::range_query_sequential_into):
+    /// the inner loop of batched execution, where each worker owns one
+    /// [`QueryScratch`] for its whole slice of the batch.
+    fn range_query_sequential_scratch(
+        &self,
+        region: &Aabb,
+        scratch: &mut QueryScratch,
+        out: &mut Vec<NeuronSegment>,
+    ) -> QueryStats {
+        let mut stats = QueryStats::default();
+        for (shard, bounds) in self.shards.iter().zip(&self.shard_bounds) {
+            if bounds.intersects(region) {
+                stats.merge(&shard.range_query_into_scratch(region, scratch, out));
+            }
+        }
+        stats
     }
 }
 
@@ -226,13 +241,38 @@ impl<I: SpatialIndex> SpatialIndex for ShardedIndex<I> {
         }
     }
 
+    /// Sequential scratch path: probes the intersecting shards on the
+    /// calling thread, threading one [`QueryScratch`] through all of
+    /// them. Same results, order and statistics as
+    /// [`range_query`](Self::range_query) (shard order is deterministic
+    /// either way); the worker pool is deliberately not engaged — this
+    /// is the form the batched executor runs *inside* each worker.
+    fn range_query_into_scratch(
+        &self,
+        region: &Aabb,
+        scratch: &mut QueryScratch,
+        out: &mut Vec<NeuronSegment>,
+    ) -> QueryStats {
+        self.range_query_sequential_scratch(region, scratch, out)
+    }
+
     /// Batched execution splits the *batch* across workers; each worker
-    /// probes all shards sequentially for its queries. Outputs keep the
-    /// input order.
+    /// probes all shards sequentially for its queries, reusing **one**
+    /// [`QueryScratch`] across its whole slice of the batch. Outputs keep
+    /// the input order.
     fn range_query_many(&self, regions: &[Aabb]) -> Vec<QueryOutput> {
         self.executor
             .map_chunks(regions.len(), |r| {
-                regions[r].iter().map(|q| self.range_query_sequential(q)).collect::<Vec<_>>()
+                let mut scratch = QueryScratch::default();
+                regions[r]
+                    .iter()
+                    .map(|q| {
+                        let mut segments = Vec::new();
+                        let stats =
+                            self.range_query_sequential_scratch(q, &mut scratch, &mut segments);
+                        QueryOutput { segments, stats }
+                    })
+                    .collect::<Vec<_>>()
             })
             .into_iter()
             .flatten()
@@ -268,6 +308,43 @@ impl<I: SpatialIndex> SpatialIndex for ShardedIndex<I> {
         (merged, stats)
     }
 
+    /// Allocation-free cross-shard KNN. A scratch cannot be shared
+    /// across worker threads, so the scratch form runs the per-shard
+    /// searches sequentially (one scratch threaded through all of them,
+    /// cross-shard merge in `scratch.knn_merge`) and only multi-threaded
+    /// executors fall back to the parallel allocating path. Candidate
+    /// order, canonical merge and statistics match [`knn`](Self::knn)
+    /// exactly either way.
+    fn knn_into_scratch(
+        &self,
+        p: Vec3,
+        k: usize,
+        scratch: &mut QueryScratch,
+        out: &mut Vec<Neighbor>,
+    ) -> QueryStats {
+        let mut stats = QueryStats::default();
+        if k == 0 || self.len == 0 {
+            return stats;
+        }
+        if self.executor.threads() > 1 {
+            let (neighbors, s) = self.knn(p, k);
+            out.extend_from_slice(&neighbors);
+            return s;
+        }
+        let mut merge = std::mem::take(&mut scratch.knn_merge);
+        merge.clear();
+        for shard in &self.shards {
+            let shard_stats = shard.knn_into_scratch(p, k, scratch, &mut merge);
+            stats.nodes_read += shard_stats.nodes_read;
+            stats.objects_tested += shard_stats.objects_tested;
+            stats.reseeds += shard_stats.reseeds;
+        }
+        let merged = finish_knn(merge, k, &mut stats);
+        out.extend_from_slice(&merged);
+        scratch.knn_merge = merged;
+        stats
+    }
+
     fn memory_bytes(&self) -> usize {
         self.shards.iter().map(|s| s.memory_bytes()).sum::<usize>()
             + self.shards.len() * std::mem::size_of::<I>()
@@ -279,6 +356,10 @@ impl<I: SpatialIndex> SpatialIndex for ShardedIndex<I> {
 /// global page ids are shard-local ids offset by the page counts of the
 /// preceding shards.
 impl PagedIndex for ShardedIndex<FlatIndex<NeuronSegment>> {
+    /// One FLAT scratch serves every shard in turn: each shard's crawl
+    /// re-sizes the visited marks to its own page count on entry.
+    type Scratch = neurospatial_flat::FlatScratch;
+
     fn len(&self) -> usize {
         self.len
     }
@@ -309,6 +390,20 @@ impl PagedIndex for ShardedIndex<FlatIndex<NeuronSegment>> {
             offset += shard.page_count() as u32;
         }
         hits
+    }
+
+    fn paged_range_query_scratch<'a>(
+        &'a self,
+        region: &Aabb,
+        scratch: &mut Self::Scratch,
+        on_page: &mut dyn FnMut(u32),
+        out: &mut Vec<&'a NeuronSegment>,
+    ) {
+        let mut offset = 0u32;
+        for shard in &self.shards {
+            shard.paged_range_query_scratch(region, scratch, &mut |p| on_page(p + offset), out);
+            offset += shard.page_count() as u32;
+        }
     }
 }
 

@@ -147,8 +147,11 @@ impl<T: RTreeObject> FlatIndex<T> {
             .enumerate()
             .map(|(i, p)| PageEntry { mbr: p.mbr, page: i as u32 })
             .collect();
-        let seed_tree =
+        let mut seed_tree =
             RTree::bulk_load(entries, RTreeParams::with_max_entries(params.seed_fanout));
+        // The seed tree answers every query's seed descent and re-seed
+        // check, including the scratch paths: freeze its SoA lanes.
+        seed_tree.freeze();
         let seed_ms = t3.elapsed().as_secs_f64() * 1e3;
 
         let build_stats = FlatBuildStats {
@@ -184,35 +187,67 @@ fn build_neighborhoods(pages: &[FlatPage], bounds: Aabb, epsilon: f64) -> (Vec<u
     // bounded on degenerate inputs.
     let cells_per_axis = ((p as f64).cbrt().ceil() as usize).clamp(1, 256);
     let grid = GridIndexer::new(bounds, [cells_per_axis; 3]);
-    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); grid.len()];
+
+    // Grid buckets in flat CSR form (two counting passes) instead of a
+    // `Vec<Vec<u32>>` — one allocation for all cells rather than one per
+    // occupied cell, and membership runs are contiguous in memory.
+    let mut cell_offsets = vec![0u32; grid.len() + 1];
+    for page in pages {
+        grid.for_each_cell_in(&page.mbr, |c| cell_offsets[c + 1] += 1);
+    }
+    for c in 0..grid.len() {
+        cell_offsets[c + 1] += cell_offsets[c];
+    }
+    let mut cell_ids = vec![0u32; cell_offsets[grid.len()] as usize];
+    let mut cursor = cell_offsets.clone();
     for (i, page) in pages.iter().enumerate() {
-        grid.for_each_cell_in(&page.mbr, |c| buckets[c].push(i as u32));
+        grid.for_each_cell_in(&page.mbr, |c| {
+            cell_ids[cursor[c] as usize] = i as u32;
+            cursor[c] += 1;
+        });
     }
 
-    let mut adjacency: Vec<Vec<u32>> = vec![Vec::new(); p];
+    // Discover undirected edges with one candidate buffer hoisted out of
+    // the per-page loop. Candidates are sorted + deduped, and each pair
+    // is tested once (at the lower id), so no duplicate edges arise.
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut cand: Vec<u32> = Vec::new();
     for (i, page) in pages.iter().enumerate() {
         let probe = page.mbr.inflate(epsilon);
-        let mut cand: Vec<u32> = Vec::new();
-        grid.for_each_cell_in(&probe, |c| cand.extend_from_slice(&buckets[c]));
+        cand.clear();
+        grid.for_each_cell_in(&probe, |c| {
+            cand.extend_from_slice(
+                &cell_ids[cell_offsets[c] as usize..cell_offsets[c + 1] as usize],
+            )
+        });
         cand.sort_unstable();
         cand.dedup();
         for &j in &cand {
             if j as usize > i && probe.intersects(&pages[j as usize].mbr) {
-                adjacency[i].push(j);
-                adjacency[j as usize].push(i as u32);
+                edges.push((i as u32, j));
+                edges.push((j, i as u32));
             }
         }
     }
 
-    // CSR: offsets + flattened, sorted adjacency lists.
-    let mut offsets = Vec::with_capacity(p + 1);
-    let mut ids = Vec::new();
-    offsets.push(0u32);
-    for mut adj in adjacency {
-        adj.sort_unstable();
-        adj.dedup();
-        ids.extend_from_slice(&adj);
-        offsets.push(ids.len() as u32);
+    // Counting-sort the edges by source page into the adjacency CSR. The
+    // discovery order above pushes each source's targets in ascending
+    // order (targets below `s` arrive during their own — earlier —
+    // iterations, targets above during `s`'s), and the counting sort is
+    // stable, so every adjacency run comes out sorted without per-list
+    // sorting.
+    let mut offsets = vec![0u32; p + 1];
+    for &(s, _) in &edges {
+        offsets[s as usize + 1] += 1;
+    }
+    for s in 0..p {
+        offsets[s + 1] += offsets[s];
+    }
+    let mut ids = vec![0u32; edges.len()];
+    let mut cursor = offsets.clone();
+    for &(s, t) in &edges {
+        ids[cursor[s as usize] as usize] = t;
+        cursor[s as usize] += 1;
     }
     (offsets, ids)
 }

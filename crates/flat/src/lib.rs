@@ -51,10 +51,11 @@
 //! ```
 
 mod build;
-mod query;
+pub mod query;
 pub mod stats;
 
 pub use build::{FlatBuildParams, PackingStrategy};
+pub use query::FlatScratch;
 pub use stats::{FlatBuildStats, FlatQueryStats, PageAccess};
 
 use neurospatial_geom::Aabb;

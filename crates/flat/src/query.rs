@@ -3,8 +3,36 @@
 use crate::stats::{FlatQueryStats, PageAccess};
 use crate::FlatIndex;
 use neurospatial_geom::Aabb;
-use neurospatial_rtree::RTreeObject;
+use neurospatial_rtree::{EpochMarks, RTreeObject, TraversalScratch};
 use std::collections::VecDeque;
+
+/// Reusable per-query state for FLAT's seed-and-crawl executor: the
+/// crawl front, the epoch-stamped visited-page marks (O(1) to reset
+/// between queries), and a seed-tree traversal scratch. One per thread,
+/// reused across a whole batch — steady-state queries allocate nothing.
+#[derive(Debug, Default)]
+pub struct FlatScratch {
+    /// BFS crawl front.
+    pub(crate) queue: VecDeque<u32>,
+    /// Visited-page marks (shared epoch-stamping helper from the rtree
+    /// crate, so the subtle wrap-around reset lives in one place).
+    pub(crate) visited: EpochMarks,
+    /// Scratch for the seed tree's descent and re-seed queries.
+    pub(crate) seed: TraversalScratch,
+}
+
+impl FlatScratch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Begin a query over `pages` pages: clear the crawl front and reset
+    /// the visited marks.
+    fn begin(&mut self, pages: usize) {
+        self.visited.begin(pages);
+        self.queue.clear();
+    }
+}
 
 impl<T: RTreeObject> FlatIndex<T> {
     /// All objects whose AABB intersects `q`.
@@ -96,6 +124,82 @@ impl<T: RTreeObject> FlatIndex<T> {
                     reseeded = true;
                 }
             }
+            if reseeded {
+                stats.reseeds += 1;
+            } else {
+                break;
+            }
+        }
+
+        stats
+    }
+
+    /// Allocation-free seed-and-crawl: the crawl front, visited marks and
+    /// seed-tree traversal state all live in `scratch`, reused across
+    /// queries. `on_page` fires once per data page read (the hook the
+    /// session simulator charges I/O through); seed-tree node accesses
+    /// are *counted* (`seed_nodes_read`) but not hooked, and
+    /// `crawl_order` is left empty — use
+    /// [`range_query_sink`](Self::range_query_sink) for the fully
+    /// instrumented path. Everything else (visit order, page reads,
+    /// objects tested, emission order, re-seeds) is identical.
+    pub fn range_query_scratch<'a, F: FnMut(u32), S: FnMut(&'a T)>(
+        &'a self,
+        q: &Aabb,
+        scratch: &mut FlatScratch,
+        mut on_page: F,
+        mut sink: S,
+    ) -> FlatQueryStats {
+        let mut stats = FlatQueryStats::default();
+        if self.pages.is_empty() {
+            return stats;
+        }
+        scratch.begin(self.pages.len());
+        let FlatScratch { queue, visited, seed, .. } = scratch;
+
+        // --- Seed ---------------------------------------------------------
+        let (seed_hit, seed_counters) = self.seed_tree.first_hit_scratch(q, seed);
+        stats.seed_nodes_read += seed_counters.nodes_visited;
+        let Some(first) = seed_hit else {
+            return stats;
+        };
+        visited.mark(first.page as usize);
+        queue.push_back(first.page);
+
+        // --- Crawl (with exactness-preserving re-seeding) ------------------
+        loop {
+            while let Some(page) = queue.pop_front() {
+                stats.pages_read += 1;
+                on_page(page);
+
+                for o in self.page_objects(page) {
+                    stats.objects_tested += 1;
+                    if o.aabb().intersects(q) {
+                        stats.results += 1;
+                        sink(o);
+                    }
+                }
+                for &n in self.neighbors_of(page) {
+                    if visited.is_marked(n as usize) {
+                        continue;
+                    }
+                    if self.pages[n as usize].mbr.intersects(q) {
+                        visited.mark(n as usize);
+                        queue.push_back(n);
+                    } else {
+                        stats.links_rejected += 1;
+                    }
+                }
+            }
+
+            let mut reseeded = false;
+            let reseed_counters = self.seed_tree.range_query_scratch(q, seed, |entry| {
+                if visited.mark(entry.page as usize) {
+                    queue.push_back(entry.page);
+                    reseeded = true;
+                }
+            });
+            stats.seed_nodes_read += reseed_counters.nodes_visited;
             if reseeded {
                 stats.reseeds += 1;
             } else {
@@ -226,6 +330,59 @@ mod tests {
         });
         assert_eq!(data, stats.pages_read);
         assert_eq!(seed, stats.seed_nodes_read);
+    }
+
+    #[test]
+    fn scratch_queries_match_allocating_queries() {
+        let objs = dense_cloud(4000);
+        let idx = FlatIndex::build(objs, FlatBuildParams::default().with_page_capacity(64));
+        let mut scratch = FlatScratch::default();
+        // Reuse one scratch across repeated passes: the epoch-stamped
+        // visited marks must stay exact on every query.
+        for pass in 0..3 {
+            for q in [
+                Aabb::cube(Vec3::new(10.0, 10.0, 5.0), 3.0),
+                Aabb::new(Vec3::splat(-50.0), Vec3::splat(50.0)),
+                Aabb::cube(Vec3::new(500.0, 0.0, 0.0), 2.0), // empty
+            ] {
+                let (want, stats) = idx.range_query(&q);
+                let mut got: Vec<&Aabb> = Vec::new();
+                let mut pages = Vec::new();
+                let c =
+                    idx.range_query_scratch(&q, &mut scratch, |p| pages.push(p), |o| got.push(o));
+                assert_eq!(got.len(), want.len(), "pass={pass} at {q}");
+                assert!(got.iter().zip(&want).all(|(a, b)| std::ptr::eq(*a, *b)), "order");
+                assert_eq!(pages, stats.crawl_order, "page visit order");
+                assert_eq!(c.pages_read, stats.pages_read, "pass={pass} at {q}");
+                assert_eq!(c.seed_nodes_read, stats.seed_nodes_read);
+                assert_eq!(c.objects_tested, stats.objects_tested);
+                assert_eq!(c.results, stats.results);
+                assert_eq!(c.links_rejected, stats.links_rejected);
+                assert_eq!(c.reseeds, stats.reseeds);
+                assert!(c.crawl_order.is_empty(), "scratch path skips crawl recording");
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reseeding_still_exact_on_disconnected_data() {
+        let mut objs = Vec::new();
+        for i in 0..512 {
+            objs.push(Aabb::cube(Vec3::new((i % 10) as f64, ((i / 10) % 10) as f64, 0.0), 0.6));
+        }
+        for i in 0..512 {
+            objs.push(Aabb::cube(
+                Vec3::new(1000.0 + (i % 10) as f64, ((i / 10) % 10) as f64, 0.0),
+                0.6,
+            ));
+        }
+        let idx = FlatIndex::build(objs, FlatBuildParams::default().with_page_capacity(32));
+        let q = Aabb::new(Vec3::new(-5.0, -5.0, -5.0), Vec3::new(1015.0, 15.0, 5.0));
+        let mut scratch = FlatScratch::default();
+        let mut hits = 0usize;
+        let c = idx.range_query_scratch(&q, &mut scratch, |_| {}, |_| hits += 1);
+        assert_eq!(hits, 1024);
+        assert!(c.reseeds >= 1, "gap must trigger a re-seed on the scratch path too");
     }
 
     #[test]

@@ -11,8 +11,10 @@ use crate::{NodeId, RTree};
 use neurospatial_geom::Aabb;
 
 impl<T: RTreeObject> RTree<T> {
-    /// Insert one object.
+    /// Insert one object. Drops the frozen SoA traversal layout (rebuild
+    /// with [`RTree::freeze`] once the batch of mutations is done).
     pub fn insert(&mut self, obj: T) {
+        self.soa = None;
         let bb = obj.aabb();
         debug_assert!(bb.is_valid(), "object AABB must be valid");
         let leaf = self.choose_leaf(bb);

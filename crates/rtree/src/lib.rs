@@ -42,6 +42,7 @@ pub mod params;
 pub mod query;
 pub mod remove;
 pub mod rplus;
+pub mod soa;
 pub mod str_pack;
 pub mod validation;
 
@@ -49,9 +50,11 @@ pub use node::{NodeId, RTreeObject};
 pub use params::{RTreeParams, SplitStrategy};
 pub use query::{KnnResult, QueryStats};
 pub use rplus::RPlusTree;
+pub use soa::{EpochMarks, TraversalCounters, TraversalScratch};
 
 use neurospatial_geom::Aabb;
 use node::Node;
+use soa::SoaArena;
 
 /// An arena-allocated R-Tree over objects of type `T`.
 #[derive(Debug, Clone)]
@@ -64,6 +67,10 @@ pub struct RTree<T: RTreeObject> {
     pub(crate) height: usize,
     /// Free list of recycled arena slots (from deletions).
     pub(crate) free: Vec<NodeId>,
+    /// Frozen structure-of-arrays traversal layout (see [`soa`]). Built
+    /// by [`bulk_load`](Self::bulk_load) / [`freeze`](Self::freeze),
+    /// dropped by any mutation.
+    pub(crate) soa: Option<SoaArena>,
 }
 
 impl<T: RTreeObject> RTree<T> {
@@ -71,14 +78,41 @@ impl<T: RTreeObject> RTree<T> {
     pub fn new(params: RTreeParams) -> Self {
         params.validate();
         let root_node = Node::new_leaf();
-        RTree { nodes: vec![root_node], root: 0, params, len: 0, height: 1, free: Vec::new() }
+        RTree {
+            nodes: vec![root_node],
+            root: 0,
+            params,
+            len: 0,
+            height: 1,
+            free: Vec::new(),
+            soa: None,
+        }
     }
 
     /// Bulk load with Sort-Tile-Recursive packing. The fastest way to
-    /// build, and produces minimal-overlap trees for static data.
+    /// build, and produces minimal-overlap trees for static data. Call
+    /// [`freeze`](Self::freeze) afterwards if the tree will serve scratch
+    /// queries — freezing is not automatic, so builds that only walk the
+    /// tree directly (e.g. the TOUCH join's partitioning tree) pay
+    /// neither the SoA construction time nor its memory.
     pub fn bulk_load(objects: Vec<T>, params: RTreeParams) -> Self {
         params.validate();
         str_pack::bulk_load(objects, params)
+    }
+
+    /// (Re)build the structure-of-arrays traversal layout. Idempotent;
+    /// O(n). Call after a batch of `insert`/`remove` calls to restore
+    /// cache-friendly scratch queries (they fall back to a pointer walk
+    /// on unfrozen trees).
+    pub fn freeze(&mut self) {
+        if self.soa.is_none() && !self.is_empty() {
+            self.soa = Some(SoaArena::build(self));
+        }
+    }
+
+    /// Whether the SoA traversal layout is current.
+    pub fn is_frozen(&self) -> bool {
+        self.soa.is_some()
     }
 
     /// Number of objects stored.
@@ -114,6 +148,7 @@ impl<T: RTreeObject> RTree<T> {
     /// the join experiments' memory comparisons.
     pub fn memory_bytes(&self) -> usize {
         let mut total = self.nodes.capacity() * std::mem::size_of::<Node<T>>();
+        total += self.soa.as_ref().map_or(0, |s| s.memory_bytes());
         for n in &self.nodes {
             match &n.kind {
                 node::NodeKind::Leaf(items) => {

@@ -7,6 +7,7 @@
 //! charge simulated page reads.
 
 use crate::node::{NodeKind, RTreeObject};
+use crate::soa::{TraversalCounters, TraversalScratch};
 use crate::{NodeId, RTree};
 use neurospatial_geom::{Aabb, Vec3};
 use std::cmp::Ordering;
@@ -29,10 +30,18 @@ impl QueryStats {
     }
 
     fn bump(&mut self, level: usize) {
+        // Guard only: every query pre-sizes the vector to the tree height
+        // up front (`presize`), so the hot path never reallocates here.
         if self.nodes_per_level.len() <= level {
             self.nodes_per_level.resize(level + 1, 0);
         }
         self.nodes_per_level[level] += 1;
+    }
+
+    /// Size the per-level counters to the tree height once, at query
+    /// start, instead of growing the vector visit by visit.
+    fn presize(&mut self, height: usize) {
+        self.nodes_per_level.resize(height, 0);
     }
 }
 
@@ -52,7 +61,8 @@ struct HeapEntry {
 
 impl PartialEq for HeapEntry {
     fn eq(&self, o: &Self) -> bool {
-        self.dist == o.dist
+        // Consistent with the `Ord` below (total order, NaN-safe).
+        self.dist.total_cmp(&o.dist) == Ordering::Equal
     }
 }
 impl Eq for HeapEntry {}
@@ -63,8 +73,14 @@ impl PartialOrd for HeapEntry {
 }
 impl Ord for HeapEntry {
     fn cmp(&self, o: &Self) -> Ordering {
-        // Reverse: smallest distance first.
-        o.dist.partial_cmp(&self.dist).unwrap_or(Ordering::Equal)
+        // Reverse: smallest distance first. `total_cmp` (not
+        // `partial_cmp(..).unwrap_or(Equal)`): a NaN distance — e.g. from
+        // a degenerate `Aabb::EMPTY` MBR, whose infinities cancel in the
+        // distance arithmetic — must not compare `Equal` to everything,
+        // which would silently corrupt the heap's ordering invariant. In
+        // the IEEE total order NaN sorts above +∞, so NaN entries sink to
+        // the back of the frontier instead of scrambling it.
+        o.dist.total_cmp(&self.dist)
     }
 }
 
@@ -87,6 +103,7 @@ impl<T: RTreeObject> RTree<T> {
         if self.is_empty() || !self.nodes[self.root].mbr.intersects(q) {
             return (out, stats);
         }
+        stats.presize(self.height);
         let mut stack: Vec<(NodeId, usize)> = vec![(self.root, 0)];
         while let Some((id, level)) = stack.pop() {
             stats.bump(level);
@@ -132,6 +149,7 @@ impl<T: RTreeObject> RTree<T> {
         if self.is_empty() || !self.nodes[self.root].mbr.intersects(q) {
             return (None, stats);
         }
+        stats.presize(self.height);
         let qc = q.center();
         let mut stack: Vec<(NodeId, usize)> = vec![(self.root, 0)];
         while let Some((id, level)) = stack.pop() {
@@ -168,15 +186,175 @@ impl<T: RTreeObject> RTree<T> {
         (None, stats)
     }
 
+    /// Allocation-free range query: every object whose AABB intersects
+    /// `q` is delivered to `sink`, traversal state lives in `scratch`
+    /// (reused across queries), and the returned counters are plain
+    /// `Copy` data. On a [frozen](RTree::freeze) tree the child-MBR tests
+    /// scan the contiguous SoA lanes; on an unfrozen tree an iterative
+    /// pointer walk with the same visit order is used. Node visits,
+    /// entries tested, results and emission order are identical to
+    /// [`range_query`](Self::range_query) either way.
+    pub fn range_query_scratch<'a, S: FnMut(&'a T)>(
+        &'a self,
+        q: &Aabb,
+        scratch: &mut TraversalScratch,
+        mut sink: S,
+    ) -> TraversalCounters {
+        let mut c = TraversalCounters::default();
+        if self.is_empty() || !self.nodes[self.root].mbr.intersects(q) {
+            return c;
+        }
+        scratch.stack.clear();
+        match &self.soa {
+            Some(soa) => {
+                scratch.stack.push(soa.root());
+                while let Some(n) = scratch.stack.pop() {
+                    c.nodes_visited += 1;
+                    let (s, e) = soa.entries(n);
+                    if soa.is_leaf(n) {
+                        let items = self.leaf_objects(soa.orig(n));
+                        for i in s..e {
+                            c.leaf_entries_tested += 1;
+                            if soa.entry_intersects(i, q) {
+                                c.results += 1;
+                                sink(&items[i - s]);
+                            }
+                        }
+                    } else {
+                        for i in s..e {
+                            if soa.entry_intersects(i, q) {
+                                scratch.stack.push(soa.entry_ref(i));
+                            }
+                        }
+                    }
+                }
+            }
+            None => {
+                scratch.stack.push(self.root as u32);
+                while let Some(id) = scratch.stack.pop() {
+                    c.nodes_visited += 1;
+                    match &self.nodes[id as usize].kind {
+                        NodeKind::Leaf(items) => {
+                            for o in items {
+                                c.leaf_entries_tested += 1;
+                                if o.aabb().intersects(q) {
+                                    c.results += 1;
+                                    sink(o);
+                                }
+                            }
+                        }
+                        NodeKind::Inner(children) => {
+                            for &ch in children {
+                                if self.nodes[ch].mbr.intersects(q) {
+                                    scratch.stack.push(ch as u32);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        c
+    }
+
+    /// Allocation-free [`first_hit`](Self::first_hit): same best-first
+    /// descent, with the candidate ordering buffer and stack borrowed
+    /// from `scratch`.
+    pub fn first_hit_scratch<'a>(
+        &'a self,
+        q: &Aabb,
+        scratch: &mut TraversalScratch,
+    ) -> (Option<&'a T>, TraversalCounters) {
+        let mut c = TraversalCounters::default();
+        if self.is_empty() || !self.nodes[self.root].mbr.intersects(q) {
+            return (None, c);
+        }
+        let qc = q.center();
+        scratch.stack.clear();
+        match &self.soa {
+            Some(soa) => {
+                scratch.stack.push(soa.root());
+                while let Some(n) = scratch.stack.pop() {
+                    c.nodes_visited += 1;
+                    let (s, e) = soa.entries(n);
+                    if soa.is_leaf(n) {
+                        let items = self.leaf_objects(soa.orig(n));
+                        for i in s..e {
+                            c.leaf_entries_tested += 1;
+                            if soa.entry_intersects(i, q) {
+                                c.results = 1;
+                                return (Some(&items[i - s]), c);
+                            }
+                        }
+                    } else {
+                        // Push farthest-first so the closest child pops
+                        // first — the same ordering (and the same centre
+                        // arithmetic) as the pointer path.
+                        scratch.cand.clear();
+                        scratch.cand.extend(
+                            (s..e).filter(|&i| soa.entry_intersects(i, q)).map(|i| i as u32),
+                        );
+                        scratch.cand.sort_by(|&a, &b| {
+                            let da = soa.entry_center(a as usize).distance_sq(qc);
+                            let db = soa.entry_center(b as usize).distance_sq(qc);
+                            db.partial_cmp(&da).unwrap_or(Ordering::Equal)
+                        });
+                        for i in 0..scratch.cand.len() {
+                            scratch.stack.push(soa.entry_ref(scratch.cand[i] as usize));
+                        }
+                    }
+                }
+            }
+            None => {
+                scratch.stack.push(self.root as u32);
+                while let Some(id) = scratch.stack.pop() {
+                    c.nodes_visited += 1;
+                    match &self.nodes[id as usize].kind {
+                        NodeKind::Leaf(items) => {
+                            for o in items {
+                                c.leaf_entries_tested += 1;
+                                if o.aabb().intersects(q) {
+                                    c.results = 1;
+                                    return (Some(o), c);
+                                }
+                            }
+                        }
+                        NodeKind::Inner(children) => {
+                            scratch.cand.clear();
+                            scratch.cand.extend(
+                                children
+                                    .iter()
+                                    .filter(|&&ch| self.nodes[ch].mbr.intersects(q))
+                                    .map(|&ch| ch as u32),
+                            );
+                            scratch.cand.sort_by(|&a, &b| {
+                                let da = self.nodes[a as usize].mbr.center().distance_sq(qc);
+                                let db = self.nodes[b as usize].mbr.center().distance_sq(qc);
+                                db.partial_cmp(&da).unwrap_or(Ordering::Equal)
+                            });
+                            for i in 0..scratch.cand.len() {
+                                scratch.stack.push(scratch.cand[i]);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        (None, c)
+    }
+
     /// Best-first k-nearest-neighbour search from a point (distances are
     /// AABB distances — exact refinement is the caller's concern, as
     /// everywhere else in the filter/refine pipeline).
+    // `!(d > kth)` is deliberate NaN handling, not a spelled-out `<=`.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
     pub fn knn(&self, p: Vec3, k: usize) -> (Vec<KnnResult<'_, T>>, QueryStats) {
         let mut stats = QueryStats::default();
         let mut out: Vec<KnnResult<'_, T>> = Vec::with_capacity(k);
         if self.is_empty() || k == 0 {
             return (out, stats);
         }
+        stats.presize(self.height);
         // Two heaps: node frontier (min-dist) and current best results.
         let mut frontier = BinaryHeap::new();
         frontier.push(HeapEntry {
@@ -218,7 +396,12 @@ impl<T: RTreeObject> RTree<T> {
                 NodeKind::Inner(children) => {
                     for &c in children {
                         let d = self.nodes[c].mbr.min_distance_to_point(p);
-                        if d <= kth(&out) {
+                        // `!(d > kth)` rather than `d <= kth`: identical
+                        // for finite distances, but a NaN distance (a
+                        // query point derived from a degenerate AABB)
+                        // counts as "unknown — explore", not "prune",
+                        // so the search still terminates with k results.
+                        if !(d > kth(&out)) {
                             frontier.push(HeapEntry { dist: d, node: c });
                         }
                     }
@@ -362,6 +545,80 @@ mod tests {
         assert!(empty.knn(Vec3::ZERO, 3).0.is_empty());
         assert!(empty.range_query(&Aabb::cube(Vec3::ZERO, 1.0)).0.is_empty());
         assert!(empty.first_hit(&Aabb::cube(Vec3::ZERO, 1.0)).0.is_none());
+    }
+
+    #[test]
+    fn knn_survives_nan_distances() {
+        // Regression for the `HeapEntry` ordering: with
+        // `partial_cmp(..).unwrap_or(Equal)` a NaN frontier distance
+        // compared Equal to everything and silently corrupted the heap's
+        // best-first order. A NaN query point makes *every* distance NaN
+        // (the degenerate/NaN-prone extreme); a partially-NaN point mixes
+        // NaN and finite distances in one frontier. Both must terminate
+        // and return exactly k results without panicking, and with
+        // `total_cmp` the finite distances must still come out ascending.
+        let (t, objs) = grid_tree(400, 8);
+        for p in [
+            Vec3::new(f64::NAN, f64::NAN, f64::NAN),
+            Vec3::new(f64::NAN, 5.0, 1.0),
+            Vec3::new(7.0, f64::NAN, 0.0),
+        ] {
+            let (got, stats) = t.knn(p, 6);
+            assert_eq!(got.len(), 6, "query point {p}");
+            assert_eq!(stats.results, 6);
+            let finite: Vec<f64> =
+                got.iter().map(|r| r.distance).filter(|d| d.is_finite()).collect();
+            for w in finite.windows(2) {
+                assert!(w[0] <= w[1], "finite distances must stay sorted at {p}");
+            }
+        }
+        // The realistic source of such a point: the centre of a
+        // degenerate (EMPTY) AABB is ∞ + -∞ = NaN on every axis.
+        let p = Aabb::EMPTY.center();
+        assert!(p.x.is_nan());
+        let (got, _) = t.knn(p, 3);
+        assert_eq!(got.len(), 3, "NaN-prone degenerate-AABB query point");
+        let _ = objs;
+    }
+
+    #[test]
+    fn scratch_queries_match_allocating_queries() {
+        let (mut t, objs) = grid_tree(2500, 16);
+        t.freeze();
+        let queries = [
+            Aabb::new(Vec3::ZERO, Vec3::splat(6.0)),
+            Aabb::cube(Vec3::new(18.0, 18.0, 3.0), 4.0),
+            Aabb::cube(Vec3::new(-100.0, 0.0, 0.0), 1.0), // empty
+            Aabb::new(Vec3::splat(-100.0), Vec3::splat(100.0)), // everything
+        ];
+        let mut scratch = TraversalScratch::default();
+        // Frozen (SoA lanes) and unfrozen (pointer fallback) give the
+        // same answers, in the same emission order, with the same counts.
+        for frozen in [true, false] {
+            if !frozen {
+                t.soa = None;
+            }
+            for q in &queries {
+                let (want, stats) = t.range_query(q);
+                let mut got: Vec<&Aabb> = Vec::new();
+                let c = t.range_query_scratch(q, &mut scratch, |o| got.push(o));
+                assert_eq!(got.len(), want.len(), "frozen={frozen} at {q}");
+                assert!(got.iter().zip(&want).all(|(a, b)| std::ptr::eq(*a, *b)), "order");
+                assert_eq!(c.nodes_visited, stats.nodes_visited(), "frozen={frozen} at {q}");
+                assert_eq!(c.leaf_entries_tested, stats.leaf_entries_tested);
+                assert_eq!(c.results, stats.results);
+
+                let (want_hit, hit_stats) = t.first_hit(q);
+                let (got_hit, hc) = t.first_hit_scratch(q, &mut scratch);
+                assert_eq!(got_hit.is_some(), want_hit.is_some(), "frozen={frozen}");
+                if let (Some(a), Some(b)) = (got_hit, want_hit) {
+                    assert!(std::ptr::eq(a, b), "same first hit");
+                }
+                assert_eq!(hc.nodes_visited, hit_stats.nodes_visited());
+                assert_eq!(hc.leaf_entries_tested, hit_stats.leaf_entries_tested);
+            }
+        }
+        assert_eq!(objs.len(), t.len());
     }
 
     #[test]

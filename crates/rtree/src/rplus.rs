@@ -12,6 +12,7 @@
 
 use crate::node::RTreeObject;
 use crate::query::QueryStats;
+use crate::soa::{TraversalCounters, TraversalScratch};
 use neurospatial_geom::Aabb;
 
 /// Node id within the R+ arena.
@@ -172,6 +173,7 @@ impl<T: RTreeObject> RPlusTree<T> {
         if self.objects.is_empty() || !self.nodes[self.root].region().intersects(q) {
             return (out, stats);
         }
+        stats.nodes_per_level.resize(self.height, 0);
         let mut emitted = vec![false; self.objects.len()];
         let mut stack = vec![(self.root, 0usize)];
         while let Some((id, level)) = stack.pop() {
@@ -200,6 +202,51 @@ impl<T: RTreeObject> RPlusTree<T> {
         }
         stats.results = out.len() as u64;
         (out, stats)
+    }
+
+    /// Allocation-free range query: replica de-duplication uses the
+    /// scratch's epoch-stamped marks (O(1) to reset between queries)
+    /// instead of a fresh `vec![false; n]`, and the traversal stack is
+    /// reused. Visits, tests, results and emission order are identical
+    /// to [`range_query`](Self::range_query).
+    pub fn range_query_scratch<'a, S: FnMut(&'a T)>(
+        &'a self,
+        q: &Aabb,
+        scratch: &mut TraversalScratch,
+        mut sink: S,
+    ) -> TraversalCounters {
+        let mut c = TraversalCounters::default();
+        if self.objects.is_empty() || !self.nodes[self.root].region().intersects(q) {
+            return c;
+        }
+        scratch.dedup.begin(self.objects.len());
+        scratch.stack.clear();
+        scratch.stack.push(self.root as u32);
+        while let Some(id) = scratch.stack.pop() {
+            c.nodes_visited += 1;
+            match &self.nodes[id as usize] {
+                RPlusNode::Leaf { objects, .. } => {
+                    for &i in objects {
+                        c.leaf_entries_tested += 1;
+                        if !scratch.dedup.is_marked(i as usize)
+                            && self.objects[i as usize].aabb().intersects(q)
+                        {
+                            scratch.dedup.mark(i as usize);
+                            c.results += 1;
+                            sink(&self.objects[i as usize]);
+                        }
+                    }
+                }
+                RPlusNode::Inner { children, .. } => {
+                    for &ch in children {
+                        if self.nodes[ch].region().intersects(q) {
+                            scratch.stack.push(ch as u32);
+                        }
+                    }
+                }
+            }
+        }
+        c
     }
 
     /// Verify the R+ invariant: sibling regions are interior-disjoint and
@@ -298,6 +345,30 @@ mod tests {
         let (hits, _) = t.range_query(&Aabb::cube(Vec3::ONE, 0.5));
         assert_eq!(hits.len(), 100);
         t.validate().unwrap();
+    }
+
+    #[test]
+    fn scratch_queries_match_allocating_queries() {
+        let t = RPlusTree::build(overlapping_boxes(1500), 16);
+        let mut scratch = TraversalScratch::default();
+        // Repeated reuse of one scratch across many queries: the epoch
+        // trick must keep de-duplication exact on every pass.
+        for pass in 0..3 {
+            for q in [
+                Aabb::cube(Vec3::new(10.0, 10.0, 2.0), 3.0),
+                Aabb::new(Vec3::splat(-10.0), Vec3::splat(50.0)),
+                Aabb::cube(Vec3::new(500.0, 0.0, 0.0), 5.0), // empty
+            ] {
+                let (want, stats) = t.range_query(&q);
+                let mut got: Vec<&Aabb> = Vec::new();
+                let c = t.range_query_scratch(&q, &mut scratch, |o| got.push(o));
+                assert_eq!(got.len(), want.len(), "pass={pass} at {q}");
+                assert!(got.iter().zip(&want).all(|(a, b)| std::ptr::eq(*a, *b)), "order");
+                assert_eq!(c.nodes_visited, stats.nodes_visited(), "pass={pass} at {q}");
+                assert_eq!(c.leaf_entries_tested, stats.leaf_entries_tested);
+                assert_eq!(c.results, stats.results);
+            }
+        }
     }
 
     #[test]

@@ -73,7 +73,7 @@ pub fn bulk_load<T: RTreeObject>(objects: Vec<T>, params: RTreeParams) -> RTree<
             NodeKind::Inner(_) => 0,
         })
         .sum();
-    RTree { nodes, root, params, len, height, free: Vec::new() }
+    RTree { nodes, root, params, len, height, free: Vec::new(), soa: None }
 }
 
 /// Recursively tile `items` (center, payload) into runs of at most `cap`

@@ -9,13 +9,20 @@
 //! `Box<dyn SpatialIndex>`-style pluggable without coupling this crate
 //! to the facade's trait.
 
-use neurospatial_flat::{FlatIndex, PageAccess};
+use neurospatial_flat::{FlatIndex, FlatScratch, PageAccess};
 use neurospatial_geom::Aabb;
 use neurospatial_model::NeuronSegment;
 
 /// A spatial index with page-granular I/O, as required by the session
 /// simulator and the prefetchers.
 pub trait PagedIndex {
+    /// Reusable per-query working state for
+    /// [`paged_range_query_scratch`](Self::paged_range_query_scratch).
+    /// The session simulator creates one per walkthrough and reuses it
+    /// across every step, so steady-state steps stop allocating
+    /// traversal state. Indexes with no reusable state can use `()`.
+    type Scratch: Default;
+
     /// Number of indexed segments.
     fn len(&self) -> usize;
 
@@ -38,9 +45,28 @@ pub trait PagedIndex {
         region: &Aabb,
         on_page: &mut dyn FnMut(u32),
     ) -> Vec<&'a NeuronSegment>;
+
+    /// Buffer-reusing form of
+    /// [`paged_range_query`](Self::paged_range_query): matches append to
+    /// `out`, per-query traversal state lives in `scratch`. Same page
+    /// visit order, same matches. The default ignores the scratch and
+    /// delegates; FLAT (monolithic and sharded) overrides with its
+    /// allocation-free crawl.
+    fn paged_range_query_scratch<'a>(
+        &'a self,
+        region: &Aabb,
+        scratch: &mut Self::Scratch,
+        on_page: &mut dyn FnMut(u32),
+        out: &mut Vec<&'a NeuronSegment>,
+    ) {
+        let _ = scratch;
+        out.extend(self.paged_range_query(region, on_page));
+    }
 }
 
 impl PagedIndex for FlatIndex<NeuronSegment> {
+    type Scratch = FlatScratch;
+
     fn len(&self) -> usize {
         FlatIndex::len(self)
     }
@@ -64,6 +90,16 @@ impl PagedIndex for FlatIndex<NeuronSegment> {
             }
         });
         hits
+    }
+
+    fn paged_range_query_scratch<'a>(
+        &'a self,
+        region: &Aabb,
+        scratch: &mut FlatScratch,
+        on_page: &mut dyn FnMut(u32),
+        out: &mut Vec<&'a NeuronSegment>,
+    ) {
+        self.range_query_scratch(region, scratch, on_page, |o| out.push(o));
     }
 }
 

@@ -156,36 +156,47 @@ impl<I: PagedIndex> ExplorationSession<I> {
         // have not yet served a demand access.
         let mut pending_prefetch: HashMap<u32, ()> = HashMap::new();
         let mut history: Vec<Vec3> = Vec::with_capacity(path.queries.len());
+        // Per-step buffers and index scratch, reused across the whole
+        // walkthrough: after the first step has sized them, the steps'
+        // demand phase stops allocating.
+        let mut index_scratch = I::Scratch::default();
+        let mut pages_read: Vec<u32> = Vec::new();
+        let mut result: Vec<&NeuronSegment> = Vec::new();
 
         for q in &path.queries {
             history.push(q.center());
             let mut trace = QueryTrace::default();
 
             // --- Demand phase: run the query, stalling on misses --------
-            let mut pages_read: Vec<u32> = Vec::new();
-            let result = self.index.paged_range_query(q, &mut |p| {
-                pages_read.push(p);
-                trace.pages_demanded += 1;
-                let cost = pool
-                    .get(PageId(p as u64), &disk)
-                    .expect("unbounded simulated disk cannot fail");
-                if cost > 0.0 {
-                    trace.demand_misses += 1;
-                    trace.stall_ms += cost;
-                } else {
-                    trace.demand_hits += 1;
-                    if pending_prefetch.remove(&p).is_some() {
-                        stats.useful_prefetched += 1;
+            pages_read.clear();
+            result.clear();
+            self.index.paged_range_query_scratch(
+                q,
+                &mut index_scratch,
+                &mut |p| {
+                    pages_read.push(p);
+                    trace.pages_demanded += 1;
+                    let cost = pool
+                        .get(PageId(p as u64), &disk)
+                        .expect("unbounded simulated disk cannot fail");
+                    if cost > 0.0 {
+                        trace.demand_misses += 1;
+                        trace.stall_ms += cost;
+                    } else {
+                        trace.demand_hits += 1;
+                        if pending_prefetch.remove(&p).is_some() {
+                            stats.useful_prefetched += 1;
+                        }
                     }
-                }
-            });
+                },
+                &mut result,
+            );
             trace.results = result.len() as u64;
 
             // --- Think time: background prefetching ----------------------
-            let result_refs: Vec<&NeuronSegment> = result;
             let ctx = PrefetchContext {
                 query: q,
-                result: &result_refs,
+                result: &result,
                 history: &history,
                 pages_read: &pages_read,
             };

@@ -203,6 +203,10 @@ fn probe_range<T: JoinObject>(
     let mut stats = ProbeStats::default();
     let mut pairs = Vec::new();
     let mut scratch: Vec<NodeId> = Vec::new();
+    // Join-descent stack, hoisted out of the per-object loop: allocating
+    // it afresh for every B-object made the probe phase's allocation
+    // count scale with |B|.
+    let mut stack: Vec<NodeId> = Vec::new();
 
     for j in range {
         let fb = b[j].aabb().inflate(eps);
@@ -246,7 +250,8 @@ fn probe_range<T: JoinObject>(
         stats.assignment.record(depth);
 
         // --- Join within the assigned subtree ------------------------
-        let mut stack = vec![start];
+        stack.clear();
+        stack.push(start);
         while let Some(n) = stack.pop() {
             match tree.node_children(n) {
                 Some(children) => {

@@ -1,0 +1,203 @@
+//! The hot-path equivalence property suite: the allocation-free
+//! `*_into_scratch` query paths must be **byte-identical** — same result
+//! segments, in the same order, with the same unified statistics — to the
+//! allocating paths, for every backend, monolithic and sharded, across
+//! random circuits, random segment soups, and repeated reuse of one
+//! scratch over many queries (the epoch-stamped visited marks must never
+//! leak state from one query into the next).
+//!
+//! This is the contract that lets servers and benches switch to the
+//! scratch paths without re-validating answers: the fast lane is not a
+//! different query engine, just a different memory discipline.
+
+use neurospatial::prelude::*;
+use proptest::prelude::*;
+
+/// Every backend configuration under test: the four monolithic backends
+/// plus a sharded executor over each.
+fn all_configs(
+    segments: &[NeuronSegment],
+    params: &IndexParams,
+) -> Vec<(String, Box<dyn SpatialIndex>)> {
+    let mut out: Vec<(String, Box<dyn SpatialIndex>)> = Vec::new();
+    for b in IndexBackend::ALL {
+        out.push((b.name().to_string(), b.build(segments.to_vec(), params)));
+        out.push((b.sharded_name(), b.build_sharded(segments.to_vec(), params)));
+    }
+    out
+}
+
+/// The shared checker: one scratch reused across every query of every
+/// backend, two passes over the query list (pass 2 runs with buffers the
+/// earlier queries already dirtied — exactly the steady state hot loops
+/// run in).
+fn assert_scratch_paths_match(
+    segments: &[NeuronSegment],
+    queries: &[Aabb],
+    params: &IndexParams,
+) -> Result<(), TestCaseError> {
+    let mut scratch = QueryScratch::new();
+    let mut buf: Vec<NeuronSegment> = Vec::new();
+    for (name, index) in all_configs(segments, params) {
+        for pass in 0..2 {
+            for q in queries {
+                let want = index.range_query(q);
+                buf.clear();
+                let stats = index.range_query_into_scratch(q, &mut scratch, &mut buf);
+                prop_assert_eq!(
+                    stats,
+                    want.stats,
+                    "{} pass {}: scratch stats diverge at {}",
+                    &name,
+                    pass,
+                    q
+                );
+                prop_assert_eq!(buf.len(), want.segments.len(), "{} at {}", &name, q);
+                for (got, expected) in buf.iter().zip(&want.segments) {
+                    prop_assert_eq!(got.id, expected.id, "{} order diverges at {}", &name, q);
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn segment_soup() -> impl Strategy<Value = Vec<NeuronSegment>> {
+    prop::collection::vec(
+        ((-60.0..60.0, -60.0..60.0, -60.0..60.0), (-8.0..8.0, -8.0..8.0, -8.0..8.0), 0.05..2.0f64),
+        0..220,
+    )
+    .prop_map(|entries| {
+        entries
+            .into_iter()
+            .enumerate()
+            .map(|(i, ((x, y, z), (dx, dy, dz), r))| {
+                let p0 = Vec3::new(x, y, z);
+                NeuronSegment {
+                    id: i as u64,
+                    neuron: (i % 5) as u32,
+                    section: (i % 4) as u32,
+                    index_on_section: i as u32,
+                    geom: Segment::new(p0, p0 + Vec3::new(dx, dy, dz), r),
+                }
+            })
+            .collect()
+    })
+}
+
+fn query_box() -> impl Strategy<Value = Aabb> {
+    ((-80.0..80.0, -80.0..80.0, -80.0..80.0), 0.5..50.0f64)
+        .prop_map(|((x, y, z), r)| Aabb::cube(Vec3::new(x, y, z), r))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The ISSUE 3 acceptance property: buffer-reusing queries are
+    /// byte-identical to the allocating path on every backend, monolithic
+    /// and sharded, across random circuits and repeated scratch reuse.
+    #[test]
+    fn scratch_paths_match_on_random_circuits(
+        seed in 0u64..3000,
+        neurons in 2u32..8,
+        half in 2.0..45.0f64,
+        cap in 8usize..80,
+        shards in 1usize..7,
+        threads in 1usize..4,
+    ) {
+        let c = CircuitBuilder::new(seed).neurons(neurons).build();
+        let params = IndexParams::with_page_capacity(cap).sharded(shards).threaded(threads);
+        let queries = [
+            Aabb::cube(c.bounds().center(), half),
+            Aabb::cube(c.segments()[0].geom.center(), half), // non-empty result
+            Aabb::EMPTY,
+        ];
+        assert_scratch_paths_match(c.segments(), &queries, &params)?;
+    }
+
+    #[test]
+    fn scratch_paths_match_on_random_soups(
+        segments in segment_soup(),
+        queries in prop::collection::vec(query_box(), 1..6),
+        shards in 1usize..7,
+    ) {
+        let params = IndexParams::with_page_capacity(16).sharded(shards).threaded(2);
+        assert_scratch_paths_match(&segments, &queries, &params)?;
+    }
+
+    /// KNN through the scratch path returns the identical canonical
+    /// neighbour list and statistics as the allocating `knn` on every
+    /// backend (the sequential sharded merge must agree with the
+    /// parallel one).
+    #[test]
+    fn scratch_knn_matches_allocating_knn(
+        segments in segment_soup(),
+        (px, py, pz) in (-70.0..70.0, -70.0..70.0, -70.0..70.0),
+        k in 0usize..30,
+        shards in 1usize..6,
+        threads in 1usize..4,
+    ) {
+        let p = Vec3::new(px, py, pz);
+        let params = IndexParams::with_page_capacity(16).sharded(shards).threaded(threads);
+        let mut scratch = QueryScratch::new();
+        let mut out: Vec<Neighbor> = Vec::new();
+        for (name, index) in all_configs(&segments, &params) {
+            let (want, want_stats) = index.knn(p, k);
+            for pass in 0..2 {
+                out.clear();
+                let stats = index.knn_into_scratch(p, k, &mut scratch, &mut out);
+                prop_assert_eq!(stats, want_stats, "{} pass {}: knn stats", &name, pass);
+                prop_assert_eq!(out.len(), want.len(), "{}", &name);
+                for (got, expected) in out.iter().zip(&want) {
+                    prop_assert_eq!(got.segment.id, expected.segment.id, "{} knn order", &name);
+                    prop_assert!(
+                        got.distance.to_bits() == expected.distance.to_bits(),
+                        "{} knn distances byte-identical", &name
+                    );
+                }
+            }
+        }
+    }
+
+    /// Batched queries (which reuse one scratch per worker under the
+    /// hood) agree with one-at-a-time allocating queries, in input order.
+    #[test]
+    fn batched_queries_match_singles(
+        segments in segment_soup(),
+        queries in prop::collection::vec(query_box(), 1..5),
+        shards in 1usize..6,
+        threads in 1usize..4,
+    ) {
+        let params = IndexParams::with_page_capacity(24).sharded(shards).threaded(threads);
+        for (name, index) in all_configs(&segments, &params) {
+            let batch = index.range_query_many(&queries);
+            prop_assert_eq!(batch.len(), queries.len());
+            for (out, q) in batch.iter().zip(&queries) {
+                let want = index.range_query(q);
+                prop_assert_eq!(out.stats, want.stats, "{} batch stats at {}", &name, q);
+                prop_assert_eq!(
+                    out.sorted_ids(), want.sorted_ids(),
+                    "{} batch results at {}", &name, q
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn scratch_paths_handle_empty_and_degenerate_inputs() {
+    let params = IndexParams::default().sharded(3).threaded(2);
+    let mut scratch = QueryScratch::new();
+    let mut buf = Vec::new();
+    for (name, index) in all_configs(&[], &params) {
+        for q in [Aabb::cube(Vec3::ZERO, 10.0), Aabb::EMPTY, Aabb::point(Vec3::splat(2.0))] {
+            buf.clear();
+            let stats = index.range_query_into_scratch(&q, &mut scratch, &mut buf);
+            assert!(buf.is_empty(), "{name} on {q}");
+            assert_eq!(stats, QueryStats::default(), "{name} on {q}");
+        }
+        let mut out = Vec::new();
+        assert_eq!(index.knn_into_scratch(Vec3::ZERO, 4, &mut scratch, &mut out).results, 0);
+        assert!(out.is_empty(), "{name} knn on empty index");
+    }
+}
