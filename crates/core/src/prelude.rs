@@ -38,6 +38,6 @@ pub use neurospatial_scout::{
 pub use neurospatial_storage::{BufferPool, CostModel, DiskSim, IoStats, PageId};
 
 pub use neurospatial_touch::{
-    JoinObject, JoinResult, JoinStats, NestedLoopJoin, PbsmJoin, PlaneSweepJoin, S3Join,
-    SpatialJoin, TouchJoin,
+    ClassicTouchJoin, JoinObject, JoinResult, JoinScratch, JoinStats, NestedLoopJoin, PbsmJoin,
+    PlaneSweepJoin, S3Join, SpatialJoin, TouchEngine, TouchJoin,
 };

@@ -43,9 +43,16 @@ impl Executor {
     /// (sequential), and requests beyond the machine's available
     /// parallelism are capped to it — the workloads this executor runs
     /// are CPU-bound, so oversubscribing cores only adds scheduler
-    /// overhead.
+    /// overhead. The hardware probe is cached process-wide:
+    /// `available_parallelism` reads procfs/cgroup state (and
+    /// allocates), which would otherwise put syscalls and heap traffic
+    /// on every allocation-free join/query path that constructs an
+    /// executor.
     pub fn new(threads: usize) -> Self {
-        let hardware = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(usize::MAX);
+        static HARDWARE: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+        let hardware = *HARDWARE.get_or_init(|| {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(usize::MAX)
+        });
         Executor { threads: threads.max(1).min(hardware) }
     }
 
@@ -100,6 +107,48 @@ impl Executor {
         });
         out
     }
+
+    /// Like [`map_chunks`](Self::map_chunks), but hands chunk `t` exclusive
+    /// mutable access to `states[t]` — the pattern behind allocation-free
+    /// fan-out: each worker accumulates into its own reusable scratch
+    /// (descent stacks, pair buffers, counters) and the caller merges the
+    /// states afterwards in chunk order, which keeps the merge
+    /// deterministic. Nothing is returned and, on the sequential path
+    /// (one chunk), nothing is allocated — `f` runs inline on
+    /// `states[0]`, so a steady-state caller with warm buffers performs
+    /// zero heap allocations.
+    ///
+    /// `states` must hold at least [`chunking`](Self::chunking)`(n).0`
+    /// entries; chunk boundaries are identical to `map_chunks`.
+    ///
+    /// # Panics
+    /// If `states` is shorter than the number of chunks.
+    pub fn for_each_chunk<S, F>(&self, n: usize, states: &mut [S], f: F)
+    where
+        S: Send,
+        F: Fn(Range<usize>, &mut S) + Sync,
+    {
+        let (workers, chunk) = self.chunking(n);
+        if workers == 0 {
+            return;
+        }
+        assert!(states.len() >= workers, "need one state per chunk: {} < {workers}", states.len());
+        if workers == 1 {
+            f(0..n, &mut states[0]);
+            return;
+        }
+        let f = &f;
+        std::thread::scope(|scope| {
+            for (t, state) in states[..workers].iter_mut().enumerate() {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(n);
+                if lo >= hi {
+                    continue;
+                }
+                scope.spawn(move || f(lo..hi, state));
+            }
+        });
+    }
 }
 
 #[cfg(test)]
@@ -151,6 +200,36 @@ mod tests {
         let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(usize::MAX);
         assert!(Executor::new(usize::MAX).threads() <= hw);
         assert_eq!(Executor::new(1).threads(), 1);
+    }
+
+    #[test]
+    fn for_each_chunk_accumulates_into_states() {
+        let data: Vec<u64> = (0..500).collect();
+        let seq: u64 = data.iter().sum();
+        for threads in [1usize, 2, 5, 11] {
+            let e = Executor { threads };
+            let (workers, _) = e.chunking(data.len());
+            let mut states = vec![0u64; workers];
+            e.for_each_chunk(data.len(), &mut states, |r, acc| *acc += data[r].iter().sum::<u64>());
+            assert_eq!(states.iter().sum::<u64>(), seq, "threads={threads}");
+            // Reuse: states accumulate across calls (they are never reset
+            // by the executor — resetting is the caller's policy).
+            e.for_each_chunk(data.len(), &mut states, |r, acc| *acc += data[r].iter().sum::<u64>());
+            assert_eq!(states.iter().sum::<u64>(), 2 * seq);
+        }
+    }
+
+    #[test]
+    fn for_each_chunk_empty_input_is_a_noop() {
+        let mut states: Vec<u32> = Vec::new();
+        Executor::new(4).for_each_chunk(0, &mut states, |_, _| panic!("no chunks expected"));
+    }
+
+    #[test]
+    #[should_panic(expected = "one state per chunk")]
+    fn for_each_chunk_rejects_short_state_slices() {
+        let mut states = vec![0u32; 1];
+        Executor { threads: 4 }.for_each_chunk(100, &mut states, |_, _| {});
     }
 
     #[test]

@@ -50,7 +50,7 @@ pub use node::{NodeId, RTreeObject};
 pub use params::{RTreeParams, SplitStrategy};
 pub use query::{KnnResult, QueryStats};
 pub use rplus::RPlusTree;
-pub use soa::{EpochMarks, TraversalCounters, TraversalScratch};
+pub use soa::{EpochMarks, FrozenView, TraversalCounters, TraversalScratch};
 
 use neurospatial_geom::Aabb;
 use node::Node;
@@ -113,6 +113,13 @@ impl<T: RTreeObject> RTree<T> {
     /// Whether the SoA traversal layout is current.
     pub fn is_frozen(&self) -> bool {
         self.soa.is_some()
+    }
+
+    /// Read-only view of the frozen structure-of-arrays layout, or `None`
+    /// if the tree is not frozen. External traversals (e.g. the TOUCH
+    /// join) descend through this instead of the pointer arena.
+    pub fn frozen(&self) -> Option<FrozenView<'_>> {
+        self.soa.as_ref().map(|arena| FrozenView { arena })
     }
 
     /// Number of objects stored.

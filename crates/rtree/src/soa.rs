@@ -236,6 +236,37 @@ impl SoaArena {
         )
     }
 
+    /// Entry `i`'s box reconstructed from the lanes.
+    #[inline]
+    pub(crate) fn entry_aabb(&self, i: usize) -> Aabb {
+        Aabb::new(
+            Vec3::new(self.lo_x[i], self.lo_y[i], self.lo_z[i]),
+            Vec3::new(self.hi_x[i], self.hi_y[i], self.hi_z[i]),
+        )
+    }
+
+    /// Minimum x of entry `i`'s box (sweep-order key).
+    #[inline]
+    pub(crate) fn entry_lo_x(&self, i: usize) -> f64 {
+        self.lo_x[i]
+    }
+
+    /// Maximum x of entry `i`'s box (sweep expiry bound).
+    #[inline]
+    pub(crate) fn entry_hi_x(&self, i: usize) -> f64 {
+        self.hi_x[i]
+    }
+
+    /// Overlap test on the y and z axes only — the x axis is already
+    /// guaranteed by a sweep's ordering invariant.
+    #[inline]
+    pub(crate) fn entry_overlaps_yz(&self, i: usize, q: &Aabb) -> bool {
+        self.lo_y[i] <= q.hi.y
+            && q.lo.y <= self.hi_y[i]
+            && self.lo_z[i] <= q.hi.z
+            && q.lo.z <= self.hi_z[i]
+    }
+
     /// Approximate resident bytes of the slabs.
     pub(crate) fn memory_bytes(&self) -> usize {
         let lanes = self.lo_x.capacity()
@@ -247,6 +278,86 @@ impl SoaArena {
         lanes * std::mem::size_of::<f64>()
             + (self.entry_ref.capacity() + self.entry_start.capacity() + self.orig.capacity()) * 4
             + self.is_leaf.capacity()
+    }
+}
+
+/// Read-only view of a frozen tree's structure-of-arrays layout, for
+/// external traversals (e.g. the TOUCH join's assignment descent) that
+/// want the cache-conscious lanes without going through the built-in
+/// query methods. Obtained from [`crate::RTree::frozen`]; node ids are
+/// SoA ids (BFS order), *not* arena [`NodeId`]s — [`orig`](Self::orig)
+/// translates when leaf payloads must be fetched from the pointer arena.
+#[derive(Debug, Clone, Copy)]
+pub struct FrozenView<'t> {
+    pub(crate) arena: &'t SoaArena,
+}
+
+impl<'t> FrozenView<'t> {
+    /// SoA id of the root node (always 0).
+    #[inline]
+    pub fn root(&self) -> u32 {
+        self.arena.root()
+    }
+
+    /// Number of nodes in the frozen layout.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.arena.orig.len()
+    }
+
+    /// Whether SoA node `n` is a leaf.
+    #[inline]
+    pub fn is_leaf(&self, n: u32) -> bool {
+        self.arena.is_leaf(n)
+    }
+
+    /// Entry lane range `[start, end)` of SoA node `n`: child boxes for
+    /// inner nodes, object AABBs for leaves.
+    #[inline]
+    pub fn entries(&self, n: u32) -> (usize, usize) {
+        self.arena.entries(n)
+    }
+
+    /// Child SoA id (inner node entry) or leaf item slot (leaf entry).
+    #[inline]
+    pub fn entry_ref(&self, i: usize) -> u32 {
+        self.arena.entry_ref(i)
+    }
+
+    /// Arena [`NodeId`] of SoA node `n` (for fetching leaf payloads).
+    #[inline]
+    pub fn orig(&self, n: u32) -> NodeId {
+        self.arena.orig(n)
+    }
+
+    /// Closed-interval intersection of entry `i` against `q`.
+    #[inline]
+    pub fn entry_intersects(&self, i: usize, q: &Aabb) -> bool {
+        self.arena.entry_intersects(i, q)
+    }
+
+    /// Entry `i`'s box reconstructed from the lanes.
+    #[inline]
+    pub fn entry_aabb(&self, i: usize) -> Aabb {
+        self.arena.entry_aabb(i)
+    }
+
+    /// Minimum x of entry `i`'s box.
+    #[inline]
+    pub fn entry_lo_x(&self, i: usize) -> f64 {
+        self.arena.entry_lo_x(i)
+    }
+
+    /// Maximum x of entry `i`'s box.
+    #[inline]
+    pub fn entry_hi_x(&self, i: usize) -> f64 {
+        self.arena.entry_hi_x(i)
+    }
+
+    /// y/z-axis overlap of entry `i` against `q` (x handled by a sweep).
+    #[inline]
+    pub fn entry_overlaps_yz(&self, i: usize, q: &Aabb) -> bool {
+        self.arena.entry_overlaps_yz(i, q)
     }
 }
 
@@ -312,6 +423,37 @@ mod tests {
         let probe = cubes(1)[0];
         assert!(t.remove(&probe));
         assert!(!t.is_frozen());
+    }
+
+    #[test]
+    fn frozen_view_mirrors_the_pointer_arena() {
+        let mut t = RTree::bulk_load(cubes(300), RTreeParams::with_max_entries(8));
+        assert!(t.frozen().is_none(), "unfrozen trees expose no view");
+        t.freeze();
+        let v = t.frozen().expect("frozen");
+        assert_eq!(v.node_count(), t.node_count());
+        // Descend every node: inner entry boxes equal child MBRs, leaf
+        // entry boxes equal the stored objects, lane getters agree.
+        for n in 0..v.node_count() as u32 {
+            let (s, e) = v.entries(n);
+            if v.is_leaf(n) {
+                let items = t.leaf_objects(v.orig(n));
+                assert_eq!(items.len(), e - s);
+                for i in s..e {
+                    let o = items[v.entry_ref(i) as usize];
+                    assert_eq!(v.entry_lo_x(i), o.lo.x);
+                    assert_eq!(v.entry_hi_x(i), o.hi.x);
+                    assert!(v.entry_intersects(i, &o));
+                    assert!(v.entry_overlaps_yz(i, &o));
+                }
+            } else {
+                for i in s..e {
+                    let mbr = t.node_mbr(v.orig(v.entry_ref(i)));
+                    assert!(v.entry_intersects(i, &mbr));
+                    assert_eq!(v.entry_lo_x(i), mbr.lo.x);
+                }
+            }
+        }
     }
 
     #[test]

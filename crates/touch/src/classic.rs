@@ -1,0 +1,275 @@
+//! The pre-CSR TOUCH implementation: pointer-walking, streaming, fused
+//! assign+join. Kept as a first-class algorithm (`touch-classic`) so the
+//! bench harness can race the cache-conscious engine in
+//! [`crate::touch`] against the exact code it replaced, and so the
+//! equivalence suite can prove both produce the identical relation.
+//!
+//! Each B-object descends the pointer arena from the root; once its
+//! assignment node is found the join continues downward from that node.
+//! Per-node buckets are never materialised, the A-tree is never frozen,
+//! and every MBR test dereferences the arena — the layout the CSR/SoA
+//! rebuild exists to beat.
+
+use crate::stats::{JoinResult, JoinStats, PhaseTimer};
+use crate::touch::AssignmentReport;
+use crate::{JoinObject, SpatialJoin};
+use neurospatial_geom::{Aabb, Executor};
+use neurospatial_rtree::{NodeId, RTree, RTreeObject, RTreeParams};
+
+/// The streaming pointer-walk TOUCH join (pre-rebuild behaviour).
+#[derive(Debug, Clone, Copy)]
+pub struct ClassicTouchJoin {
+    /// Fan-out of the tree over dataset A.
+    pub fanout: usize,
+    /// Worker threads for the assign+join phase (1 = sequential).
+    pub threads: usize,
+}
+
+impl Default for ClassicTouchJoin {
+    fn default() -> Self {
+        ClassicTouchJoin { fanout: 16, threads: 1 }
+    }
+}
+
+impl ClassicTouchJoin {
+    /// Parallel variant with `threads` workers.
+    pub fn parallel(threads: usize) -> Self {
+        ClassicTouchJoin { fanout: 16, threads: threads.max(1) }
+    }
+
+    /// Like [`SpatialJoin::join`] but also returns the assignment-depth
+    /// report.
+    pub fn join_with_report<T: JoinObject>(
+        &self,
+        a: &[T],
+        b: &[T],
+        eps: f64,
+    ) -> (JoinResult, AssignmentReport) {
+        self.join_impl(a, b, eps)
+    }
+}
+
+#[derive(Clone)]
+struct Indexed<T> {
+    obj: T,
+    idx: u32,
+}
+
+impl<T: JoinObject> RTreeObject for Indexed<T> {
+    fn aabb(&self) -> Aabb {
+        self.obj.aabb()
+    }
+}
+
+impl SpatialJoin for ClassicTouchJoin {
+    fn name(&self) -> &'static str {
+        "touch-classic"
+    }
+
+    fn join<T: JoinObject>(&self, a: &[T], b: &[T], eps: f64) -> JoinResult {
+        self.join_impl(a, b, eps).0
+    }
+}
+
+impl ClassicTouchJoin {
+    fn join_impl<T: JoinObject>(
+        &self,
+        a: &[T],
+        b: &[T],
+        eps: f64,
+    ) -> (JoinResult, AssignmentReport) {
+        let mut timer = PhaseTimer::start();
+        let mut stats = JoinStats::default();
+        if a.is_empty() || b.is_empty() {
+            return (JoinResult::default(), AssignmentReport::default());
+        }
+
+        // --- Build: data-oriented partitioning of A ----------------------
+        let wrapped: Vec<Indexed<T>> =
+            a.iter().enumerate().map(|(i, o)| Indexed { obj: o.clone(), idx: i as u32 }).collect();
+        let tree = RTree::bulk_load(wrapped, RTreeParams::with_max_entries(self.fanout));
+        stats.build_ms = timer.lap();
+
+        // --- Assign + Join (fused, streaming) ----------------------------
+        // Each B-object probes independently, so the work fans out over
+        // the shared chunked executor. Partials come back in chunk order,
+        // keeping pair order deterministic.
+        let partials = Executor::new(self.threads)
+            .map_chunks(b.len(), |range| probe_range(&tree, b, range, eps));
+        let mut pairs = Vec::new();
+        let mut probe_stats = ProbeStats::default();
+        for (p, s) in partials {
+            pairs.extend(p);
+            probe_stats.merge(&s);
+        }
+
+        stats.filter_comparisons = probe_stats.filter;
+        stats.refine_comparisons = probe_stats.refine;
+        stats.filtered_out = probe_stats.filtered_out;
+        // Memory: the tree on A plus one bucket slot per surviving B
+        // object — no replication. (This streaming implementation never
+        // materialises buckets, so we charge the logical bucket array:
+        // 4 bytes per B object.)
+        stats.aux_memory_bytes = tree.memory_bytes() as u64 + b.len() as u64 * 4;
+        stats.results = pairs.len() as u64;
+        stats.probe_ms = timer.lap();
+        stats.join_ms = stats.probe_ms; // fused: no separable assign phase
+        timer.finish(&mut stats);
+        (JoinResult { pairs, stats }, probe_stats.assignment)
+    }
+}
+
+#[derive(Default, Clone)]
+struct ProbeStats {
+    filter: u64,
+    refine: u64,
+    filtered_out: u64,
+    assignment: AssignmentReport,
+}
+
+impl ProbeStats {
+    fn merge(&mut self, o: &ProbeStats) {
+        self.filter += o.filter;
+        self.refine += o.refine;
+        self.filtered_out += o.filtered_out;
+        self.assignment.merge(&o.assignment);
+    }
+}
+
+/// Assign-and-join for a contiguous range of B. Assignment and the join
+/// of one object are fused: once `b`'s assignment node is found, the join
+/// continues downward from that node.
+fn probe_range<T: JoinObject>(
+    tree: &RTree<Indexed<T>>,
+    b: &[T],
+    range: std::ops::Range<usize>,
+    eps: f64,
+) -> (Vec<(u32, u32)>, ProbeStats) {
+    let mut stats = ProbeStats::default();
+    let mut pairs = Vec::new();
+    let mut scratch: Vec<NodeId> = Vec::new();
+    // Join-descent stack, hoisted out of the per-object loop.
+    let mut stack: Vec<NodeId> = Vec::new();
+
+    for j in range {
+        let fb = b[j].aabb().inflate(eps);
+
+        // --- Assignment descent -------------------------------------
+        let mut node = tree.root_id();
+        let mut depth = 0usize;
+        stats.filter += 1;
+        if !tree.node_mbr(node).intersects(&fb) {
+            stats.filtered_out += 1;
+            stats.assignment.filtered_out += 1;
+            continue;
+        }
+        let assignment = loop {
+            match tree.node_children(node) {
+                None => break Some(node), // reached a leaf
+                Some(children) => {
+                    scratch.clear();
+                    for &c in children {
+                        stats.filter += 1;
+                        if tree.node_mbr(c).intersects(&fb) {
+                            scratch.push(c);
+                        }
+                    }
+                    match scratch.len() {
+                        0 => break None, // empty space: filtered out
+                        1 => {
+                            node = scratch[0];
+                            depth += 1;
+                        }
+                        _ => break Some(node), // ambiguous: assign here
+                    }
+                }
+            }
+        };
+        let Some(start) = assignment else {
+            stats.filtered_out += 1;
+            stats.assignment.filtered_out += 1;
+            continue;
+        };
+        stats.assignment.record(depth);
+
+        // --- Join within the assigned subtree ------------------------
+        stack.clear();
+        stack.push(start);
+        while let Some(n) = stack.pop() {
+            match tree.node_children(n) {
+                Some(children) => {
+                    for &c in children {
+                        stats.filter += 1;
+                        if tree.node_mbr(c).intersects(&fb) {
+                            stack.push(c);
+                        }
+                    }
+                }
+                None => {
+                    for x in tree.leaf_objects(n) {
+                        stats.filter += 1;
+                        if x.obj.aabb().inflate(eps).intersects(&b[j].aabb()) {
+                            stats.refine += 1;
+                            if x.obj.refine(&b[j], eps) {
+                                pairs.push((x.idx, j as u32));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    (pairs, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NestedLoopJoin, TouchJoin};
+    use neurospatial_geom::Vec3;
+
+    fn grid_boxes(n: usize, offset: f64) -> Vec<Aabb> {
+        (0..n)
+            .map(|i| {
+                let x = (i % 10) as f64 * 1.5 + offset;
+                let y = ((i / 10) % 10) as f64 * 1.5;
+                let z = (i / 100) as f64 * 1.5;
+                Aabb::cube(Vec3::new(x, y, z), 0.5)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_nested_loop_and_the_rebuilt_engine() {
+        let a = grid_boxes(350, 0.0);
+        let b = grid_boxes(350, 0.8);
+        for eps in [0.0, 0.4, 1.5] {
+            let c = ClassicTouchJoin::default().join(&a, &b, eps);
+            let n = NestedLoopJoin.join(&a, &b, eps);
+            let t = TouchJoin::default().join(&a, &b, eps);
+            assert_eq!(c.sorted_pairs(), n.sorted_pairs(), "eps={eps}");
+            assert_eq!(c.sorted_pairs(), t.sorted_pairs(), "eps={eps}");
+            assert!(c.is_duplicate_free());
+        }
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let a = grid_boxes(400, 0.0);
+        let b = grid_boxes(400, 0.6);
+        let seq = ClassicTouchJoin::default().join(&a, &b, 0.3);
+        let par = ClassicTouchJoin::parallel(4).join(&a, &b, 0.3);
+        assert_eq!(seq.sorted_pairs(), par.sorted_pairs());
+        assert_eq!(seq.stats.filter_comparisons, par.stats.filter_comparisons);
+    }
+
+    #[test]
+    fn report_accounts_for_every_b_object() {
+        let a = grid_boxes(500, 0.0);
+        let b = grid_boxes(500, 0.8);
+        let (r, report) = ClassicTouchJoin::default().join_with_report(&a, &b, 0.3);
+        let assigned: u64 = report.histogram.iter().sum();
+        assert_eq!(assigned + report.filtered_out, b.len() as u64);
+        assert_eq!(report.filtered_out, r.stats.filtered_out);
+    }
+}

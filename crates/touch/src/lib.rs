@@ -16,7 +16,12 @@
 //! | [`PlaneSweepJoin`] | sort + sweep on x | degrades when many elements sit on the sweep line |
 //! | [`PbsmJoin`] | uniform grid, *space*-oriented, replicates | TOUCH is ~1 order of magnitude faster |
 //! | [`S3Join`] | synchronized R-Tree traversal, indexes both sides | TOUCH is ~2 orders faster at equal memory |
-//! | [`TouchJoin`] | hierarchical *data*-oriented partitioning, no replication | — |
+//! | [`ClassicTouchJoin`] | TOUCH over the pointer arena, fused streaming probe | the pre-rebuild engine, kept for racing |
+//! | [`TouchJoin`] | hierarchical *data*-oriented partitioning, no replication; CSR buckets + SoA lanes + hybrid bucket sweep | — |
+//!
+//! For repeated joins against a fixed dataset A, build a [`TouchEngine`]
+//! once and drive it with a reusable [`JoinScratch`] — steady-state
+//! single-threaded joins allocate nothing.
 //!
 //! All algorithms share the same filter/refine contract and therefore
 //! return identical pair sets (property-tested): the *filter* is an
@@ -35,6 +40,7 @@
 //! assert!(fast.stats.refine_comparisons <= slow.stats.refine_comparisons);
 //! ```
 
+pub mod classic;
 pub mod nested;
 pub mod pbsm;
 pub mod stats;
@@ -42,11 +48,12 @@ pub mod sweep;
 pub mod touch;
 pub mod tree2;
 
+pub use classic::ClassicTouchJoin;
 pub use nested::NestedLoopJoin;
 pub use pbsm::PbsmJoin;
-pub use stats::{JoinResult, JoinStats};
+pub use stats::{register_allocation_probe, JoinResult, JoinStats, PhaseTimer};
 pub use sweep::PlaneSweepJoin;
-pub use touch::{AssignmentReport, TouchJoin};
+pub use touch::{AssignmentReport, JoinScratch, TouchEngine, TouchJoin};
 pub use tree2::S3Join;
 
 use neurospatial_geom::{Aabb, Segment};

@@ -1,9 +1,8 @@
 //! Nested-loop join — the O(n·m) baseline the neuroscientists started
 //! with ([Mishra & Eich '92] in the paper's related work).
 
-use crate::stats::{JoinResult, JoinStats};
+use crate::stats::{JoinResult, JoinStats, PhaseTimer};
 use crate::{JoinObject, SpatialJoin};
-use std::time::Instant;
 
 /// Compare every pair. No auxiliary memory at all; the baseline every
 /// other algorithm's comparison count is measured against.
@@ -16,7 +15,7 @@ impl SpatialJoin for NestedLoopJoin {
     }
 
     fn join<T: JoinObject>(&self, a: &[T], b: &[T], eps: f64) -> JoinResult {
-        let t0 = Instant::now();
+        let mut timer = PhaseTimer::start();
         let mut stats = JoinStats::default();
         let mut pairs = Vec::new();
         for (i, x) in a.iter().enumerate() {
@@ -32,8 +31,9 @@ impl SpatialJoin for NestedLoopJoin {
             }
         }
         stats.results = pairs.len() as u64;
-        stats.probe_ms = t0.elapsed().as_secs_f64() * 1e3;
-        stats.total_ms = stats.probe_ms;
+        stats.probe_ms = timer.lap();
+        stats.join_ms = stats.probe_ms;
+        timer.finish(&mut stats);
         JoinResult { pairs, stats }
     }
 }

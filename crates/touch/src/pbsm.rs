@@ -9,10 +9,9 @@
 //! for replication (§4: replication "increases the memory footprint" and
 //! "requires multiple comparisons").
 
-use crate::stats::{JoinResult, JoinStats};
+use crate::stats::{JoinResult, JoinStats, PhaseTimer};
 use crate::{JoinObject, SpatialJoin};
 use neurospatial_geom::{Aabb, GridIndexer, Vec3};
-use std::time::Instant;
 
 /// PBSM with a configurable grid resolution.
 #[derive(Debug, Clone, Copy)]
@@ -36,7 +35,7 @@ impl SpatialJoin for PbsmJoin {
     }
 
     fn join<T: JoinObject>(&self, a: &[T], b: &[T], eps: f64) -> JoinResult {
-        let t0 = Instant::now();
+        let mut timer = PhaseTimer::start();
         let mut stats = JoinStats::default();
         if a.is_empty() || b.is_empty() {
             return JoinResult::default();
@@ -54,8 +53,10 @@ impl SpatialJoin for PbsmJoin {
             as usize)
             .clamp(1, self.max_cells_per_axis);
         let grid = GridIndexer::new(bounds, [cells_per_axis; 3]);
+        stats.build_ms = timer.lap();
 
-        // Replicate object indices into cells (the PBSM partition phase).
+        // Replicate object indices into cells (the PBSM partition phase)
+        // — PBSM's analogue of TOUCH's assignment.
         let mut cells_a: Vec<Vec<u32>> = vec![Vec::new(); grid.len()];
         let mut cells_b: Vec<Vec<u32>> = vec![Vec::new(); grid.len()];
         let mut replicas = 0u64;
@@ -73,10 +74,9 @@ impl SpatialJoin for PbsmJoin {
         }
         stats.aux_memory_bytes =
             replicas * 4 + (grid.len() * 2 * std::mem::size_of::<Vec<u32>>()) as u64;
-        stats.build_ms = t0.elapsed().as_secs_f64() * 1e3;
+        stats.assign_ms = timer.lap();
 
         // Join each cell, de-duplicating by reference point.
-        let t1 = Instant::now();
         let mut pairs = Vec::new();
         for ci in 0..grid.len() {
             let (la, lb) = (&cells_a[ci], &cells_b[ci]);
@@ -110,8 +110,9 @@ impl SpatialJoin for PbsmJoin {
         }
 
         stats.results = pairs.len() as u64;
-        stats.probe_ms = t1.elapsed().as_secs_f64() * 1e3;
-        stats.total_ms = t0.elapsed().as_secs_f64() * 1e3;
+        stats.join_ms = timer.lap();
+        stats.probe_ms = stats.assign_ms + stats.join_ms;
+        timer.finish(&mut stats);
         JoinResult { pairs, stats }
     }
 }

@@ -7,15 +7,53 @@
 //! of dense data/detailed models)" — E5 shows exactly that behaviour on
 //! elongated neuron segments.
 
-use crate::stats::{JoinResult, JoinStats};
+use crate::stats::{JoinResult, JoinStats, PhaseTimer};
 use crate::{JoinObject, SpatialJoin};
 use neurospatial_geom::Aabb;
-use std::time::Instant;
 
 /// Sweep along x; A-boxes are pre-inflated by ε so the filter semantics
 /// match the other algorithms.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct PlaneSweepJoin;
+
+/// One fused pass over an active list: evict expired intervals with
+/// `swap_remove` (O(1) per eviction, order is irrelevant in a set of
+/// active intervals) while testing the survivors against the incoming
+/// box — instead of a separate `retain` compaction (which shifts every
+/// survivor left) followed by a second full traversal. On elongated
+/// inputs where intervals stay active across many events, the old
+/// two-pass shape traversed the (large) active list twice per event.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn scan_active<T: JoinObject>(
+    active: &mut Vec<(Aabb, u32)>,
+    incoming: &Aabb,
+    emit_a_first: bool,
+    incoming_idx: u32,
+    a: &[T],
+    b: &[T],
+    eps: f64,
+    stats: &mut JoinStats,
+    pairs: &mut Vec<(u32, u32)>,
+) {
+    let mut k = 0;
+    while k < active.len() {
+        let (fx, other) = active[k];
+        if fx.hi.x < incoming.lo.x {
+            active.swap_remove(k);
+            continue; // re-examine the swapped-in element at slot k
+        }
+        stats.filter_comparisons += 1;
+        if boxes_overlap_yz(&fx, incoming) {
+            stats.refine_comparisons += 1;
+            let (i, j) = if emit_a_first { (incoming_idx, other) } else { (other, incoming_idx) };
+            if a[i as usize].refine(&b[j as usize], eps) {
+                pairs.push((i, j));
+            }
+        }
+        k += 1;
+    }
+}
 
 impl SpatialJoin for PlaneSweepJoin {
     fn name(&self) -> &'static str {
@@ -23,7 +61,7 @@ impl SpatialJoin for PlaneSweepJoin {
     }
 
     fn join<T: JoinObject>(&self, a: &[T], b: &[T], eps: f64) -> JoinResult {
-        let t0 = Instant::now();
+        let mut timer = PhaseTimer::start();
         let mut stats = JoinStats::default();
 
         // Sorted copies of (filter box, original index).
@@ -35,9 +73,8 @@ impl SpatialJoin for PlaneSweepJoin {
         sb.sort_by(|x, y| x.0.lo.x.partial_cmp(&y.0.lo.x).expect("finite"));
         stats.aux_memory_bytes =
             ((sa.capacity() + sb.capacity()) * std::mem::size_of::<(Aabb, u32)>()) as u64;
-        stats.build_ms = t0.elapsed().as_secs_f64() * 1e3;
+        stats.build_ms = timer.lap();
 
-        let t1 = Instant::now();
         let mut pairs = Vec::new();
         let (mut ia, mut ib) = (0usize, 0usize);
         // Active lists: boxes whose x-interval contains the sweep position.
@@ -50,38 +87,20 @@ impl SpatialJoin for PlaneSweepJoin {
             if next_a <= next_b {
                 let (fa, i) = sa[ia];
                 ia += 1;
-                // Expire B-boxes that end before this A-box starts.
-                active_b.retain(|(fb, _)| fb.hi.x >= fa.lo.x);
-                for &(fb, j) in &active_b {
-                    stats.filter_comparisons += 1;
-                    if boxes_overlap_yz(&fa, &fb) {
-                        stats.refine_comparisons += 1;
-                        if a[i as usize].refine(&b[j as usize], eps) {
-                            pairs.push((i, j));
-                        }
-                    }
-                }
+                scan_active(&mut active_b, &fa, true, i, a, b, eps, &mut stats, &mut pairs);
                 active_a.push((fa, i));
             } else {
                 let (fb, j) = sb[ib];
                 ib += 1;
-                active_a.retain(|(fa, _)| fa.hi.x >= fb.lo.x);
-                for &(fa, i) in &active_a {
-                    stats.filter_comparisons += 1;
-                    if boxes_overlap_yz(&fa, &fb) {
-                        stats.refine_comparisons += 1;
-                        if a[i as usize].refine(&b[j as usize], eps) {
-                            pairs.push((i, j));
-                        }
-                    }
-                }
+                scan_active(&mut active_a, &fb, false, j, a, b, eps, &mut stats, &mut pairs);
                 active_b.push((fb, j));
             }
         }
 
         stats.results = pairs.len() as u64;
-        stats.probe_ms = t1.elapsed().as_secs_f64() * 1e3;
-        stats.total_ms = t0.elapsed().as_secs_f64() * 1e3;
+        stats.probe_ms = timer.lap();
+        stats.join_ms = stats.probe_ms;
+        timer.finish(&mut stats);
         JoinResult { pairs, stats }
     }
 }
@@ -96,7 +115,7 @@ fn boxes_overlap_yz(a: &Aabb, b: &Aabb) -> bool {
 mod tests {
     use super::*;
     use crate::NestedLoopJoin;
-    use neurospatial_geom::Vec3;
+    use neurospatial_geom::{Segment, Vec3};
 
     fn grid_boxes(n: usize, offset: f64) -> Vec<Aabb> {
         (0..n)
@@ -157,5 +176,43 @@ mod tests {
         let one = vec![Aabb::cube(Vec3::ZERO, 1.0)];
         assert!(PlaneSweepJoin.join(&e, &one, 1.0).pairs.is_empty());
         assert!(PlaneSweepJoin.join(&one, &e, 1.0).pairs.is_empty());
+    }
+
+    #[test]
+    fn elongated_segments_regression() {
+        // The E5 degenerate case: long, thin x-aligned segments whose
+        // intervals stay on the sweep line across many events, so the
+        // active lists grow large and evictions interleave with tests —
+        // the regime the swap_remove eviction pass exists for. Staggered
+        // starts and varying lengths force evictions at many distinct
+        // scan positions (including mid-list, which swap_remove reorders).
+        let a: Vec<Segment> = (0..120)
+            .map(|i| {
+                let y = (i % 12) as f64 * 1.1;
+                let x0 = (i / 12) as f64 * 3.7;
+                Segment::new(
+                    Vec3::new(x0, y, 0.0),
+                    Vec3::new(x0 + 40.0 + (i % 7) as f64 * 11.0, y, 0.0),
+                    0.3,
+                )
+            })
+            .collect();
+        let b: Vec<Segment> = (0..120)
+            .map(|i| {
+                let y = (i % 12) as f64 * 1.1 + 0.55;
+                let x0 = (i / 12) as f64 * 5.3 + 1.0;
+                Segment::new(
+                    Vec3::new(x0, y, 0.2),
+                    Vec3::new(x0 + 25.0 + (i % 5) as f64 * 17.0, y, 0.2),
+                    0.3,
+                )
+            })
+            .collect();
+        for eps in [0.0, 0.4, 1.2] {
+            let s = PlaneSweepJoin.join(&a, &b, eps);
+            let n = NestedLoopJoin.join(&a, &b, eps);
+            assert_eq!(s.sorted_pairs(), n.sorted_pairs(), "eps={eps}");
+            assert!(s.is_duplicate_free(), "eps={eps}");
+        }
     }
 }

@@ -14,35 +14,104 @@
 //!    against the A-objects in that node's subtree, descending only into
 //!    children whose ε-inflated MBR intersects `b`.
 //!
-//! The combination avoids both replication (PBSM's cost) and the double
-//! index build (S3's cost). An optional thread-parallel assign+join path
-//! exploits that each `b` is processed independently.
+//! This module is the *cache-conscious* engine for that pipeline (the
+//! pre-rebuild pointer-walking implementation survives as
+//! [`crate::ClassicTouchJoin`]):
+//!
+//! * the A-tree is **frozen** after the STR build, so both the assignment
+//!   descent and the per-bucket join scan the BFS-ordered
+//!   structure-of-arrays lanes of [`neurospatial_rtree::soa`] instead of
+//!   chasing arena pointers — and A-object AABBs are read from the lanes
+//!   rather than recomputed per comparison;
+//! * per-node buckets are materialised in a **counting-sorted CSR
+//!   layout** (one pass to count, one prefix sum, one pass to place) with
+//!   every bucket's B-object filter boxes stored in six contiguous `f64`
+//!   lanes, so the join phase streams sequential memory;
+//! * all transient state lives in a reusable [`JoinScratch`] (descent
+//!   stacks, epoch marks, CSR arrays, pair buffers) — steady-state joins
+//!   through a prebuilt [`TouchEngine`] perform **zero** heap
+//!   allocations at one thread;
+//! * both the assign and join phases fan out over
+//!   [`neurospatial_geom::Executor`] workers, one scratch per worker,
+//!   with a deterministic chunk-ordered merge;
+//! * per bucket the engine picks a **hybrid strategy**: nested-loop lane
+//!   scans for small buckets, a bucket-local sort+sweep along x above
+//!   [`TouchJoin::sweep_min`]. The paper's critique of the *global*
+//!   plane sweep (dense data crowds the sweep line) does not apply
+//!   inside a bucket, where both sides are already spatially tight.
 
-use crate::stats::{JoinResult, JoinStats};
+use crate::stats::{JoinResult, JoinStats, PhaseTimer};
 use crate::{JoinObject, SpatialJoin};
 use neurospatial_geom::{Aabb, Executor};
-use neurospatial_rtree::{NodeId, RTree, RTreeObject, RTreeParams};
-use std::time::Instant;
+use neurospatial_rtree::{EpochMarks, FrozenView, RTree, RTreeObject, RTreeParams};
+use std::ops::Range;
 
-/// The TOUCH join.
+/// The TOUCH join (cache-conscious engine).
 #[derive(Debug, Clone, Copy)]
 pub struct TouchJoin {
     /// Fan-out of the tree over dataset A.
     pub fanout: usize,
-    /// Worker threads for the assign+join phase (1 = sequential).
+    /// Worker threads for the assign+join phases (1 = sequential).
     pub threads: usize,
+    /// Leaf buckets with at least this many B-objects switch from the
+    /// nested lane scan to a bucket-local sort+sweep along x.
+    pub sweep_min: usize,
 }
 
 impl Default for TouchJoin {
     fn default() -> Self {
-        TouchJoin { fanout: 16, threads: 1 }
+        TouchJoin { fanout: 16, threads: 1, sweep_min: 32 }
     }
 }
 
 impl TouchJoin {
     /// Parallel variant with `threads` workers.
     pub fn parallel(threads: usize) -> Self {
-        TouchJoin { fanout: 16, threads: threads.max(1) }
+        TouchJoin { threads: threads.max(1), ..TouchJoin::default() }
+    }
+
+    /// Replace the A-tree fan-out.
+    pub fn with_fanout(mut self, fanout: usize) -> Self {
+        self.fanout = fanout.max(2);
+        self
+    }
+
+    /// Replace the bucket sort+sweep threshold.
+    pub fn with_sweep_min(mut self, sweep_min: usize) -> Self {
+        self.sweep_min = sweep_min.max(2);
+        self
+    }
+
+    /// Like [`SpatialJoin::join`] but also returns the assignment-depth
+    /// report (used by the `experiments a2` ablation).
+    pub fn join_with_report<T: JoinObject>(
+        &self,
+        a: &[T],
+        b: &[T],
+        eps: f64,
+    ) -> (JoinResult, AssignmentReport) {
+        let timer = PhaseTimer::start();
+        if a.is_empty() || b.is_empty() {
+            return (JoinResult::default(), AssignmentReport::default());
+        }
+        let engine = TouchEngine::build(a, self.fanout);
+        let mut scratch = JoinScratch::new();
+        let mut pairs = Vec::new();
+        let mut stats =
+            engine.join_into(b, eps, self.threads, self.sweep_min, &mut scratch, &mut pairs);
+        stats.build_ms = engine.build_ms();
+        timer.finish(&mut stats);
+        (JoinResult { pairs, stats }, scratch.report.clone())
+    }
+}
+
+impl SpatialJoin for TouchJoin {
+    fn name(&self) -> &'static str {
+        "touch"
+    }
+
+    fn join<T: JoinObject>(&self, a: &[T], b: &[T], eps: f64) -> JoinResult {
+        self.join_with_report(a, b, eps).0
     }
 }
 
@@ -58,76 +127,590 @@ impl<T: JoinObject> RTreeObject for Indexed<T> {
     }
 }
 
-impl TouchJoin {
-    /// Like [`SpatialJoin::join`] but also returns the assignment-depth
-    /// report (used by the `experiments a2` ablation).
-    pub fn join_with_report<T: JoinObject>(
-        &self,
-        a: &[T],
-        b: &[T],
-        eps: f64,
-    ) -> (JoinResult, AssignmentReport) {
-        self.join_impl(a, b, eps)
-    }
+/// A prebuilt TOUCH join engine over dataset A: the frozen STR tree plus
+/// its build cost. Build once, then run [`join_into`](Self::join_into)
+/// against any number of B datasets — with a warm [`JoinScratch`] and a
+/// warm output buffer, steady-state single-threaded joins allocate
+/// nothing.
+pub struct TouchEngine<T: JoinObject> {
+    tree: RTree<Indexed<T>>,
+    build_ms: f64,
 }
 
-impl SpatialJoin for TouchJoin {
-    fn name(&self) -> &'static str {
-        "touch"
-    }
-
-    fn join<T: JoinObject>(&self, a: &[T], b: &[T], eps: f64) -> JoinResult {
-        self.join_impl(a, b, eps).0
-    }
-}
-
-impl TouchJoin {
-    fn join_impl<T: JoinObject>(
-        &self,
-        a: &[T],
-        b: &[T],
-        eps: f64,
-    ) -> (JoinResult, AssignmentReport) {
-        let t0 = Instant::now();
-        let mut stats = JoinStats::default();
-        if a.is_empty() || b.is_empty() {
-            return (JoinResult::default(), AssignmentReport::default());
-        }
-
-        // --- Build: data-oriented partitioning of A ----------------------
+impl<T: JoinObject> TouchEngine<T> {
+    /// STR-pack dataset A with the given fan-out and freeze the tree into
+    /// its structure-of-arrays traversal layout.
+    pub fn build(a: &[T], fanout: usize) -> Self {
+        let timer = PhaseTimer::start();
         let wrapped: Vec<Indexed<T>> =
             a.iter().enumerate().map(|(i, o)| Indexed { obj: o.clone(), idx: i as u32 }).collect();
-        let tree = RTree::bulk_load(wrapped, RTreeParams::with_max_entries(self.fanout));
-        stats.build_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let mut tree = RTree::bulk_load(wrapped, RTreeParams::with_max_entries(fanout.max(2)));
+        tree.freeze();
+        TouchEngine { build_ms: timer.total_ms(), tree }
+    }
 
-        // --- Assign + Join ------------------------------------------------
-        // Each B-object probes independently, so the work fans out over
-        // the shared chunked executor (which also owns the `threads`
-        // clamping and chunk-sizing semantics). Partials come back in
-        // chunk order, keeping pair order deterministic.
-        let t1 = Instant::now();
-        let partials = Executor::new(self.threads)
-            .map_chunks(b.len(), |range| probe_range(&tree, b, range, eps));
-        let mut pairs = Vec::new();
-        let mut probe_stats = ProbeStats::default();
-        for (p, s) in partials {
-            pairs.extend(p);
-            probe_stats.merge(&s);
+    /// Milliseconds spent building and freezing the A-tree.
+    pub fn build_ms(&self) -> f64 {
+        self.build_ms
+    }
+
+    /// Number of A-objects indexed.
+    pub fn len(&self) -> usize {
+        self.tree.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.tree.is_empty()
+    }
+
+    /// Execute the assign+join phases against `b`, writing qualifying
+    /// `(a_index, b_index)` pairs into `out` (cleared first). `threads`
+    /// fans both phases out over [`Executor`] workers; `sweep_min` is the
+    /// hybrid bucket threshold. The returned stats cover only this call:
+    /// `build_ms` is 0 (the build is amortised across joins) and
+    /// `allocations` counts this call's heap traffic — 0 in steady state
+    /// at one thread.
+    pub fn join_into(
+        &self,
+        b: &[T],
+        eps: f64,
+        threads: usize,
+        sweep_min: usize,
+        scratch: &mut JoinScratch,
+        out: &mut Vec<(u32, u32)>,
+    ) -> JoinStats {
+        let mut timer = PhaseTimer::start();
+        let mut stats = JoinStats::default();
+        out.clear();
+        scratch.reset_report();
+        let Some(view) = self.tree.frozen() else {
+            timer.finish(&mut stats);
+            return stats; // empty A
+        };
+        if b.is_empty() {
+            timer.finish(&mut stats);
+            return stats;
         }
 
-        stats.filter_comparisons = probe_stats.filter;
-        stats.refine_comparisons = probe_stats.refine;
-        stats.filtered_out = probe_stats.filtered_out;
-        // Memory: the tree on A plus one bucket slot per surviving B
-        // object — no replication. (The streaming implementation below
-        // never materialises buckets, so we charge the logical bucket
-        // array: 4 bytes per B object, the paper's "equally small
-        // footprint".)
-        stats.aux_memory_bytes = tree.memory_bytes() as u64 + b.len() as u64 * 4;
-        stats.results = pairs.len() as u64;
-        stats.probe_ms = t1.elapsed().as_secs_f64() * 1e3;
-        stats.total_ms = t0.elapsed().as_secs_f64() * 1e3;
-        (JoinResult { pairs, stats }, probe_stats.assignment)
+        let exec = Executor::new(threads);
+        let (assign_workers, _) = exec.chunking(b.len());
+        if scratch.workers.len() < assign_workers {
+            scratch.workers.resize_with(assign_workers, WorkerScratch::default);
+        }
+        let JoinScratch {
+            workers,
+            counts,
+            starts,
+            cursor,
+            items,
+            lanes,
+            lanes_fb,
+            active,
+            marks,
+            report,
+        } = scratch;
+        for ws in workers[..assign_workers].iter_mut() {
+            ws.reset();
+        }
+
+        // --- Assign: every B-object descends the SoA lanes --------------
+        let root_mbr = self.tree.root_mbr();
+        let tree = &self.tree;
+        exec.for_each_chunk(b.len(), &mut workers[..assign_workers], |range, ws| {
+            assign_range(view, &root_mbr, b, range, eps, ws);
+        });
+
+        // --- CSR buckets: count, prefix-sum, place -----------------------
+        // `counts` is kept all-zero between joins (re-zeroed via `active`
+        // below), so only touched nodes pay; `marks` makes first-touch
+        // detection O(1) per item and the `active` list is sorted into
+        // BFS id order so the join phase walks the arena sequentially.
+        let n_nodes = view.node_count();
+        if counts.len() < n_nodes {
+            counts.resize(n_nodes, 0);
+        }
+        starts.resize(n_nodes + 1, 0);
+        active.clear();
+        marks.begin(n_nodes);
+        let mut survivors = 0usize;
+        for ws in workers[..assign_workers].iter() {
+            survivors += ws.assigned.len();
+            for &(node, _) in &ws.assigned {
+                counts[node as usize] += 1;
+                if marks.mark(node as usize) {
+                    active.push(node);
+                }
+            }
+        }
+        active.sort_unstable();
+        let mut acc = 0u32;
+        starts[0] = 0;
+        for n in 0..n_nodes {
+            acc += counts[n];
+            starts[n + 1] = acc;
+        }
+        items.resize(survivors, 0);
+        lanes.resize(survivors);
+        lanes_fb.resize(survivors);
+        cursor.clear();
+        cursor.extend_from_slice(&starts[..n_nodes]);
+        for ws in workers[..assign_workers].iter() {
+            for (&(node, j), bb) in ws.assigned.iter().zip(&ws.boxes) {
+                let pos = cursor[node as usize] as usize;
+                cursor[node as usize] += 1;
+                items[pos] = j;
+                lanes.set(pos, bb);
+                lanes_fb.set(pos, &bb.inflate(eps));
+            }
+        }
+        for &n in active.iter() {
+            counts[n as usize] = 0; // restore the all-zero invariant
+        }
+        stats.assign_ms = timer.lap();
+
+        // --- Join: one bucket at a time, hybrid per-bucket strategy ------
+        // The join fan-out reuses the assign phase's worker scratches:
+        // `chunking` caps workers at the item count and
+        // `active.len() <= b.len()`, so the join never needs more
+        // workers than the assign phase had (and `for_each_chunk`
+        // asserts that invariant loudly if the chunking policy ever
+        // changes). Merging below therefore covers every worker that
+        // ran either phase.
+        let buckets = BucketView { items, starts, lanes, lanes_fb };
+        let active_r: &[u32] = active;
+        exec.for_each_chunk(active_r.len(), &mut workers[..assign_workers], |range, ws| {
+            join_buckets(view, tree, b, &buckets, &active_r[range], eps, sweep_min, ws);
+        });
+
+        // --- Deterministic merge, in worker (= chunk) order --------------
+        for ws in workers[..assign_workers].iter_mut() {
+            stats.filter_comparisons += ws.filter;
+            stats.refine_comparisons += ws.refine;
+            stats.filtered_out += ws.filtered_out;
+            report.merge_worker(ws);
+            out.extend_from_slice(&ws.pairs);
+        }
+        stats.join_ms = timer.lap();
+        stats.probe_ms = stats.assign_ms + stats.join_ms;
+        stats.results = out.len() as u64;
+        // Memory: the frozen tree on A plus the CSR bucket arrays — one
+        // slot and one six-lane box per surviving B object, no
+        // replication.
+        stats.aux_memory_bytes = self.tree.memory_bytes() as u64
+            + (items.len() * 4 + survivors * 48) as u64
+            + ((counts.len() + starts.len() + cursor.len() + active.len()) * 4) as u64;
+        timer.finish(&mut stats);
+        stats
+    }
+}
+
+/// Reusable transient state for [`TouchEngine::join_into`]: per-worker
+/// scratches (descent stacks, sort buffers, pair buffers, counters), the
+/// CSR bucket arrays with their six filter-box lanes, epoch marks for
+/// first-touch bucket detection, and the assignment report. Create one
+/// (per thread pool) and reuse it across joins; after the first join has
+/// grown every buffer, subsequent single-threaded joins allocate nothing.
+#[derive(Debug, Default)]
+pub struct JoinScratch {
+    workers: Vec<WorkerScratch>,
+    /// Per-SoA-node bucket sizes; all-zero between joins.
+    counts: Vec<u32>,
+    /// CSR prefix: node `n`'s bucket is `items[starts[n]..starts[n+1]]`.
+    starts: Vec<u32>,
+    /// Placement cursors (copy of `starts`, advanced during the place pass).
+    cursor: Vec<u32>,
+    /// Bucketed B indices, CSR order.
+    items: Vec<u32>,
+    /// The bucketed B objects' raw AABBs in six contiguous f64 lanes,
+    /// parallel to `items` (the leaf-test side).
+    lanes: BoxLanes,
+    /// The same boxes ε-inflated (the node-pruning side): storing both
+    /// keeps every filter comparison bit-identical to the classic path
+    /// without re-inflating inside the hot scans.
+    lanes_fb: BoxLanes,
+    /// SoA ids with non-empty buckets, sorted ascending (BFS order).
+    active: Vec<u32>,
+    /// First-touch marks over SoA nodes (O(1) reset between joins).
+    marks: EpochMarks,
+    report: AssignmentReport,
+}
+
+impl JoinScratch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The assignment-depth report of the most recent join.
+    pub fn report(&self) -> &AssignmentReport {
+        &self.report
+    }
+
+    fn reset_report(&mut self) {
+        self.report.filtered_out = 0;
+        self.report.histogram.iter_mut().for_each(|c| *c = 0);
+    }
+}
+
+/// Six structure-of-arrays `f64` lanes holding AABBs — the B-side mirror
+/// of the frozen tree's entry lanes.
+#[derive(Debug, Default)]
+struct BoxLanes {
+    lo_x: Vec<f64>,
+    lo_y: Vec<f64>,
+    lo_z: Vec<f64>,
+    hi_x: Vec<f64>,
+    hi_y: Vec<f64>,
+    hi_z: Vec<f64>,
+}
+
+impl BoxLanes {
+    fn resize(&mut self, n: usize) {
+        self.lo_x.resize(n, 0.0);
+        self.lo_y.resize(n, 0.0);
+        self.lo_z.resize(n, 0.0);
+        self.hi_x.resize(n, 0.0);
+        self.hi_y.resize(n, 0.0);
+        self.hi_z.resize(n, 0.0);
+    }
+
+    #[inline]
+    fn set(&mut self, i: usize, bb: &Aabb) {
+        self.lo_x[i] = bb.lo.x;
+        self.lo_y[i] = bb.lo.y;
+        self.lo_z[i] = bb.lo.z;
+        self.hi_x[i] = bb.hi.x;
+        self.hi_y[i] = bb.hi.y;
+        self.hi_z[i] = bb.hi.z;
+    }
+
+    #[inline]
+    fn aabb(&self, i: usize) -> Aabb {
+        Aabb::new(
+            neurospatial_geom::Vec3::new(self.lo_x[i], self.lo_y[i], self.lo_z[i]),
+            neurospatial_geom::Vec3::new(self.hi_x[i], self.hi_y[i], self.hi_z[i]),
+        )
+    }
+
+    #[inline]
+    fn lo_x(&self, i: usize) -> f64 {
+        self.lo_x[i]
+    }
+
+    /// Closed-interval intersection of slot `i` against `q` — the exact
+    /// comparison sequence [`Aabb::intersects`] performs.
+    #[inline]
+    fn intersects(&self, i: usize, q: &Aabb) -> bool {
+        self.lo_x[i] <= q.hi.x
+            && q.lo.x <= self.hi_x[i]
+            && self.lo_y[i] <= q.hi.y
+            && q.lo.y <= self.hi_y[i]
+            && self.lo_z[i] <= q.hi.z
+            && q.lo.z <= self.hi_z[i]
+    }
+
+    /// y/z-axis overlap of slot `i` against `q` (x handled by the sweep).
+    #[inline]
+    fn overlaps_yz(&self, i: usize, q: &Aabb) -> bool {
+        self.lo_y[i] <= q.hi.y
+            && q.lo.y <= self.hi_y[i]
+            && self.lo_z[i] <= q.hi.z
+            && q.lo.z <= self.hi_z[i]
+    }
+}
+
+/// One worker's reusable state: assignment output, join descent stack,
+/// bucket sort-order buffers, emitted pairs and statistics counters.
+#[derive(Debug, Default)]
+struct WorkerScratch {
+    /// `(soa node, b index)` assignments produced by this worker's chunk.
+    assigned: Vec<(u32, u32)>,
+    /// Raw (un-inflated) B AABBs, parallel to `assigned`.
+    boxes: Vec<Aabb>,
+    /// Radix-descent working set: CSR slot lists, one contiguous run per
+    /// (node, sub-bucket) reached.
+    slots: Vec<u32>,
+    /// Radix-descent frontier: `(soa node, lo, hi)` ranges into `slots`.
+    frontier: Vec<(u32, u32, u32)>,
+    /// A-entry lane indices sorted by lo_x (bucket sweep).
+    sort_a: Vec<u32>,
+    /// ε-inflated A boxes in `sort_a` order (bucket sweep).
+    fa_cache: Vec<Aabb>,
+    /// CSR slots sorted by lo_x (bucket sweep).
+    sort_b: Vec<u32>,
+    /// Emitted pairs, merged in worker order by the coordinator.
+    pairs: Vec<(u32, u32)>,
+    filter: u64,
+    refine: u64,
+    filtered_out: u64,
+    /// Assignment-depth histogram.
+    hist: Vec<u64>,
+}
+
+impl WorkerScratch {
+    fn reset(&mut self) {
+        self.assigned.clear();
+        self.boxes.clear();
+        self.pairs.clear();
+        self.filter = 0;
+        self.refine = 0;
+        self.filtered_out = 0;
+        self.hist.iter_mut().for_each(|c| *c = 0);
+    }
+
+    #[inline]
+    fn record_depth(&mut self, depth: usize) {
+        if self.hist.len() <= depth {
+            self.hist.resize(depth + 1, 0);
+        }
+        self.hist[depth] += 1;
+    }
+}
+
+/// Assignment descent for a contiguous range of B, over the SoA lanes.
+/// The descent stops early once a second intersecting child is seen —
+/// the object is ambiguous at this node no matter how many more children
+/// match.
+fn assign_range<T: JoinObject>(
+    view: FrozenView<'_>,
+    root_mbr: &Aabb,
+    b: &[T],
+    range: Range<usize>,
+    eps: f64,
+    ws: &mut WorkerScratch,
+) {
+    for j in range {
+        let raw = b[j].aabb();
+        let fb = raw.inflate(eps);
+        ws.filter += 1;
+        if !root_mbr.intersects(&fb) {
+            ws.filtered_out += 1;
+            continue;
+        }
+        let mut node = view.root();
+        let mut depth = 0usize;
+        let assignment = loop {
+            if view.is_leaf(node) {
+                break Some(node);
+            }
+            let (s, e) = view.entries(node);
+            let mut hits = 0u32;
+            let mut only = 0u32;
+            for i in s..e {
+                ws.filter += 1;
+                if view.entry_intersects(i, &fb) {
+                    hits += 1;
+                    if hits == 1 {
+                        only = view.entry_ref(i);
+                    } else {
+                        break; // ambiguous: no need to count further
+                    }
+                }
+            }
+            match hits {
+                0 => break None, // empty space: filtered out
+                1 => {
+                    node = only;
+                    depth += 1;
+                }
+                _ => break Some(node),
+            }
+        };
+        match assignment {
+            None => ws.filtered_out += 1,
+            Some(n) => {
+                ws.record_depth(depth);
+                ws.assigned.push((n, j as u32));
+                ws.boxes.push(raw);
+            }
+        }
+    }
+}
+
+/// The CSR bucket arrays, bundled for the join workers: node `n`'s
+/// bucket occupies CSR slots `starts[n]..starts[n+1]`; `lanes` holds the
+/// raw B boxes, `lanes_fb` their ε-inflated filter boxes.
+struct BucketView<'s> {
+    items: &'s [u32],
+    starts: &'s [u32],
+    lanes: &'s BoxLanes,
+    lanes_fb: &'s BoxLanes,
+}
+
+/// Join a contiguous run of active buckets. Every bucket descends the
+/// assignment node's subtree as a whole ("radix" descent): at each inner
+/// node the sub-bucket is scanned once per child against that child's
+/// hoisted MBR — the exact (b, child) tests the classic per-object
+/// descent performs, but each tree node is visited once per bucket
+/// instead of once per object, and the scan streams the inflated-box
+/// lanes. Sub-buckets reaching a leaf join against the leaf's entry
+/// lanes: nested A-entry-major scans below `sweep_min`, a bucket-local
+/// sort+sweep at or above it.
+#[allow(clippy::too_many_arguments)]
+fn join_buckets<T: JoinObject>(
+    view: FrozenView<'_>,
+    tree: &RTree<Indexed<T>>,
+    b: &[T],
+    buckets: &BucketView<'_>,
+    active: &[u32],
+    eps: f64,
+    sweep_min: usize,
+    ws: &mut WorkerScratch,
+) {
+    for &node in active {
+        let bs = buckets.starts[node as usize];
+        let be = buckets.starts[node as usize + 1];
+        ws.slots.clear();
+        ws.slots.extend(bs..be);
+        ws.frontier.clear();
+        ws.frontier.push((node, 0, be - bs));
+        while let Some((n, lo, hi)) = ws.frontier.pop() {
+            if view.is_leaf(n) {
+                join_leaf(view, tree, b, buckets, n, lo as usize..hi as usize, eps, sweep_min, ws);
+                continue;
+            }
+            let (s, e) = view.entries(n);
+            for i in s..e {
+                let child_mbr = view.entry_aabb(i);
+                let child = view.entry_ref(i);
+                let start = ws.slots.len() as u32;
+                for k in lo..hi {
+                    let t = ws.slots[k as usize] as usize;
+                    ws.filter += 1;
+                    if buckets.lanes_fb.intersects(t, &child_mbr) {
+                        ws.slots.push(t as u32);
+                    }
+                }
+                if ws.slots.len() as u32 > start {
+                    ws.frontier.push((child, start, ws.slots.len() as u32));
+                }
+            }
+        }
+    }
+}
+
+/// Join the sub-bucket `ws.slots[range]` against leaf `n`'s entries.
+#[allow(clippy::too_many_arguments)]
+fn join_leaf<T: JoinObject>(
+    view: FrozenView<'_>,
+    tree: &RTree<Indexed<T>>,
+    b: &[T],
+    buckets: &BucketView<'_>,
+    n: u32,
+    range: Range<usize>,
+    eps: f64,
+    sweep_min: usize,
+    ws: &mut WorkerScratch,
+) {
+    let (es, ee) = view.entries(n);
+    let leaf = tree.leaf_objects(view.orig(n));
+    if range.len() >= sweep_min && ee - es >= 2 {
+        sweep_leaf(view, leaf, b, buckets, range, es..ee, eps, ws);
+        return;
+    }
+    // Nested lane scan, A-entry major: the ε-inflation is hoisted per
+    // entry (matching the classic leaf test bit for bit) and the
+    // sub-bucket's slots gather from the six raw lanes.
+    for i in es..ee {
+        let fa = view.entry_aabb(i).inflate(eps);
+        let x = &leaf[view.entry_ref(i) as usize];
+        for k in range.clone() {
+            let t = ws.slots[k] as usize;
+            ws.filter += 1;
+            if buckets.lanes.intersects(t, &fa) {
+                ws.refine += 1;
+                let j = buckets.items[t];
+                if x.obj.refine(&b[j as usize], eps) {
+                    ws.pairs.push((x.idx, j));
+                }
+            }
+        }
+    }
+}
+
+/// Bucket-local sort+sweep along x between a leaf's A entries (ε-inflated
+/// side) and a sub-bucket's raw B boxes. Both sides are sorted by their
+/// x lower bound; the two-pointer merge tests each x-overlapping pair
+/// exactly once, with only the y/z axes left to check. Pair decisions are
+/// bit-identical to the nested scan: the x comparisons are exactly
+/// `fa.lo.x <= b.hi.x && b.lo.x <= fa.hi.x` with `fa` the A-side
+/// inflated box.
+#[allow(clippy::too_many_arguments)]
+fn sweep_leaf<T: JoinObject>(
+    view: FrozenView<'_>,
+    leaf: &[Indexed<T>],
+    b: &[T],
+    buckets: &BucketView<'_>,
+    range: Range<usize>,
+    entries: Range<usize>,
+    eps: f64,
+    ws: &mut WorkerScratch,
+) {
+    let lanes = buckets.lanes;
+    ws.sort_a.clear();
+    ws.sort_a.extend(entries.clone().map(|i| i as u32));
+    // Sorting by the raw lane lo_x sorts the inflated keys too:
+    // subtracting the same ε is monotone (rounding included).
+    ws.sort_a.sort_unstable_by(|&p, &q| {
+        view.entry_lo_x(p as usize).total_cmp(&view.entry_lo_x(q as usize))
+    });
+    // ε-inflated A boxes in sweep order, computed once per entry: both
+    // merge branches read them per comparison.
+    ws.fa_cache.clear();
+    ws.fa_cache.extend(ws.sort_a.iter().map(|&i| view.entry_aabb(i as usize).inflate(eps)));
+    ws.sort_b.clear();
+    for k in range {
+        ws.sort_b.push(ws.slots[k]);
+    }
+    ws.sort_b.sort_unstable_by(|&p, &q| lanes.lo_x(p as usize).total_cmp(&lanes.lo_x(q as usize)));
+
+    let (na, nb) = (ws.sort_a.len(), ws.sort_b.len());
+    let (mut ia, mut ib) = (0usize, 0usize);
+    while ia < na && ib < nb {
+        let ea = ws.sort_a[ia] as usize;
+        let fa = ws.fa_cache[ia];
+        let tb = ws.sort_b[ib] as usize;
+        if fa.lo.x <= lanes.lo_x(tb) {
+            // A-entry starts first: pair it with every bucket box whose
+            // x interval starts inside [fa.lo.x, fa.hi.x].
+            let x = &leaf[view.entry_ref(ea) as usize];
+            for k in ib..nb {
+                let t = ws.sort_b[k] as usize;
+                if lanes.lo_x(t) > fa.hi.x {
+                    break;
+                }
+                ws.filter += 1;
+                if lanes.overlaps_yz(t, &fa) {
+                    ws.refine += 1;
+                    let j = buckets.items[t];
+                    if x.obj.refine(&b[j as usize], eps) {
+                        ws.pairs.push((x.idx, j));
+                    }
+                }
+            }
+            ia += 1;
+        } else {
+            let raw = lanes.aabb(tb);
+            let j = buckets.items[tb];
+            for k in ia..na {
+                let fa2 = ws.fa_cache[k];
+                if fa2.lo.x > raw.hi.x {
+                    break;
+                }
+                ws.filter += 1;
+                if fa2.lo.y <= raw.hi.y
+                    && raw.lo.y <= fa2.hi.y
+                    && fa2.lo.z <= raw.hi.z
+                    && raw.lo.z <= fa2.hi.z
+                {
+                    ws.refine += 1;
+                    let x = &leaf[view.entry_ref(ws.sort_a[k] as usize) as usize];
+                    if x.obj.refine(&b[j as usize], eps) {
+                        ws.pairs.push((x.idx, j));
+                    }
+                }
+            }
+            ib += 1;
+        }
     }
 }
 
@@ -155,14 +738,14 @@ impl AssignmentReport {
         weighted as f64 / total as f64
     }
 
-    fn record(&mut self, depth: usize) {
+    pub(crate) fn record(&mut self, depth: usize) {
         if self.histogram.len() <= depth {
             self.histogram.resize(depth + 1, 0);
         }
         self.histogram[depth] += 1;
     }
 
-    fn merge(&mut self, o: &AssignmentReport) {
+    pub(crate) fn merge(&mut self, o: &AssignmentReport) {
         if self.histogram.len() < o.histogram.len() {
             self.histogram.resize(o.histogram.len(), 0);
         }
@@ -171,118 +754,22 @@ impl AssignmentReport {
         }
         self.filtered_out += o.filtered_out;
     }
-}
 
-#[derive(Default, Clone)]
-struct ProbeStats {
-    filter: u64,
-    refine: u64,
-    filtered_out: u64,
-    assignment: AssignmentReport,
-}
-
-impl ProbeStats {
-    fn merge(&mut self, o: &ProbeStats) {
-        self.filter += o.filter;
-        self.refine += o.refine;
-        self.filtered_out += o.filtered_out;
-        self.assignment.merge(&o.assignment);
-    }
-}
-
-/// Assign-and-join for a contiguous range of B. Assignment and the join
-/// of one object are fused: once `b`'s assignment node is found, the join
-/// continues downward from that node — materialising per-node buckets and
-/// walking them later would visit exactly the same nodes.
-fn probe_range<T: JoinObject>(
-    tree: &RTree<Indexed<T>>,
-    b: &[T],
-    range: std::ops::Range<usize>,
-    eps: f64,
-) -> (Vec<(u32, u32)>, ProbeStats) {
-    let mut stats = ProbeStats::default();
-    let mut pairs = Vec::new();
-    let mut scratch: Vec<NodeId> = Vec::new();
-    // Join-descent stack, hoisted out of the per-object loop: allocating
-    // it afresh for every B-object made the probe phase's allocation
-    // count scale with |B|.
-    let mut stack: Vec<NodeId> = Vec::new();
-
-    for j in range {
-        let fb = b[j].aabb().inflate(eps);
-
-        // --- Assignment descent -------------------------------------
-        let mut node = tree.root_id();
-        let mut depth = 0usize;
-        stats.filter += 1;
-        if !tree.node_mbr(node).intersects(&fb) {
-            stats.filtered_out += 1;
-            stats.assignment.filtered_out += 1;
-            continue;
+    fn merge_worker(&mut self, ws: &WorkerScratch) {
+        if self.histogram.len() < ws.hist.len() {
+            self.histogram.resize(ws.hist.len(), 0);
         }
-        let assignment = loop {
-            match tree.node_children(node) {
-                None => break Some(node), // reached a leaf
-                Some(children) => {
-                    scratch.clear();
-                    for &c in children {
-                        stats.filter += 1;
-                        if tree.node_mbr(c).intersects(&fb) {
-                            scratch.push(c);
-                        }
-                    }
-                    match scratch.len() {
-                        0 => break None, // empty space: filtered out
-                        1 => {
-                            node = scratch[0];
-                            depth += 1;
-                        }
-                        _ => break Some(node), // ambiguous: assign here
-                    }
-                }
-            }
-        };
-        let Some(start) = assignment else {
-            stats.filtered_out += 1;
-            stats.assignment.filtered_out += 1;
-            continue;
-        };
-        stats.assignment.record(depth);
-
-        // --- Join within the assigned subtree ------------------------
-        stack.clear();
-        stack.push(start);
-        while let Some(n) = stack.pop() {
-            match tree.node_children(n) {
-                Some(children) => {
-                    for &c in children {
-                        stats.filter += 1;
-                        if tree.node_mbr(c).intersects(&fb) {
-                            stack.push(c);
-                        }
-                    }
-                }
-                None => {
-                    for x in tree.leaf_objects(n) {
-                        stats.filter += 1;
-                        if x.obj.aabb().inflate(eps).intersects(&b[j].aabb()) {
-                            stats.refine += 1;
-                            if x.obj.refine(&b[j], eps) {
-                                pairs.push((x.idx, j as u32));
-                            }
-                        }
-                    }
-                }
-            }
+        for (d, c) in ws.hist.iter().enumerate() {
+            self.histogram[d] += c;
         }
+        self.filtered_out += ws.filtered_out;
     }
-    (pairs, stats)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{NestedLoopJoin, PbsmJoin, PlaneSweepJoin, S3Join};
+    use crate::{ClassicTouchJoin, NestedLoopJoin, PbsmJoin, PlaneSweepJoin, S3Join};
     use neurospatial_geom::Vec3;
 
     fn grid_boxes(n: usize, offset: f64) -> Vec<Aabb> {
@@ -309,12 +796,13 @@ mod tests {
     }
 
     #[test]
-    fn all_five_algorithms_agree() {
+    fn all_six_algorithms_agree() {
         let a = grid_boxes(250, 0.0);
         let b = grid_boxes(250, 0.7);
         let eps = 0.25;
         let reference = NestedLoopJoin.join(&a, &b, eps).sorted_pairs();
         assert_eq!(TouchJoin::default().join(&a, &b, eps).sorted_pairs(), reference);
+        assert_eq!(ClassicTouchJoin::default().join(&a, &b, eps).sorted_pairs(), reference);
         assert_eq!(PlaneSweepJoin.join(&a, &b, eps).sorted_pairs(), reference);
         assert_eq!(PbsmJoin::default().join(&a, &b, eps).sorted_pairs(), reference);
         assert_eq!(S3Join::default().join(&a, &b, eps).sorted_pairs(), reference);
@@ -331,6 +819,70 @@ mod tests {
         // Comparison counts are identical regardless of threading.
         assert_eq!(seq.stats.filter_comparisons, par.stats.filter_comparisons);
         assert_eq!(seq.stats.refine_comparisons, par.stats.refine_comparisons);
+    }
+
+    #[test]
+    fn hybrid_sweep_agrees_with_nested_scan() {
+        // Dense overlapping clouds produce big leaf buckets; force the
+        // sweep on (threshold 2) and off (usize::MAX) and compare.
+        let a = grid_boxes(600, 0.0);
+        let b = grid_boxes(600, 0.4);
+        for eps in [0.0, 0.7, 2.5] {
+            let swept = TouchJoin::default().with_sweep_min(2).join(&a, &b, eps);
+            let nested =
+                TouchJoin { sweep_min: usize::MAX, ..TouchJoin::default() }.join(&a, &b, eps);
+            assert_eq!(swept.sorted_pairs(), nested.sorted_pairs(), "eps={eps}");
+            assert_eq!(swept.stats.results, nested.stats.results);
+            // The sweep exists to do *fewer* comparisons on big buckets.
+            assert!(
+                swept.stats.total_comparisons() <= nested.stats.total_comparisons(),
+                "sweep {} vs nested {}",
+                swept.stats.total_comparisons(),
+                nested.stats.total_comparisons()
+            );
+        }
+    }
+
+    #[test]
+    fn engine_scratch_reuse_is_stable() {
+        // One engine, one scratch, many joins (varying B and ε): every
+        // run must reproduce the from-scratch result exactly.
+        let a = grid_boxes(500, 0.0);
+        let engine = TouchEngine::build(&a, 16);
+        let mut scratch = JoinScratch::new();
+        let mut out = Vec::new();
+        for round in 0..4 {
+            let b = grid_boxes(300 + round * 50, 0.3 + round as f64 * 0.2);
+            let eps = round as f64 * 0.4;
+            let stats = engine.join_into(&b, eps, 1, 32, &mut scratch, &mut out);
+            let reference = TouchJoin::default().join(&a, &b, eps);
+            let mut got = out.clone();
+            got.sort_unstable();
+            assert_eq!(got, reference.sorted_pairs(), "round {round}");
+            assert_eq!(stats.results, reference.stats.results);
+            let assigned: u64 = scratch.report().histogram.iter().sum();
+            assert_eq!(assigned + scratch.report().filtered_out, b.len() as u64);
+        }
+    }
+
+    #[test]
+    fn engine_threads_agree_with_sequential() {
+        let a = grid_boxes(500, 0.0);
+        let b = grid_boxes(450, 0.5);
+        let engine = TouchEngine::build(&a, 16);
+        let mut scratch = JoinScratch::new();
+        let mut out = Vec::new();
+        let seq = engine.join_into(&b, 0.6, 1, 32, &mut scratch, &mut out);
+        let mut want = out.clone();
+        want.sort_unstable();
+        for threads in [2, 3, 8] {
+            let stats = engine.join_into(&b, 0.6, threads, 32, &mut scratch, &mut out);
+            let mut got = out.clone();
+            got.sort_unstable();
+            assert_eq!(got, want, "threads={threads}");
+            assert_eq!(stats.filter_comparisons, seq.filter_comparisons);
+            assert_eq!(stats.refine_comparisons, seq.refine_comparisons);
+        }
     }
 
     #[test]
@@ -378,6 +930,11 @@ mod tests {
         let one = vec![Aabb::cube(Vec3::ZERO, 1.0)];
         assert!(TouchJoin::default().join(&e, &one, 1.0).pairs.is_empty());
         assert!(TouchJoin::default().join(&one, &e, 1.0).pairs.is_empty());
+        let engine = TouchEngine::build(&e, 16);
+        let mut out = vec![(1u32, 1u32)];
+        let stats = engine.join_into(&one, 1.0, 2, 32, &mut JoinScratch::new(), &mut out);
+        assert!(out.is_empty(), "join_into clears the output buffer");
+        assert_eq!(stats.results, 0);
     }
 
     #[test]
@@ -400,5 +957,30 @@ mod tests {
         let b = vec![Aabb::cube(Vec3::new(7.0, 7.0, 3.0), 100.0)];
         let (_, report) = TouchJoin::default().join_with_report(&a, &b, 0.0);
         assert_eq!(report.histogram.first().copied().unwrap_or(0), 1, "assigned at depth 0");
+    }
+
+    #[test]
+    fn phase_times_partition_the_probe() {
+        let a = grid_boxes(400, 0.0);
+        let b = grid_boxes(400, 0.6);
+        let r = TouchJoin::default().join(&a, &b, 0.5);
+        assert!(r.stats.assign_ms >= 0.0 && r.stats.join_ms >= 0.0);
+        assert!((r.stats.probe_ms - (r.stats.assign_ms + r.stats.join_ms)).abs() < 1e-9);
+        assert!(r.stats.total_ms >= r.stats.probe_ms);
+    }
+
+    #[test]
+    fn matches_classic_exactly() {
+        // The rebuilt engine and the pointer-walking classic must agree
+        // bit for bit on the pair relation, at every fanout.
+        let a = grid_boxes(700, 0.0);
+        let b = grid_boxes(650, 0.9);
+        for fanout in [4usize, 16, 64] {
+            for eps in [0.0, 0.8] {
+                let new = TouchJoin::default().with_fanout(fanout).join(&a, &b, eps);
+                let old = ClassicTouchJoin { fanout, threads: 1 }.join(&a, &b, eps);
+                assert_eq!(new.sorted_pairs(), old.sorted_pairs(), "fanout={fanout} eps={eps}");
+            }
+        }
     }
 }

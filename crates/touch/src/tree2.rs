@@ -7,11 +7,10 @@
 //! (§4) — S3 pays two full index builds before any result is produced,
 //! which is exactly what E5's build/probe breakdown shows.
 
-use crate::stats::{JoinResult, JoinStats};
+use crate::stats::{JoinResult, JoinStats, PhaseTimer};
 use crate::{JoinObject, SpatialJoin};
 use neurospatial_geom::Aabb;
 use neurospatial_rtree::{RTree, RTreeObject, RTreeParams};
-use std::time::Instant;
 
 /// Synchronized traversal of two STR-packed R-Trees.
 #[derive(Debug, Clone, Copy)]
@@ -45,7 +44,7 @@ impl SpatialJoin for S3Join {
     }
 
     fn join<T: JoinObject>(&self, a: &[T], b: &[T], eps: f64) -> JoinResult {
-        let t0 = Instant::now();
+        let mut timer = PhaseTimer::start();
         let mut stats = JoinStats::default();
         if a.is_empty() || b.is_empty() {
             return JoinResult::default();
@@ -57,9 +56,8 @@ impl SpatialJoin for S3Join {
         let ta = RTree::bulk_load(wrap(a), RTreeParams::with_max_entries(self.fanout));
         let tb = RTree::bulk_load(wrap(b), RTreeParams::with_max_entries(self.fanout));
         stats.aux_memory_bytes = (ta.memory_bytes() + tb.memory_bytes()) as u64;
-        stats.build_ms = t0.elapsed().as_secs_f64() * 1e3;
+        stats.build_ms = timer.lap();
 
-        let t1 = Instant::now();
         let mut pairs = Vec::new();
         // Explicit stack of node-id pairs.
         let mut stack = vec![(ta.root_id(), tb.root_id())];
@@ -106,8 +104,9 @@ impl SpatialJoin for S3Join {
         }
 
         stats.results = pairs.len() as u64;
-        stats.probe_ms = t1.elapsed().as_secs_f64() * 1e3;
-        stats.total_ms = t0.elapsed().as_secs_f64() * 1e3;
+        stats.probe_ms = timer.lap();
+        stats.join_ms = stats.probe_ms; // synchronized traversal: join only
+        timer.finish(&mut stats);
         JoinResult { pairs, stats }
     }
 }

@@ -1,0 +1,95 @@
+//! Join-engine equivalence properties: the rebuilt cache-conscious TOUCH
+//! pipeline (scratch path, parallel path at random thread counts, forced
+//! bucket-sweep path), the classic pointer-walking TOUCH it replaced,
+//! PBSM, the plane sweep and the nested loop must all produce the
+//! identical sorted pair relation — on random segment clouds, at ε = 0,
+//! and on heavily overlapping inputs.
+
+use neurospatial::touch::{
+    ClassicTouchJoin, JoinScratch, NestedLoopJoin, PbsmJoin, PlaneSweepJoin, SpatialJoin,
+    TouchEngine, TouchJoin,
+};
+use neurospatial_geom::{Segment, Vec3};
+use proptest::prelude::*;
+
+/// Random capsule segments inside a cube of the given half extent: the
+/// smaller the volume, the denser the overlap.
+fn segment_cloud(n: usize, half: f64) -> impl Strategy<Value = Vec<Segment>> {
+    prop::collection::vec(
+        ((-1.0..1.0, -1.0..1.0, -1.0..1.0), (-6.0..6.0, -6.0..6.0, -6.0..6.0), 0.05..1.2f64)
+            .prop_map(move |((x, y, z), (dx, dy, dz), r)| {
+                let p0 = Vec3::new(x * half, y * half, z * half);
+                Segment::new(p0, p0 + Vec3::new(dx, dy, dz), r)
+            }),
+        0..n,
+    )
+}
+
+fn check_all(a: &[Segment], b: &[Segment], eps: f64, threads: usize) -> Result<(), TestCaseError> {
+    let want = NestedLoopJoin.join(a, b, eps).sorted_pairs();
+
+    // Classic pointer-walk path (sequential and parallel).
+    prop_assert_eq!(&ClassicTouchJoin::default().join(a, b, eps).sorted_pairs(), &want);
+    prop_assert_eq!(&ClassicTouchJoin::parallel(threads).join(a, b, eps).sorted_pairs(), &want);
+
+    // Rebuilt engine through the trait (fresh scratch per call).
+    prop_assert_eq!(&TouchJoin::default().join(a, b, eps).sorted_pairs(), &want);
+    prop_assert_eq!(&TouchJoin::parallel(threads).join(a, b, eps).sorted_pairs(), &want);
+    prop_assert_eq!(&TouchJoin::default().with_sweep_min(2).join(a, b, eps).sorted_pairs(), &want);
+
+    // Rebuilt engine through the explicit scratch path, reusing one
+    // scratch and output buffer across sequential + parallel runs.
+    if !a.is_empty() {
+        let engine = TouchEngine::build(a, 16);
+        let mut scratch = JoinScratch::new();
+        let mut out = Vec::new();
+        for t in [1, threads] {
+            engine.join_into(b, eps, t, 32, &mut scratch, &mut out);
+            out.sort_unstable();
+            prop_assert_eq!(&out, &want, "scratch path, {} thread(s)", t);
+        }
+    }
+
+    // The baselines.
+    prop_assert_eq!(&PlaneSweepJoin.join(a, b, eps).sorted_pairs(), &want);
+    prop_assert_eq!(
+        &PbsmJoin { objects_per_cell: 8, max_cells_per_axis: 24 }.join(a, b, eps).sorted_pairs(),
+        &want
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn all_join_paths_agree_on_random_clouds(
+        a in segment_cloud(60, 30.0),
+        b in segment_cloud(60, 30.0),
+        eps in 0.0..4.0f64,
+        threads in 1usize..8,
+    ) {
+        check_all(&a, &b, eps, threads)?;
+    }
+
+    #[test]
+    fn all_join_paths_agree_at_epsilon_zero(
+        a in segment_cloud(50, 20.0),
+        b in segment_cloud(50, 20.0),
+        threads in 1usize..8,
+    ) {
+        check_all(&a, &b, 0.0, threads)?;
+    }
+
+    #[test]
+    fn all_join_paths_agree_on_heavy_overlap(
+        // Everything crammed into a tiny volume: nearly every pair
+        // qualifies, buckets are huge, and the hybrid sweep engages.
+        a in segment_cloud(45, 3.0),
+        b in segment_cloud(45, 3.0),
+        eps in 0.0..2.0f64,
+        threads in 1usize..8,
+    ) {
+        check_all(&a, &b, eps, threads)?;
+    }
+}
