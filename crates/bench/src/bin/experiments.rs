@@ -13,6 +13,9 @@
 //!
 //! # sharded-vs-monolithic throughput race (every backend):
 //! cargo run ... --bin experiments --scenario=throughput --threads=4 --shards=8
+//!
+//! # unified Query API race: collect vs stream vs session (E8):
+//! cargo run ... --bin experiments --scenario=api --strict
 //! ```
 //!
 //! Mapping (see DESIGN.md §4 for the full index):
@@ -23,6 +26,8 @@
 //!   e4 — Fig. 6:   walkthrough prefetching comparison (up-to-15× claim)
 //!   e5 — Fig. 7:   TOUCH vs join baselines (10×/100× claims)
 //!   e6 — §1:       scaling with model size
+//!   api (E8):      unified Query builder — collect vs stream vs session,
+//!                  predicate pushdown, 0-alloc streaming (BENCH_api.json)
 
 use neurospatial::prelude::*;
 use neurospatial::scout::{PrefetchContext, ScoutPrefetcher};
@@ -158,6 +163,20 @@ fn main() {
             parse_value::<String>(&args, "out").unwrap_or_else(|| "BENCH_touch.json".to_string());
         let strict = args.iter().any(|a| a == "--strict");
         join_bench(n, eps, fanout, sweep_min, threads, &out, strict);
+    }
+    if run("api") {
+        // Deliberately small defaults: the scenario races the *API layer*
+        // (materialization, post-filtering, per-query allocation) on
+        // selective queries, so the per-query fixed costs must be visible
+        // over the shared traversal work. Use --n/--half for scaling runs.
+        let n: usize = parse_value(&args, "n").unwrap_or(2_000);
+        let queries: usize = parse_value(&args, "queries").unwrap_or(512);
+        let half: f64 = parse_value(&args, "half").unwrap_or(5.0);
+        let cap: usize = parse_value(&args, "cap").unwrap_or(32);
+        let out =
+            parse_value::<String>(&args, "out").unwrap_or_else(|| "BENCH_api.json".to_string());
+        let strict = args.iter().any(|a| a == "--strict");
+        api_bench(&backends, n, queries, half, cap, shards, &out, strict);
     }
     if run("a1") {
         a1_flat_packing();
@@ -1191,6 +1210,282 @@ fn join_bench(
         eprintln!(
             "join --strict: acceptance bar FAILED \
              (min steady speedup {min_steady:.2}x, steady allocs {steady_allocs_1thr})"
+        );
+        std::process::exit(1);
+    }
+}
+
+/// API (E8) — the three terminal modes of the unified `Query` builder
+/// raced on the same *selective* workload (a pushed-down predicate keeps
+/// ~1/8 of each result set). For every backend, monolithic and sharded:
+///
+/// * **collect+post-filter** — the pre-redesign serving pattern: the
+///   allocating engine lane (`index().range_query`, exactly what
+///   `db.range_query()` ran before this redesign) materializes the full
+///   result `Vec` with fresh traversal state, the caller filters
+///   afterwards;
+/// * **collect (new)** — the redesigned `collect()` terminal (reported
+///   for transparency: it now rides the thread-shared scratch, so even
+///   materializing callers got faster);
+/// * **stream** — `query().range().filter(&pred).stream(|s| …)`: the
+///   predicate runs *below* the index traversal, nothing is
+///   materialized, and the thread-shared scratch makes the steady state
+///   allocation-free;
+/// * **session** — a bound `QuerySession` reusing one scratch + result
+///   buffer across the whole loop.
+///
+/// Identical result sets are asserted during the warm-up pass. Under
+/// `--strict` (the CI bench-smoke gate) the acceptance bar is the exit
+/// code: stream must allocate 0 bytes steady-state and beat
+/// collect+post-filter by >= 1.2x on every configuration.
+#[allow(clippy::too_many_arguments)]
+fn api_bench(
+    backends: &[IndexBackend],
+    n: usize,
+    queries: usize,
+    half: f64,
+    cap: usize,
+    shards: usize,
+    out_path: &str,
+    strict: bool,
+) {
+    println!("\n== API (E8) — collect vs stream vs session on selective queries ==\n");
+    let segments = sized_segments(n, 42);
+    let bounds = segments.iter().fold(Aabb::EMPTY, |a, s| a.union(&s.aabb()));
+    let w = RangeQueryWorkload::generate(
+        1000,
+        &bounds,
+        queries,
+        half,
+        QueryPlacement::DataCentered,
+        Some(&segments),
+    );
+    let pred = |s: &NeuronSegment| s.neuron.is_multiple_of(8);
+    println!(
+        "{} segments, batch of {} range queries ({:.0}³, data-centred), predicate keeps neuron%8==0",
+        segments.len(),
+        w.queries.len(),
+        half * 2.0
+    );
+    println!(
+        "page capacity {cap}, sharded configurations: {shards} shards, 1 worker thread, \
+         best of 15 rounds\n"
+    );
+
+    /// Race the four modes *interleaved*: every round times each mode
+    /// once, in rotation, so slow drift (thermal, noisy neighbours) hits
+    /// all modes equally instead of biasing whichever ran last.
+    /// Per mode: best-of-15 wall time in ns/query, allocation count of
+    /// the final (steady-state, every buffer warm) round, and the final
+    /// round's checksum.
+    fn race_interleaved(
+        queries: usize,
+        passes: &mut [&mut dyn FnMut() -> u64],
+    ) -> Vec<(f64, f64, u64)> {
+        let mut best = vec![f64::INFINITY; passes.len()];
+        let mut allocs = vec![0u64; passes.len()];
+        let mut sums = vec![0u64; passes.len()];
+        for _ in 0..15 {
+            for (i, pass) in passes.iter_mut().enumerate() {
+                let a0 = allocations();
+                let t = Instant::now();
+                sums[i] = pass();
+                best[i] = best[i].min(t.elapsed().as_secs_f64() * 1e3);
+                allocs[i] = allocations() - a0;
+            }
+        }
+        (0..passes.len())
+            .map(|i| (best[i] * 1e6 / queries as f64, allocs[i] as f64 / queries as f64, sums[i]))
+            .collect()
+    }
+
+    let mut t = Table::new([
+        "backend",
+        "old collect ns/q",
+        "new collect ns/q",
+        "stream ns/q",
+        "session ns/q",
+        "stream speedup",
+        "allocs/q (old)",
+        "allocs/q (stream)",
+        "allocs/q (session)",
+        "kept/q",
+    ]);
+    let mut json_rows: Vec<String> = Vec::new();
+    let mut min_speedup = f64::INFINITY;
+    let mut stream_alloc_free = 0usize;
+    let configs: Vec<(String, bool)> = backends
+        .iter()
+        .flat_map(|b| [(b.name().to_string(), false), (b.sharded_name(), true)])
+        .collect();
+
+    for (name, sharded) in &configs {
+        let backend: IndexBackend = name.strip_prefix("sharded:").unwrap_or(name).parse().unwrap();
+        let db = NeuroDb::builder()
+            .segments(segments.clone())
+            .backend(backend)
+            .page_capacity(cap)
+            .shards(if *sharded { shards } else { 1 })
+            .threads(1)
+            .build()
+            .expect("valid configuration");
+        let mut session =
+            db.query().range(w.queries[0]).filter(&pred).session().expect("no population");
+
+        // Warm-up pass: grows every buffer to steady state and asserts
+        // the three modes agree with post-filtering the legacy output.
+        let mut kept_total = 0u64;
+        for q in &w.queries {
+            let legacy = db.range_query(q);
+            let want: Vec<u64> = legacy.segments.iter().filter(|s| pred(s)).map(|s| s.id).collect();
+            let mut streamed: Vec<u64> = Vec::new();
+            let stats = db
+                .query()
+                .range(*q)
+                .filter(&pred)
+                .stream(|s| streamed.push(s.id))
+                .expect("no population");
+            assert_eq!(streamed, want, "{name}: stream diverges from post-filter at {q}");
+            assert_eq!(stats.results as usize, want.len(), "{name}: stream result count");
+            let (hits, _) = session.range(q);
+            assert!(
+                hits.iter().map(|s| s.id).eq(want.iter().copied()),
+                "{name}: session diverges at {q}"
+            );
+            kept_total += want.len() as u64;
+        }
+
+        // Mode 0 — the pre-redesign pattern: the allocating engine lane
+        // (what `db.range_query` executed before the builder existed),
+        // then a post-filter over the materialized Vec. Modes 1-3: the
+        // redesigned collect / stream / session terminals.
+        let queries_ref = &w.queries;
+        let db_ref = &db;
+        let mut old_pass = || {
+            let mut kept = 0u64;
+            for q in queries_ref {
+                let out = db_ref.index().range_query(q);
+                kept += out.segments.iter().filter(|s| pred(s)).count() as u64;
+            }
+            kept
+        };
+        let mut collect_pass = || {
+            let mut kept = 0u64;
+            for q in queries_ref {
+                let out = db_ref.range_query(q);
+                kept += out.segments.iter().filter(|s| pred(s)).count() as u64;
+            }
+            kept
+        };
+        let mut stream_pass = || {
+            let mut kept = 0u64;
+            for q in queries_ref {
+                let stats = db_ref
+                    .query()
+                    .range(*q)
+                    .filter(&pred)
+                    .stream(|_| kept += 1)
+                    .expect("no population");
+                std::hint::black_box(stats.results);
+            }
+            kept
+        };
+        let mut session_pass = || {
+            let mut kept = 0u64;
+            for q in queries_ref {
+                let (hits, _) = session.range(q);
+                kept += hits.len() as u64;
+            }
+            kept
+        };
+        let timed = race_interleaved(
+            w.queries.len(),
+            &mut [&mut old_pass, &mut collect_pass, &mut stream_pass, &mut session_pass],
+        );
+        let (old_ns, old_allocs, old_sum) = timed[0];
+        let (collect_ns, _collect_allocs, collect_sum) = timed[1];
+        let (stream_ns, stream_allocs, stream_sum) = timed[2];
+        let (session_ns, session_allocs, session_sum) = timed[3];
+        assert_eq!(old_sum, kept_total, "{name}: pre-redesign sum");
+        assert_eq!(collect_sum, kept_total, "{name}: collect sum");
+        assert_eq!(stream_sum, kept_total, "{name}: stream sum");
+        assert_eq!(session_sum, kept_total, "{name}: session sum");
+
+        let speedup = old_ns / stream_ns.max(1e-9);
+        min_speedup = min_speedup.min(speedup);
+        if stream_allocs == 0.0 {
+            stream_alloc_free += 1;
+        }
+        let nq = w.queries.len() as f64;
+        t.row([
+            name.clone(),
+            f1(old_ns),
+            f1(collect_ns),
+            f1(stream_ns),
+            f1(session_ns),
+            format!("{speedup:.2}x"),
+            f2(old_allocs),
+            f2(stream_allocs),
+            f2(session_allocs),
+            f1(kept_total as f64 / nq),
+        ]);
+        json_rows.push(format!(
+            concat!(
+                "    {{\"backend\": {:?}, \"sharded\": {}, ",
+                "\"collect_post_filter_ns_per_query\": {:.1}, ",
+                "\"new_collect_ns_per_query\": {:.1}, \"stream_ns_per_query\": {:.1}, ",
+                "\"session_ns_per_query\": {:.1}, \"stream_speedup_vs_collect\": {:.3}, ",
+                "\"allocs_per_query_collect\": {:.2}, \"allocs_per_query_stream\": {:.2}, ",
+                "\"allocs_per_query_session\": {:.2}, \"kept_per_query\": {:.2}}}"
+            ),
+            name,
+            sharded,
+            old_ns,
+            collect_ns,
+            stream_ns,
+            session_ns,
+            speedup,
+            old_allocs,
+            stream_allocs,
+            session_allocs,
+            kept_total as f64 / nq,
+        ));
+    }
+    t.print();
+
+    let json = format!(
+        concat!(
+            "{{\n  \"scenario\": \"api\",\n  \"segments\": {},\n  \"queries\": {},\n",
+            "  \"query_half_extent\": {:.1},\n  \"page_capacity\": {},\n",
+            "  \"shards\": {},\n  \"threads\": 1,\n",
+            "  \"predicate\": \"neuron % 8 == 0\",\n",
+            "  \"min_stream_speedup_vs_collect\": {:.3},\n",
+            "  \"stream_alloc_free_configs\": {},\n  \"configs\": [\n{}\n  ]\n}}\n"
+        ),
+        segments.len(),
+        w.queries.len(),
+        half,
+        cap,
+        shards,
+        min_speedup,
+        stream_alloc_free,
+        json_rows.join(",\n")
+    );
+    std::fs::write(out_path, json).expect("write BENCH json");
+    println!("\nwrote {out_path}");
+    println!(
+        "\nshape check: stream() with the pushed-down predicate does 0 steady-state\n\
+         allocs/query on {stream_alloc_free}/{} configs and beats collect()+post-filter by\n\
+         {min_speedup:.2}x at worst (acceptance: 0 allocs everywhere, >= 1.2x on every config);\n\
+         identical filtered result sets asserted on every query of every config.",
+        configs.len()
+    );
+    if strict && (stream_alloc_free < configs.len() || min_speedup < 1.2) {
+        eprintln!(
+            "api --strict: acceptance bar FAILED \
+             (stream alloc-free {stream_alloc_free}/{}, min speedup {min_speedup:.2}x, \
+             need all and >= 1.2x)",
+            configs.len()
         );
         std::process::exit(1);
     }

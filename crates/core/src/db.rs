@@ -10,15 +10,17 @@ use crate::error::NeuroError;
 use crate::index::{
     IndexBackend, IndexParams, Neighbor, QueryOutput, QueryScratch, QueryStats, SpatialIndex,
 };
+use crate::query::Query;
 use crate::shard::ShardedIndex;
 use neurospatial_flat::FlatIndex;
 use neurospatial_geom::{Aabb, Vec3};
 use neurospatial_model::{Circuit, NavigationPath, NeuronSegment};
 use neurospatial_scout::{
     ExplorationSession, ExtrapolationPrefetcher, HilbertPrefetcher, MarkovPrefetcher, NoPrefetch,
-    Prefetcher, ScoutPrefetcher, SessionConfig, SessionStats,
+    Prefetcher, QueryTrace, ScoutPrefetcher, SessionConfig, SessionCursor, SessionStats,
 };
 use neurospatial_touch::{JoinResult, SpatialJoin, TouchJoin};
+use std::collections::HashMap;
 use std::fmt;
 use std::str::FromStr;
 
@@ -378,6 +380,26 @@ impl NeuroDbBuilder {
             config.shards = config.shards.max(2);
         }
         let populations = self.populations.partition(&segments);
+        // Built once here so lookups stay O(1) forever after: population
+        // names resolve through a map instead of a linear scan, and each
+        // segment id knows its population (what `in_population` pushdown
+        // tests inside index traversals). Duplicate names are rejected —
+        // they would make every name-keyed lookup (and the name-resolved
+        // synapse join) silently ambiguous.
+        let mut population_index: HashMap<String, usize> = HashMap::new();
+        for (i, p) in populations.iter().enumerate() {
+            if population_index.insert(p.name.clone(), i).is_some() {
+                return Err(NeuroError::InvalidConfig(format!(
+                    "duplicate population name '{}'",
+                    p.name
+                )));
+            }
+        }
+        let population_of_id: HashMap<u64, u32> = populations
+            .iter()
+            .enumerate()
+            .flat_map(|(i, p)| p.segments.iter().map(move |s| (s.id, i as u32)))
+            .collect();
 
         config.session.page_capacity = config.page_capacity;
         let params = IndexParams {
@@ -402,7 +424,7 @@ impl NeuroDbBuilder {
             (other, false) => DbIndex::Boxed(other.build(segments, &params)),
             (other, true) => DbIndex::Boxed(other.build_sharded(segments, &params)),
         };
-        Ok(NeuroDb { index, backend, config, populations })
+        Ok(NeuroDb { index, backend, config, populations, population_index, population_of_id })
     }
 }
 
@@ -425,6 +447,12 @@ pub struct NeuroDb {
     backend: IndexBackend,
     config: NeuroDbConfig,
     populations: Vec<Population>,
+    /// Population name → position in `populations` (built once in
+    /// `build()`; `population()` is O(1), not a linear scan).
+    population_index: HashMap<String, usize>,
+    /// Segment id → population position (the membership test
+    /// `Query::in_population` pushes below index traversals).
+    population_of_id: HashMap<u64, u32>,
 }
 
 impl fmt::Debug for NeuroDb {
@@ -483,15 +511,30 @@ impl NeuroDb {
         }
     }
 
+    /// The concrete backend behind this database, by type — the generic
+    /// [`SpatialIndex::as_any`] downcast, so *every* backend is reachable
+    /// without the facade knowing concrete types:
+    ///
+    /// ```
+    /// use neurospatial::prelude::*;
+    ///
+    /// let c = CircuitBuilder::new(1).neurons(3).build();
+    /// let db = NeuroDb::builder().circuit(&c).backend(IndexBackend::RPlus).build().unwrap();
+    /// let rplus = db.index_as::<RPlusTree<NeuronSegment>>().expect("R+ backend");
+    /// assert!(rplus.replication_factor() >= 1.0);
+    /// assert!(db.index_as::<FlatIndex<NeuronSegment>>().is_none());
+    /// ```
+    pub fn index_as<T: SpatialIndex>(&self) -> Option<&T> {
+        self.index().as_any().downcast_ref::<T>()
+    }
+
     /// The FLAT index, if this database uses the **monolithic** FLAT
     /// backend (page-level statistics, neighborhood graph inspection).
     /// `None` for every other backend, including sharded FLAT — its
-    /// pages are spread over shard-local indexes.
+    /// pages are spread over shard-local indexes. Sugar for
+    /// [`index_as`](Self::index_as).
     pub fn flat_index(&self) -> Option<&FlatIndex<NeuronSegment>> {
-        match &self.index {
-            DbIndex::Flat(session) => Some(session.index()),
-            DbIndex::ShardedFlat(_) | DbIndex::Boxed(_) => None,
-        }
+        self.index_as::<FlatIndex<NeuronSegment>>()
     }
 
     /// Shard count of the underlying index (1 for monolithic backends).
@@ -508,9 +551,34 @@ impl NeuroDb {
         self.index().bounds()
     }
 
+    /// Open the unified query builder — one composable entry point for
+    /// every workload the database serves:
+    ///
+    /// ```
+    /// use neurospatial::prelude::*;
+    ///
+    /// let circuit = CircuitBuilder::new(3).neurons(6).build();
+    /// let db = NeuroDb::from_circuit(&circuit);
+    /// let region = Aabb::cube(circuit.bounds().center(), 30.0);
+    ///
+    /// // Collect, stream (never materializes), or explain:
+    /// let out = db.query().range(region).collect().unwrap();
+    /// let mut n = 0;
+    /// db.query().range(region).stream(|_seg| n += 1).unwrap();
+    /// assert_eq!(n, out.len());
+    /// let plan = db.query().range(region).explain();
+    /// assert_eq!(plan.backend, IndexBackend::Flat);
+    /// ```
+    pub fn query(&self) -> Query<'_> {
+        Query::new(self)
+    }
+
     /// Execute a spatial range query through the selected backend.
+    /// Forwarding shim over `self.query().range(*region).collect()` —
+    /// results, order and statistics are byte-identical (property-tested
+    /// in `tests/query_api_equivalence.rs`).
     pub fn range_query(&self, region: &Aabb) -> QueryOutput {
-        self.index().range_query(region)
+        self.query().range(*region).collect().expect("no population constraint to fail")
     }
 
     /// Execute a batch of range queries (one output per region). On a
@@ -536,9 +604,10 @@ impl NeuroDb {
     }
 
     /// The `k` segments nearest to `p`, in canonical (distance, id)
-    /// order, through the selected backend.
+    /// order, through the selected backend. Forwarding shim over
+    /// `self.query().knn(p, k).collect()`.
     pub fn knn(&self, p: Vec3, k: usize) -> (Vec<Neighbor>, QueryStats) {
-        self.index().knn(p, k)
+        self.query().knn(p, k).collect().expect("no population constraint to fail")
     }
 
     /// Compute aggregate tissue statistics for a region (one range query
@@ -574,28 +643,42 @@ impl NeuroDb {
         self.populations.iter().map(|p| p.name.as_str()).collect()
     }
 
-    /// Segments of one population.
+    /// Segments of one population (O(1) — resolved through the name map
+    /// built at [`build`](NeuroDbBuilder::build) time).
     pub fn population(&self, name: &str) -> Result<&[NeuronSegment], NeuroError> {
-        self.populations.iter().find(|p| p.name == name).map(|p| p.segments.as_slice()).ok_or_else(
-            || NeuroError::UnknownPopulation {
-                given: name.to_string(),
-                known: self.population_names().iter().map(|s| s.to_string()).collect(),
-            },
-        )
+        self.population_position(name).map(|i| self.populations[i].segments.as_slice())
+    }
+
+    /// Position of a named population in [`populations`](Self::populations).
+    pub(crate) fn population_position(&self, name: &str) -> Result<usize, NeuroError> {
+        self.population_index.get(name).copied().ok_or_else(|| NeuroError::UnknownPopulation {
+            given: name.to_string(),
+            known: self.population_names().iter().map(|s| s.to_string()).collect(),
+        })
+    }
+
+    /// Which population a segment id belongs to (`None` for ids the
+    /// database has never seen).
+    pub(crate) fn population_of_segment(&self, id: u64) -> Option<u32> {
+        self.population_of_id.get(&id).copied()
     }
 
     /// Distance-join two named populations: all segment pairs whose
     /// capsule surfaces come within `epsilon` (TOUCH). Pair indices are
-    /// positions within each population's segment slice.
+    /// positions within each population's segment slice. Forwarding shim
+    /// over `self.query().touching(second, epsilon).in_population(first)`.
     pub fn join_between(
         &self,
         first: &str,
         second: &str,
         epsilon: f64,
     ) -> Result<JoinResult, NeuroError> {
-        let a = self.population(first)?;
-        let b = self.population(second)?;
-        Ok(self.config.join.join(a, b, epsilon))
+        self.query().touching(second, epsilon).in_population(first).collect()
+    }
+
+    /// The join engine this database runs TOUCH workloads with.
+    pub(crate) fn join_config(&self) -> &TouchJoin {
+        &self.config.join
     }
 
     /// Find synapse candidates between the first two populations — the
@@ -605,11 +688,7 @@ impl NeuroDb {
         if self.populations.len() < 2 {
             return Err(NeuroError::TooFewPopulations { found: self.populations.len(), needed: 2 });
         }
-        Ok(self.config.join.join(
-            &self.populations[0].segments,
-            &self.populations[1].segments,
-            epsilon,
-        ))
+        self.join_between(&self.populations[0].name, &self.populations[1].name, epsilon)
     }
 
     /// Distance-join this database's segments against an external
@@ -656,8 +735,19 @@ impl NeuroDb {
     /// the session statistics (stall time, hit ratio, prefetch precision).
     ///
     /// Errors unless the database uses the FLAT backend (monolithic or
-    /// sharded) — walkthrough simulation is page-granular.
+    /// sharded) — walkthrough simulation is page-granular. Forwarding
+    /// shim over `self.query().along_path(path).method(method).run()`.
     pub fn walkthrough(
+        &self,
+        path: &NavigationPath,
+        method: WalkthroughMethod,
+    ) -> Result<SessionStats, NeuroError> {
+        self.query().along_path(path).method(method).run()
+    }
+
+    /// The worker behind [`walkthrough`](Self::walkthrough) and the
+    /// builder's `along_path(..).run()` terminal.
+    pub(crate) fn walkthrough_impl(
         &self,
         path: &NavigationPath,
         method: WalkthroughMethod,
@@ -674,6 +764,49 @@ impl NeuroDb {
             DbIndex::Boxed(_) => {
                 Err(NeuroError::WalkthroughUnsupported { backend: self.backend.name().to_string() })
             }
+        }
+    }
+
+    /// Bind a step-wise SCOUT prefetch cursor over this database's paged
+    /// (FLAT) index — the simulated-I/O companion `Query::session`
+    /// attaches so repeated-query loops report walkthrough-grade hit and
+    /// stall statistics. Errors on non-paged backends.
+    pub(crate) fn scout_cursor(
+        &self,
+        method: WalkthroughMethod,
+    ) -> Result<DbCursor<'_>, NeuroError> {
+        match &self.index {
+            DbIndex::Flat(session) => Ok(DbCursor::Flat(session.cursor(method.prefetcher()))),
+            DbIndex::ShardedFlat(session) => {
+                Ok(DbCursor::Sharded(session.cursor(method.prefetcher())))
+            }
+            DbIndex::Boxed(_) => {
+                Err(NeuroError::WalkthroughUnsupported { backend: self.backend.name().to_string() })
+            }
+        }
+    }
+}
+
+/// A step-wise SCOUT cursor over whichever paged index shape the
+/// database owns (monolithic or sharded FLAT) — the binding behind
+/// `QuerySession::with_prefetch`.
+pub(crate) enum DbCursor<'s> {
+    Flat(SessionCursor<'s, FlatIndex<NeuronSegment>>),
+    Sharded(SessionCursor<'s, ShardedIndex<FlatIndex<NeuronSegment>>>),
+}
+
+impl DbCursor<'_> {
+    pub(crate) fn step(&mut self, q: &Aabb) -> QueryTrace {
+        match self {
+            DbCursor::Flat(c) => c.step(q),
+            DbCursor::Sharded(c) => c.step(q),
+        }
+    }
+
+    pub(crate) fn stats(&self) -> &SessionStats {
+        match self {
+            DbCursor::Flat(c) => c.stats(),
+            DbCursor::Sharded(c) => c.stats(),
         }
     }
 }
@@ -752,6 +885,16 @@ mod tests {
             assert_eq!(a[i as usize].neuron % 2, 0);
             assert_eq!(b[j as usize].neuron % 2, 1);
         }
+    }
+
+    #[test]
+    fn duplicate_population_names_are_rejected() {
+        let c = CircuitBuilder::new(4).neurons(4).build();
+        let err = NeuroDb::builder()
+            .circuit(&c)
+            .split_populations("x", "x", |s| s.neuron % 2 == 0)
+            .build();
+        assert!(matches!(err, Err(NeuroError::InvalidConfig(msg)) if msg.contains("'x'")));
     }
 
     #[test]

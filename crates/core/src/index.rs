@@ -23,9 +23,10 @@
 use crate::error::NeuroError;
 use crate::shard::ShardedIndex;
 use neurospatial_flat::{FlatBuildParams, FlatIndex, FlatQueryStats, FlatScratch};
-use neurospatial_geom::{Aabb, Vec3};
+use neurospatial_geom::{Aabb, Flow, Vec3};
 use neurospatial_model::NeuronSegment;
 use neurospatial_rtree::{RPlusTree, RTree, RTreeParams, TraversalCounters, TraversalScratch};
+use std::any::Any;
 use std::fmt;
 use std::str::FromStr;
 
@@ -196,6 +197,22 @@ impl From<&neurospatial_rtree::QueryStats> for QueryStats {
     }
 }
 
+/// Lightweight planner metadata behind [`crate::query::Plan`]: what an
+/// executor *would* touch for a region, without running the query.
+/// Produced by [`SpatialIndex::plan_range`]; the sharded executor fills
+/// in real shard-pruning counts, FLAT counts the actual pages the region
+/// overlaps, and the default is a cheap volume-fraction heuristic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IndexPlan {
+    /// Shards the executor manages (1 for monolithic backends).
+    pub shards_total: usize,
+    /// Shards whose bounds intersect the region (the rest are pruned
+    /// without being touched).
+    pub shards_probed: usize,
+    /// Estimated index pages/nodes the query would read.
+    pub estimated_reads: u64,
+}
+
 /// A range query's result set plus its unified statistics.
 #[derive(Debug, Clone, Default)]
 pub struct QueryOutput {
@@ -263,11 +280,25 @@ pub(crate) fn finish_knn(
 /// R-Tree and the sharded executor over any of them; every implementation
 /// must return exactly the segments a brute-force scan would
 /// (property-tested in `tests/backend_equivalence.rs`).
-pub trait SpatialIndex: Send + Sync {
+pub trait SpatialIndex: Send + Sync + 'static {
     /// Build the index over `segments`.
     fn build(segments: Vec<NeuronSegment>, params: &IndexParams) -> Self
     where
         Self: Sized;
+
+    /// Downcast escape hatch: the concrete backend behind a
+    /// `&dyn SpatialIndex`, reachable generically instead of through
+    /// per-backend accessors on the facade. `self` in every
+    /// implementation.
+    ///
+    /// ```
+    /// use neurospatial::prelude::*;
+    ///
+    /// let idx = IndexBackend::RPlus.build(Vec::new(), &IndexParams::default());
+    /// assert!(idx.as_any().downcast_ref::<RPlusTree<NeuronSegment>>().is_some());
+    /// assert!(idx.as_any().downcast_ref::<FlatIndex<NeuronSegment>>().is_none());
+    /// ```
+    fn as_any(&self) -> &dyn std::any::Any;
 
     /// Number of indexed segments.
     fn len(&self) -> usize;
@@ -308,6 +339,69 @@ pub trait SpatialIndex: Send + Sync {
     ) -> QueryStats {
         let _ = scratch;
         self.range_query_into(region, out)
+    }
+
+    /// Streaming range query with predicate/limit pushdown — the
+    /// execution primitive behind [`crate::query::RangeQuery::stream`]. Every
+    /// segment intersecting `region` is offered to `sink` exactly once,
+    /// in the same order [`range_query`](Self::range_query) would emit
+    /// it; the sink's [`Flow`] verdict decides whether it counts as a
+    /// result ([`Flow::Emit`]), is filtered out below the traversal
+    /// ([`Flow::Skip`] — not counted in `stats.results`), or ends the
+    /// traversal immediately ([`Flow::Last`] — how a pushed-down limit
+    /// stops reading index pages it no longer needs). Nothing is
+    /// materialized; with an always-`Emit` sink the statistics are
+    /// byte-identical to
+    /// [`range_query_into_scratch`](Self::range_query_into_scratch).
+    ///
+    /// The default buffers through the scratch path and replays the
+    /// buffer (correct, but no early exit below the traversal); every
+    /// built-in backend overrides it with a native streaming traversal.
+    fn for_each_in_range(
+        &self,
+        region: &Aabb,
+        scratch: &mut QueryScratch,
+        sink: &mut dyn FnMut(&NeuronSegment) -> Flow,
+    ) -> QueryStats {
+        let mut buf = Vec::new();
+        let mut stats = self.range_query_into_scratch(region, scratch, &mut buf);
+        let mut results = 0u64;
+        for s in &buf {
+            match sink(s) {
+                Flow::Emit => results += 1,
+                Flow::Skip => {}
+                Flow::Last => {
+                    results += 1;
+                    break;
+                }
+            }
+        }
+        stats.results = results;
+        stats
+    }
+
+    /// Planner metadata for a region — what [`crate::query::RangeQuery::explain`]
+    /// reports without executing anything. The default is a cheap
+    /// volume-fraction heuristic over the data bounds; FLAT counts the
+    /// pages the region actually overlaps, and the sharded executor
+    /// reports real shard-pruning numbers.
+    fn plan_range(&self, region: &Aabb) -> IndexPlan {
+        let bounds = self.bounds();
+        if self.is_empty() || !bounds.intersects(region) {
+            return IndexPlan { shards_total: 1, shards_probed: 0, estimated_reads: 0 };
+        }
+        let vol = bounds.volume();
+        let frac = if vol > 0.0 {
+            (region.intersection(&bounds).volume() / vol).clamp(0.0, 1.0)
+        } else {
+            1.0
+        };
+        let pages = (self.len() as f64 / 64.0).ceil();
+        IndexPlan {
+            shards_total: 1,
+            shards_probed: 1,
+            estimated_reads: (frac * pages).ceil().max(1.0) as u64,
+        }
     }
 
     /// Batched queries — one call, one output per region. Backends can
@@ -460,6 +554,31 @@ impl SpatialIndex for FlatIndex<NeuronSegment> {
         (&stats).into()
     }
 
+    fn for_each_in_range(
+        &self,
+        region: &Aabb,
+        scratch: &mut QueryScratch,
+        sink: &mut dyn FnMut(&NeuronSegment) -> Flow,
+    ) -> QueryStats {
+        let stats = FlatIndex::range_query_stream(self, region, &mut scratch.flat, |_| {}, sink);
+        (&stats).into()
+    }
+
+    fn plan_range(&self, region: &Aabb) -> IndexPlan {
+        // FLAT keeps page MBRs as metadata: the plan can count the exact
+        // data pages the crawl would read, plus a seed descent.
+        let pages = self.pages_intersecting(region).len() as u64;
+        IndexPlan {
+            shards_total: 1,
+            shards_probed: usize::from(pages > 0),
+            estimated_reads: if pages == 0 { 0 } else { pages + self.seed_tree_height() as u64 },
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
     fn memory_bytes(&self) -> usize {
         FlatIndex::memory_bytes(self)
     }
@@ -501,6 +620,19 @@ impl SpatialIndex for RTree<NeuronSegment> {
         out: &mut Vec<NeuronSegment>,
     ) -> QueryStats {
         RTree::range_query_scratch(self, region, &mut scratch.tree, |o| out.push(*o)).into()
+    }
+
+    fn for_each_in_range(
+        &self,
+        region: &Aabb,
+        scratch: &mut QueryScratch,
+        sink: &mut dyn FnMut(&NeuronSegment) -> Flow,
+    ) -> QueryStats {
+        RTree::range_query_stream(self, region, &mut scratch.tree, sink).into()
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
     }
 
     fn memory_bytes(&self) -> usize {
@@ -555,6 +687,19 @@ impl SpatialIndex for DynamicRTree {
         self.0.range_query_scratch(region, &mut scratch.tree, |o| out.push(*o)).into()
     }
 
+    fn for_each_in_range(
+        &self,
+        region: &Aabb,
+        scratch: &mut QueryScratch,
+        sink: &mut dyn FnMut(&NeuronSegment) -> Flow,
+    ) -> QueryStats {
+        self.0.range_query_stream(region, &mut scratch.tree, sink).into()
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
     fn memory_bytes(&self) -> usize {
         self.0.memory_bytes()
     }
@@ -591,6 +736,19 @@ impl SpatialIndex for RPlusTree<NeuronSegment> {
         out: &mut Vec<NeuronSegment>,
     ) -> QueryStats {
         RPlusTree::range_query_scratch(self, region, &mut scratch.tree, |o| out.push(*o)).into()
+    }
+
+    fn for_each_in_range(
+        &self,
+        region: &Aabb,
+        scratch: &mut QueryScratch,
+        sink: &mut dyn FnMut(&NeuronSegment) -> Flow,
+    ) -> QueryStats {
+        RPlusTree::range_query_stream(self, region, &mut scratch.tree, sink).into()
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
     }
 
     fn memory_bytes(&self) -> usize {

@@ -88,12 +88,17 @@ pub mod db;
 pub mod error;
 pub mod index;
 pub mod prelude;
+pub mod query;
 pub mod shard;
 
 pub use db::{NeuroDb, NeuroDbBuilder, NeuroDbConfig, Population, RegionStats, WalkthroughMethod};
 pub use error::NeuroError;
 pub use index::{
-    BackendFactory, BackendRegistry, DynamicRTree, IndexBackend, IndexParams, Neighbor,
+    BackendFactory, BackendRegistry, DynamicRTree, IndexBackend, IndexParams, IndexPlan, Neighbor,
     QueryOutput, QueryScratch, QueryStats, SpatialIndex,
+};
+pub use neurospatial_geom::Flow;
+pub use query::{
+    KnnQuery, PathQuery, Plan, Query, QuerySession, RangeQuery, SegmentPredicate, TouchingQuery,
 };
 pub use shard::{ShardedIndex, ShardedQueryOutput};

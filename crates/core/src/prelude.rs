@@ -14,12 +14,15 @@ pub use crate::db::{
 };
 pub use crate::error::NeuroError;
 pub use crate::index::{
-    BackendRegistry, DynamicRTree, IndexBackend, IndexParams, Neighbor, QueryOutput, QueryScratch,
-    QueryStats, SpatialIndex,
+    BackendRegistry, DynamicRTree, IndexBackend, IndexParams, IndexPlan, Neighbor, QueryOutput,
+    QueryScratch, QueryStats, SpatialIndex,
+};
+pub use crate::query::{
+    KnnQuery, PathQuery, Plan, Query, QuerySession, RangeQuery, SegmentPredicate, TouchingQuery,
 };
 pub use crate::shard::{ShardedIndex, ShardedQueryOutput};
 
-pub use neurospatial_geom::{Aabb, Segment, Vec3};
+pub use neurospatial_geom::{Aabb, Flow, Segment, Vec3};
 
 pub use neurospatial_model::{
     Circuit, CircuitBuilder, DensityStats, Morphology, MorphologyParams, NavigationPath,

@@ -1,0 +1,1033 @@
+//! The unified query surface: one composable, typed entry point for
+//! every workload the database serves.
+//!
+//! The paper's system is a *query service* for neuroscientists — range
+//! scans, nearest neighbours, ε-distance joins and walkthrough replays
+//! over the same circuit. [`NeuroDb::query`] opens a fluent builder that
+//! expresses all four through one grammar:
+//!
+//! * **what** — [`Query::range`], [`Query::knn`], [`Query::touching`],
+//!   [`Query::along_path`];
+//! * **over what** — [`RangeQuery::in_population`] restricts to one named
+//!   population, [`RangeQuery::filter`] pushes an arbitrary predicate
+//!   *below* the index traversal, [`RangeQuery::limit`] stops the
+//!   traversal the moment enough results have been emitted;
+//! * **how** — three terminal modes: `collect()` materializes (the
+//!   classic [`QueryOutput`], byte-identical to the legacy methods),
+//!   `stream(|seg| …)` delivers results through a sink without ever
+//!   building a `Vec` (backed by [`SpatialIndex::for_each_in_range`]),
+//!   and `session()` binds a reusable [`QueryScratch`] — plus, on FLAT
+//!   databases, an optional SCOUT prefetch cursor — for repeated-query
+//!   serving loops that must not allocate;
+//! * **why** — every builder answers [`explain`](RangeQuery::explain)
+//!   with a [`Plan`]: backend chosen, shards pruned, pushdown applied,
+//!   estimated page reads.
+//!
+//! ```
+//! use neurospatial::prelude::*;
+//!
+//! let circuit = CircuitBuilder::new(9).neurons(8).build();
+//! let db = NeuroDb::builder()
+//!     .circuit(&circuit)
+//!     .split_populations("axons", "dendrites", |s| s.neuron % 2 == 0)
+//!     .build()
+//!     .expect("valid");
+//! let region = Aabb::cube(circuit.bounds().center(), 40.0);
+//!
+//! // Collect — today's QueryOutput, byte-identical to db.range_query().
+//! let all = db.query().range(region).collect().unwrap();
+//!
+//! // Stream with a pushed-down predicate and limit: no Vec, early exit.
+//! let pred = |s: &NeuronSegment| s.neuron < 4;
+//! let mut streamed = 0usize;
+//! let stats = db
+//!     .query()
+//!     .range(region)
+//!     .filter(&pred)
+//!     .limit(5)
+//!     .stream(|_seg| streamed += 1)
+//!     .unwrap();
+//! assert!(streamed <= 5);
+//! assert_eq!(streamed as u64, stats.results);
+//!
+//! // Explain: what would run, without running it.
+//! let plan = db.query().range(region).filter(&pred).explain();
+//! assert!(plan.pushdown_filter);
+//!
+//! // Session: one scratch bound across a whole serving loop.
+//! let mut session = db.query().range(region).session().unwrap();
+//! for q in [region, Aabb::cube(circuit.bounds().lo, 20.0)] {
+//!     let (hits, stats) = session.range(&q);
+//!     assert_eq!(hits.len() as u64, stats.results);
+//! }
+//! # let _ = all;
+//! ```
+
+use crate::db::{DbCursor, NeuroDb, WalkthroughMethod};
+use crate::error::NeuroError;
+use crate::index::{
+    finish_knn, IndexBackend, Neighbor, QueryOutput, QueryScratch, QueryStats, SpatialIndex,
+};
+use neurospatial_geom::{Aabb, Flow, Vec3};
+use neurospatial_model::{NavigationPath, NeuronSegment};
+use neurospatial_scout::SessionStats;
+use neurospatial_touch::{JoinResult, JoinStats, SpatialJoin};
+use std::cell::RefCell;
+use std::fmt;
+
+/// A pushed-down segment predicate, borrowed for the builder's lifetime
+/// so hot loops pay no boxing: `.filter(&|s| …)` chains directly, or
+/// let-bind the closure when the query outlives the statement.
+pub type SegmentPredicate<'a> = dyn Fn(&NeuronSegment) -> bool + 'a;
+
+thread_local! {
+    /// One [`QueryScratch`] per thread, shared by the `collect()` and
+    /// `stream()` terminals: after the first few queries have grown its
+    /// buffers, streaming queries perform zero heap allocations without
+    /// the caller managing scratch state (`experiments --scenario=api`
+    /// measures exactly this).
+    static SHARED_SCRATCH: RefCell<QueryScratch> = RefCell::new(QueryScratch::new());
+}
+
+/// Run `f` with the thread-shared scratch; a re-entrant call (a sink
+/// issuing its own query on the same thread) falls back to a fresh
+/// scratch instead of panicking on the `RefCell`.
+fn with_scratch<R>(f: impl FnOnce(&mut QueryScratch) -> R) -> R {
+    SHARED_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut scratch) => f(&mut scratch),
+        Err(_) => f(&mut QueryScratch::new()),
+    })
+}
+
+/// The shared range executor behind every terminal: one streaming
+/// traversal with population membership, predicate and limit all applied
+/// *below* the index (via [`SpatialIndex::for_each_in_range`]), results
+/// delivered to `emit` in the backend's canonical emission order.
+fn run_range(
+    db: &NeuroDb,
+    region: &Aabb,
+    population: Option<u32>,
+    filter: Option<&SegmentPredicate<'_>>,
+    limit: Option<usize>,
+    scratch: &mut QueryScratch,
+    mut emit: impl FnMut(&NeuronSegment),
+) -> QueryStats {
+    if limit == Some(0) {
+        return QueryStats::default();
+    }
+    let mut remaining = limit;
+    db.index().for_each_in_range(region, scratch, &mut |s| {
+        let keep = population.is_none_or(|pi| db.population_of_segment(s.id) == Some(pi))
+            && filter.is_none_or(|f| f(s));
+        if !keep {
+            return Flow::Skip;
+        }
+        emit(s);
+        match &mut remaining {
+            None => Flow::Emit,
+            Some(r) => {
+                *r -= 1;
+                if *r == 0 {
+                    Flow::Last
+                } else {
+                    Flow::Emit
+                }
+            }
+        }
+    })
+}
+
+/// The initial expanding-cube radius and its upper bound for a KNN
+/// search — the same density-scaled guess the trait's default uses, so
+/// plans describe the traversal that will actually run.
+fn knn_radii(index: &dyn SpatialIndex, p: Vec3, k: usize) -> (f64, f64) {
+    let bounds = index.bounds();
+    let far = Vec3::new(
+        (p.x - bounds.lo.x).abs().max((p.x - bounds.hi.x).abs()),
+        (p.y - bounds.lo.y).abs().max((p.y - bounds.hi.y).abs()),
+        (p.z - bounds.lo.z).abs().max((p.z - bounds.hi.z).abs()),
+    )
+    .norm();
+    let ext = bounds.extent();
+    let frac = (k as f64 / index.len().max(1) as f64).cbrt().min(1.0);
+    let guess = ext.x.max(ext.y).max(ext.z) * frac * 0.5;
+    let r = (bounds.min_distance_to_point(p) + guess).max(1e-9).min(far.max(1e-9));
+    (r, far)
+}
+
+/// Filtered exact KNN: the expanding-cube search of the trait default,
+/// with the membership/predicate tests pushed below each cube traversal.
+/// Only used when a filter or population is bound — the unfiltered path
+/// goes through [`SpatialIndex::knn_into_scratch`] so answers (and the
+/// sharded executor's merge strategy) stay byte-identical to the legacy
+/// [`NeuroDb::knn`].
+#[allow(clippy::too_many_arguments)]
+fn run_knn(
+    db: &NeuroDb,
+    p: Vec3,
+    k: usize,
+    population: Option<u32>,
+    filter: Option<&SegmentPredicate<'_>>,
+    scratch: &mut QueryScratch,
+    out: &mut Vec<Neighbor>,
+) -> QueryStats {
+    let index = db.index();
+    if population.is_none() && filter.is_none() {
+        return index.knn_into_scratch(p, k, scratch, out);
+    }
+    let mut stats = QueryStats::default();
+    if k == 0 || index.is_empty() {
+        return stats;
+    }
+    let (mut r, far) = knn_radii(index, p, k);
+    let mut hits = std::mem::take(&mut scratch.knn_hits);
+    let mut candidates = std::mem::take(&mut scratch.knn_candidates);
+    loop {
+        hits.clear();
+        let s = index.for_each_in_range(&Aabb::cube(p, r), scratch, &mut |seg| {
+            let keep = population.is_none_or(|pi| db.population_of_segment(seg.id) == Some(pi))
+                && filter.is_none_or(|f| f(seg));
+            if keep {
+                hits.push(*seg);
+                Flow::Emit
+            } else {
+                Flow::Skip
+            }
+        });
+        stats.nodes_read += s.nodes_read;
+        stats.objects_tested += s.objects_tested;
+        stats.reseeds += s.reseeds;
+        candidates.clear();
+        candidates.extend(
+            hits.iter()
+                .map(|s| Neighbor { segment: *s, distance: s.aabb().min_distance_to_point(p) })
+                .filter(|n| n.distance <= r),
+        );
+        if candidates.len() >= k || r >= far {
+            candidates = finish_knn(candidates, k, &mut stats);
+            out.extend_from_slice(&candidates);
+            break;
+        }
+        r = (r * 2.0).min(far);
+    }
+    scratch.knn_hits = hits;
+    scratch.knn_candidates = candidates;
+    stats
+}
+
+/// What a query *would* do — returned by every builder's `explain()`
+/// without executing anything. The sharded numbers come from real
+/// shard-bounds pruning; the read estimate is FLAT's actual
+/// page-overlap count on FLAT databases and a volume-fraction heuristic
+/// on the tree backends.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Plan {
+    /// Which builder produced this plan: `"range"`, `"knn"`,
+    /// `"touching"` or `"walkthrough"`.
+    pub operation: &'static str,
+    /// Backend the database was built with.
+    pub backend: IndexBackend,
+    /// Shards the executor manages (1 for monolithic databases).
+    pub shards_total: usize,
+    /// Shards whose bounds survive pruning (the rest are never touched).
+    pub shards_probed: usize,
+    /// Estimated index pages/nodes the execution would read (for
+    /// `touching`: objects fed to the join's build+probe phases).
+    pub estimated_reads: u64,
+    /// Whether a predicate or population membership test is pushed below
+    /// the index traversal.
+    pub pushdown_filter: bool,
+    /// The limit pushed into the traversal, if any.
+    pub pushdown_limit: Option<usize>,
+    /// Population the query is restricted to, if any.
+    pub population: Option<String>,
+}
+
+impl fmt::Display for Plan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} via {}: {}/{} shard(s) after pruning, ~{} read(s)",
+            self.operation,
+            self.backend,
+            self.shards_probed,
+            self.shards_total,
+            self.estimated_reads
+        )?;
+        if self.pushdown_filter {
+            write!(f, ", filter pushed down")?;
+        }
+        if let Some(n) = self.pushdown_limit {
+            write!(f, ", limit {n}")?;
+        }
+        if let Some(p) = &self.population {
+            write!(f, ", population '{p}'")?;
+        }
+        Ok(())
+    }
+}
+
+/// The root of the fluent query API — created by [`NeuroDb::query`],
+/// immediately specialised into one of the four workload builders.
+pub struct Query<'a> {
+    db: &'a NeuroDb,
+}
+
+impl<'a> Query<'a> {
+    pub(crate) fn new(db: &'a NeuroDb) -> Self {
+        Query { db }
+    }
+
+    /// Spatial range query: every segment whose AABB intersects `region`.
+    pub fn range(self, region: Aabb) -> RangeQuery<'a> {
+        RangeQuery { db: self.db, region, population: None, filter: None, limit: None }
+    }
+
+    /// The `k` segments nearest to `p` (AABB minimum distance), in
+    /// canonical (distance, id) order.
+    pub fn knn(self, p: Vec3, k: usize) -> KnnQuery<'a> {
+        KnnQuery { db: self.db, p, k, population: None, filter: None, limit: None }
+    }
+
+    /// ε-distance join (TOUCH): all pairs between the left population
+    /// (the first one unless [`TouchingQuery::in_population`] picks
+    /// another) and the named `other` population whose capsule surfaces
+    /// come within `epsilon`.
+    pub fn touching(self, other: &'a str, epsilon: f64) -> TouchingQuery<'a> {
+        TouchingQuery { db: self.db, other, epsilon, population: None, filter: None, limit: None }
+    }
+
+    /// Walkthrough replay along a navigation path with simulated paged
+    /// I/O and prefetching (FLAT databases only).
+    pub fn along_path(self, path: &'a NavigationPath) -> PathQuery<'a> {
+        PathQuery { db: self.db, path, method: WalkthroughMethod::Scout }
+    }
+
+    /// Bind an unconstrained [`QuerySession`] straight from the root: a
+    /// reusable scratch + result buffers with no population, filter or
+    /// limit. Go through a kind builder's `session()` (e.g.
+    /// [`RangeQuery::session`]) when the session should carry
+    /// composition into every query it serves.
+    pub fn session(self) -> QuerySession<'a> {
+        QuerySession {
+            db: self.db,
+            population: None,
+            filter: None,
+            limit: None,
+            scratch: QueryScratch::new(),
+            segments: Vec::new(),
+            neighbors: Vec::new(),
+            cursor: None,
+        }
+    }
+}
+
+/// A composable range query. Terminals: [`collect`](Self::collect),
+/// [`stream`](Self::stream), [`session`](Self::session),
+/// [`explain`](Self::explain).
+pub struct RangeQuery<'a> {
+    db: &'a NeuroDb,
+    region: Aabb,
+    population: Option<&'a str>,
+    filter: Option<&'a SegmentPredicate<'a>>,
+    limit: Option<usize>,
+}
+
+impl<'a> RangeQuery<'a> {
+    /// Restrict results to one named population (membership is tested
+    /// below the index traversal; unknown names error at the terminal).
+    pub fn in_population(mut self, name: &'a str) -> Self {
+        self.population = Some(name);
+        self
+    }
+
+    /// Push a predicate below the index traversal: rejected segments are
+    /// never copied, counted or delivered. Borrowed, not boxed — chain
+    /// `.filter(&|s| …)` directly, or let-bind the closure if the query
+    /// value must outlive the statement.
+    pub fn filter<F: Fn(&NeuronSegment) -> bool>(mut self, pred: &'a F) -> Self {
+        self.filter = Some(pred);
+        self
+    }
+
+    /// Stop the traversal after `n` results — index pages past the limit
+    /// are never read.
+    pub fn limit(mut self, n: usize) -> Self {
+        self.limit = Some(n);
+        self
+    }
+
+    fn resolve_population(&self) -> Result<Option<u32>, NeuroError> {
+        match self.population {
+            None => Ok(None),
+            Some(name) => Ok(Some(self.db.population_position(name)? as u32)),
+        }
+    }
+
+    /// Materialize: today's [`QueryOutput`]. Without a population,
+    /// filter or limit this is byte-identical — results, order,
+    /// statistics — to the legacy [`NeuroDb::range_query`].
+    pub fn collect(&self) -> Result<QueryOutput, NeuroError> {
+        let population = self.resolve_population()?;
+        with_scratch(|scratch| {
+            let mut segments = Vec::new();
+            let stats = run_range(
+                self.db,
+                &self.region,
+                population,
+                self.filter,
+                self.limit,
+                scratch,
+                |s| segments.push(*s),
+            );
+            Ok(QueryOutput { segments, stats })
+        })
+    }
+
+    /// Stream: every matching segment is delivered to `sink`, in the
+    /// backend's canonical emission order, without materializing a
+    /// result vector — the zero-copy lane for serving loops and
+    /// aggregations. Visits exactly the set (and order)
+    /// [`collect`](Self::collect) would return.
+    pub fn stream(&self, mut sink: impl FnMut(&NeuronSegment)) -> Result<QueryStats, NeuroError> {
+        let population = self.resolve_population()?;
+        with_scratch(|scratch| {
+            Ok(run_range(
+                self.db,
+                &self.region,
+                population,
+                self.filter,
+                self.limit,
+                scratch,
+                |s| sink(s),
+            ))
+        })
+    }
+
+    /// Bind a reusable [`QuerySession`] carrying this query's
+    /// composition (population, filter, limit) plus a private
+    /// [`QueryScratch`] and result buffers — the repeated-query form
+    /// whose steady state performs zero heap allocations. The builder's
+    /// region is *not* bound: every [`QuerySession::range`] call names
+    /// its own region ([`Query::session`] skips the region entirely when
+    /// no composition is needed).
+    pub fn session(self) -> Result<QuerySession<'a>, NeuroError> {
+        let population = self.resolve_population()?;
+        Ok(QuerySession {
+            db: self.db,
+            population,
+            filter: self.filter,
+            limit: self.limit,
+            scratch: QueryScratch::new(),
+            segments: Vec::new(),
+            neighbors: Vec::new(),
+            cursor: None,
+        })
+    }
+
+    /// The execution plan, without executing: backend, shard pruning,
+    /// pushdown, estimated reads.
+    pub fn explain(&self) -> Plan {
+        let ip = self.db.index().plan_range(&self.region);
+        Plan {
+            operation: "range",
+            backend: self.db.backend(),
+            shards_total: ip.shards_total,
+            shards_probed: ip.shards_probed,
+            estimated_reads: ip.estimated_reads,
+            pushdown_filter: self.filter.is_some() || self.population.is_some(),
+            pushdown_limit: self.limit,
+            population: self.population.map(str::to_string),
+        }
+    }
+}
+
+/// A composable k-nearest-neighbour query. With a filter or population
+/// bound, the expanding-cube search applies the predicate below each
+/// cube traversal and keeps expanding until `k` *matching* neighbours
+/// are proven nearest; without one it is byte-identical to the legacy
+/// [`NeuroDb::knn`].
+pub struct KnnQuery<'a> {
+    db: &'a NeuroDb,
+    p: Vec3,
+    k: usize,
+    population: Option<&'a str>,
+    filter: Option<&'a SegmentPredicate<'a>>,
+    limit: Option<usize>,
+}
+
+impl<'a> KnnQuery<'a> {
+    /// Restrict candidates to one named population.
+    pub fn in_population(mut self, name: &'a str) -> Self {
+        self.population = Some(name);
+        self
+    }
+
+    /// Push a candidate predicate below the search.
+    pub fn filter<F: Fn(&NeuronSegment) -> bool>(mut self, pred: &'a F) -> Self {
+        self.filter = Some(pred);
+        self
+    }
+
+    /// Cap the neighbour count below `k` (the effective k is the
+    /// smaller of the two).
+    pub fn limit(mut self, n: usize) -> Self {
+        self.limit = Some(n);
+        self
+    }
+
+    fn effective_k(&self) -> usize {
+        self.limit.map_or(self.k, |l| self.k.min(l))
+    }
+
+    fn resolve_population(&self) -> Result<Option<u32>, NeuroError> {
+        match self.population {
+            None => Ok(None),
+            Some(name) => Ok(Some(self.db.population_position(name)? as u32)),
+        }
+    }
+
+    /// Materialize the canonical neighbour list — the legacy
+    /// [`NeuroDb::knn`] tuple.
+    pub fn collect(&self) -> Result<(Vec<Neighbor>, QueryStats), NeuroError> {
+        let population = self.resolve_population()?;
+        with_scratch(|scratch| {
+            let mut out = Vec::new();
+            let stats = run_knn(
+                self.db,
+                self.p,
+                self.effective_k(),
+                population,
+                self.filter,
+                scratch,
+                &mut out,
+            );
+            Ok((out, stats))
+        })
+    }
+
+    /// Deliver the neighbours to `sink` in canonical order. (KNN must
+    /// sort before it can emit, so the `k` winners are staged in the
+    /// scratch internally — `k` is small; the point of this form is a
+    /// uniform sink-based surface, not asymptotics.)
+    pub fn stream(&self, mut sink: impl FnMut(Neighbor)) -> Result<QueryStats, NeuroError> {
+        let (neighbors, stats) = self.collect()?;
+        for n in neighbors {
+            sink(n);
+        }
+        Ok(stats)
+    }
+
+    /// Bind a reusable [`QuerySession`] (shared with the range form —
+    /// one session serves both workloads).
+    pub fn session(self) -> Result<QuerySession<'a>, NeuroError> {
+        let population = self.resolve_population()?;
+        Ok(QuerySession {
+            db: self.db,
+            population,
+            filter: self.filter,
+            limit: self.limit,
+            scratch: QueryScratch::new(),
+            segments: Vec::new(),
+            neighbors: Vec::new(),
+            cursor: None,
+        })
+    }
+
+    /// The execution plan: the first expanding-cube iteration the search
+    /// would run.
+    pub fn explain(&self) -> Plan {
+        let (r0, _) = knn_radii(self.db.index(), self.p, self.effective_k().max(1));
+        let ip = self.db.index().plan_range(&Aabb::cube(self.p, r0));
+        Plan {
+            operation: "knn",
+            backend: self.db.backend(),
+            shards_total: ip.shards_total,
+            shards_probed: ip.shards_probed,
+            estimated_reads: ip.estimated_reads,
+            pushdown_filter: self.filter.is_some() || self.population.is_some(),
+            pushdown_limit: self.limit,
+            population: self.population.map(str::to_string),
+        }
+    }
+}
+
+/// A composable ε-distance join (the TOUCH workload). The left side is
+/// the first population unless [`in_population`](Self::in_population)
+/// picks another; `other` names the right side.
+pub struct TouchingQuery<'a> {
+    db: &'a NeuroDb,
+    other: &'a str,
+    epsilon: f64,
+    population: Option<&'a str>,
+    filter: Option<&'a SegmentPredicate<'a>>,
+    limit: Option<usize>,
+}
+
+impl<'a> TouchingQuery<'a> {
+    /// Choose the left population by name (default: the first declared).
+    pub fn in_population(mut self, name: &'a str) -> Self {
+        self.population = Some(name);
+        self
+    }
+
+    /// Pre-filter the left population before the join. Reported pair
+    /// indices still refer to positions in the *unfiltered* population
+    /// slice, so they compose with [`NeuroDb::population`].
+    pub fn filter<F: Fn(&NeuronSegment) -> bool>(mut self, pred: &'a F) -> Self {
+        self.filter = Some(pred);
+        self
+    }
+
+    /// Keep only the first `n` pairs (join emission order).
+    pub fn limit(mut self, n: usize) -> Self {
+        self.limit = Some(n);
+        self
+    }
+
+    fn sides(&self) -> Result<(usize, usize), NeuroError> {
+        let left = match self.population {
+            Some(name) => self.db.population_position(name)?,
+            None => {
+                if self.db.populations().is_empty() {
+                    return Err(NeuroError::TooFewPopulations { found: 0, needed: 2 });
+                }
+                0
+            }
+        };
+        Ok((left, self.db.population_position(self.other)?))
+    }
+
+    /// Run the join. Without a filter or limit this is byte-identical
+    /// (pairs and counters) to the legacy [`NeuroDb::join_between`].
+    pub fn collect(&self) -> Result<JoinResult, NeuroError> {
+        let (li, ri) = self.sides()?;
+        let a = &self.db.populations()[li].segments;
+        let b = &self.db.populations()[ri].segments;
+        let mut result = match self.filter {
+            None => self.db.join_config().join(a, b, self.epsilon),
+            Some(pred) => {
+                // Pre-filter the left side, then remap pair indices back
+                // to unfiltered positions.
+                let keep: Vec<u32> =
+                    (0..a.len() as u32).filter(|&i| pred(&a[i as usize])).collect();
+                let filtered: Vec<NeuronSegment> = keep.iter().map(|&i| a[i as usize]).collect();
+                let mut r = self.db.join_config().join(&filtered, b, self.epsilon);
+                for pair in &mut r.pairs {
+                    pair.0 = keep[pair.0 as usize];
+                }
+                r
+            }
+        };
+        if let Some(n) = self.limit {
+            if result.pairs.len() > n {
+                result.pairs.truncate(n);
+            }
+            result.stats.results = result.pairs.len() as u64;
+        }
+        Ok(result)
+    }
+
+    /// Deliver each `(left index, right index)` pair to `sink` and
+    /// return the join statistics.
+    pub fn stream(&self, mut sink: impl FnMut(u32, u32)) -> Result<JoinStats, NeuroError> {
+        let result = self.collect()?;
+        for &(i, j) in &result.pairs {
+            sink(i, j);
+        }
+        Ok(result.stats)
+    }
+
+    /// The execution plan. `estimated_reads` counts the objects fed to
+    /// the join's build and probe phases.
+    pub fn explain(&self) -> Plan {
+        let (left_len, right_len) = match self.sides() {
+            Ok((li, ri)) => {
+                (self.db.populations()[li].segments.len(), self.db.populations()[ri].segments.len())
+            }
+            Err(_) => (0, 0),
+        };
+        Plan {
+            operation: "touching",
+            backend: self.db.backend(),
+            shards_total: 1,
+            shards_probed: 1,
+            estimated_reads: (left_len + right_len) as u64,
+            pushdown_filter: self.filter.is_some(),
+            pushdown_limit: self.limit,
+            population: Some(
+                self.population
+                    .unwrap_or_else(|| {
+                        self.db.populations().first().map_or("", |p| p.name.as_str())
+                    })
+                    .to_string(),
+            ),
+        }
+    }
+}
+
+/// A walkthrough replay along a navigation path — the SCOUT workload,
+/// expressed through the same builder grammar.
+pub struct PathQuery<'a> {
+    db: &'a NeuroDb,
+    path: &'a NavigationPath,
+    method: WalkthroughMethod,
+}
+
+impl PathQuery<'_> {
+    /// Prefetching policy to replay with (default:
+    /// [`WalkthroughMethod::Scout`]).
+    pub fn method(mut self, method: WalkthroughMethod) -> Self {
+        self.method = method;
+        self
+    }
+
+    /// Replay the walkthrough. Identical to the legacy
+    /// [`NeuroDb::walkthrough`]; errors on non-paged backends.
+    pub fn run(&self) -> Result<SessionStats, NeuroError> {
+        self.db.walkthrough_impl(self.path, self.method)
+    }
+
+    /// The execution plan: shard layout plus the summed per-step read
+    /// estimate over the whole path.
+    pub fn explain(&self) -> Plan {
+        let index = self.db.index();
+        let mut shards_total = 1;
+        let mut shards_probed = 0;
+        let mut estimated_reads = 0;
+        for q in &self.path.queries {
+            let ip = index.plan_range(q);
+            shards_total = ip.shards_total;
+            shards_probed = shards_probed.max(ip.shards_probed);
+            estimated_reads += ip.estimated_reads;
+        }
+        Plan {
+            operation: "walkthrough",
+            backend: self.db.backend(),
+            shards_total,
+            shards_probed,
+            estimated_reads,
+            pushdown_filter: false,
+            pushdown_limit: None,
+            population: None,
+        }
+    }
+}
+
+/// A bound, reusable execution context for repeated-query loops: one
+/// private [`QueryScratch`] and result buffers, carrying the builder's
+/// composition (population, filter, limit) across every call — the
+/// steady state allocates nothing. Created by [`RangeQuery::session`] /
+/// [`KnnQuery::session`].
+///
+/// On FLAT databases, [`with_prefetch`](Self::with_prefetch) attaches a
+/// SCOUT [`SessionCursor`](neurospatial_scout::SessionCursor): each
+/// range query also advances a simulated paged-I/O walkthrough (demand
+/// misses, think-time prefetching), and
+/// [`prefetch_stats`](Self::prefetch_stats) reports the accumulated
+/// stall/hit statistics — how the loop *would* behave against cold
+/// storage.
+pub struct QuerySession<'a> {
+    db: &'a NeuroDb,
+    population: Option<u32>,
+    filter: Option<&'a SegmentPredicate<'a>>,
+    limit: Option<usize>,
+    scratch: QueryScratch,
+    segments: Vec<NeuronSegment>,
+    neighbors: Vec<Neighbor>,
+    cursor: Option<DbCursor<'a>>,
+}
+
+impl<'a> QuerySession<'a> {
+    /// Execute a range query with the bound composition; the result
+    /// slice lives in the session's reused buffer until the next call.
+    pub fn range(&mut self, region: &Aabb) -> (&[NeuronSegment], QueryStats) {
+        self.segments.clear();
+        let QuerySession { db, population, filter, limit, scratch, segments, cursor, .. } = self;
+        let stats =
+            run_range(db, region, *population, *filter, *limit, scratch, |s| segments.push(*s));
+        if let Some(cursor) = cursor {
+            cursor.step(region);
+        }
+        (&self.segments, stats)
+    }
+
+    /// Execute a KNN query with the bound composition; the neighbour
+    /// slice lives in the session's reused buffer until the next call.
+    pub fn knn(&mut self, p: Vec3, k: usize) -> (&[Neighbor], QueryStats) {
+        self.neighbors.clear();
+        let k = self.limit.map_or(k, |l| k.min(l));
+        let QuerySession { db, population, filter, scratch, neighbors, .. } = self;
+        let stats = run_knn(db, p, k, *population, *filter, scratch, neighbors);
+        (&self.neighbors, stats)
+    }
+
+    /// Attach a SCOUT prefetch cursor (FLAT databases only): every
+    /// subsequent [`range`](Self::range) also advances a simulated
+    /// walkthrough step with the given prefetching policy.
+    pub fn with_prefetch(mut self, method: WalkthroughMethod) -> Result<Self, NeuroError> {
+        self.cursor = Some(self.db.scout_cursor(method)?);
+        Ok(self)
+    }
+
+    /// Accumulated simulated-I/O statistics of the attached prefetch
+    /// cursor (`None` unless [`with_prefetch`](Self::with_prefetch) was
+    /// called).
+    pub fn prefetch_stats(&self) -> Option<&SessionStats> {
+        self.cursor.as_ref().map(|c| c.stats())
+    }
+
+    /// The plan a [`range`](Self::range) call over `region` would run.
+    pub fn explain(&self, region: &Aabb) -> Plan {
+        let ip = self.db.index().plan_range(region);
+        Plan {
+            operation: "range",
+            backend: self.db.backend(),
+            shards_total: ip.shards_total,
+            shards_probed: ip.shards_probed,
+            estimated_reads: ip.estimated_reads,
+            pushdown_filter: self.filter.is_some() || self.population.is_some(),
+            pushdown_limit: self.limit,
+            population: self.population.map(|i| self.db.populations()[i as usize].name.clone()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neurospatial_model::CircuitBuilder;
+
+    fn db() -> (NeuroDb, neurospatial_model::Circuit) {
+        let c = CircuitBuilder::new(6).neurons(10).build();
+        let db = NeuroDb::builder()
+            .circuit(&c)
+            .split_populations("axons", "dendrites", |s| s.neuron % 2 == 0)
+            .build()
+            .expect("valid");
+        (db, c)
+    }
+
+    #[test]
+    fn collect_matches_legacy_range_query() {
+        let (db, c) = db();
+        let q = Aabb::cube(c.bounds().center(), 35.0);
+        let legacy = db.index().range_query(&q);
+        let built = db.query().range(q).collect().expect("no population");
+        assert_eq!(built.stats, legacy.stats);
+        assert!(built.segments.iter().map(|s| s.id).eq(legacy.segments.iter().map(|s| s.id)));
+    }
+
+    #[test]
+    fn stream_visits_the_collect_set_in_order() {
+        let (db, c) = db();
+        let q = Aabb::cube(c.bounds().center(), 30.0);
+        let collected = db.query().range(q).collect().expect("ok");
+        let mut streamed = Vec::new();
+        let stats = db.query().range(q).stream(|s| streamed.push(s.id)).expect("ok");
+        assert_eq!(stats, collected.stats);
+        assert!(streamed.iter().copied().eq(collected.segments.iter().map(|s| s.id)));
+    }
+
+    #[test]
+    fn filter_pushes_down_and_limit_stops_early() {
+        let (db, c) = db();
+        let q = Aabb::cube(c.bounds().center(), 45.0);
+        let pred = |s: &NeuronSegment| s.neuron.is_multiple_of(3);
+        let filtered = db.query().range(q).filter(&pred).collect().expect("ok");
+        assert!(filtered.segments.iter().all(|s| s.neuron % 3 == 0));
+        let unfiltered = db.query().range(q).collect().expect("ok");
+        let brute: Vec<u64> =
+            unfiltered.segments.iter().filter(|s| pred(s)).map(|s| s.id).collect();
+        assert!(filtered.segments.iter().map(|s| s.id).eq(brute.iter().copied()));
+        assert_eq!(filtered.stats.results as usize, filtered.segments.len());
+        // Predicate rejections are tested, not returned.
+        assert_eq!(filtered.stats.objects_tested, unfiltered.stats.objects_tested);
+
+        let capped = db.query().range(q).limit(3).collect().expect("ok");
+        assert_eq!(capped.segments.len(), 3.min(unfiltered.segments.len()));
+        // A pushed-down limit is a prefix of the full emission order…
+        assert!(capped.segments.iter().map(|s| s.id).eq(unfiltered
+            .segments
+            .iter()
+            .take(capped.segments.len())
+            .map(|s| s.id)));
+        // …and reads no more index pages than the full query.
+        assert!(capped.stats.nodes_read <= unfiltered.stats.nodes_read);
+        assert!(db.query().range(q).limit(0).collect().expect("ok").is_empty());
+    }
+
+    #[test]
+    fn in_population_restricts_membership() {
+        let (db, c) = db();
+        let q = Aabb::cube(c.bounds().center(), 60.0);
+        let axons = db.query().range(q).in_population("axons").collect().expect("known");
+        assert!(!axons.is_empty());
+        assert!(axons.segments.iter().all(|s| s.neuron % 2 == 0));
+        assert!(matches!(
+            db.query().range(q).in_population("soma").collect(),
+            Err(NeuroError::UnknownPopulation { .. })
+        ));
+    }
+
+    #[test]
+    fn knn_collect_matches_legacy_and_filters() {
+        let (db, c) = db();
+        let p = c.segments()[3].geom.center();
+        let (legacy, legacy_stats) = db.index().knn(p, 7);
+        let (built, stats) = db.query().knn(p, 7).collect().expect("ok");
+        assert_eq!(stats, legacy_stats);
+        assert!(built.iter().map(|n| n.segment.id).eq(legacy.iter().map(|n| n.segment.id)));
+
+        let (dendrites, _) =
+            db.query().knn(p, 5).in_population("dendrites").collect().expect("known");
+        assert_eq!(dendrites.len(), 5);
+        assert!(dendrites.iter().all(|n| n.segment.neuron % 2 == 1));
+        // Exactness: the filtered answer is the brute-force k among matches.
+        let mut want: Vec<(f64, u64)> = c
+            .segments()
+            .iter()
+            .filter(|s| s.neuron % 2 == 1)
+            .map(|s| (s.aabb().min_distance_to_point(p), s.id))
+            .collect();
+        want.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        for (n, (d, id)) in dendrites.iter().zip(&want) {
+            assert_eq!(n.segment.id, *id);
+            assert!((n.distance - d).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn touching_matches_join_between() {
+        let (db, _) = db();
+        let via_builder =
+            db.query().touching("dendrites", 2.0).in_population("axons").collect().expect("ok");
+        let legacy = db.join_between("axons", "dendrites", 2.0).expect("ok");
+        assert_eq!(via_builder.sorted_pairs(), legacy.sorted_pairs());
+        // Filtered left side: pair indices still address the unfiltered slice.
+        let pred = |s: &NeuronSegment| s.neuron < 4;
+        let filtered = db
+            .query()
+            .touching("dendrites", 2.0)
+            .in_population("axons")
+            .filter(&pred)
+            .collect()
+            .expect("ok");
+        let axons = db.population("axons").expect("known");
+        assert!(filtered.pairs.iter().all(|&(i, _)| pred(&axons[i as usize])));
+        let want: Vec<(u32, u32)> =
+            legacy.pairs.iter().copied().filter(|&(i, _)| pred(&axons[i as usize])).collect();
+        assert_eq!(filtered.sorted_pairs(), {
+            let mut w = want;
+            w.sort_unstable();
+            w
+        });
+        // Limit caps the pair count.
+        let capped = db.query().touching("dendrites", 2.0).limit(2).collect().expect("ok");
+        assert!(capped.pairs.len() <= 2);
+        assert_eq!(capped.stats.results as usize, capped.pairs.len());
+    }
+
+    #[test]
+    fn along_path_runs_and_errors_on_tree_backends() {
+        let (db, c) = db();
+        let path = db.navigation_path(&c, 3, 20.0, 8.0).expect("path");
+        let stats =
+            db.query().along_path(&path).method(WalkthroughMethod::Scout).run().expect("flat");
+        assert_eq!(stats.steps.len(), path.queries.len());
+        let plan = db.query().along_path(&path).explain();
+        assert_eq!(plan.operation, "walkthrough");
+        assert!(plan.estimated_reads > 0);
+
+        let tree =
+            NeuroDb::builder().circuit(&c).backend(IndexBackend::StrPacked).build().expect("valid");
+        assert!(matches!(
+            tree.query().along_path(&path).run(),
+            Err(NeuroError::WalkthroughUnsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn session_reuses_buffers_and_matches_collect() {
+        let (db, c) = db();
+        let pred = |s: &NeuronSegment| s.neuron.is_multiple_of(2);
+        let mut session = db.query().range(Aabb::EMPTY).filter(&pred).session().expect("ok");
+        for half in [10.0, 25.0, 40.0] {
+            let q = Aabb::cube(c.bounds().center(), half);
+            let want = db.query().range(q).filter(&pred).collect().expect("ok");
+            let (hits, stats) = session.range(&q);
+            assert_eq!(stats, want.stats, "half={half}");
+            assert!(hits.iter().map(|s| s.id).eq(want.segments.iter().map(|s| s.id)));
+        }
+        let p = c.segments()[0].geom.center();
+        let (neighbors, _) = session.knn(p, 4);
+        assert_eq!(neighbors.len(), 4);
+        assert!(neighbors.iter().all(|n| n.segment.neuron % 2 == 0));
+    }
+
+    #[test]
+    fn session_scout_binding_accumulates_prefetch_stats() {
+        let (db, c) = db();
+        let mut session =
+            db.query().session().with_prefetch(WalkthroughMethod::Scout).expect("flat backend");
+        assert_eq!(session.prefetch_stats().expect("bound").steps.len(), 0);
+        for i in 0..4 {
+            let q = Aabb::cube(c.segments()[i * 9].geom.center(), 18.0);
+            let _ = session.range(&q);
+        }
+        let stats = session.prefetch_stats().expect("bound");
+        assert_eq!(stats.steps.len(), 4);
+        assert!(stats.total_demand_hits + stats.total_demand_misses > 0);
+        // Non-paged backends refuse the binding.
+        let tree =
+            NeuroDb::builder().circuit(&c).backend(IndexBackend::RPlus).build().expect("valid");
+        assert!(matches!(
+            tree.query()
+                .range(Aabb::EMPTY)
+                .session()
+                .expect("ok")
+                .with_prefetch(WalkthroughMethod::Scout),
+            Err(NeuroError::WalkthroughUnsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn explain_reports_backend_pruning_and_pushdown() {
+        let c = CircuitBuilder::new(4).neurons(8).build();
+        let sharded = NeuroDb::builder()
+            .circuit(&c)
+            .backend(IndexBackend::StrPacked)
+            .shards(5)
+            .build()
+            .expect("valid");
+        // A query far outside the data prunes every shard.
+        let far = sharded.query().range(Aabb::cube(Vec3::splat(1e7), 1.0)).explain();
+        assert_eq!(far.shards_total, 5);
+        assert_eq!(far.shards_probed, 0);
+        assert_eq!(far.estimated_reads, 0);
+        // A local query touches fewer shards than the whole dataset does.
+        let local = sharded.query().range(Aabb::cube(c.segments()[0].geom.center(), 5.0)).explain();
+        let global = sharded.query().range(c.bounds()).explain();
+        assert!(local.shards_probed >= 1);
+        assert!(local.shards_probed <= global.shards_probed);
+        assert_eq!(global.shards_probed, 5);
+
+        let pred = |s: &NeuronSegment| s.neuron == 0;
+        let plan = sharded.query().range(c.bounds()).filter(&pred).limit(10).explain();
+        assert!(plan.pushdown_filter);
+        assert_eq!(plan.pushdown_limit, Some(10));
+        assert_eq!(plan.backend, IndexBackend::StrPacked);
+        let text = plan.to_string();
+        assert!(text.contains("range via str-packed"), "{text}");
+        assert!(text.contains("filter pushed down"), "{text}");
+
+        // FLAT plans count real pages.
+        let flat = NeuroDb::from_circuit(&c);
+        let fp = flat.query().range(c.bounds()).explain();
+        let pages = flat.flat_index().expect("flat").page_count() as u64;
+        assert!(fp.estimated_reads >= pages, "{} >= {pages}", fp.estimated_reads);
+        // KNN plans describe the first expanding cube.
+        let kp = flat.query().knn(c.bounds().center(), 3).explain();
+        assert_eq!(kp.operation, "knn");
+    }
+}

@@ -45,10 +45,11 @@
 //! ```
 
 use crate::index::{
-    finish_knn, IndexParams, Neighbor, QueryOutput, QueryScratch, QueryStats, SpatialIndex,
+    finish_knn, IndexParams, IndexPlan, Neighbor, QueryOutput, QueryScratch, QueryStats,
+    SpatialIndex,
 };
 use neurospatial_flat::FlatIndex;
-use neurospatial_geom::{Aabb, Executor, HilbertSorter, Vec3};
+use neurospatial_geom::{Aabb, Executor, Flow, HilbertSorter, Vec3};
 use neurospatial_model::NeuronSegment;
 use neurospatial_scout::PagedIndex;
 
@@ -254,6 +255,108 @@ impl<I: SpatialIndex> SpatialIndex for ShardedIndex<I> {
         out: &mut Vec<NeuronSegment>,
     ) -> QueryStats {
         self.range_query_sequential_scratch(region, scratch, out)
+    }
+
+    /// Streaming execution over the shards. At one worker thread the
+    /// intersecting shards stream *sequentially* through the caller's
+    /// sink (one scratch threaded through all of them, a [`Flow::Last`]
+    /// verdict stops before later shards are even probed — the fully
+    /// pushed-down, allocation-free lane). With multiple workers each
+    /// shard streams into a per-worker sink buffer on the pool (bounds
+    /// pruning still applies below the fan-out) and the buffers replay
+    /// through the caller's sink in shard order — a deterministic merge,
+    /// so emission order is identical to the sequential lane. Statistics
+    /// under a `Last` early-exit differ between the lanes (parallel
+    /// probes every intersecting shard before the verdict can stop the
+    /// replay); without an early exit both report the same merged stats.
+    fn for_each_in_range(
+        &self,
+        region: &Aabb,
+        scratch: &mut QueryScratch,
+        sink: &mut dyn FnMut(&NeuronSegment) -> Flow,
+    ) -> QueryStats {
+        if self.executor.threads() == 1 {
+            let mut stats = QueryStats::default();
+            let mut stopped = false;
+            for (shard, bounds) in self.shards.iter().zip(&self.shard_bounds) {
+                if !bounds.intersects(region) {
+                    continue;
+                }
+                let s = shard.for_each_in_range(region, scratch, &mut |o| {
+                    let f = sink(o);
+                    if f == Flow::Last {
+                        stopped = true;
+                    }
+                    f
+                });
+                stats.merge(&s);
+                if stopped {
+                    break;
+                }
+            }
+            return stats;
+        }
+        let shards = &self.shards;
+        let partials = self
+            .executor
+            .map_chunks(shards.len(), |r| {
+                let mut worker_scratch = QueryScratch::default();
+                r.map(|i| {
+                    let mut buf = Vec::new();
+                    let stats = if self.shard_bounds[i].intersects(region) {
+                        shards[i].range_query_into_scratch(region, &mut worker_scratch, &mut buf)
+                    } else {
+                        QueryStats::default()
+                    };
+                    (buf, stats)
+                })
+                .collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten();
+        let mut stats = QueryStats::default();
+        let mut results = 0u64;
+        let mut stopped = false;
+        for (buf, shard_stats) in partials {
+            stats.nodes_read += shard_stats.nodes_read;
+            stats.objects_tested += shard_stats.objects_tested;
+            stats.reseeds += shard_stats.reseeds;
+            if stopped {
+                continue;
+            }
+            for o in &buf {
+                match sink(o) {
+                    Flow::Emit => results += 1,
+                    Flow::Skip => {}
+                    Flow::Last => {
+                        results += 1;
+                        stopped = true;
+                        break;
+                    }
+                }
+            }
+        }
+        stats.results = results;
+        stats
+    }
+
+    /// Real shard-pruning numbers for [`crate::query::RangeQuery::explain`]:
+    /// how many of the K shards the region actually touches, and the sum
+    /// of their per-shard read estimates.
+    fn plan_range(&self, region: &Aabb) -> IndexPlan {
+        let mut plan =
+            IndexPlan { shards_total: self.shards.len(), shards_probed: 0, estimated_reads: 0 };
+        for (shard, bounds) in self.shards.iter().zip(&self.shard_bounds) {
+            if bounds.intersects(region) {
+                plan.shards_probed += 1;
+                plan.estimated_reads += shard.plan_range(region).estimated_reads;
+            }
+        }
+        plan
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
     }
 
     /// Batched execution splits the *batch* across workers; each worker

@@ -2,7 +2,7 @@
 
 use crate::stats::{FlatQueryStats, PageAccess};
 use crate::FlatIndex;
-use neurospatial_geom::Aabb;
+use neurospatial_geom::{Aabb, Flow};
 use neurospatial_rtree::{EpochMarks, RTreeObject, TraversalScratch};
 use std::collections::VecDeque;
 
@@ -147,6 +147,27 @@ impl<T: RTreeObject> FlatIndex<T> {
         &'a self,
         q: &Aabb,
         scratch: &mut FlatScratch,
+        on_page: F,
+        mut sink: S,
+    ) -> FlatQueryStats {
+        self.range_query_stream(q, scratch, on_page, |o| {
+            sink(o);
+            Flow::Emit
+        })
+    }
+
+    /// Flow-controlled streaming seed-and-crawl — the traversal behind
+    /// [`range_query_scratch`](Self::range_query_scratch), with the sink
+    /// deciding per match whether it counts ([`Flow::Emit`]), is filtered
+    /// out ([`Flow::Skip`]) or ends the crawl right here ([`Flow::Last`] —
+    /// the early exit a pushed-down limit compiles to). With an
+    /// always-`Emit` sink the page visits, object tests, results,
+    /// emission order and re-seeds are exactly those of
+    /// [`range_query`](Self::range_query).
+    pub fn range_query_stream<'a, F: FnMut(u32), S: FnMut(&'a T) -> Flow>(
+        &'a self,
+        q: &Aabb,
+        scratch: &mut FlatScratch,
         mut on_page: F,
         mut sink: S,
     ) -> FlatQueryStats {
@@ -175,8 +196,14 @@ impl<T: RTreeObject> FlatIndex<T> {
                 for o in self.page_objects(page) {
                     stats.objects_tested += 1;
                     if o.aabb().intersects(q) {
-                        stats.results += 1;
-                        sink(o);
+                        match sink(o) {
+                            Flow::Emit => stats.results += 1,
+                            Flow::Skip => {}
+                            Flow::Last => {
+                                stats.results += 1;
+                                return stats;
+                            }
+                        }
                     }
                 }
                 for &n in self.neighbors_of(page) {

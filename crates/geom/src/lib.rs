@@ -42,3 +42,25 @@ pub use vec3::Vec3;
 /// workspace. Chosen to be far below any biologically meaningful length
 /// (micrometre-scale coordinates) while far above `f64` rounding noise.
 pub const EPSILON: f64 = 1e-9;
+
+/// Verdict a streaming sink returns for each candidate object a spatial
+/// traversal offers it — the control channel that lets predicates and
+/// limits push down *below* the index traversal instead of running as a
+/// post-filter over a materialized result set.
+///
+/// The contract every streaming traversal follows: a candidate whose AABB
+/// intersects the query is offered to the sink exactly once (replicated
+/// entries are de-duplicated first); [`Flow::Emit`] counts it as a result
+/// and continues, [`Flow::Skip`] rejects it (filtered out, not counted)
+/// and continues, [`Flow::Last`] counts it as the final result and stops
+/// the traversal immediately — the early exit a pushed-down `LIMIT`
+/// compiles to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Flow {
+    /// Count the candidate as a result and keep traversing.
+    Emit,
+    /// Reject the candidate (predicate miss) and keep traversing.
+    Skip,
+    /// Count the candidate as the final result and stop the traversal.
+    Last,
+}

@@ -9,7 +9,7 @@
 use crate::node::{NodeKind, RTreeObject};
 use crate::soa::{TraversalCounters, TraversalScratch};
 use crate::{NodeId, RTree};
-use neurospatial_geom::{Aabb, Vec3};
+use neurospatial_geom::{Aabb, Flow, Vec3};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -200,6 +200,25 @@ impl<T: RTreeObject> RTree<T> {
         scratch: &mut TraversalScratch,
         mut sink: S,
     ) -> TraversalCounters {
+        self.range_query_stream(q, scratch, |o| {
+            sink(o);
+            Flow::Emit
+        })
+    }
+
+    /// Flow-controlled streaming range query — the traversal behind
+    /// [`range_query_scratch`](Self::range_query_scratch), with the sink
+    /// deciding per candidate whether it counts ([`Flow::Emit`]), is
+    /// filtered out ([`Flow::Skip`]) or ends the traversal right here
+    /// ([`Flow::Last`]). With an always-`Emit` sink the visits, tests,
+    /// results and emission order are exactly those of
+    /// [`range_query`](Self::range_query).
+    pub fn range_query_stream<'a, S: FnMut(&'a T) -> Flow>(
+        &'a self,
+        q: &Aabb,
+        scratch: &mut TraversalScratch,
+        mut sink: S,
+    ) -> TraversalCounters {
         let mut c = TraversalCounters::default();
         if self.is_empty() || !self.nodes[self.root].mbr.intersects(q) {
             return c;
@@ -216,8 +235,14 @@ impl<T: RTreeObject> RTree<T> {
                         for i in s..e {
                             c.leaf_entries_tested += 1;
                             if soa.entry_intersects(i, q) {
-                                c.results += 1;
-                                sink(&items[i - s]);
+                                match sink(&items[i - s]) {
+                                    Flow::Emit => c.results += 1,
+                                    Flow::Skip => {}
+                                    Flow::Last => {
+                                        c.results += 1;
+                                        return c;
+                                    }
+                                }
                             }
                         }
                     } else {
@@ -238,8 +263,14 @@ impl<T: RTreeObject> RTree<T> {
                             for o in items {
                                 c.leaf_entries_tested += 1;
                                 if o.aabb().intersects(q) {
-                                    c.results += 1;
-                                    sink(o);
+                                    match sink(o) {
+                                        Flow::Emit => c.results += 1,
+                                        Flow::Skip => {}
+                                        Flow::Last => {
+                                            c.results += 1;
+                                            return c;
+                                        }
+                                    }
                                 }
                             }
                         }

@@ -13,7 +13,7 @@
 use crate::node::RTreeObject;
 use crate::query::QueryStats;
 use crate::soa::{TraversalCounters, TraversalScratch};
-use neurospatial_geom::Aabb;
+use neurospatial_geom::{Aabb, Flow};
 
 /// Node id within the R+ arena.
 pub type RPlusNodeId = usize;
@@ -215,6 +215,25 @@ impl<T: RTreeObject> RPlusTree<T> {
         scratch: &mut TraversalScratch,
         mut sink: S,
     ) -> TraversalCounters {
+        self.range_query_stream(q, scratch, |o| {
+            sink(o);
+            Flow::Emit
+        })
+    }
+
+    /// Flow-controlled streaming range query — the traversal behind
+    /// [`range_query_scratch`](Self::range_query_scratch). Each distinct
+    /// object is offered to the sink at most once (replicas are
+    /// de-duplicated *before* the verdict, so a predicate runs once per
+    /// object); [`Flow::Skip`] rejects it, [`Flow::Last`] counts it and
+    /// stops the traversal. With an always-`Emit` sink the visits, tests,
+    /// results and emission order match [`range_query`](Self::range_query).
+    pub fn range_query_stream<'a, S: FnMut(&'a T) -> Flow>(
+        &'a self,
+        q: &Aabb,
+        scratch: &mut TraversalScratch,
+        mut sink: S,
+    ) -> TraversalCounters {
         let mut c = TraversalCounters::default();
         if self.objects.is_empty() || !self.nodes[self.root].region().intersects(q) {
             return c;
@@ -232,8 +251,14 @@ impl<T: RTreeObject> RPlusTree<T> {
                             && self.objects[i as usize].aabb().intersects(q)
                         {
                             scratch.dedup.mark(i as usize);
-                            c.results += 1;
-                            sink(&self.objects[i as usize]);
+                            match sink(&self.objects[i as usize]) {
+                                Flow::Emit => c.results += 1,
+                                Flow::Skip => {}
+                                Flow::Last => {
+                                    c.results += 1;
+                                    return c;
+                                }
+                            }
                         }
                     }
                 }

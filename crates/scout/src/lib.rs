@@ -44,5 +44,5 @@ pub use prefetch::{
     ExtrapolationPrefetcher, HilbertPrefetcher, NoPrefetch, PrefetchContext, PrefetchPlan,
     Prefetcher, ScoutPrefetcher,
 };
-pub use session::{ExplorationSession, QueryTrace, SessionConfig, SessionStats};
+pub use session::{ExplorationSession, QueryTrace, SessionConfig, SessionCursor, SessionStats};
 pub use skeleton::{Skeleton, SkeletonParams, Structure};

@@ -13,7 +13,7 @@
 use crate::paged::PagedIndex;
 use crate::prefetch::{PrefetchContext, Prefetcher};
 use neurospatial_flat::{FlatBuildParams, FlatIndex};
-use neurospatial_geom::Vec3;
+use neurospatial_geom::{Aabb, Vec3};
 use neurospatial_model::{NavigationPath, NeuronSegment};
 use neurospatial_storage::{BufferPool, CostModel, DiskSim, PageId};
 use std::collections::HashMap;
@@ -144,95 +144,175 @@ impl<I: PagedIndex> ExplorationSession<I> {
         &self.config
     }
 
-    /// Replay `path` with `prefetcher`. Deterministic.
+    /// Replay `path` with `prefetcher`. Deterministic. One cursor, one
+    /// [`SessionCursor::step`] per path query.
     pub fn run(&self, path: &NavigationPath, prefetcher: &mut dyn Prefetcher) -> SessionStats {
+        let mut state = StepState::new(self, prefetcher.name());
         prefetcher.reset();
-        let disk = DiskSim::new(u64::MAX, self.config.cost);
-        let mut pool = BufferPool::new(self.config.buffer_pages);
-        let mut stats =
-            SessionStats { method: prefetcher.name().to_string(), ..Default::default() };
-
-        // Provenance of resident pages: pages inserted by prefetch that
-        // have not yet served a demand access.
-        let mut pending_prefetch: HashMap<u32, ()> = HashMap::new();
-        let mut history: Vec<Vec3> = Vec::with_capacity(path.queries.len());
-        // Per-step buffers and index scratch, reused across the whole
-        // walkthrough: after the first step has sized them, the steps'
-        // demand phase stops allocating.
-        let mut index_scratch = I::Scratch::default();
-        let mut pages_read: Vec<u32> = Vec::new();
-        let mut result: Vec<&NeuronSegment> = Vec::new();
-
         for q in &path.queries {
-            history.push(q.center());
-            let mut trace = QueryTrace::default();
-
-            // --- Demand phase: run the query, stalling on misses --------
-            pages_read.clear();
-            result.clear();
-            self.index.paged_range_query_scratch(
-                q,
-                &mut index_scratch,
-                &mut |p| {
-                    pages_read.push(p);
-                    trace.pages_demanded += 1;
-                    let cost = pool
-                        .get(PageId(p as u64), &disk)
-                        .expect("unbounded simulated disk cannot fail");
-                    if cost > 0.0 {
-                        trace.demand_misses += 1;
-                        trace.stall_ms += cost;
-                    } else {
-                        trace.demand_hits += 1;
-                        if pending_prefetch.remove(&p).is_some() {
-                            stats.useful_prefetched += 1;
-                        }
-                    }
-                },
-                &mut result,
-            );
-            trace.results = result.len() as u64;
-
-            // --- Think time: background prefetching ----------------------
-            let ctx = PrefetchContext {
-                query: q,
-                result: &result,
-                history: &history,
-                pages_read: &pages_read,
-            };
-            let plan = prefetcher.plan(&ctx);
-
-            let mut planned_pages: Vec<u32> = plan.pages;
-            for region in &plan.regions {
-                planned_pages.extend(self.index.pages_intersecting(region));
-            }
-            planned_pages.retain(|&p| (p as usize) < self.index.page_count());
-            planned_pages.dedup();
-
-            let mut budget = self.config.think_time_ms;
-            for p in planned_pages {
-                if budget <= 0.0 {
-                    break; // think time exhausted: remaining plan dropped
-                }
-                if pool.contains(PageId(p as u64)) {
-                    continue;
-                }
-                let cost = pool
-                    .prefetch(PageId(p as u64), &disk)
-                    .expect("unbounded simulated disk cannot fail");
-                budget -= cost;
-                stats.prefetch_cost_ms += cost;
-                trace.prefetched += 1;
-                pending_prefetch.insert(p, ());
-            }
-
-            stats.total_stall_ms += trace.stall_ms;
-            stats.total_demand_hits += trace.demand_hits;
-            stats.total_demand_misses += trace.demand_misses;
-            stats.total_prefetched += trace.prefetched;
-            stats.steps.push(trace);
+            state.step(self, prefetcher, q);
         }
-        stats
+        state.stats
+    }
+
+    /// Bind a step-wise walkthrough session: a [`SessionCursor`] owns the
+    /// simulated disk, buffer pool, prefetcher state and reusable query
+    /// scratch, and advances one query at a time — the primitive behind
+    /// repeated-query loops that do not know their whole path up front
+    /// (an interactive viewer, the facade's `Query::session` binding).
+    /// [`run`](Self::run) is exactly a cursor stepped over a whole path.
+    pub fn cursor(&self, mut prefetcher: Box<dyn Prefetcher>) -> SessionCursor<'_, I> {
+        prefetcher.reset();
+        let state = StepState::new(self, prefetcher.name());
+        SessionCursor { session: self, prefetcher, state }
+    }
+}
+
+/// All mutable per-walkthrough state of a session replay: the simulated
+/// disk and pool, prefetch provenance, query history, and the reusable
+/// per-step buffers (after the first step has sized them, the demand
+/// phase stops allocating).
+struct StepState<'s, I: PagedIndex> {
+    disk: DiskSim,
+    pool: BufferPool,
+    /// Pages inserted by prefetch that have not yet served a demand
+    /// access (provenance for the precision statistic).
+    pending_prefetch: HashMap<u32, ()>,
+    history: Vec<Vec3>,
+    scratch: I::Scratch,
+    pages_read: Vec<u32>,
+    result: Vec<&'s NeuronSegment>,
+    stats: SessionStats,
+}
+
+impl<'s, I: PagedIndex> StepState<'s, I> {
+    fn new(session: &ExplorationSession<I>, method: &str) -> Self {
+        StepState {
+            disk: DiskSim::new(u64::MAX, session.config.cost),
+            pool: BufferPool::new(session.config.buffer_pages),
+            pending_prefetch: HashMap::new(),
+            history: Vec::new(),
+            scratch: I::Scratch::default(),
+            pages_read: Vec::new(),
+            result: Vec::new(),
+            stats: SessionStats { method: method.to_string(), ..Default::default() },
+        }
+    }
+
+    /// Advance one step: demand phase (stalling on misses), then the
+    /// think-time prefetch phase. Appends to the running statistics and
+    /// returns this step's trace.
+    fn step(
+        &mut self,
+        session: &'s ExplorationSession<I>,
+        prefetcher: &mut dyn Prefetcher,
+        q: &Aabb,
+    ) -> QueryTrace {
+        self.history.push(q.center());
+        let mut trace = QueryTrace::default();
+
+        // --- Demand phase: run the query, stalling on misses --------
+        self.pages_read.clear();
+        self.result.clear();
+        let (pool, pending, stats) = (&mut self.pool, &mut self.pending_prefetch, &mut self.stats);
+        let (pages_read, disk) = (&mut self.pages_read, &self.disk);
+        session.index.paged_range_query_scratch(
+            q,
+            &mut self.scratch,
+            &mut |p| {
+                pages_read.push(p);
+                trace.pages_demanded += 1;
+                let cost =
+                    pool.get(PageId(p as u64), disk).expect("unbounded simulated disk cannot fail");
+                if cost > 0.0 {
+                    trace.demand_misses += 1;
+                    trace.stall_ms += cost;
+                } else {
+                    trace.demand_hits += 1;
+                    if pending.remove(&p).is_some() {
+                        stats.useful_prefetched += 1;
+                    }
+                }
+            },
+            &mut self.result,
+        );
+        trace.results = self.result.len() as u64;
+
+        // --- Think time: background prefetching ----------------------
+        let ctx = PrefetchContext {
+            query: q,
+            result: &self.result,
+            history: &self.history,
+            pages_read: &self.pages_read,
+        };
+        let plan = prefetcher.plan(&ctx);
+
+        let mut planned_pages: Vec<u32> = plan.pages;
+        for region in &plan.regions {
+            planned_pages.extend(session.index.pages_intersecting(region));
+        }
+        planned_pages.retain(|&p| (p as usize) < session.index.page_count());
+        planned_pages.dedup();
+
+        let mut budget = session.config.think_time_ms;
+        for p in planned_pages {
+            if budget <= 0.0 {
+                break; // think time exhausted: remaining plan dropped
+            }
+            if self.pool.contains(PageId(p as u64)) {
+                continue;
+            }
+            let cost = self
+                .pool
+                .prefetch(PageId(p as u64), &self.disk)
+                .expect("unbounded simulated disk cannot fail");
+            budget -= cost;
+            self.stats.prefetch_cost_ms += cost;
+            trace.prefetched += 1;
+            self.pending_prefetch.insert(p, ());
+        }
+
+        self.stats.total_stall_ms += trace.stall_ms;
+        self.stats.total_demand_hits += trace.demand_hits;
+        self.stats.total_demand_misses += trace.demand_misses;
+        self.stats.total_prefetched += trace.prefetched;
+        self.stats.steps.push(trace);
+        trace
+    }
+}
+
+/// A step-wise exploration session: feed queries one at a time, read the
+/// accumulated Figure-6 statistics whenever you like. Created by
+/// [`ExplorationSession::cursor`]; owns its prefetcher, simulated disk,
+/// buffer pool and reusable per-step buffers, so repeated steps are as
+/// allocation-disciplined as a whole-path [`ExplorationSession::run`].
+pub struct SessionCursor<'s, I: PagedIndex = FlatIndex<NeuronSegment>> {
+    session: &'s ExplorationSession<I>,
+    prefetcher: Box<dyn Prefetcher>,
+    state: StepState<'s, I>,
+}
+
+impl<'s, I: PagedIndex> SessionCursor<'s, I> {
+    /// Advance the walkthrough by one query: demand phase (stalling on
+    /// pool misses), then think-time prefetching. Returns this step's
+    /// trace.
+    pub fn step(&mut self, q: &Aabb) -> QueryTrace {
+        self.state.step(self.session, self.prefetcher.as_mut(), q)
+    }
+
+    /// The result segments of the most recent step, in emission order.
+    pub fn last_result(&self) -> &[&'s NeuronSegment] {
+        &self.state.result
+    }
+
+    /// Statistics accumulated over every step so far.
+    pub fn stats(&self) -> &SessionStats {
+        &self.state.stats
+    }
+
+    /// Consume the cursor, yielding the final statistics.
+    pub fn into_stats(self) -> SessionStats {
+        self.state.stats
     }
 }
 

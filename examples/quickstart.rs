@@ -1,6 +1,7 @@
-//! Quickstart: generate a microcircuit, open it through the builder,
-//! race the index backends on the same query, find synapse candidates
-//! between named populations and replay an exploration walkthrough.
+//! Quickstart: generate a microcircuit, open it through the builder, and
+//! serve every workload through the unified `Query` API — collect,
+//! stream with predicate pushdown, explain plans, bind a zero-alloc
+//! session, find synapse candidates and replay a SCOUT walkthrough.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
@@ -37,18 +38,48 @@ fn main() {
         flat.seed_tree_height()
     );
 
-    // --- 3. Range query through the backend-agnostic API ------------------
+    // --- 3. One composable query surface ----------------------------------
+    // Everything below runs through db.query(): what (range/knn/touching/
+    // along_path) × over what (in_population/filter/limit) × how
+    // (collect/stream/session), with explain() on every shape.
     let region = Aabb::cube(circuit.bounds().center(), 50.0);
-    let out = db.range_query(&region);
+    let out = db.query().range(region).collect().expect("no population constraint");
     println!(
-        "range query {}: {} segments, {} index reads, {} re-seeds",
+        "\nrange query {}: {} segments, {} index reads, {} re-seeds",
         region,
         out.len(),
         out.stats.nodes_read,
         out.stats.reseeds
     );
+    println!("  plan: {}", db.query().range(region).explain());
 
-    // --- 3b. Race every backend on the same query -------------------------
+    // --- 3b. Stream with predicate pushdown: no result Vec is ever built.
+    let thick = |s: &NeuronSegment| s.geom.radius > 0.4;
+    let mut thick_cable = 0.0;
+    let stats = db
+        .query()
+        .range(region)
+        .filter(&thick)
+        .stream(|s| thick_cable += s.geom.axis_length())
+        .expect("no population constraint");
+    println!(
+        "streamed {} thick segments ({:.0} µm cable) without materializing; \
+         plan: {}",
+        stats.results,
+        thick_cable,
+        db.query().range(region).filter(&thick).explain()
+    );
+
+    // --- 3c. KNN and population-restricted queries through the same grammar.
+    let p = circuit.bounds().center();
+    let (nearest, _) =
+        db.query().knn(p, 5).in_population("axons").collect().expect("population exists");
+    println!(
+        "5 nearest axon segments to the centre: {:?}",
+        nearest.iter().map(|n| n.segment.id).collect::<Vec<_>>()
+    );
+
+    // --- 3d. Race every backend on the same query -------------------------
     println!("\nbackend race on the same query (identical results, different cost):");
     for backend in IndexBackend::ALL {
         let index = backend.build(circuit.segments().to_vec(), &IndexParams::default());
@@ -63,16 +94,41 @@ fn main() {
         );
     }
 
-    // --- 3c. Tissue statistics (the §2.1 use case) ------------------------
+    // --- 3e. Tissue statistics (the §2.1 use case) ------------------------
     let stats = db.region_stats(&region);
     println!(
         "\nregion stats: {} segments of {} neurons | {:.0} µm cable | density {:.4} seg/µm³",
         stats.count, stats.neuron_count, stats.total_cable_length, stats.density
     );
 
-    // --- 4. Synapse candidates (TOUCH distance join) ---------------------
+    // --- 4. Session: one scratch bound across a serving loop --------------
+    // Steady-state queries allocate nothing; with_prefetch additionally
+    // replays the loop against simulated cold storage with SCOUT.
+    let mut session =
+        db.query().session().with_prefetch(WalkthroughMethod::Scout).expect("FLAT backend");
+    let mut served = 0usize;
+    for step in 0..6 {
+        let q = Aabb::cube(circuit.bounds().center() + Vec3::splat(step as f64 * 8.0), 25.0);
+        let (hits, _) = session.range(&q);
+        served += hits.len();
+    }
+    let prefetch = session.prefetch_stats().expect("cursor bound").clone();
+    println!(
+        "\nsession served {served} segments over 6 queries; simulated cold-storage replay: \
+         {:.1} ms stall, {:.0}% hit ratio, {} pages prefetched",
+        prefetch.total_stall_ms,
+        prefetch.hit_ratio() * 100.0,
+        prefetch.total_prefetched
+    );
+
+    // --- 5. Synapse candidates (TOUCH distance join) ---------------------
     let eps = 2.5; // µm
-    let synapses = db.join_between("axons", "dendrites", eps).expect("populations declared above");
+    let synapses = db
+        .query()
+        .touching("dendrites", eps)
+        .in_population("axons")
+        .collect()
+        .expect("populations declared above");
     println!(
         "synapse candidates at ε={eps}: {} pairs in {:.1} ms ({} comparisons, {} filtered out)",
         synapses.pairs.len(),
@@ -81,18 +137,19 @@ fn main() {
         synapses.stats.filtered_out
     );
 
-    // --- 5. Branch-following walkthrough with SCOUT ----------------------
+    // --- 6. Branch-following walkthrough with SCOUT ----------------------
     let path = db
         .navigation_path(&circuit, 7, 25.0, 10.0)
         .expect("generated circuits always have branches");
     println!(
-        "walkthrough: following neuron {} over {} steps ({:.0} µm)",
+        "walkthrough: following neuron {} over {} steps ({:.0} µm); plan: {}",
         path.neuron,
         path.queries.len(),
-        path.path_length()
+        path.path_length(),
+        db.query().along_path(&path).explain()
     );
     for method in WalkthroughMethod::ALL {
-        let s = db.walkthrough(&path, method).expect("FLAT backend");
+        let s = db.query().along_path(&path).method(method).run().expect("FLAT backend");
         println!(
             "  {:>13}: stall {:>8.1} ms | hit ratio {:>5.1}% | prefetched {:>4} pages ({:>5.1}% useful)",
             s.method,

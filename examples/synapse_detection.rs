@@ -1,8 +1,11 @@
-//! Synapse detection: the TOUCH workload of §4 of the paper.
+//! Synapse detection: the TOUCH workload of §4 of the paper, driven
+//! through the unified `Query` builder.
 //!
-//! Builds two neuron populations, races all five join algorithms on the
-//! same ε-distance join, and prints the statistics the demo shows live:
-//! time, memory footprint, pairwise comparisons.
+//! Opens a database with named axon/dendrite populations, runs the
+//! ε-distance join as `query().touching(..)` — plain, filtered (predicate
+//! pushed onto the left population) and limited — then races the five
+//! join algorithms on the same pair set and prints the statistics the
+//! demo shows live: time, memory footprint, pairwise comparisons.
 //!
 //! Run with: `cargo run --release --example synapse_detection`
 
@@ -11,16 +14,72 @@ use neurospatial::prelude::*;
 fn main() {
     let circuit =
         CircuitBuilder::new(7).neurons(30).morphology(MorphologyParams::cortical()).build();
-    let (axons, dendrites) = circuit.split_populations();
-    println!("populations: |A| = {} segments, |B| = {} segments", axons.len(), dendrites.len());
+    let db = NeuroDb::builder()
+        .circuit(&circuit)
+        .split_populations("axons", "dendrites", |s| s.neuron % 2 == 0)
+        .build()
+        .expect("valid configuration");
+    let axons = db.population("axons").expect("declared");
+    let dendrites = db.population("dendrites").expect("declared");
+    println!("populations: |axons| = {} segments, |dendrites| = {}", axons.len(), dendrites.len());
 
     let eps = 2.0;
-    println!("\ndistance join at ε = {eps} µm:");
+
+    // --- The workload through the builder --------------------------------
+    println!("\nplan: {}", db.query().touching("dendrites", eps).in_population("axons").explain());
+    let synapses = db
+        .query()
+        .touching("dendrites", eps)
+        .in_population("axons")
+        .collect()
+        .expect("populations exist");
     println!(
-        "{:>13} | {:>10} | {:>12} | {:>12} | {:>10} | {:>8}",
-        "method", "time ms", "comparisons", "aux mem KiB", "pairs", "build ms"
+        "touching(ε={eps}): {} candidate pairs in {:.1} ms",
+        synapses.pairs.len(),
+        synapses.stats.total_ms
     );
 
+    // Pushdown composition: only proximal axon segments (first on their
+    // section) join, pair indices still address the full population.
+    let proximal = |s: &NeuronSegment| s.index_on_section < 4;
+    let filtered = db
+        .query()
+        .touching("dendrites", eps)
+        .in_population("axons")
+        .filter(&proximal)
+        .collect()
+        .expect("populations exist");
+    assert!(filtered.pairs.iter().all(|&(i, _)| proximal(&axons[i as usize])));
+    println!(
+        "filtered to proximal axon segments: {} pairs (indices stay population-relative)",
+        filtered.pairs.len()
+    );
+
+    // Sink-based delivery: aggregate per neuron pair without keeping the
+    // pair vector around.
+    use std::collections::HashMap;
+    let mut per_pair: HashMap<(u32, u32), usize> = HashMap::new();
+    db.query()
+        .touching("dendrites", eps)
+        .in_population("axons")
+        .stream(|i, j| {
+            *per_pair
+                .entry((axons[i as usize].neuron, dendrites[j as usize].neuron))
+                .or_default() += 1;
+        })
+        .expect("populations exist");
+    let mut counts: Vec<_> = per_pair.into_iter().collect();
+    counts.sort_by_key(|&(pair, c)| (std::cmp::Reverse(c), pair));
+    println!("\ntop connected neuron pairs (pre-synaptic, post-synaptic, contact sites):");
+    for ((a, b), c) in counts.into_iter().take(5) {
+        println!("  neuron {a:>3} ↔ neuron {b:>3}: {c} candidate sites");
+    }
+
+    // --- Race the join algorithms on the same pair set --------------------
+    println!(
+        "\n{:>13} | {:>10} | {:>12} | {:>12} | {:>10} | {:>8}",
+        "method", "time ms", "comparisons", "aux mem KiB", "pairs", "build ms"
+    );
     let run = |name: &str, r: JoinResult| {
         println!(
             "{:>13} | {:>10.1} | {:>12} | {:>12.1} | {:>10} | {:>8.1}",
@@ -33,31 +92,17 @@ fn main() {
         );
         r.sorted_pairs()
     };
-
-    let reference = run("touch", TouchJoin::default().join(&axons, &dendrites, eps));
+    let reference = synapses.sorted_pairs();
     let others = [
-        run("touch(4thr)", TouchJoin::parallel(4).join(&axons, &dendrites, eps)),
-        run("pbsm", PbsmJoin::default().join(&axons, &dendrites, eps)),
-        run("s3", S3Join::default().join(&axons, &dendrites, eps)),
-        run("plane-sweep", PlaneSweepJoin.join(&axons, &dendrites, eps)),
-        run("nested-loop", NestedLoopJoin.join(&axons, &dendrites, eps)),
+        run("touch", TouchJoin::default().join(axons, dendrites, eps)),
+        run("touch(4thr)", TouchJoin::parallel(4).join(axons, dendrites, eps)),
+        run("pbsm", PbsmJoin::default().join(axons, dendrites, eps)),
+        run("s3", S3Join::default().join(axons, dendrites, eps)),
+        run("plane-sweep", PlaneSweepJoin.join(axons, dendrites, eps)),
+        run("nested-loop", NestedLoopJoin.join(axons, dendrites, eps)),
     ];
     for o in &others {
-        assert_eq!(*o, reference, "all algorithms must agree");
+        assert_eq!(*o, reference, "all algorithms must agree with the builder's join");
     }
-    println!("\nall {} algorithms returned identical pair sets ✓", others.len() + 1);
-
-    // Where would the synapses go? Summarise per neuron pair.
-    use std::collections::HashMap;
-    let mut per_pair: HashMap<(u32, u32), usize> = HashMap::new();
-    let r = TouchJoin::default().join(&axons, &dendrites, eps);
-    for &(i, j) in &r.pairs {
-        *per_pair.entry((axons[i as usize].neuron, dendrites[j as usize].neuron)).or_default() += 1;
-    }
-    let mut counts: Vec<_> = per_pair.into_iter().collect();
-    counts.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
-    println!("\ntop connected neuron pairs (pre-synaptic, post-synaptic, contact sites):");
-    for ((a, b), c) in counts.into_iter().take(5) {
-        println!("  neuron {a:>3} ↔ neuron {b:>3}: {c} candidate sites");
-    }
+    println!("\nall {} algorithms returned the builder's pair set ✓", others.len());
 }
