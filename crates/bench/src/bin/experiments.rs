@@ -29,12 +29,15 @@
 //!   api (E8):      unified Query builder — collect vs stream vs session,
 //!                  predicate pushdown, 0-alloc streaming (BENCH_api.json)
 
+use neurospatial::model::CircuitBuilder;
 use neurospatial::prelude::*;
 use neurospatial::scout::{PrefetchContext, ScoutPrefetcher};
 use neurospatial_bench::*;
+use neurospatial_server::protocol::QueryDescView;
+use neurospatial_server::{serve_with, Client, ClientError, FilterRegistry, ServerConfig};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Counts every heap allocation the process performs — the instrument
 /// behind the hotpath scenario's allocs/query column. `realloc` and
@@ -119,9 +122,41 @@ fn main() {
     let threads: usize = parse_value(&args, "threads").unwrap_or(4);
     let shards: usize = parse_value(&args, "shards").unwrap_or(threads.max(2));
     // Scenarios are selectable positionally (`experiments throughput`) or
-    // via `--scenario=name[,name…]`.
+    // via `--scenario=name[,name…]`. Unknown names are an error, not a
+    // silent no-op — a typo like `--scenario=hotpth` used to run nothing
+    // and exit 0, which in CI reads as "gate passed".
+    const SCENARIOS: [&str; 18] = [
+        "e1",
+        "e2",
+        "e3",
+        "e4",
+        "e5",
+        "e6",
+        "e7",
+        "throughput",
+        "hotpath",
+        "join",
+        "api",
+        "serve",
+        "load",
+        "a1",
+        "a2",
+        "a3",
+        "a4",
+        "a5",
+    ];
     let mut which: Vec<String> = args.iter().filter(|a| !a.starts_with("--")).cloned().collect();
     which.extend(parse_list::<String>(&args, "scenario").unwrap_or_default());
+    for w in &which {
+        if !SCENARIOS.contains(&w.as_str()) {
+            eprintln!(
+                "unknown scenario '{w}'\nknown scenarios: {}\nusage: experiments \
+                 [scenario…] [--scenario=name[,name…]] [--flag=value…]",
+                SCENARIOS.join(", ")
+            );
+            std::process::exit(2);
+        }
+    }
     let run = |name: &str| which.is_empty() || which.iter().any(|w| w == name);
 
     if run("e1") {
@@ -177,6 +212,37 @@ fn main() {
             parse_value::<String>(&args, "out").unwrap_or_else(|| "BENCH_api.json".to_string());
         let strict = args.iter().any(|a| a == "--strict");
         api_bench(&backends, n, queries, half, cap, shards, &out, strict);
+    }
+    if run("serve") {
+        let n: usize = parse_value(&args, "n").unwrap_or(2_000);
+        let clients: usize = parse_value(&args, "clients").unwrap_or(4);
+        let half: f64 = parse_value(&args, "half").unwrap_or(10.0);
+        let out =
+            parse_value::<String>(&args, "out").unwrap_or_else(|| "BENCH_serve.json".to_string());
+        let strict = args.iter().any(|a| a == "--strict");
+        serve_bench(n, clients, half, &out, strict);
+    }
+    // `load` needs an external server, so it never rides the run-all
+    // default — only an explicit request selects it.
+    if which.iter().any(|w| w == "load") {
+        let Some(addr) = parse_value::<String>(&args, "addr") else {
+            eprintln!(
+                "load: --addr=HOST:PORT is required (start one with \
+                 `cargo run --release -p neurospatial-server`)"
+            );
+            std::process::exit(2);
+        };
+        let spec = LoadSpec {
+            neurons: parse_value(&args, "neurons").unwrap_or(40),
+            seed: parse_value(&args, "seed").unwrap_or(7),
+            requests: parse_value(&args, "n").unwrap_or(2_000),
+            clients: parse_value(&args, "clients").unwrap_or(4),
+            rate: parse_value(&args, "rate").unwrap_or(1_000.0),
+            half: parse_value(&args, "half").unwrap_or(10.0),
+        };
+        let out =
+            parse_value::<String>(&args, "out").unwrap_or_else(|| "BENCH_load.json".to_string());
+        load_bench(&addr, &spec, &out);
     }
     if run("a1") {
         a1_flat_packing();
@@ -1489,6 +1555,400 @@ fn api_bench(
         );
         std::process::exit(1);
     }
+}
+
+// ---------------------------------------------------------------------
+// SERVE / LOAD — the networked query service under load
+// ---------------------------------------------------------------------
+
+/// One load phase's client-side outcome: accepted-request latencies
+/// (sorted ascending, in ms), shed connections, transport failures.
+struct LoadOutcome {
+    latencies_ms: Vec<f64>,
+    rejects: u64,
+    io_errors: u64,
+    wall_s: f64,
+}
+
+impl LoadOutcome {
+    /// The `p`-quantile (0 < p <= 1) of the accepted latencies.
+    fn pct(&self, p: f64) -> f64 {
+        if self.latencies_ms.is_empty() {
+            return 0.0;
+        }
+        let idx = ((self.latencies_ms.len() as f64 * p).ceil() as usize).max(1);
+        self.latencies_ms[idx.min(self.latencies_ms.len()) - 1]
+    }
+
+    /// Completed requests per second of wall time.
+    fn qps(&self) -> f64 {
+        self.latencies_ms.len() as f64 / self.wall_s.max(1e-9)
+    }
+}
+
+/// Run one closure per client on its own thread and merge the
+/// per-client `(latencies, rejects, io_errors)` outcomes.
+fn gather_clients<F>(clients: usize, per_client: F) -> LoadOutcome
+where
+    F: Fn(usize) -> (Vec<f64>, u64, u64) + Sync,
+{
+    let t_all = Instant::now();
+    let mut outcome =
+        LoadOutcome { latencies_ms: Vec::new(), rejects: 0, io_errors: 0, wall_s: 0.0 };
+    std::thread::scope(|scope| {
+        let per_client = &per_client;
+        let handles: Vec<_> =
+            (0..clients.max(1)).map(|id| scope.spawn(move || per_client(id))).collect();
+        for h in handles {
+            let (lat, rejects, io_errors) = h.join().expect("load client");
+            outcome.latencies_ms.extend(lat);
+            outcome.rejects += rejects;
+            outcome.io_errors += io_errors;
+        }
+    });
+    outcome.wall_s = t_all.elapsed().as_secs_f64();
+    outcome.latencies_ms.sort_by(f64::total_cmp);
+    outcome
+}
+
+/// Drive `total` range requests open-loop against `addr`: `clients`
+/// connections, arrivals on fixed per-client grids that interleave into
+/// `rate` requests/second overall. Latency is measured from the
+/// *scheduled* arrival, not the send, so server-side queueing delay is
+/// charged to the server instead of silently omitted (the coordinated-
+/// omission trap of closed-loop load generators).
+fn open_loop(addr: &str, queries: &[Aabb], clients: usize, total: usize, rate: f64) -> LoadOutcome {
+    let clients = clients.max(1);
+    let per_client = (total / clients).max(1);
+    let interval = Duration::from_secs_f64(clients as f64 / rate.max(1.0));
+    gather_clients(clients, |id| {
+        let desc = QueryDescView { tenant: id as u32 + 1, ..Default::default() };
+        let mut out = Vec::new();
+        let mut lat = Vec::with_capacity(per_client);
+        let (mut rejects, mut io_errors) = (0u64, 0u64);
+        // Warm the connection and both frame buffers off the clock.
+        let mut conn = Client::connect(addr).ok();
+        if let Some(c) = conn.as_mut() {
+            for q in queries.iter().take(4) {
+                let _ = c.range(&desc, q, &mut out);
+            }
+        }
+        // Stagger the per-client grids so arrivals interleave.
+        let start = Instant::now() + interval.mul_f64(id as f64 / clients as f64);
+        for i in 0..per_client {
+            let scheduled = start + interval.mul_f64(i as f64);
+            if let Some(wait) = scheduled.checked_duration_since(Instant::now()) {
+                std::thread::sleep(wait);
+            }
+            let q = &queries[(id + i * clients) % queries.len()];
+            let mut c = match conn.take() {
+                Some(c) => c,
+                None => match Client::connect(addr) {
+                    Ok(c) => c,
+                    Err(_) => {
+                        io_errors += 1;
+                        continue;
+                    }
+                },
+            };
+            match c.range(&desc, q, &mut out) {
+                Ok(_) => {
+                    lat.push(scheduled.elapsed().as_secs_f64() * 1e3);
+                    conn = Some(c);
+                }
+                // A shed or broken connection is dropped; the next
+                // arrival reconnects.
+                Err(ClientError::Busy) => rejects += 1,
+                Err(_) => io_errors += 1,
+            }
+        }
+        (lat, rejects, io_errors)
+    })
+}
+
+/// Hammer `addr` closed-loop with one fresh connection per attempt —
+/// the shedding regime. Accepted latency includes the TCP connect.
+fn overload(addr: &str, queries: &[Aabb], clients: usize, attempts: usize) -> LoadOutcome {
+    gather_clients(clients, |id| {
+        let desc = QueryDescView { tenant: 100 + id as u32, ..Default::default() };
+        let mut out = Vec::new();
+        let mut lat = Vec::new();
+        let (mut rejects, mut io_errors) = (0u64, 0u64);
+        for i in 0..attempts {
+            let q = &queries[(id + i * clients.max(1)) % queries.len()];
+            let t0 = Instant::now();
+            match Client::connect(addr) {
+                Err(_) => io_errors += 1,
+                Ok(mut c) => match c.range(&desc, q, &mut out) {
+                    Ok(_) => lat.push(t0.elapsed().as_secs_f64() * 1e3),
+                    Err(ClientError::Busy) => rejects += 1,
+                    Err(_) => io_errors += 1,
+                },
+            }
+        }
+        (lat, rejects, io_errors)
+    })
+}
+
+/// SERVE — the networked query service end to end, three phases:
+///
+/// * **steady**: one worker, one connection, warm session and frame
+///   buffers on both sides — after warm-up, `n` sequential requests
+///   must allocate *nothing anywhere in the process* (server decode,
+///   session traversal, tenant accounting, response encoding, client
+///   decode all ride reused buffers);
+/// * **open-loop**: `--clients` connections at a fixed arrival rate
+///   (40% of the measured sequential throughput) — queries/s and
+///   p50/p99/p99.9 latency from scheduled-arrival time;
+/// * **overload**: workers=1, queue=0 while `--clients` hammer — the
+///   admission controller must shed (nonzero fast-rejects) while
+///   accepted requests keep a bounded p99.
+///
+/// Everything lands in `BENCH_serve.json`. Under `--strict` (the CI
+/// bench-smoke gate) the bar is the exit code: 0 allocations/request
+/// steady-state, 0 protocol errors anywhere, nonzero fast-rejects at
+/// overload.
+fn serve_bench(n: usize, clients: usize, half: f64, out_path: &str, strict: bool) {
+    println!("\n== SERVE — wire protocol, session pooling, admission control ==\n");
+    let segments = sized_segments(n, 42);
+    let bounds = segments.iter().fold(Aabb::EMPTY, |a, s| a.union(&s.aabb()));
+    let w = RangeQueryWorkload::generate(
+        1000,
+        &bounds,
+        256,
+        half,
+        QueryPlacement::DataCentered,
+        Some(&segments),
+    );
+    let db = NeuroDb::builder()
+        .segments(segments.clone())
+        .backend(IndexBackend::Flat)
+        .build()
+        .expect("flat db");
+    let filters = FilterRegistry::new();
+    println!(
+        "{} segments (flat), {} distinct queries ({:.0}³, data-centred), {n} requests, \
+         {clients} clients\n",
+        segments.len(),
+        w.queries.len(),
+        half * 2.0
+    );
+
+    // --- Phase A: sequential steady state — the allocation gate. --------
+    let cfg = ServerConfig { workers: 1, ..Default::default() };
+    let (seq_qps, allocs_per_req, pe_a) = serve_with(&db, &filters, &cfg, |handle| {
+        let addr = handle.addr().to_string();
+        let mut c = Client::connect(&*addr).expect("connect");
+        let desc = QueryDescView { tenant: 1, ..Default::default() };
+        let mut out = Vec::new();
+        for q in &w.queries {
+            c.range(&desc, q, &mut out).expect("warmup request");
+        }
+        let a0 = allocations();
+        let t0 = Instant::now();
+        for i in 0..n {
+            c.range(&desc, &w.queries[i % w.queries.len()], &mut out).expect("steady request");
+        }
+        let wall = t0.elapsed().as_secs_f64();
+        let allocs = allocations() - a0;
+        (
+            n as f64 / wall.max(1e-9),
+            allocs as f64 / n as f64,
+            handle.metrics().protocol_errors.load(Ordering::Relaxed),
+        )
+    })
+    .expect("serve (steady)");
+
+    // --- Phase B: open-loop latency under concurrency. -------------------
+    let rate = (seq_qps * 0.4).max(100.0);
+    let cfg =
+        ServerConfig { workers: clients.max(1), queue: 2 * clients.max(1), ..Default::default() };
+    let (open, pe_b) = serve_with(&db, &filters, &cfg, |handle| {
+        let addr = handle.addr().to_string();
+        let o = open_loop(&addr, &w.queries, clients, n, rate);
+        (o, handle.metrics().protocol_errors.load(Ordering::Relaxed))
+    })
+    .expect("serve (open-loop)");
+
+    // --- Phase C: overload — admission control must shed. ----------------
+    let cfg =
+        ServerConfig { workers: 1, queue: 0, poll: Duration::from_millis(5), ..Default::default() };
+    let attempts = (n / clients.max(1)).max(100);
+    let (over, shed_rejects, pe_c) = serve_with(&db, &filters, &cfg, |handle| {
+        let addr = handle.addr().to_string();
+        let o = overload(&addr, &w.queries, clients, attempts);
+        let m = handle.metrics();
+        (o, m.rejected.load(Ordering::Relaxed), m.protocol_errors.load(Ordering::Relaxed))
+    })
+    .expect("serve (overload)");
+
+    let mut t = Table::new([
+        "phase",
+        "completed",
+        "q/s",
+        "p50 ms",
+        "p99 ms",
+        "p99.9 ms",
+        "rejects",
+        "allocs/req",
+    ]);
+    t.row([
+        "steady (1 conn)".to_string(),
+        n.to_string(),
+        f1(seq_qps),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        "0".into(),
+        format!("{allocs_per_req:.4}"),
+    ]);
+    t.row([
+        "open-loop".to_string(),
+        open.latencies_ms.len().to_string(),
+        f1(open.qps()),
+        format!("{:.3}", open.pct(0.50)),
+        format!("{:.3}", open.pct(0.99)),
+        format!("{:.3}", open.pct(0.999)),
+        open.rejects.to_string(),
+        "-".into(),
+    ]);
+    t.row([
+        "overload (w=1,q=0)".to_string(),
+        over.latencies_ms.len().to_string(),
+        f1(over.qps()),
+        format!("{:.3}", over.pct(0.50)),
+        format!("{:.3}", over.pct(0.99)),
+        format!("{:.3}", over.pct(0.999)),
+        shed_rejects.to_string(),
+        "-".into(),
+    ]);
+    t.print();
+
+    let protocol_errors = pe_a + pe_b + pe_c;
+    let json = format!(
+        concat!(
+            "{{\n  \"scenario\": \"serve\",\n  \"segments\": {},\n  \"requests\": {},\n",
+            "  \"clients\": {},\n  \"query_half_extent\": {:.1},\n",
+            "  \"steady\": {{\"sequential_qps\": {:.0}, \"allocs_per_request\": {:.4}}},\n",
+            "  \"open_loop\": {{\"target_qps\": {:.0}, \"achieved_qps\": {:.0}, ",
+            "\"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"p999_ms\": {:.3}, \"completed\": {}, ",
+            "\"rejects\": {}, \"io_errors\": {}}},\n",
+            "  \"overload\": {{\"workers\": 1, \"queue\": 0, \"attempts\": {}, ",
+            "\"accepted\": {}, \"fast_rejects\": {}, \"client_observed_busy\": {}, ",
+            "\"accepted_p50_ms\": {:.3}, \"accepted_p99_ms\": {:.3}}},\n",
+            "  \"protocol_errors\": {}\n}}\n"
+        ),
+        segments.len(),
+        n,
+        clients,
+        half,
+        seq_qps,
+        allocs_per_req,
+        rate,
+        open.qps(),
+        open.pct(0.50),
+        open.pct(0.99),
+        open.pct(0.999),
+        open.latencies_ms.len(),
+        open.rejects,
+        open.io_errors,
+        attempts * clients.max(1),
+        over.latencies_ms.len(),
+        shed_rejects,
+        over.rejects,
+        over.pct(0.50),
+        over.pct(0.99),
+        protocol_errors
+    );
+    std::fs::write(out_path, json).expect("write BENCH json");
+    println!("\nwrote {out_path}");
+    println!(
+        "\nshape check: {n} steady requests allocate {allocs_per_req:.4}/request (acceptance: \
+         exactly 0);\nthe open-loop fleet completed {} requests at {:.0} q/s with p99 {:.2} ms;\n\
+         at overload the admission controller fast-rejected {shed_rejects} connections \
+         (acceptance: > 0)\nwhile accepted requests held p99 {:.2} ms; {protocol_errors} \
+         protocol errors (acceptance: 0).",
+        open.latencies_ms.len(),
+        open.qps(),
+        open.pct(0.99),
+        over.pct(0.99)
+    );
+    if strict && (allocs_per_req != 0.0 || protocol_errors != 0 || shed_rejects == 0) {
+        eprintln!(
+            "serve --strict: acceptance bar FAILED (allocs/request {allocs_per_req:.4}, \
+             protocol errors {protocol_errors}, fast rejects {shed_rejects})"
+        );
+        std::process::exit(1);
+    }
+}
+
+/// Parameters for the external-server load generator.
+struct LoadSpec {
+    neurons: u32,
+    seed: u64,
+    requests: usize,
+    clients: usize,
+    rate: f64,
+    half: f64,
+}
+
+/// LOAD — the serve scenario's open-loop fleet decoupled from the
+/// in-process server, for driving an *external* `neurospatial-server`
+/// over real sockets. `--neurons`/`--seed` must mirror the server's so
+/// the generated queries land on its data.
+fn load_bench(addr: &str, spec: &LoadSpec, out_path: &str) {
+    println!("\n== LOAD — open-loop client fleet against {addr} ==\n");
+    let circuit = CircuitBuilder::new(spec.seed).neurons(spec.neurons).build();
+    let segments = circuit.segments();
+    let bounds = segments.iter().fold(Aabb::EMPTY, |a, s| a.union(&s.aabb()));
+    let w = RangeQueryWorkload::generate(
+        1000,
+        &bounds,
+        256,
+        spec.half,
+        QueryPlacement::DataCentered,
+        Some(segments),
+    );
+    println!(
+        "{} requests over {} clients at {:.0} q/s (mirroring a {}-neuron seed-{} circuit)\n",
+        spec.requests, spec.clients, spec.rate, spec.neurons, spec.seed
+    );
+    let o = open_loop(addr, &w.queries, spec.clients, spec.requests, spec.rate);
+
+    let mut t =
+        Table::new(["completed", "q/s", "p50 ms", "p99 ms", "p99.9 ms", "rejects", "io errors"]);
+    t.row([
+        o.latencies_ms.len().to_string(),
+        f1(o.qps()),
+        format!("{:.3}", o.pct(0.50)),
+        format!("{:.3}", o.pct(0.99)),
+        format!("{:.3}", o.pct(0.999)),
+        o.rejects.to_string(),
+        o.io_errors.to_string(),
+    ]);
+    t.print();
+
+    let json = format!(
+        concat!(
+            "{{\n  \"scenario\": \"load\",\n  \"addr\": {:?},\n  \"requests\": {},\n",
+            "  \"clients\": {},\n  \"target_qps\": {:.0},\n  \"achieved_qps\": {:.0},\n",
+            "  \"p50_ms\": {:.3},\n  \"p99_ms\": {:.3},\n  \"p999_ms\": {:.3},\n",
+            "  \"completed\": {},\n  \"rejects\": {},\n  \"io_errors\": {}\n}}\n"
+        ),
+        addr,
+        spec.requests,
+        spec.clients,
+        spec.rate,
+        o.qps(),
+        o.pct(0.50),
+        o.pct(0.99),
+        o.pct(0.999),
+        o.latencies_ms.len(),
+        o.rejects,
+        o.io_errors
+    );
+    std::fs::write(out_path, json).expect("write BENCH json");
+    println!("\nwrote {out_path}");
 }
 
 /// A1 ablation — FLAT packing strategy: Hilbert vs Morton vs plain

@@ -384,6 +384,30 @@ impl<'a> RangeQuery<'a> {
         })
     }
 
+    /// Count the matching segments without materializing any of them —
+    /// the traversal runs with a no-op sink, so population, filter and
+    /// limit pushdown all apply and nothing is copied. Equal to
+    /// `collect()?.segments.len()`, minus the `Vec`.
+    pub fn count(&self) -> Result<u64, NeuroError> {
+        Ok(self.stream(|_| {})?.results)
+    }
+
+    /// Fold every matching segment into an accumulator, in the backend's
+    /// canonical emission order, without materializing a result vector.
+    /// Returns the final accumulator and the traversal statistics.
+    pub fn fold<B>(
+        &self,
+        init: B,
+        mut f: impl FnMut(B, &NeuronSegment) -> B,
+    ) -> Result<(B, QueryStats), NeuroError> {
+        let mut acc = Some(init);
+        let stats = self.stream(|s| {
+            let b = acc.take().expect("accumulator present");
+            acc = Some(f(b, s));
+        })?;
+        Ok((acc.expect("accumulator present"), stats))
+    }
+
     /// Stream: every matching segment is delivered to `sink`, in the
     /// backend's canonical emission order, without materializing a
     /// result vector — the zero-copy lane for serving loops and
@@ -752,6 +776,42 @@ impl<'a> QuerySession<'a> {
         (&self.segments, stats)
     }
 
+    /// Count the segments a [`range`](Self::range) call would return,
+    /// without touching the result buffer — the traversal runs with a
+    /// no-op sink and allocates nothing. The count is
+    /// `stats.results`; the full [`QueryStats`] is returned so serving
+    /// loops can account for work done, not just rows matched.
+    pub fn count(&mut self, region: &Aabb) -> QueryStats {
+        let QuerySession { db, population, filter, limit, scratch, cursor, .. } = self;
+        let stats = run_range(db, region, *population, *filter, *limit, scratch, |_| {});
+        if let Some(cursor) = cursor {
+            cursor.step(region);
+        }
+        stats
+    }
+
+    /// Rebind the session's population restriction (`None` clears it) —
+    /// the per-request form for serving loops where each request names
+    /// its own population but the scratch and buffers must be reused.
+    /// Unknown names error and leave the binding unchanged.
+    pub fn set_population(&mut self, name: Option<&str>) -> Result<(), NeuroError> {
+        self.population = match name {
+            None => None,
+            Some(name) => Some(self.db.population_position(name)? as u32),
+        };
+        Ok(())
+    }
+
+    /// Rebind the session's pushed-down predicate (`None` clears it).
+    pub fn set_filter(&mut self, filter: Option<&'a SegmentPredicate<'a>>) {
+        self.filter = filter;
+    }
+
+    /// Rebind the session's pushed-down limit (`None` clears it).
+    pub fn set_limit(&mut self, limit: Option<usize>) {
+        self.limit = limit;
+    }
+
     /// Execute a KNN query with the bound composition; the neighbour
     /// slice lives in the session's reused buffer until the next call.
     pub fn knn(&mut self, p: Vec3, k: usize) -> (&[Neighbor], QueryStats) {
@@ -855,6 +915,64 @@ mod tests {
         // …and reads no more index pages than the full query.
         assert!(capped.stats.nodes_read <= unfiltered.stats.nodes_read);
         assert!(db.query().range(q).limit(0).collect().expect("ok").is_empty());
+    }
+
+    #[test]
+    fn count_and_fold_match_collect_without_materializing() {
+        let (db, c) = db();
+        let q = Aabb::cube(c.bounds().center(), 35.0);
+        let collected = db.query().range(q).collect().expect("ok");
+        assert_eq!(db.query().range(q).count().expect("ok"), collected.segments.len() as u64);
+
+        // Composition applies to the aggregates exactly as to collect().
+        let pred = |s: &NeuronSegment| s.neuron.is_multiple_of(2);
+        let filtered = db.query().range(q).filter(&pred).limit(4).collect().expect("ok");
+        assert_eq!(
+            db.query().range(q).filter(&pred).limit(4).count().expect("ok"),
+            filtered.segments.len() as u64
+        );
+
+        let (sum, stats) = db.query().range(q).fold(0u64, |acc, s| acc + s.id).expect("ok");
+        assert_eq!(sum, collected.segments.iter().map(|s| s.id).sum::<u64>());
+        assert_eq!(stats, collected.stats);
+
+        assert!(matches!(
+            db.query().range(q).in_population("soma").count(),
+            Err(NeuroError::UnknownPopulation { .. })
+        ));
+    }
+
+    #[test]
+    fn session_rebinds_composition_per_request() {
+        let (db, c) = db();
+        let q = Aabb::cube(c.bounds().center(), 40.0);
+        let mut session = db.query().session();
+
+        let unbound = db.query().range(q).collect().expect("ok");
+        assert_eq!(session.count(&q), unbound.stats);
+
+        session.set_population(Some("axons")).expect("known");
+        session.set_limit(Some(5));
+        let want = db.query().range(q).in_population("axons").limit(5).collect().expect("ok");
+        {
+            let (hits, stats) = session.range(&q);
+            assert_eq!(stats, want.stats);
+            assert!(hits.iter().map(|s| s.id).eq(want.segments.iter().map(|s| s.id)));
+        }
+
+        // Unknown names error and leave the previous binding in place.
+        assert!(session.set_population(Some("soma")).is_err());
+        assert_eq!(session.range(&q).1, want.stats);
+
+        // Clearing restores the unbound behaviour; a filter rebinds too.
+        session.set_population(None).expect("clear");
+        session.set_limit(None);
+        let pred = |s: &NeuronSegment| s.neuron < 3;
+        session.set_filter(Some(&pred));
+        let filtered = db.query().range(q).filter(&pred).collect().expect("ok");
+        assert_eq!(session.count(&q), filtered.stats);
+        session.set_filter(None);
+        assert_eq!(session.count(&q), unbound.stats);
     }
 
     #[test]

@@ -56,6 +56,16 @@ impl Executor {
         Executor { threads: threads.max(1).min(hardware) }
     }
 
+    /// An executor with exactly `threads` workers (0 clamped to 1),
+    /// deliberately *not* capped to available parallelism. For
+    /// I/O-blocked workloads — connection pools, open-loop load
+    /// generators — the workers spend most of their time parked in
+    /// syscalls, so oversubscribing cores is the point: a single-core
+    /// machine can still drive N concurrent connections.
+    pub fn io_bound(threads: usize) -> Self {
+        Executor { threads: threads.max(1) }
+    }
+
     /// The effective worker count (>= 1, <= available parallelism).
     pub fn threads(&self) -> usize {
         self.threads
@@ -160,6 +170,15 @@ mod tests {
         let e = Executor::new(0);
         assert_eq!(e.threads(), 1);
         assert_eq!(e.map_chunks(5, |r| r.len()), vec![5]);
+    }
+
+    #[test]
+    fn io_bound_is_not_capped_to_hardware() {
+        assert_eq!(Executor::io_bound(0).threads(), 1);
+        assert_eq!(Executor::io_bound(64).threads(), 64);
+        // Still runs work correctly when oversubscribed.
+        let sum: usize = Executor::io_bound(8).map_chunks(100, |r| r.len()).iter().sum();
+        assert_eq!(sum, 100);
     }
 
     #[test]

@@ -1,0 +1,258 @@
+//! A blocking client for the wire protocol, built for serving loops:
+//! one connection, reused frame buffers, results decoded into
+//! caller-provided warm vectors — after the first few requests the
+//! range/count/knn paths allocate nothing on either side of the socket.
+
+use crate::protocol::{self as p, PlanWire, ProtocolError, Request, TenantTotals, WalkSummary};
+use neurospatial::geom::{Aabb, Vec3};
+use neurospatial::model::{NavigationPath, NeuronSegment};
+use neurospatial::{Neighbor, QueryStats, WalkthroughMethod};
+use std::fmt;
+use std::io::{self, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Why a request failed, from the client's point of view.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (includes the server vanishing mid-response).
+    Io(io::Error),
+    /// The server's bytes did not decode.
+    Protocol(ProtocolError),
+    /// Admission control shed this connection (`BUSY`): retry later,
+    /// on a new connection.
+    Busy,
+    /// The server executed nothing and answered with an application
+    /// error frame.
+    Server { code: u16, message: String },
+    /// A frame that cannot answer the request that was sent (protocol
+    /// confusion; the connection should be abandoned).
+    Unexpected(u8),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Protocol(e) => write!(f, "protocol error: {e}"),
+            ClientError::Busy => write!(f, "server busy (admission control)"),
+            ClientError::Server { code, message } => {
+                write!(f, "server error {code}: {message}")
+            }
+            ClientError::Unexpected(op) => write!(f, "unexpected response opcode 0x{op:02X}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ProtocolError> for ClientError {
+    fn from(e: ProtocolError) -> Self {
+        ClientError::Protocol(e)
+    }
+}
+
+/// One protocol connection. Dropping it closes the socket.
+pub struct Client {
+    stream: TcpStream,
+    read_buf: Vec<u8>,
+    write_buf: Vec<u8>,
+}
+
+impl Client {
+    /// Connect and prepare frame buffers. Note a `BUSY` shed surfaces on
+    /// the *first request*, not here — the TCP handshake itself is
+    /// completed by the kernel before admission control runs.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            read_buf: Vec::with_capacity(4096),
+            write_buf: Vec::with_capacity(4096),
+        })
+    }
+
+    /// Bound how long a response read may block.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    /// Send whatever `write_buf` holds; a connection torn down by a
+    /// `BUSY` shed is reported as [`ClientError::Busy`] rather than a
+    /// raw broken pipe.
+    fn send(&mut self) -> Result<(), ClientError> {
+        match self.stream.write_all(&self.write_buf) {
+            Ok(()) => Ok(()),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::BrokenPipe
+                        | io::ErrorKind::ConnectionReset
+                        | io::ErrorKind::ConnectionAborted
+                ) =>
+            {
+                match p::read_frame(&mut self.stream, &mut self.read_buf) {
+                    Ok((p::OP_BUSY, _)) => Err(ClientError::Busy),
+                    _ => Err(ClientError::Io(e)),
+                }
+            }
+            Err(e) => Err(ClientError::Io(e)),
+        }
+    }
+
+    /// Range query: matching segments are appended to `out` (cleared
+    /// first), the traversal's statistics returned.
+    pub fn range(
+        &mut self,
+        desc: &p::QueryDescView<'_>,
+        region: &Aabb,
+        out: &mut Vec<NeuronSegment>,
+    ) -> Result<QueryStats, ClientError> {
+        out.clear();
+        self.write_buf.clear();
+        p::encode_range_request(desc, region, &mut self.write_buf);
+        self.send()?;
+        loop {
+            let (op, payload) = p::read_frame(&mut self.stream, &mut self.read_buf)?;
+            match op {
+                p::OP_SEGMENT_CHUNK => p::decode_segment_chunk_into(payload, out)?,
+                p::OP_DONE => return Ok(p::decode_done(payload)?),
+                other => return Err(terminal_error(other, payload)),
+            }
+        }
+    }
+
+    /// Count-only range query.
+    pub fn count(
+        &mut self,
+        desc: &p::QueryDescView<'_>,
+        region: &Aabb,
+    ) -> Result<(u64, QueryStats), ClientError> {
+        self.write_buf.clear();
+        p::encode_count_request(desc, region, &mut self.write_buf);
+        self.send()?;
+        let (op, payload) = p::read_frame(&mut self.stream, &mut self.read_buf)?;
+        match op {
+            p::OP_COUNT_RESULT => Ok(p::decode_count(payload)?),
+            other => Err(terminal_error(other, payload)),
+        }
+    }
+
+    /// K nearest neighbours appended to `out` (cleared first).
+    pub fn knn(
+        &mut self,
+        desc: &p::QueryDescView<'_>,
+        point: Vec3,
+        k: u32,
+        out: &mut Vec<Neighbor>,
+    ) -> Result<QueryStats, ClientError> {
+        out.clear();
+        self.write_buf.clear();
+        p::encode_knn_request(desc, point, k, &mut self.write_buf);
+        self.send()?;
+        loop {
+            let (op, payload) = p::read_frame(&mut self.stream, &mut self.read_buf)?;
+            match op {
+                p::OP_NEIGHBOR_CHUNK => p::decode_neighbor_chunk_into(payload, out)?,
+                p::OP_DONE => return Ok(p::decode_done(payload)?),
+                other => return Err(terminal_error(other, payload)),
+            }
+        }
+    }
+
+    /// ε-distance join pairs appended to `out` (cleared first).
+    pub fn touching(
+        &mut self,
+        desc: &p::QueryDescView<'_>,
+        other: &str,
+        epsilon: f64,
+        out: &mut Vec<(u32, u32)>,
+    ) -> Result<QueryStats, ClientError> {
+        out.clear();
+        let req = Request::Touching { desc: desc.into_owned(), other: other.to_string(), epsilon };
+        self.write_buf.clear();
+        p::encode_request(&req, &mut self.write_buf);
+        self.send()?;
+        loop {
+            let (op, payload) = p::read_frame(&mut self.stream, &mut self.read_buf)?;
+            match op {
+                p::OP_PAIR_CHUNK => p::decode_pair_chunk_into(payload, out)?,
+                p::OP_DONE => return Ok(p::decode_done(payload)?),
+                other => return Err(terminal_error(other, payload)),
+            }
+        }
+    }
+
+    /// Replay a walkthrough server-side (FLAT servers only).
+    pub fn walkthrough(
+        &mut self,
+        tenant: u32,
+        method: WalkthroughMethod,
+        path: &NavigationPath,
+    ) -> Result<WalkSummary, ClientError> {
+        let req = Request::Walkthrough { tenant, method, path: path.clone() };
+        self.write_buf.clear();
+        p::encode_request(&req, &mut self.write_buf);
+        self.send()?;
+        let (op, payload) = p::read_frame(&mut self.stream, &mut self.read_buf)?;
+        match op {
+            p::OP_WALK_RESULT => match p::decode_response(op, payload)? {
+                p::Response::Walkthrough(w) => Ok(w),
+                _ => Err(ClientError::Unexpected(op)),
+            },
+            other => Err(terminal_error(other, payload)),
+        }
+    }
+
+    /// Ask the server to plan (not run) `req`.
+    pub fn explain(&mut self, req: &Request) -> Result<PlanWire, ClientError> {
+        let wrapped = Request::Explain(Box::new(req.clone()));
+        self.write_buf.clear();
+        p::encode_request(&wrapped, &mut self.write_buf);
+        self.send()?;
+        let (op, payload) = p::read_frame(&mut self.stream, &mut self.read_buf)?;
+        match op {
+            p::OP_PLAN_RESULT => match p::decode_response(op, payload)? {
+                p::Response::Plan(plan) => Ok(plan),
+                _ => Err(ClientError::Unexpected(op)),
+            },
+            other => Err(terminal_error(other, payload)),
+        }
+    }
+
+    /// The server's accumulated totals for `tenant`.
+    pub fn stats(&mut self, tenant: u32) -> Result<TenantTotals, ClientError> {
+        let req = Request::Stats { tenant };
+        self.write_buf.clear();
+        p::encode_request(&req, &mut self.write_buf);
+        self.send()?;
+        let (op, payload) = p::read_frame(&mut self.stream, &mut self.read_buf)?;
+        match op {
+            p::OP_STATS_RESULT => match p::decode_response(op, payload)? {
+                p::Response::Stats(t) => Ok(t),
+                _ => Err(ClientError::Unexpected(op)),
+            },
+            other => Err(terminal_error(other, payload)),
+        }
+    }
+}
+
+/// Interpret a non-answer frame on a response stream.
+fn terminal_error(op: u8, payload: &[u8]) -> ClientError {
+    match op {
+        p::OP_BUSY => ClientError::Busy,
+        p::OP_ERROR => match p::decode_response(op, payload) {
+            Ok(p::Response::Error { code, message }) => ClientError::Server { code, message },
+            Ok(_) => ClientError::Unexpected(op),
+            Err(e) => ClientError::Protocol(e),
+        },
+        other => ClientError::Unexpected(other),
+    }
+}

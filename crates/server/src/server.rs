@@ -1,0 +1,608 @@
+//! The serving engine: one acceptor, a fixed worker pool, a bounded
+//! hand-off queue in between.
+//!
+//! The shape follows the paper's deployment story — one resident
+//! database, many analysts' viewers hitting it — under this repo's
+//! offline constraint (no async runtime, `std::net` only):
+//!
+//! * the **acceptor** owns the listening socket. Each accepted
+//!   connection is offered to the workers through a *bounded*
+//!   [`std::sync::mpsc::sync_channel`]; when every worker is busy and
+//!   the queue is full, the acceptor writes one `BUSY` frame and closes
+//!   the socket — admission control as fast-reject, so overload sheds
+//!   arrivals in microseconds instead of stacking them into a latency
+//!   cliff;
+//! * each **worker** owns one connection at a time, plus a persistent
+//!   [`QuerySession`] and read/write buffers that live across
+//!   connections — after warmup, serving a range/count/knn request
+//!   performs **zero heap allocations** end to end (decode borrows from
+//!   the read buffer, the session rebinds per request, results stream
+//!   from the session's reused buffer straight into the write buffer);
+//! * per-tenant [`QueryStats`] totals accumulate under a mutex keyed by
+//!   the request's tenant id and are served back by the `STATS` opcode.
+//!
+//! Predicates cannot cross the wire, so filters are *named*: the host
+//! registers `(id, predicate)` pairs in a [`FilterRegistry`] and clients
+//! reference them by id in the request envelope.
+//!
+//! [`serve_with`] runs the whole arrangement inside a
+//! [`std::thread::scope`], so the server borrows the database directly
+//! — no `Arc`, no `'static` — and shutdown is a join, not a leak.
+
+use crate::protocol::{self as p, ProtocolError, RequestView};
+use neurospatial::model::{NavigationPath, NeuronSegment};
+use neurospatial::{
+    NeuroDb, NeuroError, Plan, QuerySession, QueryStats, SegmentPredicate, WalkthroughMethod,
+};
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{mpsc, Mutex};
+use std::time::Duration;
+
+/// A server-registered predicate, shareable across worker threads.
+pub type ServerPredicate = dyn Fn(&NeuronSegment) -> bool + Send + Sync;
+
+/// Named predicates clients can reference by id (`FLAG_FILTER`).
+#[derive(Default)]
+pub struct FilterRegistry<'a> {
+    entries: Vec<(u32, &'a ServerPredicate)>,
+}
+
+impl<'a> FilterRegistry<'a> {
+    pub fn new() -> Self {
+        FilterRegistry { entries: Vec::new() }
+    }
+
+    /// Register `pred` under `id` (last registration wins on duplicate
+    /// ids).
+    pub fn register(&mut self, id: u32, pred: &'a ServerPredicate) -> &mut Self {
+        self.entries.retain(|(i, _)| *i != id);
+        self.entries.push((id, pred));
+        self
+    }
+
+    fn get(&self, id: u32) -> Option<&'a ServerPredicate> {
+        self.entries.iter().find(|(i, _)| *i == id).map(|(_, p)| *p)
+    }
+}
+
+/// Knobs for [`serve_with`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port (read it back from
+    /// [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Worker threads — the in-flight connection ceiling. These block on
+    /// socket I/O, not CPU, so the count may exceed the core count
+    /// (cf. `Executor::io_bound`).
+    pub workers: usize,
+    /// Accepted-but-unclaimed connections the hand-off queue holds; 0
+    /// means a connection is admitted only if a worker is already
+    /// waiting. `workers + queue` is the admission ceiling — everything
+    /// beyond it is fast-rejected with `BUSY`.
+    pub queue: usize,
+    /// Segments per streamed response chunk.
+    pub chunk: usize,
+    /// Idle-read poll interval: how often parked workers re-check the
+    /// shutdown flag. Bounds shutdown latency, not request latency.
+    pub poll: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue: 16,
+            chunk: p::SEGMENT_CHUNK,
+            poll: Duration::from_millis(25),
+        }
+    }
+}
+
+/// Monotonic serving counters, readable while the server runs.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    /// Connections handed to a worker.
+    pub accepted: AtomicU64,
+    /// Connections shed with `BUSY` by admission control.
+    pub rejected: AtomicU64,
+    /// Requests executed (any outcome).
+    pub requests: AtomicU64,
+    /// Frames that failed to decode (connection dropped after reply).
+    pub protocol_errors: AtomicU64,
+}
+
+/// What the host callback sees while the server is live.
+pub struct ServerHandle<'s> {
+    addr: SocketAddr,
+    metrics: &'s ServerMetrics,
+    stop: &'s AtomicBool,
+}
+
+impl ServerHandle<'_> {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    pub fn metrics(&self) -> &ServerMetrics {
+        self.metrics
+    }
+
+    /// Request shutdown before the callback returns (it is also
+    /// requested automatically when the callback exits).
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::Release);
+    }
+}
+
+/// Per-tenant accounting: `queries` counts executed requests, the rest
+/// are field-wise [`QueryStats`] sums.
+#[derive(Debug, Clone, Copy, Default)]
+struct TenantAccount {
+    queries: u64,
+    stats: QueryStats,
+}
+
+struct Shared<'s> {
+    db: &'s NeuroDb,
+    filters: &'s FilterRegistry<'s>,
+    cfg: &'s ServerConfig,
+    metrics: &'s ServerMetrics,
+    tenants: Mutex<HashMap<u32, TenantAccount>>,
+    stop: AtomicBool,
+}
+
+/// Run the server over `db` until the callback returns: bind, spawn the
+/// acceptor and `cfg.workers` workers inside a [`std::thread::scope`],
+/// call `f` with the live [`ServerHandle`], then shut down and join
+/// everything before returning `f`'s result.
+pub fn serve_with<R>(
+    db: &NeuroDb,
+    filters: &FilterRegistry<'_>,
+    cfg: &ServerConfig,
+    f: impl FnOnce(&ServerHandle<'_>) -> R,
+) -> io::Result<R> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let addr = listener.local_addr()?;
+    let metrics = ServerMetrics::default();
+    let shared = Shared {
+        db,
+        filters,
+        cfg,
+        metrics: &metrics,
+        tenants: Mutex::new(HashMap::new()),
+        stop: AtomicBool::new(false),
+    };
+    let workers = cfg.workers.max(1);
+    let (tx, rx) = mpsc::sync_channel::<TcpStream>(cfg.queue);
+    let rx = Mutex::new(rx);
+
+    let result = std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| worker_loop(&shared, &rx));
+        }
+        let acceptor = {
+            let (shared, listener, tx) = (&shared, &listener, tx.clone());
+            scope.spawn(move || acceptor_loop(shared, listener, &tx))
+        };
+        drop(tx); // workers exit once the acceptor's clone is gone
+
+        let handle = ServerHandle { addr, metrics: &metrics, stop: &shared.stop };
+        let result = f(&handle);
+
+        shared.stop.store(true, Ordering::Release);
+        // Unblock a parked `accept` with a throwaway connection.
+        let _ = TcpStream::connect(addr);
+        let _ = acceptor.join();
+        result
+    });
+    Ok(result)
+}
+
+fn acceptor_loop(shared: &Shared<'_>, listener: &TcpListener, tx: &SyncSender<TcpStream>) {
+    // Prebuilt BUSY frame: rejection must not allocate.
+    let mut busy = Vec::new();
+    p::encode_busy(&mut busy);
+    for conn in listener.incoming() {
+        if shared.stop.load(Ordering::Acquire) {
+            break;
+        }
+        let stream = match conn {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        match tx.try_send(stream) {
+            Ok(()) => {
+                shared.metrics.accepted.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(TrySendError::Full(mut stream)) => {
+                shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                let _ = stream.write_all(&busy);
+                // Drop closes the socket; the client sees BUSY then EOF.
+            }
+            Err(TrySendError::Disconnected(_)) => break,
+        }
+    }
+}
+
+fn worker_loop<'db>(shared: &Shared<'db>, rx: &Mutex<Receiver<TcpStream>>) {
+    // Worker-lifetime state, reused across every connection this worker
+    // serves: the query session (scratch + result buffers) and the
+    // frame buffers.
+    let mut session = shared.db.query().session();
+    let mut read_buf: Vec<u8> = Vec::with_capacity(4096);
+    let mut write_buf: Vec<u8> = Vec::with_capacity(64 * 1024);
+    loop {
+        // Take the receiver lock only long enough to claim one
+        // connection; time out to observe shutdown.
+        let claimed = {
+            let rx = rx.lock().expect("receiver lock");
+            rx.recv_timeout(shared.cfg.poll)
+        };
+        match claimed {
+            Ok(stream) => {
+                let _ =
+                    serve_connection(shared, stream, &mut session, &mut read_buf, &mut write_buf);
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if shared.stop.load(Ordering::Acquire) {
+                    return;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// `read_exact` that survives read timeouts without losing its place,
+/// so the idle poll can observe shutdown between (but never inside)
+/// frames. Returns `Ok(false)` on clean end-of-stream or shutdown
+/// *before any byte* when `idle` (frame-boundary) reads are allowed to
+/// give up.
+fn read_full(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    stop: &AtomicBool,
+    idle: bool,
+) -> io::Result<bool> {
+    let mut off = 0;
+    while off < buf.len() {
+        match stream.read(&mut buf[off..]) {
+            Ok(0) => {
+                return if off == 0 && idle {
+                    Ok(false)
+                } else {
+                    Err(io::ErrorKind::UnexpectedEof.into())
+                }
+            }
+            Ok(n) => off += n,
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+                if stop.load(Ordering::Acquire) && off == 0 && idle {
+                    return Ok(false);
+                }
+                if stop.load(Ordering::Acquire) {
+                    return Err(e); // mid-frame at shutdown: abandon
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+fn serve_connection<'db>(
+    shared: &Shared<'db>,
+    mut stream: TcpStream,
+    session: &mut QuerySession<'db>,
+    read_buf: &mut Vec<u8>,
+    write_buf: &mut Vec<u8>,
+) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(shared.cfg.poll))?;
+    loop {
+        // Frame header.
+        let mut header = [0u8; 4];
+        if !read_full(&mut stream, &mut header, &shared.stop, true)? {
+            return Ok(()); // clean EOF or shutdown at a frame boundary
+        }
+        let len = u32::from_le_bytes(header) as usize;
+        if len == 0 || len > p::MAX_FRAME {
+            shared.metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            write_buf.clear();
+            p::encode_error(p::ERR_PROTOCOL, "frame length out of range", write_buf);
+            let _ = stream.write_all(write_buf);
+            return Ok(());
+        }
+        read_buf.resize(len, 0);
+        if !read_full(&mut stream, read_buf, &shared.stop, false)? {
+            return Ok(());
+        }
+        let (opcode, payload) = (read_buf[0], &read_buf[1..]);
+        match p::decode_request_view(opcode, payload) {
+            Ok(req) => {
+                shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
+                write_buf.clear();
+                serve_request(shared, session, &req, write_buf);
+                stream.write_all(write_buf)?;
+            }
+            Err(err) => {
+                // A connection that desynchronized its framing cannot be
+                // trusted further: reply, then close.
+                shared.metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                write_buf.clear();
+                p::encode_error(p::ERR_PROTOCOL, protocol_error_name(err), write_buf);
+                let _ = stream.write_all(write_buf);
+                return Ok(());
+            }
+        }
+    }
+}
+
+/// Static description for the error frame — no `format!` on the reply
+/// path.
+fn protocol_error_name(err: ProtocolError) -> &'static str {
+    match err {
+        ProtocolError::Truncated => "truncated frame",
+        ProtocolError::UnknownOpcode(_) => "unknown opcode",
+        ProtocolError::FrameTooLarge(_) => "frame length out of range",
+        ProtocolError::Malformed(what) => what,
+    }
+}
+
+/// Bind the session to a request's envelope. On failure the session is
+/// left cleared (not carrying a stale binding) and an error frame is
+/// already in `out`.
+fn bind_session<'db>(
+    session: &mut QuerySession<'db>,
+    shared: &Shared<'db>,
+    desc: &p::QueryDescView<'_>,
+    out: &mut Vec<u8>,
+) -> bool {
+    if session.set_population(desc.population).is_err() {
+        p::encode_error(p::ERR_UNKNOWN_POPULATION, "unknown population", out);
+        return false;
+    }
+    let filter = match desc.filter_id {
+        None => None,
+        Some(id) => match shared.filters.get(id) {
+            Some(pred) => {
+                let pred: &SegmentPredicate<'db> = pred;
+                Some(pred)
+            }
+            None => {
+                p::encode_error(p::ERR_UNKNOWN_FILTER, "unknown filter id", out);
+                return false;
+            }
+        },
+    };
+    session.set_filter(filter);
+    session.set_limit(desc.limit.map(|l| l as usize));
+    true
+}
+
+fn account(shared: &Shared<'_>, tenant: u32, stats: &QueryStats) {
+    let mut tenants = shared.tenants.lock().expect("tenant lock");
+    let acct = tenants.entry(tenant).or_default();
+    acct.queries += 1;
+    acct.stats.merge(stats);
+}
+
+fn serve_request<'db>(
+    shared: &Shared<'db>,
+    session: &mut QuerySession<'db>,
+    req: &RequestView<'_>,
+    out: &mut Vec<u8>,
+) {
+    match req {
+        RequestView::Range { desc, region } => {
+            if !bind_session(session, shared, desc, out) {
+                return;
+            }
+            let (segments, stats) = session.range(region);
+            for chunk in segments.chunks(shared.cfg.chunk.max(1)) {
+                p::encode_segment_chunk(chunk, out);
+            }
+            p::encode_done(&stats, out);
+            account(shared, desc.tenant, &stats);
+        }
+        RequestView::Count { desc, region } => {
+            if !bind_session(session, shared, desc, out) {
+                return;
+            }
+            let stats = session.count(region);
+            p::encode_count(stats.results, &stats, out);
+            account(shared, desc.tenant, &stats);
+        }
+        RequestView::Knn { desc, p: point, k } => {
+            if !bind_session(session, shared, desc, out) {
+                return;
+            }
+            let (neighbors, stats) = session.knn(*point, *k as usize);
+            for chunk in neighbors.chunks(shared.cfg.chunk.max(1)) {
+                p::encode_neighbor_chunk(chunk, out);
+            }
+            p::encode_done(&stats, out);
+            account(shared, desc.tenant, &stats);
+        }
+        RequestView::Touching { desc, other, epsilon } => {
+            serve_touching(shared, desc, other, *epsilon, out);
+        }
+        RequestView::Walkthrough { tenant, method, path } => {
+            serve_walkthrough(shared, *tenant, *method, path, out);
+        }
+        RequestView::Explain(inner) => serve_explain(shared, inner, out),
+        RequestView::Stats { tenant } => {
+            let tenants = shared.tenants.lock().expect("tenant lock");
+            let acct = tenants.get(tenant).copied().unwrap_or_default();
+            p::encode_stats_result(
+                &p::TenantTotals {
+                    tenant: *tenant,
+                    queries: acct.queries,
+                    results: acct.stats.results,
+                    nodes_read: acct.stats.nodes_read,
+                    objects_tested: acct.stats.objects_tested,
+                    reseeds: acct.stats.reseeds,
+                },
+                out,
+            );
+        }
+    }
+}
+
+/// The ε-join path. Joins materialize pair sets and rebuild per-call
+/// structures — they are the analytical lane, not the steady-state one,
+/// so this allocates freely via the builder API.
+fn serve_touching(
+    shared: &Shared<'_>,
+    desc: &p::QueryDescView<'_>,
+    other: &str,
+    epsilon: f64,
+    out: &mut Vec<u8>,
+) {
+    let filter = match desc.filter_id {
+        None => None,
+        Some(id) => match shared.filters.get(id) {
+            Some(pred) => Some(pred),
+            None => {
+                p::encode_error(p::ERR_UNKNOWN_FILTER, "unknown filter id", out);
+                return;
+            }
+        },
+    };
+    let wrapped = filter.map(|f| move |s: &NeuronSegment| f(s));
+    let mut q = shared.db.query().touching(other, epsilon);
+    if let Some(name) = desc.population {
+        q = q.in_population(name);
+    }
+    if let Some(w) = &wrapped {
+        q = q.filter(w);
+    }
+    if let Some(limit) = desc.limit {
+        q = q.limit(limit as usize);
+    }
+    match q.collect() {
+        Ok(result) => {
+            for chunk in result.pairs.chunks(shared.cfg.chunk.max(1)) {
+                p::encode_pair_chunk(chunk, out);
+            }
+            let stats = QueryStats {
+                results: result.stats.results,
+                nodes_read: 0,
+                objects_tested: result.stats.filter_comparisons + result.stats.refine_comparisons,
+                reseeds: 0,
+            };
+            p::encode_done(&stats, out);
+            account(shared, desc.tenant, &stats);
+        }
+        Err(err) => encode_neuro_error(&err, out),
+    }
+}
+
+fn serve_walkthrough(
+    shared: &Shared<'_>,
+    tenant: u32,
+    method: WalkthroughMethod,
+    path: &NavigationPath,
+    out: &mut Vec<u8>,
+) {
+    match shared.db.query().along_path(path).method(method).run() {
+        Ok(stats) => {
+            p::encode_walk(
+                &p::WalkSummary {
+                    steps: stats.steps.len() as u32,
+                    total_stall_ms: stats.total_stall_ms,
+                    demand_misses: stats.total_demand_misses,
+                    demand_hits: stats.total_demand_hits,
+                    prefetched: stats.total_prefetched,
+                    useful_prefetched: stats.useful_prefetched,
+                },
+                out,
+            );
+            account(shared, tenant, &QueryStats::default());
+        }
+        Err(err) => encode_neuro_error(&err, out),
+    }
+}
+
+fn serve_explain(shared: &Shared<'_>, inner: &RequestView<'_>, out: &mut Vec<u8>) {
+    let db = shared.db;
+    let plan: Plan = match inner {
+        RequestView::Range { desc, region } | RequestView::Count { desc, region } => {
+            let filter = desc.filter_id.and_then(|id| shared.filters.get(id));
+            let wrapped = filter.map(|f| move |s: &NeuronSegment| f(s));
+            let mut q = db.query().range(*region);
+            if let Some(name) = desc.population {
+                q = q.in_population(name);
+            }
+            if let Some(w) = &wrapped {
+                q = q.filter(w);
+            }
+            if let Some(limit) = desc.limit {
+                q = q.limit(limit as usize);
+            }
+            q.explain()
+        }
+        RequestView::Knn { desc, p: point, k } => {
+            let filter = desc.filter_id.and_then(|id| shared.filters.get(id));
+            let wrapped = filter.map(|f| move |s: &NeuronSegment| f(s));
+            let mut q = db.query().knn(*point, *k as usize);
+            if let Some(name) = desc.population {
+                q = q.in_population(name);
+            }
+            if let Some(w) = &wrapped {
+                q = q.filter(w);
+            }
+            if let Some(limit) = desc.limit {
+                q = q.limit(limit as usize);
+            }
+            q.explain()
+        }
+        RequestView::Touching { desc, other, epsilon } => {
+            let mut q = db.query().touching(other, *epsilon);
+            if let Some(name) = desc.population {
+                q = q.in_population(name);
+            }
+            if let Some(limit) = desc.limit {
+                q = q.limit(limit as usize);
+            }
+            q.explain()
+        }
+        RequestView::Walkthrough { method, path, .. } => {
+            db.query().along_path(path).method(*method).explain()
+        }
+        RequestView::Explain(_) | RequestView::Stats { .. } => {
+            p::encode_error(p::ERR_PROTOCOL, "EXPLAIN cannot wrap this opcode", out);
+            return;
+        }
+    };
+    p::encode_plan(
+        &p::PlanWire {
+            operation: plan.operation.to_string(),
+            backend: plan.backend.to_string(),
+            shards_total: plan.shards_total as u32,
+            shards_probed: plan.shards_probed as u32,
+            estimated_reads: plan.estimated_reads,
+            pushdown_filter: plan.pushdown_filter,
+            pushdown_limit: plan.pushdown_limit.map(|l| l as u32),
+            population: plan.population,
+        },
+        out,
+    );
+}
+
+fn encode_neuro_error(err: &NeuroError, out: &mut Vec<u8>) {
+    let (code, msg): (u16, &str) = match err {
+        NeuroError::UnknownPopulation { .. } => (p::ERR_UNKNOWN_POPULATION, "unknown population"),
+        NeuroError::WalkthroughUnsupported { .. } => {
+            (p::ERR_UNSUPPORTED, "walkthrough requires a paged (FLAT) backend")
+        }
+        _ => (p::ERR_INTERNAL, "request failed"),
+    };
+    p::encode_error(code, msg, out);
+}

@@ -1,0 +1,354 @@
+//! Wire-protocol safety: arbitrary frames survive encode→decode→encode
+//! byte-identically, and corrupt bytes — truncations, trailing garbage,
+//! unknown opcodes, bad flag bits — always come back as a typed
+//! [`ProtocolError`], never a panic.
+
+use neurospatial::geom::{Aabb, Segment, Vec3};
+use neurospatial::model::{NavigationPath, NeuronSegment};
+use neurospatial::{Neighbor, QueryStats, WalkthroughMethod};
+use neurospatial_server::protocol::{self as p, ProtocolError, QueryDesc, Request, Response};
+use proptest::prelude::*;
+use proptest::Union;
+
+fn coord() -> impl Strategy<Value = f64> {
+    -1.0e6..1.0e6f64
+}
+
+fn vec3() -> impl Strategy<Value = Vec3> {
+    (coord(), coord(), coord()).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+fn aabb() -> impl Strategy<Value = Aabb> {
+    (vec3(), vec3()).prop_map(|(lo, hi)| Aabb { lo, hi })
+}
+
+fn name() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("axons".to_string()),
+        Just("dendrites".to_string()),
+        Just(String::new()),
+        Just("päp-ülation ✓".to_string()),
+    ]
+}
+
+fn opt<S: Strategy + 'static>(s: S) -> Union<Option<S::Value>>
+where
+    S::Value: Clone,
+{
+    prop_oneof![Just(None), s.prop_map(Some)]
+}
+
+fn desc() -> impl Strategy<Value = QueryDesc> {
+    (any::<u32>(), opt(name()), opt(any::<u32>()), opt(any::<u32>())).prop_map(
+        |(tenant, population, filter_id, limit)| QueryDesc { tenant, population, filter_id, limit },
+    )
+}
+
+fn segment() -> impl Strategy<Value = NeuronSegment> {
+    ((any::<u64>(), any::<u32>(), any::<u32>(), any::<u32>()), (vec3(), vec3(), 0.01..9.0f64))
+        .prop_map(|((id, neuron, section, index_on_section), (p0, p1, radius))| NeuronSegment {
+            id,
+            neuron,
+            section,
+            index_on_section,
+            geom: Segment { p0, p1, radius },
+        })
+}
+
+fn nav_path() -> impl Strategy<Value = NavigationPath> {
+    (
+        (any::<u32>(), prop::collection::vec(any::<u32>(), 0..6)),
+        prop::collection::vec(vec3(), 0..5),
+        prop::collection::vec(aabb(), 0..5),
+        coord(),
+    )
+        .prop_map(|((neuron, sections), waypoints, queries, view_radius)| NavigationPath {
+            neuron,
+            sections,
+            waypoints,
+            queries,
+            view_radius,
+        })
+}
+
+fn method() -> impl Strategy<Value = WalkthroughMethod> {
+    (0..WalkthroughMethod::ALL.len()).prop_map(|i| WalkthroughMethod::ALL[i])
+}
+
+/// Every request variant except `Explain` (which wraps these).
+fn plain_request() -> Union<Request> {
+    prop_oneof![
+        (desc(), aabb()).prop_map(|(desc, region)| Request::Range { desc, region }),
+        (desc(), aabb()).prop_map(|(desc, region)| Request::Count { desc, region }),
+        (desc(), vec3(), any::<u32>()).prop_map(|(desc, p, k)| Request::Knn { desc, p, k }),
+        (desc(), name(), coord()).prop_map(|(desc, other, epsilon)| Request::Touching {
+            desc,
+            other,
+            epsilon
+        }),
+        (any::<u32>(), method(), nav_path())
+            .prop_map(|(tenant, method, path)| Request::Walkthrough { tenant, method, path }),
+        any::<u32>().prop_map(|tenant| Request::Stats { tenant }),
+    ]
+}
+
+fn request() -> impl Strategy<Value = Request> {
+    (plain_request(), any::<u8>()).prop_map(|(req, wrap)| {
+        // Explain may wrap anything but Stats (and itself).
+        if wrap % 3 == 0 && !matches!(req, Request::Stats { .. }) {
+            Request::Explain(Box::new(req))
+        } else {
+            req
+        }
+    })
+}
+
+fn stats() -> impl Strategy<Value = QueryStats> {
+    ((any::<u64>(), any::<u64>()), (any::<u64>(), any::<u64>())).prop_map(
+        |((results, nodes_read), (objects_tested, reseeds))| QueryStats {
+            results,
+            nodes_read,
+            objects_tested,
+            reseeds,
+        },
+    )
+}
+
+fn response() -> Union<Response> {
+    prop_oneof![
+        prop::collection::vec(segment(), 0..9).prop_map(Response::Segments),
+        prop::collection::vec((segment(), 0.0..50.0f64), 0..9).prop_map(|v| Response::Neighbors(
+            v.into_iter().map(|(segment, distance)| Neighbor { segment, distance }).collect()
+        )),
+        prop::collection::vec((any::<u32>(), any::<u32>()), 0..20).prop_map(Response::Pairs),
+        stats().prop_map(Response::Done),
+        (any::<u64>(), stats()).prop_map(|(count, stats)| Response::Count { count, stats }),
+        (
+            (name(), name(), opt(any::<u32>()), opt(name())),
+            ((any::<u32>(), any::<u32>()), (any::<u64>(), any::<bool>()))
+        )
+            .prop_map(
+                |(
+                    (operation, backend, pushdown_limit, population),
+                    ((shards_total, shards_probed), (estimated_reads, pushdown_filter)),
+                )| {
+                    Response::Plan(p::PlanWire {
+                        operation,
+                        backend,
+                        shards_total,
+                        shards_probed,
+                        estimated_reads,
+                        pushdown_filter,
+                        pushdown_limit,
+                        population,
+                    })
+                }
+            ),
+        ((any::<u32>(), any::<u64>(), any::<u64>()), (any::<u64>(), any::<u64>(), any::<u64>()))
+            .prop_map(|((tenant, queries, results), (nodes_read, objects_tested, reseeds))| {
+                Response::Stats(p::TenantTotals {
+                    tenant,
+                    queries,
+                    results,
+                    nodes_read,
+                    objects_tested,
+                    reseeds,
+                })
+            }),
+        (any::<u16>(), name()).prop_map(|(code, message)| Response::Error { code, message }),
+        Just(Response::Busy),
+        ((any::<u32>(), coord()), ((any::<u64>(), any::<u64>()), (any::<u64>(), any::<u64>())))
+            .prop_map(
+                |(
+                    (steps, total_stall_ms),
+                    ((demand_misses, demand_hits), (prefetched, useful_prefetched)),
+                )| {
+                    Response::Walkthrough(p::WalkSummary {
+                        steps,
+                        total_stall_ms,
+                        demand_misses,
+                        demand_hits,
+                        prefetched,
+                        useful_prefetched,
+                    })
+                }
+            ),
+    ]
+}
+
+/// Split an encoded frame into (opcode, payload), checking the header.
+fn split(frame: &[u8]) -> (u8, &[u8]) {
+    assert!(frame.len() >= 5, "frame too short: {frame:?}");
+    let len = u32::from_le_bytes(frame[..4].try_into().unwrap()) as usize;
+    assert_eq!(len, frame.len() - 4, "length header disagrees with frame");
+    (frame[4], &frame[5..])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn request_roundtrip_is_byte_identical(req in request()) {
+        let mut bytes = Vec::new();
+        p::encode_request(&req, &mut bytes);
+        let (opcode, payload) = split(&bytes);
+        let decoded = p::decode_request(opcode, payload).expect("valid frame decodes");
+        let mut again = Vec::new();
+        p::encode_request(&decoded, &mut again);
+        prop_assert_eq!(&bytes, &again);
+        // The allocation-free view decodes the same request.
+        let view = p::decode_request_view(opcode, payload).expect("view decodes");
+        let mut via_view = Vec::new();
+        p::encode_request(&view.into_owned(), &mut via_view);
+        prop_assert_eq!(&bytes, &via_view);
+    }
+
+    #[test]
+    fn response_roundtrip_is_byte_identical(resp in response()) {
+        let mut bytes = Vec::new();
+        p::encode_response(&resp, &mut bytes);
+        let (opcode, payload) = split(&bytes);
+        let decoded = p::decode_response(opcode, payload).expect("valid frame decodes");
+        prop_assert_eq!(&decoded, &resp);
+        let mut again = Vec::new();
+        p::encode_response(&decoded, &mut again);
+        prop_assert_eq!(&bytes, &again);
+    }
+
+    #[test]
+    fn truncated_request_is_a_typed_error(req in request(), cut in 0.0..1.0f64) {
+        let mut bytes = Vec::new();
+        p::encode_request(&req, &mut bytes);
+        let (opcode, payload) = split(&bytes);
+        // Every strict prefix of the payload must fail to decode.
+        let cut = (payload.len() as f64 * cut) as usize;
+        let err = p::decode_request(opcode, &payload[..cut.min(payload.len().saturating_sub(1))]);
+        prop_assert!(err.is_err(), "prefix decoded: {:?}", err);
+    }
+
+    #[test]
+    fn trailing_garbage_is_a_typed_error(req in request(), extra in any::<u8>()) {
+        let mut bytes = Vec::new();
+        p::encode_request(&req, &mut bytes);
+        let (opcode, payload) = split(&bytes);
+        let mut longer = payload.to_vec();
+        longer.push(extra);
+        prop_assert!(p::decode_request(opcode, &longer).is_err());
+    }
+
+    #[test]
+    fn truncated_response_is_a_typed_error(resp in response(), cut in 0.0..1.0f64) {
+        let mut bytes = Vec::new();
+        p::encode_response(&resp, &mut bytes);
+        let (opcode, payload) = split(&bytes);
+        if payload.is_empty() {
+            return Ok(()); // BUSY: nothing to truncate
+        }
+        let cut = (payload.len() as f64 * cut) as usize;
+        let err = p::decode_response(opcode, &payload[..cut.min(payload.len() - 1)]);
+        prop_assert!(err.is_err(), "prefix decoded: {:?}", err);
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic(opcode in any::<u8>(), bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+        // Whatever comes off the wire, decoding returns — it never panics.
+        let _ = p::decode_request(opcode, &bytes);
+        let _ = p::decode_response(opcode, &bytes);
+        let mut sink = Vec::new();
+        let _ = p::decode_segment_chunk_into(&bytes, &mut sink);
+        let _ = p::decode_done(&bytes);
+        let _ = p::decode_count(&bytes);
+    }
+}
+
+#[test]
+fn unknown_opcodes_are_reported_as_such() {
+    for opcode in [0x00u8, 0x08, 0x42, 0x80, 0x8B, 0xFF] {
+        assert_eq!(
+            p::decode_request(opcode, &[]).unwrap_err(),
+            ProtocolError::UnknownOpcode(opcode)
+        );
+        assert_eq!(
+            p::decode_response(opcode, &[]).unwrap_err(),
+            ProtocolError::UnknownOpcode(opcode)
+        );
+    }
+}
+
+#[test]
+fn bad_flag_bits_are_malformed() {
+    // A hand-built range request whose QueryDesc carries an undefined
+    // flag bit: tenant=0, flags=0x80, then a region.
+    let mut payload = vec![0, 0, 0, 0, 0x80];
+    payload.extend_from_slice(&[0u8; 48]);
+    assert!(matches!(p::decode_request(p::OP_RANGE, &payload), Err(ProtocolError::Malformed(_))));
+}
+
+#[test]
+fn out_of_range_walkthrough_method_is_malformed() {
+    // tenant=0, method index 250 — far past WalkthroughMethod::ALL.
+    let payload = vec![0, 0, 0, 0, 250];
+    assert!(matches!(
+        p::decode_request(p::OP_WALKTHROUGH, &payload),
+        Err(ProtocolError::Malformed(_) | ProtocolError::Truncated)
+    ));
+}
+
+#[test]
+fn non_utf8_population_is_malformed() {
+    // tenant=0, flags=POPULATION, name len=2, bytes 0xFF 0xFE.
+    let mut payload = vec![0, 0, 0, 0, p::FLAG_POPULATION, 2, 0, 0xFF, 0xFE];
+    payload.extend_from_slice(&[0u8; 48]);
+    assert_eq!(
+        p::decode_request(p::OP_RANGE, &payload).unwrap_err(),
+        ProtocolError::Malformed("non-UTF-8 name")
+    );
+}
+
+#[test]
+fn explain_cannot_nest_and_cannot_wrap_stats() {
+    let mut nested = Vec::new();
+    p::encode_request(&Request::Explain(Box::new(Request::Stats { tenant: 1 })), &mut nested);
+    let opcode = nested[4];
+    assert_eq!(
+        p::decode_request(opcode, &nested[5..]).unwrap_err(),
+        ProtocolError::Malformed("EXPLAIN cannot wrap STATS")
+    );
+
+    // EXPLAIN(EXPLAIN(...)): splice an explain opcode inside an explain.
+    let mut inner = Vec::new();
+    p::encode_request(
+        &Request::Explain(Box::new(Request::Count {
+            desc: QueryDesc::tenant(0),
+            region: Aabb::cube(Vec3::new(0.0, 0.0, 0.0), 1.0),
+        })),
+        &mut inner,
+    );
+    let mut doubled = vec![p::OP_EXPLAIN];
+    doubled.extend_from_slice(&inner[4..]); // opcode + payload of the explain
+    assert_eq!(
+        p::decode_request(p::OP_EXPLAIN, &doubled[1..]).unwrap_err(),
+        ProtocolError::Malformed("EXPLAIN cannot nest")
+    );
+}
+
+#[test]
+fn chunk_counts_are_validated_before_allocation() {
+    // A segment chunk claiming u32::MAX entries with a 4-byte payload
+    // must fail without trying to reserve 300+ GiB.
+    let payload = u32::MAX.to_le_bytes().to_vec();
+    let mut out = Vec::new();
+    assert_eq!(p::decode_segment_chunk_into(&payload, &mut out), Err(ProtocolError::Truncated));
+    assert!(out.is_empty());
+}
+
+#[test]
+fn read_frame_rejects_oversized_and_zero_lengths() {
+    for len in [0u32, (p::MAX_FRAME as u32) + 1, u32::MAX] {
+        let mut bytes = len.to_le_bytes().to_vec();
+        bytes.extend_from_slice(&[0u8; 8]);
+        let mut buf = Vec::new();
+        let err = p::read_frame(&mut &bytes[..], &mut buf).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "len={len}");
+    }
+}

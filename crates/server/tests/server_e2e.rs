@@ -1,0 +1,328 @@
+//! End-to-end: a real server on a loopback socket must answer every
+//! operation with exactly what the embedded query API produces — on all
+//! four index backends — and its admission control must shed load the
+//! way the config promises.
+
+use neurospatial::geom::{Aabb, Vec3};
+use neurospatial::model::{Circuit, CircuitBuilder, NeuronSegment};
+use neurospatial::{IndexBackend, NeuroDb, WalkthroughMethod};
+use neurospatial_server::protocol::{self as p, QueryDescView, Request};
+use neurospatial_server::{serve_with, Client, ClientError, FilterRegistry, ServerConfig};
+use std::time::Duration;
+
+fn circuit() -> Circuit {
+    CircuitBuilder::new(17).neurons(30).build()
+}
+
+fn build_db(circuit: &Circuit, backend: IndexBackend) -> NeuroDb {
+    NeuroDb::builder()
+        .circuit(circuit)
+        .backend(backend)
+        .split_populations("axons", "dendrites", |s| s.neuron.is_multiple_of(2))
+        .build()
+        .expect("database builds")
+}
+
+fn even(s: &NeuronSegment) -> bool {
+    s.neuron.is_multiple_of(2)
+}
+
+fn regions() -> Vec<Aabb> {
+    vec![
+        Aabb::cube(Vec3::new(0.0, 0.0, 0.0), 40.0),
+        Aabb::cube(Vec3::new(15.0, -10.0, 5.0), 12.0),
+        Aabb::cube(Vec3::new(-25.0, 20.0, -8.0), 6.0),
+        Aabb::cube(Vec3::new(500.0, 500.0, 500.0), 1.0), // empty
+    ]
+}
+
+/// Every operation, every backend: the bytes that come back over TCP
+/// decode to exactly what `collect()` produces in-process.
+#[test]
+fn server_responses_match_local_execution_on_all_backends() {
+    let circuit = circuit();
+    for backend in IndexBackend::ALL {
+        let db = build_db(&circuit, backend);
+        let even_pred = |s: &NeuronSegment| even(s);
+        let mut filters = FilterRegistry::new();
+        filters.register(1, &even_pred);
+
+        serve_with(&db, &filters, &ServerConfig::default(), |handle| {
+            let mut client = Client::connect(handle.addr()).expect("connect");
+            let mut segments = Vec::new();
+            let mut neighbors = Vec::new();
+            let mut pairs = Vec::new();
+            let plain = QueryDescView { tenant: 1, ..Default::default() };
+            let composed = QueryDescView {
+                tenant: 1,
+                population: Some("axons"),
+                filter_id: Some(1),
+                limit: Some(7),
+            };
+
+            for region in regions() {
+                // Plain range: segments and traversal stats byte-match.
+                let stats = client.range(&plain, &region, &mut segments).expect("range");
+                let local = db.query().range(region).collect().expect("local range");
+                assert_eq!(segments, local.segments, "{backend:?} range {region:?}");
+                assert_eq!(stats, local.stats, "{backend:?} range stats {region:?}");
+
+                // Full pushdown composition: population + filter + limit.
+                let stats = client.range(&composed, &region, &mut segments).expect("pushdown");
+                let local = db
+                    .query()
+                    .range(region)
+                    .in_population("axons")
+                    .filter(&even)
+                    .limit(7)
+                    .collect()
+                    .expect("local pushdown");
+                assert_eq!(segments, local.segments, "{backend:?} pushdown {region:?}");
+                assert_eq!(stats, local.stats, "{backend:?} pushdown stats {region:?}");
+
+                // Count terminal agrees with materializing locally.
+                let (count, cstats) = client.count(&plain, &region).expect("count");
+                let local = db.query().range(region).collect().expect("local count");
+                assert_eq!(count, local.segments.len() as u64, "{backend:?} count {region:?}");
+                assert_eq!(cstats, local.stats, "{backend:?} count stats {region:?}");
+            }
+
+            // KNN, plain and composed.
+            let probe = Vec3::new(5.0, 5.0, 5.0);
+            let stats = client.knn(&plain, probe, 5, &mut neighbors).expect("knn");
+            let (local, local_stats) = db.query().knn(probe, 5).collect().expect("local knn");
+            assert_eq!(neighbors, local, "{backend:?} knn");
+            assert_eq!(stats, local_stats, "{backend:?} knn stats");
+
+            let stats = client.knn(&composed, probe, 5, &mut neighbors).expect("knn pushdown");
+            let (local, local_stats) = db
+                .query()
+                .knn(probe, 5)
+                .in_population("axons")
+                .filter(&even)
+                .limit(7)
+                .collect()
+                .expect("local knn pushdown");
+            assert_eq!(neighbors, local, "{backend:?} knn pushdown");
+            assert_eq!(stats, local_stats, "{backend:?} knn pushdown stats");
+
+            // Touching join: pairs in emission order, stats mapped from
+            // the join's comparison counters.
+            let axons =
+                QueryDescView { tenant: 1, population: Some("axons"), ..Default::default() };
+            let stats = client.touching(&axons, "dendrites", 2.0, &mut pairs).expect("touching");
+            let local = db
+                .query()
+                .touching("dendrites", 2.0)
+                .in_population("axons")
+                .collect()
+                .expect("local touching");
+            assert_eq!(pairs, local.pairs, "{backend:?} touching");
+            assert_eq!(stats.results, local.pairs.len() as u64);
+            assert_eq!(
+                stats.objects_tested,
+                local.stats.filter_comparisons + local.stats.refine_comparisons,
+                "{backend:?} touching comparison counters"
+            );
+
+            // EXPLAIN returns the same plan the local builder prints.
+            let region = regions()[0];
+            let wire = client
+                .explain(&Request::Range { desc: composed.into_owned(), region })
+                .expect("explain");
+            let local =
+                db.query().range(region).in_population("axons").filter(&even).limit(7).explain();
+            assert_eq!(wire.operation, local.operation);
+            assert_eq!(wire.backend, local.backend.to_string());
+            assert_eq!(wire.shards_total, local.shards_total as u32);
+            assert_eq!(wire.shards_probed, local.shards_probed as u32);
+            assert_eq!(wire.estimated_reads, local.estimated_reads);
+            assert_eq!(wire.pushdown_filter, local.pushdown_filter);
+            assert_eq!(wire.pushdown_limit, local.pushdown_limit.map(|l| l as u32));
+            assert_eq!(wire.population, local.population);
+
+            // Walkthrough: FLAT replays it; tree backends refuse with a
+            // typed application error.
+            let path = db.navigation_path(&circuit, 3, 20.0, 8.0).expect("path");
+            let walk = client.walkthrough(1, WalkthroughMethod::Scout, &path);
+            if backend == IndexBackend::Flat {
+                let summary = walk.expect("flat walkthrough");
+                let local = db.walkthrough(&path, WalkthroughMethod::Scout).expect("local walk");
+                assert_eq!(summary.steps, local.steps.len() as u32);
+                assert_eq!(summary.demand_misses, local.total_demand_misses);
+                assert_eq!(summary.demand_hits, local.total_demand_hits);
+                assert_eq!(summary.prefetched, local.total_prefetched);
+                assert_eq!(summary.useful_prefetched, local.useful_prefetched);
+            } else {
+                match walk {
+                    Err(ClientError::Server { code, .. }) => assert_eq!(code, p::ERR_UNSUPPORTED),
+                    other => panic!("{backend:?} walkthrough should be refused, got {other:?}"),
+                }
+            }
+
+            // Application errors are typed and leave the connection usable.
+            let bad_pop =
+                QueryDescView { tenant: 1, population: Some("soma"), ..Default::default() };
+            match client.count(&bad_pop, &regions()[0]) {
+                Err(ClientError::Server { code, .. }) => {
+                    assert_eq!(code, p::ERR_UNKNOWN_POPULATION)
+                }
+                other => panic!("unknown population should fail, got {other:?}"),
+            }
+            let bad_filter = QueryDescView { tenant: 1, filter_id: Some(99), ..Default::default() };
+            match client.count(&bad_filter, &regions()[0]) {
+                Err(ClientError::Server { code, .. }) => assert_eq!(code, p::ERR_UNKNOWN_FILTER),
+                other => panic!("unknown filter should fail, got {other:?}"),
+            }
+            client.count(&plain, &regions()[0]).expect("connection survives app errors");
+        })
+        .expect("serve");
+    }
+}
+
+/// Per-tenant accounting: STATS reports exactly the queries a tenant
+/// ran, with field-wise stat sums, and tenants do not bleed together.
+#[test]
+fn stats_accumulate_per_tenant() {
+    let circuit = circuit();
+    let db = build_db(&circuit, IndexBackend::Flat);
+    let filters = FilterRegistry::new();
+
+    serve_with(&db, &filters, &ServerConfig::default(), |handle| {
+        let mut client = Client::connect(handle.addr()).expect("connect");
+        let mut segments = Vec::new();
+        let region = Aabb::cube(Vec3::new(0.0, 0.0, 0.0), 25.0);
+
+        let a = QueryDescView { tenant: 70, ..Default::default() };
+        let b = QueryDescView { tenant: 71, ..Default::default() };
+        let mut expect_a = neurospatial::QueryStats::default();
+        for _ in 0..3 {
+            let stats = client.range(&a, &region, &mut segments).expect("range");
+            expect_a.results += stats.results;
+            expect_a.nodes_read += stats.nodes_read;
+            expect_a.objects_tested += stats.objects_tested;
+            expect_a.reseeds += stats.reseeds;
+        }
+        client.count(&b, &region).expect("count");
+
+        let totals = client.stats(70).expect("stats");
+        assert_eq!(totals.tenant, 70);
+        assert_eq!(totals.queries, 3);
+        assert_eq!(totals.results, expect_a.results);
+        assert_eq!(totals.nodes_read, expect_a.nodes_read);
+        assert_eq!(totals.objects_tested, expect_a.objects_tested);
+        assert_eq!(totals.reseeds, expect_a.reseeds);
+
+        let totals = client.stats(71).expect("stats");
+        assert_eq!(totals.queries, 1);
+
+        // A tenant nobody has billed to reports zeroes, not an error.
+        let totals = client.stats(9999).expect("stats");
+        assert_eq!(totals.queries, 0);
+    })
+    .expect("serve");
+}
+
+/// With one worker and a zero-length queue, a second concurrent
+/// connection must be shed with `BUSY` before any request is read — and
+/// capacity must come back once the first connection closes.
+#[test]
+fn admission_control_sheds_and_recovers() {
+    let circuit = circuit();
+    let db = build_db(&circuit, IndexBackend::Flat);
+    let filters = FilterRegistry::new();
+    let cfg =
+        ServerConfig { workers: 1, queue: 0, poll: Duration::from_millis(5), ..Default::default() };
+
+    serve_with(&db, &filters, &cfg, |handle| {
+        let region = Aabb::cube(Vec3::new(0.0, 0.0, 0.0), 20.0);
+        let plain = QueryDescView { tenant: 1, ..Default::default() };
+
+        // Claim the only worker and prove it by completing a request.
+        let mut holder = Client::connect(handle.addr()).expect("connect");
+        let mut segments = Vec::new();
+        holder.range(&plain, &region, &mut segments).expect("holder range");
+
+        // The shed path: read the BUSY frame without sending anything,
+        // so the reject is observed even though the server immediately
+        // closes the socket.
+        let mut shed = std::net::TcpStream::connect(handle.addr()).expect("connect");
+        shed.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
+        let mut buf = Vec::new();
+        let (op, payload) = p::read_frame(&mut shed, &mut buf).expect("busy frame");
+        assert_eq!(op, p::OP_BUSY);
+        assert!(payload.is_empty());
+        drop(shed);
+        assert!(handle.metrics().rejected.load(std::sync::atomic::Ordering::Relaxed) >= 1);
+
+        // Release the worker; a fresh connection must be admitted within
+        // a few poll intervals.
+        drop(holder);
+        let mut recovered = false;
+        for _ in 0..400 {
+            let mut retry = match Client::connect(handle.addr()) {
+                Ok(c) => c,
+                Err(_) => continue,
+            };
+            retry.set_timeout(Some(Duration::from_secs(5))).expect("timeout");
+            match retry.range(&plain, &region, &mut segments) {
+                Ok(_) => {
+                    recovered = true;
+                    break;
+                }
+                Err(ClientError::Busy | ClientError::Io(_)) => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(other) => panic!("unexpected error while recovering: {other:?}"),
+            }
+        }
+        assert!(recovered, "server never re-admitted after the holder disconnected");
+    })
+    .expect("serve");
+}
+
+/// Garbage on the wire is answered with a typed protocol error frame,
+/// counted, and the connection is closed — the worker survives to serve
+/// the next client.
+#[test]
+fn protocol_garbage_is_rejected_and_counted() {
+    use std::io::Write;
+
+    let circuit = circuit();
+    let db = build_db(&circuit, IndexBackend::Flat);
+    let filters = FilterRegistry::new();
+
+    serve_with(&db, &filters, &ServerConfig::default(), |handle| {
+        // An unknown opcode inside a well-formed frame.
+        let mut raw = std::net::TcpStream::connect(handle.addr()).expect("connect");
+        raw.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
+        raw.write_all(&[1, 0, 0, 0, 0xEE]).expect("send");
+        let mut buf = Vec::new();
+        let (op, payload) = p::read_frame(&mut raw, &mut buf).expect("error frame");
+        assert_eq!(op, p::OP_ERROR);
+        match p::decode_response(op, payload).expect("decode") {
+            p::Response::Error { code, .. } => assert_eq!(code, p::ERR_PROTOCOL),
+            other => panic!("expected error response, got {other:?}"),
+        }
+        // ... and the server hangs up on us.
+        assert!(p::read_frame(&mut raw, &mut buf).is_err(), "connection should be closed");
+
+        // A length header beyond MAX_FRAME.
+        let mut raw = std::net::TcpStream::connect(handle.addr()).expect("connect");
+        raw.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
+        raw.write_all(&u32::MAX.to_le_bytes()).expect("send");
+        let (op, _) = p::read_frame(&mut raw, &mut buf).expect("error frame");
+        assert_eq!(op, p::OP_ERROR);
+
+        assert!(
+            handle.metrics().protocol_errors.load(std::sync::atomic::Ordering::Relaxed) >= 2,
+            "protocol errors must be counted"
+        );
+
+        // The worker pool is unharmed: a normal client still gets served.
+        let mut client = Client::connect(handle.addr()).expect("connect");
+        let plain = QueryDescView { tenant: 1, ..Default::default() };
+        client.count(&plain, &Aabb::cube(Vec3::new(0.0, 0.0, 0.0), 10.0)).expect("count");
+    })
+    .expect("serve");
+}
