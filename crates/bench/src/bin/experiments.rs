@@ -125,7 +125,7 @@ fn main() {
     // via `--scenario=name[,name…]`. Unknown names are an error, not a
     // silent no-op — a typo like `--scenario=hotpth` used to run nothing
     // and exit 0, which in CI reads as "gate passed".
-    const SCENARIOS: [&str; 18] = [
+    const SCENARIOS: [&str; 19] = [
         "e1",
         "e2",
         "e3",
@@ -135,6 +135,7 @@ fn main() {
         "e7",
         "throughput",
         "hotpath",
+        "ooc",
         "join",
         "api",
         "serve",
@@ -188,6 +189,15 @@ fn main() {
             parse_value::<String>(&args, "out").unwrap_or_else(|| "BENCH_hotpath.json".to_string());
         let strict = args.iter().any(|a| a == "--strict");
         hotpath(&backends, n, queries, shards, &out, strict);
+    }
+    if run("ooc") {
+        let n: usize = parse_value(&args, "n").unwrap_or(20_000);
+        let paths: u64 = parse_value(&args, "paths").unwrap_or(6);
+        let think: f64 = parse_value(&args, "think").unwrap_or(2.0);
+        let out =
+            parse_value::<String>(&args, "out").unwrap_or_else(|| "BENCH_ooc.json".to_string());
+        let strict = args.iter().any(|a| a == "--strict");
+        ooc_bench(n, paths, think, &out, strict);
     }
     if run("join") {
         let n: usize = parse_value(&args, "n").unwrap_or(20_000);
@@ -1010,6 +1020,254 @@ fn hotpath(
             "hotpath --strict: acceptance bar FAILED \
              (zero-alloc {zero_alloc}/{}, >=1.3x on {fast_enough}, need all and >= 2)",
             configs.len()
+        );
+        std::process::exit(1);
+    }
+}
+
+/// OOC — out-of-core FLAT on the real pager: the spill-beyond-RAM run.
+///
+/// One FLAT index is written to a checksummed page file, then the same
+/// branch-following walkthroughs replay through a bounded frame pool at
+/// 100 %, 50 % and 10 % of the dataset resident, with background
+/// prefetching off (`none`, 0 workers) and on (`scout`, 2 workers).
+/// Each configuration runs on a freshly opened index — a cold pool —
+/// best of 3 passes by stall time. `stall ms` is real wall-clock time
+/// the crawl spent waiting on demand page reads (not a simulated cost);
+/// `queries/s` divides the steps by the time inside the queries alone,
+/// think time excluded. Every step's result set is asserted identical
+/// to the in-memory index.
+///
+/// Everything is written machine-readably to `BENCH_ooc.json`; under
+/// `--strict` the acceptance bar — exact results everywhere, and
+/// prefetch-on stall <= prefetch-off stall at the 10 % budget — becomes
+/// the exit code.
+fn ooc_bench(n: usize, path_count: u64, think_ms: f64, out_path: &str, strict: bool) {
+    use neurospatial::flat::FlatScratch;
+    use neurospatial::scout::ooc::{frame_budget_for, write_flat_index};
+    use neurospatial::scout::{OocConfig, OocFlatIndex};
+
+    println!("\n== OOC — FLAT beyond RAM: walkthroughs on the real pager ==\n");
+
+    // Grow a jagged circuit to >= n segments; the circuit drives path
+    // generation, the indexed segment list is truncated to exactly n.
+    let mut neurons = 4u32;
+    let circuit = loop {
+        let c = jagged_circuit(neurons, 9);
+        if c.segments().len() >= n || neurons >= 4096 {
+            break c;
+        }
+        neurons *= 2;
+    };
+    let mut segments = circuit.segments().to_vec();
+    segments.truncate(n);
+    let mem = FlatIndex::build(segments, FlatBuildParams::default().with_page_capacity(64));
+    let pages = mem.page_count();
+
+    let file = std::env::temp_dir()
+        .join(format!("neurospatial-bench-ooc-{}.flatpages", std::process::id()));
+    write_flat_index(&mem, &file).expect("write page file");
+    let mib = std::fs::metadata(&file).map(|m| m.len()).unwrap_or(0) as f64 / (1024.0 * 1024.0);
+
+    let paths = walkthrough_paths(&circuit, path_count);
+    let steps: usize = paths.iter().map(|p| p.queries.len()).sum();
+    println!(
+        "{} segments in {pages} pages ({mib:.2} MiB on disk); {} walkthrough paths, \
+         {steps} steps, {think_ms:.1} ms think time, best of 3 cold-pool passes",
+        mem.len(),
+        paths.len()
+    );
+
+    // Ground truth for every step, from the in-memory index.
+    let mut mem_scratch = FlatScratch::default();
+    let truth: Vec<Vec<u64>> = paths
+        .iter()
+        .flat_map(|p| p.queries.iter())
+        .map(|q| {
+            let mut ids = Vec::new();
+            mem.range_query_scratch(q, &mut mem_scratch, |_| {}, |s| ids.push(s.id));
+            ids
+        })
+        .collect();
+
+    struct Row {
+        pct: usize,
+        frames: usize,
+        prefetch: bool,
+        policy: &'static str,
+        stall_ms: f64,
+        qps: f64,
+        demand_misses: u64,
+        demand_hits: u64,
+        prefetched: u64,
+        useful: u64,
+        evictions: u64,
+    }
+    let mut rows: Vec<Row> = Vec::new();
+    let mut exact = true;
+
+    for &pct in &[100usize, 50, 10] {
+        let frames = frame_budget_for(pages, pct as u32);
+        for prefetch in [false, true] {
+            let (policy, method, workers) = if prefetch {
+                ("scout", WalkthroughMethod::Scout, 2)
+            } else {
+                ("none", WalkthroughMethod::None, 0)
+            };
+            let mut best: Option<Row> = None;
+            for pass in 0..3 {
+                // A fresh open per pass: cold pool, cold counters.
+                let cfg =
+                    OocConfig::default().with_frame_budget(frames).with_prefetch_workers(workers);
+                let ooc = OocFlatIndex::open(&file, cfg).expect("reopen page file");
+                let (mut stall, mut misses, mut hits, mut prefetched) = (0.0f64, 0u64, 0u64, 0u64);
+                let mut query_s = 0.0f64;
+                let mut step_idx = 0usize;
+                for p in &paths {
+                    let mut cursor = ooc.cursor(method.prefetcher());
+                    for q in &p.queries {
+                        let t = Instant::now();
+                        let trace = cursor.step(q).expect("validated page file");
+                        query_s += t.elapsed().as_secs_f64();
+                        stall += trace.stall_ms;
+                        misses += trace.demand_misses;
+                        hits += trace.demand_hits;
+                        prefetched += trace.prefetched;
+                        if pass == 0 {
+                            let got: Vec<u64> = cursor.last_result().iter().map(|s| s.id).collect();
+                            if got != truth[step_idx] {
+                                eprintln!(
+                                    "ooc: {pct}% budget prefetch={prefetch}: step {step_idx} \
+                                     diverges from the in-memory index"
+                                );
+                                exact = false;
+                            }
+                        }
+                        step_idx += 1;
+                        if think_ms > 0.0 {
+                            std::thread::sleep(Duration::from_secs_f64(think_ms / 1e3));
+                        }
+                    }
+                }
+                let fs = ooc.pool().stats();
+                let row = Row {
+                    pct,
+                    frames,
+                    prefetch,
+                    policy,
+                    stall_ms: stall,
+                    qps: steps as f64 / query_s.max(1e-9),
+                    demand_misses: misses,
+                    demand_hits: hits,
+                    prefetched,
+                    useful: fs.prefetch_hits,
+                    evictions: fs.evictions,
+                };
+                if best.as_ref().is_none_or(|b| row.stall_ms < b.stall_ms) {
+                    best = Some(row);
+                }
+            }
+            rows.push(best.expect("three passes ran"));
+        }
+    }
+    std::fs::remove_file(&file).ok();
+
+    let mut t = Table::new([
+        "budget",
+        "frames",
+        "prefetch",
+        "stall ms",
+        "queries/s",
+        "demand miss",
+        "demand hit",
+        "prefetched",
+        "useful",
+        "evictions",
+    ]);
+    for r in &rows {
+        t.row([
+            format!("{}%", r.pct),
+            r.frames.to_string(),
+            r.policy.to_string(),
+            f2(r.stall_ms),
+            f1(r.qps),
+            r.demand_misses.to_string(),
+            r.demand_hits.to_string(),
+            r.prefetched.to_string(),
+            r.useful.to_string(),
+            r.evictions.to_string(),
+        ]);
+    }
+    t.print();
+
+    let json_rows: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                concat!(
+                    "    {{\"budget_pct\": {}, \"frames\": {}, \"prefetch\": {}, ",
+                    "\"policy\": {:?}, \"stall_ms\": {:.3}, \"queries_per_sec\": {:.1}, ",
+                    "\"demand_misses\": {}, \"demand_hits\": {}, \"prefetched\": {}, ",
+                    "\"useful_prefetched\": {}, \"evictions\": {}}}"
+                ),
+                r.pct,
+                r.frames,
+                r.prefetch,
+                r.policy,
+                r.stall_ms,
+                r.qps,
+                r.demand_misses,
+                r.demand_hits,
+                r.prefetched,
+                r.useful,
+                r.evictions,
+            )
+        })
+        .collect();
+    let json = format!(
+        concat!(
+            "{{\n  \"scenario\": \"ooc\",\n  \"segments\": {},\n  \"pages\": {},\n",
+            "  \"page_file_mib\": {:.2},\n  \"paths\": {},\n  \"steps\": {},\n",
+            "  \"think_ms\": {:.1},\n  \"exact\": {},\n  \"configs\": [\n{}\n  ]\n}}\n"
+        ),
+        mem.len(),
+        pages,
+        mib,
+        paths.len(),
+        steps,
+        think_ms,
+        exact,
+        json_rows.join(",\n")
+    );
+    std::fs::write(out_path, json).expect("write BENCH json");
+    println!("\nwrote {out_path}");
+
+    let stall_at = |pct: usize, prefetch: bool| {
+        rows.iter()
+            .find(|r| r.pct == pct && r.prefetch == prefetch)
+            .map_or(f64::NAN, |r| r.stall_ms)
+    };
+    let (off10, on10) = (stall_at(10, false), stall_at(10, true));
+    println!(
+        "\nshape check: every step byte-identical to the in-memory index (exact: {exact});\n\
+         at the 10% budget prefetching takes stall {off10:.2} ms -> {on10:.2} ms \
+         (acceptance: on <= off)."
+    );
+    // Under --strict (the CI bench-smoke gate) the acceptance bar is
+    // enforced, not just printed. Exactness is deterministic. The stall
+    // comparison races real background reads against real demand reads,
+    // best of 3 cold passes per side; at full size the margin is
+    // structural (misses turned into hits). At smoke sizes a 10% budget
+    // can be as small as a single step's working set, where the best a
+    // prefetcher can do is break even — a quarter-millisecond noise
+    // floor keeps scheduler jitter on a tie from flaking the gate,
+    // while a real regression (prefetch gone synchronous, demand hits
+    // lost) overshoots it by an order of magnitude at any size.
+    let slack = (off10 * 0.05).max(0.25);
+    if strict && (!exact || on10 > off10 + slack) {
+        eprintln!(
+            "ooc --strict: acceptance bar FAILED (exact {exact}, stall at 10% budget: \
+             prefetch-on {on10:.3} ms vs prefetch-off {off10:.3} ms + {slack:.3} ms noise floor)"
         );
         std::process::exit(1);
     }

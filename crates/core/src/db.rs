@@ -10,18 +10,22 @@ use crate::error::NeuroError;
 use crate::index::{
     IndexBackend, IndexParams, Neighbor, QueryOutput, QueryScratch, QueryStats, SpatialIndex,
 };
+use crate::paged::PagedFlatIndex;
 use crate::query::Query;
 use crate::shard::ShardedIndex;
-use neurospatial_flat::FlatIndex;
+use neurospatial_flat::{FlatBuildParams, FlatIndex};
 use neurospatial_geom::{Aabb, Vec3};
 use neurospatial_model::{Circuit, NavigationPath, NeuronSegment};
 use neurospatial_scout::{
     ExplorationSession, ExtrapolationPrefetcher, HilbertPrefetcher, MarkovPrefetcher, NoPrefetch,
-    Prefetcher, QueryTrace, ScoutPrefetcher, SessionConfig, SessionCursor, SessionStats,
+    OocConfig, OocCursor, Prefetcher, QueryTrace, ScoutPrefetcher, SessionConfig, SessionCursor,
+    SessionStats,
 };
+use neurospatial_storage::EvictionPolicy;
 use neurospatial_touch::{JoinResult, SpatialJoin, TouchJoin};
 use std::collections::HashMap;
 use std::fmt;
+use std::path::PathBuf;
 use std::str::FromStr;
 
 /// Tuning knobs of a [`NeuroDb`].
@@ -230,6 +234,9 @@ pub struct NeuroDbBuilder {
     backend_name: Option<String>,
     config: NeuroDbConfig,
     populations: PopulationSpec,
+    paged: bool,
+    page_file: Option<PathBuf>,
+    ooc: OocConfig,
 }
 
 impl Default for NeuroDbBuilder {
@@ -240,6 +247,9 @@ impl Default for NeuroDbBuilder {
             backend_name: None,
             config: NeuroDbConfig::default(),
             populations: PopulationSpec::Parity,
+            paged: false,
+            page_file: None,
+            ooc: OocConfig::default(),
         }
     }
 }
@@ -294,6 +304,55 @@ impl NeuroDbBuilder {
     /// [`build`](Self::build); ignored by monolithic indexes).
     pub fn threads(mut self, threads: usize) -> Self {
         self.config.threads = threads;
+        self
+    }
+
+    /// Spill the FLAT index to a page file on disk and query it
+    /// out-of-core through the real pager: segments live in a
+    /// checksummed page file, a bounded frame pool keeps
+    /// [`frame_budget`](Self::frame_budget) pages resident, and
+    /// [`prefetch_workers`](Self::prefetch_workers) background threads
+    /// read pages ahead of the exploration cursor. Results and logical
+    /// statistics stay byte-identical to the in-memory FLAT backend;
+    /// the I/O shows up in [`QueryStats`]'s `cache_*` fields.
+    ///
+    /// Only valid with the (monolithic) FLAT backend — any other
+    /// combination is rejected at [`build`](Self::build). The page file
+    /// is process-unique in the temp directory and deleted on drop
+    /// unless [`page_file`](Self::page_file) names one explicitly.
+    pub fn paged(mut self, paged: bool) -> Self {
+        self.paged = paged;
+        self
+    }
+
+    /// Persist the paged index to an explicit page file (implies
+    /// [`paged`](Self::paged)); the file survives the database, so a
+    /// later session can reopen it without re-indexing.
+    pub fn page_file<P: Into<PathBuf>>(mut self, path: P) -> Self {
+        self.page_file = Some(path.into());
+        self.paged = true;
+        self
+    }
+
+    /// Frame budget of the paged index's buffer pool, in pages. `0`
+    /// (the default) caches every page — still checksum-verified,
+    /// still reading through the pager. Only meaningful with
+    /// [`paged`](Self::paged).
+    pub fn frame_budget(mut self, frames: usize) -> Self {
+        self.ooc.frame_budget = frames;
+        self
+    }
+
+    /// Eviction policy of the paged index's frame pool.
+    pub fn eviction_policy(mut self, policy: EvictionPolicy) -> Self {
+        self.ooc.eviction = policy;
+        self
+    }
+
+    /// Background prefetch workers for the paged index (`0` disables
+    /// prefetching; every page read is then a demand read).
+    pub fn prefetch_workers(mut self, workers: usize) -> Self {
+        self.ooc.prefetch_workers = workers;
         self
     }
 
@@ -407,6 +466,29 @@ impl NeuroDbBuilder {
             shards: config.shards,
             threads: config.threads,
         };
+        if self.paged && (backend != IndexBackend::Flat || config.shards > 1) {
+            return Err(NeuroError::InvalidConfig(format!(
+                "paged (out-of-core) mode needs the monolithic 'flat' backend, \
+                 got backend='{backend}' shards={}",
+                config.shards
+            )));
+        }
+        if self.paged {
+            let flat_params =
+                FlatBuildParams::default().with_page_capacity(config.page_capacity.max(1));
+            let paged = match &self.page_file {
+                Some(path) => PagedFlatIndex::create(segments, flat_params, path, self.ooc)?,
+                None => PagedFlatIndex::create_temp(segments, flat_params, self.ooc)?,
+            };
+            return Ok(NeuroDb {
+                index: DbIndex::Paged(Box::new(paged)),
+                backend,
+                config,
+                populations,
+                population_index,
+                population_of_id,
+            });
+        }
         // FLAT gets the full exploration session (walkthroughs need
         // page-level I/O) whether monolithic or sharded — the sharded
         // executor is itself a `PagedIndex`; the session owns the only
@@ -429,11 +511,13 @@ impl NeuroDbBuilder {
 }
 
 /// The index storage: FLAT keeps its exploration session (for
-/// walkthroughs) — monolithic or sharded; every other backend is a plain
-/// boxed [`SpatialIndex`].
+/// walkthroughs) — monolithic or sharded; the out-of-core variant owns
+/// the page file and frame pool; every other backend is a plain boxed
+/// [`SpatialIndex`].
 enum DbIndex {
     Flat(Box<ExplorationSession>),
     ShardedFlat(Box<ExplorationSession<ShardedIndex<FlatIndex<NeuronSegment>>>>),
+    Paged(Box<PagedFlatIndex>),
     Boxed(Box<dyn SpatialIndex>),
 }
 
@@ -507,8 +591,17 @@ impl NeuroDb {
         match &self.index {
             DbIndex::Flat(session) => session.index(),
             DbIndex::ShardedFlat(session) => session.index(),
+            DbIndex::Paged(paged) => paged.as_ref(),
             DbIndex::Boxed(b) => b.as_ref(),
         }
+    }
+
+    /// The out-of-core FLAT engine, if this database was built with
+    /// [`NeuroDbBuilder::paged`] — frame-pool counters, page-file path,
+    /// prefetcher state. `None` for in-memory databases. Sugar for
+    /// [`index_as`](Self::index_as).
+    pub fn paged_index(&self) -> Option<&PagedFlatIndex> {
+        self.index_as::<PagedFlatIndex>()
     }
 
     /// The concrete backend behind this database, by type — the generic
@@ -541,7 +634,7 @@ impl NeuroDb {
     pub fn shard_count(&self) -> usize {
         match &self.index {
             DbIndex::ShardedFlat(session) => session.index().shard_count(),
-            DbIndex::Flat(_) => 1,
+            DbIndex::Flat(_) | DbIndex::Paged(_) => 1,
             DbIndex::Boxed(_) => self.config.shards,
         }
     }
@@ -761,6 +854,22 @@ impl NeuroDb {
                 let mut prefetcher = method.prefetcher();
                 Ok(session.run(path, prefetcher.as_mut()))
             }
+            DbIndex::Paged(paged) => {
+                // The real-I/O walkthrough: every step's stall time is
+                // measured wall-clock against the page file, and
+                // prefetches are actual background reads.
+                let mut cursor = paged.ooc().cursor(method.prefetcher());
+                let mut stats =
+                    SessionStats { method: method.name().to_string(), ..Default::default() };
+                let before = paged.frame_stats();
+                for q in &path.queries {
+                    let trace = cursor.step(q)?;
+                    accumulate_trace(&mut stats, trace);
+                }
+                let after = paged.frame_stats();
+                stats.useful_prefetched = after.prefetch_hits - before.prefetch_hits;
+                Ok(stats)
+            }
             DbIndex::Boxed(_) => {
                 Err(NeuroError::WalkthroughUnsupported { backend: self.backend.name().to_string() })
             }
@@ -780,11 +889,30 @@ impl NeuroDb {
             DbIndex::ShardedFlat(session) => {
                 Ok(DbCursor::Sharded(session.cursor(method.prefetcher())))
             }
+            DbIndex::Paged(paged) => Ok(DbCursor::Paged {
+                cursor: paged.ooc().cursor(method.prefetcher()),
+                paged,
+                stats: SessionStats { method: method.name().to_string(), ..Default::default() },
+                prefetch_hits_at_start: paged.frame_stats().prefetch_hits,
+            }),
             DbIndex::Boxed(_) => {
                 Err(NeuroError::WalkthroughUnsupported { backend: self.backend.name().to_string() })
             }
         }
     }
+}
+
+/// Fold one step's trace into the running session totals — the same
+/// accumulation the simulator's `StepState` applies, minus the
+/// simulation-only fields (`useful_prefetched` comes from the frame
+/// pool's prefetch-hit counter, `prefetch_cost_ms` is zero because real
+/// prefetch I/O runs on background workers the user never waits for).
+fn accumulate_trace(stats: &mut SessionStats, trace: QueryTrace) {
+    stats.total_stall_ms += trace.stall_ms;
+    stats.total_demand_misses += trace.demand_misses;
+    stats.total_demand_hits += trace.demand_hits;
+    stats.total_prefetched += trace.prefetched;
+    stats.steps.push(trace);
 }
 
 /// A step-wise SCOUT cursor over whichever paged index shape the
@@ -793,6 +921,15 @@ impl NeuroDb {
 pub(crate) enum DbCursor<'s> {
     Flat(SessionCursor<'s, FlatIndex<NeuronSegment>>),
     Sharded(SessionCursor<'s, ShardedIndex<FlatIndex<NeuronSegment>>>),
+    Paged {
+        cursor: OocCursor<'s>,
+        paged: &'s PagedFlatIndex,
+        stats: SessionStats,
+        /// Pool-wide prefetch-hit count when the cursor bound, so the
+        /// session's `useful_prefetched` reports only this cursor's
+        /// walkthrough.
+        prefetch_hits_at_start: u64,
+    },
 }
 
 impl DbCursor<'_> {
@@ -800,6 +937,18 @@ impl DbCursor<'_> {
         match self {
             DbCursor::Flat(c) => c.step(q),
             DbCursor::Sharded(c) => c.step(q),
+            DbCursor::Paged { cursor, paged, stats, prefetch_hits_at_start } => {
+                // Open validated every page, so a storage error here
+                // means the file changed under a live database — same
+                // contract as the infallible `SpatialIndex` lane.
+                let trace = cursor.step(q).unwrap_or_else(|e| {
+                    panic!("paged walkthrough: page file failed after a validated open: {e}")
+                });
+                accumulate_trace(stats, trace);
+                stats.useful_prefetched =
+                    paged.frame_stats().prefetch_hits - *prefetch_hits_at_start;
+                trace
+            }
         }
     }
 
@@ -807,6 +956,7 @@ impl DbCursor<'_> {
         match self {
             DbCursor::Flat(c) => c.stats(),
             DbCursor::Sharded(c) => c.stats(),
+            DbCursor::Paged { stats, .. } => stats,
         }
     }
 }
@@ -871,6 +1021,78 @@ mod tests {
                 .build(),
             Err(NeuroError::InvalidConfig(_))
         ));
+    }
+
+    #[test]
+    fn paged_database_matches_in_memory_and_reports_io() {
+        let c = CircuitBuilder::new(5).neurons(10).build();
+        let mem = NeuroDb::from_circuit(&c);
+        let ooc = NeuroDb::builder()
+            .circuit(&c)
+            .paged(true)
+            .frame_budget(2)
+            .build()
+            .expect("temp dir is writable");
+        assert!(ooc.paged_index().is_some() && mem.paged_index().is_none());
+        assert_eq!(ooc.shard_count(), 1);
+        let q = Aabb::cube(c.bounds().center(), 40.0);
+        let (want, got) = (mem.range_query(&q), ooc.range_query(&q));
+        assert_eq!(want.sorted_ids(), got.sorted_ids());
+        assert_eq!(want.stats.nodes_read, got.stats.nodes_read);
+        assert!(got.stats.cache_hits + got.stats.cache_misses > 0);
+        assert_eq!(want.stats.cache_hits + want.stats.cache_misses, 0);
+    }
+
+    #[test]
+    fn paged_walkthrough_runs_on_the_real_pager() {
+        let c = CircuitBuilder::new(5).neurons(10).build();
+        let db = NeuroDb::builder()
+            .circuit(&c)
+            .paged(true)
+            .frame_budget(4)
+            .prefetch_workers(1)
+            .build()
+            .expect("paged flat");
+        let path = db.navigation_path(&c, 1, 20.0, 8.0).expect("path");
+        let report = db.walkthrough(&path, WalkthroughMethod::Scout).expect("paged walkthrough");
+        assert_eq!(report.steps.len(), path.queries.len());
+        assert_eq!(report.method, "scout");
+        let touched: u64 = report.steps.iter().map(|s| s.pages_demanded).sum();
+        assert_eq!(touched, report.total_demand_hits + report.total_demand_misses);
+    }
+
+    #[test]
+    fn paged_mode_rejects_non_flat_and_sharded_layouts() {
+        let c = CircuitBuilder::new(5).neurons(2).build();
+        assert!(matches!(
+            NeuroDb::builder().circuit(&c).backend(IndexBackend::RTree).paged(true).build(),
+            Err(NeuroError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            NeuroDb::builder().circuit(&c).paged(true).shards(2).build(),
+            Err(NeuroError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn explicit_page_file_survives_and_reopens() {
+        let c = CircuitBuilder::new(5).neurons(6).build();
+        let path = std::env::temp_dir()
+            .join(format!("neurospatial-db-reopen-{}.flatpages", std::process::id()));
+        let q = Aabb::cube(c.bounds().center(), 30.0);
+        let want = {
+            let db = NeuroDb::builder()
+                .circuit(&c)
+                .page_file(&path)
+                .build()
+                .expect("explicit page file");
+            db.range_query(&q).sorted_ids()
+        };
+        // The database dropped; the explicit file must still be there.
+        assert!(path.exists());
+        let reopened = PagedFlatIndex::open(&path, OocConfig::default()).expect("reopen");
+        assert_eq!(reopened.range_query(&q).sorted_ids(), want);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

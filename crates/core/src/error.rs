@@ -4,6 +4,7 @@
 //! misuse; every fallible public operation now reports a [`NeuroError`]
 //! instead, so downstream services can surface precise diagnostics.
 
+use neurospatial_storage::StorageError;
 use std::error::Error;
 use std::fmt;
 
@@ -25,6 +26,10 @@ pub enum NeuroError {
     WalkthroughUnsupported { backend: String },
     /// A configuration value was out of range.
     InvalidConfig(String),
+    /// The on-disk page store failed: I/O, corruption, truncation or a
+    /// foreign/incompatible file. Raised by the paged (out-of-core) FLAT
+    /// backend when opening or reading a page file.
+    Storage(StorageError),
 }
 
 impl fmt::Display for NeuroError {
@@ -46,11 +51,18 @@ impl fmt::Display for NeuroError {
                 write!(f, "walkthroughs need the paged 'flat' backend, database uses '{backend}'")
             }
             NeuroError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            NeuroError::Storage(e) => write!(f, "page store failure: {e}"),
         }
     }
 }
 
 impl Error for NeuroError {}
+
+impl From<StorageError> for NeuroError {
+    fn from(e: StorageError) -> Self {
+        NeuroError::Storage(e)
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -67,5 +79,13 @@ mod tests {
 
         let e = NeuroError::WalkthroughUnsupported { backend: "rplus".into() };
         assert!(e.to_string().contains("rplus"));
+    }
+
+    #[test]
+    fn storage_errors_convert_and_describe() {
+        let e: NeuroError = StorageError::BadVersion(9).into();
+        assert_eq!(e, NeuroError::Storage(StorageError::BadVersion(9)));
+        let msg = e.to_string();
+        assert!(msg.contains("page store") && msg.contains('9'), "{msg}");
     }
 }

@@ -48,6 +48,9 @@ pub struct QueryScratch {
     /// FLAT seed-and-crawl state (crawl front, visited-page marks, seed
     /// tree scratch).
     pub flat: FlatScratch,
+    /// Out-of-core FLAT state (crawl front, visited marks, page-decode
+    /// buffer) for the paged backend.
+    pub paged: neurospatial_scout::OocScratch,
     /// KNN: hit buffer reused across expanding-cube iterations.
     pub knn_hits: Vec<NeuronSegment>,
     /// KNN: candidate neighbours awaiting the canonical sort.
@@ -71,7 +74,7 @@ impl From<TraversalCounters> for QueryStats {
             results: c.results,
             nodes_read: c.nodes_visited,
             objects_tested: c.leaf_entries_tested,
-            reseeds: 0,
+            ..QueryStats::default()
         }
     }
 }
@@ -141,6 +144,16 @@ pub struct QueryStats {
     /// FLAT only: crawl-front re-seeds (0 for other backends, and almost
     /// always 0 for FLAT on dense data).
     pub reseeds: u64,
+    /// Paged (out-of-core) backends only: demand page reads served from
+    /// the buffer pool without touching the disk. 0 for in-memory
+    /// backends.
+    pub cache_hits: u64,
+    /// Paged backends only: demand page reads that stalled on the disk.
+    /// 0 for in-memory backends.
+    pub cache_misses: u64,
+    /// Paged backends only: frames evicted from the buffer pool while
+    /// this query ran. 0 for in-memory backends.
+    pub cache_evictions: u64,
 }
 
 impl QueryStats {
@@ -163,6 +176,9 @@ impl QueryStats {
         self.nodes_read += other.nodes_read;
         self.objects_tested += other.objects_tested;
         self.reseeds += other.reseeds;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.cache_evictions += other.cache_evictions;
     }
 
     /// The field-wise sum of an iterator of statistics.
@@ -182,6 +198,7 @@ impl From<&FlatQueryStats> for QueryStats {
             nodes_read: s.pages_read + s.seed_nodes_read,
             objects_tested: s.objects_tested,
             reseeds: s.reseeds,
+            ..QueryStats::default()
         }
     }
 }
@@ -192,7 +209,7 @@ impl From<&neurospatial_rtree::QueryStats> for QueryStats {
             results: s.results,
             nodes_read: s.nodes_visited(),
             objects_tested: s.leaf_entries_tested,
-            reseeds: 0,
+            ..QueryStats::default()
         }
     }
 }

@@ -87,6 +87,7 @@ pub use neurospatial_touch as touch;
 pub mod db;
 pub mod error;
 pub mod index;
+pub mod paged;
 pub mod prelude;
 pub mod query;
 pub mod shard;
@@ -98,6 +99,7 @@ pub use index::{
     QueryOutput, QueryScratch, QueryStats, SpatialIndex,
 };
 pub use neurospatial_geom::Flow;
+pub use paged::PagedFlatIndex;
 pub use query::{
     KnnQuery, PathQuery, Plan, Query, QuerySession, RangeQuery, SegmentPredicate, TouchingQuery,
 };

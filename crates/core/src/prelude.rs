@@ -17,6 +17,7 @@ pub use crate::index::{
     BackendRegistry, DynamicRTree, IndexBackend, IndexParams, IndexPlan, Neighbor, QueryOutput,
     QueryScratch, QueryStats, SpatialIndex,
 };
+pub use crate::paged::PagedFlatIndex;
 pub use crate::query::{
     KnnQuery, PathQuery, Plan, Query, QuerySession, RangeQuery, SegmentPredicate, TouchingQuery,
 };
@@ -35,10 +36,12 @@ pub use neurospatial_rtree::{RPlusTree, RTree, RTreeObject, RTreeParams, SplitSt
 
 pub use neurospatial_scout::{
     ExplorationSession, ExtrapolationPrefetcher, HilbertPrefetcher, MarkovPrefetcher, NoPrefetch,
-    Prefetcher, ScoutPrefetcher, SessionConfig, SessionStats,
+    OocConfig, OocFlatIndex, Prefetcher, ScoutPrefetcher, SessionConfig, SessionStats,
 };
 
-pub use neurospatial_storage::{BufferPool, CostModel, DiskSim, IoStats, PageId};
+pub use neurospatial_storage::{
+    BufferPool, CostModel, DiskSim, EvictionPolicy, FrameStats, IoStats, PageId, StorageError,
+};
 
 pub use neurospatial_touch::{
     ClassicTouchJoin, JoinObject, JoinResult, JoinScratch, JoinStats, NestedLoopJoin, PbsmJoin,

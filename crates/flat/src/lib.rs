@@ -141,6 +141,16 @@ impl<T: RTreeObject> FlatIndex<T> {
         self.neighbor_ids.len() as f64 / self.pages.len() as f64
     }
 
+    /// The neighborhood graph in its raw CSR form:
+    /// `(offsets, ids)` with `neighbors_of(p) == ids[offsets[p]..offsets[p+1]]`.
+    ///
+    /// This is the serialization-friendly view — the out-of-core writer
+    /// persists both arrays verbatim so the paged engine crawls exactly
+    /// the same links.
+    pub fn neighbor_csr(&self) -> (&[u32], &[u32]) {
+        (&self.neighbor_offsets, &self.neighbor_ids)
+    }
+
     /// Neighbor pages of `page`.
     pub fn neighbors_of(&self, page: u32) -> &[u32] {
         let a = self.neighbor_offsets[page as usize] as usize;

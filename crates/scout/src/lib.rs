@@ -30,6 +30,7 @@
 
 pub mod candidate;
 pub mod markov;
+pub mod ooc;
 pub mod paged;
 pub mod predict;
 pub mod prefetch;
@@ -38,6 +39,9 @@ pub mod skeleton;
 
 pub use candidate::CandidateTracker;
 pub use markov::MarkovPrefetcher;
+pub use ooc::{
+    write_flat_index, OocConfig, OocCursor, OocFlatIndex, OocIoTrace, OocQueryStats, OocScratch,
+};
 pub use paged::PagedIndex;
 pub use predict::{extrapolate_exits, PredictParams};
 pub use prefetch::{

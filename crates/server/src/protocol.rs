@@ -690,6 +690,9 @@ fn put_stats(out: &mut Vec<u8>, stats: &QueryStats) {
     put_u64(out, stats.nodes_read);
     put_u64(out, stats.objects_tested);
     put_u64(out, stats.reseeds);
+    put_u64(out, stats.cache_hits);
+    put_u64(out, stats.cache_misses);
+    put_u64(out, stats.cache_evictions);
 }
 
 fn read_stats(rd: &mut Rd<'_>) -> Result<QueryStats, ProtocolError> {
@@ -698,6 +701,9 @@ fn read_stats(rd: &mut Rd<'_>) -> Result<QueryStats, ProtocolError> {
         nodes_read: rd.u64()?,
         objects_tested: rd.u64()?,
         reseeds: rd.u64()?,
+        cache_hits: rd.u64()?,
+        cache_misses: rd.u64()?,
+        cache_evictions: rd.u64()?,
     })
 }
 

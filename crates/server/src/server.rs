@@ -495,7 +495,7 @@ fn serve_touching(
                 results: result.stats.results,
                 nodes_read: 0,
                 objects_tested: result.stats.filter_comparisons + result.stats.refine_comparisons,
-                reseeds: 0,
+                ..QueryStats::default()
             };
             p::encode_done(&stats, out);
             account(shared, desc.tenant, &stats);

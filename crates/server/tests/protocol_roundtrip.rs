@@ -104,14 +104,26 @@ fn request() -> impl Strategy<Value = Request> {
 }
 
 fn stats() -> impl Strategy<Value = QueryStats> {
-    ((any::<u64>(), any::<u64>()), (any::<u64>(), any::<u64>())).prop_map(
-        |((results, nodes_read), (objects_tested, reseeds))| QueryStats {
-            results,
-            nodes_read,
-            objects_tested,
-            reseeds,
-        },
+    (
+        (any::<u64>(), any::<u64>()),
+        (any::<u64>(), any::<u64>()),
+        (any::<u64>(), any::<u64>(), any::<u64>()),
     )
+        .prop_map(
+            |(
+                (results, nodes_read),
+                (objects_tested, reseeds),
+                (cache_hits, cache_misses, cache_evictions),
+            )| QueryStats {
+                results,
+                nodes_read,
+                objects_tested,
+                reseeds,
+                cache_hits,
+                cache_misses,
+                cache_evictions,
+            },
+        )
 }
 
 fn response() -> Union<Response> {

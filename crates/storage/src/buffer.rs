@@ -12,8 +12,11 @@ use std::collections::HashMap;
 /// Buffer pool statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PoolStats {
+    /// Demand accesses served from the pool.
     pub hits: u64,
+    /// Demand accesses that went to the (simulated) disk.
     pub misses: u64,
+    /// Pages dropped to make room.
     pub evictions: u64,
 }
 
@@ -70,18 +73,22 @@ impl BufferPool {
         }
     }
 
+    /// The frame budget this pool was created with.
     pub fn capacity(&self) -> usize {
         self.capacity
     }
 
+    /// Number of resident pages.
     pub fn len(&self) -> usize {
         self.map.len()
     }
 
+    /// True when no page is resident.
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
     }
 
+    /// Snapshot of the cumulative counters.
     pub fn stats(&self) -> PoolStats {
         self.stats
     }

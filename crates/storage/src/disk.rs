@@ -51,13 +51,16 @@ impl CostModel {
 /// Aggregate I/O statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct IoStats {
+    /// Reads charged at the random-access cost.
     pub random_reads: u64,
+    /// Reads of the page physically following the previous one.
     pub sequential_reads: u64,
     /// Total simulated read latency (ms).
     pub total_cost_ms: f64,
 }
 
 impl IoStats {
+    /// Random plus sequential reads.
     pub fn total_reads(&self) -> u64 {
         self.random_reads + self.sequential_reads
     }
@@ -119,10 +122,12 @@ impl DiskSim {
         Self::new(u64::MAX, CostModel::default())
     }
 
+    /// The cost model this device was created with.
     pub fn cost_model(&self) -> CostModel {
         self.cost
     }
 
+    /// Device capacity in pages.
     pub fn capacity(&self) -> u64 {
         self.capacity
     }

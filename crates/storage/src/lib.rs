@@ -1,23 +1,48 @@
 //! # neurospatial-storage
 //!
-//! A deterministic paged-storage simulator.
+//! The paged-storage layer: a real on-disk page format with a pinning
+//! buffer pool, plus the original deterministic I/O *simulator*.
 //!
-//! The demo's live statistics panels (Figures 3 and 6 of the paper) show
-//! *disk pages retrieved* and *time* while queries execute. To report the
-//! same quantities reproducibly on any machine, index structures in this
-//! workspace account their page accesses against a [`DiskSim`]: every page
-//! read is classified as sequential or random and costed with a simple
-//! two-parameter model, and an optional LRU [`BufferPool`] absorbs re-reads
-//! exactly the way the demo machine's cache would.
+//! ## Real I/O — the out-of-core stack
 //!
-//! Nothing here does real I/O — the simulator is the measurement
-//! instrument, not a persistence layer. Wall-clock performance of the
-//! in-memory algorithms is measured separately by the Criterion benches.
+//! Datasets larger than RAM live in a *page file* ([`PageFile`], written
+//! by [`PageFileWriter`]): a versioned, checksummed array of fixed-size
+//! pages plus an index-specific metadata blob (byte layout in the
+//! [`mod@file`] module docs). Query engines read pages through a
+//! [`FramePool`] — a bounded set of in-memory frames with CLOCK or LRU
+//! eviction ([`EvictionPolicy`]), pin guards ([`FrameGuard`]) that make
+//! eviction of in-use pages impossible, and hit/miss/eviction/prefetch
+//! counters ([`FrameStats`]) that surface in the facade's query
+//! statistics. Every failure mode — corrupt bytes, truncation, version
+//! skew, an exhausted frame budget — is a typed [`StorageError`], never
+//! a panic.
+//!
+//! The out-of-core FLAT engine built on this stack lives in
+//! `neurospatial-scout` (the serializer needs the FLAT index types);
+//! this crate owns the format and the buffer manager.
+//!
+//! ## Simulated I/O — the measurement instrument
+//!
+//! The demo's live statistics panels (Figures 3 and 6 of the paper)
+//! show *disk pages retrieved* and *time* while queries execute. To
+//! report the same quantities reproducibly on any machine, the
+//! cost-model experiments account page accesses against a [`DiskSim`]
+//! (two-parameter random/sequential model) through an LRU
+//! [`BufferPool`]. The simulator does no real I/O by design — it is the
+//! deterministic yardstick the prefetching experiments are scored with,
+//! while the [`FramePool`] path measures actual wall-clock stalls.
+
+#![warn(missing_docs)]
 
 pub mod buffer;
 pub mod disk;
+pub mod file;
+pub mod frame;
 pub mod page;
 
 pub use buffer::BufferPool;
 pub use disk::{CostModel, DiskSim, IoError, IoStats};
+pub use file::{checksum64, Checksum64, PageFile, PageFileWriter, StorageError};
+pub use file::{FILE_HEADER_BYTES, PAGE_FILE_MAGIC, PAGE_FILE_VERSION, PAGE_HEADER_BYTES};
+pub use frame::{EvictionPolicy, FrameGuard, FramePool, FrameStats};
 pub use page::{PageId, PAGE_SIZE_BYTES};

@@ -3,6 +3,7 @@
 
 use neurospatial::model::{decode_segments, encode_segments};
 use neurospatial::prelude::*;
+use std::path::PathBuf;
 
 #[test]
 fn single_neuron_circuit_works_everywhere() {
@@ -93,6 +94,114 @@ fn corrupted_files_never_panic() {
     for len in [0usize, 1, 15, 16, 17, good.len() - 1] {
         let _ = decode_segments(&good[..len]);
     }
+}
+
+/// A scratch page-file path unique to this test + process, removed on
+/// drop so failed assertions don't leak files between runs.
+struct ScratchFile(PathBuf);
+
+impl ScratchFile {
+    fn new(tag: &str) -> Self {
+        ScratchFile(
+            std::env::temp_dir()
+                .join(format!("neurospatial-failure-{tag}-{}.flatpages", std::process::id())),
+        )
+    }
+}
+
+impl Drop for ScratchFile {
+    fn drop(&mut self) {
+        std::fs::remove_file(&self.0).ok();
+    }
+}
+
+/// Write a small but multi-page FLAT page file and return its bytes.
+fn valid_page_file(file: &ScratchFile) -> Vec<u8> {
+    let c = CircuitBuilder::new(3).neurons(2).build();
+    let index =
+        FlatIndex::build(c.segments().to_vec(), FlatBuildParams::default().with_page_capacity(16));
+    assert!(index.page_count() >= 4, "need a multi-page file to corrupt");
+    neurospatial::scout::ooc::write_flat_index(&index, &file.0).expect("write page file");
+    std::fs::read(&file.0).expect("read back")
+}
+
+#[test]
+fn truncated_page_files_are_rejected_with_typed_errors() {
+    let file = ScratchFile::new("truncate");
+    let good = valid_page_file(&file);
+    // Every prefix strictly shorter than the file must fail with a
+    // typed storage error — never a panic, never a silent success.
+    for len in [0, 1, 8, 63, 64, 80, good.len() / 2, good.len() - 1] {
+        std::fs::write(&file.0, &good[..len]).expect("write truncated");
+        let err = PagedFlatIndex::open(&file.0, OocConfig::default())
+            .err()
+            .unwrap_or_else(|| panic!("truncation to {len} bytes must not open"));
+        assert!(matches!(err, NeuroError::Storage(_)), "len={len}: {err:?}");
+    }
+}
+
+#[test]
+fn bit_flipped_page_files_never_panic_and_never_lie() {
+    let file = ScratchFile::new("bitflip");
+    let good = valid_page_file(&file);
+    // Sample flips across the whole file: the header, the first page's
+    // header and payload, and a stride through the page array + meta.
+    let mut offsets: Vec<usize> = (0..64).collect();
+    offsets.extend((64..good.len()).step_by(97));
+    offsets.push(good.len() - 1);
+    for off in offsets {
+        let mut bad = good.clone();
+        bad[off] ^= 0x40;
+        std::fs::write(&file.0, &bad).expect("write corrupted");
+        // Every mutated byte is either under a checksum (open must fail
+        // with a typed error) or in unchecksummed header padding (open
+        // may succeed — but then queries must still be exact, which the
+        // open-time page validation already proved). Panics fail the
+        // test by themselves.
+        match PagedFlatIndex::open(&file.0, OocConfig::default()) {
+            Err(e) => assert!(matches!(e, NeuroError::Storage(_)), "offset {off}: {e:?}"),
+            Ok(index) => {
+                let out = index.range_query(&index.bounds());
+                assert_eq!(out.len(), index.len(), "offset {off} corrupted results");
+            }
+        }
+    }
+}
+
+#[test]
+fn foreign_and_wrong_version_page_files_are_rejected() {
+    let file = ScratchFile::new("foreign");
+    // Not a page file at all.
+    std::fs::write(&file.0, b"GIF89a definitely not a page file").expect("write");
+    assert!(matches!(
+        PagedFlatIndex::open(&file.0, OocConfig::default()),
+        Err(NeuroError::Storage(_))
+    ));
+    // A structurally valid page file whose metadata is not FLAT's.
+    let mut w = neurospatial::storage::PageFileWriter::create(&file.0, 256).expect("create");
+    w.append_page(&[0u8; 200]).expect("append");
+    w.finish(b"someone else's metadata").expect("finish");
+    let Err(err) = PagedFlatIndex::open(&file.0, OocConfig::default()) else {
+        panic!("foreign metadata must not open");
+    };
+    assert!(matches!(err, NeuroError::Storage(StorageError::Corrupt(_))), "{err:?}");
+}
+
+#[test]
+fn missing_page_file_paths_surface_as_io_errors() {
+    let path = std::env::temp_dir().join("neurospatial-failure-definitely-missing.flatpages");
+    let Err(err) = PagedFlatIndex::open(&path, OocConfig::default()) else {
+        panic!("missing file must not open");
+    };
+    assert!(matches!(err, NeuroError::Storage(StorageError::Io { .. })), "{err:?}");
+    // And the same through the database builder's explicit-file lane:
+    // the builder *creates* files, so point it at an unwritable path.
+    let c = CircuitBuilder::new(3).neurons(1).build();
+    let bad_dir = path.join("nested/impossible.flatpages");
+    let Err(err) = NeuroDb::builder().circuit(&c).page_file(&bad_dir).build() else {
+        panic!("unwritable page-file path must not build");
+    };
+    assert!(matches!(err, NeuroError::Storage(StorageError::Io { .. })), "{err:?}");
 }
 
 #[test]
