@@ -30,6 +30,15 @@ pub enum NeuroError {
     /// foreign/incompatible file. Raised by the paged (out-of-core) FLAT
     /// backend when opening or reading a page file.
     Storage(StorageError),
+    /// The query touched pages quarantined after permanent media
+    /// failures, and partial results were not requested. The database
+    /// keeps serving everything else; opt in with
+    /// [`allow_partial`](crate::query::RangeQuery::allow_partial) to get
+    /// the surviving results labeled via `stats.pages_quarantined`.
+    DegradedResult {
+        /// The quarantined pages the query needed, ascending.
+        pages: Vec<u64>,
+    },
 }
 
 impl fmt::Display for NeuroError {
@@ -52,6 +61,11 @@ impl fmt::Display for NeuroError {
             }
             NeuroError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             NeuroError::Storage(e) => write!(f, "page store failure: {e}"),
+            NeuroError::DegradedResult { pages } => write!(
+                f,
+                "degraded: query needs quarantined page(s) {pages:?}; \
+                 retry with allow_partial to accept labeled partial results"
+            ),
         }
     }
 }
@@ -60,7 +74,12 @@ impl Error for NeuroError {}
 
 impl From<StorageError> for NeuroError {
     fn from(e: StorageError) -> Self {
-        NeuroError::Storage(e)
+        match e {
+            // A quarantine refusal is a *degradation* signal, not a raw
+            // storage fault: the caller can re-run with partial results.
+            StorageError::Quarantined { pages } => NeuroError::DegradedResult { pages },
+            other => NeuroError::Storage(other),
+        }
     }
 }
 

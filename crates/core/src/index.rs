@@ -154,6 +154,15 @@ pub struct QueryStats {
     /// Paged backends only: frames evicted from the buffer pool while
     /// this query ran. 0 for in-memory backends.
     pub cache_evictions: u64,
+    /// Paged backends only: transient page-read failures recovered by
+    /// the bounded-retry path. 0 for in-memory backends and on healthy
+    /// media.
+    pub retries: u64,
+    /// Paged backends only: quarantined pages this query skipped. Always
+    /// 0 unless the query ran in partial-results mode
+    /// ([`crate::query::RangeQuery::allow_partial`]); a nonzero value
+    /// marks the result set as degraded.
+    pub pages_quarantined: u64,
 }
 
 impl QueryStats {
@@ -179,6 +188,8 @@ impl QueryStats {
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
         self.cache_evictions += other.cache_evictions;
+        self.retries += other.retries;
+        self.pages_quarantined += other.pages_quarantined;
     }
 
     /// The field-wise sum of an iterator of statistics.
@@ -395,6 +406,24 @@ pub trait SpatialIndex: Send + Sync + 'static {
         }
         stats.results = results;
         stats
+    }
+
+    /// Fallible variant of [`for_each_in_range`](Self::for_each_in_range)
+    /// — the lane disk-backed queries run on. In-memory backends cannot
+    /// fail mid-traversal, so the default simply delegates and always
+    /// succeeds; the paged backend overrides it to surface storage
+    /// failures as typed errors and, with `allow_partial`, to skip
+    /// quarantined pages and label the result via
+    /// `stats.pages_quarantined` instead of failing.
+    fn try_for_each_in_range(
+        &self,
+        region: &Aabb,
+        scratch: &mut QueryScratch,
+        allow_partial: bool,
+        sink: &mut dyn FnMut(&NeuronSegment) -> Flow,
+    ) -> Result<QueryStats, crate::error::NeuroError> {
+        let _ = allow_partial; // meaningless without failure modes
+        Ok(self.for_each_in_range(region, scratch, sink))
     }
 
     /// Planner metadata for a region — what [`crate::query::RangeQuery::explain`]

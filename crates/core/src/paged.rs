@@ -53,6 +53,8 @@ pub(crate) fn unified_stats(s: &OocQueryStats) -> QueryStats {
         cache_hits: s.io.cache_hits,
         cache_misses: s.io.cache_misses,
         cache_evictions: s.io.evictions,
+        retries: s.io.retries,
+        pages_quarantined: s.io.pages_quarantined,
     }
 }
 
@@ -153,6 +155,19 @@ impl PagedFlatIndex {
     /// Number of data pages in the page file.
     pub fn page_count(&self) -> usize {
         self.ooc.page_count()
+    }
+
+    /// Pages quarantined after permanent read failures, ascending.
+    /// Non-empty means the index is serving degraded: strict queries
+    /// touching these pages fail, partial queries skip them.
+    pub fn quarantined_pages(&self) -> Vec<u64> {
+        self.ooc.quarantined_pages()
+    }
+
+    /// Whether any page is quarantined — the health signal the server's
+    /// HEALTH opcode reports.
+    pub fn is_degraded(&self) -> bool {
+        !self.quarantined_pages().is_empty()
     }
 
     /// Fallible range query for callers that must survive post-open
@@ -276,6 +291,23 @@ impl SpatialIndex for PagedFlatIndex {
             |s| sink(s),
         ));
         unified_stats(&stats)
+    }
+
+    fn try_for_each_in_range(
+        &self,
+        region: &Aabb,
+        scratch: &mut QueryScratch,
+        allow_partial: bool,
+        sink: &mut dyn FnMut(&NeuronSegment) -> Flow,
+    ) -> Result<QueryStats, NeuroError> {
+        let stats = self.ooc.range_query_stream_partial(
+            region,
+            &mut scratch.paged,
+            allow_partial,
+            |_| {},
+            |s| sink(s),
+        )?;
+        Ok(unified_stats(&stats))
     }
 
     fn plan_range(&self, region: &Aabb) -> IndexPlan {

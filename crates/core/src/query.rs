@@ -101,8 +101,51 @@ fn with_scratch<R>(f: impl FnOnce(&mut QueryScratch) -> R) -> R {
 
 /// The shared range executor behind every terminal: one streaming
 /// traversal with population membership, predicate and limit all applied
-/// *below* the index (via [`SpatialIndex::for_each_in_range`]), results
-/// delivered to `emit` in the backend's canonical emission order.
+/// *below* the index (via [`SpatialIndex::try_for_each_in_range`]),
+/// results delivered to `emit` in the backend's canonical emission
+/// order. In-memory backends cannot fail; the paged backend surfaces
+/// storage faults as typed errors, or — with `allow_partial` — skips
+/// quarantined pages and labels the loss in `stats.pages_quarantined`.
+#[allow(clippy::too_many_arguments)]
+fn try_run_range(
+    db: &NeuroDb,
+    region: &Aabb,
+    population: Option<u32>,
+    filter: Option<&SegmentPredicate<'_>>,
+    limit: Option<usize>,
+    allow_partial: bool,
+    scratch: &mut QueryScratch,
+    mut emit: impl FnMut(&NeuronSegment),
+) -> Result<QueryStats, NeuroError> {
+    if limit == Some(0) {
+        return Ok(QueryStats::default());
+    }
+    let mut remaining = limit;
+    db.index().try_for_each_in_range(region, scratch, allow_partial, &mut |s| {
+        let keep = population.is_none_or(|pi| db.population_of_segment(s.id) == Some(pi))
+            && filter.is_none_or(|f| f(s));
+        if !keep {
+            return Flow::Skip;
+        }
+        emit(s);
+        match &mut remaining {
+            None => Flow::Emit,
+            Some(r) => {
+                *r -= 1;
+                if *r == 0 {
+                    Flow::Last
+                } else {
+                    Flow::Emit
+                }
+            }
+        }
+    })
+}
+
+/// The infallible form of [`try_run_range`] used by [`QuerySession`]'s
+/// hot loops: identical traversal through the infallible trait lane
+/// (the paged backend panics on post-open media failure here — sessions
+/// that must survive it use [`QuerySession::try_range`]).
 fn run_range(
     db: &NeuroDb,
     region: &Aabb,
@@ -280,7 +323,14 @@ impl<'a> Query<'a> {
 
     /// Spatial range query: every segment whose AABB intersects `region`.
     pub fn range(self, region: Aabb) -> RangeQuery<'a> {
-        RangeQuery { db: self.db, region, population: None, filter: None, limit: None }
+        RangeQuery {
+            db: self.db,
+            region,
+            population: None,
+            filter: None,
+            limit: None,
+            allow_partial: false,
+        }
     }
 
     /// The `k` segments nearest to `p` (AABB minimum distance), in
@@ -331,6 +381,7 @@ pub struct RangeQuery<'a> {
     population: Option<&'a str>,
     filter: Option<&'a SegmentPredicate<'a>>,
     limit: Option<usize>,
+    allow_partial: bool,
 }
 
 impl<'a> RangeQuery<'a> {
@@ -357,6 +408,17 @@ impl<'a> RangeQuery<'a> {
         self
     }
 
+    /// Accept partial results from a degraded paged database: pages the
+    /// pool has quarantined after permanent media failures are skipped
+    /// instead of failing the query, and the loss is labeled in
+    /// `stats.pages_quarantined` (nonzero ⇒ the result set is
+    /// incomplete). No effect on healthy media or in-memory backends —
+    /// results stay byte-identical and the counter stays 0.
+    pub fn allow_partial(mut self, allow: bool) -> Self {
+        self.allow_partial = allow;
+        self
+    }
+
     fn resolve_population(&self) -> Result<Option<u32>, NeuroError> {
         match self.population {
             None => Ok(None),
@@ -371,15 +433,16 @@ impl<'a> RangeQuery<'a> {
         let population = self.resolve_population()?;
         with_scratch(|scratch| {
             let mut segments = Vec::new();
-            let stats = run_range(
+            let stats = try_run_range(
                 self.db,
                 &self.region,
                 population,
                 self.filter,
                 self.limit,
+                self.allow_partial,
                 scratch,
                 |s| segments.push(*s),
-            );
+            )?;
             Ok(QueryOutput { segments, stats })
         })
     }
@@ -416,15 +479,16 @@ impl<'a> RangeQuery<'a> {
     pub fn stream(&self, mut sink: impl FnMut(&NeuronSegment)) -> Result<QueryStats, NeuroError> {
         let population = self.resolve_population()?;
         with_scratch(|scratch| {
-            Ok(run_range(
+            try_run_range(
                 self.db,
                 &self.region,
                 population,
                 self.filter,
                 self.limit,
+                self.allow_partial,
                 scratch,
                 |s| sink(s),
-            ))
+            )
         })
     }
 
@@ -774,6 +838,108 @@ impl<'a> QuerySession<'a> {
             cursor.step(region);
         }
         (&self.segments, stats)
+    }
+
+    /// Fallible sibling of [`range`](Self::range) for serving loops that
+    /// must survive degraded media: a paged database with quarantined
+    /// pages reports [`NeuroError::DegradedResult`] instead of panicking,
+    /// and `allow_partial` opts into labeled partial results
+    /// (`stats.pages_quarantined` counts the skipped pages). On healthy
+    /// databases this is byte-identical to [`range`](Self::range).
+    pub fn try_range(
+        &mut self,
+        region: &Aabb,
+        allow_partial: bool,
+    ) -> Result<(&[NeuronSegment], QueryStats), NeuroError> {
+        self.segments.clear();
+        let QuerySession { db, population, filter, limit, scratch, segments, cursor, .. } = self;
+        let stats =
+            try_run_range(db, region, *population, *filter, *limit, allow_partial, scratch, |s| {
+                segments.push(*s)
+            })?;
+        if let Some(cursor) = cursor {
+            cursor.step(region);
+        }
+        Ok((&self.segments, stats))
+    }
+
+    /// [`try_range`](Self::try_range) with a cooperative abort: the
+    /// traversal also stops — cleanly, after delivering the segment in
+    /// hand — once `keep_going` returns `false`. Returns
+    /// `(segments, stats, completed)`; `completed` is `false` iff the
+    /// budget check tripped first, in which case the buffered segments
+    /// are a valid prefix of the full answer (`stats` still matches what
+    /// was delivered). Serving loops use this for per-request time
+    /// budgets; `keep_going` is consulted once per emitted result, so a
+    /// tripped budget cuts a stream short without abandoning mid-frame
+    /// state.
+    pub fn try_range_budgeted(
+        &mut self,
+        region: &Aabb,
+        allow_partial: bool,
+        mut keep_going: impl FnMut() -> bool,
+    ) -> Result<(&[NeuronSegment], QueryStats, bool), NeuroError> {
+        self.segments.clear();
+        let QuerySession { db, population, filter, limit, scratch, segments, cursor, .. } = self;
+        let mut completed = true;
+        let stats = if *limit == Some(0) {
+            QueryStats::default()
+        } else {
+            let mut remaining = *limit;
+            db.index().try_for_each_in_range(region, scratch, allow_partial, &mut |s| {
+                let keep = population.is_none_or(|pi| db.population_of_segment(s.id) == Some(pi))
+                    && filter.is_none_or(|f| f(s));
+                if !keep {
+                    return Flow::Skip;
+                }
+                segments.push(*s);
+                if !keep_going() {
+                    completed = false;
+                    return Flow::Last;
+                }
+                match &mut remaining {
+                    None => Flow::Emit,
+                    Some(r) => {
+                        *r -= 1;
+                        if *r == 0 {
+                            Flow::Last
+                        } else {
+                            Flow::Emit
+                        }
+                    }
+                }
+            })?
+        };
+        if let Some(cursor) = cursor {
+            cursor.step(region);
+        }
+        Ok((&self.segments, stats, completed))
+    }
+
+    /// Fallible sibling of [`count`](Self::count): storage faults on a
+    /// degraded paged database surface as typed errors, and
+    /// `allow_partial` opts into counting only the surviving pages
+    /// (labeled via `stats.pages_quarantined`).
+    pub fn try_count(
+        &mut self,
+        region: &Aabb,
+        allow_partial: bool,
+    ) -> Result<QueryStats, NeuroError> {
+        let QuerySession { db, population, filter, limit, scratch, cursor, .. } = self;
+        let stats = try_run_range(
+            db,
+            region,
+            *population,
+            *filter,
+            *limit,
+            allow_partial,
+            scratch,
+            |_| {},
+        )?;
+        if let Some(cursor) = cursor {
+            cursor.step(region);
+        }
+        Ok(stats)
     }
 
     /// Count the segments a [`range`](Self::range) call would return,

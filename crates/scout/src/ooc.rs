@@ -46,7 +46,8 @@ use neurospatial_geom::{Aabb, Executor, Flow, Vec3};
 use neurospatial_model::NeuronSegment;
 use neurospatial_rtree::{EpochMarks, RTree, RTreeObject, RTreeParams, TraversalScratch};
 use neurospatial_storage::{
-    EvictionPolicy, FramePool, PageFile, PageFileWriter, StorageError, PAGE_HEADER_BYTES,
+    with_retry_sleeping, EvictionPolicy, FramePool, PageFile, PageFileWriter, PageIo, RetryPolicy,
+    StorageError, PAGE_HEADER_BYTES,
 };
 use std::collections::VecDeque;
 use std::path::{Path, PathBuf};
@@ -218,7 +219,14 @@ pub struct OocConfig {
     /// Verify every page's checksum once at open (in addition to the
     /// always-on per-read verification). Keeps the infallible facade
     /// honest: with this on, a corrupt file cannot get past `open`.
+    /// The sweep covers the *whole* file and reports every bad page in
+    /// one [`StorageError::BadPages`], so operators see the full blast
+    /// radius in a single pass.
     pub validate_pages: bool,
+    /// Bounded-retry policy for transient page-read failures (`EINTR`,
+    /// `EWOULDBLOCK`, timeouts). Permanent errors — checksum mismatches,
+    /// structural corruption — are never retried.
+    pub retry: RetryPolicy,
 }
 
 impl Default for OocConfig {
@@ -228,6 +236,7 @@ impl Default for OocConfig {
             eviction: EvictionPolicy::Clock,
             prefetch_workers: 0,
             validate_pages: true,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -248,6 +257,12 @@ impl OocConfig {
     /// Set the number of background prefetch workers.
     pub fn with_prefetch_workers(mut self, workers: usize) -> Self {
         self.prefetch_workers = workers;
+        self
+    }
+
+    /// Set the transient-I/O retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
         self
     }
 }
@@ -286,6 +301,12 @@ pub struct OocIoTrace {
     pub evictions: u64,
     /// Pages handed to the background prefetcher by the crawl frontier.
     pub prefetch_enqueued: u64,
+    /// Transient page-read failures recovered by the bounded-retry
+    /// path during this query.
+    pub retries: u64,
+    /// Quarantined pages this query skipped (only in
+    /// partial-results mode; a strict query fails instead).
+    pub pages_quarantined: u64,
 }
 
 /// Statistics of one paged query: FLAT's logical counters (byte-identical
@@ -340,7 +361,7 @@ struct PrefetchHandle {
 }
 
 impl PrefetchHandle {
-    fn spawn(workers: usize, file: Arc<PageFile>, pool: Arc<FramePool>) -> Self {
+    fn spawn(workers: usize, file: Arc<dyn PageIo>, pool: Arc<FramePool>) -> Self {
         let shared = Arc::new(PrefetchShared {
             queue: Mutex::new(PrefetchQueue::default()),
             ready: Condvar::new(),
@@ -375,7 +396,7 @@ impl PrefetchHandle {
                 let batch_ref = &batch;
                 exec.map_chunks(batch.len(), |range| {
                     for &page in &batch_ref[range] {
-                        let _ = pool.prefetch(u64::from(page), file);
+                        let _ = pool.prefetch(u64::from(page), file.as_ref());
                     }
                 });
             }
@@ -434,7 +455,7 @@ impl PrefetchHandle {
 /// fails [`open`](Self::open), and a page that rots afterwards fails
 /// the individual query with [`StorageError::PageChecksum`].
 pub struct OocFlatIndex {
-    file: Arc<PageFile>,
+    file: Arc<dyn PageIo>,
     pool: Arc<FramePool>,
     params: FlatBuildParams,
     object_count: u64,
@@ -443,6 +464,7 @@ pub struct OocFlatIndex {
     neighbor_ids: Vec<u32>,
     seed_tree: RTree<OocPageEntry>,
     prefetch: Option<PrefetchHandle>,
+    retry: RetryPolicy,
     path: PathBuf,
     delete_on_drop: bool,
 }
@@ -468,6 +490,20 @@ impl OocFlatIndex {
     /// [`OocConfig::validate_pages`]) any corrupt page — returns a typed
     /// [`StorageError`].
     pub fn open(path: &Path, config: OocConfig) -> Result<Self, StorageError> {
+        Self::open_with(path, config, |file| Arc::new(file))
+    }
+
+    /// Like [`open`](Self::open), but page reads go through the
+    /// [`PageIo`] returned by `wrap` instead of the raw [`PageFile`] —
+    /// the seam the chaos suite uses to interpose a fault-injecting
+    /// [`FaultFile`](neurospatial_storage::FaultFile). Header and
+    /// metadata parsing always read the real file (they happen before
+    /// `wrap` runs); the open-time validation sweep, demand reads and
+    /// prefetches all go through the wrapper.
+    pub fn open_with<W>(path: &Path, config: OocConfig, wrap: W) -> Result<Self, StorageError>
+    where
+        W: FnOnce(PageFile) -> Arc<dyn PageIo>,
+    {
         let file = PageFile::open(path)?;
         let mut r = Reader::new(file.meta());
         if r.take(4)? != FLAT_META_MAGIC {
@@ -560,20 +596,30 @@ impl OocFlatIndex {
 
         let frames = if config.frame_budget == 0 { n.max(1) } else { config.frame_budget };
         let pool = Arc::new(FramePool::new(frames, config.eviction));
-        let file = Arc::new(file);
+        let file: Arc<dyn PageIo> = wrap(file);
 
         if config.validate_pages {
             // One sequential checksum pass over every page, and a record
             // count cross-check against the declared object count. After
             // this, only post-open rot or OS-level I/O failure can make
-            // a query fail.
+            // a query fail. The sweep never aborts early: every bad page
+            // is collected so the error reports the full blast radius.
             let mut buf = Vec::new();
             let mut segs = Vec::new();
             let mut total = 0u64;
+            let mut bad_pages = Vec::new();
             for page in 0..page_count {
-                file.read_page_into(page, &mut buf)?;
-                decode_page_segments(&buf, page, &mut segs)?;
-                total += segs.len() as u64;
+                let (res, _retries) = with_retry_sleeping(&config.retry, page, || {
+                    file.read_page_into(page, &mut buf)
+                });
+                match res.and_then(|()| decode_page_segments(&buf, page, &mut segs)) {
+                    Ok(()) => total += segs.len() as u64,
+                    Err(e) if e.is_transient() => return Err(e),
+                    Err(_) => bad_pages.push(page),
+                }
+            }
+            if !bad_pages.is_empty() {
+                return Err(StorageError::BadPages { pages: bad_pages });
             }
             if total != object_count {
                 return Err(StorageError::Corrupt(format!(
@@ -596,9 +642,42 @@ impl OocFlatIndex {
             neighbor_ids,
             seed_tree,
             prefetch,
+            retry: config.retry,
             path: path.to_path_buf(),
             delete_on_drop: false,
         })
+    }
+
+    /// Re-validate every page through the current I/O stack, reporting
+    /// *all* bad pages in one [`StorageError::BadPages`] — the
+    /// blast-radius sweep operators run after suspected rot. Transient
+    /// failures are retried under the configured policy; an
+    /// unrecoverable transient error aborts the sweep.
+    pub fn validate_pages(&self) -> Result<(), StorageError> {
+        let mut buf = Vec::new();
+        let mut segs = Vec::new();
+        let mut bad_pages = Vec::new();
+        for page in 0..self.page_mbrs.len() as u64 {
+            let (res, _retries) =
+                with_retry_sleeping(&self.retry, page, || self.file.read_page_into(page, &mut buf));
+            match res.and_then(|()| decode_page_segments(&buf, page, &mut segs)) {
+                Ok(()) => {}
+                Err(e) if e.is_transient() => return Err(e),
+                Err(_) => bad_pages.push(page),
+            }
+        }
+        if bad_pages.is_empty() {
+            Ok(())
+        } else {
+            Err(StorageError::BadPages { pages: bad_pages })
+        }
+    }
+
+    /// Pages the pool has quarantined after permanent read failures,
+    /// ascending. Queries in partial mode skip these; strict queries
+    /// touching them fail with [`StorageError::Quarantined`].
+    pub fn quarantined_pages(&self) -> Vec<u64> {
+        self.pool.quarantined()
     }
 
     /// Delete the page file when this index is dropped (used for
@@ -692,6 +771,29 @@ impl OocFlatIndex {
         &self,
         q: &Aabb,
         scratch: &mut OocScratch,
+        on_page: F,
+        sink: S,
+    ) -> Result<OocQueryStats, StorageError>
+    where
+        F: FnMut(u32),
+        S: FnMut(&NeuronSegment) -> Flow,
+    {
+        self.range_query_stream_partial(q, scratch, false, on_page, sink)
+    }
+
+    /// [`range_query_stream`](Self::range_query_stream) with an explicit
+    /// degradation mode. With `allow_partial = false` a page that fails
+    /// permanently (after transient retries) is quarantined and the
+    /// query fails with the typed error. With `allow_partial = true` the
+    /// failed page's objects are skipped but its neighbor links are
+    /// still crawled (the CSR lives in RAM), the query completes, and
+    /// `io.pages_quarantined` reports how many pages were lost — a
+    /// correctly-labeled partial result instead of a failure.
+    pub fn range_query_stream_partial<F, S>(
+        &self,
+        q: &Aabb,
+        scratch: &mut OocScratch,
+        allow_partial: bool,
         mut on_page: F,
         mut sink: S,
     ) -> Result<OocQueryStats, StorageError>
@@ -737,14 +839,33 @@ impl OocFlatIndex {
                 stats.flat.pages_read += 1;
                 on_page(page);
 
-                // The real page read: pin, decode, scan. The pin is held
-                // only while the page is scanned, so even a one-frame
-                // budget can execute any query.
+                // The real page read: pin (retrying transient faults
+                // under the configured policy), decode, scan. The pin is
+                // held only while the page is scanned, so even a
+                // one-frame budget can execute any query.
                 let t = Instant::now();
-                let guard = self.pool.get(u64::from(page), &self.file)?;
+                let (res, tries) = with_retry_sleeping(&self.retry, u64::from(page), || {
+                    self.pool.get(u64::from(page), self.file.as_ref())
+                });
                 stall_ns += t.elapsed().as_nanos() as u64;
-                decode_page_segments(&guard, u64::from(page), segs)?;
-                drop(guard);
+                stats.io.retries += u64::from(tries);
+                let decoded =
+                    res.and_then(|guard| decode_page_segments(&guard, u64::from(page), segs));
+                if let Err(e) = decoded {
+                    if e.is_transient() {
+                        // Retries exhausted or frame-budget pressure:
+                        // not the page's fault, never quarantine.
+                        return Err(e);
+                    }
+                    // Permanent: quarantine so later demands fail fast
+                    // instead of re-reading known-bad bytes.
+                    self.pool.quarantine_page(u64::from(page));
+                    if !allow_partial {
+                        return Err(e);
+                    }
+                    stats.io.pages_quarantined += 1;
+                    segs.clear();
+                }
 
                 for o in segs.iter() {
                     stats.flat.objects_tested += 1;
@@ -1130,7 +1251,7 @@ mod tests {
         bytes[neurospatial_storage::FILE_HEADER_BYTES + PAGE_HEADER_BYTES + 9] ^= 0x04;
         std::fs::write(&t.0, &bytes).expect("write");
         let err = OocFlatIndex::open(&t.0, OocConfig::default()).expect_err("corrupt page");
-        assert_eq!(err, StorageError::PageChecksum { page: 0 });
+        assert_eq!(err, StorageError::BadPages { pages: vec![0] });
         // Lazy open defers the error to the query that touches the page.
         let lazy = OocConfig { validate_pages: false, ..OocConfig::default() };
         let ooc = OocFlatIndex::open(&t.0, lazy).expect("lazy open");
@@ -1140,5 +1261,94 @@ mod tests {
             .range_query_into(&ooc.bounds(), &mut scratch, &mut out)
             .expect_err("query hits the bad page");
         assert!(matches!(err, StorageError::PageChecksum { .. }));
+        // The failed page is now quarantined: the re-query fails fast
+        // with the quarantine error, and the standalone sweep reports it.
+        assert_eq!(ooc.quarantined_pages(), vec![0]);
+        let err =
+            ooc.range_query_into(&ooc.bounds(), &mut scratch, &mut out).expect_err("still refused");
+        assert_eq!(err, StorageError::Quarantined { pages: vec![0] });
+        assert_eq!(ooc.validate_pages(), Err(StorageError::BadPages { pages: vec![0] }));
+    }
+
+    #[test]
+    fn validation_sweep_reports_every_bad_page_at_once() {
+        let segs = circuit(10);
+        let mem = build(segs, 8);
+        let t = TempFile(temp_path("sweep"));
+        write_flat_index(&mem, &t.0).expect("write");
+        assert!(mem.page_count() >= 4, "need several pages to tear");
+        neurospatial_storage::tear_page(&t.0, 1).expect("tear 1");
+        neurospatial_storage::tear_page(&t.0, 3).expect("tear 3");
+        let err = OocFlatIndex::open(&t.0, OocConfig::default()).expect_err("two bad pages");
+        assert_eq!(err, StorageError::BadPages { pages: vec![1, 3] });
+    }
+
+    #[test]
+    fn transient_faults_recover_to_byte_identical_results() {
+        use neurospatial_storage::{FaultFile, FaultPlan};
+        let segs = circuit(10);
+        let mem = build(segs, 16);
+        let t = TempFile(temp_path("transient"));
+        write_flat_index(&mem, &t.0).expect("write");
+        // Every read window faults, bursts up to 2 — the default
+        // 4-attempt policy always recovers.
+        let plan = FaultPlan::new(11).with_transient_permille(1000).with_max_consecutive(2);
+        let ooc = OocFlatIndex::open_with(&t.0, OocConfig::default().with_frame_budget(2), |f| {
+            Arc::new(FaultFile::new(f, plan))
+        })
+        .expect("open recovers transient faults during validation");
+        let q = Aabb::cube(mem.bounds().center(), 60.0);
+        let (want, _) = mem.range_query(&q);
+        let mut scratch = OocScratch::default();
+        let mut got = Vec::new();
+        let stats = ooc.range_query_into(&q, &mut scratch, &mut got).expect("query recovers");
+        assert_eq!(got.len(), want.len());
+        assert!(got.iter().zip(&want).all(|(a, b)| a == *b), "byte-identical despite faults");
+        assert!(stats.io.retries > 0, "the fault storm forced retries");
+        assert_eq!(stats.io.pages_quarantined, 0);
+        assert!(ooc.quarantined_pages().is_empty());
+    }
+
+    #[test]
+    fn partial_mode_skips_quarantined_pages_and_labels_the_result() {
+        use neurospatial_storage::{FaultFile, FaultPlan};
+        let segs = circuit(10);
+        let mem = build(segs, 8);
+        let t = TempFile(temp_path("partial"));
+        write_flat_index(&mem, &t.0).expect("write");
+        assert!(mem.page_count() >= 3);
+        let plan = FaultPlan::new(5).with_corrupt_pages(vec![1]);
+        let lazy = OocConfig { validate_pages: false, ..OocConfig::default() };
+        let ooc = OocFlatIndex::open_with(&t.0, lazy, |f| Arc::new(FaultFile::new(f, plan)))
+            .expect("lazy open");
+        let q = ooc.bounds();
+        let mut scratch = OocScratch::default();
+
+        // Strict mode: typed failure, page quarantined.
+        let mut out = Vec::new();
+        let err = ooc.range_query_into(&q, &mut scratch, &mut out).expect_err("strict fails");
+        assert_eq!(err, StorageError::PageChecksum { page: 1 });
+        assert_eq!(ooc.quarantined_pages(), vec![1]);
+
+        // Partial mode: completes, labels the loss, and returns exactly
+        // the objects of the surviving pages in crawl order.
+        let mut got = Vec::new();
+        let stats = ooc
+            .range_query_stream_partial(
+                &q,
+                &mut scratch,
+                true,
+                |_| {},
+                |s| {
+                    got.push(*s);
+                    Flow::Emit
+                },
+            )
+            .expect("partial completes");
+        assert_eq!(stats.io.pages_quarantined, 1);
+        let lost: Vec<u64> = mem.page_objects(1).iter().map(|s| s.id).collect();
+        let (all, _) = mem.range_query(&q);
+        assert_eq!(got.len(), all.len() - lost.len(), "lost exactly page 1's objects");
+        assert!(got.iter().all(|s| !lost.contains(&s.id)));
     }
 }

@@ -41,9 +41,9 @@ pub mod client;
 pub mod protocol;
 pub mod server;
 
-pub use client::{Client, ClientError};
+pub use client::{retry_request, Client, ClientError, RetryPolicy};
 pub use protocol::{
-    PlanWire, ProtocolError, QueryDesc, Request, Response, TenantTotals, WalkSummary,
+    HealthReport, PlanWire, ProtocolError, QueryDesc, Request, Response, TenantTotals, WalkSummary,
 };
 pub use server::{
     serve_with, FilterRegistry, ServerConfig, ServerHandle, ServerMetrics, ServerPredicate,

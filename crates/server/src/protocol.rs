@@ -44,6 +44,7 @@ pub const OP_TOUCHING: u8 = 0x04;
 pub const OP_WALKTHROUGH: u8 = 0x05;
 pub const OP_EXPLAIN: u8 = 0x06;
 pub const OP_STATS: u8 = 0x07;
+pub const OP_HEALTH: u8 = 0x08;
 
 // Response opcodes.
 pub const OP_SEGMENT_CHUNK: u8 = 0x81;
@@ -56,11 +57,23 @@ pub const OP_STATS_RESULT: u8 = 0x87;
 pub const OP_ERROR: u8 = 0x88;
 pub const OP_BUSY: u8 = 0x89;
 pub const OP_WALK_RESULT: u8 = 0x8A;
+pub const OP_HEALTH_RESULT: u8 = 0x8B;
+/// A stream cut short by the server's per-request time budget: takes the
+/// place of `DONE`, carrying the statistics of the work actually done.
+/// Everything streamed before it is valid but incomplete.
+pub const OP_TIMEOUT: u8 = 0x8C;
 
 // QueryDesc presence flags.
 pub const FLAG_POPULATION: u8 = 1;
 pub const FLAG_FILTER: u8 = 2;
 pub const FLAG_LIMIT: u8 = 4;
+/// Accept partial results from a degraded (quarantined-page) database;
+/// a pure flag — no payload bytes follow it.
+pub const FLAG_PARTIAL: u8 = 8;
+
+// HealthReport flag bits.
+pub const HEALTH_PAGED: u8 = 1;
+pub const HEALTH_DEGRADED: u8 = 2;
 
 // Application error codes carried by `OP_ERROR` frames.
 pub const ERR_UNKNOWN_POPULATION: u16 = 1;
@@ -68,6 +81,8 @@ pub const ERR_UNKNOWN_FILTER: u16 = 2;
 pub const ERR_PROTOCOL: u16 = 3;
 pub const ERR_UNSUPPORTED: u16 = 4;
 pub const ERR_INTERNAL: u16 = 5;
+/// The query needed quarantined pages and did not set `FLAG_PARTIAL`.
+pub const ERR_DEGRADED: u16 = 6;
 
 /// Why a frame failed to decode. Decoders return these — they never
 /// panic, whatever the bytes.
@@ -117,6 +132,10 @@ pub struct QueryDesc {
     pub filter_id: Option<u32>,
     /// Stop the traversal after this many results (`FLAG_LIMIT`).
     pub limit: Option<u32>,
+    /// Accept labeled partial results from a degraded paged database
+    /// (`FLAG_PARTIAL`); the loss is reported in
+    /// `QueryStats::pages_quarantined` on the `DONE` frame.
+    pub allow_partial: bool,
 }
 
 /// [`QueryDesc`] with the population name borrowed from the read buffer
@@ -127,6 +146,7 @@ pub struct QueryDescView<'a> {
     pub population: Option<&'a str>,
     pub filter_id: Option<u32>,
     pub limit: Option<u32>,
+    pub allow_partial: bool,
 }
 
 impl QueryDescView<'_> {
@@ -138,6 +158,7 @@ impl QueryDescView<'_> {
             population: self.population.map(str::to_string),
             filter_id: self.filter_id,
             limit: self.limit,
+            allow_partial: self.allow_partial,
         }
     }
 }
@@ -153,6 +174,7 @@ impl QueryDesc {
             population: self.population.as_deref(),
             filter_id: self.filter_id,
             limit: self.limit,
+            allow_partial: self.allow_partial,
         }
     }
 }
@@ -180,6 +202,9 @@ pub enum Request {
     Explain(Box<Request>),
     /// Per-tenant accounting snapshot: one `STATS_RESULT` frame.
     Stats { tenant: u32 },
+    /// Serving-health probe (quarantine / degraded state): one
+    /// `HEALTH_RESULT` frame. No payload.
+    Health,
 }
 
 /// A decoded request borrowing its variable-length fields from the read
@@ -195,6 +220,7 @@ pub enum RequestView<'a> {
     Walkthrough { tenant: u32, method: WalkthroughMethod, path: NavigationPath },
     Explain(Box<RequestView<'a>>),
     Stats { tenant: u32 },
+    Health,
 }
 
 impl RequestView<'_> {
@@ -216,10 +242,11 @@ impl RequestView<'_> {
             }
             RequestView::Explain(inner) => Request::Explain(Box::new((*inner).into_owned())),
             RequestView::Stats { tenant } => Request::Stats { tenant },
+            RequestView::Health => Request::Health,
         }
     }
 
-    /// The tenant this request bills to.
+    /// The tenant this request bills to (`HEALTH` carries none: 0).
     pub fn tenant(&self) -> u32 {
         match self {
             RequestView::Range { desc, .. }
@@ -228,6 +255,7 @@ impl RequestView<'_> {
             | RequestView::Touching { desc, .. } => desc.tenant,
             RequestView::Walkthrough { tenant, .. } | RequestView::Stats { tenant } => *tenant,
             RequestView::Explain(inner) => inner.tenant(),
+            RequestView::Health => 0,
         }
     }
 }
@@ -258,6 +286,20 @@ pub struct TenantTotals {
     pub nodes_read: u64,
     pub objects_tested: u64,
     pub reseeds: u64,
+}
+
+/// The server's serving-health snapshot, as reported by `HEALTH`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HealthReport {
+    /// Whether the served database is paged (quarantine state only
+    /// exists for paged backends).
+    pub paged: bool,
+    /// At least one page has been quarantined: strict queries touching
+    /// those pages fail with [`ERR_DEGRADED`], everything else serves
+    /// normally.
+    pub degraded: bool,
+    /// The quarantined page indices, ascending.
+    pub quarantined: Vec<u64>,
 }
 
 /// A walkthrough replay's summary statistics in wire form.
@@ -301,6 +343,12 @@ pub enum Response {
     /// read; the server closes the socket after sending it.
     Busy,
     Walkthrough(WalkSummary),
+    /// Serving-health snapshot (quarantine / degraded state).
+    Health(HealthReport),
+    /// The per-request time budget expired mid-stream: everything
+    /// already streamed is valid but the result set is incomplete. Takes
+    /// the place of `Done`, carrying the work actually performed.
+    Timeout(QueryStats),
 }
 
 // ---------------------------------------------------------------------
@@ -474,6 +522,9 @@ fn put_desc(out: &mut Vec<u8>, desc: &QueryDescView<'_>) {
     if desc.limit.is_some() {
         flags |= FLAG_LIMIT;
     }
+    if desc.allow_partial {
+        flags |= FLAG_PARTIAL;
+    }
     out.push(flags);
     if let Some(name) = desc.population {
         put_str(out, name);
@@ -489,13 +540,14 @@ fn put_desc(out: &mut Vec<u8>, desc: &QueryDescView<'_>) {
 fn read_desc<'a>(rd: &mut Rd<'a>) -> Result<QueryDescView<'a>, ProtocolError> {
     let tenant = rd.u32()?;
     let flags = rd.u8()?;
-    if flags & !(FLAG_POPULATION | FLAG_FILTER | FLAG_LIMIT) != 0 {
+    if flags & !(FLAG_POPULATION | FLAG_FILTER | FLAG_LIMIT | FLAG_PARTIAL) != 0 {
         return Err(ProtocolError::Malformed("unknown QueryDesc flag bits"));
     }
     let population = if flags & FLAG_POPULATION != 0 { Some(rd.str()?) } else { None };
     let filter_id = if flags & FLAG_FILTER != 0 { Some(rd.u32()?) } else { None };
     let limit = if flags & FLAG_LIMIT != 0 { Some(rd.u32()?) } else { None };
-    Ok(QueryDescView { tenant, population, filter_id, limit })
+    let allow_partial = flags & FLAG_PARTIAL != 0;
+    Ok(QueryDescView { tenant, population, filter_id, limit, allow_partial })
 }
 
 /// Append a range-request frame without an owned [`Request`] — the
@@ -565,6 +617,7 @@ pub fn encode_request(req: &Request, out: &mut Vec<u8>) {
                 put_f64(out, path.view_radius);
             }
             Request::Stats { tenant } => put_u32(out, *tenant),
+            Request::Health => {}
             Request::Explain(inner) => {
                 out.push(request_opcode(inner));
                 body(inner, out);
@@ -586,6 +639,7 @@ pub fn request_opcode(req: &Request) -> u8 {
         Request::Walkthrough { .. } => OP_WALKTHROUGH,
         Request::Explain(_) => OP_EXPLAIN,
         Request::Stats { .. } => OP_STATS,
+        Request::Health => OP_HEALTH,
     }
 }
 
@@ -634,10 +688,14 @@ fn decode_request_inner<'a>(
             })
         }
         OP_STATS => Ok(RequestView::Stats { tenant: rd.u32()? }),
+        OP_HEALTH => Ok(RequestView::Health),
         OP_EXPLAIN if explainable => {
             let inner_op = rd.u8()?;
             if inner_op == OP_STATS {
                 return Err(ProtocolError::Malformed("EXPLAIN cannot wrap STATS"));
+            }
+            if inner_op == OP_HEALTH {
+                return Err(ProtocolError::Malformed("EXPLAIN cannot wrap HEALTH"));
             }
             let inner = decode_request_inner(inner_op, rd, false)?;
             Ok(RequestView::Explain(Box::new(inner)))
@@ -693,6 +751,8 @@ fn put_stats(out: &mut Vec<u8>, stats: &QueryStats) {
     put_u64(out, stats.cache_hits);
     put_u64(out, stats.cache_misses);
     put_u64(out, stats.cache_evictions);
+    put_u64(out, stats.retries);
+    put_u64(out, stats.pages_quarantined);
 }
 
 fn read_stats(rd: &mut Rd<'_>) -> Result<QueryStats, ProtocolError> {
@@ -704,6 +764,8 @@ fn read_stats(rd: &mut Rd<'_>) -> Result<QueryStats, ProtocolError> {
         cache_hits: rd.u64()?,
         cache_misses: rd.u64()?,
         cache_evictions: rd.u64()?,
+        retries: rd.u64()?,
+        pages_quarantined: rd.u64()?,
     })
 }
 
@@ -808,6 +870,31 @@ pub fn encode_busy(out: &mut Vec<u8>) {
     end_frame(out, at);
 }
 
+/// Append a serving-health answer.
+pub fn encode_health(h: &HealthReport, out: &mut Vec<u8>) {
+    let at = begin_frame(out, OP_HEALTH_RESULT);
+    let mut flags = 0u8;
+    if h.paged {
+        flags |= HEALTH_PAGED;
+    }
+    if h.degraded {
+        flags |= HEALTH_DEGRADED;
+    }
+    out.push(flags);
+    put_u32(out, h.quarantined.len() as u32);
+    for page in &h.quarantined {
+        put_u64(out, *page);
+    }
+    end_frame(out, at);
+}
+
+/// Append the budget-expired terminator (in place of `DONE`).
+pub fn encode_timeout(stats: &QueryStats, out: &mut Vec<u8>) {
+    let at = begin_frame(out, OP_TIMEOUT);
+    put_stats(out, stats);
+    end_frame(out, at);
+}
+
 /// Append a walkthrough summary.
 pub fn encode_walk(w: &WalkSummary, out: &mut Vec<u8>) {
     let at = begin_frame(out, OP_WALK_RESULT);
@@ -834,6 +921,8 @@ pub fn encode_response(resp: &Response, out: &mut Vec<u8>) {
         Response::Error { code, message } => encode_error(*code, message, out),
         Response::Busy => encode_busy(out),
         Response::Walkthrough(w) => encode_walk(w, out),
+        Response::Health(h) => encode_health(h, out),
+        Response::Timeout(stats) => encode_timeout(stats, out),
     }
 }
 
@@ -967,6 +1056,23 @@ pub fn decode_response(opcode: u8, payload: &[u8]) -> Result<Response, ProtocolE
             prefetched: rd.u64()?,
             useful_prefetched: rd.u64()?,
         }),
+        OP_HEALTH_RESULT => {
+            let flags = rd.u8()?;
+            if flags & !(HEALTH_PAGED | HEALTH_DEGRADED) != 0 {
+                return Err(ProtocolError::Malformed("unknown health flag bits"));
+            }
+            let n = rd.count(8)?;
+            let mut quarantined = Vec::with_capacity(n);
+            for _ in 0..n {
+                quarantined.push(rd.u64()?);
+            }
+            Response::Health(HealthReport {
+                paged: flags & HEALTH_PAGED != 0,
+                degraded: flags & HEALTH_DEGRADED != 0,
+                quarantined,
+            })
+        }
+        OP_TIMEOUT => Response::Timeout(read_stats(&mut rd)?),
         other => return Err(ProtocolError::UnknownOpcode(other)),
     };
     rd.finish()?;

@@ -40,7 +40,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::{mpsc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A server-registered predicate, shareable across worker threads.
 pub type ServerPredicate = dyn Fn(&NeuronSegment) -> bool + Send + Sync;
@@ -89,6 +89,21 @@ pub struct ServerConfig {
     /// Idle-read poll interval: how often parked workers re-check the
     /// shutdown flag. Bounds shutdown latency, not request latency.
     pub poll: Duration,
+    /// Ceiling on wall-clock spent reading a *single frame* once its
+    /// first byte has arrived (a connection may idle between frames
+    /// indefinitely). A client that trickles a frame byte-by-byte — the
+    /// slow-loris shape — is evicted when the ceiling trips, freeing the
+    /// worker.
+    pub read_deadline: Duration,
+    /// Write timeout on the response socket: a client that stops
+    /// draining its receive window is disconnected instead of pinning
+    /// the worker.
+    pub write_deadline: Duration,
+    /// Per-request execution budget. A range stream that exceeds it is
+    /// cut short: the segments already encoded are sent, terminated by a
+    /// typed `TIMEOUT` frame (in place of `DONE`) carrying the partial
+    /// stats.
+    pub request_budget: Duration,
 }
 
 impl Default for ServerConfig {
@@ -99,6 +114,9 @@ impl Default for ServerConfig {
             queue: 16,
             chunk: p::SEGMENT_CHUNK,
             poll: Duration::from_millis(25),
+            read_deadline: Duration::from_secs(2),
+            write_deadline: Duration::from_secs(5),
+            request_budget: Duration::from_secs(5),
         }
     }
 }
@@ -193,11 +211,25 @@ pub fn serve_with<R>(
         drop(tx); // workers exit once the acceptor's clone is gone
 
         let handle = ServerHandle { addr, metrics: &metrics, stop: &shared.stop };
+
+        // Shutdown must fire even if the callback panics — otherwise the
+        // scope would join workers that never see the stop flag and the
+        // unwind deadlocks instead of propagating.
+        struct StopGuard<'a> {
+            stop: &'a AtomicBool,
+            addr: std::net::SocketAddr,
+        }
+        impl Drop for StopGuard<'_> {
+            fn drop(&mut self) {
+                self.stop.store(true, Ordering::Release);
+                // Unblock a parked `accept` with a throwaway connection.
+                let _ = TcpStream::connect(self.addr);
+            }
+        }
+        let guard = StopGuard { stop: &shared.stop, addr };
         let result = f(&handle);
 
-        shared.stop.store(true, Ordering::Release);
-        // Unblock a parked `accept` with a throwaway connection.
-        let _ = TcpStream::connect(addr);
+        drop(guard);
         let _ = acceptor.join();
         result
     });
@@ -264,14 +296,30 @@ fn worker_loop<'db>(shared: &Shared<'db>, rx: &Mutex<Receiver<TcpStream>>) {
 /// frames. Returns `Ok(false)` on clean end-of-stream or shutdown
 /// *before any byte* when `idle` (frame-boundary) reads are allowed to
 /// give up.
+///
+/// The `deadline` bounds wall-clock from the first byte of this read to
+/// its completion — a connection may sit idle between frames forever,
+/// but once a frame has started arriving it must finish within the
+/// deadline or the connection is evicted (`TimedOut`). This is the
+/// slow-loris defense: trickling one byte per poll interval no longer
+/// pins a worker.
 fn read_full(
     stream: &mut TcpStream,
     buf: &mut [u8],
     stop: &AtomicBool,
     idle: bool,
+    deadline: Duration,
 ) -> io::Result<bool> {
     let mut off = 0;
+    // The clock starts when the read stops being idle: immediately for
+    // mid-frame (body) reads, at the first byte for header reads.
+    let mut started: Option<Instant> = if idle { None } else { Some(Instant::now()) };
     while off < buf.len() {
+        if let Some(start) = started {
+            if start.elapsed() > deadline {
+                return Err(io::ErrorKind::TimedOut.into());
+            }
+        }
         match stream.read(&mut buf[off..]) {
             Ok(0) => {
                 return if off == 0 && idle {
@@ -280,7 +328,10 @@ fn read_full(
                     Err(io::ErrorKind::UnexpectedEof.into())
                 }
             }
-            Ok(n) => off += n,
+            Ok(n) => {
+                off += n;
+                started.get_or_insert_with(Instant::now);
+            }
             Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
                 if stop.load(Ordering::Acquire) && off == 0 && idle {
                     return Ok(false);
@@ -305,10 +356,12 @@ fn serve_connection<'db>(
 ) -> io::Result<()> {
     stream.set_nodelay(true)?;
     stream.set_read_timeout(Some(shared.cfg.poll))?;
+    stream.set_write_timeout(Some(shared.cfg.write_deadline))?;
+    let deadline = shared.cfg.read_deadline;
     loop {
         // Frame header.
         let mut header = [0u8; 4];
-        if !read_full(&mut stream, &mut header, &shared.stop, true)? {
+        if !read_full(&mut stream, &mut header, &shared.stop, true, deadline)? {
             return Ok(()); // clean EOF or shutdown at a frame boundary
         }
         let len = u32::from_le_bytes(header) as usize;
@@ -320,7 +373,7 @@ fn serve_connection<'db>(
             return Ok(());
         }
         read_buf.resize(len, 0);
-        if !read_full(&mut stream, read_buf, &shared.stop, false)? {
+        if !read_full(&mut stream, read_buf, &shared.stop, false, deadline)? {
             return Ok(());
         }
         let (opcode, payload) = (read_buf[0], &read_buf[1..]);
@@ -404,20 +457,35 @@ fn serve_request<'db>(
             if !bind_session(session, shared, desc, out) {
                 return;
             }
-            let (segments, stats) = session.range(region);
-            for chunk in segments.chunks(shared.cfg.chunk.max(1)) {
-                p::encode_segment_chunk(chunk, out);
+            let deadline = Instant::now() + shared.cfg.request_budget;
+            match session
+                .try_range_budgeted(region, desc.allow_partial, || Instant::now() < deadline)
+            {
+                Ok((segments, stats, completed)) => {
+                    for chunk in segments.chunks(shared.cfg.chunk.max(1)) {
+                        p::encode_segment_chunk(chunk, out);
+                    }
+                    if completed {
+                        p::encode_done(&stats, out);
+                    } else {
+                        p::encode_timeout(&stats, out);
+                    }
+                    account(shared, desc.tenant, &stats);
+                }
+                Err(err) => encode_neuro_error(&err, out),
             }
-            p::encode_done(&stats, out);
-            account(shared, desc.tenant, &stats);
         }
         RequestView::Count { desc, region } => {
             if !bind_session(session, shared, desc, out) {
                 return;
             }
-            let stats = session.count(region);
-            p::encode_count(stats.results, &stats, out);
-            account(shared, desc.tenant, &stats);
+            match session.try_count(region, desc.allow_partial) {
+                Ok(stats) => {
+                    p::encode_count(stats.results, &stats, out);
+                    account(shared, desc.tenant, &stats);
+                }
+                Err(err) => encode_neuro_error(&err, out),
+            }
         }
         RequestView::Knn { desc, p: point, k } => {
             if !bind_session(session, shared, desc, out) {
@@ -437,6 +505,16 @@ fn serve_request<'db>(
             serve_walkthrough(shared, *tenant, *method, path, out);
         }
         RequestView::Explain(inner) => serve_explain(shared, inner, out),
+        RequestView::Health => {
+            let report = match shared.db.paged_index() {
+                Some(paged) => {
+                    let quarantined = paged.quarantined_pages();
+                    p::HealthReport { paged: true, degraded: !quarantined.is_empty(), quarantined }
+                }
+                None => p::HealthReport::default(),
+            };
+            p::encode_health(&report, out);
+        }
         RequestView::Stats { tenant } => {
             let tenants = shared.tenants.lock().expect("tenant lock");
             let acct = tenants.get(tenant).copied().unwrap_or_default();
@@ -576,7 +654,7 @@ fn serve_explain(shared: &Shared<'_>, inner: &RequestView<'_>, out: &mut Vec<u8>
         RequestView::Walkthrough { method, path, .. } => {
             db.query().along_path(path).method(*method).explain()
         }
-        RequestView::Explain(_) | RequestView::Stats { .. } => {
+        RequestView::Explain(_) | RequestView::Stats { .. } | RequestView::Health => {
             p::encode_error(p::ERR_PROTOCOL, "EXPLAIN cannot wrap this opcode", out);
             return;
         }
@@ -602,6 +680,10 @@ fn encode_neuro_error(err: &NeuroError, out: &mut Vec<u8>) {
         NeuroError::WalkthroughUnsupported { .. } => {
             (p::ERR_UNSUPPORTED, "walkthrough requires a paged (FLAT) backend")
         }
+        NeuroError::DegradedResult { .. } => (
+            p::ERR_DEGRADED,
+            "query needs quarantined pages; retry with allow_partial for labeled partial results",
+        ),
         _ => (p::ERR_INTERNAL, "request failed"),
     };
     p::encode_error(code, msg, out);

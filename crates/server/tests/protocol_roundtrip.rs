@@ -39,8 +39,14 @@ where
 }
 
 fn desc() -> impl Strategy<Value = QueryDesc> {
-    (any::<u32>(), opt(name()), opt(any::<u32>()), opt(any::<u32>())).prop_map(
-        |(tenant, population, filter_id, limit)| QueryDesc { tenant, population, filter_id, limit },
+    ((any::<u32>(), opt(name())), (opt(any::<u32>()), opt(any::<u32>()), any::<bool>())).prop_map(
+        |((tenant, population), (filter_id, limit, allow_partial))| QueryDesc {
+            tenant,
+            population,
+            filter_id,
+            limit,
+            allow_partial,
+        },
     )
 }
 
@@ -89,13 +95,14 @@ fn plain_request() -> Union<Request> {
         (any::<u32>(), method(), nav_path())
             .prop_map(|(tenant, method, path)| Request::Walkthrough { tenant, method, path }),
         any::<u32>().prop_map(|tenant| Request::Stats { tenant }),
+        Just(Request::Health),
     ]
 }
 
 fn request() -> impl Strategy<Value = Request> {
     (plain_request(), any::<u8>()).prop_map(|(req, wrap)| {
-        // Explain may wrap anything but Stats (and itself).
-        if wrap % 3 == 0 && !matches!(req, Request::Stats { .. }) {
+        // Explain may wrap anything but Stats and Health (and itself).
+        if wrap % 3 == 0 && !matches!(req, Request::Stats { .. } | Request::Health) {
             Request::Explain(Box::new(req))
         } else {
             req
@@ -108,12 +115,14 @@ fn stats() -> impl Strategy<Value = QueryStats> {
         (any::<u64>(), any::<u64>()),
         (any::<u64>(), any::<u64>()),
         (any::<u64>(), any::<u64>(), any::<u64>()),
+        (any::<u64>(), any::<u64>()),
     )
         .prop_map(
             |(
                 (results, nodes_read),
                 (objects_tested, reseeds),
                 (cache_hits, cache_misses, cache_evictions),
+                (retries, pages_quarantined),
             )| QueryStats {
                 results,
                 nodes_read,
@@ -122,6 +131,8 @@ fn stats() -> impl Strategy<Value = QueryStats> {
                 cache_hits,
                 cache_misses,
                 cache_evictions,
+                retries,
+                pages_quarantined,
             },
         )
 }
@@ -169,6 +180,12 @@ fn response() -> Union<Response> {
             }),
         (any::<u16>(), name()).prop_map(|(code, message)| Response::Error { code, message }),
         Just(Response::Busy),
+        (any::<bool>(), prop::collection::vec(any::<u64>(), 0..6)).prop_map(
+            |(degraded, quarantined)| {
+                Response::Health(p::HealthReport { paged: true, degraded, quarantined })
+            }
+        ),
+        stats().prop_map(Response::Timeout),
         ((any::<u32>(), coord()), ((any::<u64>(), any::<u64>()), (any::<u64>(), any::<u64>())))
             .prop_map(
                 |(
@@ -232,9 +249,12 @@ proptest! {
         let mut bytes = Vec::new();
         p::encode_request(&req, &mut bytes);
         let (opcode, payload) = split(&bytes);
+        if payload.is_empty() {
+            return Ok(()); // HEALTH: nothing to truncate
+        }
         // Every strict prefix of the payload must fail to decode.
         let cut = (payload.len() as f64 * cut) as usize;
-        let err = p::decode_request(opcode, &payload[..cut.min(payload.len().saturating_sub(1))]);
+        let err = p::decode_request(opcode, &payload[..cut.min(payload.len() - 1)]);
         prop_assert!(err.is_err(), "prefix decoded: {:?}", err);
     }
 
@@ -275,7 +295,7 @@ proptest! {
 
 #[test]
 fn unknown_opcodes_are_reported_as_such() {
-    for opcode in [0x00u8, 0x08, 0x42, 0x80, 0x8B, 0xFF] {
+    for opcode in [0x00u8, 0x09, 0x42, 0x80, 0x8D, 0xFF] {
         assert_eq!(
             p::decode_request(opcode, &[]).unwrap_err(),
             ProtocolError::UnknownOpcode(opcode)
@@ -325,6 +345,13 @@ fn explain_cannot_nest_and_cannot_wrap_stats() {
     assert_eq!(
         p::decode_request(opcode, &nested[5..]).unwrap_err(),
         ProtocolError::Malformed("EXPLAIN cannot wrap STATS")
+    );
+
+    let mut nested = Vec::new();
+    p::encode_request(&Request::Explain(Box::new(Request::Health)), &mut nested);
+    assert_eq!(
+        p::decode_request(nested[4], &nested[5..]).unwrap_err(),
+        ProtocolError::Malformed("EXPLAIN cannot wrap HEALTH")
     );
 
     // EXPLAIN(EXPLAIN(...)): splice an explain opcode inside an explain.

@@ -58,6 +58,7 @@ fn server_responses_match_local_execution_on_all_backends() {
                 population: Some("axons"),
                 filter_id: Some(1),
                 limit: Some(7),
+                ..Default::default()
             };
 
             for region in regions() {
@@ -325,4 +326,183 @@ fn protocol_garbage_is_rejected_and_counted() {
         client.count(&plain, &Aabb::cube(Vec3::new(0.0, 0.0, 0.0), 10.0)).expect("count");
     })
     .expect("serve");
+}
+
+/// A zero request budget cuts every non-empty range stream short with a
+/// typed `TIMEOUT` frame: the prefix received is consistent with the
+/// stats on the frame, the error is retryable, and empty streams (no
+/// emissions, so no budget checks) still complete with `DONE`.
+#[test]
+fn zero_budget_cuts_streams_with_a_typed_timeout() {
+    let circuit = circuit();
+    let db = build_db(&circuit, IndexBackend::Flat);
+    let filters = FilterRegistry::new();
+    let cfg = ServerConfig { request_budget: Duration::ZERO, ..Default::default() };
+
+    serve_with(&db, &filters, &cfg, |handle| {
+        let mut client = Client::connect(handle.addr()).expect("connect");
+        let mut segments = Vec::new();
+        let plain = QueryDescView { tenant: 1, ..Default::default() };
+
+        let busy_region = Aabb::cube(circuit.bounds().center(), 1.0e4);
+        let expected = db.query().range(busy_region).collect().expect("local").segments.len();
+        assert!(expected > 1, "test region must hold results for the budget to cut");
+        match client.range(&plain, &busy_region, &mut segments) {
+            Err(err @ ClientError::Timeout { .. }) => {
+                assert!(err.is_retryable(), "timeouts must be retryable");
+                let ClientError::Timeout { stats } = err else { unreachable!() };
+                assert!(stats.results >= 1, "the segment in hand is still delivered");
+                assert_eq!(
+                    segments.len() as u64,
+                    stats.results,
+                    "the streamed prefix matches the timeout frame's stats"
+                );
+            }
+            other => panic!("zero budget should time out, got {other:?}"),
+        }
+
+        // No results -> no budget checks -> a clean DONE.
+        let empty_region = Aabb::cube(Vec3::new(500.0, 500.0, 500.0), 1.0);
+        let stats = client.range(&plain, &empty_region, &mut segments).expect("empty range");
+        assert_eq!(stats.results, 0);
+    })
+    .expect("serve");
+}
+
+/// A connection that starts a frame and then trickles it must be
+/// evicted once `read_deadline` elapses — and the worker it was pinning
+/// must serve the next client.
+#[test]
+fn slow_loris_connections_are_evicted() {
+    use std::io::{Read, Write};
+
+    let circuit = circuit();
+    let db = build_db(&circuit, IndexBackend::Flat);
+    let filters = FilterRegistry::new();
+    let cfg = ServerConfig {
+        workers: 1,
+        queue: 0,
+        poll: Duration::from_millis(5),
+        read_deadline: Duration::from_millis(50),
+        ..Default::default()
+    };
+
+    serve_with(&db, &filters, &cfg, |handle| {
+        let mut loris = std::net::TcpStream::connect(handle.addr()).expect("connect");
+        loris.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout");
+        // Half a frame header, then silence.
+        loris.write_all(&[5, 0]).expect("trickle");
+        let start = std::time::Instant::now();
+        let mut buf = [0u8; 16];
+        match loris.read(&mut buf) {
+            Ok(0) | Err(_) => {} // hung up on us — the eviction
+            Ok(n) => panic!("server answered a half-frame with {n} bytes"),
+        }
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "eviction took {:?}, deadline was 50ms",
+            start.elapsed()
+        );
+
+        // The only worker is free again.
+        let mut client = Client::connect(handle.addr()).expect("connect");
+        client.set_timeout(Some(Duration::from_secs(5))).expect("timeout");
+        let plain = QueryDescView { tenant: 1, ..Default::default() };
+        client
+            .count(&plain, &Aabb::cube(Vec3::new(0.0, 0.0, 0.0), 10.0))
+            .expect("worker serves after evicting the loris");
+    })
+    .expect("serve");
+}
+
+/// Shutdown is a join, not a leak: serve_with must return even when a
+/// client connection is still open — workers notice the stop flag at
+/// the next frame boundary and close cleanly.
+#[test]
+fn shutdown_joins_with_a_live_idle_connection() {
+    let circuit = circuit();
+    let db = build_db(&circuit, IndexBackend::Flat);
+    let filters = FilterRegistry::new();
+
+    let survivor = serve_with(&db, &filters, &ServerConfig::default(), |handle| {
+        let mut client = Client::connect(handle.addr()).expect("connect");
+        let plain = QueryDescView { tenant: 1, ..Default::default() };
+        client.count(&plain, &Aabb::cube(Vec3::new(0.0, 0.0, 0.0), 10.0)).expect("count");
+        handle.shutdown();
+        client // keep the socket open across the shutdown path
+    })
+    .expect("serve_with must return with a connection still open");
+    drop(survivor);
+}
+
+/// The full degradation arc over the wire: a healthy paged server
+/// reports clean HEALTH; after on-disk corruption, the first strict
+/// query fails and quarantines the page, subsequent strict queries get
+/// the typed DEGRADED error, `allow_partial` serves the survivors with
+/// the loss labeled in the stats, and HEALTH names the quarantined page.
+#[test]
+fn health_and_partial_results_survive_a_quarantined_page() {
+    let circuit = CircuitBuilder::new(23).neurons(120).build();
+    let path = std::env::temp_dir().join(format!("nsrv_health_{}.nspf", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let db = NeuroDb::builder()
+        .circuit(&circuit)
+        .backend(IndexBackend::Flat)
+        .page_file(&path)
+        .frame_budget(1)
+        .build()
+        .expect("paged database builds");
+    let pages = db.paged_index().expect("paged").page_count();
+    assert!(pages >= 2, "need at least two pages to quarantine one, got {pages}");
+    let filters = FilterRegistry::new();
+
+    serve_with(&db, &filters, &ServerConfig::default(), |handle| {
+        let mut client = Client::connect(handle.addr()).expect("connect");
+        let mut segments = Vec::new();
+        let plain = QueryDescView { tenant: 1, ..Default::default() };
+        let region = Aabb::cube(circuit.bounds().center(), 1.0e4);
+
+        let health = client.health().expect("health");
+        assert!(health.paged, "paged database must report paged");
+        assert!(!health.degraded && health.quarantined.is_empty(), "healthy at first");
+        let baseline = client.range(&plain, &region, &mut segments).expect("healthy range");
+        assert!(baseline.results > 0);
+
+        // Corrupt one page on disk behind the live server.
+        let victim = (pages / 2) as u64;
+        neurospatial::storage::tear_page(&path, victim).expect("tear");
+
+        // First strict touch fails (checksum) and quarantines the page;
+        // from then on strict queries get the typed DEGRADED error.
+        let first = client.range(&plain, &region, &mut segments);
+        match first {
+            Err(ClientError::Server { code, .. }) => {
+                assert!(
+                    code == p::ERR_INTERNAL || code == p::ERR_DEGRADED,
+                    "unexpected error code {code}"
+                )
+            }
+            other => panic!("strict query over torn page should fail, got {other:?}"),
+        }
+        match client.range(&plain, &region, &mut segments) {
+            Err(ClientError::Server { code, .. }) => assert_eq!(code, p::ERR_DEGRADED),
+            other => panic!("quarantined page should be a typed DEGRADED error, got {other:?}"),
+        }
+
+        // Partial opt-in: the surviving pages serve, the loss is labeled.
+        let partial = QueryDescView { tenant: 1, allow_partial: true, ..Default::default() };
+        let stats = client.range(&partial, &region, &mut segments).expect("partial range");
+        assert!(stats.pages_quarantined >= 1, "loss must be labeled");
+        assert!(
+            stats.results < baseline.results,
+            "partial results should be missing the torn page's segments"
+        );
+
+        // HEALTH now names the quarantined page.
+        let health = client.health().expect("health");
+        assert!(health.paged && health.degraded);
+        assert!(health.quarantined.contains(&victim), "{:?}", health.quarantined);
+    })
+    .expect("serve");
+    let _ = std::fs::remove_file(&path);
 }

@@ -172,6 +172,23 @@ pub enum StorageError {
         /// The pool's frame capacity.
         frames: usize,
     },
+    /// The requested pages sit in the frame pool's quarantine set: a
+    /// previous read failed permanently (bit rot, torn write) and the
+    /// page was fenced off so one bad sector cannot take down the whole
+    /// process. Queries that opt into partial results skip these pages
+    /// instead of failing.
+    Quarantined {
+        /// The quarantined pages the operation touched, ascending.
+        pages: Vec<u64>,
+    },
+    /// Open-time validation swept the whole page array and found these
+    /// corrupt pages. Unlike [`PageChecksum`](Self::PageChecksum) (one
+    /// page, detected lazily) this reports the full blast radius in a
+    /// single pass so operators see every bad page at once.
+    BadPages {
+        /// Every page that failed validation, ascending.
+        pages: Vec<u64>,
+    },
 }
 
 impl std::fmt::Display for StorageError {
@@ -194,6 +211,36 @@ impl std::fmt::Display for StorageError {
             StorageError::FrameBudgetExhausted { frames } => {
                 write!(f, "all {frames} buffer frames are pinned")
             }
+            StorageError::Quarantined { pages } => {
+                write!(f, "quarantined page(s) {pages:?} (permanent read failures)")
+            }
+            StorageError::BadPages { pages } => {
+                write!(f, "{} corrupt page(s): {pages:?}", pages.len())
+            }
+        }
+    }
+}
+
+impl StorageError {
+    /// Whether retrying the failed operation can plausibly succeed.
+    ///
+    /// Transient failures are interrupted/blocked/timed-out OS reads
+    /// (`EINTR`-class errors) and a momentarily exhausted frame budget;
+    /// everything else — corruption, truncation, version skew, missing
+    /// files, quarantine — is permanent and **must not** be retried
+    /// (retrying a checksum failure re-reads the same rotten bytes).
+    /// This classification drives the bounded-retry path in
+    /// [`crate::fault::with_retry`] and the client-side retry policy.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            StorageError::Io { kind, .. } => matches!(
+                kind,
+                std::io::ErrorKind::Interrupted
+                    | std::io::ErrorKind::WouldBlock
+                    | std::io::ErrorKind::TimedOut
+            ),
+            StorageError::FrameBudgetExhausted { .. } => true,
+            _ => false,
         }
     }
 }

@@ -45,8 +45,9 @@
 //! read, which is the stall-hiding effect the SCOUT benchmarks
 //! measure).
 
-use crate::file::{PageFile, StorageError};
-use std::collections::HashMap;
+use crate::fault::PageIo;
+use crate::file::StorageError;
+use std::collections::{HashMap, HashSet};
 use std::ops::Deref;
 use std::sync::{Arc, Condvar, Mutex};
 
@@ -128,6 +129,12 @@ struct Inner {
     /// LRU tick source.
     tick: u64,
     stats: FrameStats,
+    /// Pages that failed permanently: demands are refused with
+    /// [`StorageError::Quarantined`] instead of re-reading known-bad
+    /// bytes, and prefetch skips them. Populated explicitly by the
+    /// engine above (the pool never self-quarantines — a failed load
+    /// may be transient, and retrying it is the caller's decision).
+    quarantined: HashSet<u64>,
 }
 
 /// A pinning buffer pool with a fixed frame budget.
@@ -203,8 +210,44 @@ impl FramePool {
 
     /// Pin `page`, reading it from `file` on a miss. The returned guard
     /// dereferences to the page payload and unpins on drop.
-    pub fn get<'p>(&'p self, page: u64, file: &PageFile) -> Result<FrameGuard<'p>, StorageError> {
+    ///
+    /// `file` is any [`PageIo`] — the production [`crate::PageFile`] or a
+    /// fault-injecting wrapper.
+    pub fn get<'p, F>(&'p self, page: u64, file: &F) -> Result<FrameGuard<'p>, StorageError>
+    where
+        F: PageIo + ?Sized,
+    {
         self.get_with(page, |buf| file.read_page_into(page, buf))
+    }
+
+    /// Move `page` into the quarantine set: subsequent demands fail fast
+    /// with [`StorageError::Quarantined`] and prefetch skips it. Any
+    /// resident unpinned copy is dropped (a pinned copy stays valid for
+    /// its guards and is refused to *new* demands).
+    pub fn quarantine_page(&self, page: u64) {
+        let mut inner = self.lock();
+        if !inner.quarantined.insert(page) {
+            return;
+        }
+        if let Some(&slot) = inner.map.get(&page) {
+            if inner.frames[slot].pins == 0 && !inner.frames[slot].loading {
+                inner.map.remove(&page);
+                inner.frames[slot].data = None;
+                inner.free.push(slot);
+            }
+        }
+    }
+
+    /// Whether `page` is quarantined.
+    pub fn is_quarantined(&self, page: u64) -> bool {
+        self.lock().quarantined.contains(&page)
+    }
+
+    /// The quarantined pages, ascending. Empty in a healthy pool.
+    pub fn quarantined(&self) -> Vec<u64> {
+        let mut pages: Vec<u64> = self.lock().quarantined.iter().copied().collect();
+        pages.sort_unstable();
+        pages
     }
 
     /// Like [`get`](Self::get) with a caller-supplied loader — the hook
@@ -214,6 +257,9 @@ impl FramePool {
         F: FnOnce(&mut Vec<u8>) -> Result<(), StorageError>,
     {
         let mut inner = self.lock();
+        if inner.quarantined.contains(&page) {
+            return Err(StorageError::Quarantined { pages: vec![page] });
+        }
         // Classify hit/miss exactly once, on first observation.
         let mut counted = false;
         loop {
@@ -289,7 +335,10 @@ impl FramePool {
     /// issued, `Ok(false)` if the page was already resident/in flight or
     /// no frame could be reclaimed without waiting (prefetching never
     /// waits and never evicts under pressure it cannot see).
-    pub fn prefetch(&self, page: u64, file: &PageFile) -> Result<bool, StorageError> {
+    pub fn prefetch<F>(&self, page: u64, file: &F) -> Result<bool, StorageError>
+    where
+        F: PageIo + ?Sized,
+    {
         self.prefetch_with(page, |buf| file.read_page_into(page, buf))
     }
 
@@ -299,7 +348,7 @@ impl FramePool {
         F: FnOnce(&mut Vec<u8>) -> Result<(), StorageError>,
     {
         let mut inner = self.lock();
-        if inner.map.contains_key(&page) {
+        if inner.quarantined.contains(&page) || inner.map.contains_key(&page) {
             return Ok(false);
         }
         let slot = match self.acquire_slot(&mut inner) {
@@ -629,6 +678,73 @@ mod tests {
         let s = pool.stats();
         assert_eq!(s.hits + s.misses, 8);
         assert_eq!(s.misses, 1);
+    }
+
+    #[test]
+    fn quarantined_pages_fail_fast_and_are_never_prefetched() {
+        let pool = FramePool::new(4, EvictionPolicy::Clock);
+        drop(pool.get_with(2, load_ok(b"resident")).expect("load"));
+        pool.quarantine_page(2);
+        pool.quarantine_page(2); // idempotent
+        assert!(pool.is_quarantined(2));
+        assert_eq!(pool.quarantined(), vec![2]);
+        assert_eq!(pool.resident(), 0, "the resident copy was dropped");
+        let err = pool
+            .get_with(2, |_| panic!("quarantine must refuse before loading"))
+            .expect_err("quarantined");
+        assert_eq!(err, StorageError::Quarantined { pages: vec![2] });
+        assert!(
+            !pool.prefetch_with(2, |_| panic!("prefetch must skip")).expect("best effort"),
+            "prefetch silently skips quarantined pages"
+        );
+        // Healthy pages are unaffected.
+        assert_eq!(&*pool.get_with(3, load_ok(b"fine")).expect("load"), b"fine");
+    }
+
+    #[test]
+    fn quarantine_keeps_pinned_frames_valid_for_existing_guards() {
+        let pool = FramePool::new(2, EvictionPolicy::Clock);
+        let g = pool.get_with(0, load_ok(b"pinned")).expect("load");
+        pool.quarantine_page(0);
+        assert_eq!(&*g, b"pinned", "existing guards keep their bytes");
+        // New demands are refused even while the old guard lives.
+        assert_eq!(
+            pool.get_with(0, load_ok(b"no")).expect_err("refused"),
+            StorageError::Quarantined { pages: vec![0] }
+        );
+        drop(g);
+    }
+
+    #[test]
+    fn prefetch_yields_silently_while_every_frame_is_pinned() {
+        // Satellite contract: background prefetch against a fully pinned
+        // pool must neither error the foreground query nor deadlock — it
+        // yields, and the stats prove nothing was force-loaded.
+        let pool = Arc::new(FramePool::new(2, EvictionPolicy::Clock));
+        let g0 = pool.get_with(0, load_ok(b"zero")).expect("load");
+        let g1 = pool.get_with(1, load_ok(b"one")).expect("load");
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let pool = Arc::clone(&pool);
+                scope.spawn(move || {
+                    for page in 2..12u64 {
+                        let issued = pool
+                            .prefetch_with(page ^ (t << 32), load_ok(b"never loads"))
+                            .expect("prefetch never errors under pinning pressure");
+                        assert!(!issued, "no frame was reclaimable");
+                    }
+                });
+            }
+        });
+        let s = pool.stats();
+        assert_eq!(s.prefetched, 0, "nothing was loaded");
+        assert_eq!(s.evictions, 0, "nothing was evicted");
+        // The foreground guards were untouched throughout.
+        assert_eq!((&*g0, &*g1), (&b"zero"[..], &b"one"[..]));
+        drop((g0, g1));
+        // Once pins release, prefetch works again.
+        assert!(pool.prefetch_with(2, load_ok(b"pre")).expect("prefetch"));
+        assert_eq!(pool.stats().prefetched, 1);
     }
 
     #[test]

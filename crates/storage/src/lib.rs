@@ -36,12 +36,16 @@
 
 pub mod buffer;
 pub mod disk;
+pub mod fault;
 pub mod file;
 pub mod frame;
 pub mod page;
 
 pub use buffer::BufferPool;
 pub use disk::{CostModel, DiskSim, IoError, IoStats};
+pub use fault::{
+    tear_page, with_retry, with_retry_sleeping, FaultFile, FaultPlan, PageIo, RetryPolicy,
+};
 pub use file::{checksum64, Checksum64, PageFile, PageFileWriter, StorageError};
 pub use file::{FILE_HEADER_BYTES, PAGE_FILE_MAGIC, PAGE_FILE_VERSION, PAGE_HEADER_BYTES};
 pub use frame::{EvictionPolicy, FrameGuard, FramePool, FrameStats};

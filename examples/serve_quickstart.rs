@@ -56,6 +56,7 @@ fn main() {
             population: Some("axons"),
             filter_id: Some(1),
             limit: Some(10),
+            ..QueryDescView::default()
         };
         let stats = client.range(&desc, &region, &mut segments).expect("filtered range");
         println!("pushdown range: {} segments (limit 10)", stats.results);
