@@ -125,7 +125,7 @@ fn main() {
     // via `--scenario=name[,name…]`. Unknown names are an error, not a
     // silent no-op — a typo like `--scenario=hotpth` used to run nothing
     // and exit 0, which in CI reads as "gate passed".
-    const SCENARIOS: [&str; 20] = [
+    const SCENARIOS: [&str; 21] = [
         "e1",
         "e2",
         "e3",
@@ -137,6 +137,7 @@ fn main() {
         "hotpath",
         "ooc",
         "faults",
+        "ingest",
         "join",
         "api",
         "serve",
@@ -208,6 +209,16 @@ fn main() {
             parse_value::<String>(&args, "out").unwrap_or_else(|| "BENCH_faults.json".to_string());
         let strict = args.iter().any(|a| a == "--strict");
         faults_bench(n, queries, seed, &out, strict);
+    }
+    if run("ingest") {
+        let n: usize = parse_value(&args, "n").unwrap_or(20_000);
+        let writes: usize = parse_value(&args, "writes").unwrap_or(4_096);
+        let readers: usize = parse_value(&args, "readers").unwrap_or(2);
+        let seed: u64 = parse_value(&args, "seed").unwrap_or(0x0126_9E57);
+        let out =
+            parse_value::<String>(&args, "out").unwrap_or_else(|| "BENCH_ingest.json".to_string());
+        let strict = args.iter().any(|a| a == "--strict");
+        ingest_bench(n, writes, readers, seed, &out, strict);
     }
     if run("join") {
         let n: usize = parse_value(&args, "n").unwrap_or(20_000);
@@ -1438,6 +1449,140 @@ fn faults_bench(n: usize, query_count: usize, seed: u64, out_path: &str, strict:
     }
     std::fs::remove_file(&file).ok();
 
+    // ---- WAL write-path fault points --------------------------------
+    // The read path above proves queries survive I/O storms; these three
+    // drills prove the *write* path holds its durability contract at the
+    // nastiest points of the lifecycle. Offsets are in bytes through the
+    // fault seam: a fresh build pushes the new file's header append plus
+    // the initial checkpoint image through it, so the op stream starts
+    // at file_len + header.
+    struct WalRow {
+        name: &'static str,
+        pass: bool,
+        recover_ms: f64,
+        detail: String,
+    }
+    let wal_rows: Vec<WalRow> = {
+        use neurospatial::storage::wal::WAL_HEADER_BYTES;
+        let circuit = CircuitBuilder::new(seed % 8192).neurons(6).build();
+        let base_len = circuit.segments().len();
+        let fresh = |id: u64, x: f64| NeuronSegment {
+            id,
+            neuron: 90_000 + id as u32,
+            section: 0,
+            index_on_section: 0,
+            geom: neurospatial::geom::Segment::new(
+                Vec3::new(x, 0.0, 0.0),
+                Vec3::new(x + 1.0, 0.0, 0.0),
+                0.4,
+            ),
+        };
+        let wal_path = |tag: &str| {
+            std::env::temp_dir()
+                .join(format!("neurospatial-bench-wal-{tag}-{}.wal", std::process::id()))
+        };
+        // Fault-free run: learn the on-disk size right after build, the
+        // base every crash/flip offset is measured from.
+        let build_len = {
+            let p = wal_path("measure");
+            let db = NeuroDb::builder().circuit(&circuit).durable(&p).build().expect("live");
+            drop(db);
+            let len = std::fs::metadata(&p).expect("wal exists").len();
+            std::fs::remove_file(&p).ok();
+            len
+        };
+        let ops_start = build_len + WAL_HEADER_BYTES as u64;
+        let mut rows = Vec::new();
+
+        // Drill 1 — torn tail: the log dies 10 bytes into the first
+        // batch. The write must error (no ack), and recovery must
+        // detect the tear, truncate it, and replay nothing.
+        {
+            let p = wal_path("torn");
+            let plan = FaultPlan::new(seed).with_write_crash_at(ops_start + 10);
+            let write_err = {
+                let db = NeuroDb::builder()
+                    .circuit(&circuit)
+                    .durable(&p)
+                    .wal_faults(plan)
+                    .build()
+                    .expect("crash point is past the build");
+                db.insert_segment(fresh(700_000, 50.0)).is_err()
+            };
+            let t = Instant::now();
+            let db = NeuroDb::builder().segments(vec![]).durable(&p).build().expect("recover");
+            let recover_ms = t.elapsed().as_secs_f64() * 1e3;
+            let h = db.wal_health().expect("live");
+            let pass =
+                write_err && h.recovered_torn_tail && h.replayed_ops == 0 && db.len() == base_len;
+            rows.push(WalRow {
+                name: "torn_tail",
+                pass,
+                recover_ms,
+                detail: format!(
+                    "write_errored={write_err} torn={} replayed={}",
+                    h.recovered_torn_tail, h.replayed_ops
+                ),
+            });
+            std::fs::remove_file(&p).ok();
+        }
+
+        // Drill 2 — checksum flip inside a *committed* record: the
+        // write acks over the silent corruption, and the reopen must
+        // refuse the log with a typed error — never quietly truncate
+        // acked history.
+        {
+            let p = wal_path("flip");
+            let plan = FaultPlan::new(seed).with_write_flip(ops_start + 25, 0x20);
+            let acked = {
+                let db = NeuroDb::builder()
+                    .circuit(&circuit)
+                    .durable(&p)
+                    .wal_faults(plan)
+                    .build()
+                    .expect("flips do not fail the build");
+                db.insert_segment(fresh(700_001, 60.0)).is_ok()
+            };
+            let t = Instant::now();
+            let reopen = NeuroDb::builder().segments(vec![]).durable(&p).build();
+            let recover_ms = t.elapsed().as_secs_f64() * 1e3;
+            let refused = matches!(reopen, Err(NeuroError::Storage(_)));
+            rows.push(WalRow {
+                name: "flip_committed",
+                pass: acked && refused,
+                recover_ms,
+                detail: format!("acked={acked} reopen_refused={refused}"),
+            });
+            std::fs::remove_file(&p).ok();
+        }
+
+        // Drill 3 — crash between commit and ack: the batch is durable
+        // but the caller never hears back. Recovery must replay it —
+        // the client-side at-most-once retry policy (never resend an
+        // ack-unknown write) is what keeps this from double-applying.
+        {
+            let p = wal_path("unacked");
+            {
+                let db = NeuroDb::builder().circuit(&circuit).durable(&p).build().expect("live");
+                db.insert_segment(fresh(700_002, 70.0)).expect("committed");
+                // Process dies here: no checkpoint, the ack never left.
+            }
+            let t = Instant::now();
+            let db = NeuroDb::builder().segments(vec![]).durable(&p).build().expect("recover");
+            let recover_ms = t.elapsed().as_secs_f64() * 1e3;
+            let h = db.wal_health().expect("live");
+            let replayed = h.replayed_ops == 1 && db.len() == base_len + 1;
+            rows.push(WalRow {
+                name: "commit_without_ack",
+                pass: replayed,
+                recover_ms,
+                detail: format!("replayed={} len_delta={}", h.replayed_ops, db.len() - base_len),
+            });
+            std::fs::remove_file(&p).ok();
+        }
+        rows
+    };
+
     let mut t = Table::new([
         "fault rate",
         "prefetch",
@@ -1464,6 +1609,18 @@ fn faults_bench(n: usize, query_count: usize, seed: u64, out_path: &str, strict:
     }
     t.print();
 
+    println!("\nWAL write-path fault points:");
+    let mut wt = Table::new(["fault point", "pass", "recover ms", "detail"]);
+    for r in &wal_rows {
+        wt.row([
+            r.name.to_string(),
+            r.pass.to_string(),
+            format!("{:.3}", r.recover_ms),
+            r.detail.clone(),
+        ]);
+    }
+    wt.print();
+
     let json_rows: Vec<String> = rows
         .iter()
         .map(|r| {
@@ -1486,17 +1643,29 @@ fn faults_bench(n: usize, query_count: usize, seed: u64, out_path: &str, strict:
             )
         })
         .collect();
+    let wal_json: Vec<String> = wal_rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"fault_point\": {:?}, \"pass\": {}, \"recover_ms\": {:.4}, \
+                 \"detail\": {:?}}}",
+                r.name, r.pass, r.recover_ms, r.detail
+            )
+        })
+        .collect();
     let json = format!(
         concat!(
             "{{\n  \"scenario\": \"faults\",\n  \"segments\": {},\n  \"pages\": {},\n",
-            "  \"frames\": {},\n  \"queries\": {},\n  \"seed\": {},\n  \"configs\": [\n{}\n  ]\n}}\n"
+            "  \"frames\": {},\n  \"queries\": {},\n  \"seed\": {},\n  \"configs\": [\n{}\n  ],\n",
+            "  \"wal\": [\n{}\n  ]\n}}\n"
         ),
         mem.len(),
         pages,
         frames,
         boxes.len(),
         seed,
-        json_rows.join(",\n")
+        json_rows.join(",\n"),
+        wal_json.join(",\n")
     );
     std::fs::write(out_path, json).expect("write BENCH json");
     println!("\nwrote {out_path}");
@@ -1504,17 +1673,239 @@ fn faults_bench(n: usize, query_count: usize, seed: u64, out_path: &str, strict:
     let exact_all = rows.iter().all(|r| r.exact);
     let quarantined: u64 = rows.iter().map(|r| r.quarantined).sum();
     let storm_retries: u64 = rows.iter().filter(|r| r.permille == 50).map(|r| r.retries).sum();
+    let wal_all = wal_rows.iter().all(|r| r.pass);
     println!(
         "\nshape check: byte-identical recovery in every lane (exact: {exact_all}), \
          {quarantined} pages quarantined (acceptance: 0), \
-         {storm_retries} retries absorbed at the 5% rate (acceptance: > 0)."
+         {storm_retries} retries absorbed at the 5% rate (acceptance: > 0), \
+         WAL fault points held (acceptance: all 3): {wal_all}."
     );
     // Under --strict (the CI bench-smoke gate) the bar is enforced, not
-    // just printed: all three checks are deterministic given the seed.
-    if strict && (!exact_all || quarantined != 0 || storm_retries == 0) {
+    // just printed: all four checks are deterministic given the seed.
+    if strict && (!exact_all || quarantined != 0 || storm_retries == 0 || !wal_all) {
         eprintln!(
             "faults --strict: acceptance bar FAILED (exact {exact_all}, quarantined \
-             {quarantined}, retries at 5% {storm_retries})"
+             {quarantined}, retries at 5% {storm_retries}, wal {wal_all})"
+        );
+        std::process::exit(1);
+    }
+}
+
+/// INGEST — sustained durable writes racing concurrent readers across
+/// background re-freezes.
+///
+/// One writer drives single-op durable inserts (every 8th op removes an
+/// earlier insert) into a live WAL-backed database while `readers`
+/// threads query non-stop: one fixed region over the frozen base —
+/// whose answer must never change, catching any torn snapshot swap —
+/// and the band the writer is filling. A maintenance poller re-freezes
+/// whenever the delta passes `writes / 8` pending ops, so the run
+/// crosses several atomic base swaps.
+///
+/// Reported: acked inserts/s, ack p50/p99, query p50/p99 *during*
+/// ingest, and swap count. Under `--strict` (the CI bench-smoke gate):
+/// at least one background swap, every base-region read byte-identical,
+/// the final state exact, and query p99 bounded (< 100 ms) across the
+/// swaps.
+fn ingest_bench(n: usize, writes: usize, readers: usize, seed: u64, out_path: &str, strict: bool) {
+    use std::sync::atomic::AtomicBool;
+
+    println!("\n== INGEST — durable writes vs concurrent readers across swaps ==\n");
+
+    let mut neurons = 4u32;
+    let circuit = loop {
+        let c = jagged_circuit(neurons, 13);
+        if c.segments().len() >= n || neurons >= 4096 {
+            break c;
+        }
+        neurons *= 2;
+    };
+    let mut segments = circuit.segments().to_vec();
+    segments.truncate(n);
+    let base_len = segments.len();
+
+    let wal =
+        std::env::temp_dir().join(format!("neurospatial-bench-ingest-{}.wal", std::process::id()));
+    std::fs::remove_file(&wal).ok();
+    let threshold = (writes / 8).max(64);
+    let db = NeuroDb::builder()
+        .segments(segments)
+        .durable(&wal)
+        .refreeze_threshold(threshold)
+        .build()
+        .expect("live database");
+
+    // The writer fills a band far outside the base data; the base
+    // region's answer is therefore an invariant every reader can check
+    // on every single read, across every swap.
+    let base_region = Aabb::cube(db.bounds().center(), 40.0);
+    let base_truth = db.range_query(&base_region).sorted_ids();
+    let band = |i: u64| Vec3::new(50_000.0 + (i % 512) as f64 * 4.0, (i / 512) as f64 * 4.0, 0.0);
+    let band_region = Aabb::cube(Vec3::new(51_000.0, 2_000.0, 0.0), 10_000.0);
+    let fresh = |i: u64| {
+        let p = band(i);
+        NeuronSegment {
+            id: 10_000_000 + i,
+            neuron: 100_000 + i as u32,
+            section: 0,
+            index_on_section: i as u32,
+            geom: neurospatial::geom::Segment::new(p, p + Vec3::new(1.5, 0.0, 0.5), 0.3),
+        }
+    };
+    println!(
+        "{base_len} base segments, {writes} durable writes (1 remove per 8 inserts), \
+         {readers} readers, refreeze threshold {threshold}, seed {seed:#x}"
+    );
+
+    struct Ingest {
+        acks: usize,
+        ack_ms: Vec<f64>,
+        write_s: f64,
+        read_ms: Vec<f64>,
+        reads: u64,
+        base_exact: bool,
+        expect_live: Vec<u64>,
+    }
+    let out = db.with_ingest_maintenance(Duration::from_millis(1), |db| {
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for _ in 0..readers.max(1) {
+                handles.push(scope.spawn(|| {
+                    let mut lat = Vec::new();
+                    let (mut reads, mut exact) = (0u64, true);
+                    while !stop.load(Ordering::Acquire) {
+                        let t = Instant::now();
+                        let got = db.range_query(&base_region).sorted_ids();
+                        lat.push(t.elapsed().as_secs_f64() * 1e3);
+                        exact &= got == base_truth;
+                        let t = Instant::now();
+                        db.range_query(&band_region);
+                        lat.push(t.elapsed().as_secs_f64() * 1e3);
+                        reads += 2;
+                    }
+                    (lat, reads, exact)
+                }));
+            }
+
+            let mut ack_ms = Vec::with_capacity(writes);
+            let mut live: Vec<u64> = Vec::new();
+            let started = Instant::now();
+            for i in 0..writes as u64 {
+                if i % 8 == 7 {
+                    // Remove a seed-picked earlier insert: the delta sees
+                    // both sides of the lifecycle, not just growth.
+                    let at = (seed.wrapping_mul(i | 1) >> 7) as usize % live.len();
+                    let id = live.swap_remove(at);
+                    let t = Instant::now();
+                    db.remove_segment(id).expect("acked remove");
+                    ack_ms.push(t.elapsed().as_secs_f64() * 1e3);
+                } else {
+                    let t = Instant::now();
+                    db.insert_segment(fresh(i)).expect("acked insert");
+                    ack_ms.push(t.elapsed().as_secs_f64() * 1e3);
+                    live.push(10_000_000 + i);
+                }
+            }
+            let write_s = started.elapsed().as_secs_f64();
+            stop.store(true, Ordering::Release);
+
+            let (mut read_ms, mut reads, mut base_exact) = (Vec::new(), 0u64, true);
+            for h in handles {
+                let (lat, r, exact) = h.join().expect("reader");
+                read_ms.extend(lat);
+                reads += r;
+                base_exact &= exact;
+            }
+            live.sort_unstable();
+            Ingest { acks: writes, ack_ms, write_s, read_ms, reads, base_exact, expect_live: live }
+        })
+    });
+
+    // Swaps observed, then the final-state check after one last freeze
+    // folds the remaining delta in.
+    let swaps = db.wal_health().expect("live").epoch;
+    db.refreeze().expect("final freeze");
+    let mut band_ids = db.range_query(&band_region).sorted_ids();
+    band_ids.retain(|id| *id >= 10_000_000);
+    let final_exact =
+        band_ids == out.expect_live && db.range_query(&base_region).sorted_ids() == base_truth;
+    std::fs::remove_file(&wal).ok();
+
+    let pct = |v: &mut Vec<f64>, p: f64| {
+        v.sort_by(f64::total_cmp);
+        if v.is_empty() {
+            0.0
+        } else {
+            v[((v.len() - 1) as f64 * p) as usize]
+        }
+    };
+    let (mut ack_ms, mut read_ms) = (out.ack_ms, out.read_ms);
+    let (ack_p50, ack_p99) = (pct(&mut ack_ms, 0.50), pct(&mut ack_ms, 0.99));
+    let (q_p50, q_p99) = (pct(&mut read_ms, 0.50), pct(&mut read_ms, 0.99));
+    let writes_per_sec = out.acks as f64 / out.write_s.max(1e-9);
+
+    let mut t = Table::new([
+        "writes/s",
+        "ack p50 ms",
+        "ack p99 ms",
+        "query p50 ms",
+        "query p99 ms",
+        "reads",
+        "swaps",
+        "base exact",
+        "final exact",
+    ]);
+    t.row([
+        f1(writes_per_sec),
+        format!("{ack_p50:.3}"),
+        format!("{ack_p99:.3}"),
+        format!("{q_p50:.4}"),
+        format!("{q_p99:.4}"),
+        out.reads.to_string(),
+        swaps.to_string(),
+        out.base_exact.to_string(),
+        final_exact.to_string(),
+    ]);
+    t.print();
+
+    let json = format!(
+        concat!(
+            "{{\n  \"scenario\": \"ingest\",\n  \"base_segments\": {},\n  \"writes\": {},\n",
+            "  \"readers\": {},\n  \"refreeze_threshold\": {},\n  \"seed\": {},\n",
+            "  \"writes_per_sec\": {:.1},\n  \"ack_p50_ms\": {:.4},\n  \"ack_p99_ms\": {:.4},\n",
+            "  \"query_p50_ms\": {:.4},\n  \"query_p99_ms\": {:.4},\n  \"reads\": {},\n",
+            "  \"swaps\": {},\n  \"base_reads_exact\": {},\n  \"final_exact\": {}\n}}\n"
+        ),
+        base_len,
+        out.acks,
+        readers,
+        threshold,
+        seed,
+        writes_per_sec,
+        ack_p50,
+        ack_p99,
+        q_p50,
+        q_p99,
+        out.reads,
+        swaps,
+        out.base_exact,
+        final_exact,
+    );
+    std::fs::write(out_path, json).expect("write BENCH json");
+    println!("\nwrote {out_path}");
+
+    println!(
+        "\nshape check: {swaps} background swaps (acceptance: >= 1), base-region reads \
+         byte-identical across swaps: {}, final state exact: {final_exact}, query p99 \
+         {q_p99:.3} ms (acceptance: < 100 ms).",
+        out.base_exact
+    );
+    if strict && (swaps < 1 || !out.base_exact || !final_exact || q_p99 >= 100.0) {
+        eprintln!(
+            "ingest --strict: acceptance bar FAILED (swaps {swaps}, base_exact {}, \
+             final_exact {final_exact}, query p99 {q_p99:.3} ms)",
+            out.base_exact
         );
         std::process::exit(1);
     }

@@ -6,6 +6,7 @@
 //! `from_segments(cfg)` constructor (hardcoded FLAT, hardcoded even/odd
 //! split, tuple returns, panics) survives only as a deprecated shim.
 
+use crate::delta::{self, DeltaBuffer, WriteOp};
 use crate::error::NeuroError;
 use crate::index::{
     IndexBackend, IndexParams, Neighbor, QueryOutput, QueryScratch, QueryStats, SpatialIndex,
@@ -14,19 +15,21 @@ use crate::paged::PagedFlatIndex;
 use crate::query::Query;
 use crate::shard::ShardedIndex;
 use neurospatial_flat::{FlatBuildParams, FlatIndex};
-use neurospatial_geom::{Aabb, Vec3};
+use neurospatial_geom::{Aabb, Swap, Vec3};
 use neurospatial_model::{Circuit, NavigationPath, NeuronSegment};
 use neurospatial_scout::{
     ExplorationSession, ExtrapolationPrefetcher, HilbertPrefetcher, MarkovPrefetcher, NoPrefetch,
     OocConfig, OocCursor, Prefetcher, QueryTrace, ScoutPrefetcher, SessionConfig, SessionCursor,
     SessionStats,
 };
-use neurospatial_storage::EvictionPolicy;
+use neurospatial_storage::{EvictionPolicy, FaultLog, FaultPlan, FileLog, LogIo, Wal};
 use neurospatial_touch::{JoinResult, SpatialJoin, TouchJoin};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::path::PathBuf;
 use std::str::FromStr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// Tuning knobs of a [`NeuroDb`].
 #[derive(Debug, Clone, Copy)]
@@ -237,6 +240,9 @@ pub struct NeuroDbBuilder {
     paged: bool,
     page_file: Option<PathBuf>,
     ooc: OocConfig,
+    durable: Option<PathBuf>,
+    refreeze_threshold: usize,
+    wal_faults: Option<FaultPlan>,
 }
 
 impl Default for NeuroDbBuilder {
@@ -250,6 +256,9 @@ impl Default for NeuroDbBuilder {
             paged: false,
             page_file: None,
             ooc: OocConfig::default(),
+            durable: None,
+            refreeze_threshold: 1024,
+            wal_faults: None,
         }
     }
 }
@@ -374,6 +383,42 @@ impl NeuroDbBuilder {
         self
     }
 
+    /// Open the database in **durable live-ingest** mode, backed by the
+    /// write-ahead log at `path`.
+    ///
+    /// If the log already holds history (a previous session's checkpoint
+    /// and/or committed writes), the database recovers from it and the
+    /// builder's data source is ignored — the WAL is the source of truth
+    /// on reopen, and recovery reconstructs exactly the acknowledged
+    /// prefix. On a fresh log the builder's segments become the initial
+    /// checkpoint.
+    ///
+    /// Live databases accept [`insert_segment`](NeuroDb::insert_segment)
+    /// / [`remove_segment`](NeuroDb::remove_segment); queries merge the
+    /// frozen base with the in-memory delta. Incompatible with
+    /// [`paged`](Self::paged); walkthroughs are unsupported in live mode
+    /// (they need the frozen page space).
+    pub fn durable<P: Into<PathBuf>>(mut self, path: P) -> Self {
+        self.durable = Some(path.into());
+        self
+    }
+
+    /// How many buffered write ops trigger a background re-freeze when
+    /// [`maybe_refreeze`](NeuroDb::maybe_refreeze) polls (default 1024).
+    /// Only meaningful with [`durable`](Self::durable).
+    pub fn refreeze_threshold(mut self, ops: usize) -> Self {
+        self.refreeze_threshold = ops.max(1);
+        self
+    }
+
+    /// Route WAL writes through a fault-injection plan (crash at a byte
+    /// offset, bit flips) — the chaos-test and `--scenario=faults` knob.
+    /// Only meaningful with [`durable`](Self::durable).
+    pub fn wal_faults(mut self, plan: FaultPlan) -> Self {
+        self.wal_faults = Some(plan);
+        self
+    }
+
     /// Two named populations split by `pred` (`true` → `first`), replacing
     /// the default even/odd neuron split.
     pub fn split_populations<S1, S2, F>(mut self, first: S1, second: S2, pred: F) -> Self
@@ -438,6 +483,59 @@ impl NeuroDbBuilder {
             // sharded layout.
             config.shards = config.shards.max(2);
         }
+        if self.durable.is_some() && self.paged {
+            return Err(NeuroError::InvalidConfig(
+                "durable (live) mode and paged (out-of-core) mode are mutually exclusive".into(),
+            ));
+        }
+        // Durable mode: recover from the WAL before anything else. When
+        // the log holds history the recovered state *replaces* the
+        // builder's data source — the WAL is the source of truth on
+        // reopen, so recovery reconstructs exactly the acknowledged
+        // prefix regardless of what the caller passed in.
+        let mut live_wal: Option<(Wal, LiveRecovery)> = None;
+        let segments = if let Some(wal_path) = &self.durable {
+            let log: Box<dyn LogIo> = {
+                let file = FileLog::open(wal_path)?;
+                match &self.wal_faults {
+                    Some(plan) => Box::new(FaultLog::new(file, plan.clone())),
+                    None => Box::new(file),
+                }
+            };
+            let (mut wal, recovery) = Wal::open_log(log)?;
+            let recovered = recovery.snapshot.is_some() || !recovery.ops.is_empty();
+            let mut effective = match &recovery.snapshot {
+                Some(bytes) => delta::decode_snapshot(bytes)?,
+                None if recovered => Vec::new(),
+                None => segments,
+            };
+            let replayed = recovery.ops.len() as u64;
+            let ops: Vec<WriteOp> = recovery
+                .ops
+                .iter()
+                .map(|bytes| delta::decode_op(bytes))
+                .collect::<Result<_, _>>()?;
+            delta::apply_ops(&mut effective, &ops);
+            if !recovered {
+                // Fresh log: pin the initial dataset as the base
+                // checkpoint so replay is bounded from the first write.
+                wal.checkpoint(&delta::encode_snapshot(&effective))?;
+            } else if replayed > 0 {
+                // Fold the replayed tail into a new checkpoint — the next
+                // open replays nothing.
+                wal.checkpoint(&delta::encode_snapshot(&effective))?;
+            }
+            live_wal = Some((
+                wal,
+                LiveRecovery {
+                    replayed_ops: replayed,
+                    recovered_torn_tail: recovery.truncated_tail,
+                },
+            ));
+            effective
+        } else {
+            segments
+        };
         let populations = self.populations.partition(&segments);
         // Built once here so lookups stay O(1) forever after: population
         // names resolve through a map instead of a linear scan, and each
@@ -489,6 +587,18 @@ impl NeuroDbBuilder {
                 population_of_id,
             });
         }
+        if let Some((wal, recovery)) = live_wal {
+            let core =
+                LiveCore::new(wal, recovery, segments, backend, &params, self.refreeze_threshold);
+            return Ok(NeuroDb {
+                index: DbIndex::Live(Box::new(core)),
+                backend,
+                config,
+                populations,
+                population_index,
+                population_of_id,
+            });
+        }
         // FLAT gets the full exploration session (walkthroughs need
         // page-level I/O) whether monolithic or sharded — the sharded
         // executor is itself a `PagedIndex`; the session owns the only
@@ -519,6 +629,162 @@ enum DbIndex {
     ShardedFlat(Box<ExplorationSession<ShardedIndex<FlatIndex<NeuronSegment>>>>),
     Paged(Box<PagedFlatIndex>),
     Boxed(Box<dyn SpatialIndex>),
+    Live(Box<LiveCore>),
+}
+
+/// One frozen generation of a live database: the immutable index plus
+/// the exact segment list it was built from (the refreeze clones this
+/// list, replays the delta over it and builds the next generation).
+struct LiveGen {
+    index: Box<dyn SpatialIndex>,
+    segments: Vec<NeuronSegment>,
+}
+
+/// Writer-side state of a live database, all behind one mutex so writes
+/// are serialized: the WAL (appends + commits + checkpoints) and the id
+/// set validation runs against.
+struct LiveWriter {
+    wal: Wal,
+    /// Ids currently live (base ∪ delta inserts ∖ removals) — what
+    /// duplicate-insert / unknown-remove validation consults.
+    ids: HashSet<u64>,
+}
+
+/// What recovery found when the WAL was opened.
+struct LiveRecovery {
+    replayed_ops: u64,
+    recovered_torn_tail: bool,
+}
+
+/// The live-ingest engine: a frozen base generation behind an atomic
+/// [`Swap`], a mutable [`DeltaBuffer`] overlay, and the WAL writer.
+///
+/// Lock ordering (deadlock freedom): `writer` → `delta.write()` →
+/// `retired`; the generation swap's internal mutex is leaf-level.
+/// Queries take only `delta.read()` → `gen.load()`, which is coherent
+/// because a refreeze installs the new generation *and* clears the
+/// delta while holding `delta.write()` — a reader sees either (old gen,
+/// old delta) or (new gen, empty delta), never a mix.
+struct LiveCore {
+    gen: Swap<LiveGen>,
+    /// Every generation ever installed, append-only, kept alive for the
+    /// database's lifetime — the invariant `index()`'s unsafe lifetime
+    /// extension rests on. Bounded by the number of refreezes.
+    retired: Mutex<Vec<Arc<LiveGen>>>,
+    delta: RwLock<DeltaBuffer>,
+    writer: Mutex<LiveWriter>,
+    backend: IndexBackend,
+    params: IndexParams,
+    sharded: bool,
+    threshold: usize,
+    last_lsn: AtomicU64,
+    wal_bytes: AtomicU64,
+    pending_ops: AtomicU64,
+    checkpoints: AtomicU64,
+    replayed_ops: u64,
+    recovered_torn_tail: bool,
+}
+
+impl LiveCore {
+    fn new(
+        wal: Wal,
+        recovery: LiveRecovery,
+        segments: Vec<NeuronSegment>,
+        backend: IndexBackend,
+        params: &IndexParams,
+        threshold: usize,
+    ) -> Self {
+        let sharded = params.shards > 1;
+        let index = if sharded {
+            backend.build_sharded(segments.clone(), params)
+        } else {
+            backend.build(segments.clone(), params)
+        };
+        let ids: HashSet<u64> = segments.iter().map(|s| s.id).collect();
+        let cell = Self::delta_cell(index.bounds());
+        let first = Arc::new(LiveGen { index, segments });
+        let core = LiveCore {
+            gen: Swap::new(Arc::clone(&first)),
+            retired: Mutex::new(vec![first]),
+            delta: RwLock::new(DeltaBuffer::new(cell)),
+            writer: Mutex::new(LiveWriter { wal, ids }),
+            backend,
+            params: *params,
+            sharded,
+            threshold,
+            last_lsn: AtomicU64::new(0),
+            wal_bytes: AtomicU64::new(0),
+            pending_ops: AtomicU64::new(0),
+            checkpoints: AtomicU64::new(0),
+            replayed_ops: recovery.replayed_ops,
+            recovered_torn_tail: recovery.recovered_torn_tail,
+        };
+        {
+            let writer = core.writer.lock().unwrap_or_else(|p| p.into_inner());
+            core.last_lsn.store(writer.wal.last_lsn(), Ordering::Relaxed);
+            core.wal_bytes.store(writer.wal.bytes(), Ordering::Relaxed);
+            core.checkpoints.store(writer.wal.checkpoints(), Ordering::Relaxed);
+        }
+        core
+    }
+
+    /// Delta grid cell edge: ~1/32 of the base's largest extent, so a
+    /// handful of buffered inserts never fragments into thousands of
+    /// cells, clamped for empty/degenerate bases.
+    fn delta_cell(bounds: Aabb) -> f64 {
+        if bounds.is_empty() {
+            return 1.0;
+        }
+        let e = bounds.extent();
+        let span = e.x.max(e.y).max(e.z);
+        if span.is_finite() && span > 1e-6 {
+            span / 32.0
+        } else {
+            1.0
+        }
+    }
+
+    fn lock_writer(&self) -> std::sync::MutexGuard<'_, LiveWriter> {
+        self.writer.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn read_delta(&self) -> std::sync::RwLockReadGuard<'_, DeltaBuffer> {
+        self.delta.read().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn write_delta(&self) -> std::sync::RwLockWriteGuard<'_, DeltaBuffer> {
+        self.delta.write().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+/// Receipt for a durably committed write batch: the ops hit the WAL and
+/// were fsynced before this was returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteAck {
+    /// LSN of the commit record covering the batch.
+    pub lsn: u64,
+    /// Ops buffered in the delta after this batch (refreeze pressure).
+    pub pending: u64,
+}
+
+/// WAL and ingest health of a live database — what the server's HEALTH
+/// opcode reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WalHealth {
+    /// Highest durably committed LSN.
+    pub last_lsn: u64,
+    /// Current WAL file length in bytes.
+    pub wal_bytes: u64,
+    /// Write ops buffered in the delta (folded in at the next refreeze).
+    pub pending_ops: u64,
+    /// Generation counter — bumps once per background re-freeze + swap.
+    pub epoch: u64,
+    /// Committed ops replayed from the WAL tail when the database opened.
+    pub replayed_ops: u64,
+    /// Whether open found (and truncated) a torn uncommitted tail.
+    pub recovered_torn_tail: bool,
+    /// Checkpoints written over the WAL's lifetime.
+    pub checkpoints: u64,
 }
 
 /// A spatial database over one set of neuron segments.
@@ -572,9 +838,17 @@ impl NeuroDb {
             .expect("legacy construction is infallible")
     }
 
-    /// Number of indexed segments.
+    /// Number of indexed segments. Live databases count the frozen base
+    /// plus the net effect of buffered writes.
     pub fn len(&self) -> usize {
-        self.index().len()
+        match &self.index {
+            DbIndex::Live(core) => {
+                let d = core.read_delta();
+                let base = core.gen.load().index.len() as isize;
+                (base + d.net_len_delta()).max(0) as usize
+            }
+            _ => self.index().len(),
+        }
     }
 
     pub fn is_empty(&self) -> bool {
@@ -586,13 +860,28 @@ impl NeuroDb {
         self.backend
     }
 
-    /// The underlying index, backend-agnostic.
+    /// The underlying index, backend-agnostic. For live databases this
+    /// is the current *frozen base generation* — it excludes writes
+    /// still buffered in the delta (queries through
+    /// [`query`](Self::query) merge both tiers).
     pub fn index(&self) -> &dyn SpatialIndex {
         match &self.index {
             DbIndex::Flat(session) => session.index(),
             DbIndex::ShardedFlat(session) => session.index(),
             DbIndex::Paged(paged) => paged.as_ref(),
             DbIndex::Boxed(b) => b.as_ref(),
+            DbIndex::Live(core) => {
+                let gen = core.gen.load();
+                let ptr: *const dyn SpatialIndex = gen.index.as_ref();
+                // SAFETY: every generation `Arc` ever installed in
+                // `core.gen` (including the initial one) is also pushed
+                // into `core.retired`, which is append-only and dropped
+                // only when `self` drops. The boxed index therefore
+                // lives at a stable heap address for at least `&self`'s
+                // lifetime, even after later swaps retire this
+                // generation from the hot path.
+                unsafe { &*ptr }
+            }
         }
     }
 
@@ -635,13 +924,22 @@ impl NeuroDb {
         match &self.index {
             DbIndex::ShardedFlat(session) => session.index().shard_count(),
             DbIndex::Flat(_) | DbIndex::Paged(_) => 1,
-            DbIndex::Boxed(_) => self.config.shards,
+            DbIndex::Boxed(_) | DbIndex::Live(_) => self.config.shards,
         }
     }
 
-    /// Bounding box of the indexed data.
+    /// Bounding box of the indexed data. Live databases grow the box to
+    /// cover buffered delta inserts as well.
     pub fn bounds(&self) -> Aabb {
-        self.index().bounds()
+        match &self.index {
+            DbIndex::Live(core) => {
+                let d = core.read_delta();
+                let mut b = core.gen.load().index.bounds();
+                d.for_each(|s| b = b.union(&s.aabb()));
+                b
+            }
+            _ => self.index().bounds(),
+        }
     }
 
     /// Open the unified query builder — one composable entry point for
@@ -701,6 +999,229 @@ impl NeuroDb {
     /// `self.query().knn(p, k).collect()`.
     pub fn knn(&self, p: Vec3, k: usize) -> (Vec<Neighbor>, QueryStats) {
         self.query().knn(p, k).collect().expect("no population constraint to fail")
+    }
+
+    /// Whether this database was opened in durable live-ingest mode.
+    pub fn is_live(&self) -> bool {
+        matches!(&self.index, DbIndex::Live(_))
+    }
+
+    /// Durably insert one segment. The returned [`WriteAck`] means the
+    /// op reached the WAL and was fsynced — a crash after this call
+    /// replays it. Errors with [`NeuroError::WriteUnsupported`] on
+    /// non-durable databases and [`NeuroError::WriteRejected`] (nothing
+    /// logged) for duplicate ids or non-finite geometry.
+    pub fn insert_segment(&self, segment: NeuronSegment) -> Result<WriteAck, NeuroError> {
+        self.write_batch(&[WriteOp::Insert(segment)])
+    }
+
+    /// Durably remove the segment with `id` (same ack/error contract as
+    /// [`insert_segment`](Self::insert_segment); removing an id the
+    /// database does not hold is rejected before logging).
+    pub fn remove_segment(&self, id: u64) -> Result<WriteAck, NeuroError> {
+        self.write_batch(&[WriteOp::Remove(id)])
+    }
+
+    /// Durably apply a batch of writes under one group commit (one WAL
+    /// append + one fsync for the whole batch).
+    ///
+    /// All-or-nothing: the batch is validated first (duplicate inserts,
+    /// unknown removals, non-finite geometry → [`NeuroError::WriteRejected`]
+    /// with nothing appended), then logged, committed and only then made
+    /// visible to queries. A commit failure leaves the delta untouched —
+    /// exactly matching replay, which drops uncommitted records.
+    pub fn write_batch(&self, ops: &[WriteOp]) -> Result<WriteAck, NeuroError> {
+        let core = match &self.index {
+            DbIndex::Live(core) => core,
+            _ => return Err(NeuroError::WriteUnsupported),
+        };
+        if ops.is_empty() {
+            return Err(NeuroError::WriteRejected { reason: "empty batch".into() });
+        }
+        let mut writer = core.lock_writer();
+        // Validate against the live id set overlaid with the batch's own
+        // earlier ops, so intra-batch sequences (insert then remove) are
+        // judged in order.
+        let mut overlay: HashMap<u64, bool> = HashMap::new();
+        for op in ops {
+            let id = op.id();
+            let exists = overlay.get(&id).copied().unwrap_or_else(|| writer.ids.contains(&id));
+            match op {
+                WriteOp::Insert(s) => {
+                    if exists {
+                        return Err(NeuroError::WriteRejected {
+                            reason: format!("insert of duplicate id {id}"),
+                        });
+                    }
+                    let finite = [s.geom.p0, s.geom.p1]
+                        .iter()
+                        .all(|v| v.x.is_finite() && v.y.is_finite() && v.z.is_finite())
+                        && s.geom.radius.is_finite()
+                        && s.geom.radius >= 0.0;
+                    if !finite {
+                        return Err(NeuroError::WriteRejected {
+                            reason: format!("segment {id} has non-finite or negative geometry"),
+                        });
+                    }
+                    overlay.insert(id, true);
+                }
+                WriteOp::Remove(_) => {
+                    if !exists {
+                        return Err(NeuroError::WriteRejected {
+                            reason: format!("remove of unknown id {id}"),
+                        });
+                    }
+                    overlay.insert(id, false);
+                }
+            }
+        }
+        for op in ops {
+            writer.wal.append(&delta::encode_op(op));
+        }
+        let lsn = writer.wal.commit()?;
+        // Durable from here on: make the batch visible and ack it.
+        let pending = {
+            let mut d = core.write_delta();
+            for op in ops {
+                d.apply(op);
+            }
+            d.len() as u64
+        };
+        for (id, exists) in overlay {
+            if exists {
+                writer.ids.insert(id);
+            } else {
+                writer.ids.remove(&id);
+            }
+        }
+        core.last_lsn.store(lsn, Ordering::Relaxed);
+        core.wal_bytes.store(writer.wal.bytes(), Ordering::Relaxed);
+        core.pending_ops.store(pending, Ordering::Relaxed);
+        Ok(WriteAck { lsn, pending })
+    }
+
+    /// Fold the delta into a fresh frozen index, atomically swap it in,
+    /// and checkpoint the WAL (bounding future replay to writes newer
+    /// than this call). Queries in flight keep their old snapshot;
+    /// concurrent writes block only for the swap itself, not the index
+    /// build. Returns the new generation epoch; a no-op (empty delta)
+    /// returns the current epoch.
+    ///
+    /// A crash *during* the checkpoint leaves the previous WAL intact
+    /// (the checkpoint replaces the file atomically), so recovery
+    /// replays the old ops over the old snapshot — same state.
+    pub fn refreeze(&self) -> Result<u64, NeuroError> {
+        let core = match &self.index {
+            DbIndex::Live(core) => core,
+            _ => return Err(NeuroError::WriteUnsupported),
+        };
+        // Holding the writer lock for the whole refreeze serializes it
+        // against writes *and* other refreezes; the delta cannot change
+        // underneath the rebuild.
+        let mut writer = core.lock_writer();
+        let (base, ops) = {
+            let d = core.read_delta();
+            if d.is_empty() {
+                return Ok(core.gen.epoch());
+            }
+            (core.gen.load(), d.ops().to_vec())
+        };
+        let mut segments = base.segments.clone();
+        delta::apply_ops(&mut segments, &ops);
+        let index = if core.sharded {
+            core.backend.build_sharded(segments.clone(), &core.params)
+        } else {
+            core.backend.build(segments.clone(), &core.params)
+        };
+        let next = Arc::new(LiveGen { index, segments });
+        {
+            // Install + clear under the delta write lock so readers see
+            // either (old gen, old delta) or (new gen, empty delta).
+            let mut d = core.write_delta();
+            core.retired.lock().unwrap_or_else(|p| p.into_inner()).push(Arc::clone(&next));
+            core.gen.store(Arc::clone(&next));
+            d.clear();
+            core.pending_ops.store(0, Ordering::Relaxed);
+        }
+        writer.wal.checkpoint(&delta::encode_snapshot(&next.segments))?;
+        core.wal_bytes.store(writer.wal.bytes(), Ordering::Relaxed);
+        core.checkpoints.store(writer.wal.checkpoints(), Ordering::Relaxed);
+        Ok(core.gen.epoch())
+    }
+
+    /// Refreeze if the delta has crossed the builder's
+    /// [`refreeze_threshold`](NeuroDbBuilder::refreeze_threshold).
+    /// Returns whether a refreeze ran. The polling half of background
+    /// maintenance — see
+    /// [`with_ingest_maintenance`](Self::with_ingest_maintenance).
+    pub fn maybe_refreeze(&self) -> Result<bool, NeuroError> {
+        if let DbIndex::Live(core) = &self.index {
+            if core.pending_ops.load(Ordering::Relaxed) as usize >= core.threshold {
+                self.refreeze()?;
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    /// Run `f` with a background maintenance thread polling
+    /// [`maybe_refreeze`](Self::maybe_refreeze) every `poll` — the
+    /// scoped-thread idiom the server uses so ingest keeps re-freezing
+    /// while requests are served. The thread stops (and is joined) when
+    /// `f` returns.
+    pub fn with_ingest_maintenance<R>(
+        &self,
+        poll: std::time::Duration,
+        f: impl FnOnce(&Self) -> R,
+    ) -> R {
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(|| {
+                while !stop.load(Ordering::Acquire) {
+                    let _ = self.maybe_refreeze();
+                    std::thread::park_timeout(poll);
+                }
+            });
+            let out = f(self);
+            stop.store(true, Ordering::Release);
+            handle.thread().unpark();
+            out
+        })
+    }
+
+    /// WAL and ingest health (`None` for non-durable databases).
+    pub fn wal_health(&self) -> Option<WalHealth> {
+        match &self.index {
+            DbIndex::Live(core) => Some(WalHealth {
+                last_lsn: core.last_lsn.load(Ordering::Relaxed),
+                wal_bytes: core.wal_bytes.load(Ordering::Relaxed),
+                pending_ops: core.pending_ops.load(Ordering::Relaxed),
+                epoch: core.gen.epoch(),
+                replayed_ops: core.replayed_ops,
+                recovered_torn_tail: core.recovered_torn_tail,
+                checkpoints: core.checkpoints.load(Ordering::Relaxed),
+            }),
+            _ => None,
+        }
+    }
+
+    /// Run `f` over a coherent (base index, delta overlay) pair — the
+    /// query engine's entry point. Non-live databases pass `None` for
+    /// the delta; live databases pin the delta read lock *then* load the
+    /// generation, which the refreeze's install-under-write-lock makes
+    /// a consistent snapshot.
+    pub(crate) fn with_view<R>(
+        &self,
+        f: impl FnOnce(&dyn SpatialIndex, Option<&DeltaBuffer>) -> R,
+    ) -> R {
+        match &self.index {
+            DbIndex::Live(core) => {
+                let d = core.read_delta();
+                let gen = core.gen.load();
+                f(gen.index.as_ref(), Some(&d))
+            }
+            _ => f(self.index(), None),
+        }
     }
 
     /// Compute aggregate tissue statistics for a region (one range query
@@ -870,7 +1391,7 @@ impl NeuroDb {
                 stats.useful_prefetched = after.prefetch_hits - before.prefetch_hits;
                 Ok(stats)
             }
-            DbIndex::Boxed(_) => {
+            DbIndex::Boxed(_) | DbIndex::Live(_) => {
                 Err(NeuroError::WalkthroughUnsupported { backend: self.backend.name().to_string() })
             }
         }
@@ -895,7 +1416,7 @@ impl NeuroDb {
                 stats: SessionStats { method: method.name().to_string(), ..Default::default() },
                 prefetch_hits_at_start: paged.frame_stats().prefetch_hits,
             }),
-            DbIndex::Boxed(_) => {
+            DbIndex::Boxed(_) | DbIndex::Live(_) => {
                 Err(NeuroError::WalkthroughUnsupported { backend: self.backend.name().to_string() })
             }
         }
@@ -1346,5 +1867,242 @@ mod tests {
         let db = NeuroDb::from_segments(c.segments().to_vec(), NeuroDbConfig::default());
         assert_eq!(db.len(), c.segments().len());
         assert_eq!(db.backend(), IndexBackend::Flat);
+    }
+
+    /// Temp WAL path removed on drop — live-mode tests must not leak
+    /// log files between runs.
+    struct WalPath(PathBuf);
+
+    impl WalPath {
+        fn new(tag: &str) -> Self {
+            WalPath(
+                std::env::temp_dir()
+                    .join(format!("neurospatial-db-wal-{tag}-{}.wal", std::process::id())),
+            )
+        }
+    }
+
+    impl Drop for WalPath {
+        fn drop(&mut self) {
+            std::fs::remove_file(&self.0).ok();
+        }
+    }
+
+    fn fresh_segment(id: u64, x: f64) -> NeuronSegment {
+        NeuronSegment {
+            id,
+            neuron: 1000 + id as u32,
+            section: 0,
+            index_on_section: 0,
+            geom: neurospatial_geom::Segment::new(
+                Vec3::new(x, 0.0, 0.0),
+                Vec3::new(x + 1.0, 0.0, 0.0),
+                0.4,
+            ),
+        }
+    }
+
+    #[test]
+    fn frozen_databases_reject_writes() {
+        let (db, c) = db();
+        assert!(!db.is_live());
+        assert!(db.wal_health().is_none());
+        let next_id = c.segments().len() as u64;
+        assert!(matches!(
+            db.insert_segment(fresh_segment(next_id, 0.0)),
+            Err(NeuroError::WriteUnsupported)
+        ));
+        assert!(matches!(db.remove_segment(0), Err(NeuroError::WriteUnsupported)));
+        assert!(matches!(db.refreeze(), Err(NeuroError::WriteUnsupported)));
+        assert!(!db.maybe_refreeze().expect("no-op"));
+    }
+
+    #[test]
+    fn live_writes_are_visible_and_merge_with_base() {
+        let c = CircuitBuilder::new(5).neurons(6).build();
+        let wal = WalPath::new("merge");
+        let db = NeuroDb::builder().circuit(&c).durable(&wal.0).build().expect("live");
+        assert!(db.is_live());
+        let base_len = db.len();
+
+        // Insert far from the data, then query it back.
+        let s = fresh_segment(1_000_000, 5_000.0);
+        let ack = db.insert_segment(s).expect("acked");
+        assert!(ack.lsn > 0);
+        assert_eq!(ack.pending, 1);
+        assert_eq!(db.len(), base_len + 1);
+        let near = Aabb::cube(Vec3::new(5_000.5, 0.0, 0.0), 10.0);
+        assert_eq!(db.range_query(&near).sorted_ids(), vec![1_000_000]);
+        assert!(db.bounds().hi.x >= 5_001.0);
+
+        // Remove a base segment: masked out of queries immediately.
+        let victim = c.segments()[0];
+        db.remove_segment(victim.id).expect("acked");
+        assert_eq!(db.len(), base_len);
+        let around = Aabb::cube(victim.geom.center(), 1.0);
+        assert!(!db.range_query(&around).sorted_ids().contains(&victim.id));
+
+        // KNN sees the delta insert.
+        let (nearest, _) = db.knn(Vec3::new(5_000.5, 0.0, 0.0), 1);
+        assert_eq!(nearest[0].segment.id, 1_000_000);
+
+        // Validation rejects without logging.
+        let lsn_before = db.wal_health().expect("live").last_lsn;
+        assert!(matches!(
+            db.insert_segment(fresh_segment(1_000_000, 0.0)),
+            Err(NeuroError::WriteRejected { .. })
+        ));
+        assert!(matches!(db.remove_segment(victim.id), Err(NeuroError::WriteRejected { .. })));
+        let mut bad = fresh_segment(2_000_000, 0.0);
+        bad.geom.radius = f64::NAN;
+        assert!(matches!(db.insert_segment(bad), Err(NeuroError::WriteRejected { .. })));
+        assert_eq!(db.wal_health().expect("live").last_lsn, lsn_before);
+    }
+
+    #[test]
+    fn live_queries_match_a_rebuilt_frozen_database() {
+        let c = CircuitBuilder::new(7).neurons(6).build();
+        for backend in IndexBackend::ALL {
+            for shards in [1usize, 3] {
+                let wal = WalPath::new(&format!("equiv-{backend}-{shards}"));
+                let db = NeuroDb::builder()
+                    .circuit(&c)
+                    .backend(backend)
+                    .shards(shards)
+                    .threads(2)
+                    .durable(&wal.0)
+                    .build()
+                    .expect("live");
+                // Apply a mixed batch of writes.
+                let mut want = c.segments().to_vec();
+                let ops = vec![
+                    WriteOp::Insert(fresh_segment(900_000, 10.0)),
+                    WriteOp::Remove(c.segments()[3].id),
+                    WriteOp::Insert(fresh_segment(900_001, -20.0)),
+                    WriteOp::Remove(c.segments()[10].id),
+                ];
+                db.write_batch(&ops).expect("acked");
+                delta::apply_ops(&mut want, &ops);
+                let reference = NeuroDb::builder()
+                    .segments(want)
+                    .backend(backend)
+                    .shards(shards)
+                    .threads(2)
+                    .build()
+                    .expect("frozen reference");
+                let q = Aabb::cube(c.bounds().center(), 45.0);
+                assert_eq!(
+                    db.range_query(&q).sorted_ids(),
+                    reference.range_query(&q).sorted_ids(),
+                    "{backend} shards={shards}"
+                );
+                let p = c.segments()[5].geom.center();
+                let ids = |ns: &[Neighbor]| ns.iter().map(|n| n.segment.id).collect::<Vec<_>>();
+                assert_eq!(
+                    ids(&db.knn(p, 9).0),
+                    ids(&reference.knn(p, 9).0),
+                    "{backend} shards={shards} knn"
+                );
+                // After a refreeze the answers are unchanged.
+                let epoch = db.refreeze().expect("refrozen");
+                assert_eq!(epoch, 1);
+                assert_eq!(
+                    db.range_query(&q).sorted_ids(),
+                    reference.range_query(&q).sorted_ids(),
+                    "{backend} shards={shards} post-swap"
+                );
+                assert_eq!(db.wal_health().expect("live").pending_ops, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn recovery_reconstructs_the_acknowledged_prefix() {
+        let c = CircuitBuilder::new(3).neurons(4).build();
+        let wal = WalPath::new("recover");
+        let q = Aabb::cube(c.bounds().center(), 60.0);
+        let want = {
+            let db = NeuroDb::builder().circuit(&c).durable(&wal.0).build().expect("live");
+            db.insert_segment(fresh_segment(500_000, 3.0)).expect("acked");
+            db.remove_segment(c.segments()[1].id).expect("acked");
+            db.range_query(&q).sorted_ids()
+        };
+        // Reopen: the builder's (different) data source is ignored — the
+        // WAL is the source of truth.
+        let reopened = NeuroDb::builder().segments(vec![]).durable(&wal.0).build().expect("live");
+        assert_eq!(reopened.range_query(&q).sorted_ids(), want);
+        let health = reopened.wal_health().expect("live");
+        assert_eq!(health.replayed_ops, 2);
+        assert!(!health.recovered_torn_tail);
+        // The reopen folded the tail into a checkpoint: a third open
+        // replays nothing.
+        drop(reopened);
+        let third = NeuroDb::builder().segments(vec![]).durable(&wal.0).build().expect("live");
+        assert_eq!(third.wal_health().expect("live").replayed_ops, 0);
+        assert_eq!(third.range_query(&q).sorted_ids(), want);
+    }
+
+    #[test]
+    fn crashed_commit_is_not_replayed() {
+        use neurospatial_storage::FaultPlan;
+        let c = CircuitBuilder::new(4).neurons(3).build();
+        let wal = WalPath::new("crash");
+        let q = Aabb::cube(c.bounds().center(), 60.0);
+        // Find the WAL length after the first (acked) write…
+        let (acked_ids, bytes_after_first) = {
+            let db = NeuroDb::builder().circuit(&c).durable(&wal.0).build().expect("live");
+            db.insert_segment(fresh_segment(700_000, 2.0)).expect("acked");
+            (db.range_query(&q).sorted_ids(), db.wal_health().expect("live").wal_bytes)
+        };
+        std::fs::remove_file(&wal.0).expect("reset");
+        // …then crash the log exactly there on a second run: the first
+        // write commits, the second write's records are torn mid-append.
+        {
+            let db = NeuroDb::builder()
+                .circuit(&c)
+                .durable(&wal.0)
+                .wal_faults(FaultPlan::new(7).with_write_crash_at(bytes_after_first + 30))
+                .build()
+                .expect("live");
+            db.insert_segment(fresh_segment(700_000, 2.0)).expect("first write acked");
+            let err = db.insert_segment(fresh_segment(700_001, 9.0));
+            assert!(err.is_err(), "crashed commit must not ack");
+        }
+        let reopened = NeuroDb::builder().segments(vec![]).durable(&wal.0).build().expect("live");
+        assert_eq!(reopened.range_query(&q).sorted_ids(), acked_ids);
+        let health = reopened.wal_health().expect("live");
+        assert!(health.recovered_torn_tail, "torn tail must be detected");
+        assert_eq!(health.replayed_ops, 1, "only the acked write replays");
+    }
+
+    #[test]
+    fn background_maintenance_refreezes_past_the_threshold() {
+        let c = CircuitBuilder::new(6).neurons(3).build();
+        let wal = WalPath::new("maint");
+        let db = NeuroDb::builder()
+            .circuit(&c)
+            .durable(&wal.0)
+            .refreeze_threshold(4)
+            .build()
+            .expect("live");
+        let epoch_after = db.with_ingest_maintenance(std::time::Duration::from_millis(1), |db| {
+            for i in 0..32u64 {
+                db.insert_segment(fresh_segment(800_000 + i, i as f64 * 3.0)).expect("acked");
+            }
+            // Wait for the poller to catch up.
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+            while db.wal_health().expect("live").epoch == 0 {
+                assert!(std::time::Instant::now() < deadline, "maintenance never refroze");
+                std::thread::yield_now();
+            }
+            db.wal_health().expect("live").epoch
+        });
+        assert!(epoch_after >= 1);
+        // Everything is still queryable after however many swaps ran.
+        let q = Aabb::cube(Vec3::new(48.0, 0.0, 0.0), 1_000.0);
+        let out = db.range_query(&q);
+        for i in 0..32u64 {
+            assert!(out.sorted_ids().contains(&(800_000 + i)), "segment {i} lost in swap");
+        }
     }
 }

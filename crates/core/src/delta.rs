@@ -1,0 +1,437 @@
+//! The delta buffer — the mutable tier in front of a frozen index.
+//!
+//! Live ingest never mutates an index in place. Acknowledged writes land
+//! in a [`DeltaBuffer`]: a small grid-bucketed overlay that queries merge
+//! with the frozen *base* generation (delta inserts are a second emitter,
+//! removals mask base hits). When the buffer crosses the refreeze
+//! threshold, a background pass rebuilds base + delta into a fresh index
+//! and swaps it in atomically; the buffer then starts empty again.
+//!
+//! The module also owns the WAL wire format for write operations
+//! ([`WriteOp`] ⇄ bytes) and for checkpoint snapshots, so the storage
+//! crate stays payload-agnostic: a WAL record is opaque bytes down there
+//! and a typed op up here.
+//!
+//! Determinism contract: [`apply_ops`] is the *single* definition of
+//! what a sequence of ops does to a segment list. Refreeze, crash
+//! recovery and the chaos tests' from-scratch reference all run through
+//! it, so "post-recovery state equals a rebuild of the acknowledged
+//! prefix" is checkable byte for byte.
+
+#![warn(missing_docs)]
+
+use crate::error::NeuroError;
+use neurospatial_geom::Aabb;
+use neurospatial_model::NeuronSegment;
+use neurospatial_storage::StorageError;
+use std::collections::{HashMap, HashSet};
+
+/// Serialized size of one [`NeuronSegment`] in WAL payloads — identical
+/// to the wire protocol's segment frame (id, neuron, section,
+/// index-on-section, two endpoints, radius; all little-endian).
+pub const SEGMENT_BYTES: usize = 8 + 4 + 4 + 4 + 24 + 24 + 8;
+
+/// WAL payload tag for an insert op.
+const OP_INSERT: u8 = 1;
+/// WAL payload tag for a remove op.
+const OP_REMOVE: u8 = 2;
+
+/// One logical write against a live database.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WriteOp {
+    /// Add a segment (its `id` must be new).
+    Insert(NeuronSegment),
+    /// Remove the segment with this id (must currently exist).
+    Remove(u64),
+}
+
+impl WriteOp {
+    /// The id this op targets.
+    pub fn id(&self) -> u64 {
+        match self {
+            WriteOp::Insert(s) => s.id,
+            WriteOp::Remove(id) => *id,
+        }
+    }
+}
+
+fn put_segment(out: &mut Vec<u8>, s: &NeuronSegment) {
+    out.extend_from_slice(&s.id.to_le_bytes());
+    out.extend_from_slice(&s.neuron.to_le_bytes());
+    out.extend_from_slice(&s.section.to_le_bytes());
+    out.extend_from_slice(&s.index_on_section.to_le_bytes());
+    for v in [s.geom.p0, s.geom.p1] {
+        out.extend_from_slice(&v.x.to_le_bytes());
+        out.extend_from_slice(&v.y.to_le_bytes());
+        out.extend_from_slice(&v.z.to_le_bytes());
+    }
+    out.extend_from_slice(&s.geom.radius.to_le_bytes());
+}
+
+fn corrupt(what: &str) -> NeuroError {
+    NeuroError::Storage(StorageError::Corrupt(format!("WAL payload: {what}")))
+}
+
+fn read_segment(bytes: &[u8]) -> Result<NeuronSegment, NeuroError> {
+    if bytes.len() < SEGMENT_BYTES {
+        return Err(corrupt("segment truncated"));
+    }
+    let u64_at = |o: usize| u64::from_le_bytes(bytes[o..o + 8].try_into().expect("8 bytes"));
+    let u32_at = |o: usize| u32::from_le_bytes(bytes[o..o + 4].try_into().expect("4 bytes"));
+    let f64_at = |o: usize| f64::from_le_bytes(bytes[o..o + 8].try_into().expect("8 bytes"));
+    let vec3_at = |o: usize| neurospatial_geom::Vec3::new(f64_at(o), f64_at(o + 8), f64_at(o + 16));
+    Ok(NeuronSegment {
+        id: u64_at(0),
+        neuron: u32_at(8),
+        section: u32_at(12),
+        index_on_section: u32_at(16),
+        geom: neurospatial_geom::Segment::new(vec3_at(20), vec3_at(44), f64_at(68)),
+    })
+}
+
+/// Encode one op as a WAL `DATA` payload.
+pub fn encode_op(op: &WriteOp) -> Vec<u8> {
+    match op {
+        WriteOp::Insert(s) => {
+            let mut out = Vec::with_capacity(1 + SEGMENT_BYTES);
+            out.push(OP_INSERT);
+            put_segment(&mut out, s);
+            out
+        }
+        WriteOp::Remove(id) => {
+            let mut out = Vec::with_capacity(9);
+            out.push(OP_REMOVE);
+            out.extend_from_slice(&id.to_le_bytes());
+            out
+        }
+    }
+}
+
+/// Decode a WAL `DATA` payload back into the op it was encoded from.
+pub fn decode_op(bytes: &[u8]) -> Result<WriteOp, NeuroError> {
+    match bytes.first() {
+        Some(&OP_INSERT) => {
+            if bytes.len() != 1 + SEGMENT_BYTES {
+                return Err(corrupt("insert op has wrong length"));
+            }
+            Ok(WriteOp::Insert(read_segment(&bytes[1..])?))
+        }
+        Some(&OP_REMOVE) => {
+            if bytes.len() != 9 {
+                return Err(corrupt("remove op has wrong length"));
+            }
+            Ok(WriteOp::Remove(u64::from_le_bytes(bytes[1..9].try_into().expect("8 bytes"))))
+        }
+        Some(tag) => Err(corrupt(&format!("unknown op tag {tag}"))),
+        None => Err(corrupt("empty op")),
+    }
+}
+
+/// Encode a full segment list as a WAL checkpoint snapshot.
+pub fn encode_snapshot(segments: &[NeuronSegment]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + segments.len() * SEGMENT_BYTES);
+    out.extend_from_slice(&(segments.len() as u64).to_le_bytes());
+    for s in segments {
+        put_segment(&mut out, s);
+    }
+    out
+}
+
+/// Decode a checkpoint snapshot back into its segment list.
+pub fn decode_snapshot(bytes: &[u8]) -> Result<Vec<NeuronSegment>, NeuroError> {
+    if bytes.len() < 8 {
+        return Err(corrupt("snapshot shorter than its count"));
+    }
+    let count = u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes")) as usize;
+    if bytes.len() != 8 + count * SEGMENT_BYTES {
+        return Err(corrupt("snapshot length does not match its count"));
+    }
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        out.push(read_segment(&bytes[8 + i * SEGMENT_BYTES..])?);
+    }
+    Ok(out)
+}
+
+/// Fold a sequence of ops into a segment list — the canonical replay
+/// semantics shared by refreeze, crash recovery and the chaos tests'
+/// reference rebuild. Inserts append; removes are order-preserving
+/// filters, so two paths applying the same ops produce byte-identical
+/// lists.
+pub fn apply_ops(segments: &mut Vec<NeuronSegment>, ops: &[WriteOp]) {
+    for op in ops {
+        match op {
+            WriteOp::Insert(s) => segments.push(*s),
+            WriteOp::Remove(id) => segments.retain(|s| s.id != *id),
+        }
+    }
+}
+
+/// One acknowledged insert parked in the delta until the next refreeze.
+/// `entries` is append-only, so its order *is* acknowledgement order.
+#[derive(Debug, Clone)]
+struct DeltaEntry {
+    /// The inserted segment.
+    seg: NeuronSegment,
+    /// Set when a later remove cancelled this insert.
+    dead: bool,
+}
+
+/// The mutable overlay in front of a frozen base generation.
+///
+/// Holds acknowledged inserts (grid-bucketed by AABB centre so range
+/// queries probe only nearby cells) and a removal mask over base ids.
+/// Cleared wholesale when a refreeze folds it into the next frozen
+/// generation.
+#[derive(Debug)]
+pub struct DeltaBuffer {
+    /// Grid cell edge length for bucketing insert AABB centres.
+    cell: f64,
+    /// Every op applied since the last refreeze, in ack order — the
+    /// refreeze replays exactly this list over the base segments.
+    ops: Vec<WriteOp>,
+    /// Live + dead insert entries, in ack order.
+    entries: Vec<DeltaEntry>,
+    /// id → index into `entries` for the live insert with that id.
+    by_id: HashMap<u64, usize>,
+    /// Ids removed since the last refreeze (masks base hits).
+    removed: HashSet<u64>,
+    /// Grid cell → indices into `entries`.
+    grid: HashMap<(i64, i64, i64), Vec<usize>>,
+    /// Largest half-extent of any buffered insert's AABB — the query
+    /// expansion needed so centre-bucketing never misses an overlap.
+    max_half_extent: f64,
+}
+
+impl DeltaBuffer {
+    /// An empty buffer bucketing at `cell` edge length (clamped to a
+    /// tiny positive value so degenerate bounds cannot divide by zero).
+    pub fn new(cell: f64) -> Self {
+        DeltaBuffer {
+            cell: if cell.is_finite() && cell > 1e-9 { cell } else { 1.0 },
+            ops: Vec::new(),
+            entries: Vec::new(),
+            by_id: HashMap::new(),
+            removed: HashSet::new(),
+            grid: HashMap::new(),
+            max_half_extent: 0.0,
+        }
+    }
+
+    /// Number of ops buffered since the last refreeze.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The buffered ops, in ack order.
+    pub fn ops(&self) -> &[WriteOp] {
+        &self.ops
+    }
+
+    /// Net segment-count change versus the base (inserts minus removes
+    /// that actually hit something).
+    pub fn net_len_delta(&self) -> isize {
+        let live = self.entries.iter().filter(|e| !e.dead).count() as isize;
+        live - self.removed.len() as isize
+    }
+
+    /// Was `id` removed since the last refreeze? Queries use this to
+    /// mask base hits. (A delta insert that was later removed is marked
+    /// dead instead and never consulted here.)
+    pub fn is_removed(&self, id: u64) -> bool {
+        self.removed.contains(&id)
+    }
+
+    /// Does the delta hold a live insert with this id?
+    pub fn contains_insert(&self, id: u64) -> bool {
+        self.by_id.contains_key(&id)
+    }
+
+    fn cell_of(&self, b: &Aabb) -> (i64, i64, i64) {
+        let c = b.center();
+        (
+            (c.x / self.cell).floor() as i64,
+            (c.y / self.cell).floor() as i64,
+            (c.z / self.cell).floor() as i64,
+        )
+    }
+
+    /// Apply one already-validated, already-logged op.
+    pub fn apply(&mut self, op: &WriteOp) {
+        self.ops.push(op.clone());
+        match op {
+            WriteOp::Insert(s) => {
+                let b = s.aabb();
+                let e = b.extent();
+                let half = e.x.max(e.y).max(e.z) * 0.5;
+                if half.is_finite() {
+                    self.max_half_extent = self.max_half_extent.max(half);
+                }
+                let idx = self.entries.len();
+                self.entries.push(DeltaEntry { seg: *s, dead: false });
+                self.by_id.insert(s.id, idx);
+                self.grid.entry(self.cell_of(&b)).or_default().push(idx);
+            }
+            WriteOp::Remove(id) => {
+                if let Some(idx) = self.by_id.remove(id) {
+                    // The remove cancels a buffered insert: the base never
+                    // held this id, so it must NOT join the removal mask —
+                    // a later refreeze would otherwise re-filter nothing,
+                    // but a *recovered* base could legitimately reuse ids.
+                    self.entries[idx].dead = true;
+                } else {
+                    self.removed.insert(*id);
+                }
+            }
+        }
+    }
+
+    /// Visit every live buffered insert whose AABB intersects `region`,
+    /// in ack order. Probes only grid cells the (expanded) region
+    /// covers, falling back to a linear pass when the region spans more
+    /// cells than there are entries.
+    pub fn for_each_in_range(&self, region: &Aabb, mut f: impl FnMut(&NeuronSegment)) {
+        if self.entries.is_empty() {
+            return;
+        }
+        let pad = self.max_half_extent;
+        let lo = (
+            ((region.lo.x - pad) / self.cell).floor() as i64,
+            ((region.lo.y - pad) / self.cell).floor() as i64,
+            ((region.lo.z - pad) / self.cell).floor() as i64,
+        );
+        let hi = (
+            ((region.hi.x + pad) / self.cell).floor() as i64,
+            ((region.hi.y + pad) / self.cell).floor() as i64,
+            ((region.hi.z + pad) / self.cell).floor() as i64,
+        );
+        let cells =
+            (hi.0 - lo.0 + 1) as i128 * (hi.1 - lo.1 + 1) as i128 * (hi.2 - lo.2 + 1) as i128;
+        let mut hits: Vec<usize> = Vec::new();
+        if cells > self.entries.len() as i128 {
+            hits.extend(0..self.entries.len());
+        } else {
+            for x in lo.0..=hi.0 {
+                for y in lo.1..=hi.1 {
+                    for z in lo.2..=hi.2 {
+                        if let Some(bucket) = self.grid.get(&(x, y, z)) {
+                            hits.extend_from_slice(bucket);
+                        }
+                    }
+                }
+            }
+            hits.sort_unstable();
+        }
+        for idx in hits {
+            let e = &self.entries[idx];
+            if !e.dead && e.seg.aabb().intersects(region) {
+                f(&e.seg);
+            }
+        }
+    }
+
+    /// Visit every live buffered insert, in ack order (KNN candidates).
+    pub fn for_each(&self, mut f: impl FnMut(&NeuronSegment)) {
+        for e in &self.entries {
+            if !e.dead {
+                f(&e.seg);
+            }
+        }
+    }
+
+    /// Drop all buffered state (after a refreeze folded it into the new
+    /// frozen generation). The seq counter keeps running.
+    pub fn clear(&mut self) {
+        self.ops.clear();
+        self.entries.clear();
+        self.by_id.clear();
+        self.removed.clear();
+        self.grid.clear();
+        self.max_half_extent = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neurospatial_geom::{Segment, Vec3};
+
+    fn seg(id: u64, x: f64) -> NeuronSegment {
+        NeuronSegment {
+            id,
+            neuron: id as u32,
+            section: 0,
+            index_on_section: 0,
+            geom: Segment::new(Vec3::new(x, 0.0, 0.0), Vec3::new(x + 1.0, 0.0, 0.0), 0.5),
+        }
+    }
+
+    #[test]
+    fn op_codec_round_trips() {
+        for op in [WriteOp::Insert(seg(7, 3.25)), WriteOp::Remove(42)] {
+            let bytes = encode_op(&op);
+            assert_eq!(decode_op(&bytes).expect("round trip"), op);
+        }
+        assert!(decode_op(&[]).is_err());
+        assert!(decode_op(&[9]).is_err());
+        assert!(decode_op(&encode_op(&WriteOp::Remove(1))[..5]).is_err());
+    }
+
+    #[test]
+    fn snapshot_codec_round_trips() {
+        let segs = vec![seg(1, 0.0), seg(2, 10.0), seg(3, -4.5)];
+        let bytes = encode_snapshot(&segs);
+        assert_eq!(decode_snapshot(&bytes).expect("round trip"), segs);
+        assert_eq!(decode_snapshot(&encode_snapshot(&[])).expect("empty"), vec![]);
+        assert!(decode_snapshot(&bytes[..bytes.len() - 1]).is_err());
+        assert!(decode_snapshot(&[1, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn apply_ops_is_order_preserving() {
+        let mut segs = vec![seg(1, 0.0), seg(2, 1.0), seg(3, 2.0)];
+        apply_ops(
+            &mut segs,
+            &[WriteOp::Remove(2), WriteOp::Insert(seg(4, 3.0)), WriteOp::Remove(1)],
+        );
+        let ids: Vec<u64> = segs.iter().map(|s| s.id).collect();
+        assert_eq!(ids, vec![3, 4]);
+    }
+
+    #[test]
+    fn delta_masks_and_emits() {
+        let mut d = DeltaBuffer::new(2.0);
+        assert!(d.is_empty());
+        d.apply(&WriteOp::Insert(seg(10, 0.0)));
+        d.apply(&WriteOp::Insert(seg(11, 100.0)));
+        d.apply(&WriteOp::Remove(3)); // base id
+        assert!(d.is_removed(3) && !d.is_removed(10));
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.net_len_delta(), 1); // +2 inserts, −1 base removal
+
+        // Range emission respects the region and ack order.
+        let near = Aabb::cube(Vec3::new(0.5, 0.0, 0.0), 5.0);
+        let mut got = Vec::new();
+        d.for_each_in_range(&near, |s| got.push(s.id));
+        assert_eq!(got, vec![10]);
+        let everything = Aabb::cube(Vec3::new(50.0, 0.0, 0.0), 200.0);
+        got.clear();
+        d.for_each_in_range(&everything, |s| got.push(s.id));
+        assert_eq!(got, vec![10, 11]);
+
+        // Removing a buffered insert kills it without masking the base.
+        d.apply(&WriteOp::Remove(10));
+        assert!(!d.is_removed(10), "delta-only removals never mask the base");
+        got.clear();
+        d.for_each_in_range(&everything, |s| got.push(s.id));
+        assert_eq!(got, vec![11]);
+
+        d.clear();
+        assert!(d.is_empty() && !d.is_removed(3));
+    }
+}

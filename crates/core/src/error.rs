@@ -39,6 +39,18 @@ pub enum NeuroError {
         /// The quarantined pages the query needed, ascending.
         pages: Vec<u64>,
     },
+    /// A write (`insert_segment` / `remove_segment`) was issued against
+    /// a database opened without [`durable`](crate::NeuroDbBuilder::durable)
+    /// mode. Frozen databases are immutable by construction.
+    WriteUnsupported,
+    /// A write was validated and refused *before* anything was appended
+    /// to the WAL: duplicate insert id, removal of an unknown id, or
+    /// non-finite geometry. Nothing was acknowledged and nothing needs
+    /// to be retried — the request itself is invalid.
+    WriteRejected {
+        /// Human-readable reason naming the offending op.
+        reason: String,
+    },
 }
 
 impl fmt::Display for NeuroError {
@@ -66,6 +78,12 @@ impl fmt::Display for NeuroError {
                 "degraded: query needs quarantined page(s) {pages:?}; \
                  retry with allow_partial to accept labeled partial results"
             ),
+            NeuroError::WriteUnsupported => {
+                write!(f, "writes need a durable database; open with .durable(path)")
+            }
+            NeuroError::WriteRejected { reason } => {
+                write!(f, "write rejected (nothing was logged): {reason}")
+            }
         }
     }
 }

@@ -85,6 +85,7 @@ pub use neurospatial_storage as storage;
 pub use neurospatial_touch as touch;
 
 pub mod db;
+pub mod delta;
 pub mod error;
 pub mod index;
 pub mod paged;
@@ -92,7 +93,11 @@ pub mod prelude;
 pub mod query;
 pub mod shard;
 
-pub use db::{NeuroDb, NeuroDbBuilder, NeuroDbConfig, Population, RegionStats, WalkthroughMethod};
+pub use db::{
+    NeuroDb, NeuroDbBuilder, NeuroDbConfig, Population, RegionStats, WalHealth, WalkthroughMethod,
+    WriteAck,
+};
+pub use delta::WriteOp;
 pub use error::NeuroError;
 pub use index::{
     BackendFactory, BackendRegistry, DynamicRTree, IndexBackend, IndexParams, IndexPlan, Neighbor,

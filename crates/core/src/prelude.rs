@@ -10,8 +10,10 @@
 //! ```
 
 pub use crate::db::{
-    NeuroDb, NeuroDbBuilder, NeuroDbConfig, Population, RegionStats, WalkthroughMethod,
+    NeuroDb, NeuroDbBuilder, NeuroDbConfig, Population, RegionStats, WalHealth, WalkthroughMethod,
+    WriteAck,
 };
+pub use crate::delta::WriteOp;
 pub use crate::error::NeuroError;
 pub use crate::index::{
     BackendRegistry, DynamicRTree, IndexBackend, IndexParams, IndexPlan, Neighbor, QueryOutput,
@@ -40,7 +42,8 @@ pub use neurospatial_scout::{
 };
 
 pub use neurospatial_storage::{
-    BufferPool, CostModel, DiskSim, EvictionPolicy, FrameStats, IoStats, PageId, StorageError,
+    BufferPool, CostModel, DiskSim, EvictionPolicy, FaultPlan, FrameStats, IoStats, PageId,
+    StorageError, Wal, WalRecovery,
 };
 
 pub use neurospatial_touch::{

@@ -99,11 +99,54 @@ fn with_scratch<R>(f: impl FnOnce(&mut QueryScratch) -> R) -> R {
     })
 }
 
+/// Emit the live delta inserts matching `region` after the base
+/// traversal — the second half of the base+delta merge on live
+/// databases. Delta hits respect the same population/filter/limit
+/// pushdown as base hits (a population constraint excludes delta
+/// inserts entirely: membership is assigned at build time, so a
+/// freshly ingested segment belongs to no population until the next
+/// reopen). Returns `false` iff `emit` asked to stop (budget tripped).
+#[allow(clippy::too_many_arguments)]
+fn emit_delta_matches(
+    db: &NeuroDb,
+    delta: &crate::delta::DeltaBuffer,
+    region: &Aabb,
+    population: Option<u32>,
+    filter: Option<&SegmentPredicate<'_>>,
+    remaining: &mut Option<usize>,
+    stats: &mut QueryStats,
+    emit: &mut dyn FnMut(&NeuronSegment) -> bool,
+) -> bool {
+    let mut completed = true;
+    delta.for_each_in_range(region, |s| {
+        if !completed || *remaining == Some(0) {
+            return;
+        }
+        stats.objects_tested += 1;
+        let keep = population.is_none_or(|pi| db.population_of_segment(s.id) == Some(pi))
+            && filter.is_none_or(|f| f(s));
+        if !keep {
+            return;
+        }
+        stats.results += 1;
+        if let Some(r) = remaining {
+            *r -= 1;
+        }
+        if !emit(s) {
+            completed = false;
+        }
+    });
+    completed
+}
+
 /// The shared range executor behind every terminal: one streaming
 /// traversal with population membership, predicate and limit all applied
 /// *below* the index (via [`SpatialIndex::try_for_each_in_range`]),
 /// results delivered to `emit` in the backend's canonical emission
-/// order. In-memory backends cannot fail; the paged backend surfaces
+/// order. On live databases the traversal runs over a coherent
+/// (base, delta) snapshot: removals mask base hits, then the delta's
+/// inserts are emitted after the base in acknowledgement order.
+/// In-memory backends cannot fail; the paged backend surfaces
 /// storage faults as typed errors, or — with `allow_partial` — skips
 /// quarantined pages and labels the loss in `stats.pages_quarantined`.
 #[allow(clippy::too_many_arguments)]
@@ -120,25 +163,46 @@ fn try_run_range(
     if limit == Some(0) {
         return Ok(QueryStats::default());
     }
-    let mut remaining = limit;
-    db.index().try_for_each_in_range(region, scratch, allow_partial, &mut |s| {
-        let keep = population.is_none_or(|pi| db.population_of_segment(s.id) == Some(pi))
-            && filter.is_none_or(|f| f(s));
-        if !keep {
-            return Flow::Skip;
-        }
-        emit(s);
-        match &mut remaining {
-            None => Flow::Emit,
-            Some(r) => {
-                *r -= 1;
-                if *r == 0 {
-                    Flow::Last
-                } else {
-                    Flow::Emit
+    db.with_view(|index, delta| {
+        let mut remaining = limit;
+        let mut stats = index.try_for_each_in_range(region, scratch, allow_partial, &mut |s| {
+            if delta.is_some_and(|d| d.is_removed(s.id)) {
+                return Flow::Skip;
+            }
+            let keep = population.is_none_or(|pi| db.population_of_segment(s.id) == Some(pi))
+                && filter.is_none_or(|f| f(s));
+            if !keep {
+                return Flow::Skip;
+            }
+            emit(s);
+            match &mut remaining {
+                None => Flow::Emit,
+                Some(r) => {
+                    *r -= 1;
+                    if *r == 0 {
+                        Flow::Last
+                    } else {
+                        Flow::Emit
+                    }
                 }
             }
+        })?;
+        if let Some(d) = delta {
+            emit_delta_matches(
+                db,
+                d,
+                region,
+                population,
+                filter,
+                &mut remaining,
+                &mut stats,
+                &mut |s| {
+                    emit(s);
+                    true
+                },
+            );
         }
+        Ok(stats)
     })
 }
 
@@ -158,25 +222,46 @@ fn run_range(
     if limit == Some(0) {
         return QueryStats::default();
     }
-    let mut remaining = limit;
-    db.index().for_each_in_range(region, scratch, &mut |s| {
-        let keep = population.is_none_or(|pi| db.population_of_segment(s.id) == Some(pi))
-            && filter.is_none_or(|f| f(s));
-        if !keep {
-            return Flow::Skip;
-        }
-        emit(s);
-        match &mut remaining {
-            None => Flow::Emit,
-            Some(r) => {
-                *r -= 1;
-                if *r == 0 {
-                    Flow::Last
-                } else {
-                    Flow::Emit
+    db.with_view(|index, delta| {
+        let mut remaining = limit;
+        let mut stats = index.for_each_in_range(region, scratch, &mut |s| {
+            if delta.is_some_and(|d| d.is_removed(s.id)) {
+                return Flow::Skip;
+            }
+            let keep = population.is_none_or(|pi| db.population_of_segment(s.id) == Some(pi))
+                && filter.is_none_or(|f| f(s));
+            if !keep {
+                return Flow::Skip;
+            }
+            emit(s);
+            match &mut remaining {
+                None => Flow::Emit,
+                Some(r) => {
+                    *r -= 1;
+                    if *r == 0 {
+                        Flow::Last
+                    } else {
+                        Flow::Emit
+                    }
                 }
             }
+        });
+        if let Some(d) = delta {
+            emit_delta_matches(
+                db,
+                d,
+                region,
+                population,
+                filter,
+                &mut remaining,
+                &mut stats,
+                &mut |s| {
+                    emit(s);
+                    true
+                },
+            );
         }
+        stats
     })
 }
 
@@ -214,48 +299,77 @@ fn run_knn(
     scratch: &mut QueryScratch,
     out: &mut Vec<Neighbor>,
 ) -> QueryStats {
-    let index = db.index();
-    if population.is_none() && filter.is_none() {
-        return index.knn_into_scratch(p, k, scratch, out);
-    }
-    let mut stats = QueryStats::default();
-    if k == 0 || index.is_empty() {
-        return stats;
-    }
-    let (mut r, far) = knn_radii(index, p, k);
-    let mut hits = std::mem::take(&mut scratch.knn_hits);
-    let mut candidates = std::mem::take(&mut scratch.knn_candidates);
-    loop {
-        hits.clear();
-        let s = index.for_each_in_range(&Aabb::cube(p, r), scratch, &mut |seg| {
-            let keep = population.is_none_or(|pi| db.population_of_segment(seg.id) == Some(pi))
-                && filter.is_none_or(|f| f(seg));
-            if keep {
-                hits.push(*seg);
-                Flow::Emit
-            } else {
-                Flow::Skip
-            }
-        });
-        stats.nodes_read += s.nodes_read;
-        stats.objects_tested += s.objects_tested;
-        stats.reseeds += s.reseeds;
-        candidates.clear();
-        candidates.extend(
-            hits.iter()
-                .map(|s| Neighbor { segment: *s, distance: s.aabb().min_distance_to_point(p) })
-                .filter(|n| n.distance <= r),
-        );
-        if candidates.len() >= k || r >= far {
-            candidates = finish_knn(candidates, k, &mut stats);
-            out.extend_from_slice(&candidates);
-            break;
+    db.with_view(|index, delta| {
+        // An empty delta merges like no delta at all — keep the
+        // byte-identical fast path.
+        let delta = delta.filter(|d| !d.is_empty());
+        if population.is_none() && filter.is_none() && delta.is_none() {
+            return index.knn_into_scratch(p, k, scratch, out);
         }
-        r = (r * 2.0).min(far);
-    }
-    scratch.knn_hits = hits;
-    scratch.knn_candidates = candidates;
-    stats
+        let mut stats = QueryStats::default();
+        if k == 0 || (index.is_empty() && delta.is_none()) {
+            return stats;
+        }
+        let mut hits = std::mem::take(&mut scratch.knn_hits);
+        let mut candidates = std::mem::take(&mut scratch.knn_candidates);
+        candidates.clear();
+        if index.is_empty() {
+            // Nothing frozen yet: every candidate comes from the delta.
+        } else {
+            let (mut r, far) = knn_radii(index, p, k);
+            loop {
+                hits.clear();
+                let s = index.for_each_in_range(&Aabb::cube(p, r), scratch, &mut |seg| {
+                    let keep = !delta.is_some_and(|d| d.is_removed(seg.id))
+                        && population.is_none_or(|pi| db.population_of_segment(seg.id) == Some(pi))
+                        && filter.is_none_or(|f| f(seg));
+                    if keep {
+                        hits.push(*seg);
+                        Flow::Emit
+                    } else {
+                        Flow::Skip
+                    }
+                });
+                stats.nodes_read += s.nodes_read;
+                stats.objects_tested += s.objects_tested;
+                stats.reseeds += s.reseeds;
+                candidates.clear();
+                candidates.extend(
+                    hits.iter()
+                        .map(|s| Neighbor {
+                            segment: *s,
+                            distance: s.aabb().min_distance_to_point(p),
+                        })
+                        .filter(|n| n.distance <= r),
+                );
+                if candidates.len() >= k || r >= far {
+                    break;
+                }
+                r = (r * 2.0).min(far);
+            }
+        }
+        // Every live delta insert is a candidate (the buffer is small by
+        // construction); finish_knn's canonical (distance, id) order then
+        // makes the merged answer exact.
+        if let Some(d) = delta {
+            d.for_each(|seg| {
+                stats.objects_tested += 1;
+                let keep = population.is_none_or(|pi| db.population_of_segment(seg.id) == Some(pi))
+                    && filter.is_none_or(|f| f(seg));
+                if keep {
+                    candidates.push(Neighbor {
+                        segment: *seg,
+                        distance: seg.aabb().min_distance_to_point(p),
+                    });
+                }
+            });
+        }
+        candidates = finish_knn(candidates, k, &mut stats);
+        out.extend_from_slice(&candidates);
+        scratch.knn_hits = hits;
+        scratch.knn_candidates = candidates;
+        stats
+    })
 }
 
 /// What a query *would* do — returned by every builder's `explain()`
@@ -885,29 +999,52 @@ impl<'a> QuerySession<'a> {
         let stats = if *limit == Some(0) {
             QueryStats::default()
         } else {
-            let mut remaining = *limit;
-            db.index().try_for_each_in_range(region, scratch, allow_partial, &mut |s| {
-                let keep = population.is_none_or(|pi| db.population_of_segment(s.id) == Some(pi))
-                    && filter.is_none_or(|f| f(s));
-                if !keep {
-                    return Flow::Skip;
-                }
-                segments.push(*s);
-                if !keep_going() {
-                    completed = false;
-                    return Flow::Last;
-                }
-                match &mut remaining {
-                    None => Flow::Emit,
-                    Some(r) => {
-                        *r -= 1;
-                        if *r == 0 {
-                            Flow::Last
-                        } else {
-                            Flow::Emit
+            db.with_view(|index, delta| {
+                let mut remaining = *limit;
+                let mut stats =
+                    index.try_for_each_in_range(region, scratch, allow_partial, &mut |s| {
+                        if delta.is_some_and(|d| d.is_removed(s.id)) {
+                            return Flow::Skip;
                         }
-                    }
+                        let keep = population
+                            .is_none_or(|pi| db.population_of_segment(s.id) == Some(pi))
+                            && filter.is_none_or(|f| f(s));
+                        if !keep {
+                            return Flow::Skip;
+                        }
+                        segments.push(*s);
+                        if !keep_going() {
+                            completed = false;
+                            return Flow::Last;
+                        }
+                        match &mut remaining {
+                            None => Flow::Emit,
+                            Some(r) => {
+                                *r -= 1;
+                                if *r == 0 {
+                                    Flow::Last
+                                } else {
+                                    Flow::Emit
+                                }
+                            }
+                        }
+                    })?;
+                if let (Some(d), true) = (delta, completed) {
+                    completed = emit_delta_matches(
+                        db,
+                        d,
+                        region,
+                        *population,
+                        *filter,
+                        &mut remaining,
+                        &mut stats,
+                        &mut |s| {
+                            segments.push(*s);
+                            keep_going()
+                        },
+                    );
                 }
+                Ok::<QueryStats, NeuroError>(stats)
             })?
         };
         if let Some(cursor) = cursor {

@@ -28,6 +28,7 @@ pub mod hilbert;
 pub mod morton;
 pub mod parallel;
 pub mod segment;
+pub mod swap;
 pub mod vec3;
 
 pub use aabb::Aabb;
@@ -36,6 +37,7 @@ pub use hilbert::{hilbert_d2xyz, hilbert_xyz2d, HilbertSorter};
 pub use morton::{morton_decode3, morton_encode3};
 pub use parallel::Executor;
 pub use segment::Segment;
+pub use swap::Swap;
 pub use vec3::Vec3;
 
 /// Numerical tolerance used by geometric predicates throughout the

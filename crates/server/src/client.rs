@@ -32,6 +32,11 @@ pub enum ClientError {
     /// The server executed nothing and answered with an application
     /// error frame.
     Server { code: u16, message: String },
+    /// A write was validated and refused before anything reached the
+    /// WAL (`ERR_WRITE_REJECTED`): duplicate id, unknown removal
+    /// target, or non-finite geometry. Deterministic — retrying the
+    /// identical write fails identically, so this is never retryable.
+    WriteRejected { message: String },
     /// A frame that cannot answer the request that was sent (protocol
     /// confusion; the connection should be abandoned).
     Unexpected(u8),
@@ -48,6 +53,9 @@ impl fmt::Display for ClientError {
             }
             ClientError::Server { code, message } => {
                 write!(f, "server error {code}: {message}")
+            }
+            ClientError::WriteRejected { message } => {
+                write!(f, "write rejected (nothing was logged): {message}")
             }
             ClientError::Unexpected(op) => write!(f, "unexpected response opcode 0x{op:02X}"),
         }
@@ -69,10 +77,27 @@ impl ClientError {
                 e.kind(),
                 io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
             ),
-            ClientError::Protocol(_) | ClientError::Server { .. } | ClientError::Unexpected(_) => {
-                false
-            }
+            ClientError::Protocol(_)
+            | ClientError::Server { .. }
+            | ClientError::WriteRejected { .. }
+            | ClientError::Unexpected(_) => false,
         }
+    }
+
+    /// Whether the server *provably did not execute* the request this
+    /// error answers — the precondition for safely resending a write.
+    ///
+    /// Only two shapes qualify: a `BUSY` shed (admission control ran
+    /// before the request was read) and [`WriteRejected`]
+    /// (validation refused the write before anything reached the WAL).
+    /// Everything else — a timeout, a torn connection, a decode failure
+    /// mid-response — leaves the acknowledgement status *unknown*: the
+    /// server may have committed the write and the ack was lost in
+    /// flight. Resending then would double-apply it.
+    ///
+    /// [`WriteRejected`]: ClientError::WriteRejected
+    pub fn write_definitely_not_executed(&self) -> bool {
+        matches!(self, ClientError::Busy | ClientError::WriteRejected { .. })
     }
 }
 
@@ -152,6 +177,42 @@ pub fn retry_request<T>(
         match op(attempt) {
             Ok(v) => return Ok(v),
             Err(e) if e.is_retryable() && attempt + 1 < attempts => {
+                sleep(Duration::from_millis(policy.backoff_ms(salt, attempt)));
+                attempt += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Run a *write* under `policy` with **at-most-once** semantics: an
+/// attempt is retried only when the failure proves the server never
+/// executed it ([`ClientError::write_definitely_not_executed`] — in
+/// practice a `BUSY` shed, which happens before the request is read).
+///
+/// This is deliberately stricter than [`retry_request`]: a read that
+/// times out can be resent freely, but a write whose acknowledgement
+/// status is unknown (timeout, torn connection, garbled response) must
+/// **not** be resent — the commit may have landed and the ack been lost,
+/// and resending would apply the write twice. Such failures return
+/// immediately; the caller reconciles by querying
+/// ([`Client::health`] / a read of the written id) before deciding to
+/// resend.
+///
+/// `sleep` receives each backoff so tests can record instead of
+/// sleeping, exactly as in [`retry_request`].
+pub fn retry_write<T>(
+    policy: &RetryPolicy,
+    salt: u64,
+    mut sleep: impl FnMut(Duration),
+    mut op: impl FnMut(u32) -> Result<T, ClientError>,
+) -> Result<T, ClientError> {
+    let attempts = policy.max_attempts.max(1);
+    let mut attempt = 0;
+    loop {
+        match op(attempt) {
+            Ok(v) => return Ok(v),
+            Err(ClientError::Busy) if attempt + 1 < attempts => {
                 sleep(Duration::from_millis(policy.backoff_ms(salt, attempt)));
                 attempt += 1;
             }
@@ -373,6 +434,40 @@ impl Client {
         }
     }
 
+    /// Durably insert one segment (live servers only). Returns only
+    /// after the server's WAL commit is fsync'd — the returned ack's
+    /// `lsn` is proof the write survives any crash from here on. Any
+    /// error except [`ClientError::Busy`] / [`ClientError::WriteRejected`]
+    /// leaves the ack status unknown; use [`retry_write`], never
+    /// [`retry_request`], to wrap this.
+    pub fn insert(
+        &mut self,
+        tenant: u32,
+        segment: &NeuronSegment,
+    ) -> Result<p::WriteAckWire, ClientError> {
+        self.write_buf.clear();
+        p::encode_insert_request(tenant, segment, &mut self.write_buf);
+        self.send()?;
+        self.read_write_ack()
+    }
+
+    /// Durably remove a segment by id (live servers only). Same
+    /// durability and retry contract as [`insert`](Self::insert).
+    pub fn remove(&mut self, tenant: u32, id: u64) -> Result<p::WriteAckWire, ClientError> {
+        self.write_buf.clear();
+        p::encode_remove_request(tenant, id, &mut self.write_buf);
+        self.send()?;
+        self.read_write_ack()
+    }
+
+    fn read_write_ack(&mut self) -> Result<p::WriteAckWire, ClientError> {
+        let (op, payload) = p::read_frame(&mut self.stream, &mut self.read_buf)?;
+        match op {
+            p::OP_WRITE_ACK => Ok(p::decode_write_ack(payload)?),
+            other => Err(terminal_error(other, payload)),
+        }
+    }
+
     /// The server's serving-health snapshot: whether the database is
     /// paged, whether it is degraded, and which pages are quarantined.
     pub fn health(&mut self) -> Result<HealthReport, ClientError> {
@@ -399,6 +494,9 @@ fn terminal_error(op: u8, payload: &[u8]) -> ClientError {
             Err(e) => ClientError::Protocol(e),
         },
         p::OP_ERROR => match p::decode_response(op, payload) {
+            Ok(p::Response::Error { code, message }) if code == p::ERR_WRITE_REJECTED => {
+                ClientError::WriteRejected { message }
+            }
             Ok(p::Response::Error { code, message }) => ClientError::Server { code, message },
             Ok(_) => ClientError::Unexpected(op),
             Err(e) => ClientError::Protocol(e),
@@ -521,6 +619,78 @@ mod tests {
         );
         assert!(matches!(res, Err(ClientError::Busy)));
         assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn write_rejected_is_never_retryable() {
+        let e = ClientError::WriteRejected { message: "duplicate id".into() };
+        assert!(!e.is_retryable());
+        assert!(e.write_definitely_not_executed(), "rejection happens before the WAL");
+        assert!(ClientError::Busy.write_definitely_not_executed());
+        // Ack-unknown shapes: the commit may have landed.
+        assert!(
+            !ClientError::Timeout { stats: QueryStats::default() }.write_definitely_not_executed()
+        );
+        assert!(!ClientError::Io(io::ErrorKind::TimedOut.into()).write_definitely_not_executed());
+        assert!(!ClientError::Io(io::ErrorKind::BrokenPipe.into()).write_definitely_not_executed());
+    }
+
+    #[test]
+    fn retry_write_retries_busy_only() {
+        let policy = RetryPolicy { max_attempts: 5, base_ms: 10, cap_ms: 500 };
+        // Busy sheds (request never read) retry until success.
+        let mut slept = Vec::new();
+        let mut calls = 0u32;
+        let res = retry_write(
+            &policy,
+            11,
+            |d| slept.push(d),
+            |attempt| {
+                calls += 1;
+                if attempt < 2 {
+                    Err(ClientError::Busy)
+                } else {
+                    Ok(p::WriteAckWire { lsn: 7, pending: 1 })
+                }
+            },
+        );
+        assert_eq!(res.unwrap().lsn, 7);
+        assert_eq!(calls, 3);
+        assert_eq!(slept.len(), 2, "one backoff per Busy shed");
+        for d in &slept {
+            let ms = d.as_millis() as u64;
+            assert!((10..=500).contains(&ms), "backoff {ms}ms escaped [base, cap]");
+        }
+    }
+
+    #[test]
+    fn retry_write_never_resends_on_ack_unknown_failures() {
+        let policy = RetryPolicy { max_attempts: 5, base_ms: 1, cap_ms: 50 };
+        // A timeout is retryable for reads — but for a write the ack
+        // status is unknown, so exactly one attempt is made.
+        for err in [
+            ClientError::Timeout { stats: QueryStats::default() },
+            ClientError::Io(io::ErrorKind::TimedOut.into()),
+            ClientError::Io(io::ErrorKind::BrokenPipe.into()),
+            ClientError::Protocol(ProtocolError::Truncated),
+            ClientError::WriteRejected { message: "dup".into() },
+        ] {
+            let mut calls = 0u32;
+            let mut slept = 0usize;
+            let mut err = Some(err);
+            let res: Result<p::WriteAckWire, _> = retry_write(
+                &policy,
+                2,
+                |_| slept += 1,
+                |_| {
+                    calls += 1;
+                    Err(err.take().expect("called once"))
+                },
+            );
+            assert!(res.is_err());
+            assert_eq!(calls, 1, "ack-unknown failure must not be resent");
+            assert_eq!(slept, 0);
+        }
     }
 
     #[test]

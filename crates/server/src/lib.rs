@@ -41,9 +41,10 @@ pub mod client;
 pub mod protocol;
 pub mod server;
 
-pub use client::{retry_request, Client, ClientError, RetryPolicy};
+pub use client::{retry_request, retry_write, Client, ClientError, RetryPolicy};
 pub use protocol::{
-    HealthReport, PlanWire, ProtocolError, QueryDesc, Request, Response, TenantTotals, WalkSummary,
+    HealthReport, PlanWire, ProtocolError, QueryDesc, Request, Response, TenantTotals, WalWire,
+    WalkSummary, WriteAckWire,
 };
 pub use server::{
     serve_with, FilterRegistry, ServerConfig, ServerHandle, ServerMetrics, ServerPredicate,

@@ -45,6 +45,12 @@ pub const OP_WALKTHROUGH: u8 = 0x05;
 pub const OP_EXPLAIN: u8 = 0x06;
 pub const OP_STATS: u8 = 0x07;
 pub const OP_HEALTH: u8 = 0x08;
+/// Durable insert (live servers only): `u32 tenant` + one 76-byte
+/// segment; answered with one `WRITE_ACK` frame after the WAL commit.
+pub const OP_INSERT: u8 = 0x09;
+/// Durable remove (live servers only): `u32 tenant` + `u64 id`;
+/// answered with one `WRITE_ACK` frame after the WAL commit.
+pub const OP_REMOVE: u8 = 0x0A;
 
 // Response opcodes.
 pub const OP_SEGMENT_CHUNK: u8 = 0x81;
@@ -62,6 +68,10 @@ pub const OP_HEALTH_RESULT: u8 = 0x8B;
 /// place of `DONE`, carrying the statistics of the work actually done.
 /// Everything streamed before it is valid but incomplete.
 pub const OP_TIMEOUT: u8 = 0x8C;
+/// Durability acknowledgement for `INSERT` / `REMOVE`: sent only after
+/// the write's commit record is fsync'd to the WAL. Carries the commit
+/// LSN and the delta ops still pending a re-freeze.
+pub const OP_WRITE_ACK: u8 = 0x8D;
 
 // QueryDesc presence flags.
 pub const FLAG_POPULATION: u8 = 1;
@@ -74,6 +84,13 @@ pub const FLAG_PARTIAL: u8 = 8;
 // HealthReport flag bits.
 pub const HEALTH_PAGED: u8 = 1;
 pub const HEALTH_DEGRADED: u8 = 2;
+/// The served database is live (WAL-backed): a [`WalWire`] block
+/// follows the quarantine list in the `HEALTH_RESULT` payload.
+pub const HEALTH_WAL: u8 = 4;
+/// The last recovery truncated a torn WAL tail (uncommitted bytes from
+/// a crash mid-append). Informational: the acknowledged prefix is
+/// intact. Only valid alongside [`HEALTH_WAL`].
+pub const HEALTH_WAL_TORN: u8 = 8;
 
 // Application error codes carried by `OP_ERROR` frames.
 pub const ERR_UNKNOWN_POPULATION: u16 = 1;
@@ -83,6 +100,10 @@ pub const ERR_UNSUPPORTED: u16 = 4;
 pub const ERR_INTERNAL: u16 = 5;
 /// The query needed quarantined pages and did not set `FLAG_PARTIAL`.
 pub const ERR_DEGRADED: u16 = 6;
+/// A write was validated and refused before anything reached the WAL
+/// (duplicate id, unknown removal target, non-finite geometry). Nothing
+/// was logged; retrying the same write will fail the same way.
+pub const ERR_WRITE_REJECTED: u16 = 7;
 
 /// Why a frame failed to decode. Decoders return these — they never
 /// panic, whatever the bytes.
@@ -205,6 +226,11 @@ pub enum Request {
     /// Serving-health probe (quarantine / degraded state): one
     /// `HEALTH_RESULT` frame. No payload.
     Health,
+    /// Durable insert (live servers only): one `WRITE_ACK` frame after
+    /// the WAL commit, or an `ERROR` frame (nothing was logged).
+    Insert { tenant: u32, segment: NeuronSegment },
+    /// Durable remove by segment id (live servers only).
+    Remove { tenant: u32, id: u64 },
 }
 
 /// A decoded request borrowing its variable-length fields from the read
@@ -221,6 +247,8 @@ pub enum RequestView<'a> {
     Explain(Box<RequestView<'a>>),
     Stats { tenant: u32 },
     Health,
+    Insert { tenant: u32, segment: NeuronSegment },
+    Remove { tenant: u32, id: u64 },
 }
 
 impl RequestView<'_> {
@@ -243,6 +271,8 @@ impl RequestView<'_> {
             RequestView::Explain(inner) => Request::Explain(Box::new((*inner).into_owned())),
             RequestView::Stats { tenant } => Request::Stats { tenant },
             RequestView::Health => Request::Health,
+            RequestView::Insert { tenant, segment } => Request::Insert { tenant, segment },
+            RequestView::Remove { tenant, id } => Request::Remove { tenant, id },
         }
     }
 
@@ -253,7 +283,10 @@ impl RequestView<'_> {
             | RequestView::Count { desc, .. }
             | RequestView::Knn { desc, .. }
             | RequestView::Touching { desc, .. } => desc.tenant,
-            RequestView::Walkthrough { tenant, .. } | RequestView::Stats { tenant } => *tenant,
+            RequestView::Walkthrough { tenant, .. }
+            | RequestView::Stats { tenant }
+            | RequestView::Insert { tenant, .. }
+            | RequestView::Remove { tenant, .. } => *tenant,
             RequestView::Explain(inner) => inner.tenant(),
             RequestView::Health => 0,
         }
@@ -300,6 +333,40 @@ pub struct HealthReport {
     pub degraded: bool,
     /// The quarantined page indices, ascending.
     pub quarantined: Vec<u64>,
+    /// Write-ahead-log state; `Some` only for live (WAL-backed) servers
+    /// (`HEALTH_WAL` flag on the wire).
+    pub wal: Option<WalWire>,
+}
+
+/// A live server's WAL / recovery state in wire form — the
+/// `neurospatial` crate's `WalHealth` without the epoch-internal fields.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalWire {
+    /// LSN of the most recent commit or checkpoint record.
+    pub last_lsn: u64,
+    /// Current log size in bytes (drops at each checkpoint).
+    pub wal_bytes: u64,
+    /// Delta ops applied since the last re-freeze.
+    pub pending_ops: u64,
+    /// Snapshot-swap generation (0 = the recovery/boot build).
+    pub epoch: u64,
+    /// Ops replayed from the log tail when the database was opened.
+    pub replayed_ops: u64,
+    /// Checkpoints written over the database's lifetime.
+    pub checkpoints: u64,
+    /// Whether recovery truncated a torn (uncommitted) tail.
+    pub recovered_torn_tail: bool,
+}
+
+/// The payload of a `WRITE_ACK` frame: proof of durability for one
+/// acknowledged write batch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WriteAckWire {
+    /// LSN of the commit record covering the write; the write survives
+    /// any crash after this frame is received.
+    pub lsn: u64,
+    /// Delta ops pending a background re-freeze after this write.
+    pub pending: u64,
 }
 
 /// A walkthrough replay's summary statistics in wire form.
@@ -349,6 +416,9 @@ pub enum Response {
     /// already streamed is valid but the result set is incomplete. Takes
     /// the place of `Done`, carrying the work actually performed.
     Timeout(QueryStats),
+    /// Durability acknowledgement: the write's commit record is on
+    /// stable storage.
+    WriteAck(WriteAckWire),
 }
 
 // ---------------------------------------------------------------------
@@ -576,6 +646,22 @@ pub fn encode_knn_request(desc: &QueryDescView<'_>, p: Vec3, k: u32, out: &mut V
     end_frame(out, at);
 }
 
+/// Append a durable-insert request frame (allocation-free form).
+pub fn encode_insert_request(tenant: u32, segment: &NeuronSegment, out: &mut Vec<u8>) {
+    let at = begin_frame(out, OP_INSERT);
+    put_u32(out, tenant);
+    put_segment(out, segment);
+    end_frame(out, at);
+}
+
+/// Append a durable-remove request frame (allocation-free form).
+pub fn encode_remove_request(tenant: u32, id: u64, out: &mut Vec<u8>) {
+    let at = begin_frame(out, OP_REMOVE);
+    put_u32(out, tenant);
+    put_u64(out, id);
+    end_frame(out, at);
+}
+
 fn method_index(method: WalkthroughMethod) -> u8 {
     WalkthroughMethod::ALL.iter().position(|m| *m == method).expect("every method is in ALL") as u8
 }
@@ -618,6 +704,14 @@ pub fn encode_request(req: &Request, out: &mut Vec<u8>) {
             }
             Request::Stats { tenant } => put_u32(out, *tenant),
             Request::Health => {}
+            Request::Insert { tenant, segment } => {
+                put_u32(out, *tenant);
+                put_segment(out, segment);
+            }
+            Request::Remove { tenant, id } => {
+                put_u32(out, *tenant);
+                put_u64(out, *id);
+            }
             Request::Explain(inner) => {
                 out.push(request_opcode(inner));
                 body(inner, out);
@@ -640,6 +734,8 @@ pub fn request_opcode(req: &Request) -> u8 {
         Request::Explain(_) => OP_EXPLAIN,
         Request::Stats { .. } => OP_STATS,
         Request::Health => OP_HEALTH,
+        Request::Insert { .. } => OP_INSERT,
+        Request::Remove { .. } => OP_REMOVE,
     }
 }
 
@@ -689,6 +785,8 @@ fn decode_request_inner<'a>(
         }
         OP_STATS => Ok(RequestView::Stats { tenant: rd.u32()? }),
         OP_HEALTH => Ok(RequestView::Health),
+        OP_INSERT => Ok(RequestView::Insert { tenant: rd.u32()?, segment: read_segment(rd)? }),
+        OP_REMOVE => Ok(RequestView::Remove { tenant: rd.u32()?, id: rd.u64()? }),
         OP_EXPLAIN if explainable => {
             let inner_op = rd.u8()?;
             if inner_op == OP_STATS {
@@ -696,6 +794,9 @@ fn decode_request_inner<'a>(
             }
             if inner_op == OP_HEALTH {
                 return Err(ProtocolError::Malformed("EXPLAIN cannot wrap HEALTH"));
+            }
+            if inner_op == OP_INSERT || inner_op == OP_REMOVE {
+                return Err(ProtocolError::Malformed("EXPLAIN cannot wrap a write"));
             }
             let inner = decode_request_inner(inner_op, rd, false)?;
             Ok(RequestView::Explain(Box::new(inner)))
@@ -880,12 +981,42 @@ pub fn encode_health(h: &HealthReport, out: &mut Vec<u8>) {
     if h.degraded {
         flags |= HEALTH_DEGRADED;
     }
+    if h.wal.is_some() {
+        flags |= HEALTH_WAL;
+    }
+    if h.wal.is_some_and(|w| w.recovered_torn_tail) {
+        flags |= HEALTH_WAL_TORN;
+    }
     out.push(flags);
     put_u32(out, h.quarantined.len() as u32);
     for page in &h.quarantined {
         put_u64(out, *page);
     }
+    if let Some(w) = &h.wal {
+        put_u64(out, w.last_lsn);
+        put_u64(out, w.wal_bytes);
+        put_u64(out, w.pending_ops);
+        put_u64(out, w.epoch);
+        put_u64(out, w.replayed_ops);
+        put_u64(out, w.checkpoints);
+    }
     end_frame(out, at);
+}
+
+/// Append a durability acknowledgement.
+pub fn encode_write_ack(ack: &WriteAckWire, out: &mut Vec<u8>) {
+    let at = begin_frame(out, OP_WRITE_ACK);
+    put_u64(out, ack.lsn);
+    put_u64(out, ack.pending);
+    end_frame(out, at);
+}
+
+/// Decode a `WRITE_ACK` payload.
+pub fn decode_write_ack(payload: &[u8]) -> Result<WriteAckWire, ProtocolError> {
+    let mut rd = Rd::new(payload);
+    let ack = WriteAckWire { lsn: rd.u64()?, pending: rd.u64()? };
+    rd.finish()?;
+    Ok(ack)
 }
 
 /// Append the budget-expired terminator (in place of `DONE`).
@@ -923,6 +1054,7 @@ pub fn encode_response(resp: &Response, out: &mut Vec<u8>) {
         Response::Walkthrough(w) => encode_walk(w, out),
         Response::Health(h) => encode_health(h, out),
         Response::Timeout(stats) => encode_timeout(stats, out),
+        Response::WriteAck(ack) => encode_write_ack(ack, out),
     }
 }
 
@@ -1058,21 +1190,39 @@ pub fn decode_response(opcode: u8, payload: &[u8]) -> Result<Response, ProtocolE
         }),
         OP_HEALTH_RESULT => {
             let flags = rd.u8()?;
-            if flags & !(HEALTH_PAGED | HEALTH_DEGRADED) != 0 {
+            if flags & !(HEALTH_PAGED | HEALTH_DEGRADED | HEALTH_WAL | HEALTH_WAL_TORN) != 0 {
                 return Err(ProtocolError::Malformed("unknown health flag bits"));
+            }
+            if flags & HEALTH_WAL_TORN != 0 && flags & HEALTH_WAL == 0 {
+                return Err(ProtocolError::Malformed("torn-tail flag without WAL block"));
             }
             let n = rd.count(8)?;
             let mut quarantined = Vec::with_capacity(n);
             for _ in 0..n {
                 quarantined.push(rd.u64()?);
             }
+            let wal = if flags & HEALTH_WAL != 0 {
+                Some(WalWire {
+                    last_lsn: rd.u64()?,
+                    wal_bytes: rd.u64()?,
+                    pending_ops: rd.u64()?,
+                    epoch: rd.u64()?,
+                    replayed_ops: rd.u64()?,
+                    checkpoints: rd.u64()?,
+                    recovered_torn_tail: flags & HEALTH_WAL_TORN != 0,
+                })
+            } else {
+                None
+            };
             Response::Health(HealthReport {
                 paged: flags & HEALTH_PAGED != 0,
                 degraded: flags & HEALTH_DEGRADED != 0,
                 quarantined,
+                wal,
             })
         }
         OP_TIMEOUT => Response::Timeout(read_stats(&mut rd)?),
+        OP_WRITE_ACK => Response::WriteAck(WriteAckWire { lsn: rd.u64()?, pending: rd.u64()? }),
         other => return Err(ProtocolError::UnknownOpcode(other)),
     };
     rd.finish()?;

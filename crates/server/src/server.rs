@@ -505,14 +505,34 @@ fn serve_request<'db>(
             serve_walkthrough(shared, *tenant, *method, path, out);
         }
         RequestView::Explain(inner) => serve_explain(shared, inner, out),
+        RequestView::Insert { tenant, segment } => {
+            serve_write(shared, *tenant, shared.db.insert_segment(*segment), out);
+        }
+        RequestView::Remove { tenant, id } => {
+            serve_write(shared, *tenant, shared.db.remove_segment(*id), out);
+        }
         RequestView::Health => {
-            let report = match shared.db.paged_index() {
+            let mut report = match shared.db.paged_index() {
                 Some(paged) => {
                     let quarantined = paged.quarantined_pages();
-                    p::HealthReport { paged: true, degraded: !quarantined.is_empty(), quarantined }
+                    p::HealthReport {
+                        paged: true,
+                        degraded: !quarantined.is_empty(),
+                        quarantined,
+                        wal: None,
+                    }
                 }
                 None => p::HealthReport::default(),
             };
+            report.wal = shared.db.wal_health().map(|w| p::WalWire {
+                last_lsn: w.last_lsn,
+                wal_bytes: w.wal_bytes,
+                pending_ops: w.pending_ops,
+                epoch: w.epoch,
+                replayed_ops: w.replayed_ops,
+                checkpoints: w.checkpoints,
+                recovered_torn_tail: w.recovered_torn_tail,
+            });
             p::encode_health(&report, out);
         }
         RequestView::Stats { tenant } => {
@@ -530,6 +550,29 @@ fn serve_request<'db>(
                 out,
             );
         }
+    }
+}
+
+/// The write path: the ack frame is encoded only after
+/// `insert_segment` / `remove_segment` returned — i.e. after the WAL
+/// commit record is on stable storage. A failed write encodes a typed
+/// error instead; [`p::ERR_WRITE_REJECTED`] guarantees nothing was
+/// logged. After a successful write the worker runs the re-freeze check
+/// inline: swaps are rare (threshold-gated) and concurrent readers are
+/// never blocked by one.
+fn serve_write(
+    shared: &Shared<'_>,
+    tenant: u32,
+    result: Result<neurospatial::WriteAck, NeuroError>,
+    out: &mut Vec<u8>,
+) {
+    match result {
+        Ok(ack) => {
+            p::encode_write_ack(&p::WriteAckWire { lsn: ack.lsn, pending: ack.pending }, out);
+            account(shared, tenant, &QueryStats::default());
+            let _ = shared.db.maybe_refreeze();
+        }
+        Err(err) => encode_neuro_error(&err, out),
     }
 }
 
@@ -654,7 +697,11 @@ fn serve_explain(shared: &Shared<'_>, inner: &RequestView<'_>, out: &mut Vec<u8>
         RequestView::Walkthrough { method, path, .. } => {
             db.query().along_path(path).method(*method).explain()
         }
-        RequestView::Explain(_) | RequestView::Stats { .. } | RequestView::Health => {
+        RequestView::Explain(_)
+        | RequestView::Stats { .. }
+        | RequestView::Health
+        | RequestView::Insert { .. }
+        | RequestView::Remove { .. } => {
             p::encode_error(p::ERR_PROTOCOL, "EXPLAIN cannot wrap this opcode", out);
             return;
         }
@@ -680,6 +727,10 @@ fn encode_neuro_error(err: &NeuroError, out: &mut Vec<u8>) {
         NeuroError::WalkthroughUnsupported { .. } => {
             (p::ERR_UNSUPPORTED, "walkthrough requires a paged (FLAT) backend")
         }
+        NeuroError::WriteUnsupported => {
+            (p::ERR_UNSUPPORTED, "writes need a live (WAL-backed) database")
+        }
+        NeuroError::WriteRejected { reason } => (p::ERR_WRITE_REJECTED, reason.as_str()),
         NeuroError::DegradedResult { .. } => (
             p::ERR_DEGRADED,
             "query needs quarantined pages; retry with allow_partial for labeled partial results",

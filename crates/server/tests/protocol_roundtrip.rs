@@ -96,13 +96,23 @@ fn plain_request() -> Union<Request> {
             .prop_map(|(tenant, method, path)| Request::Walkthrough { tenant, method, path }),
         any::<u32>().prop_map(|tenant| Request::Stats { tenant }),
         Just(Request::Health),
+        (any::<u32>(), segment()).prop_map(|(tenant, segment)| Request::Insert { tenant, segment }),
+        (any::<u32>(), any::<u64>()).prop_map(|(tenant, id)| Request::Remove { tenant, id }),
     ]
 }
 
 fn request() -> impl Strategy<Value = Request> {
     (plain_request(), any::<u8>()).prop_map(|(req, wrap)| {
-        // Explain may wrap anything but Stats and Health (and itself).
-        if wrap % 3 == 0 && !matches!(req, Request::Stats { .. } | Request::Health) {
+        // Explain may wrap anything but Stats, Health, writes (and itself).
+        if wrap % 3 == 0
+            && !matches!(
+                req,
+                Request::Stats { .. }
+                    | Request::Health
+                    | Request::Insert { .. }
+                    | Request::Remove { .. }
+            )
+        {
             Request::Explain(Box::new(req))
         } else {
             req
@@ -133,6 +143,27 @@ fn stats() -> impl Strategy<Value = QueryStats> {
                 cache_evictions,
                 retries,
                 pages_quarantined,
+            },
+        )
+}
+
+fn wal_wire() -> impl Strategy<Value = p::WalWire> {
+    (
+        (any::<u64>(), any::<u64>(), any::<u64>()),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<bool>()),
+    )
+        .prop_map(
+            |(
+                (last_lsn, wal_bytes, pending_ops),
+                (epoch, replayed_ops, checkpoints, recovered_torn_tail),
+            )| p::WalWire {
+                last_lsn,
+                wal_bytes,
+                pending_ops,
+                epoch,
+                replayed_ops,
+                checkpoints,
+                recovered_torn_tail,
             },
         )
 }
@@ -180,12 +211,14 @@ fn response() -> Union<Response> {
             }),
         (any::<u16>(), name()).prop_map(|(code, message)| Response::Error { code, message }),
         Just(Response::Busy),
-        (any::<bool>(), prop::collection::vec(any::<u64>(), 0..6)).prop_map(
-            |(degraded, quarantined)| {
-                Response::Health(p::HealthReport { paged: true, degraded, quarantined })
+        (any::<bool>(), prop::collection::vec(any::<u64>(), 0..6), opt(wal_wire())).prop_map(
+            |(degraded, quarantined, wal)| {
+                Response::Health(p::HealthReport { paged: true, degraded, quarantined, wal })
             }
         ),
         stats().prop_map(Response::Timeout),
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(lsn, pending)| Response::WriteAck(p::WriteAckWire { lsn, pending })),
         ((any::<u32>(), coord()), ((any::<u64>(), any::<u64>()), (any::<u64>(), any::<u64>())))
             .prop_map(
                 |(
@@ -295,7 +328,7 @@ proptest! {
 
 #[test]
 fn unknown_opcodes_are_reported_as_such() {
-    for opcode in [0x00u8, 0x09, 0x42, 0x80, 0x8D, 0xFF] {
+    for opcode in [0x00u8, 0x0B, 0x42, 0x80, 0x8E, 0xFF] {
         assert_eq!(
             p::decode_request(opcode, &[]).unwrap_err(),
             ProtocolError::UnknownOpcode(opcode)
@@ -305,6 +338,23 @@ fn unknown_opcodes_are_reported_as_such() {
             ProtocolError::UnknownOpcode(opcode)
         );
     }
+}
+
+#[test]
+fn explain_cannot_wrap_writes() {
+    // Hand-splice: EXPLAIN frame whose inner opcode is INSERT.
+    let mut payload = vec![p::OP_INSERT];
+    payload.extend_from_slice(&[0u8; 80]); // tenant + segment
+    assert_eq!(
+        p::decode_request(p::OP_EXPLAIN, &payload).unwrap_err(),
+        ProtocolError::Malformed("EXPLAIN cannot wrap a write")
+    );
+    let mut payload = vec![p::OP_REMOVE];
+    payload.extend_from_slice(&[0u8; 12]); // tenant + id
+    assert_eq!(
+        p::decode_request(p::OP_EXPLAIN, &payload).unwrap_err(),
+        ProtocolError::Malformed("EXPLAIN cannot wrap a write")
+    );
 }
 
 #[test]

@@ -506,3 +506,83 @@ fn health_and_partial_results_survive_a_quarantined_page() {
     .expect("serve");
     let _ = std::fs::remove_file(&path);
 }
+
+/// Live ingest over the wire: INSERT/REMOVE ack after the WAL commit,
+/// queries see the writes immediately, HEALTH reports the WAL state,
+/// and the log survives a server restart.
+#[test]
+fn live_ingest_acks_serves_and_recovers_over_the_wire() {
+    let circuit = circuit();
+    let wal =
+        std::env::temp_dir().join(format!("neurospatial-server-ingest-{}.wal", std::process::id()));
+    let _ = std::fs::remove_file(&wal);
+    let filters = FilterRegistry::new();
+    let far = Aabb::cube(Vec3::new(4_000.5, 0.0, 0.0), 10.0);
+    let new_seg = NeuronSegment {
+        id: 5_000_000,
+        neuron: 999,
+        section: 0,
+        index_on_section: 0,
+        geom: neurospatial::geom::Segment::new(
+            Vec3::new(4_000.0, 0.0, 0.0),
+            Vec3::new(4_001.0, 0.0, 0.0),
+            0.5,
+        ),
+    };
+    let victim = circuit.segments()[0];
+
+    {
+        let db = NeuroDb::builder().circuit(&circuit).durable(&wal).build().expect("live db");
+        serve_with(&db, &filters, &ServerConfig::default(), |handle| {
+            let mut client = Client::connect(handle.addr()).expect("connect");
+            let mut segments = Vec::new();
+            let plain = QueryDescView { tenant: 1, ..Default::default() };
+
+            // Writes on a frozen db would be unsupported; here they ack.
+            let ack = client.insert(1, &new_seg).expect("insert acked");
+            assert!(ack.lsn > 0);
+            let ack2 = client.remove(1, victim.id).expect("remove acked");
+            assert!(ack2.lsn > ack.lsn);
+
+            // The insert is queryable on the same connection...
+            let stats = client.range(&plain, &far, &mut segments).expect("range");
+            assert_eq!(stats.results, 1);
+            assert_eq!(segments[0].id, new_seg.id);
+            // ...and the removal is masked out.
+            let around = Aabb::cube(victim.geom.p0, 1.0);
+            client.range(&plain, &around, &mut segments).expect("range");
+            assert!(segments.iter().all(|s| s.id != victim.id));
+
+            // Rejections are typed and at-most-once-safe.
+            match client.insert(1, &new_seg) {
+                Err(e @ ClientError::WriteRejected { .. }) => {
+                    assert!(e.write_definitely_not_executed());
+                }
+                other => panic!("duplicate insert should be rejected, got {other:?}"),
+            }
+
+            // HEALTH carries the WAL block.
+            let health = client.health().expect("health");
+            let w = health.wal.expect("live server reports WAL state");
+            assert!(w.last_lsn >= ack2.lsn);
+            assert_eq!(w.pending_ops, 2);
+            assert!(!w.recovered_torn_tail);
+        })
+        .expect("serve");
+    }
+
+    // Restart the server over the same WAL: the acked writes survive.
+    let reopened = NeuroDb::builder().segments(vec![]).durable(&wal).build().expect("recover");
+    serve_with(&reopened, &filters, &ServerConfig::default(), |handle| {
+        let mut client = Client::connect(handle.addr()).expect("connect");
+        let mut segments = Vec::new();
+        let plain = QueryDescView { tenant: 1, ..Default::default() };
+        let stats = client.range(&plain, &far, &mut segments).expect("range");
+        assert_eq!(stats.results, 1, "acked insert must survive restart");
+        assert_eq!(segments[0].id, new_seg.id);
+        let health = client.health().expect("health");
+        assert_eq!(health.wal.expect("live").replayed_ops, 2);
+    })
+    .expect("serve");
+    let _ = std::fs::remove_file(&wal);
+}

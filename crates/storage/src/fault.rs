@@ -108,6 +108,19 @@ pub struct FaultPlan {
     /// [`StorageError::PageChecksum`] — targeted bit-rot. Sorted,
     /// deduplicated on construction.
     pub corrupt_pages: Vec<u64>,
+    /// Write-side crash point for [`FaultLog`]: after this many bytes
+    /// have been appended through the wrapper, everything else is
+    /// dropped on the floor — the write that straddles the offset
+    /// persists only its prefix (a torn record), and every later write
+    /// or sync fails permanently, as if the process had died.
+    /// `None` = never crash.
+    pub write_crash_at: Option<u64>,
+    /// Write-side bit flips for [`FaultLog`]: `(offset, mask)` pairs,
+    /// where `offset` counts bytes appended through the wrapper and the
+    /// byte landing there is XORed with `mask` *before* it reaches the
+    /// disk — silent media corruption inside acknowledged history.
+    /// Sorted by offset, deduplicated on construction.
+    pub write_flips: Vec<(u64, u8)>,
 }
 
 impl FaultPlan {
@@ -119,6 +132,8 @@ impl FaultPlan {
             max_consecutive: 2,
             latency_us: 0,
             corrupt_pages: Vec::new(),
+            write_crash_at: None,
+            write_flips: Vec::new(),
         }
     }
 
@@ -148,9 +163,27 @@ impl FaultPlan {
         self
     }
 
+    /// Set the write-side crash point in appended bytes (see
+    /// [`write_crash_at`](Self::write_crash_at)).
+    pub fn with_write_crash_at(mut self, offset: u64) -> Self {
+        self.write_crash_at = Some(offset);
+        self
+    }
+
+    /// Add a write-side bit flip at appended-byte `offset` (XOR `mask`,
+    /// clamped to nonzero so every flip actually corrupts).
+    pub fn with_write_flip(mut self, offset: u64, mask: u8) -> Self {
+        self.write_flips.push((offset, mask.max(1)));
+        self.write_flips.sort_unstable();
+        self.write_flips.dedup();
+        self
+    }
+
     /// Whether this plan contains only recoverable (transient) faults.
     pub fn is_transient_only(&self) -> bool {
         self.corrupt_pages.is_empty()
+            && self.write_crash_at.is_none()
+            && self.write_flips.is_empty()
     }
 
     /// One-line replayable description — what CI archives when a chaos
@@ -158,12 +191,15 @@ impl FaultPlan {
     pub fn dump(&self) -> String {
         format!(
             "FaultPlan {{ seed: {}, transient_permille: {}, max_consecutive: {}, \
-             latency_us: {}, corrupt_pages: {:?} }}",
+             latency_us: {}, corrupt_pages: {:?}, write_crash_at: {:?}, \
+             write_flips: {:?} }}",
             self.seed,
             self.transient_permille,
             self.max_consecutive,
             self.latency_us,
-            self.corrupt_pages
+            self.corrupt_pages,
+            self.write_crash_at,
+            self.write_flips
         )
     }
 
@@ -425,6 +461,152 @@ pub fn with_retry_sleeping<T>(
     op: impl FnMut() -> Result<T, StorageError>,
 ) -> (Result<T, StorageError>, u32) {
     with_retry(policy, salt, |us| std::thread::sleep(std::time::Duration::from_micros(us)), op)
+}
+
+// ---------------------------------------------------------------------
+// Write-side injection: the WAL's chaos harness
+// ---------------------------------------------------------------------
+
+/// The error a [`FaultLog`] returns once its crash point is reached.
+/// Deliberately permanent ([`StorageError::is_transient`] = false): a
+/// dead process does not come back because the caller retried.
+fn crash_error() -> StorageError {
+    StorageError::Io {
+        kind: std::io::ErrorKind::BrokenPipe,
+        context: "injected crash: log writes dropped",
+    }
+}
+
+/// A [`LogIo`](crate::wal::LogIo) wrapper that injects **write-side**
+/// faults from a [`FaultPlan`] — the mirror image of [`FaultFile`] for
+/// the WAL's append path.
+///
+/// Two fault families, both deterministic functions of the plan:
+///
+/// - **Crash at byte offset** ([`FaultPlan::write_crash_at`]): the
+///   append that crosses the offset persists only its prefix — a torn
+///   record for replay to find — and every subsequent write, sync or
+///   replace fails with a permanent error, exactly like a process that
+///   died mid-write. A whole-file [`replace`](crate::wal::LogIo::replace)
+///   that would cross the offset persists *nothing* (the temp-file +
+///   rename idiom is all-or-nothing), modelling a crash before the
+///   rename.
+/// - **Bit flips** ([`FaultPlan::write_flips`]): bytes at the given
+///   appended-byte offsets are XORed before they reach the inner log —
+///   silent corruption *inside* acknowledged history, which replay must
+///   refuse rather than truncate.
+///
+/// Offsets count bytes appended through this wrapper since it was
+/// constructed (reads and the open-time truncate do not advance them),
+/// so a chaos test can aim a crash at any byte of the op stream it is
+/// about to write.
+pub struct FaultLog<L: crate::wal::LogIo> {
+    inner: L,
+    plan: FaultPlan,
+    appended: u64,
+    crashed: bool,
+}
+
+impl<L: crate::wal::LogIo> FaultLog<L> {
+    /// Wrap `inner`, injecting write faults from `plan`.
+    pub fn new(inner: L, plan: FaultPlan) -> Self {
+        FaultLog { inner, plan, appended: 0, crashed: false }
+    }
+
+    /// Whether the crash point has been reached.
+    pub fn crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// The plan driving this log.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Apply the plan's bit flips to the bytes about to occupy appended
+    /// offsets `[start, start + bytes.len())`.
+    fn flipped(&self, start: u64, bytes: &[u8]) -> Option<Vec<u8>> {
+        let end = start + bytes.len() as u64;
+        let mut owned: Option<Vec<u8>> = None;
+        for &(off, mask) in &self.plan.write_flips {
+            if off >= start && off < end {
+                let buf = owned.get_or_insert_with(|| bytes.to_vec());
+                buf[(off - start) as usize] ^= mask;
+            }
+        }
+        owned
+    }
+}
+
+impl<L: crate::wal::LogIo> crate::wal::LogIo for FaultLog<L> {
+    fn read_all(&mut self, buf: &mut Vec<u8>) -> Result<(), StorageError> {
+        self.inner.read_all(buf)
+    }
+
+    fn append(&mut self, bytes: &[u8]) -> Result<(), StorageError> {
+        if self.crashed {
+            return Err(crash_error());
+        }
+        let start = self.appended;
+        let keep = match self.plan.write_crash_at {
+            Some(at) if at <= start => {
+                self.crashed = true;
+                return Err(crash_error());
+            }
+            Some(at) if at < start + bytes.len() as u64 => (at - start) as usize,
+            _ => bytes.len(),
+        };
+        let flipped = self.flipped(start, bytes);
+        let to_write = &flipped.as_deref().unwrap_or(bytes)[..keep];
+        self.inner.append(to_write)?;
+        self.appended = start + keep as u64;
+        if keep < bytes.len() {
+            // The tail of this write is lost; flush the surviving torn
+            // prefix so recovery has something real to truncate.
+            let _ = self.inner.sync();
+            self.crashed = true;
+            return Err(crash_error());
+        }
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<(), StorageError> {
+        if self.crashed {
+            return Err(crash_error());
+        }
+        self.inner.sync()
+    }
+
+    fn truncate(&mut self, len: u64) -> Result<(), StorageError> {
+        if self.crashed {
+            return Err(crash_error());
+        }
+        self.inner.truncate(len)
+    }
+
+    fn replace(&mut self, contents: &[u8]) -> Result<(), StorageError> {
+        if self.crashed {
+            return Err(crash_error());
+        }
+        let start = self.appended;
+        let end = start + contents.len() as u64;
+        if let Some(at) = self.plan.write_crash_at {
+            if at <= start || at < end {
+                // Crash anywhere inside the replace window: the rename
+                // never happens, the old file stays fully intact.
+                self.crashed = true;
+                return Err(crash_error());
+            }
+        }
+        let flipped = self.flipped(start, contents);
+        self.inner.replace(flipped.as_deref().unwrap_or(contents))?;
+        self.appended = end;
+        Ok(())
+    }
+
+    fn len(&self) -> u64 {
+        self.inner.len()
+    }
 }
 
 #[cfg(test)]

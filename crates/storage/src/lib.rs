@@ -21,6 +21,16 @@
 //! `neurospatial-scout` (the serializer needs the FLAT index types);
 //! this crate owns the format and the buffer manager.
 //!
+//! ## Durability — the write-ahead log
+//!
+//! Live ingest writes through a [`Wal`] (module [`mod@wal`]):
+//! FNV-1a-checksummed records with monotonic LSNs, group commit with
+//! one fsync per commit, atomic checkpoints that bound replay, and
+//! torn-tail detection on open. Writes flow through the [`LogIo`] seam
+//! so [`FaultLog`] can inject crashes at exact byte offsets and bit
+//! flips into acknowledged history, under the same seeded [`FaultPlan`]
+//! replay discipline as the read path.
+//!
 //! ## Simulated I/O — the measurement instrument
 //!
 //! The demo's live statistics panels (Figures 3 and 6 of the paper)
@@ -40,13 +50,15 @@ pub mod fault;
 pub mod file;
 pub mod frame;
 pub mod page;
+pub mod wal;
 
 pub use buffer::BufferPool;
 pub use disk::{CostModel, DiskSim, IoError, IoStats};
 pub use fault::{
-    tear_page, with_retry, with_retry_sleeping, FaultFile, FaultPlan, PageIo, RetryPolicy,
+    tear_page, with_retry, with_retry_sleeping, FaultFile, FaultLog, FaultPlan, PageIo, RetryPolicy,
 };
 pub use file::{checksum64, Checksum64, PageFile, PageFileWriter, StorageError};
 pub use file::{FILE_HEADER_BYTES, PAGE_FILE_MAGIC, PAGE_FILE_VERSION, PAGE_HEADER_BYTES};
 pub use frame::{EvictionPolicy, FrameGuard, FramePool, FrameStats};
 pub use page::{PageId, PAGE_SIZE_BYTES};
+pub use wal::{FileLog, LogIo, Wal, WalRecovery};
