@@ -115,6 +115,17 @@ where
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // `bench-diff OLD.json NEW.json [--band=0.25]` is a subcommand, not
+    // a scenario — handle it before scenario-name validation.
+    if args.first().map(String::as_str) == Some("bench-diff") {
+        let band: f64 = parse_value(&args, "band").unwrap_or(0.25);
+        let files: Vec<&String> = args.iter().skip(1).filter(|a| !a.starts_with("--")).collect();
+        if files.len() != 2 {
+            eprintln!("usage: experiments bench-diff OLD.json NEW.json [--band=0.25]");
+            std::process::exit(2);
+        }
+        std::process::exit(bench_diff(files[0], files[1], band));
+    }
     let backends: Vec<IndexBackend> =
         parse_list(&args, "backends").unwrap_or_else(|| IndexBackend::ALL.to_vec());
     let methods: Vec<WalkthroughMethod> =
@@ -2457,53 +2468,71 @@ fn api_bench(
 // SERVE / LOAD — the networked query service under load
 // ---------------------------------------------------------------------
 
-/// One load phase's client-side outcome: accepted-request latencies
-/// (sorted ascending, in ms), shed connections, transport failures.
+/// One load phase's client-side outcome: accepted-request latencies as
+/// an [`neurospatial::obs::HistogramSnapshot`] (recorded concurrently by every client
+/// thread, no per-request `Vec` growth, mergeable for free), shed
+/// connections, transport failures.
 struct LoadOutcome {
-    latencies_ms: Vec<f64>,
+    latencies: neurospatial::obs::HistogramSnapshot,
     rejects: u64,
     io_errors: u64,
     wall_s: f64,
 }
 
 impl LoadOutcome {
-    /// The `p`-quantile (0 < p <= 1) of the accepted latencies.
+    /// Accepted requests (the histogram's population).
+    fn completed(&self) -> u64 {
+        self.latencies.count
+    }
+
+    /// The `p`-quantile (0 < p <= 1) of the accepted latencies, in ms.
+    /// Log-linear bucket resolution: ≤ 6.25% relative error.
     fn pct(&self, p: f64) -> f64 {
-        if self.latencies_ms.is_empty() {
+        self.latencies.quantile(p) as f64 / 1e6
+    }
+
+    /// The slowest accepted request, in ms (exact, not bucketed).
+    fn max_ms(&self) -> f64 {
+        if self.latencies.count == 0 {
             return 0.0;
         }
-        let idx = ((self.latencies_ms.len() as f64 * p).ceil() as usize).max(1);
-        self.latencies_ms[idx.min(self.latencies_ms.len()) - 1]
+        self.latencies.max as f64 / 1e6
     }
 
     /// Completed requests per second of wall time.
     fn qps(&self) -> f64 {
-        self.latencies_ms.len() as f64 / self.wall_s.max(1e-9)
+        self.completed() as f64 / self.wall_s.max(1e-9)
     }
 }
 
-/// Run one closure per client on its own thread and merge the
-/// per-client `(latencies, rejects, io_errors)` outcomes.
+/// Run one closure per client on its own thread, all recording into one
+/// shared latency histogram, and merge the per-client
+/// `(rejects, io_errors)` tallies.
 fn gather_clients<F>(clients: usize, per_client: F) -> LoadOutcome
 where
-    F: Fn(usize) -> (Vec<f64>, u64, u64) + Sync,
+    F: Fn(usize, &neurospatial::obs::Histogram) -> (u64, u64) + Sync,
 {
+    let hist = neurospatial::obs::Histogram::new();
     let t_all = Instant::now();
-    let mut outcome =
-        LoadOutcome { latencies_ms: Vec::new(), rejects: 0, io_errors: 0, wall_s: 0.0 };
+    let mut outcome = LoadOutcome {
+        latencies: neurospatial::obs::HistogramSnapshot::default(),
+        rejects: 0,
+        io_errors: 0,
+        wall_s: 0.0,
+    };
     std::thread::scope(|scope| {
         let per_client = &per_client;
+        let hist = &hist;
         let handles: Vec<_> =
-            (0..clients.max(1)).map(|id| scope.spawn(move || per_client(id))).collect();
+            (0..clients.max(1)).map(|id| scope.spawn(move || per_client(id, hist))).collect();
         for h in handles {
-            let (lat, rejects, io_errors) = h.join().expect("load client");
-            outcome.latencies_ms.extend(lat);
+            let (rejects, io_errors) = h.join().expect("load client");
             outcome.rejects += rejects;
             outcome.io_errors += io_errors;
         }
     });
     outcome.wall_s = t_all.elapsed().as_secs_f64();
-    outcome.latencies_ms.sort_by(f64::total_cmp);
+    outcome.latencies = hist.snapshot();
     outcome
 }
 
@@ -2517,10 +2546,9 @@ fn open_loop(addr: &str, queries: &[Aabb], clients: usize, total: usize, rate: f
     let clients = clients.max(1);
     let per_client = (total / clients).max(1);
     let interval = Duration::from_secs_f64(clients as f64 / rate.max(1.0));
-    gather_clients(clients, |id| {
+    gather_clients(clients, |id, hist| {
         let desc = QueryDescView { tenant: id as u32 + 1, ..Default::default() };
         let mut out = Vec::new();
-        let mut lat = Vec::with_capacity(per_client);
         let (mut rejects, mut io_errors) = (0u64, 0u64);
         // Warm the connection and both frame buffers off the clock.
         let mut conn = Client::connect(addr).ok();
@@ -2549,7 +2577,7 @@ fn open_loop(addr: &str, queries: &[Aabb], clients: usize, total: usize, rate: f
             };
             match c.range(&desc, q, &mut out) {
                 Ok(_) => {
-                    lat.push(scheduled.elapsed().as_secs_f64() * 1e3);
+                    hist.record_duration(scheduled.elapsed());
                     conn = Some(c);
                 }
                 // A shed or broken connection is dropped; the next
@@ -2558,17 +2586,16 @@ fn open_loop(addr: &str, queries: &[Aabb], clients: usize, total: usize, rate: f
                 Err(_) => io_errors += 1,
             }
         }
-        (lat, rejects, io_errors)
+        (rejects, io_errors)
     })
 }
 
 /// Hammer `addr` closed-loop with one fresh connection per attempt —
 /// the shedding regime. Accepted latency includes the TCP connect.
 fn overload(addr: &str, queries: &[Aabb], clients: usize, attempts: usize) -> LoadOutcome {
-    gather_clients(clients, |id| {
+    gather_clients(clients, |id, hist| {
         let desc = QueryDescView { tenant: 100 + id as u32, ..Default::default() };
         let mut out = Vec::new();
-        let mut lat = Vec::new();
         let (mut rejects, mut io_errors) = (0u64, 0u64);
         for i in 0..attempts {
             let q = &queries[(id + i * clients.max(1)) % queries.len()];
@@ -2576,13 +2603,13 @@ fn overload(addr: &str, queries: &[Aabb], clients: usize, attempts: usize) -> Lo
             match Client::connect(addr) {
                 Err(_) => io_errors += 1,
                 Ok(mut c) => match c.range(&desc, q, &mut out) {
-                    Ok(_) => lat.push(t0.elapsed().as_secs_f64() * 1e3),
+                    Ok(_) => hist.record_duration(t0.elapsed()),
                     Err(ClientError::Busy) => rejects += 1,
                     Err(_) => io_errors += 1,
                 },
             }
         }
-        (lat, rejects, io_errors)
+        (rejects, io_errors)
     })
 }
 
@@ -2685,6 +2712,7 @@ fn serve_bench(n: usize, clients: usize, half: f64, out_path: &str, strict: bool
         "p50 ms",
         "p99 ms",
         "p99.9 ms",
+        "max ms",
         "rejects",
         "allocs/req",
     ]);
@@ -2695,26 +2723,29 @@ fn serve_bench(n: usize, clients: usize, half: f64, out_path: &str, strict: bool
         "-".into(),
         "-".into(),
         "-".into(),
+        "-".into(),
         "0".into(),
         format!("{allocs_per_req:.4}"),
     ]);
     t.row([
         "open-loop".to_string(),
-        open.latencies_ms.len().to_string(),
+        open.completed().to_string(),
         f1(open.qps()),
         format!("{:.3}", open.pct(0.50)),
         format!("{:.3}", open.pct(0.99)),
         format!("{:.3}", open.pct(0.999)),
+        format!("{:.3}", open.max_ms()),
         open.rejects.to_string(),
         "-".into(),
     ]);
     t.row([
         "overload (w=1,q=0)".to_string(),
-        over.latencies_ms.len().to_string(),
+        over.completed().to_string(),
         f1(over.qps()),
         format!("{:.3}", over.pct(0.50)),
         format!("{:.3}", over.pct(0.99)),
         format!("{:.3}", over.pct(0.999)),
+        format!("{:.3}", over.max_ms()),
         shed_rejects.to_string(),
         "-".into(),
     ]);
@@ -2727,11 +2758,13 @@ fn serve_bench(n: usize, clients: usize, half: f64, out_path: &str, strict: bool
             "  \"clients\": {},\n  \"query_half_extent\": {:.1},\n",
             "  \"steady\": {{\"sequential_qps\": {:.0}, \"allocs_per_request\": {:.4}}},\n",
             "  \"open_loop\": {{\"target_qps\": {:.0}, \"achieved_qps\": {:.0}, ",
-            "\"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"p999_ms\": {:.3}, \"completed\": {}, ",
+            "\"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"p999_ms\": {:.3}, \"max_ms\": {:.3}, ",
+            "\"completed\": {}, ",
             "\"rejects\": {}, \"io_errors\": {}}},\n",
             "  \"overload\": {{\"workers\": 1, \"queue\": 0, \"attempts\": {}, ",
             "\"accepted\": {}, \"fast_rejects\": {}, \"client_observed_busy\": {}, ",
-            "\"accepted_p50_ms\": {:.3}, \"accepted_p99_ms\": {:.3}}},\n",
+            "\"accepted_p50_ms\": {:.3}, \"accepted_p99_ms\": {:.3}, ",
+            "\"accepted_max_ms\": {:.3}}},\n",
             "  \"protocol_errors\": {}\n}}\n"
         ),
         segments.len(),
@@ -2745,15 +2778,17 @@ fn serve_bench(n: usize, clients: usize, half: f64, out_path: &str, strict: bool
         open.pct(0.50),
         open.pct(0.99),
         open.pct(0.999),
-        open.latencies_ms.len(),
+        open.max_ms(),
+        open.completed(),
         open.rejects,
         open.io_errors,
         attempts * clients.max(1),
-        over.latencies_ms.len(),
+        over.completed(),
         shed_rejects,
         over.rejects,
         over.pct(0.50),
         over.pct(0.99),
+        over.max_ms(),
         protocol_errors
     );
     std::fs::write(out_path, json).expect("write BENCH json");
@@ -2764,7 +2799,7 @@ fn serve_bench(n: usize, clients: usize, half: f64, out_path: &str, strict: bool
          at overload the admission controller fast-rejected {shed_rejects} connections \
          (acceptance: > 0)\nwhile accepted requests held p99 {:.2} ms; {protocol_errors} \
          protocol errors (acceptance: 0).",
-        open.latencies_ms.len(),
+        open.completed(),
         open.qps(),
         open.pct(0.99),
         over.pct(0.99)
@@ -2811,14 +2846,23 @@ fn load_bench(addr: &str, spec: &LoadSpec, out_path: &str) {
     );
     let o = open_loop(addr, &w.queries, spec.clients, spec.requests, spec.rate);
 
-    let mut t =
-        Table::new(["completed", "q/s", "p50 ms", "p99 ms", "p99.9 ms", "rejects", "io errors"]);
+    let mut t = Table::new([
+        "completed",
+        "q/s",
+        "p50 ms",
+        "p99 ms",
+        "p99.9 ms",
+        "max ms",
+        "rejects",
+        "io errors",
+    ]);
     t.row([
-        o.latencies_ms.len().to_string(),
+        o.completed().to_string(),
         f1(o.qps()),
         format!("{:.3}", o.pct(0.50)),
         format!("{:.3}", o.pct(0.99)),
         format!("{:.3}", o.pct(0.999)),
+        format!("{:.3}", o.max_ms()),
         o.rejects.to_string(),
         o.io_errors.to_string(),
     ]);
@@ -2829,6 +2873,7 @@ fn load_bench(addr: &str, spec: &LoadSpec, out_path: &str) {
             "{{\n  \"scenario\": \"load\",\n  \"addr\": {:?},\n  \"requests\": {},\n",
             "  \"clients\": {},\n  \"target_qps\": {:.0},\n  \"achieved_qps\": {:.0},\n",
             "  \"p50_ms\": {:.3},\n  \"p99_ms\": {:.3},\n  \"p999_ms\": {:.3},\n",
+            "  \"max_ms\": {:.3},\n",
             "  \"completed\": {},\n  \"rejects\": {},\n  \"io_errors\": {}\n}}\n"
         ),
         addr,
@@ -2839,12 +2884,296 @@ fn load_bench(addr: &str, spec: &LoadSpec, out_path: &str) {
         o.pct(0.50),
         o.pct(0.99),
         o.pct(0.999),
-        o.latencies_ms.len(),
+        o.max_ms(),
+        o.completed(),
         o.rejects,
         o.io_errors
     );
     std::fs::write(out_path, json).expect("write BENCH json");
     println!("\nwrote {out_path}");
+}
+
+// ---------------------------------------------------------------------
+// BENCH-DIFF — regression gate between two BENCH_*.json files
+// ---------------------------------------------------------------------
+
+/// A minimal recursive-descent JSON reader for the flat-ish documents
+/// the scenarios emit. Only what the diff needs: objects, arrays,
+/// numbers, strings, booleans, null. Numbers flatten to
+/// `dotted.path → f64`; everything else is ignored.
+struct JsonCur<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonCur<'a> {
+    fn skip_ws(&mut self) {
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        match self.peek() {
+            Some(got) if got == b => {
+                self.pos += 1;
+                Ok(())
+            }
+            got => Err(format!("expected '{}' at byte {}, got {got:?}", b as char, self.pos)),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.bytes.get(self.pos).copied() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    // The scenarios never emit anything beyond \" and \\,
+                    // but pass other escapes through rather than erroring.
+                    self.pos += 1;
+                    if let Some(&e) = self.bytes.get(self.pos) {
+                        s.push(e as char);
+                        self.pos += 1;
+                    }
+                }
+                Some(b) => {
+                    s.push(b as char);
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    /// Parse one value, appending any numbers found under `prefix`.
+    fn value(&mut self, prefix: &str, out: &mut Vec<(String, f64)>) -> Result<(), String> {
+        match self.peek() {
+            Some(b'{') => {
+                self.expect(b'{')?;
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                loop {
+                    let key = self.string()?;
+                    self.expect(b':')?;
+                    let path = if prefix.is_empty() { key } else { format!("{prefix}.{key}") };
+                    self.value(&path, out)?;
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(());
+                        }
+                        other => return Err(format!("bad object at byte {}: {other:?}", self.pos)),
+                    }
+                }
+            }
+            Some(b'[') => {
+                self.expect(b'[')?;
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                let mut i = 0usize;
+                loop {
+                    self.value(&format!("{prefix}.{i}"), out)?;
+                    i += 1;
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(());
+                        }
+                        other => return Err(format!("bad array at byte {}: {other:?}", self.pos)),
+                    }
+                }
+            }
+            Some(b'"') => {
+                self.string()?;
+                Ok(())
+            }
+            Some(b't') | Some(b'f') | Some(b'n') => {
+                while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_alphabetic()) {
+                    self.pos += 1;
+                }
+                Ok(())
+            }
+            Some(_) => {
+                let start = self.pos;
+                while self
+                    .bytes
+                    .get(self.pos)
+                    .is_some_and(|b| matches!(b, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'))
+                {
+                    self.pos += 1;
+                }
+                let raw = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| "non-utf8 number")?;
+                let v: f64 =
+                    raw.parse().map_err(|_| format!("bad number '{raw}' at byte {start}"))?;
+                out.push((prefix.to_string(), v));
+                Ok(())
+            }
+            None => Err("unexpected end of input".into()),
+        }
+    }
+}
+
+/// Flatten a BENCH_*.json file into sorted `dotted.path → f64` pairs.
+fn flatten_bench_json(path: &str) -> Vec<(String, f64)> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench-diff: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let mut cur = JsonCur { bytes: text.as_bytes(), pos: 0 };
+    let mut out = Vec::new();
+    if let Err(e) = cur.value("", &mut out) {
+        eprintln!("bench-diff: {path} is not valid JSON: {e}");
+        std::process::exit(2);
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+/// How a metric is judged when it moves between two runs.
+#[derive(PartialEq)]
+enum MetricClass {
+    /// Must not increase at all — allocation and error counts. These
+    /// are deterministic properties of the code, not noisy timings.
+    Invariant,
+    /// Lower is better, compared within the noise band (latencies).
+    LowerIsBetter,
+    /// Higher is better, compared within the noise band (throughput,
+    /// speedup ratios).
+    HigherIsBetter,
+    /// Reported but never gated (counts, configuration echoes).
+    Informational,
+}
+
+/// Classify a flattened metric path by its trailing key.
+fn classify_metric(path: &str) -> MetricClass {
+    let key = path.rsplit('.').next().unwrap_or(path);
+    if key.starts_with("allocs")
+        || key.ends_with("errors")
+        || key == "retry_exhausted"
+        || key == "lost_writes"
+    {
+        MetricClass::Invariant
+    } else if key.ends_with("_ms") || key.ends_with("_ns") || key.ends_with("_us") {
+        MetricClass::LowerIsBetter
+    } else if key.ends_with("qps")
+        || key.contains("per_sec")
+        || key.contains("speedup")
+        || key.ends_with("throughput")
+    {
+        MetricClass::HigherIsBetter
+    } else {
+        MetricClass::Informational
+    }
+}
+
+/// Absolute noise floor for a lower-is-better timing metric, in the
+/// metric's own unit (~10 ms). Scheduler jitter swings sub-10 ms tail
+/// latencies by several × between otherwise identical runs, so a purely
+/// relative band flakes on them; a catastrophic regression (a lost
+/// cache, an accidental quadratic) lands far above 10 ms and still
+/// fails the banded check.
+fn timing_noise_floor(path: &str) -> f64 {
+    let key = path.rsplit('.').next().unwrap_or(path);
+    if key.ends_with("_ms") {
+        10.0
+    } else if key.ends_with("_us") {
+        10_000.0
+    } else {
+        // `_ns`
+        10_000_000.0
+    }
+}
+
+/// Compare two scenario JSON files metric by metric. Exit code 0 when
+/// every gated metric holds; 1 when anything regressed beyond `band`
+/// (a fraction: 0.25 allows 25% drift on timing metrics, on top of the
+/// absolute [`timing_noise_floor`] — invariant metrics get no band at
+/// all); 2 on unreadable input.
+fn bench_diff(old_path: &str, new_path: &str, band: f64) -> i32 {
+    println!("\n== BENCH-DIFF — {old_path} → {new_path} (noise band {:.0}%) ==\n", band * 100.0);
+    let old = flatten_bench_json(old_path);
+    let new = flatten_bench_json(new_path);
+
+    let mut t = Table::new(["metric", "old", "new", "delta", "class", "verdict"]);
+    let mut failures = 0usize;
+    let lookup = |set: &[(String, f64)], k: &str| {
+        set.binary_search_by(|(p, _)| p.as_str().cmp(k)).ok().map(|i| set[i].1)
+    };
+
+    for (path, old_v) in &old {
+        let Some(new_v) = lookup(&new, path) else {
+            // A key the new run no longer emits is a schema regression:
+            // the gate cannot silently lose coverage.
+            t.row([
+                path.clone(),
+                format!("{old_v}"),
+                "missing".into(),
+                "-".into(),
+                "-".into(),
+                "FAIL".into(),
+            ]);
+            failures += 1;
+            continue;
+        };
+        let class = classify_metric(path);
+        let delta = if *old_v != 0.0 {
+            format!("{:+.1}%", (new_v - old_v) / old_v * 100.0)
+        } else {
+            format!("{new_v:+.3}")
+        };
+        let (label, ok) = match class {
+            MetricClass::Invariant => ("invariant", new_v <= *old_v),
+            MetricClass::LowerIsBetter => {
+                ("lower", new_v <= old_v * (1.0 + band) + timing_noise_floor(path))
+            }
+            MetricClass::HigherIsBetter => ("higher", new_v >= old_v * (1.0 - band) - 1e-9),
+            MetricClass::Informational => ("info", true),
+        };
+        if !ok {
+            failures += 1;
+        }
+        // Keep the table to what a reader acts on: every gated metric,
+        // plus any informational one that moved.
+        if class != MetricClass::Informational || new_v != *old_v {
+            t.row([
+                path.clone(),
+                format!("{old_v:.3}"),
+                format!("{new_v:.3}"),
+                delta,
+                label.to_string(),
+                if ok { "ok".into() } else { "FAIL".into() },
+            ]);
+        }
+    }
+    let new_keys = new.iter().filter(|(p, _)| lookup(&old, p).is_none()).count();
+    t.print();
+    if new_keys > 0 {
+        println!("\n{new_keys} metric(s) only in {new_path} (new coverage, not gated)");
+    }
+    if failures > 0 {
+        eprintln!("\nbench-diff: {failures} metric(s) regressed beyond the noise band");
+        1
+    } else {
+        println!("\nbench-diff: all gated metrics within the noise band");
+        0
+    }
 }
 
 /// A1 ablation — FLAT packing strategy: Hilbert vs Morton vs plain

@@ -448,6 +448,9 @@ impl NeuroDbBuilder {
     /// Finalise: build the index (sharded when `shards > 1`) and
     /// partition the populations.
     pub fn build(self) -> Result<NeuroDb, NeuroError> {
+        // Register every hot-path metric now so the first measured query
+        // pays no first-use allocation.
+        crate::metrics::warm_metrics();
         let segments = self.segments.ok_or(NeuroError::MissingSegments)?;
         let mut config = self.config;
         let (backend, name_requests_sharding) = match &self.backend_name {

@@ -79,6 +79,7 @@
 pub use neurospatial_flat as flat;
 pub use neurospatial_geom as geom;
 pub use neurospatial_model as model;
+pub use neurospatial_obs as obs;
 pub use neurospatial_rtree as rtree;
 pub use neurospatial_scout as scout;
 pub use neurospatial_storage as storage;
@@ -88,6 +89,7 @@ pub mod db;
 pub mod delta;
 pub mod error;
 pub mod index;
+pub mod metrics;
 pub mod paged;
 pub mod prelude;
 pub mod query;

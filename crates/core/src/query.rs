@@ -163,7 +163,12 @@ fn try_run_range(
     if limit == Some(0) {
         return Ok(QueryStats::default());
     }
-    db.with_view(|index, delta| {
+    let qobs = crate::metrics::query_obs();
+    qobs.ranges.inc();
+    let _traversal = crate::metrics::sample_range_latency().then(|| {
+        neurospatial_obs::span_timed(neurospatial_obs::Stage::Traversal, &qobs.range_latency)
+    });
+    let res = db.with_view(|index, delta| {
         let mut remaining = limit;
         let mut stats = index.try_for_each_in_range(region, scratch, allow_partial, &mut |s| {
             if delta.is_some_and(|d| d.is_removed(s.id)) {
@@ -203,7 +208,11 @@ fn try_run_range(
             );
         }
         Ok(stats)
-    })
+    });
+    if let Ok(stats) = &res {
+        qobs.observe(stats);
+    }
+    res
 }
 
 /// The infallible form of [`try_run_range`] used by [`QuerySession`]'s
@@ -222,7 +231,12 @@ fn run_range(
     if limit == Some(0) {
         return QueryStats::default();
     }
-    db.with_view(|index, delta| {
+    let qobs = crate::metrics::query_obs();
+    qobs.ranges.inc();
+    let _traversal = crate::metrics::sample_range_latency().then(|| {
+        neurospatial_obs::span_timed(neurospatial_obs::Stage::Traversal, &qobs.range_latency)
+    });
+    let stats = db.with_view(|index, delta| {
         let mut remaining = limit;
         let mut stats = index.for_each_in_range(region, scratch, &mut |s| {
             if delta.is_some_and(|d| d.is_removed(s.id)) {
@@ -262,7 +276,9 @@ fn run_range(
             );
         }
         stats
-    })
+    });
+    qobs.observe(&stats);
+    stats
 }
 
 /// The initial expanding-cube radius and its upper bound for a KNN
@@ -299,7 +315,12 @@ fn run_knn(
     scratch: &mut QueryScratch,
     out: &mut Vec<Neighbor>,
 ) -> QueryStats {
-    db.with_view(|index, delta| {
+    let qobs = crate::metrics::query_obs();
+    qobs.knns.inc();
+    let _traversal = crate::metrics::sample_knn_latency().then(|| {
+        neurospatial_obs::span_timed(neurospatial_obs::Stage::Traversal, &qobs.knn_latency)
+    });
+    let stats = db.with_view(|index, delta| {
         // An empty delta merges like no delta at all — keep the
         // byte-identical fast path.
         let delta = delta.filter(|d| !d.is_empty());
@@ -369,7 +390,9 @@ fn run_knn(
         scratch.knn_hits = hits;
         scratch.knn_candidates = candidates;
         stats
-    })
+    });
+    qobs.observe(&stats);
+    stats
 }
 
 /// What a query *would* do — returned by every builder's `explain()`
@@ -999,7 +1022,15 @@ impl<'a> QuerySession<'a> {
         let stats = if *limit == Some(0) {
             QueryStats::default()
         } else {
-            db.with_view(|index, delta| {
+            let qobs = crate::metrics::query_obs();
+            qobs.ranges.inc();
+            let _traversal = crate::metrics::sample_range_latency().then(|| {
+                neurospatial_obs::span_timed(
+                    neurospatial_obs::Stage::Traversal,
+                    &qobs.range_latency,
+                )
+            });
+            let stats = db.with_view(|index, delta| {
                 let mut remaining = *limit;
                 let mut stats =
                     index.try_for_each_in_range(region, scratch, allow_partial, &mut |s| {
@@ -1045,7 +1076,9 @@ impl<'a> QuerySession<'a> {
                     );
                 }
                 Ok::<QueryStats, NeuroError>(stats)
-            })?
+            })?;
+            qobs.observe(&stats);
+            stats
         };
         if let Some(cursor) = cursor {
             cursor.step(region);

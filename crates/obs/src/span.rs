@@ -1,0 +1,223 @@
+//! Request-stage spans recorded into a fixed per-thread ring buffer.
+//!
+//! A span is an RAII guard: constructing it stamps a start time, dropping
+//! it writes one [`SpanEvent`] into the current thread's ring (and
+//! optionally records the duration into a [`Histogram`]). The ring is a
+//! const-initialised `thread_local` array — entering and leaving a span
+//! never allocates, so spans are safe on the zero-alloc hot path.
+//!
+//! The ring holds the last [`RING_CAPACITY`] events per thread; older
+//! events are overwritten. Reading the ring is a debugging affordance,
+//! not a transport: use [`with_recent_spans`] (no allocation) or
+//! [`recent_spans`] (allocates a `Vec`, test/tool use only).
+
+use crate::hist::Histogram;
+use std::cell::RefCell;
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Pipeline stage a span attributes its time to, in request order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Stage {
+    /// Wire frame parsing and request validation.
+    Decode = 0,
+    /// Admission control: queue hand-off or BUSY shedding.
+    Admission = 1,
+    /// Index traversal and predicate evaluation.
+    Traversal = 2,
+    /// Page fetch through the frame pool (miss path I/O).
+    PageIo = 3,
+    /// WAL group-commit append + fsync.
+    WalCommit = 4,
+    /// Response encoding and socket write.
+    Encode = 5,
+}
+
+impl Stage {
+    /// Stable lower-case name (matches metric naming).
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Decode => "decode",
+            Stage::Admission => "admission",
+            Stage::Traversal => "traversal",
+            Stage::PageIo => "page_io",
+            Stage::WalCommit => "wal_commit",
+            Stage::Encode => "encode",
+        }
+    }
+}
+
+/// One completed span: stage, start offset from process origin, duration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Which pipeline stage the time belongs to.
+    pub stage: Stage,
+    /// Nanoseconds since the process's first span-clock read.
+    pub start_ns: u64,
+    /// Span duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// Events retained per thread before the ring wraps.
+pub const RING_CAPACITY: usize = 256;
+
+struct Ring {
+    events: [SpanEvent; RING_CAPACITY],
+    /// Next write position.
+    head: usize,
+    /// Number of valid events (saturates at capacity).
+    len: usize,
+}
+
+const EMPTY_EVENT: SpanEvent = SpanEvent { stage: Stage::Decode, start_ns: 0, dur_ns: 0 };
+
+thread_local! {
+    static RING: RefCell<Ring> =
+        const { RefCell::new(Ring { events: [EMPTY_EVENT; RING_CAPACITY], head: 0, len: 0 }) };
+}
+
+static ORIGIN: OnceLock<Instant> = OnceLock::new();
+
+#[inline]
+fn origin() -> Instant {
+    *ORIGIN.get_or_init(Instant::now)
+}
+
+/// Monotonic nanoseconds since the process span-clock origin.
+#[inline]
+pub fn now_ns() -> u64 {
+    origin().elapsed().as_nanos().min(u64::MAX as u128) as u64
+}
+
+/// Live span guard; the event is committed on drop.
+pub struct Span<'a> {
+    stage: Stage,
+    start_ns: u64,
+    hist: Option<&'a Histogram>,
+}
+
+impl Drop for Span<'_> {
+    #[inline]
+    fn drop(&mut self) {
+        let dur_ns = now_ns().saturating_sub(self.start_ns);
+        if let Some(h) = self.hist {
+            h.record(dur_ns);
+        }
+        let ev = SpanEvent { stage: self.stage, start_ns: self.start_ns, dur_ns };
+        // `try_with` so spans held across thread teardown degrade to
+        // dropping the event instead of aborting.
+        let _ = RING.try_with(|ring| {
+            let mut ring = ring.borrow_mut();
+            let head = ring.head;
+            ring.events[head] = ev;
+            ring.head = (head + 1) % RING_CAPACITY;
+            if ring.len < RING_CAPACITY {
+                ring.len += 1;
+            }
+        });
+    }
+}
+
+/// Opens a span for `stage` on the current thread.
+#[inline]
+pub fn span(stage: Stage) -> Span<'static> {
+    Span { stage, start_ns: now_ns(), hist: None }
+}
+
+/// Opens a span that also records its duration into `hist` when dropped.
+#[inline]
+pub fn span_timed(stage: Stage, hist: &Histogram) -> Span<'_> {
+    Span { stage, start_ns: now_ns(), hist: Some(hist) }
+}
+
+/// Opens a span guard; bind it to keep the stage open:
+/// `let _span = obs::span!(Stage::Traversal);` — optionally pass a
+/// histogram to time the stage: `obs::span!(Stage::WalCommit, &hist)`.
+#[macro_export]
+macro_rules! span {
+    ($stage:expr) => {
+        $crate::span($stage)
+    };
+    ($stage:expr, $hist:expr) => {
+        $crate::span_timed($stage, $hist)
+    };
+}
+
+/// Runs `f` over the current thread's retained spans, oldest first. The
+/// two slices are the chronological halves of the ring; no allocation.
+pub fn with_recent_spans<R>(f: impl FnOnce(&[SpanEvent], &[SpanEvent]) -> R) -> R {
+    RING.with(|ring| {
+        let ring = ring.borrow();
+        if ring.len < RING_CAPACITY {
+            f(&ring.events[..ring.len], &[])
+        } else {
+            f(&ring.events[ring.head..], &ring.events[..ring.head])
+        }
+    })
+}
+
+/// Copies the current thread's retained spans, oldest first. Allocates;
+/// intended for tests and debug dumps, not the hot path.
+pub fn recent_spans() -> Vec<SpanEvent> {
+    with_recent_spans(|a, b| {
+        let mut out = Vec::with_capacity(a.len() + b.len());
+        out.extend_from_slice(a);
+        out.extend_from_slice(b);
+        out
+    })
+}
+
+/// Clears the current thread's span ring (test isolation helper).
+pub fn clear_spans() {
+    RING.with(|ring| {
+        let mut ring = ring.borrow_mut();
+        ring.head = 0;
+        ring.len = 0;
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_commit_in_order_on_drop() {
+        clear_spans();
+        {
+            let _outer = span(Stage::Decode);
+            let _inner = span(Stage::Traversal);
+            // inner drops first, then outer
+        }
+        let events = recent_spans();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].stage, Stage::Traversal);
+        assert_eq!(events[1].stage, Stage::Decode);
+        assert!(events[1].start_ns <= events[0].start_ns);
+    }
+
+    #[test]
+    fn ring_wraps_keeping_newest() {
+        clear_spans();
+        for _ in 0..RING_CAPACITY + 10 {
+            let _s = span(Stage::Encode);
+        }
+        let events = recent_spans();
+        assert_eq!(events.len(), RING_CAPACITY);
+        for w in events.windows(2) {
+            assert!(w[0].start_ns <= w[1].start_ns, "ring must stay chronological");
+        }
+    }
+
+    #[test]
+    fn timed_span_feeds_histogram() {
+        let h = Histogram::new();
+        {
+            let _s = span_timed(Stage::WalCommit, &h);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 1);
+        assert!(snap.max >= 1_000_000, "slept 1ms, recorded {}ns", snap.max);
+    }
+}

@@ -1,0 +1,90 @@
+//! Property tests: histogram quantiles against exact sorted-sample
+//! quantiles, and merge-of-shards equivalence.
+
+use neurospatial_obs::{bucket_bounds, bucket_index, Histogram, HistogramSnapshot};
+use proptest::prelude::*;
+
+/// The estimate for quantile `q` must land inside the bucket that holds
+/// the exact rank-`ceil(q·n)` sorted sample — the "error bounded by
+/// bucket width" contract.
+fn assert_quantile_in_exact_bucket(snap: &HistogramSnapshot, sorted: &[u64], q: f64) {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    let exact = sorted[rank - 1];
+    let est = snap.quantile(q);
+    let (lo, hi) = bucket_bounds(bucket_index(exact));
+    assert!(
+        est >= lo && est <= hi,
+        "q={q}: estimate {est} outside bucket [{lo}, {hi}] of exact sample {exact}"
+    );
+}
+
+proptest! {
+    /// Quantiles p50/p90/p99/p99.9 and the extremes stay within one
+    /// bucket of the exact sorted-sample answer, across magnitudes.
+    #[test]
+    fn quantiles_bounded_by_bucket_width(
+        values in prop::collection::vec(0u64..=1 << 40, 1..400),
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count, values.len() as u64);
+
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(snap.min, sorted[0]);
+        prop_assert_eq!(snap.max, *sorted.last().unwrap());
+        for q in [0.0, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            assert_quantile_in_exact_bucket(&snap, &sorted, q);
+        }
+    }
+
+    /// Splitting the sample across shards and merging the snapshots is
+    /// byte-identical to recording everything into one histogram.
+    #[test]
+    fn merge_of_shards_equals_single_histogram(
+        values in prop::collection::vec(0u64..=1 << 36, 1..300),
+        shards in 2usize..6,
+    ) {
+        let single = Histogram::new();
+        let parts: Vec<Histogram> = (0..shards).map(|_| Histogram::new()).collect();
+        for (i, &v) in values.iter().enumerate() {
+            single.record(v);
+            parts[i % shards].record(v);
+        }
+        let mut merged = parts[0].snapshot();
+        for p in &parts[1..] {
+            merged.merge(&p.snapshot());
+        }
+        prop_assert_eq!(merged.clone(), single.snapshot());
+
+        // Merged quantiles obey the same bucket-width bound.
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for q in [0.5, 0.99, 0.999] {
+            assert_quantile_in_exact_bucket(&merged, &sorted, q);
+        }
+    }
+
+    /// The wire codec is lossless for arbitrary recorded content.
+    #[test]
+    fn snapshot_encoding_roundtrips(
+        values in prop::collection::vec(0u64..=1 << 44, 0..200),
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let reg = neurospatial_obs::MetricsRegistry::new();
+        reg.counter("c_total").add(values.len() as u64);
+        let snap_h = h.snapshot();
+        let mut snap = reg.snapshot();
+        snap.histograms.push(("h_ns".to_string(), snap_h));
+        let mut bytes = Vec::new();
+        snap.encode_into(&mut bytes);
+        let back = neurospatial_obs::MetricsSnapshot::decode(&bytes).expect("roundtrip decodes");
+        prop_assert_eq!(back, snap);
+    }
+}

@@ -355,6 +355,21 @@ const PREFETCH_QUEUE_CAP: usize = 4096;
 /// Pages the dispatcher drains per batch before fanning out.
 const PREFETCH_BATCH: usize = 64;
 
+/// Process-wide prefetch dispatch counters (page-level load outcomes
+/// live under `storage_frame_*`; these count the hand-off itself).
+struct ScoutPrefetchObs {
+    enqueued: std::sync::Arc<neurospatial_obs::Counter>,
+    dropped: std::sync::Arc<neurospatial_obs::Counter>,
+}
+
+fn scout_prefetch_obs() -> &'static ScoutPrefetchObs {
+    static OBS: std::sync::OnceLock<ScoutPrefetchObs> = std::sync::OnceLock::new();
+    OBS.get_or_init(|| ScoutPrefetchObs {
+        enqueued: neurospatial_obs::global().counter("scout_prefetch_enqueued_total"),
+        dropped: neurospatial_obs::global().counter("scout_prefetch_dropped_total"),
+    })
+}
+
 struct PrefetchHandle {
     shared: Arc<PrefetchShared>,
     dispatcher: Option<std::thread::JoinHandle<()>>,
@@ -420,6 +435,8 @@ impl PrefetchHandle {
             accepted += 1;
         }
         drop(q);
+        scout_prefetch_obs().enqueued.add(accepted);
+        scout_prefetch_obs().dropped.add(pages.len() as u64 - accepted);
         if accepted > 0 {
             self.shared.ready.notify_all();
         }

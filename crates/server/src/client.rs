@@ -8,6 +8,7 @@ use crate::protocol::{
 };
 use neurospatial::geom::{Aabb, Vec3};
 use neurospatial::model::{NavigationPath, NeuronSegment};
+use neurospatial::obs::MetricsSnapshot;
 use neurospatial::{Neighbor, QueryStats, WalkthroughMethod};
 use std::fmt;
 use std::io::{self, Write};
@@ -478,6 +479,23 @@ impl Client {
         match op {
             p::OP_HEALTH_RESULT => match p::decode_response(op, payload)? {
                 p::Response::Health(h) => Ok(h),
+                _ => Err(ClientError::Unexpected(op)),
+            },
+            other => Err(terminal_error(other, payload)),
+        }
+    }
+
+    /// The server's metrics snapshot: every counter, gauge, and latency
+    /// histogram registered across the process (query pipeline, storage,
+    /// prefetch) merged with the per-server serving counters.
+    pub fn metrics(&mut self) -> Result<MetricsSnapshot, ClientError> {
+        self.write_buf.clear();
+        p::encode_request(&Request::Metrics, &mut self.write_buf);
+        self.send()?;
+        let (op, payload) = p::read_frame(&mut self.stream, &mut self.read_buf)?;
+        match op {
+            p::OP_METRICS_RESULT => match p::decode_response(op, payload)? {
+                p::Response::Metrics(snap) => Ok(snap),
                 _ => Err(ClientError::Unexpected(op)),
             },
             other => Err(terminal_error(other, payload)),

@@ -24,6 +24,7 @@
 
 use neurospatial::geom::{Aabb, Segment, Vec3};
 use neurospatial::model::{NavigationPath, NeuronSegment};
+use neurospatial::obs::MetricsSnapshot;
 use neurospatial::{Neighbor, QueryStats, WalkthroughMethod};
 use std::fmt;
 use std::io::{self, Read, Write};
@@ -51,6 +52,11 @@ pub const OP_INSERT: u8 = 0x09;
 /// Durable remove (live servers only): `u32 tenant` + `u64 id`;
 /// answered with one `WRITE_ACK` frame after the WAL commit.
 pub const OP_REMOVE: u8 = 0x0A;
+/// Observability scrape: no payload; answered with one
+/// `METRICS_RESULT` frame carrying a versioned
+/// [`MetricsSnapshot`] (process-wide registry merged with the server's
+/// per-listener registry).
+pub const OP_METRICS: u8 = 0x0B;
 
 // Response opcodes.
 pub const OP_SEGMENT_CHUNK: u8 = 0x81;
@@ -72,6 +78,10 @@ pub const OP_TIMEOUT: u8 = 0x8C;
 /// the write's commit record is fsync'd to the WAL. Carries the commit
 /// LSN and the delta ops still pending a re-freeze.
 pub const OP_WRITE_ACK: u8 = 0x8D;
+/// Answer to `METRICS`: the payload is exactly the versioned binary
+/// encoding produced by [`MetricsSnapshot::encode_into`]
+/// (self-describing, version-checked on decode).
+pub const OP_METRICS_RESULT: u8 = 0x8E;
 
 // QueryDesc presence flags.
 pub const FLAG_POPULATION: u8 = 1;
@@ -231,6 +241,9 @@ pub enum Request {
     Insert { tenant: u32, segment: NeuronSegment },
     /// Durable remove by segment id (live servers only).
     Remove { tenant: u32, id: u64 },
+    /// Observability scrape: one `METRICS_RESULT` frame with the live
+    /// metrics snapshot. No payload.
+    Metrics,
 }
 
 /// A decoded request borrowing its variable-length fields from the read
@@ -249,6 +262,7 @@ pub enum RequestView<'a> {
     Health,
     Insert { tenant: u32, segment: NeuronSegment },
     Remove { tenant: u32, id: u64 },
+    Metrics,
 }
 
 impl RequestView<'_> {
@@ -273,6 +287,7 @@ impl RequestView<'_> {
             RequestView::Health => Request::Health,
             RequestView::Insert { tenant, segment } => Request::Insert { tenant, segment },
             RequestView::Remove { tenant, id } => Request::Remove { tenant, id },
+            RequestView::Metrics => Request::Metrics,
         }
     }
 
@@ -288,7 +303,7 @@ impl RequestView<'_> {
             | RequestView::Insert { tenant, .. }
             | RequestView::Remove { tenant, .. } => *tenant,
             RequestView::Explain(inner) => inner.tenant(),
-            RequestView::Health => 0,
+            RequestView::Health | RequestView::Metrics => 0,
         }
     }
 }
@@ -419,6 +434,8 @@ pub enum Response {
     /// Durability acknowledgement: the write's commit record is on
     /// stable storage.
     WriteAck(WriteAckWire),
+    /// The live metrics snapshot answering a `METRICS` scrape.
+    Metrics(MetricsSnapshot),
 }
 
 // ---------------------------------------------------------------------
@@ -662,6 +679,12 @@ pub fn encode_remove_request(tenant: u32, id: u64, out: &mut Vec<u8>) {
     end_frame(out, at);
 }
 
+/// Append a metrics-scrape request frame (no payload).
+pub fn encode_metrics_request(out: &mut Vec<u8>) {
+    let at = begin_frame(out, OP_METRICS);
+    end_frame(out, at);
+}
+
 fn method_index(method: WalkthroughMethod) -> u8 {
     WalkthroughMethod::ALL.iter().position(|m| *m == method).expect("every method is in ALL") as u8
 }
@@ -703,7 +726,7 @@ pub fn encode_request(req: &Request, out: &mut Vec<u8>) {
                 put_f64(out, path.view_radius);
             }
             Request::Stats { tenant } => put_u32(out, *tenant),
-            Request::Health => {}
+            Request::Health | Request::Metrics => {}
             Request::Insert { tenant, segment } => {
                 put_u32(out, *tenant);
                 put_segment(out, segment);
@@ -736,6 +759,7 @@ pub fn request_opcode(req: &Request) -> u8 {
         Request::Health => OP_HEALTH,
         Request::Insert { .. } => OP_INSERT,
         Request::Remove { .. } => OP_REMOVE,
+        Request::Metrics => OP_METRICS,
     }
 }
 
@@ -785,6 +809,7 @@ fn decode_request_inner<'a>(
         }
         OP_STATS => Ok(RequestView::Stats { tenant: rd.u32()? }),
         OP_HEALTH => Ok(RequestView::Health),
+        OP_METRICS => Ok(RequestView::Metrics),
         OP_INSERT => Ok(RequestView::Insert { tenant: rd.u32()?, segment: read_segment(rd)? }),
         OP_REMOVE => Ok(RequestView::Remove { tenant: rd.u32()?, id: rd.u64()? }),
         OP_EXPLAIN if explainable => {
@@ -797,6 +822,9 @@ fn decode_request_inner<'a>(
             }
             if inner_op == OP_INSERT || inner_op == OP_REMOVE {
                 return Err(ProtocolError::Malformed("EXPLAIN cannot wrap a write"));
+            }
+            if inner_op == OP_METRICS {
+                return Err(ProtocolError::Malformed("EXPLAIN cannot wrap METRICS"));
             }
             let inner = decode_request_inner(inner_op, rd, false)?;
             Ok(RequestView::Explain(Box::new(inner)))
@@ -971,6 +999,13 @@ pub fn encode_busy(out: &mut Vec<u8>) {
     end_frame(out, at);
 }
 
+/// Append a metrics-snapshot answer.
+pub fn encode_metrics_result(snap: &MetricsSnapshot, out: &mut Vec<u8>) {
+    let at = begin_frame(out, OP_METRICS_RESULT);
+    snap.encode_into(out);
+    end_frame(out, at);
+}
+
 /// Append a serving-health answer.
 pub fn encode_health(h: &HealthReport, out: &mut Vec<u8>) {
     let at = begin_frame(out, OP_HEALTH_RESULT);
@@ -1055,6 +1090,7 @@ pub fn encode_response(resp: &Response, out: &mut Vec<u8>) {
         Response::Health(h) => encode_health(h, out),
         Response::Timeout(stats) => encode_timeout(stats, out),
         Response::WriteAck(ack) => encode_write_ack(ack, out),
+        Response::Metrics(snap) => encode_metrics_result(snap, out),
     }
 }
 
@@ -1123,6 +1159,17 @@ pub fn decode_count(payload: &[u8]) -> Result<(u64, QueryStats), ProtocolError> 
     let stats = read_stats(&mut rd)?;
     rd.finish()?;
     Ok((count, stats))
+}
+
+/// Stable reason strings for metrics-snapshot decode failures.
+fn metrics_decode_reason(e: &neurospatial::obs::SnapshotDecodeError) -> &'static str {
+    use neurospatial::obs::SnapshotDecodeError as E;
+    match e {
+        E::Truncated => "metrics snapshot truncated",
+        E::UnsupportedVersion(_) => "unsupported metrics snapshot version",
+        E::BadName => "metrics snapshot name not UTF-8",
+        E::TrailingBytes(_) => "trailing bytes after metrics snapshot",
+    }
 }
 
 /// Decode any response frame body into the owned form.
@@ -1223,6 +1270,13 @@ pub fn decode_response(opcode: u8, payload: &[u8]) -> Result<Response, ProtocolE
         }
         OP_TIMEOUT => Response::Timeout(read_stats(&mut rd)?),
         OP_WRITE_ACK => Response::WriteAck(WriteAckWire { lsn: rd.u64()?, pending: rd.u64()? }),
+        OP_METRICS_RESULT => {
+            // The snapshot codec is self-delimiting and rejects both
+            // truncation and trailing bytes, so it consumes the payload.
+            return MetricsSnapshot::decode(payload)
+                .map(Response::Metrics)
+                .map_err(|e| ProtocolError::Malformed(metrics_decode_reason(&e)));
+        }
         other => return Err(ProtocolError::UnknownOpcode(other)),
     };
     rd.finish()?;

@@ -31,14 +31,16 @@
 
 use crate::protocol::{self as p, ProtocolError, RequestView};
 use neurospatial::model::{NavigationPath, NeuronSegment};
+use neurospatial::obs::{self, Counter, Histogram, MetricsRegistry, MetricsSnapshot};
 use neurospatial::{
     NeuroDb, NeuroError, Plan, QuerySession, QueryStats, SegmentPredicate, WalkthroughMethod,
 };
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::Arc;
 use std::sync::{mpsc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -121,17 +123,108 @@ impl Default for ServerConfig {
     }
 }
 
+/// Request-opcode families, indexed by [`op_index`]; each gets its own
+/// per-server latency histogram.
+const OP_LATENCY_NAMES: [&str; 11] = [
+    "server_range_latency_ns",
+    "server_count_latency_ns",
+    "server_knn_latency_ns",
+    "server_touching_latency_ns",
+    "server_walkthrough_latency_ns",
+    "server_explain_latency_ns",
+    "server_stats_latency_ns",
+    "server_health_latency_ns",
+    "server_insert_latency_ns",
+    "server_remove_latency_ns",
+    "server_metrics_latency_ns",
+];
+
+/// Which [`OP_LATENCY_NAMES`] slot a request bills its service time to.
+fn op_index(req: &RequestView<'_>) -> usize {
+    match req {
+        RequestView::Range { .. } => 0,
+        RequestView::Count { .. } => 1,
+        RequestView::Knn { .. } => 2,
+        RequestView::Touching { .. } => 3,
+        RequestView::Walkthrough { .. } => 4,
+        RequestView::Explain(_) => 5,
+        RequestView::Stats { .. } => 6,
+        RequestView::Health => 7,
+        RequestView::Insert { .. } => 8,
+        RequestView::Remove { .. } => 9,
+        RequestView::Metrics => 10,
+    }
+}
+
 /// Monotonic serving counters, readable while the server runs.
-#[derive(Debug, Default)]
+///
+/// Since the observability subsystem landed, these are handles into a
+/// per-server [`MetricsRegistry`] (so every server instance starts from
+/// zero) rather than ad-hoc atomics; the field names and the
+/// [`Counter::load`] shim keep existing call sites source-compatible.
+/// A `METRICS` scrape merges this registry with the process-wide
+/// [`obs::global`] one.
 pub struct ServerMetrics {
+    registry: MetricsRegistry,
     /// Connections handed to a worker.
-    pub accepted: AtomicU64,
+    pub accepted: Arc<Counter>,
     /// Connections shed with `BUSY` by admission control.
-    pub rejected: AtomicU64,
+    pub rejected: Arc<Counter>,
     /// Requests executed (any outcome).
-    pub requests: AtomicU64,
+    pub requests: Arc<Counter>,
     /// Frames that failed to decode (connection dropped after reply).
-    pub protocol_errors: AtomicU64,
+    pub protocol_errors: Arc<Counter>,
+    /// Connections evicted by the slow-loris read deadline.
+    pub read_timeouts: Arc<Counter>,
+    /// Requests cut short by the per-request execution budget
+    /// (answered with a `TIMEOUT` frame).
+    pub request_timeouts: Arc<Counter>,
+    /// Service-time histogram per request opcode family.
+    op_latency: [Arc<Histogram>; OP_LATENCY_NAMES.len()],
+}
+
+impl Default for ServerMetrics {
+    fn default() -> Self {
+        let registry = MetricsRegistry::new();
+        let accepted = registry.counter("server_connections_accepted_total");
+        let rejected = registry.counter("server_connections_rejected_total");
+        let requests = registry.counter("server_requests_total");
+        let protocol_errors = registry.counter("server_protocol_errors_total");
+        let read_timeouts = registry.counter("server_read_timeouts_total");
+        let request_timeouts = registry.counter("server_request_timeouts_total");
+        let op_latency = OP_LATENCY_NAMES.map(|name| registry.histogram(name));
+        ServerMetrics {
+            registry,
+            accepted,
+            rejected,
+            requests,
+            protocol_errors,
+            read_timeouts,
+            request_timeouts,
+            op_latency,
+        }
+    }
+}
+
+impl std::fmt::Debug for ServerMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerMetrics")
+            .field("accepted", &self.accepted.get())
+            .field("rejected", &self.rejected.get())
+            .field("requests", &self.requests.get())
+            .field("protocol_errors", &self.protocol_errors.get())
+            .field("read_timeouts", &self.read_timeouts.get())
+            .field("request_timeouts", &self.request_timeouts.get())
+            .finish()
+    }
+}
+
+impl ServerMetrics {
+    /// Snapshot of this server's private registry (counters above plus
+    /// the per-opcode latency histograms).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
+    }
 }
 
 /// What the host callback sees while the server is live.
@@ -248,12 +341,13 @@ fn acceptor_loop(shared: &Shared<'_>, listener: &TcpListener, tx: &SyncSender<Tc
             Ok(s) => s,
             Err(_) => continue,
         };
+        let _admission = obs::span!(obs::Stage::Admission);
         match tx.try_send(stream) {
             Ok(()) => {
-                shared.metrics.accepted.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.accepted.inc();
             }
             Err(TrySendError::Full(mut stream)) => {
-                shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.rejected.inc();
                 let _ = stream.write_all(&busy);
                 // Drop closes the socket; the client sees BUSY then EOF.
             }
@@ -278,8 +372,13 @@ fn worker_loop<'db>(shared: &Shared<'db>, rx: &Mutex<Receiver<TcpStream>>) {
         };
         match claimed {
             Ok(stream) => {
-                let _ =
-                    serve_connection(shared, stream, &mut session, &mut read_buf, &mut write_buf);
+                if let Err(e) =
+                    serve_connection(shared, stream, &mut session, &mut read_buf, &mut write_buf)
+                {
+                    if e.kind() == io::ErrorKind::TimedOut {
+                        shared.metrics.read_timeouts.inc();
+                    }
+                }
             }
             Err(RecvTimeoutError::Timeout) => {
                 if shared.stop.load(Ordering::Acquire) {
@@ -366,7 +465,7 @@ fn serve_connection<'db>(
         }
         let len = u32::from_le_bytes(header) as usize;
         if len == 0 || len > p::MAX_FRAME {
-            shared.metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.protocol_errors.inc();
             write_buf.clear();
             p::encode_error(p::ERR_PROTOCOL, "frame length out of range", write_buf);
             let _ = stream.write_all(write_buf);
@@ -377,17 +476,24 @@ fn serve_connection<'db>(
             return Ok(());
         }
         let (opcode, payload) = (read_buf[0], &read_buf[1..]);
-        match p::decode_request_view(opcode, payload) {
+        let decoded = {
+            let _decode = obs::span!(obs::Stage::Decode);
+            p::decode_request_view(opcode, payload)
+        };
+        match decoded {
             Ok(req) => {
-                shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.requests.inc();
                 write_buf.clear();
+                let served = Instant::now();
                 serve_request(shared, session, &req, write_buf);
+                shared.metrics.op_latency[op_index(&req)].record_duration(served.elapsed());
+                let _encode = obs::span!(obs::Stage::Encode);
                 stream.write_all(write_buf)?;
             }
             Err(err) => {
                 // A connection that desynchronized its framing cannot be
                 // trusted further: reply, then close.
-                shared.metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.protocol_errors.inc();
                 write_buf.clear();
                 p::encode_error(p::ERR_PROTOCOL, protocol_error_name(err), write_buf);
                 let _ = stream.write_all(write_buf);
@@ -468,6 +574,7 @@ fn serve_request<'db>(
                     if completed {
                         p::encode_done(&stats, out);
                     } else {
+                        shared.metrics.request_timeouts.inc();
                         p::encode_timeout(&stats, out);
                     }
                     account(shared, desc.tenant, &stats);
@@ -549,6 +656,15 @@ fn serve_request<'db>(
                 },
                 out,
             );
+        }
+        RequestView::Metrics => {
+            // Process-wide series (query/storage/scout) merged with the
+            // per-server registry (connection/request counters, per-op
+            // latency). Name sets are disjoint, so merge never sums
+            // across the two sources.
+            let mut snap = obs::global().snapshot();
+            snap.merge(&shared.metrics.snapshot());
+            p::encode_metrics_result(&snap, out);
         }
     }
 }
@@ -700,6 +816,7 @@ fn serve_explain(shared: &Shared<'_>, inner: &RequestView<'_>, out: &mut Vec<u8>
         RequestView::Explain(_)
         | RequestView::Stats { .. }
         | RequestView::Health
+        | RequestView::Metrics
         | RequestView::Insert { .. }
         | RequestView::Remove { .. } => {
             p::encode_error(p::ERR_PROTOCOL, "EXPLAIN cannot wrap this opcode", out);

@@ -328,7 +328,7 @@ proptest! {
 
 #[test]
 fn unknown_opcodes_are_reported_as_such() {
-    for opcode in [0x00u8, 0x0B, 0x42, 0x80, 0x8E, 0xFF] {
+    for opcode in [0x00u8, 0x0C, 0x42, 0x80, 0x8F, 0xFF] {
         assert_eq!(
             p::decode_request(opcode, &[]).unwrap_err(),
             ProtocolError::UnknownOpcode(opcode)
@@ -440,4 +440,53 @@ fn read_frame_rejects_oversized_and_zero_lengths() {
         let err = p::read_frame(&mut &bytes[..], &mut buf).unwrap_err();
         assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "len={len}");
     }
+}
+
+#[test]
+fn metrics_frames_roundtrip_and_reject_corruption() {
+    use neurospatial::obs::MetricsRegistry;
+
+    // An empty request frame round-trips.
+    let mut req = Vec::new();
+    p::encode_request(&Request::Metrics, &mut req);
+    let (len, rest) = req.split_at(4);
+    assert_eq!(u32::from_le_bytes(len.try_into().unwrap()) as usize, rest.len());
+    assert!(matches!(p::decode_request(rest[0], &rest[1..]), Ok(Request::Metrics)));
+
+    // A populated snapshot survives encode → decode bit-for-bit.
+    let reg = MetricsRegistry::new();
+    reg.counter("reqs_total").add(41);
+    reg.gauge("resident").set(-7);
+    let h = reg.histogram("lat_ns");
+    for v in [3, 900, 1 << 33] {
+        h.record(v);
+    }
+    let snap = reg.snapshot();
+    let mut resp = Vec::new();
+    p::encode_metrics_result(&snap, &mut resp);
+    let (len, rest) = resp.split_at(4);
+    assert_eq!(u32::from_le_bytes(len.try_into().unwrap()) as usize, rest.len());
+    assert_eq!(rest[0], p::OP_METRICS_RESULT);
+    match p::decode_response(rest[0], &rest[1..]) {
+        Ok(Response::Metrics(decoded)) => assert_eq!(decoded, snap),
+        other => panic!("metrics frame should decode, got {other:?}"),
+    }
+
+    // Truncation at every prefix is a typed error, never a panic.
+    let payload = &rest[1..];
+    for cut in 0..payload.len() {
+        assert!(
+            matches!(
+                p::decode_response(p::OP_METRICS_RESULT, &payload[..cut]),
+                Err(ProtocolError::Malformed(_))
+            ),
+            "truncated metrics payload at {cut} must be rejected"
+        );
+    }
+
+    // EXPLAIN cannot wrap METRICS.
+    assert!(matches!(
+        p::decode_request(p::OP_EXPLAIN, &[p::OP_METRICS]),
+        Err(ProtocolError::Malformed(_))
+    ));
 }

@@ -586,3 +586,116 @@ fn live_ingest_acks_serves_and_recovers_over_the_wire() {
     .expect("serve");
     let _ = std::fs::remove_file(&wal);
 }
+
+/// METRICS over the wire, one run: a scripted request sequence shows up
+/// exactly in the per-server counters, and the merged snapshot carries
+/// live latency histograms for queries, page I/O, and WAL commits.
+#[test]
+fn metrics_opcode_reports_scripted_counts_and_live_histograms() {
+    let circuit = CircuitBuilder::new(29).neurons(120).build();
+    let filters = FilterRegistry::new();
+    let page_path = std::env::temp_dir().join(format!("nsrv_metrics_{}.nspf", std::process::id()));
+    let wal = std::env::temp_dir().join(format!("nsrv_metrics_{}.wal", std::process::id()));
+    let _ = std::fs::remove_file(&page_path);
+    let _ = std::fs::remove_file(&wal);
+
+    // Query/storage series live in the process-global registry, which
+    // other tests in this binary also feed — assert on deltas only.
+    let before = neurospatial::obs::global().snapshot();
+    let count_of = |snap: &neurospatial::obs::MetricsSnapshot, name: &str| {
+        snap.histogram(name).map(|h| h.count).unwrap_or(0)
+    };
+    let base_ranges = count_of(&before, "query_range_latency_ns");
+    let base_knns = count_of(&before, "query_knn_latency_ns");
+    let base_reads = count_of(&before, "storage_page_read_latency_ns");
+    let base_commits = count_of(&before, "wal_commit_latency_ns");
+
+    // Phase 1: a paged server. Every demand miss on the frame pool is a
+    // timed page read.
+    let db = NeuroDb::builder()
+        .circuit(&circuit)
+        .backend(IndexBackend::Flat)
+        .page_file(&page_path)
+        .frame_budget(1)
+        .build()
+        .expect("paged database builds");
+    serve_with(&db, &filters, &ServerConfig::default(), |handle| {
+        let mut client = Client::connect(handle.addr()).expect("connect");
+        let mut segments = Vec::new();
+        let mut neighbors = Vec::new();
+        let plain = QueryDescView { tenant: 1, ..Default::default() };
+        let region = Aabb::cube(circuit.bounds().center(), 1.0e4);
+
+        for _ in 0..3 {
+            client.range(&plain, &region, &mut segments).expect("range");
+        }
+        client.knn(&plain, Vec3::new(0.0, 0.0, 0.0), 4, &mut neighbors).expect("knn");
+        client.count(&plain, &region).expect("count");
+
+        // The per-server registry was born with this server, so its
+        // counters match the scripted sequence exactly. The snapshot is
+        // taken while serving the METRICS request itself — the 6th.
+        let snap = client.metrics().expect("metrics");
+        assert_eq!(snap.counter("server_requests_total"), Some(6));
+        assert_eq!(snap.counter("server_connections_accepted_total"), Some(1));
+        assert_eq!(snap.counter("server_connections_rejected_total"), Some(0));
+        assert_eq!(snap.counter("server_protocol_errors_total"), Some(0));
+        assert_eq!(snap.counter("server_request_timeouts_total"), Some(0));
+        let ranges = snap.histogram("server_range_latency_ns").expect("range op histogram");
+        assert_eq!(ranges.count, 3, "three scripted RANGE requests");
+        assert!(ranges.max >= ranges.min && ranges.sum >= ranges.max);
+        assert_eq!(snap.histogram("server_knn_latency_ns").map(|h| h.count), Some(1));
+        assert_eq!(snap.histogram("server_count_latency_ns").map(|h| h.count), Some(1));
+
+        // Global series ride along in the same snapshot: the query
+        // funnel and the frame pool both saw this workload.
+        let q = snap.histogram("query_range_latency_ns").expect("query histogram");
+        // Traversal latency is sampled (first call per thread always
+        // records), so a fresh worker thread is guaranteed to add at
+        // least one observation for each funnel it exercised.
+        assert!(q.count > base_ranges, "the range funnel timed at least one traversal");
+        assert!(q.max >= q.min && q.count >= 1 && q.sum >= q.max);
+        assert!(count_of(&snap, "query_knn_latency_ns") > base_knns);
+        assert!(
+            count_of(&snap, "storage_page_read_latency_ns") > base_reads,
+            "frame_budget(1) forces demand misses, each one a timed page read"
+        );
+
+        // The wire snapshot renders: every histogram shows up as a
+        // Prometheus-style summary with quantile labels.
+        let text = snap.render_text();
+        assert!(text.contains("neurospatial_server_requests_total 6"));
+        assert!(text.contains("neurospatial_query_range_latency_ns{quantile=\"0.99\"}"));
+    })
+    .expect("serve");
+
+    // Phase 2: a durable server on a fresh registry — the previous
+    // server's exact counters do not leak in, while the process-global
+    // WAL histogram picks up the commit.
+    let db = NeuroDb::builder().circuit(&circuit).durable(&wal).build().expect("live db");
+    serve_with(&db, &filters, &ServerConfig::default(), |handle| {
+        let mut client = Client::connect(handle.addr()).expect("connect");
+        let new_seg = NeuronSegment {
+            id: 900_001,
+            neuron: 7,
+            section: 0,
+            index_on_section: 0,
+            geom: neurospatial::geom::Segment::new(
+                Vec3::new(4_000.0, 0.0, 0.0),
+                Vec3::new(4_001.0, 0.0, 0.0),
+                0.5,
+            ),
+        };
+        client.insert(1, &new_seg).expect("insert acked");
+
+        let snap = client.metrics().expect("metrics");
+        assert_eq!(snap.counter("server_requests_total"), Some(2), "fresh per-server registry");
+        assert_eq!(snap.histogram("server_insert_latency_ns").map(|h| h.count), Some(1));
+        let commits = snap.histogram("wal_commit_latency_ns").expect("wal histogram");
+        assert!(commits.count > base_commits, "the acked insert committed through the WAL");
+    })
+    .expect("serve");
+
+    let _ = std::fs::remove_file(&page_path);
+    let _ = std::fs::remove_file(&wal);
+}

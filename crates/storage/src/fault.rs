@@ -443,12 +443,16 @@ pub fn with_retry<T>(
             Ok(v) => return (Ok(v), retries),
             Err(e) if e.is_transient() && retries + 1 < attempts => {
                 retries += 1;
+                crate::metrics::fault_obs().retries.inc();
                 let delay = policy.backoff_us(salt, retries);
                 if delay > 0 {
                     sleep(delay);
                 }
             }
-            Err(e) => return (Err(e), retries),
+            Err(e) => {
+                crate::metrics::fault_obs().exhausted.inc();
+                return (Err(e), retries);
+            }
         }
     }
 }

@@ -229,6 +229,7 @@ impl FramePool {
         if !inner.quarantined.insert(page) {
             return;
         }
+        crate::metrics::frame_obs().quarantined.inc();
         if let Some(&slot) = inner.map.get(&page) {
             if inner.frames[slot].pins == 0 && !inner.frames[slot].loading {
                 inner.map.remove(&page);
@@ -266,6 +267,7 @@ impl FramePool {
             if let Some(&slot) = inner.map.get(&page) {
                 if !counted {
                     inner.stats.hits += 1;
+                    crate::metrics::frame_obs().hits.inc();
                     counted = true;
                 }
                 if inner.frames[slot].loading {
@@ -278,11 +280,13 @@ impl FramePool {
                 if fr.from_prefetch {
                     fr.from_prefetch = false;
                     inner.stats.prefetch_hits += 1;
+                    crate::metrics::frame_obs().prefetch_hits.inc();
                 }
                 return Ok(self.pin(&mut inner, slot));
             }
             if !counted {
                 inner.stats.misses += 1;
+                crate::metrics::frame_obs().misses.inc();
                 counted = true;
             }
             match self.acquire_slot(&mut inner) {
@@ -295,7 +299,14 @@ impl FramePool {
                     drop(inner);
 
                     let mut buf = Vec::new();
-                    let res = load(&mut buf);
+                    let res = {
+                        let fobs = crate::metrics::frame_obs();
+                        let _io = neurospatial_obs::span_timed(
+                            neurospatial_obs::Stage::PageIo,
+                            &fobs.read_latency,
+                        );
+                        load(&mut buf)
+                    };
                     let mut inner = self.lock();
                     match res {
                         Ok(()) => {
@@ -367,6 +378,9 @@ impl FramePool {
         match res {
             Ok(()) => {
                 inner.stats.prefetched += 1;
+                let fobs = crate::metrics::frame_obs();
+                fobs.prefetched.inc();
+                fobs.resident.set(inner.map.len() as i64);
                 inner.tick += 1;
                 let tick = inner.tick;
                 let fr = &mut inner.frames[slot];
@@ -393,6 +407,7 @@ impl FramePool {
     }
 
     fn pin<'p>(&'p self, inner: &mut Inner, slot: usize) -> FrameGuard<'p> {
+        crate::metrics::frame_obs().resident.set(inner.map.len() as i64);
         inner.tick += 1;
         let tick = inner.tick;
         let fr = &mut inner.frames[slot];
@@ -431,6 +446,7 @@ impl FramePool {
                 inner.map.remove(&page);
                 inner.frames[slot].data = None;
                 inner.stats.evictions += 1;
+                crate::metrics::frame_obs().evictions.inc();
                 Slot::Free(slot)
             }
             None => {

@@ -49,6 +49,7 @@ pub mod disk;
 pub mod fault;
 pub mod file;
 pub mod frame;
+pub mod metrics;
 pub mod page;
 pub mod wal;
 

@@ -384,14 +384,22 @@ impl Wal {
     /// buffered records are discarded — they were never acknowledged and
     /// replay is guaranteed to drop whatever fraction reached the disk.
     pub fn commit(&mut self) -> Result<u64, StorageError> {
+        let wobs = crate::metrics::wal_obs();
+        let _commit_span =
+            neurospatial_obs::span_timed(neurospatial_obs::Stage::WalCommit, &wobs.commit_latency);
         let lsn = self.next_lsn;
         self.next_lsn += 1;
         encode_record(&mut self.pending, WAL_KIND_COMMIT, lsn, &[]);
+        let group = self.pending_records;
         let batch = std::mem::take(&mut self.pending);
         self.pending_records = 0;
         self.log.append(&batch)?;
         self.log.sync()?;
         self.commits += 1;
+        wobs.commits.inc();
+        wobs.fsyncs.inc();
+        wobs.append_bytes.record(batch.len() as u64);
+        wobs.group_records.record(group);
         Ok(lsn)
     }
 
@@ -411,6 +419,9 @@ impl Wal {
         encode_record(&mut contents, WAL_KIND_CHECKPOINT, lsn, snapshot);
         self.log.replace(&contents)?;
         self.log.sync()?;
+        let wobs = crate::metrics::wal_obs();
+        wobs.checkpoints.inc();
+        wobs.fsyncs.inc();
         self.next_lsn += 1;
         self.checkpoints += 1;
         self.pending.clear();
